@@ -1,0 +1,56 @@
+//! Criterion wall-clock benchmarks of topology generation and
+//! level-order preprocessing (the host-side setup path of every solve).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use powergrid::gen::{balanced_binary, random_tree, GenSpec};
+use powergrid::LevelOrder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_binary_tree");
+    for &n in &[16_384usize, 131_072] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                balanced_binary(n, &GenSpec::default(), &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_random_tree");
+    for &n in &[16_384usize, 131_072] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                random_tree(n, 16, &GenSpec::default(), &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_level_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("level_order");
+    for &n in &[16_384usize, 131_072] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = balanced_binary(n, &GenSpec::default(), &mut rng);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &net, |b, net| {
+            b.iter(|| LevelOrder::new(net));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_generate, bench_random_tree, bench_level_order
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion wall-clock benchmarks of the three solvers.
+//!
+//! Serial and multicore numbers are real host performance of this
+//! library; the GPU number is the *simulation cost* of the device solver
+//! (functional emulation), not a device-performance claim — modeled
+//! device time is what `exp_e1_total_speedup` reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fbs::{GpuSolver, MulticoreSolver, SerialSolver, SolverArrays, SolverConfig};
+use powergrid::gen::{balanced_binary, GenSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simt::{Device, DeviceProps, HostProps};
+
+const SIZES: [usize; 3] = [4096, 32_768, 131_072];
+
+fn nets() -> Vec<(usize, SolverArrays)> {
+    SIZES
+        .iter()
+        .map(|&n| {
+            let mut rng = StdRng::seed_from_u64(99);
+            let net = balanced_binary(n, &GenSpec::default(), &mut rng);
+            (n, SolverArrays::new(&net))
+        })
+        .collect()
+}
+
+fn bench_serial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve_serial");
+    let cfg = SolverConfig::default();
+    for (n, arrays) in nets() {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &arrays, |b, a| {
+            let solver = SerialSolver::new(HostProps::paper_rig());
+            b.iter(|| solver.solve_arrays(a, &cfg));
+        });
+    }
+    group.finish();
+}
+
+fn bench_multicore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve_multicore");
+    let cfg = SolverConfig::default();
+    for (n, arrays) in nets() {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &arrays, |b, a| {
+            let solver = MulticoreSolver::new(HostProps::paper_rig(), 8);
+            b.iter(|| solver.solve_arrays(a, &cfg));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gpu_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve_gpu_simulation");
+    group.sample_size(10);
+    let cfg = SolverConfig::default();
+    for (n, arrays) in nets() {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &arrays, |b, a| {
+            b.iter(|| {
+                let mut solver = GpuSolver::new(Device::new(DeviceProps::paper_rig()));
+                solver.solve_arrays(a, &cfg)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_serial, bench_multicore, bench_gpu_simulation
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! E9 (extension) — batched time-series load flow: modeled cost per
+//! scenario versus batch size.
+//!
+//! The operational workload behind the paper's motivation (distribution
+//! system analysis) is time-series: thousands of load scenarios on one
+//! topology. Batching levels across scenarios turns the launch-bound
+//! small-tree regime of E1/E3 into a bandwidth-bound one; this experiment
+//! measures how far the per-scenario cost falls as the batch grows, and
+//! where it crosses below the serial CPU cost.
+//!
+//! Run: `cargo run -p fbs-bench --release --bin exp_e9_batch`
+
+use fbs::{BatchSolver, SerialSolver, SolverArrays};
+use fbs_bench::{eval_config, rng_for, speedup, us, Table};
+use numc::Complex;
+use powergrid::gen::{balanced_binary, GenSpec};
+use simt::{Device, DeviceProps, HostProps};
+
+const N: usize = 4095; // a mid-size feeder where a single GPU solve loses
+
+fn main() {
+    let cfg = eval_config();
+    let spec = GenSpec::default();
+    let mut rng = rng_for(90);
+    let net = balanced_binary(N, &spec, &mut rng);
+    let arrays = SolverArrays::new(&net);
+
+    // The serial baseline cost per scenario (topology arrays reused).
+    let serial = SerialSolver::new(HostProps::paper_rig());
+    let serial_us = serial.solve_arrays(&arrays, &cfg).timing.total_us();
+
+    let mut table = Table::new(
+        "E9: Batched GPU load flow, 4K-bus binary feeder",
+        &["batch", "iters", "gpu total", "gpu per scenario", "serial per scenario", "speedup/scenario"],
+    );
+
+    for nb in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        // Scenario loads: a daily-curve-like scaling sweep.
+        let scenarios: Vec<Vec<Complex>> = (0..nb)
+            .map(|k| {
+                let scale = 0.55 + 0.5 * ((k as f64 / nb.max(2) as f64) * std::f64::consts::PI).sin();
+                net.buses().iter().map(|b| b.load * scale).collect()
+            })
+            .collect();
+
+        let mut solver = BatchSolver::new(Device::new(DeviceProps::paper_rig()));
+        let res = solver.solve_arrays(&arrays, &scenarios, &cfg);
+        assert!(res.converged, "batch of {nb} must converge");
+
+        let per = res.timing.total_us() / nb as f64;
+        table.row(&[
+            &nb,
+            &res.iterations,
+            &us(res.timing.total_us()),
+            &us(per),
+            &us(serial_us),
+            &speedup(serial_us / per),
+        ]);
+    }
+
+    table.emit("e9_batch");
+    println!("\na feeder where one GPU solve loses 8x becomes a win once scenarios are batched.");
+}

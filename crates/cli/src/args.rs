@@ -1,0 +1,129 @@
+//! A minimal `--flag value` parser: positional arguments plus string
+//! flags, with typed accessors and unknown-flag rejection.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses `argv` (after the subcommand), accepting only the flag
+    /// names in `allowed`. Every flag takes exactly one value.
+    pub fn parse(argv: &[String], allowed: &[&str]) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut it = argv.iter();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if !allowed.contains(&name) {
+                    return Err(format!("unknown flag --{name}"));
+                }
+                let val = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                if out.flags.insert(name.to_string(), val.clone()).is_some() {
+                    return Err(format!("--{name} given twice"));
+                }
+            } else {
+                out.positional.push(tok.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Positional arguments in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// The single expected positional argument.
+    pub fn one_positional(&self, what: &str) -> Result<&str, String> {
+        match self.positional() {
+            [p] => Ok(p),
+            [] => Err(format!("missing {what}")),
+            _ => Err(format!("expected exactly one {what}")),
+        }
+    }
+
+    /// String flag with a default.
+    pub fn get_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.flags.get(name).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Optional string flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Typed flag with a default; errors mention the flag name.
+    pub fn get_parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse `{v}`")),
+        }
+    }
+
+    /// Parses sizes like `4096`, `4k`, `256K`, `1m`.
+    pub fn get_size_or(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => parse_size(v).ok_or_else(|| format!("--{name}: cannot parse size `{v}`")),
+        }
+    }
+}
+
+/// Parses a human size suffix (k/K = 1024, m/M = 1024²).
+pub fn parse_size(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let (num, mult) = match s.chars().last()? {
+        'k' | 'K' => (&s[..s.len() - 1], 1024usize),
+        'm' | 'M' => (&s[..s.len() - 1], 1024 * 1024),
+        _ => (s, 1),
+    };
+    num.parse::<usize>().ok().map(|n| n * mult)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let a = Args::parse(&sv(&["net.grid", "--tol", "1e-9", "--solver", "gpu"]), &["tol", "solver"])
+            .unwrap();
+        assert_eq!(a.one_positional("file").unwrap(), "net.grid");
+        assert_eq!(a.get("solver"), Some("gpu"));
+        assert_eq!(a.get_parse_or("tol", 1e-6).unwrap(), 1e-9);
+        assert_eq!(a.get_parse_or("max-iter", 100u32).unwrap(), 100);
+    }
+
+    #[test]
+    fn rejects_unknown_and_duplicate_flags() {
+        assert!(Args::parse(&sv(&["--nope", "1"]), &["tol"]).is_err());
+        assert!(Args::parse(&sv(&["--tol", "1", "--tol", "2"]), &["tol"]).is_err());
+        assert!(Args::parse(&sv(&["--tol"]), &["tol"]).is_err());
+    }
+
+    #[test]
+    fn positional_arity_checked() {
+        let a = Args::parse(&sv(&[]), &[]).unwrap();
+        assert!(a.one_positional("file").is_err());
+        let a = Args::parse(&sv(&["x", "y"]), &[]).unwrap();
+        assert!(a.one_positional("file").is_err());
+    }
+
+    #[test]
+    fn size_suffixes() {
+        assert_eq!(parse_size("4096"), Some(4096));
+        assert_eq!(parse_size("4k"), Some(4096));
+        assert_eq!(parse_size("256K"), Some(262_144));
+        assert_eq!(parse_size("1m"), Some(1_048_576));
+        assert_eq!(parse_size("x"), None);
+        assert_eq!(parse_size("k"), None);
+    }
+}

@@ -1,0 +1,311 @@
+//! The CLI subcommands: `gen`, `info`, `solve`, `compare`, `feeders`.
+
+use std::fs;
+
+use fbs::{BackwardStrategy, GpuSolver, JumpSolver, MulticoreSolver, SerialSolver, SolveResult, SolverConfig};
+use powergrid::gen::{
+    balanced_binary, balanced_kary, broom, caterpillar, chain, random_tree, star, GenSpec,
+};
+use powergrid::gridfile::{parse_grid, write_grid};
+use powergrid::{ieee, LevelOrder, RadialNetwork};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simt::{Device, DeviceProps, HostProps};
+
+use crate::args::Args;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage:
+  fbs gen --topology <binary|kary|chain|star|caterpillar|broom|random> \\
+          [--buses N] [--k K] [--seed S] [--total-kw KW] [--drop FRAC] [--out FILE]
+  fbs feeders --name <ieee13|ieee37|ieee123> [--out FILE]
+  fbs info <FILE.grid>
+  fbs solve <FILE.grid> [--solver serial|gpu|gpu-direct|multicore] [--tol T]
+            [--max-iter N] [--show-voltages N] [--timings true|false]
+  fbs compare <FILE.grid> [--tol T] [--max-iter N]
+  fbs profile <FILE.grid> [--solver gpu|gpu-direct|gpu-atomic|gpu-jump] [--tol T]
+  fbs feeders3 [--name ieee13] [--out FILE.grid3]
+  fbs gen3 <FILE.grid> [--unbalance U] [--mutual M] [--seed S] [--out FILE.grid3]
+  fbs solve3 <FILE.grid3> [--solver serial|gpu] [--tol T] [--max-iter N]";
+
+/// Dispatches a full argv (without the program name).
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let (cmd, rest) = argv.split_first().ok_or("missing subcommand")?;
+    match cmd.as_str() {
+        "gen" => cmd_gen(rest),
+        "feeders" => cmd_feeders(rest),
+        "info" => cmd_info(rest),
+        "solve" => cmd_solve(rest),
+        "compare" => cmd_compare(rest),
+        "profile" => cmd_profile(rest),
+        "feeders3" => cmd_feeders3(rest),
+        "gen3" => cmd_gen3(rest),
+        "solve3" => cmd_solve3(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn cmd_gen(argv: &[String]) -> Result<(), String> {
+    let a = Args::parse(argv, &["topology", "buses", "k", "seed", "total-kw", "drop", "out"])?;
+    let n = a.get_size_or("buses", 1024)?;
+    let k: usize = a.get_parse_or("k", 4)?;
+    let seed: u64 = a.get_parse_or("seed", 1)?;
+    let mut spec = GenSpec::default();
+    spec.total_kw = a.get_parse_or("total-kw", spec.total_kw)?;
+    spec.target_drop = a.get_parse_or("drop", spec.target_drop)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let topo = a.get_or("topology", "binary");
+    let net = match topo {
+        "binary" => balanced_binary(n, &spec, &mut rng),
+        "kary" => balanced_kary(n, k, &spec, &mut rng),
+        "chain" => chain(n, &spec, &mut rng),
+        "star" => star(n, &spec, &mut rng),
+        "caterpillar" => caterpillar(n, k.max(1), &spec, &mut rng),
+        "broom" => broom(n, (n / 4).max(1), &spec, &mut rng),
+        "random" => random_tree(n, 8, &spec, &mut rng),
+        other => return Err(format!("unknown topology `{other}`")),
+    };
+    emit_grid(&net, a.get("out"))
+}
+
+fn cmd_feeders(argv: &[String]) -> Result<(), String> {
+    let a = Args::parse(argv, &["name", "out"])?;
+    let net = match a.get_or("name", "ieee13") {
+        "ieee13" => ieee::ieee13(),
+        "ieee37" => ieee::ieee37(),
+        "ieee123" => ieee::ieee123_style(),
+        other => return Err(format!("unknown feeder `{other}`")),
+    };
+    emit_grid(&net, a.get("out"))
+}
+
+fn emit_grid(net: &RadialNetwork, out: Option<&str>) -> Result<(), String> {
+    let text = write_grid(net);
+    match out {
+        Some(path) => {
+            fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {} buses to {path}", net.num_buses());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn load(path: &str) -> Result<RadialNetwork, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_grid(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_info(argv: &[String]) -> Result<(), String> {
+    let a = Args::parse(argv, &[])?;
+    let net = load(a.one_positional("grid file")?)?;
+    let levels = LevelOrder::new(&net);
+    let s = net.total_load();
+    println!("buses:        {}", net.num_buses());
+    println!("branches:     {}", net.num_branches());
+    println!("levels:       {}", levels.num_levels());
+    println!("mean width:   {:.2}", levels.mean_level_width());
+    println!("widest level: {}", (0..levels.num_levels()).map(|l| levels.level_width(l)).max().unwrap_or(0));
+    println!("source:       {:.1} V", net.source_voltage().abs());
+    println!("total load:   {:.1} kW + j{:.1} kvar", s.re / 1e3, s.im / 1e3);
+    Ok(())
+}
+
+fn solver_config(a: &Args) -> Result<SolverConfig, String> {
+    Ok(SolverConfig::new(
+        a.get_parse_or("tol", SolverConfig::DEFAULT_TOL)?,
+        a.get_parse_or("max-iter", 100u32)?,
+    ))
+}
+
+fn cmd_solve(argv: &[String]) -> Result<(), String> {
+    let a = Args::parse(argv, &["solver", "tol", "max-iter", "show-voltages", "timings"])?;
+    let net = load(a.one_positional("grid file")?)?;
+    let cfg = solver_config(&a)?;
+    let which = a.get_or("solver", "serial");
+    let res = run_solver(&net, &cfg, which)?;
+
+    println!("solver:      {which}");
+    println!("converged:   {} in {} iterations (residual {:.3e} V)", res.converged, res.iterations, res.residual);
+    if res.converged {
+        let (vmin, bus) = res.min_voltage();
+        let pu = vmin / net.source_voltage().abs();
+        let losses = res.losses(&net);
+        let src = res.source_power(&net);
+        println!("min voltage: {:.1} V ({:.4} pu) at bus {bus}", vmin, pu);
+        println!("feeder load: {:.1} kW + j{:.1} kvar", src.re / 1e3, src.im / 1e3);
+        println!("losses:      {:.2} kW + j{:.2} kvar", losses.re / 1e3, losses.im / 1e3);
+    }
+    if a.get_parse_or("timings", true)? {
+        let t = &res.timing;
+        println!("modeled:     total {:.1} µs (transfers {:.1} µs)", t.total_us(), t.transfer_us);
+        println!(
+            "  setup {:.1} | inject {:.1} | backward {:.1} | forward {:.1} | converge {:.1} | teardown {:.1}",
+            t.phases.setup_us,
+            t.phases.injection_us,
+            t.phases.backward_us,
+            t.phases.forward_us,
+            t.phases.convergence_us,
+            t.phases.teardown_us
+        );
+    }
+    let show: usize = a.get_parse_or("show-voltages", 0usize)?;
+    for bus in 0..show.min(net.num_buses()) {
+        println!("  V[{bus}] = {:.3} V  ∠{:.3}°", res.v[bus].abs(), res.v[bus].arg().to_degrees());
+    }
+    Ok(())
+}
+
+fn run_solver(net: &RadialNetwork, cfg: &SolverConfig, which: &str) -> Result<SolveResult, String> {
+    Ok(match which {
+        "serial" => SerialSolver::new(HostProps::paper_rig()).solve(net, cfg),
+        "multicore" => MulticoreSolver::default().solve(net, cfg),
+        "gpu" => GpuSolver::new(Device::new(DeviceProps::paper_rig())).solve(net, cfg),
+        "gpu-direct" => GpuSolver::with_strategy(
+            Device::new(DeviceProps::paper_rig()),
+            BackwardStrategy::Direct,
+        )
+        .solve(net, cfg),
+        "gpu-atomic" => GpuSolver::with_strategy(
+            Device::new(DeviceProps::paper_rig()),
+            BackwardStrategy::AtomicScatter,
+        )
+        .solve(net, cfg),
+        "gpu-jump" => JumpSolver::new(Device::new(DeviceProps::paper_rig())).solve(net, cfg),
+        other => return Err(format!("unknown solver `{other}`")),
+    })
+}
+
+fn cmd_feeders3(argv: &[String]) -> Result<(), String> {
+    let a = Args::parse(argv, &["name", "out"])?;
+    let net = match a.get_or("name", "ieee13") {
+        "ieee13" => powergrid::three_phase::ieee13_unbalanced(),
+        other => return Err(format!("unknown three-phase feeder `{other}`")),
+    };
+    emit_text(&powergrid::gridfile3::write_grid3(&net), a.get("out"), net.num_buses())
+}
+
+fn cmd_gen3(argv: &[String]) -> Result<(), String> {
+    let a = Args::parse(argv, &["unbalance", "mutual", "seed", "out"])?;
+    let net1 = load(a.one_positional("grid file")?)?;
+    let unbalance: f64 = a.get_parse_or("unbalance", 0.35)?;
+    let mutual: f64 = a.get_parse_or("mutual", 0.3)?;
+    let seed: u64 = a.get_parse_or("seed", 1)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let net3 = powergrid::three_phase::from_single_phase(&net1, unbalance, mutual, &mut rng);
+    emit_text(&powergrid::gridfile3::write_grid3(&net3), a.get("out"), net3.num_buses())
+}
+
+fn cmd_solve3(argv: &[String]) -> Result<(), String> {
+    let a = Args::parse(argv, &["solver", "tol", "max-iter"])?;
+    let path = a.one_positional("grid3 file")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let net = powergrid::gridfile3::parse_grid3(&text).map_err(|e| format!("{path}: {e}"))?;
+    let cfg = solver_config(&a)?;
+    let which = a.get_or("solver", "serial");
+    let res = match which {
+        "serial" => fbs::Serial3Solver::new(HostProps::paper_rig()).solve(&net, &cfg),
+        "gpu" => fbs::Gpu3Solver::new(Device::new(DeviceProps::paper_rig())).solve(&net, &cfg),
+        other => return Err(format!("unknown three-phase solver `{other}`")),
+    };
+    println!("solver:      {which} (three-phase)");
+    println!(
+        "converged:   {} in {} iterations (residual {:.3e} V)",
+        res.converged, res.iterations, res.residual
+    );
+    if res.converged {
+        let v0 = net.source_voltage().abs_max();
+        let (vmin, sag_bus) = res.min_phase_voltage();
+        let (unb, unb_bus) = res.max_unbalance();
+        println!("worst phase: {:.1} V ({:.4} pu) at bus {sag_bus}", vmin, vmin / v0);
+        println!("unbalance:   {:.2}% max at bus {unb_bus}", 100.0 * unb);
+        let t = net.total_load();
+        println!(
+            "load/phase:  a {:.1} kW | b {:.1} kW | c {:.1} kW",
+            t.a.re / 1e3,
+            t.b.re / 1e3,
+            t.c.re / 1e3
+        );
+    }
+    println!("modeled:     total {:.1} µs", res.timing.total_us());
+    Ok(())
+}
+
+fn emit_text(text: &str, out: Option<&str>, buses: usize) -> Result<(), String> {
+    match out {
+        Some(path) => {
+            fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {buses} buses to {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_profile(argv: &[String]) -> Result<(), String> {
+    let a = Args::parse(argv, &["solver", "tol", "max-iter"])?;
+    let net = load(a.one_positional("grid file")?)?;
+    let cfg = solver_config(&a)?;
+    let which = a.get_or("solver", "gpu");
+    // Run the chosen device solver while keeping its timeline for the
+    // per-kernel report.
+    let device = Device::new(DeviceProps::paper_rig());
+    let (res, table) = match which {
+        "gpu" => {
+            let mut s = GpuSolver::new(device);
+            let r = s.solve(&net, &cfg);
+            (r, s.device().timeline().kernel_report_table())
+        }
+        "gpu-direct" => {
+            let mut s = GpuSolver::with_strategy(device, BackwardStrategy::Direct);
+            let r = s.solve(&net, &cfg);
+            (r, s.device().timeline().kernel_report_table())
+        }
+        "gpu-atomic" => {
+            let mut s = GpuSolver::with_strategy(device, BackwardStrategy::AtomicScatter);
+            let r = s.solve(&net, &cfg);
+            (r, s.device().timeline().kernel_report_table())
+        }
+        "gpu-jump" => {
+            let mut s = JumpSolver::new(device);
+            let r = s.solve(&net, &cfg);
+            (r, s.device().timeline().kernel_report_table())
+        }
+        other => return Err(format!("profile: unknown device solver `{other}`")),
+    };
+    println!(
+        "solver {which}: converged={} in {} iterations, {:.1} µs modeled\n",
+        res.converged,
+        res.iterations,
+        res.timing.total_us()
+    );
+    print!("{table}");
+    Ok(())
+}
+
+fn cmd_compare(argv: &[String]) -> Result<(), String> {
+    let a = Args::parse(argv, &["tol", "max-iter"])?;
+    let net = load(a.one_positional("grid file")?)?;
+    let cfg = solver_config(&a)?;
+    println!("{:<10} {:>7} {:>14} {:>14} {:>9}", "solver", "iters", "modeled total", "vs serial", "conv");
+    let serial = run_solver(&net, &cfg, "serial")?;
+    let base = serial.timing.total_us();
+    for which in ["serial", "multicore", "gpu", "gpu-direct", "gpu-atomic", "gpu-jump"] {
+        let r = if which == "serial" { serial.clone() } else { run_solver(&net, &cfg, which)? };
+        println!(
+            "{:<10} {:>7} {:>11.1} µs {:>13.2}x {:>9}",
+            which,
+            r.iterations,
+            r.timing.total_us(),
+            base / r.timing.total_us(),
+            r.converged
+        );
+    }
+    Ok(())
+}

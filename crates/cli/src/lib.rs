@@ -1,0 +1,7 @@
+//! Library surface of the `fbs` CLI (split from the binary so the
+//! command layer is integration-testable).
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,17 @@
+//! `fbs` — command-line power-flow tool over the reproduction library.
+
+use std::process::ExitCode;
+
+use fbs_cli::commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Integration tests of the CLI command layer (gen → info → solve →
+//! compare pipelines on temporary files).
+
+use std::fs;
+use std::path::PathBuf;
+
+use fbs_cli::commands;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("fbs-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+fn run(args: &[&str]) -> Result<(), String> {
+    let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    commands::run(&argv)
+}
+
+#[test]
+fn gen_info_solve_compare_pipeline() {
+    let path = tmp("pipeline.grid");
+    let path_s = path.to_str().unwrap();
+
+    run(&["gen", "--topology", "binary", "--buses", "255", "--seed", "3", "--out", path_s])
+        .expect("gen must succeed");
+    let text = fs::read_to_string(&path).unwrap();
+    assert!(text.starts_with("# radial distribution network"));
+    assert!(text.contains("grid 1"));
+
+    run(&["info", path_s]).expect("info must succeed");
+    for solver in ["serial", "multicore", "gpu", "gpu-direct", "gpu-atomic", "gpu-jump"] {
+        run(&["solve", path_s, "--solver", solver, "--show-voltages", "3"])
+            .unwrap_or_else(|e| panic!("solve with {solver} failed: {e}"));
+    }
+    run(&["compare", path_s]).expect("compare must succeed");
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn feeders_are_exportable_and_solvable() {
+    for name in ["ieee13", "ieee37", "ieee123"] {
+        let path = tmp(&format!("{name}.grid"));
+        let path_s = path.to_str().unwrap();
+        run(&["feeders", "--name", name, "--out", path_s]).expect("feeders must succeed");
+        run(&["solve", path_s, "--solver", "gpu", "--timings", "false"])
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let _ = fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn size_suffixes_accepted_in_gen() {
+    let path = tmp("suffix.grid");
+    let path_s = path.to_str().unwrap();
+    run(&["gen", "--topology", "star", "--buses", "1k", "--out", path_s]).unwrap();
+    let text = fs::read_to_string(&path).unwrap();
+    assert!(text.contains("(1024 buses)"));
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    assert!(run(&[]).is_err(), "missing subcommand");
+    assert!(run(&["frobnicate"]).is_err(), "unknown subcommand");
+    assert!(run(&["gen", "--topology", "klein-bottle"]).is_err(), "unknown topology");
+    assert!(run(&["solve", "/nonexistent/file.grid"]).is_err(), "missing file");
+    assert!(run(&["solve"]).is_err(), "missing positional");
+    assert!(run(&["feeders", "--name", "ieee9000"]).is_err(), "unknown feeder");
+
+    // Malformed grid content surfaces a parse error with the path.
+    let path = tmp("bad.grid");
+    fs::write(&path, "this is not a grid file").unwrap();
+    let err = run(&["solve", path.to_str().unwrap()]).unwrap_err();
+    assert!(err.contains("bad.grid"), "{err}");
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn profile_reports_kernels() {
+    let path = tmp("profile.grid");
+    let path_s = path.to_str().unwrap();
+    run(&["gen", "--topology", "binary", "--buses", "511", "--out", path_s]).unwrap();
+    for solver in ["gpu", "gpu-jump", "gpu-atomic"] {
+        run(&["profile", path_s, "--solver", solver])
+            .unwrap_or_else(|e| panic!("profile {solver}: {e}"));
+    }
+    assert!(run(&["profile", path_s, "--solver", "serial"]).is_err(), "profile needs a device solver");
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn three_phase_pipeline() {
+    let p1 = tmp("tp.grid");
+    let p3 = tmp("tp.grid3");
+    let (s1, s3) = (p1.to_str().unwrap(), p3.to_str().unwrap());
+
+    // Published unbalanced feeder → solve3 with both solvers.
+    run(&["feeders3", "--name", "ieee13", "--out", s3]).unwrap();
+    run(&["solve3", s3, "--solver", "serial"]).unwrap();
+    run(&["solve3", s3, "--solver", "gpu"]).unwrap();
+
+    // Expansion path: single-phase gen → gen3 → solve3.
+    run(&["gen", "--topology", "binary", "--buses", "127", "--out", s1]).unwrap();
+    run(&["gen3", s1, "--unbalance", "0.4", "--out", s3]).unwrap();
+    run(&["solve3", s3, "--solver", "gpu"]).unwrap();
+
+    assert!(run(&["solve3", s3, "--solver", "gpu-jump"]).is_err(), "3φ has serial/gpu only");
+    let _ = fs::remove_file(&p1);
+    let _ = fs::remove_file(&p3);
+}
+
+#[test]
+fn help_is_available() {
+    run(&["help"]).unwrap();
+    run(&["--help"]).unwrap();
+}
+
+#[test]
+fn solve_honors_tolerance_flag() {
+    let path = tmp("tol.grid");
+    let path_s = path.to_str().unwrap();
+    run(&["gen", "--topology", "binary", "--buses", "127", "--out", path_s]).unwrap();
+    run(&["solve", path_s, "--tol", "1e-10"]).unwrap();
+    assert!(run(&["solve", path_s, "--tol", "not-a-number"]).is_err());
+    let _ = fs::remove_file(&path);
+}

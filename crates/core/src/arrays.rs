@@ -1,0 +1,137 @@
+//! Position-space solver arrays.
+//!
+//! Every solver in this crate — serial included, for a fair comparison —
+//! works on the same flat arrays derived once per topology: bus loads and
+//! branch impedances permuted into [`powergrid::LevelOrder`] position
+//! space, plus the integer topology arrays the kernels index with. This
+//! mirrors the paper's host-side preprocessing step (building the
+//! device-friendly tree representation before uploading it).
+
+use numc::Complex;
+use powergrid::{LevelOrder, RadialNetwork};
+
+/// Flat, level-ordered arrays describing one power-flow problem.
+#[derive(Clone, Debug)]
+pub struct SolverArrays {
+    /// The level-order permutation and ranges.
+    pub levels: LevelOrder,
+    /// Source (slack) voltage phasor, volts.
+    pub source: Complex,
+    /// Per-position constant-power load, VA.
+    pub s: Vec<Complex>,
+    /// Per-position impedance of the branch feeding the position from its
+    /// parent, ohms (zero at the root, which has no feeding branch).
+    pub z: Vec<Complex>,
+    /// Parent position per position ([`powergrid::NO_PARENT`] at the root).
+    pub parent_pos: Vec<u32>,
+    /// Children position ranges (see [`LevelOrder`]).
+    pub child_lo: Vec<u32>,
+    /// One past the last child position.
+    pub child_hi: Vec<u32>,
+    /// Segmented-scan head flags per position.
+    pub head_flags: Vec<u32>,
+    /// Gather index for the scan-based backward sweep: for a position
+    /// with children, the position of its *last* child (whose inclusive
+    /// segmented scan value is the segment total); 0 for leaves (unused —
+    /// guarded by `child_lo < child_hi`).
+    pub seg_last: Vec<u32>,
+}
+
+impl SolverArrays {
+    /// Builds the arrays for a network.
+    pub fn new(net: &RadialNetwork) -> Self {
+        let levels = LevelOrder::new(net);
+        let n = levels.len();
+
+        let s: Vec<Complex> = levels.order.iter().map(|&b| net.buses()[b as usize].load).collect();
+        let z: Vec<Complex> = levels
+            .order
+            .iter()
+            .map(|&b| net.parent_branch(b as usize).map_or(Complex::ZERO, |br| br.z))
+            .collect();
+        let seg_last: Vec<u32> = (0..n)
+            .map(|p| if levels.child_lo[p] < levels.child_hi[p] { levels.child_hi[p] - 1 } else { 0 })
+            .collect();
+
+        SolverArrays {
+            source: net.source_voltage(),
+            s,
+            z,
+            parent_pos: levels.parent_pos.clone(),
+            child_lo: levels.child_lo.clone(),
+            child_hi: levels.child_hi.clone(),
+            head_flags: levels.head_flags.clone(),
+            seg_last,
+            levels,
+        }
+    }
+
+    /// Bus count.
+    pub fn len(&self) -> usize {
+        self.s.len()
+    }
+
+    /// Never empty after network validation.
+    pub fn is_empty(&self) -> bool {
+        self.s.is_empty()
+    }
+
+    /// Number of BFS levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.num_levels()
+    }
+
+    /// True if position `p` has children.
+    #[inline]
+    pub fn has_children(&self, p: usize) -> bool {
+        self.child_lo[p] < self.child_hi[p]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numc::c;
+    use powergrid::{NetworkBuilder, NO_PARENT};
+
+    fn small() -> RadialNetwork {
+        // 0 → {1, 2}; 1 → {3}
+        let mut b = NetworkBuilder::new(c(100.0, 0.0));
+        b.add_bus(Complex::ZERO);
+        b.add_bus(c(10.0, 5.0));
+        b.add_bus(c(20.0, 8.0));
+        b.add_bus(c(30.0, 12.0));
+        b.connect(0, 1, c(0.5, 0.25));
+        b.connect(0, 2, c(0.6, 0.30));
+        b.connect(1, 3, c(0.7, 0.35));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn arrays_are_level_ordered() {
+        let a = SolverArrays::new(&small());
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.num_levels(), 3);
+        assert_eq!(a.source, c(100.0, 0.0));
+        // Positions: 0, then {1, 2}, then {3}.
+        assert_eq!(a.s[0], Complex::ZERO);
+        assert_eq!(a.s[1], c(10.0, 5.0));
+        assert_eq!(a.s[3], c(30.0, 12.0));
+        assert_eq!(a.z[0], Complex::ZERO);
+        assert_eq!(a.z[1], c(0.5, 0.25));
+        assert_eq!(a.z[3], c(0.7, 0.35));
+        assert_eq!(a.parent_pos[0], NO_PARENT);
+        assert_eq!(a.parent_pos[3], 1);
+    }
+
+    #[test]
+    fn seg_last_points_at_last_child() {
+        let a = SolverArrays::new(&small());
+        assert!(a.has_children(0));
+        assert_eq!(a.seg_last[0], 2); // children of root: positions 1..=2
+        assert!(a.has_children(1));
+        assert_eq!(a.seg_last[1], 3);
+        assert!(!a.has_children(2));
+        assert!(!a.has_children(3));
+    }
+}

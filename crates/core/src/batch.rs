@@ -1,0 +1,405 @@
+//! Batched power flow: many load scenarios on one topology.
+//!
+//! The operational workload of distribution analysis is not one solve
+//! but thousands — time-series load flow (8760 hourly scenarios), Monte
+//! Carlo hosting-capacity studies, contingency sweeps. The topology is
+//! fixed; only the loads change. This module batches `B` scenarios into
+//! one device state so that
+//!
+//! * topology arrays upload **once**,
+//! * every per-level kernel covers the level of **all B scenarios at
+//!   once** (level width × B threads), amortising launch overhead — the
+//!   small-tree launch-bound regime of E1/E3 disappears for `B` large
+//!   enough,
+//! * one convergence reduction covers the whole batch (iterate until
+//!   every scenario meets the tolerance).
+//!
+//! # Batched layout
+//!
+//! Scenario-major *within each level*: level `l` (width `w`) occupies the
+//! global range `[B·off_l, B·off_l + B·w)`, scenario `s` at
+//! `[B·off_l + s·w, …+w)`. Children of one parent stay contiguous and
+//! never straddle a scenario boundary, so the same head-flag segmented
+//! scan drives the backward sweep unchanged.
+
+use std::time::Instant;
+
+use numc::Complex;
+use powergrid::RadialNetwork;
+use primitives::ops::{AddComplex, MaxF64};
+use primitives::{fill, launch_map, reduce, segscan_inclusive_range};
+use simt::Device;
+
+use crate::arrays::SolverArrays;
+use crate::config::SolverConfig;
+use crate::report::{PhaseTimes, Timing};
+
+/// Result of one batched solve.
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// Per-scenario bus voltages, indexed `[scenario][bus id]`.
+    pub v: Vec<Vec<Complex>>,
+    /// Per-scenario branch currents into each bus, `[scenario][bus id]`.
+    pub j: Vec<Vec<Complex>>,
+    /// Iterations until the *whole batch* met the tolerance.
+    pub iterations: u32,
+    /// Whether every scenario converged within the cap.
+    pub converged: bool,
+    /// Final batch-wide `max |ΔV|`, volts.
+    pub residual: f64,
+    /// Timing summary for the whole batch.
+    pub timing: Timing,
+}
+
+/// The batched GPU solver.
+pub struct BatchSolver {
+    device: Device,
+}
+
+impl BatchSolver {
+    /// Creates a solver on the given device.
+    pub fn new(device: Device) -> Self {
+        BatchSolver { device }
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Solves `scenarios.len()` load scenarios over one network.
+    ///
+    /// Each scenario is a full by-bus load vector (`scenarios[s][bus]`,
+    /// VA). Panics if any scenario's length differs from the bus count
+    /// or the batch is empty.
+    pub fn solve(
+        &mut self,
+        net: &RadialNetwork,
+        scenarios: &[Vec<Complex>],
+        cfg: &SolverConfig,
+    ) -> BatchResult {
+        let arrays = SolverArrays::new(net);
+        self.solve_arrays(&arrays, scenarios, cfg)
+    }
+
+    /// Solves with pre-built level-order arrays.
+    pub fn solve_arrays(
+        &mut self,
+        a: &SolverArrays,
+        scenarios: &[Vec<Complex>],
+        cfg: &SolverConfig,
+    ) -> BatchResult {
+        let wall0 = Instant::now();
+        let nb = scenarios.len();
+        assert!(nb >= 1, "batch must contain at least one scenario");
+        let n = a.len();
+        for (s, sc) in scenarios.iter().enumerate() {
+            assert_eq!(sc.len(), n, "scenario {s} has {} loads for {n} buses", sc.len());
+        }
+        let num_levels = a.num_levels();
+        let v0 = a.source;
+        let tol = cfg.tol_volts(v0.abs());
+        let total = n * nb;
+
+        // ---- Build the batched host arrays (scenario-major per level).
+        // bpos(l, s, k) = B·off_l + s·w_l + k for the k-th position of
+        // level l.
+        let level_off = |l: usize| a.levels.level_offsets[l] as usize;
+        let width = |l: usize| level_off(l + 1) - level_off(l);
+        let bpos = |l: usize, s: usize, k: usize| nb * level_off(l) + s * width(l) + k;
+
+        let mut s_host = vec![Complex::ZERO; total];
+        let mut z_host = vec![Complex::ZERO; total];
+        let mut parent_host = vec![0u32; total];
+        let mut flags_host = vec![0u32; total];
+        let mut seg_last_host = vec![0u32; total];
+        let mut child_lo_host = vec![0u32; total];
+        let mut child_hi_host = vec![0u32; total];
+        for l in 0..num_levels {
+            let off = level_off(l);
+            let w = width(l);
+            for (s, scenario) in scenarios.iter().enumerate() {
+                for k in 0..w {
+                    let p = off + k; // unbatched position
+                    let g = bpos(l, s, k);
+                    let bus = a.levels.order[p] as usize;
+                    s_host[g] = scenario[bus];
+                    z_host[g] = a.z[p];
+                    flags_host[g] = a.head_flags[p];
+                    if l > 0 {
+                        let pp = a.parent_pos[p] as usize; // in level l−1
+                        parent_host[g] = bpos(l - 1, s, pp - level_off(l - 1)) as u32;
+                    } else {
+                        parent_host[g] = g as u32;
+                    }
+                    let (clo, chi) = (a.child_lo[p] as usize, a.child_hi[p] as usize);
+                    if clo < chi {
+                        let c_off = level_off(l + 1);
+                        child_lo_host[g] = bpos(l + 1, s, clo - c_off) as u32;
+                        child_hi_host[g] = bpos(l + 1, s, chi - c_off) as u32;
+                        seg_last_host[g] = bpos(l + 1, s, chi - 1 - c_off) as u32;
+                    }
+                }
+            }
+        }
+
+        let dev = &mut self.device;
+        let mut phases = PhaseTimes::default();
+        let mut transfer_us = 0.0;
+        let mut transfer_sweep_us = 0.0;
+
+        // ---- Setup ----
+        let mark = dev.timeline().mark();
+        let s_buf = dev.alloc_from(&s_host);
+        let z_buf = dev.alloc_from(&z_host);
+        let parent_buf = dev.alloc_from(&parent_host);
+        let flags_buf = dev.alloc_from(&flags_host);
+        let seg_last_buf = dev.alloc_from(&seg_last_host);
+        let child_lo_buf = dev.alloc_from(&child_lo_host);
+        let child_hi_buf = dev.alloc_from(&child_hi_host);
+        let mut v_buf = dev.alloc::<Complex>(total);
+        fill(dev, &mut v_buf, v0);
+        let mut i_buf = dev.alloc::<Complex>(total);
+        let mut j_buf = dev.alloc::<Complex>(total);
+        let mut delta_buf = dev.alloc::<f64>(total);
+        fill(dev, &mut delta_buf, 0.0);
+        let mut scan_buf = dev.alloc::<Complex>(total);
+        let b = dev.timeline().breakdown_since(mark);
+        phases.setup_us += b.total_us();
+        transfer_us += b.htod_us + b.dtoh_us;
+
+        let mut iterations = 0;
+        let mut residual = f64::MAX;
+        let mut converged = false;
+
+        while iterations < cfg.max_iter {
+            iterations += 1;
+
+            // ---- Injection over the whole batch ----
+            let mark = dev.timeline().mark();
+            {
+                let s_v = s_buf.view();
+                let v_v = v_buf.view();
+                let i_v = i_buf.view_mut();
+                launch_map(dev, total, "batch_inject", move |t, g| {
+                    let s = t.ld(&s_v, g);
+                    let out = if s == Complex::ZERO {
+                        Complex::ZERO
+                    } else {
+                        let v = t.ld(&v_v, g);
+                        t.flops(Complex::DIV_FLOPS + 1);
+                        (s / v).conj()
+                    };
+                    t.st(&i_v, g, out);
+                });
+            }
+            phases.injection_us += dev.timeline().breakdown_since(mark).total_us();
+
+            // ---- Backward sweep: each level covers all scenarios ----
+            let mark = dev.timeline().mark();
+            for l in (0..num_levels).rev() {
+                let lo = nb * level_off(l);
+                let len = nb * width(l);
+                if l + 1 < num_levels {
+                    let clo = nb * level_off(l + 1);
+                    let chi = clo + nb * width(l + 1);
+                    segscan_inclusive_range::<Complex, AddComplex>(
+                        dev, &j_buf, &flags_buf, clo, chi, &mut scan_buf,
+                    );
+                }
+                let i_v = i_buf.view();
+                let lo_v = child_lo_buf.view();
+                let hi_v = child_hi_buf.view();
+                let last_v = seg_last_buf.view();
+                let scan_v = scan_buf.view();
+                let j_v = j_buf.view_mut();
+                launch_map(dev, len, "batch_backward_combine", move |t, k| {
+                    let g = lo + k;
+                    let mut acc = t.ld(&i_v, g);
+                    if t.ld(&lo_v, g) < t.ld(&hi_v, g) {
+                        let tail = t.ld(&last_v, g) as usize;
+                        t.flops(Complex::ADD_FLOPS);
+                        acc += t.ld(&scan_v, tail);
+                    }
+                    t.st(&j_v, g, acc);
+                });
+            }
+            phases.backward_us += dev.timeline().breakdown_since(mark).total_us();
+
+            // ---- Forward sweep ----
+            let mark = dev.timeline().mark();
+            for l in 1..num_levels {
+                let lo = nb * level_off(l);
+                let len = nb * width(l);
+                let z_v = z_buf.view();
+                let par_v = parent_buf.view();
+                let j_v = j_buf.view();
+                let d_v = delta_buf.view_mut();
+                let v_v = v_buf.view_mut();
+                launch_map(dev, len, "batch_forward", move |t, k| {
+                    let g = lo + k;
+                    let parent = t.ld(&par_v, g) as usize;
+                    let vp = t.ld_mut(&v_v, parent);
+                    let z = t.ld(&z_v, g);
+                    let jb = t.ld(&j_v, g);
+                    let old = t.ld_mut(&v_v, g);
+                    let new_v = vp - z * jb;
+                    t.flops(Complex::MUL_FLOPS + Complex::ADD_FLOPS + 4);
+                    t.st(&v_v, g, new_v);
+                    t.st(&d_v, g, (new_v - old).abs());
+                });
+            }
+            phases.forward_us += dev.timeline().breakdown_since(mark).total_us();
+
+            // ---- Convergence: batch-wide ∞-norm ----
+            let mark = dev.timeline().mark();
+            let delta = reduce::<f64, MaxF64>(dev, &delta_buf);
+            let b = dev.timeline().breakdown_since(mark);
+            phases.convergence_us += b.total_us();
+            transfer_us += b.htod_us + b.dtoh_us;
+            transfer_sweep_us += b.htod_us + b.dtoh_us;
+
+            residual = delta;
+            if delta <= tol {
+                converged = true;
+                break;
+            }
+        }
+
+        // ---- Teardown: download and unbatch ----
+        let mark = dev.timeline().mark();
+        let v_flat = dev.dtoh(&v_buf);
+        let j_flat = dev.dtoh(&j_buf);
+        let b = dev.timeline().breakdown_since(mark);
+        phases.teardown_us += b.total_us();
+        transfer_us += b.htod_us + b.dtoh_us;
+
+        let mut v = vec![vec![Complex::ZERO; n]; nb];
+        let mut j = vec![vec![Complex::ZERO; n]; nb];
+        for l in 0..num_levels {
+            let off = level_off(l);
+            let w = width(l);
+            for s in 0..nb {
+                for k in 0..w {
+                    let bus = a.levels.order[off + k] as usize;
+                    let g = bpos(l, s, k);
+                    v[s][bus] = v_flat[g];
+                    j[s][bus] = j_flat[g];
+                }
+            }
+        }
+
+        let timing = Timing {
+            phases,
+            transfer_us,
+            transfer_sweep_us,
+            wall_us: wall0.elapsed().as_secs_f64() * 1e6,
+        };
+        BatchResult { v, j, iterations, converged, residual, timing }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::SolveResult;
+    use crate::serial::SerialSolver;
+    use crate::SolverConfig;
+    use powergrid::gen::{balanced_binary, GenSpec};
+    use powergrid::ieee::ieee13;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use simt::{DeviceProps, HostProps};
+
+    fn batch() -> BatchSolver {
+        BatchSolver::new(Device::with_workers(DeviceProps::paper_rig(), 2))
+    }
+
+    fn loads_scaled(net: &RadialNetwork, scale: f64) -> Vec<Complex> {
+        net.buses().iter().map(|b| b.load * scale).collect()
+    }
+
+    fn serial_at(net: &RadialNetwork, scale: f64, cfg: &SolverConfig) -> SolveResult {
+        let mut scaled = net.clone();
+        scaled.scale_loads(scale);
+        SerialSolver::new(HostProps::paper_rig()).solve(&scaled, cfg)
+    }
+
+    #[test]
+    fn batch_of_one_matches_single_solve() {
+        let net = ieee13();
+        let cfg = SolverConfig::default();
+        let res = batch().solve(&net, &[loads_scaled(&net, 1.0)], &cfg);
+        assert!(res.converged);
+        let single = serial_at(&net, 1.0, &cfg);
+        for bus in 0..net.num_buses() {
+            assert!((res.v[0][bus] - single.v[bus]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn scenarios_solve_independently() {
+        let net = ieee13();
+        let cfg = SolverConfig::default();
+        let scales = [0.4, 0.8, 1.0, 1.3];
+        let scenarios: Vec<Vec<Complex>> =
+            scales.iter().map(|&sc| loads_scaled(&net, sc)).collect();
+        let res = batch().solve(&net, &scenarios, &cfg);
+        assert!(res.converged);
+        let v0 = net.source_voltage().abs();
+        for (s, &scale) in scales.iter().enumerate() {
+            let single = serial_at(&net, scale, &cfg);
+            for bus in 0..net.num_buses() {
+                assert!(
+                    (res.v[s][bus] - single.v[bus]).abs() < 1e-4 * v0,
+                    "scenario {s} bus {bus}: {:?} vs {:?}",
+                    res.v[s][bus],
+                    single.v[bus]
+                );
+            }
+        }
+        // Heavier loading sags more.
+        let sag = |s: usize| res.v[s].iter().map(|v| v.abs()).fold(f64::INFINITY, f64::min);
+        assert!(sag(0) > sag(3));
+    }
+
+    #[test]
+    fn batching_amortises_launches_on_generated_trees() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let net = balanced_binary(1023, &GenSpec::default(), &mut rng);
+        let cfg = SolverConfig::default();
+
+        // 16 scenarios in one batch…
+        let scenarios: Vec<Vec<Complex>> =
+            (0..16).map(|k| loads_scaled(&net, 0.5 + 0.05 * k as f64)).collect();
+        let mut b16 = batch();
+        let r16 = b16.solve(&net, &scenarios, &cfg);
+        assert!(r16.converged);
+
+        // …versus one scenario costed 16 times.
+        let mut b1 = batch();
+        let r1 = b1.solve(&net, &scenarios[..1], &cfg);
+        let per_scenario_batched = r16.timing.total_us() / 16.0;
+        let per_scenario_single = r1.timing.total_us();
+        assert!(
+            per_scenario_batched < 0.4 * per_scenario_single,
+            "batching must amortise fixed costs: {per_scenario_batched:.1} vs {per_scenario_single:.1} µs/scenario"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one scenario")]
+    fn empty_batch_rejected() {
+        let net = ieee13();
+        batch().solve(&net, &[], &SolverConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "scenario 1 has")]
+    fn wrong_length_scenario_rejected() {
+        let net = ieee13();
+        let good = loads_scaled(&net, 1.0);
+        let bad = vec![Complex::ZERO; 5];
+        batch().solve(&net, &[good, bad], &SolverConfig::default());
+    }
+}

@@ -1,0 +1,60 @@
+//! Solver configuration and the shared convergence criterion.
+
+/// Configuration shared by every FBS solver in this crate, so that
+/// serial/GPU/multicore runs are comparable iteration-for-iteration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SolverConfig {
+    /// Convergence tolerance, relative to the source-voltage magnitude:
+    /// the solve stops when `max_p |V_p^{k} − V_p^{k−1}| ≤ tol_rel·|V₀|`.
+    pub tol_rel: f64,
+    /// Iteration cap; exceeding it returns `converged = false`.
+    pub max_iter: u32,
+}
+
+impl SolverConfig {
+    /// The tolerance used by the paper-reproduction experiments.
+    pub const DEFAULT_TOL: f64 = 1e-6;
+
+    /// Creates a config with the given relative tolerance and cap.
+    pub fn new(tol_rel: f64, max_iter: u32) -> Self {
+        assert!(tol_rel > 0.0 && tol_rel.is_finite(), "tolerance must be positive");
+        assert!(max_iter >= 1, "need at least one iteration");
+        SolverConfig { tol_rel, max_iter }
+    }
+
+    /// Absolute voltage tolerance for a given source magnitude, volts.
+    pub fn tol_volts(&self, source_mag: f64) -> f64 {
+        self.tol_rel * source_mag
+    }
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig { tol_rel: Self::DEFAULT_TOL, max_iter: 100 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_papers_setting() {
+        let c = SolverConfig::default();
+        assert_eq!(c.tol_rel, 1e-6);
+        assert_eq!(c.max_iter, 100);
+        assert_eq!(c.tol_volts(7200.0), 7200.0 * 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn zero_tolerance_rejected() {
+        SolverConfig::new(0.0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "iteration")]
+    fn zero_iterations_rejected() {
+        SolverConfig::new(1e-6, 0);
+    }
+}

@@ -1,0 +1,554 @@
+//! The GPU forward-backward sweep solver — the paper's contribution.
+//!
+//! Level-synchronous formulation on the [`simt`] device:
+//!
+//! * **Setup** (once): upload loads, impedances and the integer topology
+//!   arrays; initialise voltages to the flat start with a fill kernel.
+//! * Per iteration:
+//!   1. `fbs_inject` — one map over all buses: `I = conj(S/V)`.
+//!   2. **Backward sweep**, deepest level → root. For each level, the
+//!      children of its buses form head-flag segments of the next level,
+//!      so their branch-current sum is a *segmented scan* over that level
+//!      followed by a gather of each segment's tail
+//!      ([`BackwardStrategy::SegScan`], the paper's pattern), or a direct
+//!      per-parent loop ([`BackwardStrategy::Direct`], the ablation).
+//!      `fbs_backward_combine` then adds the bus's own injection.
+//!   3. **Forward sweep**, root → leaves: one `fbs_forward` map per
+//!      level, `V_p = V_parent − Z_p·J_p`, recording `|ΔV_p|`.
+//!   4. **Convergence** — ∞-norm *reduction* over the deltas with a
+//!      single scalar read-back, the host-side loop control the paper
+//!      describes.
+//! * **Teardown**: download voltages and branch currents.
+//!
+//! Every kernel launch, transfer and the per-iteration scalar read-back
+//! go through the device timing model; phase attribution uses timeline
+//! marks, so the experiment harness can reproduce the paper's breakdown
+//! and "GPU-only" numbers exactly.
+
+use std::time::Instant;
+
+use numc::Complex;
+use powergrid::RadialNetwork;
+use primitives::ops::{AddComplex, MaxF64};
+use primitives::{fill, launch_map, reduce, segscan_inclusive_range};
+use simt::Device;
+
+use crate::arrays::SolverArrays;
+use crate::config::SolverConfig;
+use crate::report::{PhaseTimes, SolveResult, Timing};
+
+/// How the backward sweep aggregates child branch currents.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackwardStrategy {
+    /// Segmented scan over each child level + gather of segment tails —
+    /// the parallel pattern the paper names. Work-efficient regardless of
+    /// fan-out skew.
+    #[default]
+    SegScan,
+    /// One thread per parent loops over its children. Fewer launches, but
+    /// serialises on high-fan-out buses and its loads never coalesce —
+    /// the E7 ablation baseline.
+    Direct,
+    /// One full-array `J = I` init, then one scatter kernel per level in
+    /// which every child `atomicAdd`s its branch current into its
+    /// parent's slot — the fewest launches of the per-level strategies,
+    /// but same-address atomics serialise on high-fan-out buses (the
+    /// atomic unit's conflict chain in the timing model).
+    AtomicScatter,
+}
+
+/// The GPU (simulated SIMT) forward-backward sweep solver.
+pub struct GpuSolver {
+    device: Device,
+    strategy: BackwardStrategy,
+}
+
+impl GpuSolver {
+    /// Creates a solver on the given device with the paper's
+    /// segmented-scan backward sweep.
+    pub fn new(device: Device) -> Self {
+        GpuSolver { device, strategy: BackwardStrategy::SegScan }
+    }
+
+    /// Creates a solver with an explicit backward-sweep strategy.
+    pub fn with_strategy(device: Device, strategy: BackwardStrategy) -> Self {
+        GpuSolver { device, strategy }
+    }
+
+    /// The underlying device (timeline inspection).
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The backward-sweep strategy in use.
+    pub fn strategy(&self) -> BackwardStrategy {
+        self.strategy
+    }
+
+    /// Solves a network from scratch.
+    pub fn solve(&mut self, net: &RadialNetwork, cfg: &SolverConfig) -> SolveResult {
+        let arrays = SolverArrays::new(net);
+        self.solve_arrays(&arrays, cfg)
+    }
+
+    /// Solves with pre-built level-order arrays.
+    pub fn solve_arrays(&mut self, a: &SolverArrays, cfg: &SolverConfig) -> SolveResult {
+        self.solve_warm(a, cfg, None)
+    }
+
+    /// Solves starting from a previous solution (`v_init` indexed by bus
+    /// id) instead of the flat start; the initial state is uploaded
+    /// (charged to setup) rather than filled on-device.
+    pub fn solve_warm(
+        &mut self,
+        a: &SolverArrays,
+        cfg: &SolverConfig,
+        v_init: Option<&[Complex]>,
+    ) -> SolveResult {
+        let wall0 = Instant::now();
+        let dev = &mut self.device;
+        let n = a.len();
+        let num_levels = a.num_levels();
+        let v0 = a.source;
+        let tol = cfg.tol_volts(v0.abs());
+
+        let mut phases = PhaseTimes::default();
+        let mut transfer_us = 0.0;
+        let mut transfer_sweep_us = 0.0;
+
+        // ---- Setup: topology + state upload ----
+        let mark = dev.timeline().mark();
+        let s_buf = dev.alloc_from(&a.s);
+        let z_buf = dev.alloc_from(&a.z);
+        let parent_buf = dev.alloc_from(&a.parent_pos);
+        let child_lo_buf = dev.alloc_from(&a.child_lo);
+        let child_hi_buf = dev.alloc_from(&a.child_hi);
+        let flags_buf = dev.alloc_from(&a.head_flags);
+        let seg_last_buf = dev.alloc_from(&a.seg_last);
+        let mut v_buf = dev.alloc::<Complex>(n);
+        match v_init {
+            Some(init) => {
+                assert_eq!(init.len(), n, "warm start needs one voltage per bus");
+                let by_pos = a.levels.permute(init);
+                dev.htod(&mut v_buf, &by_pos);
+            }
+            None => fill(dev, &mut v_buf, v0),
+        }
+        let mut i_buf = dev.alloc::<Complex>(n);
+        let mut j_buf = dev.alloc::<Complex>(n);
+        let mut delta_buf = dev.alloc::<f64>(n);
+        fill(dev, &mut delta_buf, 0.0);
+        let mut scan_buf = dev.alloc::<Complex>(n);
+        let b = dev.timeline().breakdown_since(mark);
+        phases.setup_us += b.total_us();
+        transfer_us += b.htod_us + b.dtoh_us;
+
+        let mut iterations = 0;
+        let mut residual = f64::MAX;
+        let mut residual_history = Vec::new();
+        let mut converged = false;
+
+        while iterations < cfg.max_iter {
+            iterations += 1;
+
+            // ---- Injection ----
+            let mark = dev.timeline().mark();
+            {
+                let s_v = s_buf.view();
+                let v_v = v_buf.view();
+                let i_v = i_buf.view_mut();
+                launch_map(dev, n, "fbs_inject", move |t, p| {
+                    let s = t.ld(&s_v, p);
+                    let out = if s == Complex::ZERO {
+                        Complex::ZERO
+                    } else {
+                        let v = t.ld(&v_v, p);
+                        t.flops(Complex::DIV_FLOPS + 1);
+                        (s / v).conj()
+                    };
+                    t.st(&i_v, p, out);
+                });
+            }
+            let b = dev.timeline().breakdown_since(mark);
+            phases.injection_us += b.total_us();
+
+            // ---- Backward sweep: deepest level → root ----
+            let mark = dev.timeline().mark();
+            if self.strategy == BackwardStrategy::AtomicScatter {
+                // Init J = I everywhere, then one child→parent atomic
+                // scatter per level: children of a level-(l−1) bus all
+                // live at level l, so after the level-l scatter every
+                // level-(l−1) branch current is final.
+                {
+                    let i_v = i_buf.view();
+                    let j_v = j_buf.view_mut();
+                    launch_map(dev, n, "fbs_backward_init", move |t, p| {
+                        let v = t.ld(&i_v, p);
+                        t.st(&j_v, p, v);
+                    });
+                }
+                for l in (1..num_levels).rev() {
+                    let range = a.levels.level_range(l);
+                    let (lo, len) = (range.start, range.len());
+                    let par_v = parent_buf.view();
+                    let j_v = j_buf.view_mut();
+                    launch_map(dev, len, "fbs_backward_scatter", move |t, k| {
+                        let c = lo + k;
+                        let parent = t.ld(&par_v, c) as usize;
+                        let jc = t.ld_mut(&j_v, c);
+                        t.flops(Complex::ADD_FLOPS);
+                        t.atomic_add(&j_v, parent, jc);
+                    });
+                }
+            }
+            for l in (0..num_levels).rev() {
+                if self.strategy == BackwardStrategy::AtomicScatter {
+                    break;
+                }
+                let range = a.levels.level_range(l);
+                let (lo, len) = (range.start, range.len());
+                let has_child_level = l + 1 < num_levels;
+
+                if self.strategy == BackwardStrategy::SegScan && has_child_level {
+                    let crange = a.levels.level_range(l + 1);
+                    segscan_inclusive_range::<Complex, AddComplex>(
+                        dev,
+                        &j_buf,
+                        &flags_buf,
+                        crange.start,
+                        crange.end,
+                        &mut scan_buf,
+                    );
+                }
+
+                match self.strategy {
+                    BackwardStrategy::SegScan => {
+                        let i_v = i_buf.view();
+                        let lo_v = child_lo_buf.view();
+                        let hi_v = child_hi_buf.view();
+                        let last_v = seg_last_buf.view();
+                        let scan_v = scan_buf.view();
+                        let j_v = j_buf.view_mut();
+                        launch_map(dev, len, "fbs_backward_combine", move |t, k| {
+                            let p = lo + k;
+                            let mut acc = t.ld(&i_v, p);
+                            if t.ld(&lo_v, p) < t.ld(&hi_v, p) {
+                                let tail = t.ld(&last_v, p) as usize;
+                                t.flops(Complex::ADD_FLOPS);
+                                acc += t.ld(&scan_v, tail);
+                            }
+                            t.st(&j_v, p, acc);
+                        });
+                    }
+                    BackwardStrategy::Direct => {
+                        let i_v = i_buf.view();
+                        let lo_v = child_lo_buf.view();
+                        let hi_v = child_hi_buf.view();
+                        let j_v = j_buf.view_mut();
+                        launch_map(dev, len, "fbs_backward_direct", move |t, k| {
+                            let p = lo + k;
+                            let mut acc = t.ld(&i_v, p);
+                            let c_lo = t.ld(&lo_v, p) as usize;
+                            let c_hi = t.ld(&hi_v, p) as usize;
+                            for c in c_lo..c_hi {
+                                t.flops(Complex::ADD_FLOPS);
+                                acc += t.ld_mut(&j_v, c);
+                            }
+                            t.st(&j_v, p, acc);
+                        });
+                    }
+                    BackwardStrategy::AtomicScatter => unreachable!("handled above"),
+                }
+            }
+            let b = dev.timeline().breakdown_since(mark);
+            phases.backward_us += b.total_us();
+
+            // ---- Forward sweep: root → leaves ----
+            let mark = dev.timeline().mark();
+            for l in 1..num_levels {
+                let range = a.levels.level_range(l);
+                let (lo, len) = (range.start, range.len());
+                let z_v = z_buf.view();
+                let par_v = parent_buf.view();
+                let j_v = j_buf.view();
+                let d_v = delta_buf.view_mut();
+                let v_v = v_buf.view_mut();
+                launch_map(dev, len, "fbs_forward", move |t, k| {
+                    let p = lo + k;
+                    let parent = t.ld(&par_v, p) as usize;
+                    let vp = t.ld_mut(&v_v, parent);
+                    let z = t.ld(&z_v, p);
+                    let jb = t.ld(&j_v, p);
+                    let old = t.ld_mut(&v_v, p);
+                    let new_v = vp - z * jb;
+                    t.flops(Complex::MUL_FLOPS + Complex::ADD_FLOPS + 4);
+                    t.st(&v_v, p, new_v);
+                    t.st(&d_v, p, (new_v - old).abs());
+                });
+            }
+            let b = dev.timeline().breakdown_since(mark);
+            phases.forward_us += b.total_us();
+
+            // ---- Convergence: ∞-norm reduction + scalar read-back ----
+            let mark = dev.timeline().mark();
+            let delta = reduce::<f64, MaxF64>(dev, &delta_buf);
+            let b = dev.timeline().breakdown_since(mark);
+            phases.convergence_us += b.total_us();
+            transfer_us += b.htod_us + b.dtoh_us;
+            transfer_sweep_us += b.htod_us + b.dtoh_us;
+
+            residual = delta;
+            residual_history.push(delta);
+            if delta <= tol {
+                converged = true;
+                break;
+            }
+        }
+
+        // ---- Teardown: download results ----
+        let mark = dev.timeline().mark();
+        let v_pos = dev.dtoh(&v_buf);
+        let j_pos = dev.dtoh(&j_buf);
+        let b = dev.timeline().breakdown_since(mark);
+        phases.teardown_us += b.total_us();
+        transfer_us += b.htod_us + b.dtoh_us;
+
+        let timing = Timing {
+            phases,
+            transfer_us,
+            transfer_sweep_us,
+            wall_us: wall0.elapsed().as_secs_f64() * 1e6,
+        };
+        SolveResult {
+            v: a.levels.unpermute(&v_pos),
+            j: a.levels.unpermute(&j_pos),
+            iterations,
+            converged,
+            residual,
+            residual_history,
+            timing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::SerialSolver;
+    use numc::c;
+    use powergrid::gen::{balanced_binary, chain, star, GenSpec};
+    use powergrid::ieee::{ieee123_style, ieee13, ieee37};
+    use powergrid::NetworkBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use simt::{DeviceProps, HostProps};
+
+    fn gpu() -> GpuSolver {
+        GpuSolver::new(Device::with_workers(DeviceProps::paper_rig(), 2))
+    }
+
+    fn assert_results_match(a: &SolveResult, b: &SolveResult, scale: f64) {
+        assert_eq!(a.v.len(), b.v.len());
+        for (x, y) in a.v.iter().zip(&b.v) {
+            assert!((*x - *y).abs() <= 1e-9 * scale, "V mismatch: {x:?} vs {y:?}");
+        }
+        for (x, y) in a.j.iter().zip(&b.j) {
+            assert!((*x - *y).abs() <= 1e-6 * scale, "J mismatch: {x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn matches_serial_on_two_bus() {
+        let mut b = NetworkBuilder::new(c(100.0, 0.0));
+        b.add_bus(Complex::ZERO);
+        b.add_bus(c(100.0, 0.0));
+        b.connect(0, 1, c(1.0, 0.0));
+        let net = b.build().unwrap();
+        let cfg = SolverConfig::default();
+        let serial = SerialSolver::new(HostProps::paper_rig()).solve(&net, &cfg);
+        let parallel = gpu().solve(&net, &cfg);
+        assert!(parallel.converged);
+        assert_eq!(parallel.iterations, serial.iterations);
+        assert_results_match(&serial, &parallel, 100.0);
+    }
+
+    #[test]
+    fn matches_serial_on_ieee_feeders() {
+        let cfg = SolverConfig::default();
+        for net in [ieee13(), ieee37(), ieee123_style()] {
+            let serial = SerialSolver::new(HostProps::paper_rig()).solve(&net, &cfg);
+            let parallel = gpu().solve(&net, &cfg);
+            assert!(parallel.converged, "GPU solve must converge");
+            assert_eq!(parallel.iterations, serial.iterations, "identical iterates");
+            assert_results_match(&serial, &parallel, 2500.0);
+        }
+    }
+
+    #[test]
+    fn matches_serial_on_generated_topologies() {
+        let cfg = SolverConfig::default();
+        let spec = GenSpec::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        for net in [
+            balanced_binary(1000, &spec, &mut rng),
+            chain(300, &spec, &mut rng),
+            star(500, &spec, &mut rng),
+        ] {
+            let serial = SerialSolver::new(HostProps::paper_rig()).solve(&net, &cfg);
+            let parallel = gpu().solve(&net, &cfg);
+            assert!(parallel.converged);
+            assert_results_match(&serial, &parallel, 7200.0);
+        }
+    }
+
+    #[test]
+    fn direct_strategy_matches_segscan() {
+        let spec = GenSpec::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = balanced_binary(2047, &spec, &mut rng);
+        let cfg = SolverConfig::default();
+        let a = GpuSolver::with_strategy(
+            Device::with_workers(DeviceProps::paper_rig(), 2),
+            BackwardStrategy::SegScan,
+        )
+        .solve(&net, &cfg);
+        let b = GpuSolver::with_strategy(
+            Device::with_workers(DeviceProps::paper_rig(), 2),
+            BackwardStrategy::Direct,
+        )
+        .solve(&net, &cfg);
+        assert!(a.converged && b.converged);
+        assert_results_match(&a, &b, 7200.0);
+    }
+
+    #[test]
+    fn timing_phases_are_populated_and_transfers_attributed() {
+        let spec = GenSpec::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = balanced_binary(511, &spec, &mut rng);
+        let res = gpu().solve(&net, &SolverConfig::default());
+        let p = &res.timing.phases;
+        assert!(p.setup_us > 0.0, "upload charged");
+        assert!(p.injection_us > 0.0);
+        assert!(p.backward_us > 0.0);
+        assert!(p.forward_us > 0.0);
+        assert!(p.convergence_us > 0.0);
+        assert!(p.teardown_us > 0.0, "download charged");
+        assert!(res.timing.transfer_us > 0.0);
+        assert!(res.timing.transfer_us < res.timing.total_us());
+        // compute-only excludes transfers.
+        assert!(res.timing.compute_only_us() < res.timing.total_us());
+    }
+
+    #[test]
+    fn single_bus_network_converges_trivially() {
+        let mut b = NetworkBuilder::new(c(240.0, 0.0));
+        b.add_bus(Complex::ZERO);
+        let net = b.build().unwrap();
+        let res = gpu().solve(&net, &SolverConfig::default());
+        assert!(res.converged);
+        assert_eq!(res.iterations, 1);
+        assert_eq!(res.v[0], c(240.0, 0.0));
+    }
+
+    #[test]
+    fn deeper_trees_launch_more_kernels() {
+        let spec = GenSpec::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        let shallow = star(256, &spec, &mut rng);
+        let deep = chain(256, &spec, &mut rng);
+        let mut g1 = gpu();
+        let _ = g1.solve(&shallow, &SolverConfig::default());
+        let k_shallow = g1.device().timeline().breakdown().kernels;
+        let mut g2 = gpu();
+        let _ = g2.solve(&deep, &SolverConfig::default());
+        let k_deep = g2.device().timeline().breakdown().kernels;
+        assert!(
+            k_deep > 10 * k_shallow,
+            "chain must launch far more kernels ({k_deep} vs {k_shallow})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod atomic_tests {
+    use super::*;
+    use crate::serial::SerialSolver;
+    use powergrid::gen::{balanced_binary, balanced_kary, star, GenSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use simt::{DeviceProps, HostProps};
+
+    fn atomic_gpu() -> GpuSolver {
+        GpuSolver::with_strategy(
+            Device::with_workers(DeviceProps::paper_rig(), 2),
+            BackwardStrategy::AtomicScatter,
+        )
+    }
+
+    #[test]
+    fn atomic_scatter_matches_serial() {
+        let cfg = SolverConfig::default();
+        let spec = GenSpec::default();
+        let mut rng = StdRng::seed_from_u64(91);
+        for net in [
+            balanced_binary(2047, &spec, &mut rng),
+            balanced_kary(1000, 8, &spec, &mut rng),
+            star(500, &spec, &mut rng),
+        ] {
+            let serial = SerialSolver::new(HostProps::paper_rig()).solve(&net, &cfg);
+            let res = atomic_gpu().solve(&net, &cfg);
+            assert!(res.converged);
+            let scale = net.source_voltage().abs();
+            for bus in 0..net.num_buses() {
+                assert!(
+                    (serial.v[bus] - res.v[bus]).abs() < 1e-8 * scale,
+                    "bus {bus}: {:?} vs {:?}",
+                    serial.v[bus],
+                    res.v[bus]
+                );
+            }
+            crate::validate::assert_physical(&net, &res, 1e-4);
+        }
+    }
+
+    #[test]
+    fn atomic_scatter_launches_fewer_backward_kernels_than_segscan() {
+        let spec = GenSpec::default();
+        let mut rng = StdRng::seed_from_u64(92);
+        let net = balanced_binary(8191, &spec, &mut rng);
+        let cfg = SolverConfig::default();
+
+        let mut seg = GpuSolver::new(Device::with_workers(DeviceProps::paper_rig(), 2));
+        let _ = seg.solve(&net, &cfg);
+        let seg_kernels = seg.device().timeline().breakdown().kernels;
+
+        let mut at = atomic_gpu();
+        let _ = at.solve(&net, &cfg);
+        let at_kernels = at.device().timeline().breakdown().kernels;
+        assert!(
+            at_kernels < seg_kernels,
+            "atomic scatter must launch fewer kernels ({at_kernels} vs {seg_kernels})"
+        );
+    }
+
+    #[test]
+    fn fanout_contention_slows_the_atomic_strategy() {
+        // A star concentrates every atomic on one parent slot. On the
+        // same topology, the contention-free segmented scan must beat
+        // the atomic scatter's serialised conflict chain.
+        let spec = GenSpec::default();
+        let cfg = SolverConfig::default();
+        let net = star(16_384, &spec, &mut StdRng::seed_from_u64(93));
+
+        let at = atomic_gpu().solve(&net, &cfg);
+        let seg = GpuSolver::new(Device::with_workers(DeviceProps::paper_rig(), 2))
+            .solve(&net, &cfg);
+        let at_per_iter = at.timing.phases.backward_us / at.iterations as f64;
+        let seg_per_iter = seg.timing.phases.backward_us / seg.iterations as f64;
+        assert!(
+            at_per_iter > 1.5 * seg_per_iter,
+            "atomic {at_per_iter:.1} µs/iter must exceed segscan {seg_per_iter:.1} µs/iter on a star"
+        );
+    }
+}

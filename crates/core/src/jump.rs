@@ -1,0 +1,434 @@
+//! Depth-insensitive GPU solver — the "jump" formulation.
+//!
+//! The paper's topology discussion identifies deep trees as the
+//! level-synchronous method's weakness: every level costs at least one
+//! kernel launch, so a chain of depth 64K pays 64K launches per sweep.
+//! This module removes the depth dependence entirely; it is the natural
+//! "future work" extension of the paper's own primitives:
+//!
+//! * **Backward sweep, fused**: in *preorder* ([`powergrid::DfsOrder`])
+//!   every subtree is contiguous, so all branch currents at once are
+//!   `J_d = P[d + size_d] − P[d]` where `P` is one whole-array exclusive
+//!   prefix scan of the injections — O(1) kernel launches per iteration
+//!   instead of O(depth).
+//! * **Forward sweep via pointer jumping** (tree doubling, Wyllie 1979):
+//!   the voltage at a bus is `V₀ − Σ_path Z·J`; per-edge drops are
+//!   combined along root paths in `⌈log₂ depth⌉` ping-pong rounds of
+//!   `D'[d] = D[d] + D[ptr[d]]; ptr'[d] = ptr[ptr[d]]`.
+//!
+//! Kernel launches per iteration: ~10 + 2·⌈log₂ depth⌉, independent of
+//! topology (the experiment `exp_e8_deep_trees` quantifies the win on
+//! chains). The price is O(n log depth) total work in the forward sweep
+//! versus the level method's O(n) — wide shallow trees still favour the
+//! level-synchronous solver.
+//!
+//! Numerics: the fused backward computes subtree sums as prefix-sum
+//! differences, so results can differ from the level method by
+//! cancellation-level rounding (≪ solver tolerance); iterates therefore
+//! converge to the same fixed point but may occasionally take one
+//! iteration more or fewer.
+
+use std::time::Instant;
+
+use numc::Complex;
+use powergrid::{DfsOrder, RadialNetwork, DFS_NO_PARENT};
+use primitives::ops::{AddComplex, MaxF64};
+use primitives::{fill, launch_map, reduce, scan_exclusive};
+use simt::Device;
+
+use crate::config::SolverConfig;
+use crate::report::{PhaseTimes, SolveResult, Timing};
+
+/// Preorder solver arrays (the jump solver's analog of
+/// [`crate::SolverArrays`]).
+#[derive(Clone, Debug)]
+pub struct JumpArrays {
+    /// The preorder permutation and subtree metadata.
+    pub dfs: DfsOrder,
+    /// Source voltage.
+    pub source: Complex,
+    /// Loads in preorder.
+    pub s: Vec<Complex>,
+    /// Feeding-branch impedance in preorder (zero at root).
+    pub z: Vec<Complex>,
+    /// Parent preorder position (root points at itself so jumping is a
+    /// no-op there).
+    pub parent_or_self: Vec<u32>,
+    /// Subtree sizes in preorder.
+    pub subtree_size: Vec<u32>,
+}
+
+impl JumpArrays {
+    /// Builds the preorder arrays for a network.
+    pub fn new(net: &RadialNetwork) -> Self {
+        let dfs = DfsOrder::new(net);
+        let s = dfs.order.iter().map(|&b| net.buses()[b as usize].load).collect();
+        let z = dfs
+            .order
+            .iter()
+            .map(|&b| net.parent_branch(b as usize).map_or(Complex::ZERO, |br| br.z))
+            .collect();
+        let parent_or_self = dfs
+            .parent_pos
+            .iter()
+            .enumerate()
+            .map(|(d, &p)| if p == DFS_NO_PARENT { d as u32 } else { p })
+            .collect();
+        JumpArrays {
+            source: net.source_voltage(),
+            s,
+            z,
+            parent_or_self,
+            subtree_size: dfs.subtree_size.clone(),
+            dfs,
+        }
+    }
+
+    /// Bus count.
+    pub fn len(&self) -> usize {
+        self.s.len()
+    }
+
+    /// Never empty after network validation.
+    pub fn is_empty(&self) -> bool {
+        self.s.is_empty()
+    }
+}
+
+/// The depth-insensitive GPU solver.
+pub struct JumpSolver {
+    device: Device,
+}
+
+impl JumpSolver {
+    /// Creates a solver on the given device.
+    pub fn new(device: Device) -> Self {
+        JumpSolver { device }
+    }
+
+    /// The underlying device (timeline inspection).
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Solves a network from scratch.
+    pub fn solve(&mut self, net: &RadialNetwork, cfg: &SolverConfig) -> SolveResult {
+        let arrays = JumpArrays::new(net);
+        self.solve_arrays(&arrays, cfg)
+    }
+
+    /// Solves with pre-built preorder arrays.
+    pub fn solve_arrays(&mut self, a: &JumpArrays, cfg: &SolverConfig) -> SolveResult {
+        let wall0 = Instant::now();
+        let dev = &mut self.device;
+        let n = a.len();
+        let v0 = a.source;
+        let tol = cfg.tol_volts(v0.abs());
+        let jump_rounds = ceil_log2(a.dfs.max_depth.max(1) as usize);
+
+        let mut phases = PhaseTimes::default();
+        let mut transfer_us = 0.0;
+        let mut transfer_sweep_us = 0.0;
+
+        // ---- Setup ----
+        let mark = dev.timeline().mark();
+        let s_buf = dev.alloc_from(&a.s);
+        let z_buf = dev.alloc_from(&a.z);
+        let parent_buf = dev.alloc_from(&a.parent_or_self);
+        let size_buf = dev.alloc_from(&a.subtree_size);
+        let mut v_buf = dev.alloc::<Complex>(n);
+        fill(dev, &mut v_buf, v0);
+        let mut i_buf = dev.alloc::<Complex>(n);
+        let mut excl_buf = dev.alloc::<Complex>(n);
+        let mut j_buf = dev.alloc::<Complex>(n);
+        let mut delta_buf = dev.alloc::<f64>(n);
+        fill(dev, &mut delta_buf, 0.0);
+        // Ping-pong state for pointer jumping.
+        let mut d_a = dev.alloc::<Complex>(n);
+        let mut d_b = dev.alloc::<Complex>(n);
+        let mut ptr_a = dev.alloc::<u32>(n);
+        let mut ptr_b = dev.alloc::<u32>(n);
+        let b = dev.timeline().breakdown_since(mark);
+        phases.setup_us += b.total_us();
+        transfer_us += b.htod_us + b.dtoh_us;
+
+        let mut iterations = 0;
+        let mut residual = f64::MAX;
+        let mut residual_history = Vec::new();
+        let mut converged = false;
+
+        while iterations < cfg.max_iter {
+            iterations += 1;
+
+            // ---- Injection ----
+            let mark = dev.timeline().mark();
+            {
+                let s_v = s_buf.view();
+                let v_v = v_buf.view();
+                let i_v = i_buf.view_mut();
+                launch_map(dev, n, "jump_inject", move |t, d| {
+                    let s = t.ld(&s_v, d);
+                    let out = if s == Complex::ZERO {
+                        Complex::ZERO
+                    } else {
+                        let v = t.ld(&v_v, d);
+                        t.flops(Complex::DIV_FLOPS + 1);
+                        (s / v).conj()
+                    };
+                    t.st(&i_v, d, out);
+                });
+            }
+            phases.injection_us += dev.timeline().breakdown_since(mark).total_us();
+
+            // ---- Backward sweep, fused: one scan + one map ----
+            let mark = dev.timeline().mark();
+            scan_exclusive::<Complex, AddComplex>(dev, &i_buf, &mut excl_buf);
+            {
+                let e_v = excl_buf.view();
+                let i_v = i_buf.view();
+                let m_v = size_buf.view();
+                let j_v = j_buf.view_mut();
+                launch_map(dev, n, "jump_subtree_sum", move |t, d| {
+                    let m = t.ld(&m_v, d) as usize;
+                    let lo = t.ld(&e_v, d);
+                    // P[d+m]: one past the array end means "grand total",
+                    // reconstructed from the last exclusive entry + last
+                    // injection (avoids an n+1-sized scan buffer).
+                    let hi = if d + m < n {
+                        t.ld(&e_v, d + m)
+                    } else {
+                        let last = n - 1;
+                        t.flops(Complex::ADD_FLOPS);
+                        t.ld(&e_v, last) + t.ld(&i_v, last)
+                    };
+                    t.flops(Complex::ADD_FLOPS);
+                    t.st(&j_v, d, hi - lo);
+                });
+            }
+            phases.backward_us += dev.timeline().breakdown_since(mark).total_us();
+
+            // ---- Forward sweep: per-edge drops, then pointer jumping ----
+            let mark = dev.timeline().mark();
+            {
+                let z_v = z_buf.view();
+                let j_v = j_buf.view();
+                let p_v = parent_buf.view();
+                let d_v = d_a.view_mut();
+                let ptr_v = ptr_a.view_mut();
+                launch_map(dev, n, "jump_edge_drop", move |t, d| {
+                    let z = t.ld(&z_v, d);
+                    let jb = t.ld(&j_v, d);
+                    t.flops(Complex::MUL_FLOPS);
+                    t.st(&d_v, d, z * jb);
+                    let p = t.ld(&p_v, d);
+                    t.st(&ptr_v, d, p);
+                });
+            }
+            let (mut cur_d, mut cur_ptr, mut nxt_d, mut nxt_ptr) =
+                (&mut d_a, &mut ptr_a, &mut d_b, &mut ptr_b);
+            for _ in 0..jump_rounds {
+                {
+                    let d_in = cur_d.view();
+                    let ptr_in = cur_ptr.view();
+                    let d_out = nxt_d.view_mut();
+                    let ptr_out = nxt_ptr.view_mut();
+                    launch_map(dev, n, "jump_round", move |t, d| {
+                        let p = t.ld(&ptr_in, d) as usize;
+                        let mine = t.ld(&d_in, d);
+                        let theirs = t.ld(&d_in, p);
+                        t.flops(Complex::ADD_FLOPS);
+                        t.st(&d_out, d, mine + theirs);
+                        let pp = t.ld(&ptr_in, p);
+                        t.st(&ptr_out, d, pp);
+                    });
+                }
+                std::mem::swap(&mut cur_d, &mut nxt_d);
+                std::mem::swap(&mut cur_ptr, &mut nxt_ptr);
+            }
+            {
+                let d_v = cur_d.view();
+                let v_v = v_buf.view_mut();
+                let delta_v = delta_buf.view_mut();
+                launch_map(dev, n, "jump_voltage", move |t, d| {
+                    let old = t.ld_mut(&v_v, d);
+                    let drop_ = t.ld(&d_v, d);
+                    let new_v = v0 - drop_;
+                    t.flops(Complex::ADD_FLOPS + 4);
+                    t.st(&v_v, d, new_v);
+                    t.st(&delta_v, d, (new_v - old).abs());
+                });
+            }
+            phases.forward_us += dev.timeline().breakdown_since(mark).total_us();
+
+            // ---- Convergence ----
+            let mark = dev.timeline().mark();
+            let delta = reduce::<f64, MaxF64>(dev, &delta_buf);
+            let b = dev.timeline().breakdown_since(mark);
+            phases.convergence_us += b.total_us();
+            transfer_us += b.htod_us + b.dtoh_us;
+            transfer_sweep_us += b.htod_us + b.dtoh_us;
+
+            residual = delta;
+            residual_history.push(delta);
+            if delta <= tol {
+                converged = true;
+                break;
+            }
+        }
+
+        // ---- Teardown ----
+        let mark = dev.timeline().mark();
+        let v_pos = dev.dtoh(&v_buf);
+        let j_pos = dev.dtoh(&j_buf);
+        let b = dev.timeline().breakdown_since(mark);
+        phases.teardown_us += b.total_us();
+        transfer_us += b.htod_us + b.dtoh_us;
+
+        let timing = Timing {
+            phases,
+            transfer_us,
+            transfer_sweep_us,
+            wall_us: wall0.elapsed().as_secs_f64() * 1e6,
+        };
+        SolveResult {
+            v: a.dfs.unpermute(&v_pos),
+            j: a.dfs.unpermute(&j_pos),
+            iterations,
+            converged,
+            residual,
+            residual_history,
+            timing,
+        }
+    }
+}
+
+fn ceil_log2(x: usize) -> u32 {
+    debug_assert!(x >= 1);
+    usize::BITS - (x - 1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::SerialSolver;
+    use numc::c;
+    use powergrid::gen::{balanced_binary, chain, star, GenSpec};
+    use powergrid::ieee::{ieee13, ieee37};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use simt::{DeviceProps, HostProps};
+
+    fn jump() -> JumpSolver {
+        JumpSolver::new(Device::with_workers(DeviceProps::paper_rig(), 2))
+    }
+
+    fn assert_voltages_match(net: &RadialNetwork, a: &SolveResult, b: &SolveResult) {
+        let scale = net.source_voltage().abs();
+        for bus in 0..net.num_buses() {
+            assert!(
+                (a.v[bus] - b.v[bus]).abs() < 1e-5 * scale,
+                "bus {bus}: {:?} vs {:?}",
+                a.v[bus],
+                b.v[bus]
+            );
+        }
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1 << 16), 16);
+        assert_eq!(ceil_log2((1 << 16) + 1), 17);
+    }
+
+    #[test]
+    fn matches_serial_on_ieee_feeders() {
+        let cfg = SolverConfig::default();
+        for net in [ieee13(), ieee37()] {
+            let serial = SerialSolver::new(HostProps::paper_rig()).solve(&net, &cfg);
+            let res = jump().solve(&net, &cfg);
+            assert!(res.converged);
+            assert_voltages_match(&net, &serial, &res);
+            crate::validate::assert_physical(&net, &res, 1e-4);
+        }
+    }
+
+    #[test]
+    fn matches_serial_on_generated_topologies() {
+        let cfg = SolverConfig::default();
+        let spec = GenSpec::default();
+        let mut rng = StdRng::seed_from_u64(81);
+        for net in [
+            balanced_binary(2047, &spec, &mut rng),
+            chain(1500, &spec, &mut rng),
+            star(1000, &spec, &mut rng),
+        ] {
+            let serial = SerialSolver::new(HostProps::paper_rig()).solve(&net, &cfg);
+            let res = jump().solve(&net, &cfg);
+            assert!(res.converged);
+            assert_voltages_match(&net, &serial, &res);
+        }
+    }
+
+    #[test]
+    fn launch_count_is_depth_insensitive() {
+        let cfg = SolverConfig::default();
+        let spec = GenSpec::default();
+        let mut rng = StdRng::seed_from_u64(82);
+        // A 4096-bus chain: the level solver would need ~4096 launches
+        // per sweep; the jump solver needs 2·log₂(4096) = 24 per forward.
+        let net = chain(4096, &spec, &mut rng);
+        let mut solver = jump();
+        let res = solver.solve(&net, &cfg);
+        assert!(res.converged);
+        let launches = solver.device().timeline().breakdown().kernels;
+        let per_iter = launches as f64 / res.iterations as f64;
+        assert!(
+            per_iter < 60.0,
+            "jump solver must stay O(log depth) launches/iter, got {per_iter}"
+        );
+    }
+
+    #[test]
+    fn beats_level_solver_on_deep_trees_in_modeled_time() {
+        let cfg = SolverConfig::default();
+        let spec = GenSpec::default();
+        let mut rng = StdRng::seed_from_u64(83);
+        let net = chain(8192, &spec, &mut rng);
+        let level = crate::GpuSolver::new(Device::with_workers(DeviceProps::paper_rig(), 2))
+            .solve(&net, &cfg);
+        let jumped = jump().solve(&net, &cfg);
+        assert!(level.converged && jumped.converged);
+        assert!(
+            jumped.timing.total_us() * 20.0 < level.timing.total_us(),
+            "jump {} µs vs level {} µs",
+            jumped.timing.total_us(),
+            level.timing.total_us()
+        );
+    }
+
+    #[test]
+    fn single_bus_trivially_converges() {
+        let mut b = powergrid::NetworkBuilder::new(c(240.0, 0.0));
+        b.add_bus(Complex::ZERO);
+        let net = b.build().unwrap();
+        let res = jump().solve(&net, &SolverConfig::default());
+        assert!(res.converged);
+        assert_eq!(res.v[0], c(240.0, 0.0));
+    }
+
+    #[test]
+    fn jump_arrays_shapes() {
+        let net = ieee13();
+        let a = JumpArrays::new(&net);
+        assert_eq!(a.len(), 13);
+        assert!(!a.is_empty());
+        assert_eq!(a.parent_or_self[0], 0, "root self-loops");
+        assert_eq!(a.subtree_size[0], 13);
+        assert_eq!(a.z[0], Complex::ZERO);
+    }
+}

@@ -1,0 +1,49 @@
+//! # fbs — forward-backward sweep power-flow solvers
+//!
+//! The primary contribution of the reproduced paper: power-flow solvers
+//! for radial distribution networks based on the ladder-iterative
+//! forward-backward sweep, in three implementations sharing one
+//! convergence criterion and one data layout —
+//!
+//! * [`SerialSolver`] — the paper's CPU baseline,
+//! * [`GpuSolver`] — the paper's contribution: level-synchronous sweeps
+//!   on the [`simt`] device using segmented scan and reduction,
+//! * [`MulticoreSolver`] — a level-parallel host-thread solver (ablation).
+//!
+//! Post-solve physics checks live in [`validate`].
+//!
+//! ```
+//! use fbs::{GpuSolver, SerialSolver, SolverConfig};
+//! use powergrid::ieee::ieee13;
+//! use simt::{Device, HostProps};
+//!
+//! let net = ieee13();
+//! let cfg = SolverConfig::default();
+//! let serial = SerialSolver::new(HostProps::paper_rig()).solve(&net, &cfg);
+//! let gpu = GpuSolver::new(Device::paper_rig()).solve(&net, &cfg);
+//! assert!(serial.converged && gpu.converged);
+//! assert!((serial.v[6] - gpu.v[6]).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+
+mod arrays;
+pub mod batch;
+mod config;
+mod gpu;
+pub mod jump;
+mod multicore;
+mod report;
+mod serial;
+pub mod three_phase;
+pub mod validate;
+
+pub use arrays::SolverArrays;
+pub use batch::{BatchResult, BatchSolver};
+pub use config::SolverConfig;
+pub use gpu::{BackwardStrategy, GpuSolver};
+pub use jump::{JumpArrays, JumpSolver};
+pub use multicore::MulticoreSolver;
+pub use report::{PhaseTimes, SolveResult, Timing};
+pub use serial::SerialSolver;
+pub use three_phase::{Arrays3, Gpu3Solver, Serial3Solver, Solve3Result};

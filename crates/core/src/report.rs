@@ -1,0 +1,187 @@
+//! Solve results and timing reports.
+
+use numc::Complex;
+
+/// Modeled time per solver phase, µs.
+///
+/// For the GPU solver these are modeled *device* microseconds from the
+/// [`simt`] timing model (kernels attributed to the phase that launched
+/// them); for the CPU solvers they come from the [`simt::HostProps`]
+/// roofline model. Wall-clock of the simulation is reported separately
+/// and never used in speedup claims.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseTimes {
+    /// One-time setup: topology upload (GPU) or array construction (CPU).
+    pub setup_us: f64,
+    /// Injection-current kernel/loop (`I = conj(S/V)`).
+    pub injection_us: f64,
+    /// Backward sweep (child-current aggregation).
+    pub backward_us: f64,
+    /// Forward sweep (voltage propagation).
+    pub forward_us: f64,
+    /// Convergence check (∞-norm reduction + host read-back).
+    pub convergence_us: f64,
+    /// Result download (GPU) — zero for CPU solvers.
+    pub teardown_us: f64,
+}
+
+impl PhaseTimes {
+    /// Total across phases.
+    pub fn total_us(&self) -> f64 {
+        self.setup_us
+            + self.injection_us
+            + self.backward_us
+            + self.forward_us
+            + self.convergence_us
+            + self.teardown_us
+    }
+
+    /// The iterative portion (excludes setup/teardown) — the paper's
+    /// "parts of the computation that entirely run on the GPU".
+    pub fn sweep_us(&self) -> f64 {
+        self.injection_us + self.backward_us + self.forward_us + self.convergence_us
+    }
+}
+
+/// Timing summary of one solve.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Timing {
+    /// Modeled time per phase.
+    pub phases: PhaseTimes,
+    /// Modeled µs spent in host↔device transfers (subset of phase times;
+    /// zero for CPU solvers).
+    pub transfer_us: f64,
+    /// The portion of `transfer_us` incurred inside the iterative sweep
+    /// phases (the per-iteration convergence scalar read-back); the rest
+    /// belongs to setup/teardown. Zero for CPU solvers.
+    pub transfer_sweep_us: f64,
+    /// Host wall-clock of the run, µs (simulation cost — diagnostic only).
+    pub wall_us: f64,
+}
+
+impl Timing {
+    /// Total modeled time.
+    pub fn total_us(&self) -> f64 {
+        self.phases.total_us()
+    }
+
+    /// Modeled time excluding all transfers — the "GPU-only" number the
+    /// abstract's scaling claim is about.
+    pub fn compute_only_us(&self) -> f64 {
+        self.phases.total_us() - self.transfer_us
+    }
+
+    /// Modeled time of the iterative sweep phases with their embedded
+    /// transfers (the convergence read-back) removed: the part of the
+    /// solve that is pure kernel execution.
+    pub fn sweep_kernel_us(&self) -> f64 {
+        (self.phases.sweep_us() - self.transfer_sweep_us).max(0.0)
+    }
+}
+
+/// The result of one power-flow solve.
+#[derive(Clone, Debug)]
+pub struct SolveResult {
+    /// Bus voltage phasors, indexed by bus id, volts.
+    pub v: Vec<Complex>,
+    /// Branch current flowing *into* each bus from its parent, indexed by
+    /// bus id, amperes. At the root this is the total feeder current.
+    pub j: Vec<Complex>,
+    /// Iterations executed.
+    pub iterations: u32,
+    /// Whether the convergence criterion was met within the cap.
+    pub converged: bool,
+    /// Final `max_p |ΔV_p|`, volts.
+    pub residual: f64,
+    /// Per-iteration `max_p |ΔV_p|` history (length = `iterations`);
+    /// geometric decay here is the solver-health signal E5 plots.
+    pub residual_history: Vec<f64>,
+    /// Timing summary.
+    pub timing: Timing,
+}
+
+impl SolveResult {
+    /// Convergence-rate estimate: geometric mean of successive residual
+    /// ratios over the recorded history (`None` with fewer than 3
+    /// iterations). Healthy FBS runs sit well below 1.
+    pub fn convergence_rate(&self) -> Option<f64> {
+        let h = &self.residual_history;
+        if h.len() < 3 {
+            return None;
+        }
+        // Skip the first ratio (flat-start transient).
+        let ratios: Vec<f64> =
+            h.windows(2).skip(1).filter(|w| w[0] > 0.0).map(|w| w[1] / w[0]).collect();
+        if ratios.is_empty() {
+            return None;
+        }
+        let log_sum: f64 = ratios.iter().map(|r| r.ln()).sum();
+        Some((log_sum / ratios.len() as f64).exp())
+    }
+
+    /// Total series losses `Σ z·|J|²` over all branches, VA.
+    pub fn losses(&self, net: &powergrid::RadialNetwork) -> Complex {
+        let mut total = Complex::ZERO;
+        for bus in 0..net.num_buses() {
+            if let Some(br) = net.parent_branch(bus) {
+                total += br.z * self.j[bus].norm_sqr();
+            }
+        }
+        total
+    }
+
+    /// Apparent power delivered by the substation, VA:
+    /// `S = V₀ · conj(J_root)`.
+    pub fn source_power(&self, net: &powergrid::RadialNetwork) -> Complex {
+        net.source_voltage() * self.j[net.root()].conj()
+    }
+
+    /// Minimum voltage magnitude and the bus where it occurs.
+    pub fn min_voltage(&self) -> (f64, usize) {
+        self.v
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.abs(), i))
+            .fold((f64::INFINITY, 0), |acc, x| if x.0 < acc.0 { x } else { acc })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numc::c;
+
+    #[test]
+    fn phase_totals_add_up() {
+        let p = PhaseTimes {
+            setup_us: 1.0,
+            injection_us: 2.0,
+            backward_us: 3.0,
+            forward_us: 4.0,
+            convergence_us: 5.0,
+            teardown_us: 6.0,
+        };
+        assert_eq!(p.total_us(), 21.0);
+        assert_eq!(p.sweep_us(), 14.0);
+        let t = Timing { phases: p, transfer_us: 7.0, transfer_sweep_us: 3.0, wall_us: 0.0 };
+        assert_eq!(t.total_us(), 21.0);
+        assert_eq!(t.compute_only_us(), 14.0);
+        assert_eq!(t.sweep_kernel_us(), 11.0);
+    }
+
+    #[test]
+    fn min_voltage_finds_the_sag() {
+        let r = SolveResult {
+            v: vec![c(100.0, 0.0), c(98.0, -1.0), c(99.0, 0.0)],
+            j: vec![Complex::ZERO; 3],
+            iterations: 1,
+            converged: true,
+            residual: 0.0,
+            residual_history: vec![0.0],
+            timing: Timing::default(),
+        };
+        let (mag, bus) = r.min_voltage();
+        assert_eq!(bus, 1);
+        assert!((mag - c(98.0, -1.0).abs()).abs() < 1e-12);
+    }
+}

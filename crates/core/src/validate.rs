@@ -1,0 +1,145 @@
+//! Post-solve physics validation.
+//!
+//! Independent checks that a [`crate::SolveResult`] actually
+//! satisfies circuit laws on the original network — used by tests and by
+//! the experiment harness before any timing is reported.
+
+use numc::Complex;
+use powergrid::RadialNetwork;
+
+use crate::report::SolveResult;
+
+/// Physics residuals of a solve.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhysicsReport {
+    /// Max over buses of |KCL residual| (amperes): branch current in
+    /// minus load current and child branch currents out.
+    pub max_kcl_amps: f64,
+    /// Max over non-root buses of |KVL residual| (volts):
+    /// `V_parent − V_bus − Z·J`.
+    pub max_kvl_volts: f64,
+    /// |source power − (loads + losses)| (VA).
+    pub power_balance_va: f64,
+    /// Lowest bus-voltage magnitude divided by the source magnitude.
+    pub min_voltage_pu: f64,
+}
+
+/// Computes the physics residuals of a result against its network.
+pub fn check(net: &RadialNetwork, res: &SolveResult) -> PhysicsReport {
+    let n = net.num_buses();
+    assert_eq!(res.v.len(), n, "result/network size mismatch");
+
+    // Child adjacency from parent pointers.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for b in 0..n {
+        if let Some(p) = net.parent(b) {
+            children[p].push(b);
+        }
+    }
+
+    let mut max_kcl = 0.0f64;
+    let mut max_kvl = 0.0f64;
+    for (b, kids) in children.iter().enumerate() {
+        // KCL: J_in(b) = I_load(b) + Σ J_in(child).
+        let s = net.buses()[b].load;
+        let i_load =
+            if s == Complex::ZERO { Complex::ZERO } else { (s / res.v[b]).conj() };
+        let child_sum: Complex = kids.iter().map(|&c| res.j[c]).sum();
+        let kcl = res.j[b] - i_load - child_sum;
+        max_kcl = max_kcl.max(kcl.abs());
+
+        // KVL along the feeding branch.
+        if let Some(br) = net.parent_branch(b) {
+            let kvl = res.v[br.from] - res.v[b] - br.z * res.j[b];
+            max_kvl = max_kvl.max(kvl.abs());
+        }
+    }
+
+    let source = res.source_power(net);
+    let expected = net.buses().iter().enumerate().fold(Complex::ZERO, |acc, (b, bus)| {
+        // Power actually drawn at the solved voltage (constant-power
+        // loads draw exactly S when the solve converged).
+        let _ = b;
+        acc + bus.load
+    }) + res.losses(net);
+
+    let v0 = net.source_voltage().abs();
+    let min_pu = res.min_voltage().0 / v0;
+
+    PhysicsReport {
+        max_kcl_amps: max_kcl,
+        max_kvl_volts: max_kvl,
+        power_balance_va: (source - expected).abs(),
+        min_voltage_pu: min_pu,
+    }
+}
+
+/// Asserts that the residuals are small enough for a converged solve:
+/// KCL/KVL at solver precision, power balance within `rel` of the source
+/// power. Panics with the offending numbers otherwise.
+pub fn assert_physical(net: &RadialNetwork, res: &SolveResult, rel: f64) {
+    assert!(res.converged, "cannot validate an unconverged solve");
+    let rep = check(net, res);
+    let v0 = net.source_voltage().abs();
+    let s_scale = net.total_load().abs().max(1.0);
+    let i_scale = s_scale / v0;
+    assert!(
+        rep.max_kcl_amps <= rel * i_scale.max(1.0),
+        "KCL residual {} A exceeds {} of feeder current scale",
+        rep.max_kcl_amps,
+        rel
+    );
+    assert!(
+        rep.max_kvl_volts <= rel * v0,
+        "KVL residual {} V exceeds {}·|V0|",
+        rep.max_kvl_volts,
+        rel
+    );
+    assert!(
+        rep.power_balance_va <= (rel * s_scale).max(1e-6) * 10.0,
+        "power imbalance {} VA on a {} VA system",
+        rep.power_balance_va,
+        s_scale
+    );
+    assert!(rep.min_voltage_pu > 0.5, "voltage collapse: {} pu", rep.min_voltage_pu);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SerialSolver, SolverConfig};
+    use numc::c;
+    use powergrid::ieee::ieee13;
+    use simt::HostProps;
+
+    #[test]
+    fn converged_solve_is_physical() {
+        let net = ieee13();
+        let res = SerialSolver::new(HostProps::paper_rig()).solve(&net, &SolverConfig::default());
+        assert_physical(&net, &res, 1e-4);
+        let rep = check(&net, &res);
+        // Power balance should be tight at 1e-6 relative tolerance.
+        assert!(rep.power_balance_va < 50.0, "{rep:?}");
+        assert!(rep.min_voltage_pu > 0.85 && rep.min_voltage_pu <= 1.0, "{rep:?}");
+    }
+
+    #[test]
+    fn corrupted_result_fails_validation() {
+        let net = ieee13();
+        let mut res =
+            SerialSolver::new(HostProps::paper_rig()).solve(&net, &SolverConfig::default());
+        res.j[3] += c(100.0, 0.0); // break KCL
+        let rep = check(&net, &res);
+        assert!(rep.max_kcl_amps > 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unconverged")]
+    fn unconverged_results_cannot_be_validated() {
+        let net = ieee13();
+        let mut res =
+            SerialSolver::new(HostProps::paper_rig()).solve(&net, &SolverConfig::default());
+        res.converged = false;
+        assert_physical(&net, &res, 1e-6);
+    }
+}

@@ -1,0 +1,97 @@
+//! Golden regression pins: the IEEE-13 positive-sequence solution must
+//! not drift. Values were produced by the serial solver at tol 1e-12 and
+//! are pinned to 1e-6 V so any algorithmic change that moves physics
+//! (rather than performance) fails loudly — across all four solvers.
+
+use fbs::{
+    BackwardStrategy, GpuSolver, JumpSolver, MulticoreSolver, SerialSolver, SolveResult,
+    SolverConfig,
+};
+use powergrid::ieee::ieee13;
+use simt::{Device, DeviceProps, HostProps};
+
+/// (bus, Re V, Im V) at tol 1e-12, volts.
+const GOLDEN_V: [(usize, f64, f64); 13] = [
+    (0, 2401.777119829, 0.000000000),
+    (1, 2239.244156445, -91.440120474),
+    (2, 2234.316834612, -93.841342477),
+    (3, 2232.824253473, -94.539513013),
+    (4, 2234.641927679, -94.012731845),
+    (5, 2233.146156035, -94.949615019),
+    (6, 2123.515985092, -157.578873231),
+    (7, 2123.515985092, -157.578873231),
+    (8, 2121.467976408, -158.805337791),
+    (9, 2120.389200891, -159.556319992),
+    (10, 2118.883354627, -160.073290750),
+    (11, 2119.830972747, -159.523154610),
+    (12, 2110.193563854, -165.346666150),
+];
+
+const GOLDEN_J_ROOT: (f64, f64) = (513.535210020, -359.394587374);
+const GOLDEN_LOSSES_W: f64 = 78063.784;
+
+fn cfg() -> SolverConfig {
+    SolverConfig::new(1e-12, 200)
+}
+
+fn check(res: &SolveResult, who: &str, tol_v: f64) {
+    assert!(res.converged, "{who} must converge");
+    for &(bus, re, im) in &GOLDEN_V {
+        assert!(
+            (res.v[bus].re - re).abs() < tol_v && (res.v[bus].im - im).abs() < tol_v,
+            "{who}: bus {bus} drifted: {:?} vs ({re}, {im})",
+            res.v[bus]
+        );
+    }
+    assert!((res.j[0].re - GOLDEN_J_ROOT.0).abs() < 1e-3, "{who}: root current drifted");
+    assert!((res.j[0].im - GOLDEN_J_ROOT.1).abs() < 1e-3, "{who}: root current drifted");
+    let losses = res.losses(&ieee13()).re;
+    assert!((losses - GOLDEN_LOSSES_W).abs() < 1.0, "{who}: losses drifted to {losses}");
+}
+
+#[test]
+fn serial_matches_golden() {
+    let res = SerialSolver::new(HostProps::paper_rig()).solve(&ieee13(), &cfg());
+    check(&res, "serial", 1e-6);
+}
+
+#[test]
+fn multicore_matches_golden() {
+    let res = MulticoreSolver::new(HostProps::paper_rig(), 4).solve(&ieee13(), &cfg());
+    check(&res, "multicore", 1e-6);
+}
+
+#[test]
+fn gpu_strategies_match_golden() {
+    for strategy in
+        [BackwardStrategy::SegScan, BackwardStrategy::Direct, BackwardStrategy::AtomicScatter]
+    {
+        let mut solver = GpuSolver::with_strategy(
+            Device::with_workers(DeviceProps::paper_rig(), 2),
+            strategy,
+        );
+        let res = solver.solve(&ieee13(), &cfg());
+        check(&res, &format!("gpu-{strategy:?}"), 1e-6);
+    }
+}
+
+#[test]
+fn jump_matches_golden() {
+    let mut solver = JumpSolver::new(Device::with_workers(DeviceProps::paper_rig(), 2));
+    let res = solver.solve(&ieee13(), &cfg());
+    // Pointer jumping reorders path sums; allow rounding-level slack.
+    check(&res, "jump", 1e-5);
+}
+
+#[test]
+fn residual_history_decays_geometrically() {
+    let res = SerialSolver::new(HostProps::paper_rig()).solve(&ieee13(), &cfg());
+    assert_eq!(res.residual_history.len(), res.iterations as usize);
+    assert_eq!(*res.residual_history.last().unwrap(), res.residual);
+    // Strictly decreasing after the first step, and fast.
+    for w in res.residual_history.windows(2).skip(1) {
+        assert!(w[1] < w[0], "residuals must decrease: {:?}", res.residual_history);
+    }
+    let rate = res.convergence_rate().expect("enough iterations");
+    assert!(rate < 0.2, "FBS on ieee13 converges fast, rate = {rate}");
+}

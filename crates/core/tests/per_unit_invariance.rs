@@ -1,0 +1,114 @@
+//! Physics invariance: solving a network in per-unit must produce the
+//! same (normalised) solution as solving it in SI units — the solvers
+//! are scale-free, so any difference is a bug in either the solver or
+//! the per-unit scaling.
+
+use fbs::{GpuSolver, SerialSolver, SolverConfig};
+use powergrid::ieee::{ieee13, ieee37};
+use powergrid::pu::{to_per_unit, PuBase};
+use simt::{Device, DeviceProps, HostProps};
+
+#[test]
+fn per_unit_and_si_solutions_agree() {
+    for net in [ieee13(), ieee37()] {
+        let base = PuBase::for_network(&net);
+        let pu_net = to_per_unit(&net, base);
+        let cfg = SolverConfig::default();
+
+        let si = SerialSolver::new(HostProps::paper_rig()).solve(&net, &cfg);
+        let pu = SerialSolver::new(HostProps::paper_rig()).solve(&pu_net, &cfg);
+        assert!(si.converged && pu.converged);
+        assert_eq!(si.iterations, pu.iterations, "scale-free iterates");
+
+        for bus in 0..net.num_buses() {
+            let si_as_pu = base.v_to_pu(si.v[bus]);
+            assert!(
+                (si_as_pu - pu.v[bus]).abs() < 1e-9,
+                "bus {bus}: {si_as_pu:?} vs {:?}",
+                pu.v[bus]
+            );
+            let i_as_pu = base.i_to_pu(si.j[bus]);
+            assert!((i_as_pu - pu.j[bus]).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn gpu_solver_is_also_scale_free() {
+    let net = ieee13();
+    let base = PuBase::for_network(&net);
+    let pu_net = to_per_unit(&net, base);
+    let cfg = SolverConfig::default();
+    let mut g1 = GpuSolver::new(Device::with_workers(DeviceProps::paper_rig(), 2));
+    let mut g2 = GpuSolver::new(Device::with_workers(DeviceProps::paper_rig(), 2));
+    let si = g1.solve(&net, &cfg);
+    let pu = g2.solve(&pu_net, &cfg);
+    assert!(si.converged && pu.converged);
+    for bus in 0..net.num_buses() {
+        assert!((base.v_to_pu(si.v[bus]) - pu.v[bus]).abs() < 1e-9);
+    }
+}
+
+mod warm_start {
+    use fbs::{GpuSolver, SerialSolver, SolverArrays, SolverConfig};
+    use powergrid::gen::{balanced_binary, GenSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use simt::{Device, DeviceProps, HostProps};
+
+    #[test]
+    fn warm_start_cuts_iterations_on_small_perturbations() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let net = balanced_binary(4095, &GenSpec::default(), &mut rng);
+        let cfg = SolverConfig::default();
+        let arrays = SolverArrays::new(&net);
+        let solver = SerialSolver::new(HostProps::paper_rig());
+
+        let base = solver.solve_arrays(&arrays, &cfg);
+        assert!(base.converged);
+
+        // Next time step: loads drift 2%.
+        let mut next = net.clone();
+        next.scale_loads(1.02);
+        let next_arrays = SolverArrays::new(&next);
+
+        let cold = solver.solve_arrays(&next_arrays, &cfg);
+        let warm = solver.solve_warm(&next_arrays, &cfg, Some(&base.v));
+        assert!(cold.converged && warm.converged);
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm {} must beat cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+        // Same answer to within the convergence tolerance (independently
+        // converged iterates agree to ~tol·|V0|, not to machine epsilon).
+        let tol_v = cfg.tol_volts(net.source_voltage().abs());
+        for bus in 0..net.num_buses() {
+            assert!((warm.v[bus] - cold.v[bus]).abs() < 10.0 * tol_v);
+        }
+    }
+
+    #[test]
+    fn gpu_warm_start_matches_serial_warm_start() {
+        let mut rng = StdRng::seed_from_u64(321);
+        let net = balanced_binary(1023, &GenSpec::default(), &mut rng);
+        let cfg = SolverConfig::default();
+        let arrays = SolverArrays::new(&net);
+        let serial = SerialSolver::new(HostProps::paper_rig());
+        let base = serial.solve_arrays(&arrays, &cfg);
+
+        let mut scaled = net.clone();
+        scaled.scale_loads(0.97);
+        let next_arrays = SolverArrays::new(&scaled);
+
+        let warm_cpu = serial.solve_warm(&next_arrays, &cfg, Some(&base.v));
+        let mut gpu = GpuSolver::new(Device::with_workers(DeviceProps::paper_rig(), 2));
+        let warm_gpu = gpu.solve_warm(&next_arrays, &cfg, Some(&base.v));
+        assert!(warm_cpu.converged && warm_gpu.converged);
+        assert_eq!(warm_cpu.iterations, warm_gpu.iterations);
+        for bus in 0..net.num_buses() {
+            assert!((warm_cpu.v[bus] - warm_gpu.v[bus]).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Approximate floating-point comparison helpers shared by tests and
+//! validation code across the workspace.
+
+/// Returns true when `a` and `b` agree within a *relative-or-absolute*
+/// tolerance: `|a−b| ≤ tol · max(1, |a|, |b|)`.
+///
+/// This single-knob check behaves like an absolute tolerance near zero and
+/// like a relative tolerance for large magnitudes, which is the right
+/// default for per-unit power-flow quantities (all O(1)) as well as raw
+/// watt/var values (O(1e6)).
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    if a == b {
+        return true; // covers infinities of equal sign and exact hits
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return false; // unequal infinities / NaNs never compare equal
+    }
+    let scale = 1.0_f64.max(a.abs()).max(b.abs());
+    (a - b).abs() <= tol * scale
+}
+
+/// Two-knob comparison with independent relative and absolute tolerances:
+/// `|a−b| ≤ max(abs_tol, rel_tol · max(|a|, |b|))`.
+#[inline]
+pub fn approx_eq_eps(a: f64, b: f64, rel_tol: f64, abs_tol: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    let diff = (a - b).abs();
+    diff <= abs_tol.max(rel_tol * a.abs().max(b.abs()))
+}
+
+/// Maximum absolute element-wise difference between two equal-length
+/// slices. Panics if lengths differ (a test helper, not a hot path).
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_diff: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// A reusable relative+absolute tolerance pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RelAbs {
+    /// Relative tolerance.
+    pub rel: f64,
+    /// Absolute tolerance floor.
+    pub abs: f64,
+}
+
+impl RelAbs {
+    /// Creates a tolerance pair.
+    pub const fn new(rel: f64, abs: f64) -> Self {
+        RelAbs { rel, abs }
+    }
+
+    /// Tight default used when comparing GPU results against the serial
+    /// reference (both are f64; divergence comes only from summation
+    /// order).
+    pub const TIGHT: RelAbs = RelAbs::new(1e-10, 1e-12);
+
+    /// Loose default used when comparing independently converged solver
+    /// runs (dominated by the convergence tolerance, not FP noise).
+    pub const SOLVER: RelAbs = RelAbs::new(1e-6, 1e-9);
+
+    /// Checks `a ≈ b` under this tolerance.
+    #[inline]
+    pub fn eq(&self, a: f64, b: f64) -> bool {
+        approx_eq_eps(a, b, self.rel, self.abs)
+    }
+
+    /// Checks two complex values component-wise.
+    #[inline]
+    pub fn eq_c(&self, a: crate::Complex, b: crate::Complex) -> bool {
+        self.eq(a.re, b.re) && self.eq(a.im, b.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c;
+
+    #[test]
+    fn approx_eq_near_zero_is_absolute() {
+        assert!(approx_eq(1e-13, 0.0, 1e-12));
+        assert!(!approx_eq(1e-11, 0.0, 1e-12));
+    }
+
+    #[test]
+    fn approx_eq_large_is_relative() {
+        assert!(approx_eq(1e9, 1e9 * (1.0 + 1e-13), 1e-12));
+        assert!(!approx_eq(1e9, 1e9 * (1.0 + 1e-11), 1e-12));
+    }
+
+    #[test]
+    fn approx_eq_exact_and_inf() {
+        assert!(approx_eq(2.0, 2.0, 0.0));
+        assert!(approx_eq(f64::INFINITY, f64::INFINITY, 1e-9));
+        assert!(!approx_eq(f64::INFINITY, 1.0, 1e-9));
+        assert!(!approx_eq(f64::NAN, f64::NAN, 1e-9));
+    }
+
+    #[test]
+    fn two_knob_comparison() {
+        assert!(approx_eq_eps(0.0, 1e-10, 0.0, 1e-9));
+        assert!(!approx_eq_eps(0.0, 1e-8, 0.0, 1e-9));
+        assert!(approx_eq_eps(100.0, 100.001, 1e-4, 0.0));
+        assert!(!approx_eq_eps(100.0, 100.1, 1e-4, 0.0));
+    }
+
+    #[test]
+    fn max_abs_diff_basic() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0, 3.0], &[1.0, 2.5, 2.0]), 1.0);
+        assert_eq!(max_abs_diff(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn max_abs_diff_len_mismatch_panics() {
+        max_abs_diff(&[1.0], &[]);
+    }
+
+    #[test]
+    fn relabs_complex() {
+        let t = RelAbs::new(1e-9, 1e-12);
+        assert!(t.eq_c(c(1.0, -1.0), c(1.0 + 1e-10, -1.0)));
+        assert!(!t.eq_c(c(1.0, -1.0), c(1.0 + 1e-6, -1.0)));
+    }
+}

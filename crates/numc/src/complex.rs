@@ -1,0 +1,401 @@
+//! Double-precision complex numbers.
+//!
+//! Layout is `#[repr(C)]` `{ re, im }` so a slice of `Complex` can be
+//! reinterpreted as an interleaved `f64` buffer by the device layer
+//! without padding surprises.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + j·im` over `f64`.
+///
+/// Power-engineering convention: `j` denotes the imaginary unit. All
+/// arithmetic is plain IEEE-754; no NaN-protection is performed, matching
+/// the CUDA kernels the paper describes (device code uses raw `float2`
+/// style arithmetic as well).
+#[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero (additive identity).
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One (multiplicative identity).
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit `j`.
+    pub const J: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates `re + j·im`.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real number.
+    #[inline]
+    pub const fn from_re(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates a phasor from polar form: `mag·e^{j·angle}` (angle in radians).
+    #[inline]
+    pub fn from_polar(mag: f64, angle: f64) -> Self {
+        let (s, c) = angle.sin_cos();
+        Complex { re: mag * c, im: mag * s }
+    }
+
+    /// Complex conjugate `re − j·im`.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Magnitude `|z| = sqrt(re² + im²)`.
+    ///
+    /// Uses `hypot` for robustness against overflow/underflow in the
+    /// squares; magnitudes feed convergence checks so this matters at
+    /// extreme per-unit scalings.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `re² + im²` (cheaper than [`abs`](Self::abs);
+    /// used in hot convergence kernels).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Phase angle in radians, in `(−π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Division by zero yields infinities/NaNs exactly as IEEE-754
+    /// dictates; callers in the solver guard against zero voltage.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex { re: self.re / d, im: -self.im / d }
+    }
+
+    /// Fused multiply-add convenience: `self * b + acc`.
+    #[inline]
+    pub fn mul_add(self, b: Complex, acc: Complex) -> Self {
+        self * b + acc
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex { re: self.re * k, im: self.im * k }
+    }
+
+    /// True when either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// True when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Floating-point count of one complex multiply (4 mul + 2 add).
+    /// Exposed so kernels can tally modeled flops consistently.
+    pub const MUL_FLOPS: u64 = 6;
+    /// Floating-point count of one complex add.
+    pub const ADD_FLOPS: u64 = 2;
+    /// Floating-point cost model of one complex divide (mul + conj trick:
+    /// 6 mul/add for numerator, 3 for |d|², 2 divides ≈ 11).
+    pub const DIV_FLOPS: u64 = 11;
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, o: Complex) -> Complex {
+        Complex { re: self.re + o.re, im: self.im + o.im }
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, o: Complex) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, o: Complex) -> Complex {
+        Complex { re: self.re - o.re, im: self.im - o.im }
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, o: Complex) {
+        self.re -= o.re;
+        self.im -= o.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, o: Complex) {
+        *self = *self * o;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, k: f64) -> Complex {
+        self.scale(k)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, z: Complex) -> Complex {
+        z.scale(self)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, o: Complex) -> Complex {
+        let d = o.norm_sqr();
+        Complex {
+            re: (self.re * o.re + self.im * o.im) / d,
+            im: (self.im * o.re - self.re * o.im) / d,
+        }
+    }
+}
+
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, o: Complex) {
+        *self = *self / o;
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, k: f64) -> Complex {
+        Complex { re: self.re / k, im: self.im / k }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex { re: -self.re, im: -self.im }
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Complex> for Complex {
+    fn sum<I: Iterator<Item = &'a Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, &b| a + b)
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Complex {
+        Complex::from_re(re)
+    }
+}
+
+impl fmt::Debug for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}{:+}j)", self.re, self.im)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(p) = f.precision() {
+            write!(f, "{:.*}{:+.*}j", p, self.re, p, self.im)
+        } else {
+            write!(f, "{}{:+}j", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        approx_eq(a.re, b.re, 1e-12) && approx_eq(a.im, b.im, 1e-12)
+    }
+
+    #[test]
+    fn construction_and_constants() {
+        assert_eq!(Complex::new(1.0, 2.0).re, 1.0);
+        assert_eq!(Complex::new(1.0, 2.0).im, 2.0);
+        assert_eq!(Complex::ZERO, Complex::new(0.0, 0.0));
+        assert_eq!(Complex::ONE, Complex::new(1.0, 0.0));
+        assert_eq!(Complex::J * Complex::J, -Complex::ONE);
+        assert_eq!(Complex::from_re(3.5), Complex::new(3.5, 0.0));
+        assert_eq!(Complex::from(2.0), Complex::new(2.0, 0.0));
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        assert_eq!(a + b, Complex::new(-2.0, 2.5));
+        assert_eq!(a - b, Complex::new(4.0, 1.5));
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+        let mut m = a;
+        m += b;
+        assert_eq!(m, a + b);
+        m -= b;
+        assert_eq!(m, a);
+    }
+
+    #[test]
+    fn mul_matches_expansion() {
+        let a = Complex::new(3.0, -2.0);
+        let b = Complex::new(-1.0, 4.0);
+        // (3 - 2j)(-1 + 4j) = -3 + 12j + 2j - 8j² = 5 + 14j
+        assert_eq!(a * b, Complex::new(5.0, 14.0));
+        let mut m = a;
+        m *= b;
+        assert_eq!(m, a * b);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = Complex::new(2.0, -6.0);
+        assert_eq!(a * 0.5, Complex::new(1.0, -3.0));
+        assert_eq!(0.5 * a, Complex::new(1.0, -3.0));
+        assert_eq!(a / 2.0, Complex::new(1.0, -3.0));
+        assert_eq!(a.scale(-1.0), -a);
+    }
+
+    #[test]
+    fn division_roundtrip() {
+        let a = Complex::new(3.0, -2.0);
+        let b = Complex::new(-1.0, 4.0);
+        assert!(close((a * b) / b, a));
+        assert!(close(a / a, Complex::ONE));
+        let mut m = a * b;
+        m /= b;
+        assert!(close(m, a));
+    }
+
+    #[test]
+    fn inverse() {
+        let a = Complex::new(0.3, -1.7);
+        assert!(close(a * a.inv(), Complex::ONE));
+        assert!(close(a.inv(), Complex::ONE / a));
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let a = Complex::new(1.5, 2.5);
+        assert_eq!(a.conj().conj(), a);
+        assert_eq!((a * a.conj()).im, 0.0);
+        assert!(approx_eq((a * a.conj()).re, a.norm_sqr(), 1e-12));
+    }
+
+    #[test]
+    fn abs_and_norm() {
+        let a = Complex::new(3.0, 4.0);
+        assert_eq!(a.abs(), 5.0);
+        assert_eq!(a.norm_sqr(), 25.0);
+        // hypot robustness: components whose squares overflow
+        let big = Complex::new(1e200, 1e200);
+        assert!(big.abs().is_finite());
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_3);
+        assert!(approx_eq(z.abs(), 2.0, 1e-12));
+        assert!(approx_eq(z.arg(), std::f64::consts::FRAC_PI_3, 1e-12));
+        // angle convention: arg of −1 is +π
+        assert!(approx_eq(Complex::new(-1.0, 0.0).arg(), std::f64::consts::PI, 1e-12));
+    }
+
+    #[test]
+    fn sum_iterators() {
+        let v = [Complex::new(1.0, 1.0), Complex::new(2.0, -3.0), Complex::new(-0.5, 0.25)];
+        let owned: Complex = v.iter().copied().sum();
+        let byref: Complex = v.iter().sum();
+        assert_eq!(owned, Complex::new(2.5, -1.75));
+        assert_eq!(owned, byref);
+        let empty: Complex = std::iter::empty::<Complex>().sum();
+        assert_eq!(empty, Complex::ZERO);
+    }
+
+    #[test]
+    fn nan_and_finite_predicates() {
+        assert!(Complex::new(f64::NAN, 0.0).is_nan());
+        assert!(Complex::new(0.0, f64::NAN).is_nan());
+        assert!(!Complex::new(1.0, 2.0).is_nan());
+        assert!(Complex::new(1.0, 2.0).is_finite());
+        assert!(!Complex::new(f64::INFINITY, 0.0).is_finite());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Complex::new(1.0, -2.0)), "1-2j");
+        assert_eq!(format!("{:.2}", Complex::new(1.0, 2.0)), "1.00+2.00j");
+        assert_eq!(format!("{:?}", Complex::new(0.5, 0.5)), "(0.5+0.5j)");
+    }
+
+    #[test]
+    fn layout_is_two_f64() {
+        assert_eq!(std::mem::size_of::<Complex>(), 16);
+        assert_eq!(std::mem::align_of::<Complex>(), 8);
+    }
+
+    #[test]
+    fn mul_add_helper() {
+        let a = Complex::new(1.0, 1.0);
+        let b = Complex::new(2.0, 0.0);
+        let acc = Complex::new(-1.0, 0.5);
+        assert_eq!(a.mul_add(b, acc), a * b + acc);
+    }
+}

@@ -1,0 +1,25 @@
+//! Self-contained numeric utilities for the FBS power-flow reproduction.
+//!
+//! The centerpiece is [`Complex`], a `f64` complex number used for phasor
+//! voltages, currents, impedances and apparent power throughout the
+//! workspace. It is implemented in-repo (rather than pulling an external
+//! crate) to keep the reproduction's substrate fully self-contained; the
+//! operations needed by forward-backward sweep are a small, well-tested
+//! subset of complex arithmetic.
+//!
+//! The crate also provides approximate-comparison helpers used by tests
+//! across the workspace.
+
+mod approx;
+mod complex;
+mod vec3;
+
+pub use approx::{approx_eq, approx_eq_eps, max_abs_diff, RelAbs};
+pub use complex::Complex;
+pub use vec3::{CMat3, CVec3};
+
+/// Convenience constructor: `c(re, im)` is `Complex::new(re, im)`.
+#[inline]
+pub const fn c(re: f64, im: f64) -> Complex {
+    Complex::new(re, im)
+}

@@ -1,0 +1,315 @@
+//! Three-phase complex linear algebra: phase vectors and 3×3 phase
+//! impedance matrices.
+//!
+//! Unbalanced distribution analysis works per phase: a bus voltage is a
+//! triple `(V_a, V_b, V_c)` and a line section is a full 3×3 complex
+//! impedance matrix whose off-diagonals carry the mutual coupling
+//! between conductors (Carson's equations). These types are the minimal
+//! dense kernels forward-backward sweep needs — add/sub on vectors and
+//! matrix·vector products — kept `#[repr(C)]`, `Copy` + `Default` so they
+//! live in device buffers unchanged.
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+use crate::Complex;
+
+/// A per-phase complex triple (voltages, currents or powers).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C)]
+pub struct CVec3 {
+    /// Phase a.
+    pub a: Complex,
+    /// Phase b.
+    pub b: Complex,
+    /// Phase c.
+    pub c: Complex,
+}
+
+impl CVec3 {
+    /// All-zero triple.
+    pub const ZERO: CVec3 = CVec3 { a: Complex::ZERO, b: Complex::ZERO, c: Complex::ZERO };
+
+    /// Builds from the three phases.
+    pub const fn new(a: Complex, b: Complex, c: Complex) -> Self {
+        CVec3 { a, b, c }
+    }
+
+    /// The same value on every phase.
+    pub const fn splat(v: Complex) -> Self {
+        CVec3 { a: v, b: v, c: v }
+    }
+
+    /// A balanced positive-sequence set of magnitude `mag`: phase a at
+    /// 0°, b at −120°, c at +120°.
+    pub fn balanced(mag: f64) -> Self {
+        let third = 2.0 * std::f64::consts::PI / 3.0;
+        CVec3 {
+            a: Complex::from_polar(mag, 0.0),
+            b: Complex::from_polar(mag, -third),
+            c: Complex::from_polar(mag, third),
+        }
+    }
+
+    /// Element-wise conjugate.
+    pub fn conj(self) -> Self {
+        CVec3 { a: self.a.conj(), b: self.b.conj(), c: self.c.conj() }
+    }
+
+    /// Largest phase magnitude.
+    pub fn abs_max(self) -> f64 {
+        self.a.abs().max(self.b.abs()).max(self.c.abs())
+    }
+
+    /// Smallest phase magnitude.
+    pub fn abs_min(self) -> f64 {
+        self.a.abs().min(self.b.abs()).min(self.c.abs())
+    }
+
+    /// Phase array view `[a, b, c]`.
+    pub fn phases(self) -> [Complex; 3] {
+        [self.a, self.b, self.c]
+    }
+
+    /// Applies `f` per phase.
+    pub fn map(self, f: impl Fn(Complex) -> Complex) -> Self {
+        CVec3 { a: f(self.a), b: f(self.b), c: f(self.c) }
+    }
+
+    /// Element-wise product (used by per-phase injection).
+    pub fn mul_elem(self, o: CVec3) -> Self {
+        CVec3 { a: self.a * o.a, b: self.b * o.b, c: self.c * o.c }
+    }
+
+    /// Voltage-unbalance estimate: max deviation of a phase magnitude
+    /// from the three-phase mean, over the mean (the NEMA/IEEE "percent
+    /// unbalance" definition on magnitudes). Zero for balanced sets.
+    pub fn unbalance(self) -> f64 {
+        let m = (self.a.abs() + self.b.abs() + self.c.abs()) / 3.0;
+        if m == 0.0 {
+            return 0.0;
+        }
+        self.phases().iter().map(|p| (p.abs() - m).abs()).fold(0.0, f64::max) / m
+    }
+
+    /// True when every phase is finite.
+    pub fn is_finite(self) -> bool {
+        self.a.is_finite() && self.b.is_finite() && self.c.is_finite()
+    }
+
+    /// Modeled flop count of one `CVec3` add.
+    pub const ADD_FLOPS: u64 = 3 * Complex::ADD_FLOPS;
+}
+
+impl Add for CVec3 {
+    type Output = CVec3;
+    fn add(self, o: CVec3) -> CVec3 {
+        CVec3 { a: self.a + o.a, b: self.b + o.b, c: self.c + o.c }
+    }
+}
+
+impl AddAssign for CVec3 {
+    fn add_assign(&mut self, o: CVec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for CVec3 {
+    type Output = CVec3;
+    fn sub(self, o: CVec3) -> CVec3 {
+        CVec3 { a: self.a - o.a, b: self.b - o.b, c: self.c - o.c }
+    }
+}
+
+impl SubAssign for CVec3 {
+    fn sub_assign(&mut self, o: CVec3) {
+        *self = *self - o;
+    }
+}
+
+impl Neg for CVec3 {
+    type Output = CVec3;
+    fn neg(self) -> CVec3 {
+        CVec3 { a: -self.a, b: -self.b, c: -self.c }
+    }
+}
+
+impl Mul<f64> for CVec3 {
+    type Output = CVec3;
+    fn mul(self, k: f64) -> CVec3 {
+        CVec3 { a: self.a * k, b: self.b * k, c: self.c * k }
+    }
+}
+
+/// A 3×3 complex matrix in row-major order (phase impedance/admittance).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C)]
+pub struct CMat3 {
+    /// Rows `[row][col]`, phases ordered a, b, c.
+    pub m: [[Complex; 3]; 3],
+}
+
+impl CMat3 {
+    /// All-zero matrix.
+    pub const ZERO: CMat3 = CMat3 { m: [[Complex::ZERO; 3]; 3] };
+
+    /// Builds from rows.
+    pub const fn from_rows(r0: [Complex; 3], r1: [Complex; 3], r2: [Complex; 3]) -> Self {
+        CMat3 { m: [r0, r1, r2] }
+    }
+
+    /// `z_self` on the diagonal, `z_mutual` elsewhere — the symmetric
+    /// approximation of a transposed line's Carson matrix.
+    pub const fn coupled(z_self: Complex, z_mutual: Complex) -> Self {
+        CMat3 {
+            m: [
+                [z_self, z_mutual, z_mutual],
+                [z_mutual, z_self, z_mutual],
+                [z_mutual, z_mutual, z_self],
+            ],
+        }
+    }
+
+    /// Diagonal (uncoupled) matrix.
+    pub const fn diag(z: Complex) -> Self {
+        Self::coupled(z, Complex::ZERO)
+    }
+
+    /// Matrix–vector product.
+    pub fn mul_vec(self, v: CVec3) -> CVec3 {
+        let p = v.phases();
+        let row = |r: [Complex; 3]| r[0] * p[0] + r[1] * p[1] + r[2] * p[2];
+        CVec3 { a: row(self.m[0]), b: row(self.m[1]), c: row(self.m[2]) }
+    }
+
+    /// Scales every entry.
+    pub fn scale(self, k: f64) -> Self {
+        let s = |r: [Complex; 3]| [r[0] * k, r[1] * k, r[2] * k];
+        CMat3 { m: [s(self.m[0]), s(self.m[1]), s(self.m[2])] }
+    }
+
+    /// True when every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.m.iter().flatten().all(|z| z.is_finite())
+    }
+
+    /// Modeled flop count of one matrix–vector product
+    /// (9 complex multiplies + 6 complex adds).
+    pub const MULVEC_FLOPS: u64 = 9 * Complex::MUL_FLOPS + 6 * Complex::ADD_FLOPS;
+}
+
+impl Add for CMat3 {
+    type Output = CMat3;
+    fn add(self, o: CMat3) -> CMat3 {
+        let mut out = CMat3::ZERO;
+        for r in 0..3 {
+            for c in 0..3 {
+                out.m[r][c] = self.m[r][c] + o.m[r][c];
+            }
+        }
+        out
+    }
+}
+
+impl Mul<CVec3> for CMat3 {
+    type Output = CVec3;
+    fn mul(self, v: CVec3) -> CVec3 {
+        self.mul_vec(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c;
+
+    #[test]
+    fn vector_arithmetic() {
+        let x = CVec3::new(c(1.0, 0.0), c(0.0, 1.0), c(-1.0, 0.0));
+        let y = CVec3::splat(c(1.0, 1.0));
+        assert_eq!(x + y, CVec3::new(c(2.0, 1.0), c(1.0, 2.0), c(0.0, 1.0)));
+        assert_eq!((x + y) - y, x);
+        assert_eq!(-x, CVec3::new(c(-1.0, 0.0), c(0.0, -1.0), c(1.0, 0.0)));
+        assert_eq!(x * 2.0, CVec3::new(c(2.0, 0.0), c(0.0, 2.0), c(-2.0, 0.0)));
+        let mut z = x;
+        z += y;
+        z -= y;
+        assert_eq!(z, x);
+    }
+
+    #[test]
+    fn balanced_set_properties() {
+        let v = CVec3::balanced(100.0);
+        for p in v.phases() {
+            assert!((p.abs() - 100.0).abs() < 1e-9);
+        }
+        // Phasors sum to zero for a balanced set.
+        let sum = v.a + v.b + v.c;
+        assert!(sum.abs() < 1e-9);
+        assert!(v.unbalance() < 1e-12);
+        assert_eq!(v.abs_max(), v.abs_min());
+    }
+
+    #[test]
+    fn unbalance_detects_sag() {
+        let mut v = CVec3::balanced(100.0);
+        v.b = v.b * 0.9; // 10% sag on phase b
+        assert!(v.unbalance() > 0.05 && v.unbalance() < 0.10);
+    }
+
+    #[test]
+    fn matvec_identity_and_coupling() {
+        let eye = CMat3::diag(Complex::ONE);
+        let v = CVec3::new(c(1.0, 2.0), c(3.0, -1.0), c(0.5, 0.0));
+        assert_eq!(eye.mul_vec(v), v);
+
+        // Pure mutual coupling mixes the other phases.
+        let mutual = CMat3::coupled(Complex::ZERO, Complex::ONE);
+        let got = mutual.mul_vec(v);
+        assert_eq!(got.a, v.b + v.c);
+        assert_eq!(got.b, v.a + v.c);
+        assert_eq!(got.c, v.a + v.b);
+    }
+
+    #[test]
+    fn matvec_matches_manual_expansion() {
+        let m = CMat3::from_rows(
+            [c(1.0, 0.0), c(0.0, 1.0), c(2.0, 0.0)],
+            [c(0.0, 0.0), c(1.0, 1.0), c(0.0, 0.0)],
+            [c(1.0, -1.0), c(0.0, 0.0), c(3.0, 0.0)],
+        );
+        let v = CVec3::new(c(1.0, 1.0), c(2.0, 0.0), c(0.0, -1.0));
+        let got = m.mul_vec(v);
+        assert_eq!(got.a, c(1.0, 0.0) * c(1.0, 1.0) + c(0.0, 1.0) * c(2.0, 0.0) + c(2.0, 0.0) * c(0.0, -1.0));
+        assert_eq!(got.b, c(1.0, 1.0) * c(2.0, 0.0));
+        assert_eq!(got.c, c(1.0, -1.0) * c(1.0, 1.0) + c(3.0, 0.0) * c(0.0, -1.0));
+    }
+
+    #[test]
+    fn matrix_add_and_scale() {
+        let a = CMat3::diag(c(1.0, 0.0));
+        let b = CMat3::coupled(c(1.0, 0.0), c(0.5, 0.0));
+        let s = a + b;
+        assert_eq!(s.m[0][0], c(2.0, 0.0));
+        assert_eq!(s.m[0][1], c(0.5, 0.0));
+        let h = b.scale(2.0);
+        assert_eq!(h.m[1][0], c(1.0, 0.0));
+    }
+
+    #[test]
+    fn layout_is_flat_complex() {
+        assert_eq!(std::mem::size_of::<CVec3>(), 48);
+        assert_eq!(std::mem::size_of::<CMat3>(), 144);
+    }
+
+    #[test]
+    fn finite_predicates() {
+        assert!(CVec3::balanced(1.0).is_finite());
+        let mut v = CVec3::ZERO;
+        v.b = c(f64::NAN, 0.0);
+        assert!(!v.is_finite());
+        assert!(CMat3::diag(Complex::ONE).is_finite());
+        let mut m = CMat3::ZERO;
+        m.m[2][1] = c(f64::INFINITY, 0.0);
+        assert!(!m.is_finite());
+    }
+}

@@ -1,0 +1,229 @@
+//! Depth-first (preorder) topology layout.
+//!
+//! The complement of [`crate::LevelOrder`]: in preorder, every subtree is
+//! a *contiguous* range `[d, d + size)`, which turns the backward sweep's
+//! subtree sums into differences of one whole-array prefix scan — the
+//! basis of the depth-insensitive "jump" solver (`fbs::JumpSolver`) that
+//! removes the per-level kernel launches the paper's topology discussion
+//! identifies as the deep-tree bottleneck.
+
+use crate::network::RadialNetwork;
+
+/// Sentinel for "no parent" (the root's parent pointer).
+pub const DFS_NO_PARENT: u32 = u32::MAX;
+
+/// Preorder permutation and per-position subtree metadata.
+#[derive(Clone, Debug)]
+pub struct DfsOrder {
+    /// `order[d]` = bus id at preorder position `d` (position 0 = root).
+    pub order: Vec<u32>,
+    /// Inverse permutation: `pos_of[bus]` = its preorder position.
+    pub pos_of: Vec<u32>,
+    /// Parent preorder position per position ([`DFS_NO_PARENT`] at root).
+    pub parent_pos: Vec<u32>,
+    /// Subtree size (bus count including self) per position; the subtree
+    /// of position `d` occupies `[d, d + subtree_size[d])`.
+    pub subtree_size: Vec<u32>,
+    /// Depth (edges from the root) per position.
+    pub depth: Vec<u32>,
+    /// Maximum depth over all buses.
+    pub max_depth: u32,
+}
+
+impl DfsOrder {
+    /// Computes the preorder layout of a network (iterative DFS — deep
+    /// chains must not overflow the call stack).
+    pub fn new(net: &RadialNetwork) -> Self {
+        let edges: Vec<(u32, u32)> =
+            net.branches().iter().map(|br| (br.from as u32, br.to as u32)).collect();
+        Self::from_edges(net.num_buses(), net.root(), &edges)
+    }
+
+    /// Preorder layout of any validated radial edge list (shared by the
+    /// single- and three-phase network types).
+    pub fn from_edges(n: usize, root: usize, edges: &[(u32, u32)]) -> Self {
+        assert_eq!(edges.len(), n.saturating_sub(1), "radial edge count");
+
+        // Children adjacency in edge-insertion order.
+        let mut child_count = vec![0u32; n];
+        for &(from, _) in edges {
+            child_count[from as usize] += 1;
+        }
+        let mut adj_off = vec![0u32; n + 1];
+        for i in 0..n {
+            adj_off[i + 1] = adj_off[i] + child_count[i];
+        }
+        let mut adj = vec![0u32; n.saturating_sub(1)];
+        let mut cursor = adj_off.clone();
+        for &(from, to) in edges {
+            adj[cursor[from as usize] as usize] = to;
+            cursor[from as usize] += 1;
+        }
+
+        let mut order = Vec::with_capacity(n);
+        let mut pos_of = vec![u32::MAX; n];
+        let mut parent_pos = Vec::with_capacity(n);
+        let mut depth = Vec::with_capacity(n);
+        let mut subtree_size = vec![1u32; n];
+        let mut max_depth = 0u32;
+
+        // Explicit stack of (bus, parent_pos, depth); children pushed in
+        // reverse so preorder visits them in adjacency order.
+        let mut stack: Vec<(u32, u32, u32)> = vec![(root as u32, DFS_NO_PARENT, 0)];
+        while let Some((bus, par, d)) = stack.pop() {
+            let pos = order.len() as u32;
+            pos_of[bus as usize] = pos;
+            order.push(bus);
+            parent_pos.push(par);
+            depth.push(d);
+            max_depth = max_depth.max(d);
+            let (lo, hi) = (adj_off[bus as usize], adj_off[bus as usize + 1]);
+            for k in (lo..hi).rev() {
+                stack.push((adj[k as usize], pos, d + 1));
+            }
+        }
+        debug_assert_eq!(order.len(), n, "DFS must reach every bus");
+
+        // Subtree sizes: positions descend, a child always has a higher
+        // position than its parent, so one reverse pass accumulates.
+        for pos in (1..n).rev() {
+            let par = parent_pos[pos] as usize;
+            subtree_size[par] += subtree_size[pos];
+        }
+
+        DfsOrder { order, pos_of, parent_pos, subtree_size, depth, max_depth }
+    }
+
+    /// Bus count.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Never empty after network validation.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Permutes a by-bus attribute array into preorder.
+    pub fn permute<T: Copy>(&self, by_bus: &[T]) -> Vec<T> {
+        assert_eq!(by_bus.len(), self.len(), "permute: length mismatch");
+        self.order.iter().map(|&b| by_bus[b as usize]).collect()
+    }
+
+    /// Un-permutes a by-position array back to bus order.
+    pub fn unpermute<T: Copy>(&self, by_pos: &[T]) -> Vec<T> {
+        assert_eq!(by_pos.len(), self.len(), "unpermute: length mismatch");
+        let mut out = vec![by_pos[0]; self.len()];
+        for (p, &b) in self.order.iter().enumerate() {
+            out[b as usize] = by_pos[p];
+        }
+        out
+    }
+
+    /// Internal consistency check: permutation validity, subtree
+    /// contiguity, parent/depth relations. Panics with a description.
+    pub fn check_invariants(&self) {
+        let n = self.len();
+        for d in 0..n {
+            assert_eq!(self.pos_of[self.order[d] as usize] as usize, d, "inverse permutation");
+            let m = self.subtree_size[d] as usize;
+            assert!(d + m <= n, "subtree range in bounds");
+            if d == 0 {
+                assert_eq!(self.parent_pos[0], DFS_NO_PARENT);
+                assert_eq!(self.depth[0], 0);
+                assert_eq!(m, n, "root subtree is everything");
+            } else {
+                let par = self.parent_pos[d] as usize;
+                assert!(par < d, "preorder parents precede children");
+                assert_eq!(self.depth[d], self.depth[par] + 1, "depth increments");
+                // Child range nests inside the parent range.
+                let pm = self.subtree_size[par] as usize;
+                assert!(d + m <= par + pm, "subtree nesting at {d}");
+            }
+        }
+        // Every position except descendants-of-previous starts after its
+        // parent's position + ...: covered by nesting; also total depth.
+        assert_eq!(self.depth.iter().copied().max().unwrap_or(0), self.max_depth);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+    use numc::{c, Complex};
+
+    /// Same example tree as the level-order tests:
+    /// 0 → {1, 2, 3}; 1 → {4, 5}; 3 → {6}; 6 → {7}.
+    fn example() -> RadialNetwork {
+        let mut b = NetworkBuilder::new(c(1.0, 0.0));
+        for _ in 0..8 {
+            b.add_bus(Complex::ZERO);
+        }
+        for (f, t) in [(0, 1), (0, 2), (0, 3), (1, 4), (1, 5), (3, 6), (6, 7)] {
+            b.connect(f, t, c(0.1, 0.05));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn preorder_of_example() {
+        let dfs = DfsOrder::new(&example());
+        dfs.check_invariants();
+        // Preorder: 0, 1, 4, 5, 2, 3, 6, 7.
+        assert_eq!(dfs.order, vec![0, 1, 4, 5, 2, 3, 6, 7]);
+        assert_eq!(dfs.subtree_size, vec![8, 3, 1, 1, 1, 3, 2, 1]);
+        assert_eq!(dfs.depth, vec![0, 1, 2, 2, 1, 1, 2, 3]);
+        assert_eq!(dfs.max_depth, 3);
+        // Subtree of bus 3 (position 5) is positions 5..8 = buses {3,6,7}.
+        assert_eq!(&dfs.order[5..8], &[3, 6, 7]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        let n = 200_000;
+        let mut b = NetworkBuilder::new(c(1.0, 0.0));
+        for _ in 0..n {
+            b.add_bus(Complex::ZERO);
+        }
+        for i in 0..n - 1 {
+            b.connect(i, i + 1, c(0.1, 0.0));
+        }
+        let dfs = DfsOrder::new(&b.build().unwrap());
+        assert_eq!(dfs.max_depth, (n - 1) as u32);
+        assert_eq!(dfs.subtree_size[0], n as u32);
+        assert_eq!(dfs.subtree_size[n - 1], 1);
+    }
+
+    #[test]
+    fn shuffled_ids_keep_invariants() {
+        let mut b = NetworkBuilder::new(c(1.0, 0.0));
+        for _ in 0..8 {
+            b.add_bus(Complex::ZERO);
+        }
+        for (f, t) in [(1, 6), (0, 5), (5, 7), (0, 3), (6, 4), (0, 1), (5, 2)] {
+            b.connect(f, t, c(0.1, 0.05));
+        }
+        let net = b.build().unwrap();
+        let dfs = DfsOrder::new(&net);
+        dfs.check_invariants();
+        assert_eq!(dfs.subtree_size[0], 8);
+    }
+
+    #[test]
+    fn permute_roundtrip() {
+        let dfs = DfsOrder::new(&example());
+        let by_bus: Vec<u32> = (0..8).map(|i| i * 3).collect();
+        assert_eq!(dfs.unpermute(&dfs.permute(&by_bus)), by_bus);
+    }
+
+    #[test]
+    fn single_bus() {
+        let mut b = NetworkBuilder::new(c(1.0, 0.0));
+        b.add_bus(Complex::ZERO);
+        let dfs = DfsOrder::new(&b.build().unwrap());
+        dfs.check_invariants();
+        assert_eq!(dfs.subtree_size, vec![1]);
+        assert_eq!(dfs.max_depth, 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Network editing: derive modified networks from existing ones.
+//!
+//! [`RadialNetwork`] is immutable after validation; planning studies
+//! (hosting capacity, reconfiguration, lateral additions) need modified
+//! copies. Every editor here returns a freshly *re-validated* network,
+//! so no sequence of edits can produce a non-radial system.
+
+use numc::Complex;
+
+use crate::network::{NetworkBuilder, NetworkError, RadialNetwork};
+
+/// Returns a copy with bus `bus`'s load replaced by `load`.
+pub fn with_load(net: &RadialNetwork, bus: usize, load: Complex) -> Result<RadialNetwork, NetworkError> {
+    let mut b = builder_of(net);
+    b = rebuild_buses(b, net, |i, old| if i == bus { load } else { old });
+    rebuild_branches(&mut b, net);
+    b.build()
+}
+
+/// Returns a copy with `delta` added to bus `bus`'s load (negative
+/// `delta.re` models generation).
+pub fn with_added_load(
+    net: &RadialNetwork,
+    bus: usize,
+    delta: Complex,
+) -> Result<RadialNetwork, NetworkError> {
+    with_load(net, bus, net.buses()[bus].load + delta)
+}
+
+/// Returns a copy with a new lateral appended: a chain of
+/// `loads.len()` new buses hanging off `at_bus`, each section with
+/// impedance `z`. New bus ids continue from the old count. Returns the
+/// new network and the id of the lateral's last bus.
+pub fn with_lateral(
+    net: &RadialNetwork,
+    at_bus: usize,
+    loads: &[Complex],
+    z: Complex,
+) -> Result<(RadialNetwork, usize), NetworkError> {
+    assert!(!loads.is_empty(), "lateral needs at least one bus");
+    let mut b = builder_of(net);
+    b = rebuild_buses(b, net, |_, old| old);
+    rebuild_branches(&mut b, net);
+    let mut up = at_bus;
+    let mut last = at_bus;
+    for &load in loads {
+        let new = b.add_bus(load);
+        b.connect(up, new, z);
+        up = new;
+        last = new;
+    }
+    Ok((b.build()?, last))
+}
+
+/// Extracts the subtree rooted at `at_bus` as a standalone network whose
+/// root (the new bus 0) is `at_bus` itself with its load removed (it
+/// becomes the new slack/interconnection point). Returns the network and
+/// the old-id → new-id map (`usize::MAX` for buses outside the subtree).
+pub fn extract_subtree(
+    net: &RadialNetwork,
+    at_bus: usize,
+) -> Result<(RadialNetwork, Vec<usize>), NetworkError> {
+    let n = net.num_buses();
+    assert!(at_bus < n, "bus out of range");
+
+    // Membership: walk parents until root or at_bus.
+    let mut member = vec![false; n];
+    member[at_bus] = true;
+    for start in 0..n {
+        let mut path = Vec::new();
+        let mut cur = start;
+        let mut inside = false;
+        loop {
+            if member[cur] {
+                inside = true;
+                break;
+            }
+            if cur == net.root() {
+                break;
+            }
+            path.push(cur);
+            cur = net.parent(cur).expect("non-root has parent");
+        }
+        if inside {
+            for b in path {
+                member[b] = true;
+            }
+        }
+    }
+
+    let mut map = vec![usize::MAX; n];
+    let mut b = NetworkBuilder::new(net.source_voltage());
+    map[at_bus] = b.add_bus(Complex::ZERO); // new slack carries no load
+    for bus in 0..n {
+        if member[bus] && bus != at_bus {
+            map[bus] = b.add_bus(net.buses()[bus].load);
+        }
+    }
+    for br in net.branches() {
+        if member[br.from] && member[br.to] && br.to != at_bus {
+            b.connect(map[br.from], map[br.to], br.z);
+        }
+    }
+    Ok((b.build()?, map))
+}
+
+fn builder_of(net: &RadialNetwork) -> NetworkBuilder {
+    NetworkBuilder::with_capacity(net.source_voltage(), net.num_buses())
+}
+
+fn rebuild_buses(
+    mut b: NetworkBuilder,
+    net: &RadialNetwork,
+    load_of: impl Fn(usize, Complex) -> Complex,
+) -> NetworkBuilder {
+    for (i, bus) in net.buses().iter().enumerate() {
+        b.add_bus(load_of(i, bus.load));
+    }
+    b
+}
+
+fn rebuild_branches(b: &mut NetworkBuilder, net: &RadialNetwork) {
+    for br in net.branches() {
+        b.connect(br.from, br.to, br.z);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ieee::ieee13;
+    use crate::LevelOrder;
+    use numc::c;
+
+    #[test]
+    fn with_load_replaces_one_bus() {
+        let net = ieee13();
+        let edited = with_load(&net, 3, c(999.0, 111.0)).unwrap();
+        assert_eq!(edited.buses()[3].load, c(999.0, 111.0));
+        assert_eq!(edited.buses()[4].load, net.buses()[4].load);
+        assert_eq!(edited.num_branches(), net.num_branches());
+    }
+
+    #[test]
+    fn with_added_load_accumulates() {
+        let net = ieee13();
+        let before = net.buses()[6].load;
+        let edited = with_added_load(&net, 6, c(50_000.0, 0.0)).unwrap();
+        assert_eq!(edited.buses()[6].load, before + c(50_000.0, 0.0));
+    }
+
+    #[test]
+    fn lateral_extends_the_tree() {
+        let net = ieee13();
+        let loads = [c(10e3, 3e3), c(12e3, 4e3), c(8e3, 2e3)];
+        let (edited, tip) = with_lateral(&net, 6, &loads, c(0.1, 0.05)).unwrap();
+        assert_eq!(edited.num_buses(), 16);
+        assert_eq!(tip, 15);
+        assert_eq!(edited.parent(13), Some(6));
+        assert_eq!(edited.parent(14), Some(13));
+        assert_eq!(edited.parent(15), Some(14));
+        LevelOrder::new(&edited).check_invariants();
+        // Total load grew by the lateral's loads.
+        let grown = edited.total_load() - net.total_load();
+        assert!((grown - loads.iter().copied().sum::<numc::Complex>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extract_subtree_renumbers_consistently() {
+        let net = ieee13();
+        // Bus 6 (node 671) heads the lower half of the feeder.
+        let (sub, map) = extract_subtree(&net, 6).unwrap();
+        assert_eq!(map[6], 0, "subtree root becomes bus 0");
+        assert_eq!(sub.buses()[0].load, numc::Complex::ZERO, "new slack is unloaded");
+        // 671's subtree: 671, 680, 684, 611, 652, 692, 675 → 7 buses.
+        assert_eq!(sub.num_buses(), 7);
+        assert_eq!(map[0], usize::MAX, "old root is outside");
+        // Parent relations survive the renumbering: 675 under 692.
+        assert_eq!(sub.parent(map[12]), Some(map[11]));
+        LevelOrder::new(&sub).check_invariants();
+    }
+
+    #[test]
+    fn extract_leaf_gives_single_bus_network() {
+        let net = ieee13();
+        let (sub, map) = extract_subtree(&net, 12).unwrap();
+        assert_eq!(sub.num_buses(), 1);
+        assert_eq!(map[12], 0);
+    }
+
+    #[test]
+    fn edits_keep_radial_validation() {
+        // Adding a lateral to a lateral tip keeps everything valid.
+        let net = ieee13();
+        let (e1, tip) = with_lateral(&net, 9, &[c(5e3, 1e3)], c(0.2, 0.1)).unwrap();
+        let (e2, _) = with_lateral(&e1, tip, &[c(5e3, 1e3); 4], c(0.2, 0.1)).unwrap();
+        assert_eq!(e2.num_buses(), net.num_buses() + 5);
+        LevelOrder::new(&e2).check_invariants();
+    }
+}

@@ -1,0 +1,247 @@
+//! The `.grid` text format — a minimal, dependency-free serialization of
+//! radial networks for the CLI and examples.
+//!
+//! ```text
+//! # comment
+//! grid 1
+//! source 7200 0
+//! bus 0 0 0
+//! bus 1 50000 20000
+//! branch 0 1 0.10 0.06
+//! ```
+//!
+//! * `grid <version>` — header, version 1.
+//! * `source <re> <im>` — slack voltage, volts.
+//! * `bus <id> <p_watts> <q_vars>` — ids must be dense `0..n` (any order).
+//! * `branch <from> <to> <r_ohms> <x_ohms>`.
+//!
+//! Blank lines and `#` comments are ignored. The reader validates through
+//! [`NetworkBuilder::build`], so a parsed file is always a well-formed
+//! radial network.
+
+use std::fmt::Write as _;
+
+use numc::c;
+
+use crate::network::{NetworkBuilder, NetworkError, RadialNetwork};
+
+/// Why parsing failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParseError {
+    /// Missing or malformed `grid` header.
+    BadHeader,
+    /// Unsupported format version.
+    BadVersion(String),
+    /// A line could not be parsed; carries (1-based line number, reason).
+    BadLine(usize, String),
+    /// Bus ids were not dense `0..n`.
+    SparseBusIds,
+    /// No `source` line.
+    MissingSource,
+    /// The parsed network failed radiality validation.
+    Invalid(NetworkError),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader => write!(f, "missing `grid <version>` header"),
+            ParseError::BadVersion(v) => write!(f, "unsupported grid version {v}"),
+            ParseError::BadLine(n, why) => write!(f, "line {n}: {why}"),
+            ParseError::SparseBusIds => write!(f, "bus ids must be dense 0..n"),
+            ParseError::MissingSource => write!(f, "missing `source` line"),
+            ParseError::Invalid(e) => write!(f, "invalid network: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialises a network to `.grid` text.
+pub fn write_grid(net: &RadialNetwork) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# radial distribution network ({} buses)", net.num_buses());
+    let _ = writeln!(out, "grid 1");
+    let v = net.source_voltage();
+    let _ = writeln!(out, "source {} {}", v.re, v.im);
+    for (i, bus) in net.buses().iter().enumerate() {
+        let _ = writeln!(out, "bus {i} {} {}", bus.load.re, bus.load.im);
+    }
+    for br in net.branches() {
+        let _ = writeln!(out, "branch {} {} {} {}", br.from, br.to, br.z.re, br.z.im);
+    }
+    out
+}
+
+/// Parses `.grid` text into a validated network.
+pub fn parse_grid(text: &str) -> Result<RadialNetwork, ParseError> {
+    let mut source = None;
+    let mut buses: Vec<(usize, f64, f64)> = Vec::new();
+    let mut branches: Vec<(usize, usize, f64, f64)> = Vec::new();
+    let mut saw_header = false;
+
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tok = line.split_ascii_whitespace();
+        let kind = tok.next().expect("non-empty line has a token");
+        let bad = |why: &str| ParseError::BadLine(ln + 1, why.to_string());
+
+        match kind {
+            "grid" => {
+                let ver = tok.next().ok_or(ParseError::BadHeader)?;
+                if ver != "1" {
+                    return Err(ParseError::BadVersion(ver.to_string()));
+                }
+                saw_header = true;
+            }
+            "source" => {
+                let re: f64 = parse_tok(&mut tok).map_err(|w| bad(&w))?;
+                let im: f64 = parse_tok(&mut tok).map_err(|w| bad(&w))?;
+                source = Some(c(re, im));
+            }
+            "bus" => {
+                let id: usize = parse_tok(&mut tok).map_err(|w| bad(&w))?;
+                let p: f64 = parse_tok(&mut tok).map_err(|w| bad(&w))?;
+                let q: f64 = parse_tok(&mut tok).map_err(|w| bad(&w))?;
+                buses.push((id, p, q));
+            }
+            "branch" => {
+                let from: usize = parse_tok(&mut tok).map_err(|w| bad(&w))?;
+                let to: usize = parse_tok(&mut tok).map_err(|w| bad(&w))?;
+                let r: f64 = parse_tok(&mut tok).map_err(|w| bad(&w))?;
+                let x: f64 = parse_tok(&mut tok).map_err(|w| bad(&w))?;
+                branches.push((from, to, r, x));
+            }
+            other => return Err(bad(&format!("unknown directive `{other}`"))),
+        }
+        if tok.next().is_some() {
+            return Err(bad("trailing tokens"));
+        }
+    }
+
+    if !saw_header {
+        return Err(ParseError::BadHeader);
+    }
+    let source = source.ok_or(ParseError::MissingSource)?;
+
+    // Bus ids must be dense 0..n (order in the file is free).
+    let n = buses.len();
+    let mut loads = vec![None; n];
+    for (id, p, q) in buses {
+        if id >= n || loads[id].is_some() {
+            return Err(ParseError::SparseBusIds);
+        }
+        loads[id] = Some(c(p, q));
+    }
+
+    let mut b = NetworkBuilder::with_capacity(source, n);
+    for load in loads {
+        b.add_bus(load.expect("dense check guarantees presence"));
+    }
+    for (from, to, r, x) in branches {
+        b.connect(from, to, c(r, x));
+    }
+    b.build().map_err(ParseError::Invalid)
+}
+
+fn parse_tok<T: std::str::FromStr>(tok: &mut std::str::SplitAsciiWhitespace<'_>) -> Result<T, String> {
+    let s = tok.next().ok_or_else(|| "missing field".to_string())?;
+    s.parse().map_err(|_| format!("cannot parse `{s}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{balanced_binary, GenSpec};
+    use crate::ieee::ieee13;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_small_network() {
+        let net = ieee13();
+        let text = write_grid(&net);
+        let back = parse_grid(&text).unwrap();
+        assert_eq!(back.num_buses(), net.num_buses());
+        assert_eq!(back.source_voltage(), net.source_voltage());
+        for (a, b) in back.buses().iter().zip(net.buses()) {
+            assert_eq!(a, b);
+        }
+        for (a, b) in back.branches().iter().zip(net.branches()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn roundtrip_generated_network() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = balanced_binary(257, &GenSpec::default(), &mut rng);
+        let back = parse_grid(&write_grid(&net)).unwrap();
+        assert_eq!(back.num_buses(), 257);
+        assert_eq!(back.total_load(), net.total_load());
+    }
+
+    #[test]
+    fn parses_comments_blanks_and_any_order() {
+        let text = "\n# header comment\ngrid 1\nbus 1 100 50 # inline\n\nsource 240 0\nbus 0 0 0\nbranch 0 1 0.5 0.25\n";
+        let net = parse_grid(text).unwrap();
+        assert_eq!(net.num_buses(), 2);
+        assert_eq!(net.buses()[1].load, c(100.0, 50.0));
+        assert_eq!(net.source_voltage(), c(240.0, 0.0));
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert_eq!(parse_grid("source 1 0\nbus 0 0 0\n").unwrap_err(), ParseError::BadHeader);
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        assert_eq!(
+            parse_grid("grid 2\nsource 1 0\nbus 0 0 0\n").unwrap_err(),
+            ParseError::BadVersion("2".into())
+        );
+    }
+
+    #[test]
+    fn missing_source_rejected() {
+        assert_eq!(parse_grid("grid 1\nbus 0 0 0\n").unwrap_err(), ParseError::MissingSource);
+    }
+
+    #[test]
+    fn bad_numbers_carry_line_info() {
+        let err = parse_grid("grid 1\nsource 1 0\nbus 0 oops 0\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadLine(3, _)), "{err:?}");
+        assert!(err.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        let err = parse_grid("grid 1\nsource 1 0\nbus 0 0 0\ncapacitor 0 5\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadLine(4, _)));
+    }
+
+    #[test]
+    fn sparse_and_duplicate_ids_rejected() {
+        let sparse = "grid 1\nsource 1 0\nbus 0 0 0\nbus 5 0 0\nbranch 0 5 1 0\n";
+        assert_eq!(parse_grid(sparse).unwrap_err(), ParseError::SparseBusIds);
+        let dup = "grid 1\nsource 1 0\nbus 0 0 0\nbus 0 0 0\nbranch 0 1 1 0\n";
+        assert_eq!(parse_grid(dup).unwrap_err(), ParseError::SparseBusIds);
+    }
+
+    #[test]
+    fn invalid_topology_surfaces_network_error() {
+        let cyclic = "grid 1\nsource 1 0\nbus 0 0 0\nbus 1 0 0\nbus 2 0 0\nbranch 1 2 1 0\nbranch 2 1 1 0\n";
+        let err = parse_grid(cyclic).unwrap_err();
+        assert!(matches!(err, ParseError::Invalid(_)), "{err:?}");
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        let err = parse_grid("grid 1\nsource 1 0 extra\nbus 0 0 0\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadLine(2, _)));
+    }
+}

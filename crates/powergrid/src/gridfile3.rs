@@ -1,0 +1,203 @@
+//! The `.grid3` text format — three-phase network serialization.
+//!
+//! ```text
+//! grid3 1
+//! source3 2401.7 0 -1200.8 -2079.9 -1200.8 2079.9
+//! bus3 0 0 0 0 0 0 0
+//! bus3 1 160000 110000 120000 90000 120000 90000
+//! branch3 0 1 0.1288 0.2682 0.040 0.120
+//! ```
+//!
+//! * `grid3 <version>` — header, version 1.
+//! * `source3 <re_a> <im_a> <re_b> <im_b> <re_c> <im_c>` — slack set.
+//! * `bus3 <id> <p_a> <q_a> <p_b> <q_b> <p_c> <q_c>` — per-phase loads,
+//!   W / var; ids dense `0..n`.
+//! * `branch3 <from> <to> <r_self> <x_self> <r_mutual> <x_mutual>` —
+//!   the symmetric coupled impedance matrix
+//!   [`CMat3::coupled`](numc::CMat3::coupled). (Full 3×3 matrices are a
+//!   documented format-v2 extension; everything this workspace generates
+//!   is self/mutual symmetric.)
+//!
+//! Blank lines and `#` comments are ignored; validation goes through
+//! [`ThreePhaseBuilder::build`].
+
+use std::fmt::Write as _;
+
+use numc::{c, CMat3, CVec3};
+
+use crate::gridfile::ParseError;
+use crate::three_phase::{ThreePhaseBuilder, ThreePhaseNetwork};
+
+/// Serialises a three-phase network to `.grid3` text.
+///
+/// Branch matrices are emitted in self/mutual form: the self term is the
+/// mean of the diagonal, the mutual term the mean of the off-diagonals
+/// (exact for everything built by this workspace's constructors).
+pub fn write_grid3(net: &ThreePhaseNetwork) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# three-phase radial network ({} buses)", net.num_buses());
+    let _ = writeln!(out, "grid3 1");
+    let v = net.source_voltage();
+    let _ = writeln!(
+        out,
+        "source3 {} {} {} {} {} {}",
+        v.a.re, v.a.im, v.b.re, v.b.im, v.c.re, v.c.im
+    );
+    for (i, bus) in net.buses().iter().enumerate() {
+        let s = bus.load;
+        let _ = writeln!(
+            out,
+            "bus3 {i} {} {} {} {} {} {}",
+            s.a.re, s.a.im, s.b.re, s.b.im, s.c.re, s.c.im
+        );
+    }
+    for br in net.branches() {
+        let z = br.z;
+        let z_self = (z.m[0][0] + z.m[1][1] + z.m[2][2]) / 3.0;
+        let z_mut = (z.m[0][1] + z.m[0][2] + z.m[1][0] + z.m[1][2] + z.m[2][0] + z.m[2][1]) / 6.0;
+        let _ = writeln!(
+            out,
+            "branch3 {} {} {} {} {} {}",
+            br.from, br.to, z_self.re, z_self.im, z_mut.re, z_mut.im
+        );
+    }
+    out
+}
+
+/// Parses `.grid3` text into a validated three-phase network.
+pub fn parse_grid3(text: &str) -> Result<ThreePhaseNetwork, ParseError> {
+    let mut source = None;
+    let mut buses: Vec<(usize, CVec3)> = Vec::new();
+    let mut branches: Vec<(usize, usize, CMat3)> = Vec::new();
+    let mut saw_header = false;
+
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tok = line.split_ascii_whitespace();
+        let kind = tok.next().expect("non-empty line has a token");
+        let bad = |why: &str| ParseError::BadLine(ln + 1, why.to_string());
+        let num = |tok: &mut std::str::SplitAsciiWhitespace<'_>| -> Result<f64, ParseError> {
+            let s = tok.next().ok_or_else(|| bad("missing field"))?;
+            s.parse().map_err(|_| bad(&format!("cannot parse `{s}`")))
+        };
+
+        match kind {
+            "grid3" => {
+                let ver = tok.next().ok_or(ParseError::BadHeader)?;
+                if ver != "1" {
+                    return Err(ParseError::BadVersion(ver.to_string()));
+                }
+                saw_header = true;
+            }
+            "source3" => {
+                let vals: Result<Vec<f64>, _> = (0..6).map(|_| num(&mut tok)).collect();
+                let v = vals?;
+                source = Some(CVec3::new(c(v[0], v[1]), c(v[2], v[3]), c(v[4], v[5])));
+            }
+            "bus3" => {
+                let id = tok
+                    .next()
+                    .ok_or_else(|| bad("missing id"))?
+                    .parse::<usize>()
+                    .map_err(|_| bad("bad bus id"))?;
+                let vals: Result<Vec<f64>, _> = (0..6).map(|_| num(&mut tok)).collect();
+                let v = vals?;
+                buses.push((id, CVec3::new(c(v[0], v[1]), c(v[2], v[3]), c(v[4], v[5]))));
+            }
+            "branch3" => {
+                let from = tok
+                    .next()
+                    .ok_or_else(|| bad("missing from"))?
+                    .parse::<usize>()
+                    .map_err(|_| bad("bad from id"))?;
+                let to = tok
+                    .next()
+                    .ok_or_else(|| bad("missing to"))?
+                    .parse::<usize>()
+                    .map_err(|_| bad("bad to id"))?;
+                let vals: Result<Vec<f64>, _> = (0..4).map(|_| num(&mut tok)).collect();
+                let v = vals?;
+                branches.push((from, to, CMat3::coupled(c(v[0], v[1]), c(v[2], v[3]))));
+            }
+            other => return Err(bad(&format!("unknown directive `{other}`"))),
+        }
+        if tok.next().is_some() {
+            return Err(bad("trailing tokens"));
+        }
+    }
+
+    if !saw_header {
+        return Err(ParseError::BadHeader);
+    }
+    let source = source.ok_or(ParseError::MissingSource)?;
+
+    let n = buses.len();
+    let mut loads = vec![None; n];
+    for (id, s) in buses {
+        if id >= n || loads[id].is_some() {
+            return Err(ParseError::SparseBusIds);
+        }
+        loads[id] = Some(s);
+    }
+    let mut b = ThreePhaseBuilder::new(source);
+    for load in loads {
+        b.add_bus(load.expect("dense check guarantees presence"));
+    }
+    for (from, to, z) in branches {
+        b.connect(from, to, z);
+    }
+    b.build().map_err(ParseError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::three_phase::ieee13_unbalanced;
+
+    #[test]
+    fn roundtrip_ieee13_unbalanced() {
+        let net = ieee13_unbalanced();
+        let text = write_grid3(&net);
+        let back = parse_grid3(&text).unwrap();
+        assert_eq!(back.num_buses(), net.num_buses());
+        for (a, b) in back.buses().iter().zip(net.buses()) {
+            assert!((a.load - b.load).abs_max() < 1e-9);
+        }
+        for (a, b) in back.branches().iter().zip(net.branches()) {
+            assert_eq!(a.from, b.from);
+            assert_eq!(a.to, b.to);
+            // ieee13's matrices are exactly self/mutual symmetric.
+            for r in 0..3 {
+                for col in 0..3 {
+                    assert!((a.z.m[r][col] - b.z.m[r][col]).abs() < 1e-12);
+                }
+            }
+        }
+        let sv = back.source_voltage();
+        assert!((sv - net.source_voltage()).abs_max() < 1e-9);
+    }
+
+    #[test]
+    fn header_and_structure_errors() {
+        assert!(matches!(parse_grid3("bus3 0 0 0 0 0 0 0\n"), Err(ParseError::BadHeader)));
+        assert!(matches!(
+            parse_grid3("grid3 9\n"),
+            Err(ParseError::BadVersion(_))
+        ));
+        assert!(matches!(
+            parse_grid3("grid3 1\nbus3 0 0 0 0 0 0 0\n"),
+            Err(ParseError::MissingSource)
+        ));
+        let bad_line = "grid3 1\nsource3 1 0 1 0 1 0\nbus3 0 x 0 0 0 0 0\n";
+        assert!(matches!(parse_grid3(bad_line), Err(ParseError::BadLine(3, _))));
+    }
+
+    #[test]
+    fn single_phase_grid_is_rejected_here() {
+        let err = parse_grid3("grid 1\nsource 100 0\nbus 0 0 0\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadLine(1, _)));
+    }
+}

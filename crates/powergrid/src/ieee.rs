@@ -1,0 +1,298 @@
+//! IEEE-style test feeders.
+//!
+//! Balanced positive-sequence, single-phase equivalents of the IEEE 13-
+//! and 37-node distribution test feeders, plus a 123-bus-style long
+//! feeder. **These are approximations**: the IEEE originals are unbalanced
+//! multiphase systems with regulators, capacitors and switched elements;
+//! here each is reduced to a radial R+jX tree with constant-power loads
+//! (three-phase totals divided evenly across phases, line-to-neutral
+//! source voltage). They exist to exercise the solvers on realistic
+//! irregular topologies and load distributions — not to reproduce the
+//! IEEE benchmark voltages digit-for-digit. The reduction is recorded in
+//! `DESIGN.md` as part of the workload substitution.
+
+use numc::{c, Complex};
+
+use crate::network::{NetworkBuilder, RadialNetwork};
+
+/// Positive-sequence impedance per 1000 ft used for overhead sections,
+/// ohms (typical 556.5 ACSR geometry).
+const Z_OH_PER_KFT: Complex = Complex { re: 0.0644, im: 0.1341 };
+/// Impedance used for transformers/switches modeled as short links, ohms.
+const Z_LINK: Complex = Complex { re: 0.01, im: 0.02 };
+
+fn line(len_ft: f64) -> Complex {
+    Z_OH_PER_KFT * (len_ft / 1000.0)
+}
+
+/// Three-phase kW/kvar totals → per-phase constant-power load, VA.
+fn load3(kw: f64, kvar: f64) -> Complex {
+    c(kw * 1e3 / 3.0, kvar * 1e3 / 3.0)
+}
+
+/// IEEE 13-node test feeder (positive-sequence equivalent).
+///
+/// 4.16 kV feeder: substation 650 feeding a trunk 632–671 with laterals.
+/// Bus order: 650, 632, 633, 634, 645, 646, 671, 680, 684, 611, 652,
+/// 692, 675 (ids 0..=12).
+pub fn ieee13() -> RadialNetwork {
+    let mut b = NetworkBuilder::new(c(4160.0 / 3f64.sqrt(), 0.0));
+    // (name, kW, kvar) — three-phase totals from the published spec,
+    // distributed spot + the 632–671 distributed load lumped at 632.
+    let buses = [
+        ("650", 0.0, 0.0),
+        ("632", 200.0, 116.0),
+        ("633", 0.0, 0.0),
+        ("634", 400.0, 290.0),
+        ("645", 170.0, 125.0),
+        ("646", 230.0, 132.0),
+        ("671", 1155.0, 660.0),
+        ("680", 0.0, 0.0),
+        ("684", 0.0, 0.0),
+        ("611", 170.0, 80.0),
+        ("652", 128.0, 86.0),
+        ("692", 170.0, 151.0),
+        ("675", 843.0, 462.0),
+    ];
+    for (_, kw, kvar) in buses {
+        b.add_bus(load3(kw, kvar));
+    }
+    // (from, to, impedance): section lengths in feet from the spec;
+    // 633–634 is the XFM-1 transformer and 671–692 the closed switch.
+    let sections: [(usize, usize, Complex); 12] = [
+        (0, 1, line(2000.0)),  // 650-632
+        (1, 2, line(500.0)),   // 632-633
+        (2, 3, Z_LINK),        // 633-634 (transformer)
+        (1, 4, line(500.0)),   // 632-645
+        (4, 5, line(300.0)),   // 645-646
+        (1, 6, line(2000.0)),  // 632-671
+        (6, 7, line(1000.0)),  // 671-680
+        (6, 8, line(300.0)),   // 671-684
+        (8, 9, line(300.0)),   // 684-611
+        (8, 10, line(800.0)),  // 684-652
+        (6, 11, Z_LINK),       // 671-692 (switch)
+        (11, 12, line(500.0)), // 692-675
+    ];
+    for (f, t, z) in sections {
+        b.connect(f, t, z);
+    }
+    b.build().expect("ieee13 data is a valid radial network")
+}
+
+/// IEEE 37-node test feeder (positive-sequence equivalent).
+///
+/// 4.8 kV underground feeder. Bus ids follow the published node numbers
+/// 799 (substation), 701..742 in the table below.
+pub fn ieee37() -> RadialNetwork {
+    // Spot loads: (node, kW, kvar) three-phase totals. Junction nodes
+    // (702–711, 744 carries a spot load too) appear only in the section
+    // table below.
+    let spot_loads: [(u32, f64, f64); 25] = [
+        (701, 630.0, 315.0),
+        (712, 85.0, 40.0),
+        (713, 85.0, 40.0),
+        (714, 38.0, 18.0),
+        (718, 85.0, 40.0),
+        (720, 85.0, 40.0),
+        (722, 161.0, 77.0),
+        (724, 42.0, 21.0),
+        (725, 42.0, 21.0),
+        (727, 42.0, 21.0),
+        (728, 126.0, 63.0),
+        (729, 42.0, 21.0),
+        (730, 85.0, 40.0),
+        (731, 85.0, 40.0),
+        (732, 42.0, 21.0),
+        (733, 85.0, 40.0),
+        (734, 42.0, 21.0),
+        (735, 85.0, 40.0),
+        (736, 42.0, 21.0),
+        (737, 140.0, 70.0),
+        (738, 126.0, 62.0),
+        (740, 85.0, 40.0),
+        (741, 42.0, 21.0),
+        (742, 8.0, 4.0),
+        (744, 42.0, 21.0),
+    ];
+    // Line sections: (upstream, downstream, length ft), following the
+    // published segment table (the 799–701 regulator and the 709–775
+    // transformer are folded into their adjacent lines).
+    let sections: [(u32, u32, f64); 35] = [
+        (799, 701, 1850.0),
+        (701, 702, 960.0),
+        (702, 705, 400.0),
+        (702, 713, 360.0),
+        (702, 703, 1320.0),
+        (705, 742, 320.0),
+        (705, 712, 240.0),
+        (713, 704, 520.0),
+        (704, 714, 80.0),
+        (704, 720, 800.0),
+        (714, 718, 520.0),
+        (720, 707, 920.0),
+        (720, 706, 600.0),
+        (706, 725, 280.0),
+        (707, 724, 760.0),
+        (707, 722, 120.0),
+        (703, 727, 240.0),
+        (703, 730, 600.0),
+        (727, 744, 280.0),
+        (744, 728, 200.0),
+        (744, 729, 280.0),
+        (730, 709, 200.0),
+        (709, 731, 600.0),
+        (709, 708, 320.0),
+        (708, 732, 320.0),
+        (708, 733, 320.0),
+        (733, 734, 560.0),
+        (734, 737, 640.0),
+        (734, 710, 520.0),
+        (737, 738, 400.0),
+        (738, 711, 400.0),
+        (710, 735, 200.0),
+        (710, 736, 1280.0),
+        (711, 740, 200.0),
+        (711, 741, 400.0),
+    ];
+
+    let mut b = NetworkBuilder::new(c(4800.0 / 3f64.sqrt(), 0.0));
+    let mut ids: Vec<(u32, usize)> = Vec::new();
+    let get = |b: &mut NetworkBuilder, node: u32, ids: &mut Vec<(u32, usize)>| -> usize {
+        if let Some(&(_, i)) = ids.iter().find(|&&(n, _)| n == node) {
+            return i;
+        }
+        let load = spot_loads
+            .iter()
+            .find(|&&(n, _, _)| n == node)
+            .map(|&(_, kw, kvar)| load3(kw, kvar))
+            .unwrap_or(Complex::ZERO);
+        let i = b.add_bus(load);
+        ids.push((node, i));
+        i
+    };
+
+    // Substation first so it becomes bus 0, then connect sections in
+    // upstream-first order (fixpoint over the tree's section list).
+    get(&mut b, 799, &mut ids);
+    let mut pending: Vec<(u32, u32, f64)> = sections.to_vec();
+    while !pending.is_empty() {
+        let before = pending.len();
+        pending.retain(|&(f, t, len)| {
+            if let Some(&(_, fi)) = ids.iter().find(|&&(n, _)| n == f) {
+                let ti = get(&mut b, t, &mut ids);
+                b.connect(fi, ti, line(len.max(50.0)));
+                false
+            } else {
+                true
+            }
+        });
+        assert!(pending.len() < before, "ieee37 section data must be connected");
+    }
+    b.build().expect("ieee37 data is a valid radial network")
+}
+
+/// A 123-bus-style long feeder: deterministic synthetic stand-in for the
+/// IEEE 123-node feeder's gross shape (deep main trunk, many short
+/// laterals, 4.16 kV), for tests and examples that want a "realistic
+/// large feeder" without the full multiphase dataset. Loading is scaled
+/// to ~1 MW so the deep positive-sequence trunk stays well away from
+/// voltage collapse (the full 123-node load on a collapsed single-phase
+/// trunk diverges — see DESIGN.md on feasibility of reduced feeders).
+pub fn ieee123_style() -> RadialNetwork {
+    let mut b = NetworkBuilder::new(c(4160.0 / 3f64.sqrt(), 0.0));
+    let n = 123usize;
+    // Deterministic shape: a 40-bus trunk; each trunk bus i (from 1)
+    // sprouts laterals of length 0–3 decided by a fixed pattern.
+    let mut parents = vec![usize::MAX; n];
+    let mut next = 1usize;
+    let mut trunk_prev = 0usize;
+    let mut trunk = Vec::new();
+    for _ in 0..40 {
+        if next >= n {
+            break;
+        }
+        parents[next] = trunk_prev;
+        trunk_prev = next;
+        trunk.push(next);
+        next += 1;
+    }
+    let mut t = 0usize;
+    'outer: while next < n {
+        let spine = trunk[t % trunk.len()];
+        let lat_len = 1 + (t * 7 % 3);
+        let mut up = spine;
+        for _ in 0..lat_len {
+            if next >= n {
+                break 'outer;
+            }
+            parents[next] = up;
+            up = next;
+            next += 1;
+        }
+        t += 1;
+    }
+    // Loads: 40/20 kW-kvar on even laterals, 20/10 on odd, none on trunk
+    // junctions — totals ≈ 3.5 MW three-phase.
+    for i in 0..n {
+        if i == 0 || trunk.contains(&i) {
+            b.add_bus(Complex::ZERO);
+        } else {
+            let (kw, kvar) = if i % 2 == 0 { (15.0, 7.0) } else { (8.0, 4.0) };
+            b.add_bus(load3(kw, kvar));
+        }
+    }
+    for (i, &p) in parents.iter().enumerate().skip(1) {
+        let len_ft = if trunk.contains(&i) { 250.0 } else { 100.0 };
+        b.connect(p, i, line(len_ft));
+    }
+    b.build().expect("ieee123-style data is a valid radial network")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levels::LevelOrder;
+
+    #[test]
+    fn ieee13_shape_and_load() {
+        let net = ieee13();
+        assert_eq!(net.num_buses(), 13);
+        let lo = LevelOrder::new(&net);
+        lo.check_invariants();
+        assert_eq!(lo.num_levels(), 5); // 650→632→{633,645,671}→{634,646,680,684,692}→{611,652,675}
+        // Total three-phase load: 3466 kW.
+        let total = net.total_load() * 3.0;
+        assert!((total.re / 1e3 - 3466.0).abs() < 1.0, "P = {} kW", total.re / 1e3);
+    }
+
+    #[test]
+    fn ieee37_shape_and_load() {
+        let net = ieee37();
+        // 35 sections + substation (regulator/transformer nodes folded in).
+        assert_eq!(net.num_buses(), 36);
+        let lo = LevelOrder::new(&net);
+        lo.check_invariants();
+        assert!(lo.num_levels() >= 8, "long underground trunk: {}", lo.num_levels());
+        let total = net.total_load() * 3.0;
+        // The table above sums to 2372 kW (published feeder ≈ 2.4 MW).
+        assert!((total.re / 1e3 - 2372.0).abs() < 1.0, "P = {} kW", total.re / 1e3);
+    }
+
+    #[test]
+    fn ieee123_style_shape() {
+        let net = ieee123_style();
+        assert_eq!(net.num_buses(), 123);
+        let lo = LevelOrder::new(&net);
+        lo.check_invariants();
+        assert!(lo.num_levels() >= 30, "deep trunk: {}", lo.num_levels());
+        let total = net.total_load() * 3.0;
+        assert!(total.re > 0.6e6 && total.re < 1.5e6, "P = {} MW", total.re / 1e6);
+    }
+
+    #[test]
+    fn feeders_are_deterministic() {
+        let a = ieee13();
+        let b = ieee13();
+        assert_eq!(a.branches(), b.branches());
+    }
+}

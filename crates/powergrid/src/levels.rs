@@ -1,0 +1,330 @@
+//! Level-ordered topology — the data layout of the paper's GPU method.
+//!
+//! Buses are permuted into BFS *level order* with one extra guarantee:
+//! within each level, **children of the same parent are contiguous**
+//! (FIFO BFS gives this for free). The layout is what makes the GPU
+//! sweeps data-parallel:
+//!
+//! * a level is a contiguous slice → one kernel launch per level;
+//! * a parent's children form a *segment* of the next level → summing
+//!   child branch currents is a head-flag segmented reduction;
+//! * the whole permutation is computed once per topology and reused every
+//!   iteration (topology is static during a solve).
+//!
+//! Everything here is in *position* space (`0..n` in level order); the
+//! [`LevelOrder::order`] / [`LevelOrder::pos_of`] arrays convert to and
+//! from bus ids.
+
+use crate::network::RadialNetwork;
+
+/// Sentinel for "no parent" (the root position's parent).
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// The level-order permutation and per-position topology arrays.
+#[derive(Clone, Debug)]
+pub struct LevelOrder {
+    /// `order[p]` = bus id at position `p` (position 0 is the root).
+    pub order: Vec<u32>,
+    /// Inverse permutation: `pos_of[bus]` = its position.
+    pub pos_of: Vec<u32>,
+    /// Level `l` occupies positions `level_offsets[l] ..
+    /// level_offsets[l+1]`; `level_offsets.len() == num_levels() + 1`.
+    pub level_offsets: Vec<u32>,
+    /// Parent position per position ([`NO_PARENT`] at the root).
+    pub parent_pos: Vec<u32>,
+    /// First child position per position (`child_lo[p] == child_hi[p]`
+    /// for leaves).
+    pub child_lo: Vec<u32>,
+    /// One past the last child position per position.
+    pub child_hi: Vec<u32>,
+    /// 1 where a position is the first child of its parent (and at the
+    /// root) — the segmented-scan head flags.
+    pub head_flags: Vec<u32>,
+}
+
+impl LevelOrder {
+    /// Computes the level order of a network by FIFO BFS from the root.
+    pub fn new(net: &RadialNetwork) -> Self {
+        let edges: Vec<(u32, u32)> =
+            net.branches().iter().map(|br| (br.from as u32, br.to as u32)).collect();
+        Self::from_edges(net.num_buses(), net.root(), &edges)
+    }
+
+    /// Computes the level order of any validated radial edge list
+    /// (`(from, to)` pairs, one per non-root bus) — shared by the
+    /// single- and three-phase network types.
+    pub fn from_edges(n: usize, root: usize, edges: &[(u32, u32)]) -> Self {
+        assert_eq!(edges.len(), n.saturating_sub(1), "radial edge count");
+
+        // Children adjacency in edge-insertion order (deterministic).
+        let mut child_count = vec![0u32; n];
+        for &(from, _) in edges {
+            child_count[from as usize] += 1;
+        }
+        let mut adj_off = vec![0u32; n + 1];
+        for i in 0..n {
+            adj_off[i + 1] = adj_off[i] + child_count[i];
+        }
+        let mut adj = vec![0u32; n.saturating_sub(1)];
+        let mut cursor = adj_off.clone();
+        for &(from, to) in edges {
+            adj[cursor[from as usize] as usize] = to;
+            cursor[from as usize] += 1;
+        }
+
+        let mut order = Vec::with_capacity(n);
+        let mut pos_of = vec![u32::MAX; n];
+        let mut parent_pos = Vec::with_capacity(n);
+        let mut child_lo = vec![0u32; n];
+        let mut child_hi = vec![0u32; n];
+        let mut level_offsets = vec![0u32];
+
+        // FIFO BFS: `order` doubles as the queue (head = next position to
+        // process, tail = next position to assign).
+        order.push(root as u32);
+        pos_of[root] = 0;
+        parent_pos.push(NO_PARENT);
+        let mut head = 0usize;
+        let mut level_end = 1usize;
+        while head < order.len() {
+            if head == level_end {
+                level_offsets.push(level_end as u32);
+                level_end = order.len();
+            }
+            let bus = order[head] as usize;
+            let p = head as u32;
+            child_lo[head] = order.len() as u32;
+            for k in adj_off[bus]..adj_off[bus + 1] {
+                let c = adj[k as usize];
+                pos_of[c as usize] = order.len() as u32;
+                order.push(c);
+                parent_pos.push(p);
+            }
+            child_hi[head] = order.len() as u32;
+            head += 1;
+        }
+        level_offsets.push(n as u32);
+
+        let mut head_flags = vec![0u32; n];
+        head_flags[0] = 1;
+        for p in 0..n {
+            let lo = child_lo[p] as usize;
+            if lo < child_hi[p] as usize {
+                head_flags[lo] = 1;
+            }
+        }
+
+        LevelOrder { order, pos_of, level_offsets, parent_pos, child_lo, child_hi, head_flags }
+    }
+
+    /// Number of buses.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True for the (impossible after validation) empty layout.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Number of BFS levels (a 1-bus network has 1 level).
+    pub fn num_levels(&self) -> usize {
+        self.level_offsets.len() - 1
+    }
+
+    /// Position range of level `l`.
+    pub fn level_range(&self, l: usize) -> std::ops::Range<usize> {
+        self.level_offsets[l] as usize..self.level_offsets[l + 1] as usize
+    }
+
+    /// Width (bus count) of level `l`.
+    pub fn level_width(&self, l: usize) -> usize {
+        self.level_range(l).len()
+    }
+
+    /// Mean level width = n / depth; the paper's topology discussion
+    /// turns on this number (wide levels parallelise, narrow ones pay
+    /// launch overhead).
+    pub fn mean_level_width(&self) -> f64 {
+        self.len() as f64 / self.num_levels() as f64
+    }
+
+    /// Permutes a by-bus attribute array into position order.
+    pub fn permute<T: Copy>(&self, by_bus: &[T]) -> Vec<T> {
+        assert_eq!(by_bus.len(), self.len(), "permute: length mismatch");
+        self.order.iter().map(|&b| by_bus[b as usize]).collect()
+    }
+
+    /// Un-permutes a by-position array back to bus order.
+    pub fn unpermute<T: Copy>(&self, by_pos: &[T]) -> Vec<T> {
+        assert_eq!(by_pos.len(), self.len(), "unpermute: length mismatch");
+        let mut out = vec![by_pos[0]; self.len()];
+        for (p, &b) in self.order.iter().enumerate() {
+            out[b as usize] = by_pos[p];
+        }
+        out
+    }
+
+    /// Internal consistency check (used by tests and debug assertions):
+    /// verifies the permutation, level monotonicity, child contiguity and
+    /// head flags. Panics with a description on violation.
+    pub fn check_invariants(&self) {
+        let n = self.len();
+        assert_eq!(self.pos_of.len(), n);
+        assert_eq!(self.parent_pos.len(), n);
+        assert_eq!(self.head_flags.len(), n);
+        // order/pos_of are inverse permutations.
+        for p in 0..n {
+            assert_eq!(self.pos_of[self.order[p] as usize] as usize, p, "inverse permutation");
+        }
+        // Levels tile 0..n.
+        assert_eq!(*self.level_offsets.first().unwrap(), 0);
+        assert_eq!(*self.level_offsets.last().unwrap() as usize, n);
+        assert!(self.level_offsets.windows(2).all(|w| w[0] < w[1]), "empty level");
+        // Parents live exactly one level up; children are contiguous.
+        for l in 0..self.num_levels() {
+            for p in self.level_range(l) {
+                if l == 0 {
+                    assert_eq!(self.parent_pos[p], NO_PARENT);
+                } else {
+                    let pp = self.parent_pos[p] as usize;
+                    assert!(self.level_range(l - 1).contains(&pp), "parent one level up");
+                    assert!(
+                        (self.child_lo[pp] as usize..self.child_hi[pp] as usize).contains(&p),
+                        "child within parent range"
+                    );
+                }
+                let first_of_parent = p == 0
+                    || (self.parent_pos[p] != NO_PARENT
+                        && self.child_lo[self.parent_pos[p] as usize] as usize == p);
+                assert_eq!(self.head_flags[p] != 0, first_of_parent, "head flag at {p}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+    use numc::{c, Complex};
+
+    /// Builds the example tree:
+    /// ```text
+    ///        0
+    ///      / | \
+    ///     1  2  3
+    ///    /|     |
+    ///   4 5     6
+    ///           |
+    ///           7
+    /// ```
+    fn example() -> RadialNetwork {
+        let mut b = NetworkBuilder::new(c(1.0, 0.0));
+        for _ in 0..8 {
+            b.add_bus(Complex::ZERO);
+        }
+        for (f, t) in [(0, 1), (0, 2), (0, 3), (1, 4), (1, 5), (3, 6), (6, 7)] {
+            b.connect(f, t, c(0.1, 0.05));
+        }
+        b.build().unwrap()
+    }
+
+    use crate::network::RadialNetwork;
+
+    #[test]
+    fn example_levels_are_correct() {
+        let lo = LevelOrder::new(&example());
+        lo.check_invariants();
+        assert_eq!(lo.len(), 8);
+        assert_eq!(lo.num_levels(), 4);
+        assert_eq!(lo.order, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(lo.level_offsets, vec![0, 1, 4, 7, 8]);
+        assert_eq!(lo.level_width(0), 1);
+        assert_eq!(lo.level_width(1), 3);
+        assert_eq!(lo.level_width(2), 3);
+        assert_eq!(lo.level_width(3), 1);
+        assert_eq!(lo.parent_pos[4], 1);
+        assert_eq!(lo.parent_pos[6], 3);
+        assert_eq!(lo.parent_pos[7], 6);
+        // Children ranges.
+        assert_eq!((lo.child_lo[0], lo.child_hi[0]), (1, 4));
+        assert_eq!((lo.child_lo[1], lo.child_hi[1]), (4, 6));
+        assert_eq!((lo.child_lo[2], lo.child_hi[2]), (6, 6)); // leaf
+        assert_eq!((lo.child_lo[3], lo.child_hi[3]), (6, 7));
+        // Head flags: root, first children of 0, 1, 3, 6.
+        assert_eq!(lo.head_flags, vec![1, 1, 0, 0, 1, 0, 1, 1]);
+    }
+
+    #[test]
+    fn shuffled_bus_ids_still_level_order() {
+        // Same shape as `example` but bus ids permuted and branches in
+        // scrambled insertion order.
+        let mut b = NetworkBuilder::new(c(1.0, 0.0));
+        for _ in 0..8 {
+            b.add_bus(Complex::ZERO);
+        }
+        // root = 0; map example ids {1→5, 2→3, 3→1, 4→7, 5→2, 6→6, 7→4}.
+        for (f, t) in [(1, 6), (0, 5), (5, 7), (0, 3), (6, 4), (0, 1), (5, 2)] {
+            b.connect(f, t, c(0.1, 0.05));
+        }
+        let lo = LevelOrder::new(&b.build().unwrap());
+        lo.check_invariants();
+        assert_eq!(lo.num_levels(), 4);
+        assert_eq!(lo.level_offsets, vec![0, 1, 4, 7, 8]);
+    }
+
+    #[test]
+    fn single_bus_network() {
+        let mut b = NetworkBuilder::new(c(1.0, 0.0));
+        b.add_bus(Complex::ZERO);
+        let lo = LevelOrder::new(&b.build().unwrap());
+        lo.check_invariants();
+        assert_eq!(lo.len(), 1);
+        assert_eq!(lo.num_levels(), 1);
+        assert_eq!(lo.head_flags, vec![1]);
+        assert_eq!(lo.parent_pos, vec![NO_PARENT]);
+    }
+
+    #[test]
+    fn chain_has_n_levels() {
+        let mut b = NetworkBuilder::new(c(1.0, 0.0));
+        for _ in 0..5 {
+            b.add_bus(Complex::ZERO);
+        }
+        for i in 0..4 {
+            b.connect(i, i + 1, c(0.1, 0.0));
+        }
+        let lo = LevelOrder::new(&b.build().unwrap());
+        lo.check_invariants();
+        assert_eq!(lo.num_levels(), 5);
+        assert!(lo.level_offsets.windows(2).all(|w| w[1] - w[0] == 1));
+        assert_eq!(lo.mean_level_width(), 1.0);
+    }
+
+    #[test]
+    fn star_has_two_levels() {
+        let mut b = NetworkBuilder::new(c(1.0, 0.0));
+        for _ in 0..6 {
+            b.add_bus(Complex::ZERO);
+        }
+        for i in 1..6 {
+            b.connect(0, i, c(0.1, 0.0));
+        }
+        let lo = LevelOrder::new(&b.build().unwrap());
+        lo.check_invariants();
+        assert_eq!(lo.num_levels(), 2);
+        assert_eq!(lo.level_width(1), 5);
+        // Exactly one head flag in level 1 (all children share the root).
+        let flags: u32 = lo.level_range(1).map(|p| lo.head_flags[p]).sum();
+        assert_eq!(flags, 1);
+    }
+
+    #[test]
+    fn permute_roundtrip() {
+        let lo = LevelOrder::new(&example());
+        let by_bus: Vec<f64> = (0..8).map(|i| i as f64 * 10.0).collect();
+        let by_pos = lo.permute(&by_bus);
+        assert_eq!(lo.unpermute(&by_pos), by_bus);
+    }
+}

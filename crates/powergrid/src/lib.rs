@@ -1,0 +1,39 @@
+//! # powergrid — radial distribution-network modeling
+//!
+//! The power-system substrate of the forward-backward sweep
+//! reproduction: network model with radiality validation
+//! ([`RadialNetwork`], [`NetworkBuilder`]), the BFS [`LevelOrder`] layout
+//! that makes the GPU sweeps data-parallel, synthetic topology
+//! generators ([`gen`] — including the paper's balanced binary trees),
+//! IEEE-style test feeders ([`ieee`]) and a text serialization format
+//! ([`gridfile`]).
+//!
+//! Loads are constant-power (`S = P + jQ`, volt-amperes), branches are
+//! series impedances (ohms), and the root bus is the substation (slack).
+//!
+//! ```
+//! use powergrid::{gen, LevelOrder};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let net = gen::balanced_binary(1023, &gen::GenSpec::default(), &mut rng);
+//! let levels = LevelOrder::new(&net);
+//! assert_eq!(levels.num_levels(), 10);
+//! ```
+
+#![warn(missing_docs)]
+
+mod dfs;
+pub mod edit;
+pub mod gen;
+pub mod gridfile;
+pub mod gridfile3;
+pub mod ieee;
+pub mod pu;
+pub mod three_phase;
+mod levels;
+mod network;
+
+pub use dfs::{DfsOrder, DFS_NO_PARENT};
+pub use levels::{LevelOrder, NO_PARENT};
+pub use network::{Branch, Bus, NetworkBuilder, NetworkError, RadialNetwork};

@@ -1,0 +1,444 @@
+//! The radial distribution-network model.
+//!
+//! A network is a rooted tree: bus 0..n−1 with constant-power loads,
+//! branches carrying a series impedance, and one *root* (the substation /
+//! slack bus) that holds the source voltage. Forward-backward sweep is
+//! only defined on radial systems, so construction validates radiality.
+
+use std::collections::HashSet;
+
+use numc::Complex;
+
+/// A bus (node) of the network.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Bus {
+    /// Constant-power load `S = P + jQ`, volt-amperes. Positive P
+    /// consumes; a generator at a bus is a negative load.
+    pub load: Complex,
+}
+
+/// A branch (edge) of the network.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Branch {
+    /// Upstream bus id.
+    pub from: usize,
+    /// Downstream bus id.
+    pub to: usize,
+    /// Series impedance `Z = R + jX`, ohms.
+    pub z: Complex,
+}
+
+/// Why a network failed validation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NetworkError {
+    /// A branch endpoint names a bus id outside `0..n`.
+    BadBusId {
+        /// The offending id.
+        id: usize,
+        /// Bus count.
+        n: usize,
+    },
+    /// A branch connects a bus to itself.
+    SelfLoop(usize),
+    /// Two branches feed the same downstream bus (creates a cycle or a
+    /// parallel path — either way, not radial).
+    DuplicateChild(usize),
+    /// The root bus appears as a branch's downstream end.
+    RootHasParent,
+    /// Branch count differs from n−1 (tree requirement).
+    WrongBranchCount {
+        /// Branches present.
+        got: usize,
+        /// Branches required (n − 1).
+        want: usize,
+    },
+    /// Some bus is unreachable from the root.
+    Disconnected {
+        /// An example unreachable bus.
+        example: usize,
+    },
+    /// A branch impedance is zero, negative-resistance or non-finite.
+    BadImpedance(usize),
+    /// A load is non-finite.
+    BadLoad(usize),
+    /// The source voltage is zero or non-finite.
+    BadSource,
+    /// The network has no buses.
+    Empty,
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkError::BadBusId { id, n } => write!(f, "branch references bus {id} (only {n} buses)"),
+            NetworkError::SelfLoop(b) => write!(f, "self-loop at bus {b}"),
+            NetworkError::DuplicateChild(b) => write!(f, "bus {b} has two upstream branches"),
+            NetworkError::RootHasParent => write!(f, "root bus has an upstream branch"),
+            NetworkError::WrongBranchCount { got, want } => {
+                write!(f, "{got} branches but a radial network of this size needs {want}")
+            }
+            NetworkError::Disconnected { example } => {
+                write!(f, "bus {example} is not reachable from the root")
+            }
+            NetworkError::BadImpedance(b) => write!(f, "branch into bus {b} has invalid impedance"),
+            NetworkError::BadLoad(b) => write!(f, "bus {b} has a non-finite load"),
+            NetworkError::BadSource => write!(f, "source voltage must be finite and nonzero"),
+            NetworkError::Empty => write!(f, "network has no buses"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// A validated radial distribution network.
+///
+/// Immutable once built (via [`NetworkBuilder`]); solvers derive their
+/// level-ordered arrays from it.
+#[derive(Clone, Debug)]
+pub struct RadialNetwork {
+    source_voltage: Complex,
+    buses: Vec<Bus>,
+    branches: Vec<Branch>,
+    /// `parent_branch[b]` = index into `branches` of the branch whose
+    /// `to == b`; `usize::MAX` for the root.
+    parent_branch: Vec<usize>,
+    root: usize,
+}
+
+impl RadialNetwork {
+    /// Number of buses.
+    pub fn num_buses(&self) -> usize {
+        self.buses.len()
+    }
+
+    /// Number of branches (always `num_buses() − 1`).
+    pub fn num_branches(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// The substation (slack) bus id.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Slack-bus voltage phasor, volts.
+    pub fn source_voltage(&self) -> Complex {
+        self.source_voltage
+    }
+
+    /// All buses, indexed by id.
+    pub fn buses(&self) -> &[Bus] {
+        &self.buses
+    }
+
+    /// All branches (unordered).
+    pub fn branches(&self) -> &[Branch] {
+        &self.branches
+    }
+
+    /// The branch feeding bus `b` from its parent, or `None` for the root.
+    pub fn parent_branch(&self, b: usize) -> Option<&Branch> {
+        let idx = self.parent_branch[b];
+        (idx != usize::MAX).then(|| &self.branches[idx])
+    }
+
+    /// Parent bus of `b`, or `None` for the root.
+    pub fn parent(&self, b: usize) -> Option<usize> {
+        self.parent_branch(b).map(|br| br.from)
+    }
+
+    /// Total connected load `Σ S`, volt-amperes.
+    pub fn total_load(&self) -> Complex {
+        self.buses.iter().map(|b| b.load).sum()
+    }
+
+    /// Replaces every bus load by `scale ×` itself (loading-sweep
+    /// experiments).
+    pub fn scale_loads(&mut self, scale: f64) {
+        for b in &mut self.buses {
+            b.load = b.load * scale;
+        }
+    }
+
+    /// Replaces the impedance of every branch (feasibility retuning; used
+    /// by generators). The closure receives the branch index and current
+    /// branch.
+    pub(crate) fn retune_impedances(&mut self, mut f: impl FnMut(usize, &Branch) -> Complex) {
+        for i in 0..self.branches.len() {
+            let z = f(i, &self.branches[i]);
+            self.branches[i].z = z;
+        }
+    }
+}
+
+/// Incremental construction of a [`RadialNetwork`].
+///
+/// ```
+/// use numc::c;
+/// use powergrid::NetworkBuilder;
+///
+/// let mut b = NetworkBuilder::new(c(7200.0, 0.0));
+/// let root = b.add_bus(c(0.0, 0.0));
+/// let feeder = b.add_bus(c(50_000.0, 20_000.0));
+/// let lateral = b.add_bus(c(25_000.0, 8_000.0));
+/// b.connect(root, feeder, c(0.10, 0.06));
+/// b.connect(feeder, lateral, c(0.25, 0.10));
+/// let net = b.build().unwrap();
+/// assert_eq!(net.num_buses(), 3);
+/// assert_eq!(net.parent(lateral), Some(feeder));
+/// ```
+#[derive(Clone, Debug)]
+pub struct NetworkBuilder {
+    source_voltage: Complex,
+    buses: Vec<Bus>,
+    branches: Vec<Branch>,
+    root: usize,
+}
+
+impl NetworkBuilder {
+    /// Starts a network with the given slack voltage. Bus 0 — created by
+    /// the first [`NetworkBuilder::add_bus`] call — is the root.
+    pub fn new(source_voltage: Complex) -> Self {
+        NetworkBuilder { source_voltage, buses: Vec::new(), branches: Vec::new(), root: 0 }
+    }
+
+    /// Pre-allocates for `n` buses.
+    pub fn with_capacity(source_voltage: Complex, n: usize) -> Self {
+        let mut b = Self::new(source_voltage);
+        b.buses.reserve(n);
+        b.branches.reserve(n.saturating_sub(1));
+        b
+    }
+
+    /// Adds a bus with the given constant-power load; returns its id.
+    pub fn add_bus(&mut self, load: Complex) -> usize {
+        self.buses.push(Bus { load });
+        self.buses.len() - 1
+    }
+
+    /// Adds a branch `from → to` with series impedance `z`.
+    pub fn connect(&mut self, from: usize, to: usize, z: Complex) {
+        self.branches.push(Branch { from, to, z });
+    }
+
+    /// Current bus count (generator convenience).
+    pub fn num_buses(&self) -> usize {
+        self.buses.len()
+    }
+
+    /// Validates and freezes the network.
+    pub fn build(self) -> Result<RadialNetwork, NetworkError> {
+        let n = self.buses.len();
+        if n == 0 {
+            return Err(NetworkError::Empty);
+        }
+        if !self.source_voltage.is_finite() || self.source_voltage == Complex::ZERO {
+            return Err(NetworkError::BadSource);
+        }
+        for (i, bus) in self.buses.iter().enumerate() {
+            if !bus.load.is_finite() {
+                return Err(NetworkError::BadLoad(i));
+            }
+        }
+        if self.branches.len() != n - 1 {
+            return Err(NetworkError::WrongBranchCount { got: self.branches.len(), want: n - 1 });
+        }
+
+        let mut parent_branch = vec![usize::MAX; n];
+        for (bi, br) in self.branches.iter().enumerate() {
+            for id in [br.from, br.to] {
+                if id >= n {
+                    return Err(NetworkError::BadBusId { id, n });
+                }
+            }
+            if br.from == br.to {
+                return Err(NetworkError::SelfLoop(br.from));
+            }
+            if br.to == self.root {
+                return Err(NetworkError::RootHasParent);
+            }
+            if parent_branch[br.to] != usize::MAX {
+                return Err(NetworkError::DuplicateChild(br.to));
+            }
+            if !br.z.is_finite() || br.z == Complex::ZERO || br.z.re < 0.0 {
+                return Err(NetworkError::BadImpedance(br.to));
+            }
+            parent_branch[br.to] = bi;
+        }
+
+        // Reachability: follow parent pointers from every bus to the root.
+        // Radial + unique-parent + right edge count already excludes most
+        // malformed graphs, but detached cycles still need catching.
+        let mut reached_root = vec![false; n];
+        reached_root[self.root] = true;
+        for start in 0..n {
+            if reached_root[start] {
+                continue;
+            }
+            let mut path = Vec::new();
+            let mut cur = start;
+            let mut seen = HashSet::new();
+            loop {
+                if reached_root[cur] {
+                    break;
+                }
+                if !seen.insert(cur) {
+                    // Cycle detached from the root.
+                    return Err(NetworkError::Disconnected { example: start });
+                }
+                path.push(cur);
+                let pb = parent_branch[cur];
+                if pb == usize::MAX {
+                    return Err(NetworkError::Disconnected { example: cur });
+                }
+                cur = self.branches[pb].from;
+            }
+            for b in path {
+                reached_root[b] = true;
+            }
+        }
+
+        Ok(RadialNetwork {
+            source_voltage: self.source_voltage,
+            buses: self.buses,
+            branches: self.branches,
+            parent_branch,
+            root: self.root,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numc::c;
+
+    fn v0() -> Complex {
+        c(7200.0, 0.0)
+    }
+
+    fn chain3() -> NetworkBuilder {
+        let mut b = NetworkBuilder::new(v0());
+        let r = b.add_bus(Complex::ZERO);
+        let m = b.add_bus(c(1000.0, 300.0));
+        let l = b.add_bus(c(2000.0, 700.0));
+        b.connect(r, m, c(0.1, 0.05));
+        b.connect(m, l, c(0.2, 0.1));
+        b
+    }
+
+    #[test]
+    fn builds_valid_chain() {
+        let net = chain3().build().unwrap();
+        assert_eq!(net.num_buses(), 3);
+        assert_eq!(net.num_branches(), 2);
+        assert_eq!(net.root(), 0);
+        assert_eq!(net.parent(0), None);
+        assert_eq!(net.parent(1), Some(0));
+        assert_eq!(net.parent(2), Some(1));
+        assert_eq!(net.parent_branch(2).unwrap().z, c(0.2, 0.1));
+        assert_eq!(net.total_load(), c(3000.0, 1000.0));
+    }
+
+    #[test]
+    fn empty_network_rejected() {
+        assert_eq!(NetworkBuilder::new(v0()).build().unwrap_err(), NetworkError::Empty);
+    }
+
+    #[test]
+    fn zero_source_rejected() {
+        let mut b = NetworkBuilder::new(Complex::ZERO);
+        b.add_bus(Complex::ZERO);
+        assert_eq!(b.build().unwrap_err(), NetworkError::BadSource);
+    }
+
+    #[test]
+    fn wrong_branch_count_rejected() {
+        let mut b = NetworkBuilder::new(v0());
+        b.add_bus(Complex::ZERO);
+        b.add_bus(Complex::ZERO);
+        assert!(matches!(b.build().unwrap_err(), NetworkError::WrongBranchCount { got: 0, want: 1 }));
+    }
+
+    #[test]
+    fn duplicate_parent_rejected() {
+        let mut b = NetworkBuilder::new(v0());
+        let r = b.add_bus(Complex::ZERO);
+        let x = b.add_bus(Complex::ZERO);
+        let y = b.add_bus(Complex::ZERO);
+        let _ = y;
+        b.connect(r, x, c(0.1, 0.0));
+        b.connect(r, x, c(0.1, 0.0)); // x fed twice; y orphaned
+        assert_eq!(b.build().unwrap_err(), NetworkError::DuplicateChild(1));
+    }
+
+    #[test]
+    fn root_with_parent_rejected() {
+        let mut b = NetworkBuilder::new(v0());
+        let r = b.add_bus(Complex::ZERO);
+        let x = b.add_bus(Complex::ZERO);
+        b.connect(x, r, c(0.1, 0.0));
+        assert_eq!(b.build().unwrap_err(), NetworkError::RootHasParent);
+    }
+
+    #[test]
+    fn detached_cycle_rejected() {
+        let mut b = NetworkBuilder::new(v0());
+        let _r = b.add_bus(Complex::ZERO);
+        let x = b.add_bus(Complex::ZERO);
+        let y = b.add_bus(Complex::ZERO);
+        b.connect(x, y, c(0.1, 0.0));
+        b.connect(y, x, c(0.1, 0.0));
+        assert!(matches!(b.build().unwrap_err(), NetworkError::Disconnected { .. }));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = NetworkBuilder::new(v0());
+        let _r = b.add_bus(Complex::ZERO);
+        let x = b.add_bus(Complex::ZERO);
+        b.connect(x, x, c(0.1, 0.0));
+        assert_eq!(b.build().unwrap_err(), NetworkError::SelfLoop(1));
+    }
+
+    #[test]
+    fn bad_bus_id_rejected() {
+        let mut b = NetworkBuilder::new(v0());
+        let r = b.add_bus(Complex::ZERO);
+        let _x = b.add_bus(Complex::ZERO);
+        b.connect(r, 9, c(0.1, 0.0));
+        assert!(matches!(b.build().unwrap_err(), NetworkError::BadBusId { id: 9, n: 2 }));
+    }
+
+    #[test]
+    fn invalid_impedance_rejected() {
+        for z in [Complex::ZERO, c(-1.0, 0.0), c(f64::NAN, 0.0)] {
+            let mut b = NetworkBuilder::new(v0());
+            let r = b.add_bus(Complex::ZERO);
+            let x = b.add_bus(Complex::ZERO);
+            b.connect(r, x, z);
+            assert_eq!(b.build().unwrap_err(), NetworkError::BadImpedance(1), "z = {z:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_load_rejected() {
+        let mut b = NetworkBuilder::new(v0());
+        b.add_bus(c(f64::INFINITY, 0.0));
+        assert_eq!(b.build().unwrap_err(), NetworkError::BadLoad(0));
+    }
+
+    #[test]
+    fn scale_loads_scales() {
+        let mut net = chain3().build().unwrap();
+        net.scale_loads(2.0);
+        assert_eq!(net.total_load(), c(6000.0, 2000.0));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = NetworkError::Disconnected { example: 7 };
+        assert!(e.to_string().contains("bus 7"));
+        assert!(NetworkError::Empty.to_string().contains("no buses"));
+    }
+}

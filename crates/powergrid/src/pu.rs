@@ -1,0 +1,129 @@
+//! The per-unit system.
+//!
+//! Power engineers normalise quantities to chosen bases — voltages to
+//! `V_base`, powers to `S_base` — so that impedances and voltages land
+//! near 1.0 regardless of the voltage class. The solvers in this
+//! workspace are scale-invariant (everything is linear in the bases),
+//! but per-unit form matters to downstream users: `.grid` files from
+//! different feeders become comparable, and per-unit voltage limits
+//! (e.g. ANSI C84.1's 0.95–1.05) read directly off the solution.
+
+use numc::Complex;
+
+use crate::network::{NetworkBuilder, RadialNetwork};
+
+/// A per-unit base pair (single-phase convention: `v_base` is the
+/// line-to-neutral voltage, `s_base` the per-phase power).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PuBase {
+    /// Voltage base, volts.
+    pub v_base: f64,
+    /// Apparent-power base, volt-amperes.
+    pub s_base: f64,
+}
+
+impl PuBase {
+    /// Creates a base pair; both must be positive and finite.
+    pub fn new(v_base: f64, s_base: f64) -> Self {
+        assert!(v_base > 0.0 && v_base.is_finite(), "v_base must be positive");
+        assert!(s_base > 0.0 && s_base.is_finite(), "s_base must be positive");
+        PuBase { v_base, s_base }
+    }
+
+    /// The conventional distribution base for a network: its own source
+    /// voltage and 1 MVA.
+    pub fn for_network(net: &RadialNetwork) -> Self {
+        PuBase::new(net.source_voltage().abs(), 1e6)
+    }
+
+    /// Impedance base `V²/S`, ohms.
+    pub fn z_base(&self) -> f64 {
+        self.v_base * self.v_base / self.s_base
+    }
+
+    /// Current base `S/V`, amperes.
+    pub fn i_base(&self) -> f64 {
+        self.s_base / self.v_base
+    }
+
+    /// Volts → per-unit.
+    pub fn v_to_pu(&self, v: Complex) -> Complex {
+        v / self.v_base
+    }
+
+    /// Per-unit → volts.
+    pub fn v_from_pu(&self, v: Complex) -> Complex {
+        v * self.v_base
+    }
+
+    /// VA → per-unit.
+    pub fn s_to_pu(&self, s: Complex) -> Complex {
+        s / self.s_base
+    }
+
+    /// Ohms → per-unit.
+    pub fn z_to_pu(&self, z: Complex) -> Complex {
+        z / self.z_base()
+    }
+
+    /// Amperes → per-unit.
+    pub fn i_to_pu(&self, i: Complex) -> Complex {
+        i / self.i_base()
+    }
+}
+
+/// Returns the network re-expressed in per-unit on the given base: the
+/// source voltage, loads and impedances are all normalised. Solving the
+/// per-unit network yields per-unit voltages/currents directly.
+pub fn to_per_unit(net: &RadialNetwork, base: PuBase) -> RadialNetwork {
+    let mut b = NetworkBuilder::with_capacity(base.v_to_pu(net.source_voltage()), net.num_buses());
+    for bus in net.buses() {
+        b.add_bus(base.s_to_pu(bus.load));
+    }
+    for br in net.branches() {
+        b.connect(br.from, br.to, base.z_to_pu(br.z));
+    }
+    b.build().expect("per-unit scaling preserves radiality")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ieee::ieee13;
+    use numc::c;
+
+    #[test]
+    fn base_derived_quantities() {
+        let base = PuBase::new(2400.0, 1e6);
+        assert!((base.z_base() - 5.76).abs() < 1e-12);
+        assert!((base.i_base() - 416.666_666_666_666_7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let base = PuBase::new(7200.0, 2e6);
+        let v = c(7000.0, -150.0);
+        assert!((base.v_from_pu(base.v_to_pu(v)) - v).abs() < 1e-9);
+        assert_eq!(base.v_to_pu(c(7200.0, 0.0)), c(1.0, 0.0));
+        assert_eq!(base.s_to_pu(c(2e6, 0.0)), c(1.0, 0.0));
+    }
+
+    #[test]
+    fn per_unit_network_has_unity_source() {
+        let net = ieee13();
+        let base = PuBase::for_network(&net);
+        let pu = to_per_unit(&net, base);
+        assert!((pu.source_voltage() - c(1.0, 0.0)).abs() < 1e-12);
+        assert_eq!(pu.num_buses(), net.num_buses());
+        // Total load in pu × S_base recovers the SI total.
+        let si = net.total_load();
+        let back = pu.total_load() * base.s_base;
+        assert!((si - back).abs() < 1e-6 * si.abs());
+    }
+
+    #[test]
+    #[should_panic(expected = "v_base must be positive")]
+    fn zero_base_rejected() {
+        PuBase::new(0.0, 1e6);
+    }
+}

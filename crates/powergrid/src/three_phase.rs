@@ -1,0 +1,409 @@
+//! Unbalanced three-phase radial networks.
+//!
+//! Real distribution feeders are unbalanced: loads differ per phase and
+//! line sections couple the phases through their mutual impedances. The
+//! IEEE test feeders this workspace approximates in [`crate::ieee`] are
+//! published as three-phase systems; this module carries the full model:
+//!
+//! * a bus load is a per-phase triple [`CVec3`] (VA per phase),
+//! * a branch is a 3×3 phase impedance matrix [`CMat3`] (ohms), whose
+//!   off-diagonals are the Carson mutual terms,
+//! * the slack voltage is a (usually balanced) three-phase set.
+//!
+//! Topology layout (levels, preorder) is shared with the single-phase
+//! model through [`LevelOrder::from_edges`] / [`crate::DfsOrder::from_edges`] —
+//! the tree doesn't care how wide the per-bus payload is.
+
+use numc::{CMat3, CVec3};
+
+use crate::levels::LevelOrder;
+use crate::network::NetworkError;
+
+/// A three-phase bus.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Bus3 {
+    /// Per-phase constant-power load, VA.
+    pub load: CVec3,
+}
+
+/// A three-phase branch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Branch3 {
+    /// Upstream bus id.
+    pub from: usize,
+    /// Downstream bus id.
+    pub to: usize,
+    /// Phase impedance matrix, ohms.
+    pub z: CMat3,
+}
+
+/// A validated three-phase radial network.
+#[derive(Clone, Debug)]
+pub struct ThreePhaseNetwork {
+    source_voltage: CVec3,
+    buses: Vec<Bus3>,
+    branches: Vec<Branch3>,
+    parent_branch: Vec<usize>,
+    root: usize,
+}
+
+impl ThreePhaseNetwork {
+    /// Number of buses.
+    pub fn num_buses(&self) -> usize {
+        self.buses.len()
+    }
+
+    /// Number of branches.
+    pub fn num_branches(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// The substation bus id.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Slack three-phase voltage set, volts.
+    pub fn source_voltage(&self) -> CVec3 {
+        self.source_voltage
+    }
+
+    /// All buses.
+    pub fn buses(&self) -> &[Bus3] {
+        &self.buses
+    }
+
+    /// All branches.
+    pub fn branches(&self) -> &[Branch3] {
+        &self.branches
+    }
+
+    /// The branch feeding bus `b`, or `None` at the root.
+    pub fn parent_branch(&self, b: usize) -> Option<&Branch3> {
+        let idx = self.parent_branch[b];
+        (idx != usize::MAX).then(|| &self.branches[idx])
+    }
+
+    /// Parent bus of `b`.
+    pub fn parent(&self, b: usize) -> Option<usize> {
+        self.parent_branch(b).map(|br| br.from)
+    }
+
+    /// Total connected per-phase load, VA.
+    pub fn total_load(&self) -> CVec3 {
+        self.buses.iter().fold(CVec3::ZERO, |acc, b| acc + b.load)
+    }
+
+    /// Scales every load by `scale` (loading sweeps).
+    pub fn scale_loads(&mut self, scale: f64) {
+        for b in &mut self.buses {
+            b.load = b.load * scale;
+        }
+    }
+
+    /// Edge list for the shared layout builders.
+    pub fn edges(&self) -> Vec<(u32, u32)> {
+        self.branches.iter().map(|br| (br.from as u32, br.to as u32)).collect()
+    }
+
+    /// BFS level order of this network (shared layout machinery).
+    pub fn level_order(&self) -> LevelOrder {
+        LevelOrder::from_edges(self.num_buses(), self.root, &self.edges())
+    }
+}
+
+/// Incremental construction of a [`ThreePhaseNetwork`].
+#[derive(Clone, Debug)]
+pub struct ThreePhaseBuilder {
+    source_voltage: CVec3,
+    buses: Vec<Bus3>,
+    branches: Vec<Branch3>,
+    root: usize,
+}
+
+impl ThreePhaseBuilder {
+    /// Starts a network with the given slack voltage set; the first bus
+    /// added is the root.
+    pub fn new(source_voltage: CVec3) -> Self {
+        ThreePhaseBuilder { source_voltage, buses: Vec::new(), branches: Vec::new(), root: 0 }
+    }
+
+    /// Adds a bus with the given per-phase load; returns its id.
+    pub fn add_bus(&mut self, load: CVec3) -> usize {
+        self.buses.push(Bus3 { load });
+        self.buses.len() - 1
+    }
+
+    /// Adds a branch with a full phase impedance matrix.
+    pub fn connect(&mut self, from: usize, to: usize, z: CMat3) {
+        self.branches.push(Branch3 { from, to, z });
+    }
+
+    /// Validates and freezes the network (same radiality rules as the
+    /// single-phase builder; impedance validity = finite entries and
+    /// positive resistance on every diagonal).
+    pub fn build(self) -> Result<ThreePhaseNetwork, NetworkError> {
+        let n = self.buses.len();
+        if n == 0 {
+            return Err(NetworkError::Empty);
+        }
+        if !self.source_voltage.is_finite() || self.source_voltage == CVec3::ZERO {
+            return Err(NetworkError::BadSource);
+        }
+        for (i, bus) in self.buses.iter().enumerate() {
+            if !bus.load.is_finite() {
+                return Err(NetworkError::BadLoad(i));
+            }
+        }
+        if self.branches.len() != n - 1 {
+            return Err(NetworkError::WrongBranchCount { got: self.branches.len(), want: n - 1 });
+        }
+        let mut parent_branch = vec![usize::MAX; n];
+        for (bi, br) in self.branches.iter().enumerate() {
+            for id in [br.from, br.to] {
+                if id >= n {
+                    return Err(NetworkError::BadBusId { id, n });
+                }
+            }
+            if br.from == br.to {
+                return Err(NetworkError::SelfLoop(br.from));
+            }
+            if br.to == self.root {
+                return Err(NetworkError::RootHasParent);
+            }
+            if parent_branch[br.to] != usize::MAX {
+                return Err(NetworkError::DuplicateChild(br.to));
+            }
+            let diag_ok = (0..3).all(|p| br.z.m[p][p].re > 0.0);
+            if !br.z.is_finite() || !diag_ok {
+                return Err(NetworkError::BadImpedance(br.to));
+            }
+            parent_branch[br.to] = bi;
+        }
+        // Reachability via parent pointers.
+        let mut reached = vec![false; n];
+        reached[self.root] = true;
+        for start in 0..n {
+            if reached[start] {
+                continue;
+            }
+            let mut path = Vec::new();
+            let mut cur = start;
+            let mut steps = 0;
+            loop {
+                if reached[cur] {
+                    break;
+                }
+                steps += 1;
+                if steps > n {
+                    return Err(NetworkError::Disconnected { example: start });
+                }
+                path.push(cur);
+                let pb = parent_branch[cur];
+                if pb == usize::MAX {
+                    return Err(NetworkError::Disconnected { example: cur });
+                }
+                cur = self.branches[pb].from;
+            }
+            for b in path {
+                reached[b] = true;
+            }
+        }
+        Ok(ThreePhaseNetwork {
+            source_voltage: self.source_voltage,
+            buses: self.buses,
+            branches: self.branches,
+            parent_branch,
+            root: self.root,
+        })
+    }
+}
+
+/// The IEEE 13-node feeder with its published per-phase (unbalanced)
+/// spot loads and mutually-coupled line sections — the three-phase
+/// counterpart of [`crate::ieee::ieee13`].
+///
+/// Approximations: one overhead phase-impedance matrix (self
+/// 0.0644+0.1341j Ω/kft, mutual 0.020+0.060j Ω/kft) stands in for the
+/// per-configuration Carson matrices; single/two-phase laterals are
+/// carried as three-wire sections with the unused phases unloaded.
+pub fn ieee13_unbalanced() -> ThreePhaseNetwork {
+    use numc::c;
+    let z_line = |kft: f64| {
+        CMat3::coupled(c(0.0644, 0.1341), c(0.020, 0.060)).scale(kft)
+    };
+    let z_link = CMat3::coupled(c(0.01, 0.02), numc::Complex::ZERO);
+    let kw = |a: (f64, f64), b: (f64, f64), cc: (f64, f64)| {
+        CVec3::new(c(a.0 * 1e3, a.1 * 1e3), c(b.0 * 1e3, b.1 * 1e3), c(cc.0 * 1e3, cc.1 * 1e3))
+    };
+
+    let mut bld = ThreePhaseBuilder::new(CVec3::balanced(4160.0 / 3f64.sqrt()));
+    // Published per-phase spot loads (kW, kvar); the 632–671 distributed
+    // load is lumped at 632. Bus order matches `ieee::ieee13`.
+    let loads = [
+        kw((0.0, 0.0), (0.0, 0.0), (0.0, 0.0)),          // 650
+        kw((17.0, 10.0), (66.0, 38.0), (117.0, 68.0)),   // 632 (distributed)
+        kw((0.0, 0.0), (0.0, 0.0), (0.0, 0.0)),          // 633
+        kw((160.0, 110.0), (120.0, 90.0), (120.0, 90.0)), // 634
+        kw((0.0, 0.0), (170.0, 125.0), (0.0, 0.0)),      // 645
+        kw((0.0, 0.0), (230.0, 132.0), (0.0, 0.0)),      // 646
+        kw((385.0, 220.0), (385.0, 220.0), (385.0, 220.0)), // 671
+        kw((0.0, 0.0), (0.0, 0.0), (0.0, 0.0)),          // 680
+        kw((0.0, 0.0), (0.0, 0.0), (0.0, 0.0)),          // 684
+        kw((0.0, 0.0), (0.0, 0.0), (170.0, 80.0)),       // 611
+        kw((128.0, 86.0), (0.0, 0.0), (0.0, 0.0)),       // 652
+        kw((0.0, 0.0), (0.0, 0.0), (170.0, 151.0)),      // 692
+        kw((485.0, 190.0), (68.0, 60.0), (290.0, 212.0)), // 675
+    ];
+    for load in loads {
+        bld.add_bus(load);
+    }
+    let sections: [(usize, usize, CMat3); 12] = [
+        (0, 1, z_line(2.0)),
+        (1, 2, z_line(0.5)),
+        (2, 3, z_link),
+        (1, 4, z_line(0.5)),
+        (4, 5, z_line(0.3)),
+        (1, 6, z_line(2.0)),
+        (6, 7, z_line(1.0)),
+        (6, 8, z_line(0.3)),
+        (8, 9, z_line(0.3)),
+        (8, 10, z_line(0.8)),
+        (6, 11, z_link),
+        (11, 12, z_line(0.5)),
+    ];
+    for (f, t, z) in sections {
+        bld.connect(f, t, z);
+    }
+    bld.build().expect("ieee13 three-phase data is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numc::{c, Complex};
+
+    #[test]
+    fn builder_validates_like_single_phase() {
+        let mut b = ThreePhaseBuilder::new(CVec3::balanced(2400.0));
+        b.add_bus(CVec3::ZERO);
+        b.add_bus(CVec3::splat(c(1000.0, 300.0)));
+        b.connect(0, 1, CMat3::coupled(c(0.1, 0.2), c(0.02, 0.05)));
+        let net = b.build().unwrap();
+        assert_eq!(net.num_buses(), 2);
+        assert_eq!(net.parent(1), Some(0));
+        assert_eq!(net.parent(0), None);
+    }
+
+    #[test]
+    fn bad_impedance_matrix_rejected() {
+        let mut b = ThreePhaseBuilder::new(CVec3::balanced(2400.0));
+        b.add_bus(CVec3::ZERO);
+        b.add_bus(CVec3::ZERO);
+        // Zero diagonal resistance.
+        b.connect(0, 1, CMat3::diag(Complex::J));
+        assert_eq!(b.build().unwrap_err(), NetworkError::BadImpedance(1));
+    }
+
+    #[test]
+    fn wrong_branch_count_rejected() {
+        let mut b = ThreePhaseBuilder::new(CVec3::balanced(2400.0));
+        b.add_bus(CVec3::ZERO);
+        b.add_bus(CVec3::ZERO);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            NetworkError::WrongBranchCount { got: 0, want: 1 }
+        ));
+    }
+
+    #[test]
+    fn ieee13_unbalanced_shape() {
+        let net = ieee13_unbalanced();
+        assert_eq!(net.num_buses(), 13);
+        let lo = net.level_order();
+        lo.check_invariants();
+        assert_eq!(lo.num_levels(), 5);
+        // Total three-phase load: ≈ 3466 kW (sum over phases × 3φ... the
+        // published total) — per-phase loads already carry the imbalance.
+        let total = net.total_load();
+        let p_total = total.a.re + total.b.re + total.c.re;
+        assert!((p_total / 1e3 - 3466.0).abs() < 5.0, "P = {} kW", p_total / 1e3);
+        // The feeder is genuinely unbalanced.
+        assert!(total.unbalance() > 0.05);
+    }
+
+    #[test]
+    fn scale_loads_scales_phases() {
+        let mut net = ieee13_unbalanced();
+        let before = net.total_load();
+        net.scale_loads(0.5);
+        let after = net.total_load();
+        assert!((after.a - before.a * 0.5).abs() < 1e-9);
+        assert!((after.c - before.c * 0.5).abs() < 1e-9);
+    }
+}
+
+/// Expands a single-phase network into a three-phase one: each bus's
+/// load is split across phases with multiplicative `unbalance` jitter
+/// (0 = balanced thirds), and each branch's scalar impedance becomes a
+/// coupled matrix with `mutual_ratio · z` off-diagonals. The total
+/// three-phase power equals the original bus power, so loading stays
+/// feasible.
+pub fn from_single_phase(
+    net: &crate::RadialNetwork,
+    unbalance: f64,
+    mutual_ratio: f64,
+    rng: &mut impl rand::Rng,
+) -> ThreePhaseNetwork {
+    assert!((0.0..1.0).contains(&unbalance), "unbalance must be in [0, 1)");
+    let mut b = ThreePhaseBuilder::new(CVec3::balanced(net.source_voltage().abs()));
+    for bus in net.buses() {
+        // Random positive weights, jittered around equal thirds.
+        let w: [f64; 3] =
+            std::array::from_fn(|_| 1.0 + unbalance * rng.gen_range(-1.0..1.0f64));
+        let total: f64 = w.iter().sum();
+        let s = bus.load;
+        b.add_bus(CVec3::new(
+            s * (w[0] / total),
+            s * (w[1] / total),
+            s * (w[2] / total),
+        ));
+    }
+    for br in net.branches() {
+        b.connect(br.from, br.to, CMat3::coupled(br.z, br.z * mutual_ratio));
+    }
+    b.build().expect("phase expansion preserves radiality")
+}
+
+#[cfg(test)]
+mod expand_tests {
+    use super::*;
+    use crate::gen::{balanced_binary, GenSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn expansion_preserves_total_power_and_shape() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = balanced_binary(255, &GenSpec::default(), &mut rng);
+        let net3 = from_single_phase(&net, 0.4, 0.3, &mut rng);
+        assert_eq!(net3.num_buses(), 255);
+        let t1 = net.total_load();
+        let t3 = net3.total_load();
+        let sum3 = t3.a + t3.b + t3.c;
+        assert!((sum3 - t1).abs() < 1e-6 * t1.abs());
+        assert!(t3.unbalance() > 0.01, "jitter must unbalance the phases");
+        net3.level_order().check_invariants();
+    }
+
+    #[test]
+    fn zero_unbalance_gives_equal_thirds() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let net = balanced_binary(63, &GenSpec::default(), &mut rng);
+        let net3 = from_single_phase(&net, 0.0, 0.2, &mut rng);
+        for bus in net3.buses() {
+            assert!((bus.load.a - bus.load.b).abs() < 1e-12);
+            assert!((bus.load.b - bus.load.c).abs() < 1e-12);
+        }
+    }
+}

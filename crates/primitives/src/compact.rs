@@ -1,0 +1,115 @@
+//! Stream compaction: scan + conditional scatter.
+//!
+//! Not used by the solver's inner loop, but part of the standard
+//! primitive set the paper's method section draws from, and exercised by
+//! the workspace's topology tooling (filtering level frontiers).
+
+use simt::{Device, DeviceBuffer, DeviceCopy};
+
+use crate::map::launch_map;
+use crate::ops::AddU32;
+use crate::reduce::reduce;
+use crate::scan::scan_exclusive;
+
+/// Keeps `input[i]` where `keep[i] != 0`, preserving order. Returns the
+/// compacted device buffer (its length is the number of kept elements).
+///
+/// Classic three-step formulation: exclusive scan of the keep flags gives
+/// each survivor its output slot; a reduction gives the output size; a
+/// conditional scatter moves the survivors.
+pub fn compact<T: DeviceCopy>(
+    dev: &mut Device,
+    input: &DeviceBuffer<T>,
+    keep: &DeviceBuffer<u32>,
+) -> DeviceBuffer<T> {
+    assert_eq!(input.len(), keep.len(), "compact: input/keep length mismatch");
+    let n = input.len();
+    if n == 0 {
+        return dev.alloc::<T>(0);
+    }
+
+    // Normalise flags to 0/1 so the scan counts survivors.
+    let mut ones = dev.alloc::<u32>(n);
+    {
+        let keep_v = keep.view();
+        let ones_v = ones.view_mut();
+        launch_map(dev, n, "compact_normalize", move |t, i| {
+            let k = t.ld(&keep_v, i);
+            t.st(&ones_v, i, u32::from(k != 0));
+        });
+    }
+
+    let total = reduce::<u32, AddU32>(dev, &ones) as usize;
+    let mut slots = dev.alloc::<u32>(n);
+    scan_exclusive::<u32, AddU32>(dev, &ones, &mut slots);
+
+    let mut out = dev.alloc::<T>(total);
+    {
+        let in_v = input.view();
+        let ones_v = ones.view();
+        let slot_v = slots.view();
+        let out_v = out.view_mut();
+        launch_map(dev, n, "compact_scatter", move |t, i| {
+            if t.ld(&ones_v, i) != 0 {
+                let slot = t.ld(&slot_v, i) as usize;
+                let v = t.ld(&in_v, i);
+                t.st(&out_v, slot, v);
+            }
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host;
+    use simt::DeviceProps;
+
+    fn dev() -> Device {
+        Device::with_workers(DeviceProps::paper_rig(), 2)
+    }
+
+    #[test]
+    fn compacts_small_case() {
+        let mut d = dev();
+        let input = d.alloc_from(&[10u32, 20, 30, 40, 50]);
+        let keep = d.alloc_from(&[1u32, 0, 7, 0, 1]); // nonzero = keep
+        let out = compact(&mut d, &input, &keep);
+        assert_eq!(d.dtoh(&out), vec![10, 30, 50]);
+    }
+
+    #[test]
+    fn empty_and_none_kept() {
+        let mut d = dev();
+        let input = d.alloc::<u32>(0);
+        let keep = d.alloc::<u32>(0);
+        assert_eq!(compact(&mut d, &input, &keep).len(), 0);
+
+        let input = d.alloc_from(&[1u32, 2, 3]);
+        let keep = d.alloc_from(&[0u32, 0, 0]);
+        assert_eq!(compact(&mut d, &input, &keep).len(), 0);
+    }
+
+    #[test]
+    fn all_kept_is_identity() {
+        let mut d = dev();
+        let xs: Vec<u32> = (0..3000).collect();
+        let input = d.alloc_from(&xs);
+        let keep = d.alloc_from(&vec![1u32; 3000]);
+        let out = compact(&mut d, &input, &keep);
+        assert_eq!(d.dtoh(&out), xs);
+    }
+
+    #[test]
+    fn matches_host_reference_across_block_boundaries() {
+        let mut d = dev();
+        let n = 10_000;
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let flags: Vec<u32> = (0..n).map(|i| u32::from(i % 3 == 1)).collect();
+        let input = d.alloc_from(&xs);
+        let keep = d.alloc_from(&flags);
+        let out = compact(&mut d, &input, &keep);
+        assert_eq!(d.dtoh(&out), host::compact(&xs, &flags));
+    }
+}

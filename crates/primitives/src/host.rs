@@ -1,0 +1,186 @@
+//! Sequential host reference implementations of every primitive.
+//!
+//! These serve two purposes: they are the oracles the device kernels are
+//! tested against, and they are the building blocks of the serial CPU
+//! baseline solver (the paper's comparator runs the same arithmetic
+//! sequentially).
+
+use simt::DeviceCopy;
+
+use crate::ops::ScanOp;
+
+/// Sequential reduction.
+pub fn reduce<T: DeviceCopy, Op: ScanOp<T>>(xs: &[T]) -> T {
+    xs.iter().fold(Op::identity(), |a, &b| Op::combine(a, b))
+}
+
+/// Sequential exclusive scan: `out[i] = x[0] ⊕ … ⊕ x[i−1]`, `out[0] = id`.
+pub fn scan_exclusive<T: DeviceCopy, Op: ScanOp<T>>(xs: &[T]) -> Vec<T> {
+    let mut acc = Op::identity();
+    xs.iter()
+        .map(|&x| {
+            let out = acc;
+            acc = Op::combine(acc, x);
+            out
+        })
+        .collect()
+}
+
+/// Sequential inclusive scan: `out[i] = x[0] ⊕ … ⊕ x[i]`.
+pub fn scan_inclusive<T: DeviceCopy, Op: ScanOp<T>>(xs: &[T]) -> Vec<T> {
+    let mut acc = Op::identity();
+    xs.iter()
+        .map(|&x| {
+            acc = Op::combine(acc, x);
+            acc
+        })
+        .collect()
+}
+
+/// Sequential inclusive *segmented* scan with head flags (`flags[i] != 0`
+/// starts a new segment at `i`).
+pub fn segscan_inclusive<T: DeviceCopy, Op: ScanOp<T>>(xs: &[T], flags: &[u32]) -> Vec<T> {
+    assert_eq!(xs.len(), flags.len(), "segscan: values/flags length mismatch");
+    let mut acc = Op::identity();
+    xs.iter()
+        .zip(flags)
+        .map(|(&x, &f)| {
+            if f != 0 {
+                acc = x;
+            } else {
+                acc = Op::combine(acc, x);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Per-segment totals, in segment order, for head-flag segmented input.
+/// An empty input yields no segments; input without a leading flag treats
+/// element 0 as starting the first segment (CUDA convention).
+pub fn segment_totals<T: DeviceCopy, Op: ScanOp<T>>(xs: &[T], flags: &[u32]) -> Vec<T> {
+    assert_eq!(xs.len(), flags.len(), "segment_totals: length mismatch");
+    let mut out = Vec::new();
+    let mut acc = Op::identity();
+    let mut open = false;
+    for (i, (&x, &f)) in xs.iter().zip(flags).enumerate() {
+        if f != 0 || i == 0 {
+            if open {
+                out.push(acc);
+            }
+            acc = x;
+            open = true;
+        } else {
+            acc = Op::combine(acc, x);
+        }
+    }
+    if open {
+        out.push(acc);
+    }
+    out
+}
+
+/// Gather: `out[i] = src[idx[i]]`.
+pub fn gather<T: DeviceCopy>(src: &[T], idx: &[u32]) -> Vec<T> {
+    idx.iter().map(|&i| src[i as usize]).collect()
+}
+
+/// Scatter: `out[idx[i]] = src[i]` over a fresh default-initialised
+/// output of length `out_len`. Duplicate indices are a caller bug (last
+/// write wins here; a race on the device).
+pub fn scatter<T: DeviceCopy>(src: &[T], idx: &[u32], out_len: usize) -> Vec<T> {
+    let mut out = vec![T::default(); out_len];
+    for (&v, &i) in src.iter().zip(idx) {
+        out[i as usize] = v;
+    }
+    out
+}
+
+/// Stream compaction: keep `xs[i]` where `keep[i] != 0`, preserving order.
+pub fn compact<T: DeviceCopy>(xs: &[T], keep: &[u32]) -> Vec<T> {
+    assert_eq!(xs.len(), keep.len(), "compact: length mismatch");
+    xs.iter().zip(keep).filter(|(_, &k)| k != 0).map(|(&x, _)| x).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{AddF64, AddU32, MaxF64};
+
+    #[test]
+    fn reduce_matches_sum() {
+        let xs: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(reduce::<f64, AddF64>(&xs), 55.0);
+        assert_eq!(reduce::<f64, AddF64>(&[]), 0.0);
+        assert_eq!(reduce::<f64, MaxF64>(&[3.0, -1.0, 7.0, 2.0]), 7.0);
+    }
+
+    #[test]
+    fn scans_shift_relationship() {
+        let xs = [1u32, 2, 3, 4];
+        let exc = scan_exclusive::<u32, AddU32>(&xs);
+        let inc = scan_inclusive::<u32, AddU32>(&xs);
+        assert_eq!(exc, vec![0, 1, 3, 6]);
+        assert_eq!(inc, vec![1, 3, 6, 10]);
+        for i in 0..xs.len() {
+            assert_eq!(inc[i], exc[i] + xs[i]);
+        }
+    }
+
+    #[test]
+    fn scans_of_empty() {
+        assert!(scan_exclusive::<u32, AddU32>(&[]).is_empty());
+        assert!(scan_inclusive::<u32, AddU32>(&[]).is_empty());
+    }
+
+    #[test]
+    fn segscan_restarts_at_flags() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let flags = [1, 0, 1, 0, 0];
+        assert_eq!(segscan_inclusive::<f64, AddF64>(&xs, &flags), vec![1.0, 3.0, 3.0, 7.0, 12.0]);
+    }
+
+    #[test]
+    fn segscan_without_leading_flag() {
+        // Element 0 implicitly starts a segment (identity-seeded).
+        let xs = [5.0, 1.0];
+        let flags = [0, 0];
+        assert_eq!(segscan_inclusive::<f64, AddF64>(&xs, &flags), vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn segment_totals_basic() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let flags = [1, 0, 1, 0, 0];
+        assert_eq!(segment_totals::<f64, AddF64>(&xs, &flags), vec![3.0, 12.0]);
+        assert!(segment_totals::<f64, AddF64>(&[], &[]).is_empty());
+        // Missing leading flag: element 0 still opens a segment.
+        assert_eq!(segment_totals::<f64, AddF64>(&[2.0, 3.0], &[0, 1]), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn single_element_segments() {
+        let xs = [1.0, 2.0, 3.0];
+        let flags = [1, 1, 1];
+        assert_eq!(segment_totals::<f64, AddF64>(&xs, &flags), vec![1.0, 2.0, 3.0]);
+        assert_eq!(segscan_inclusive::<f64, AddF64>(&xs, &flags), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let src = [10.0, 20.0, 30.0, 40.0];
+        let perm = [3u32, 0, 2, 1];
+        let g = gather(&src, &perm);
+        assert_eq!(g, vec![40.0, 10.0, 30.0, 20.0]);
+        let back = scatter(&g, &perm, 4);
+        assert_eq!(back, src.to_vec());
+    }
+
+    #[test]
+    fn compact_keeps_flagged() {
+        let xs = [1, 2, 3, 4, 5];
+        let keep = [1, 0, 1, 0, 1];
+        assert_eq!(compact(&xs, &keep), vec![1, 3, 5]);
+        assert_eq!(compact::<i32>(&[], &[]), Vec::<i32>::new());
+    }
+}

@@ -1,0 +1,48 @@
+//! # primitives — data-parallel building blocks on the `simt` device
+//!
+//! From-scratch implementations of the parallel computation patterns the
+//! paper's CUDA code relies on ("segmented scan and reduction"), written
+//! as [`simt`] kernels:
+//!
+//! * [`reduce`] — shared-memory tree reduction (Harris),
+//! * [`scan_exclusive`] / [`scan_inclusive`] — work-efficient Blelloch
+//!   scan with hierarchical block sums,
+//! * [`segscan_inclusive`] / [`segment_totals`] — head-flag segmented
+//!   scan (Sengupta et al.) and scan-based segmented reduction,
+//! * [`segment_reduce_direct`] — naive thread-per-segment reduction (the
+//!   ablation baseline),
+//! * [`gather`] / [`scatter`] / [`fill`] / [`compact`] — data movement,
+//! * [`launch_map`] — one-thread-per-element kernels from closures.
+//!
+//! Each primitive has a sequential oracle in [`host`]; the test suites
+//! (including property tests in `tests/`) check device-vs-host agreement
+//! across block-boundary sizes, and everything runs under `racecheck`.
+//!
+//! ```
+//! use simt::Device;
+//! use primitives::{scan_inclusive, ops::AddU32};
+//!
+//! let mut dev = Device::paper_rig();
+//! let xs = dev.alloc_from(&[1u32, 2, 3, 4]);
+//! let mut out = dev.alloc::<u32>(4);
+//! scan_inclusive::<u32, AddU32>(&mut dev, &xs, &mut out);
+//! assert_eq!(dev.dtoh(&out), vec![1, 3, 6, 10]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod compact;
+pub mod host;
+mod map;
+pub mod ops;
+mod reduce;
+mod scan;
+mod segscan;
+
+pub use compact::compact;
+pub use map::{fill, gather, launch_map, launch_map_with_block, scatter};
+pub use reduce::{reduce, REDUCE_BLOCK, REDUCE_TILE};
+pub use scan::{scan_exclusive, scan_inclusive, SCAN_BLOCK, SCAN_TILE};
+pub use segscan::{
+    segment_reduce_direct, segment_totals, segscan_inclusive, segscan_inclusive_range, SEGSCAN_BLOCK,
+};

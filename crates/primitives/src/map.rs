@@ -1,0 +1,183 @@
+//! Element-wise launch helpers and index-based movement kernels
+//! (gather / scatter / fill).
+
+use simt::{BlockScope, Device, DeviceBuffer, DeviceCopy, GlobalMut, GlobalRef, Kernel, LaunchConfig, ThreadCtx};
+
+/// A kernel that runs `f(thread, i)` once for each `i < n`, one thread
+/// per element.
+struct MapKernel<F> {
+    name: &'static str,
+    n: usize,
+    f: F,
+}
+
+impl<F: Fn(&mut ThreadCtx<'_>, usize) + Sync> Kernel for MapKernel<F> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn block(&self, blk: &mut BlockScope) {
+        blk.threads(|t| {
+            let i = t.global_id();
+            if i < self.n {
+                (self.f)(t, i);
+            }
+        });
+    }
+}
+
+/// Launches a one-thread-per-element kernel over `0..n`.
+///
+/// The workhorse for simple element-wise device code (the solver's
+/// injection, voltage-update and convergence-delta kernels are maps).
+/// `name` labels the launch on the timeline.
+pub fn launch_map<F>(dev: &mut Device, n: usize, name: &'static str, f: F)
+where
+    F: Fn(&mut ThreadCtx<'_>, usize) + Sync,
+{
+    dev.launch(LaunchConfig::for_elems(n), &MapKernel { name, n, f });
+}
+
+/// Like [`launch_map`] with an explicit block size.
+pub fn launch_map_with_block<F>(dev: &mut Device, n: usize, block: u32, name: &'static str, f: F)
+where
+    F: Fn(&mut ThreadCtx<'_>, usize) + Sync,
+{
+    dev.launch(LaunchConfig::for_elems_with_block(n, block), &MapKernel { name, n, f });
+}
+
+/// Device gather: `out[i] = src[idx[i]]` for `i < idx.len()`.
+///
+/// # Panics
+/// Panics (device fault) if any index is out of bounds, or if `out` is
+/// shorter than `idx`.
+pub fn gather<T: DeviceCopy>(
+    dev: &mut Device,
+    src: &DeviceBuffer<T>,
+    idx: &DeviceBuffer<u32>,
+    out: &mut DeviceBuffer<T>,
+) {
+    assert!(out.len() >= idx.len(), "gather: output shorter than index array");
+    let src_v: GlobalRef<'_, T> = src.view();
+    let idx_v = idx.view();
+    let out_v: GlobalMut<'_, T> = out.view_mut();
+    launch_map(dev, idx_v.len(), "gather", move |t, i| {
+        let j = t.ld(&idx_v, i) as usize;
+        let v = t.ld(&src_v, j);
+        t.st(&out_v, i, v);
+    });
+}
+
+/// Device scatter: `out[idx[i]] = src[i]` for `i < src.len()`.
+///
+/// Duplicate indices are a data race (checked under the `racecheck`
+/// feature), exactly as on hardware.
+pub fn scatter<T: DeviceCopy>(
+    dev: &mut Device,
+    src: &DeviceBuffer<T>,
+    idx: &DeviceBuffer<u32>,
+    out: &mut DeviceBuffer<T>,
+) {
+    assert_eq!(src.len(), idx.len(), "scatter: src/idx length mismatch");
+    let src_v = src.view();
+    let idx_v = idx.view();
+    let out_v = out.view_mut();
+    launch_map(dev, src_v.len(), "scatter", move |t, i| {
+        let j = t.ld(&idx_v, i) as usize;
+        let v = t.ld(&src_v, i);
+        t.st(&out_v, j, v);
+    });
+}
+
+/// Device fill: `buf[i] = value` for all elements.
+pub fn fill<T: DeviceCopy>(dev: &mut Device, buf: &mut DeviceBuffer<T>, value: T) {
+    let out_v = buf.view_mut();
+    launch_map(dev, out_v.len(), "fill", move |t, i| {
+        t.st(&out_v, i, value);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt::DeviceProps;
+
+    fn dev() -> Device {
+        Device::with_workers(DeviceProps::paper_rig(), 2)
+    }
+
+    #[test]
+    fn map_squares_elements() {
+        let mut d = dev();
+        let input = d.alloc_from(&(0..1000u32).collect::<Vec<_>>());
+        let mut out = d.alloc::<u32>(1000);
+        let in_v = input.view();
+        let out_v = out.view_mut();
+        launch_map(&mut d, 1000, "square", move |t, i| {
+            let v = t.ld(&in_v, i);
+            t.flops(1);
+            t.st(&out_v, i, v * v);
+        });
+        let host = d.dtoh(&out);
+        assert!(host.iter().enumerate().all(|(i, &v)| v == (i * i) as u32));
+        // Timeline saw the named kernel.
+        assert!(d.timeline().breakdown().per_kernel_us.contains_key("square"));
+    }
+
+    #[test]
+    fn map_zero_elements_is_noop_launch() {
+        let mut d = dev();
+        launch_map(&mut d, 0, "empty", |_t, _i| panic!("must not run"));
+        assert_eq!(d.timeline().breakdown().kernels, 1);
+    }
+
+    #[test]
+    fn gather_reorders() {
+        let mut d = dev();
+        let src = d.alloc_from(&[10.0_f64, 20.0, 30.0, 40.0]);
+        let idx = d.alloc_from(&[3u32, 0, 2, 1]);
+        let mut out = d.alloc::<f64>(4);
+        gather(&mut d, &src, &idx, &mut out);
+        assert_eq!(d.dtoh(&out), vec![40.0, 10.0, 30.0, 20.0]);
+    }
+
+    #[test]
+    fn scatter_inverts_gather_for_permutations() {
+        let mut d = dev();
+        let perm = [3u32, 0, 2, 1];
+        let src = d.alloc_from(&[1.0_f64, 2.0, 3.0, 4.0]);
+        let idx = d.alloc_from(&perm);
+        let mut tmp = d.alloc::<f64>(4);
+        gather(&mut d, &src, &idx, &mut tmp);
+        let mut back = d.alloc::<f64>(4);
+        scatter(&mut d, &tmp, &idx, &mut back);
+        assert_eq!(d.dtoh(&back), d.dtoh(&src));
+    }
+
+    #[test]
+    fn fill_sets_everything() {
+        let mut d = dev();
+        let mut buf = d.alloc::<f64>(777);
+        fill(&mut d, &mut buf, 2.5);
+        assert!(d.dtoh(&buf).iter().all(|&v| v == 2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "device fault")]
+    fn gather_with_bad_index_faults() {
+        let mut d = dev();
+        let src = d.alloc_from(&[1.0_f64]);
+        let idx = d.alloc_from(&[5u32]);
+        let mut out = d.alloc::<f64>(1);
+        gather(&mut d, &src, &idx, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "output shorter")]
+    fn gather_output_too_short_is_rejected_on_host() {
+        let mut d = dev();
+        let src = d.alloc_from(&[1.0_f64; 4]);
+        let idx = d.alloc_from(&[0u32; 4]);
+        let mut out = d.alloc::<f64>(2);
+        gather(&mut d, &src, &idx, &mut out);
+    }
+}

@@ -1,0 +1,211 @@
+//! Associative operators for scans and reductions.
+//!
+//! Operators are zero-sized marker types implementing [`ScanOp`]; kernels
+//! are generic over them, so each (element, operator) pair monomorphises
+//! to straight-line code — the Rust analog of the templated CUB/Thrust
+//! primitives the paper's CUDA implementation would use.
+
+use numc::Complex;
+use simt::DeviceCopy;
+
+/// An associative binary operator with identity, over device-resident
+/// elements.
+///
+/// # Contract
+///
+/// `combine` must be associative and `identity()` must be its neutral
+/// element. Commutativity is *not* required (scans preserve order), but
+/// floating-point addition is only approximately associative: device and
+/// host results may differ by rounding, which tests compare with
+/// tolerances.
+pub trait ScanOp<T: DeviceCopy>: 'static {
+    /// Neutral element of [`ScanOp::combine`].
+    fn identity() -> T;
+    /// The associative combination.
+    fn combine(a: T, b: T) -> T;
+    /// Modeled flop cost of one `combine` (for the timing model).
+    const FLOPS: u64;
+    /// Name fragment used in kernel labels.
+    const NAME: &'static str;
+}
+
+/// `f64` addition.
+pub struct AddF64;
+impl ScanOp<f64> for AddF64 {
+    fn identity() -> f64 {
+        0.0
+    }
+    fn combine(a: f64, b: f64) -> f64 {
+        a + b
+    }
+    const FLOPS: u64 = 1;
+    const NAME: &'static str = "add_f64";
+}
+
+/// `u32` addition (index arithmetic, compaction).
+pub struct AddU32;
+impl ScanOp<u32> for AddU32 {
+    fn identity() -> u32 {
+        0
+    }
+    fn combine(a: u32, b: u32) -> u32 {
+        a + b
+    }
+    const FLOPS: u64 = 1;
+    const NAME: &'static str = "add_u32";
+}
+
+/// Complex addition — the operator of the paper's backward sweep
+/// (summing child branch currents).
+pub struct AddComplex;
+impl ScanOp<Complex> for AddComplex {
+    fn identity() -> Complex {
+        Complex::ZERO
+    }
+    fn combine(a: Complex, b: Complex) -> Complex {
+        a + b
+    }
+    const FLOPS: u64 = Complex::ADD_FLOPS;
+    const NAME: &'static str = "add_c64";
+}
+
+/// `f64` maximum — the operator of the convergence check (∞-norm of the
+/// voltage update).
+pub struct MaxF64;
+impl ScanOp<f64> for MaxF64 {
+    fn identity() -> f64 {
+        f64::NEG_INFINITY
+    }
+    fn combine(a: f64, b: f64) -> f64 {
+        a.max(b)
+    }
+    const FLOPS: u64 = 1;
+    const NAME: &'static str = "max_f64";
+}
+
+/// `f64` minimum (voltage-profile reporting).
+pub struct MinF64;
+impl ScanOp<f64> for MinF64 {
+    fn identity() -> f64 {
+        f64::INFINITY
+    }
+    fn combine(a: f64, b: f64) -> f64 {
+        a.min(b)
+    }
+    const FLOPS: u64 = 1;
+    const NAME: &'static str = "min_f64";
+}
+
+/// The (flag, value) pair a segmented scan operates on, with the standard
+/// lifted operator: a head flag resets accumulation at its element.
+///
+/// `(f1,v1) ⊗ (f2,v2) = (f1∨f2, if f2 { v2 } else { v1 ⊕ v2 })`
+///
+/// The lifted operator is associative whenever `⊕` is, which is what lets
+/// segmented scan reuse unsegmented scan networks (Sengupta et al., 2007).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SegPair<T> {
+    /// OR of head flags seen so far.
+    pub flag: u32,
+    /// Accumulated value.
+    pub value: T,
+}
+
+/// Combines two segmented-scan pairs under operator `Op`.
+#[inline]
+pub fn seg_combine<T: DeviceCopy, Op: ScanOp<T>>(a: SegPair<T>, b: SegPair<T>) -> SegPair<T> {
+    SegPair {
+        flag: a.flag | b.flag,
+        value: if b.flag != 0 { b.value } else { Op::combine(a.value, b.value) },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numc::c;
+
+    #[test]
+    fn identities_are_neutral() {
+        assert_eq!(AddF64::combine(AddF64::identity(), 3.5), 3.5);
+        assert_eq!(AddU32::combine(7, AddU32::identity()), 7);
+        assert_eq!(AddComplex::combine(AddComplex::identity(), c(1.0, 2.0)), c(1.0, 2.0));
+        assert_eq!(MaxF64::combine(MaxF64::identity(), -1e300), -1e300);
+        assert_eq!(MinF64::combine(MinF64::identity(), 1e300), 1e300);
+    }
+
+    #[test]
+    fn max_min_behave() {
+        assert_eq!(MaxF64::combine(2.0, 3.0), 3.0);
+        assert_eq!(MinF64::combine(2.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn seg_combine_no_flag_accumulates() {
+        let a = SegPair { flag: 0, value: 2.0 };
+        let b = SegPair { flag: 0, value: 3.0 };
+        assert_eq!(seg_combine::<f64, AddF64>(a, b), SegPair { flag: 0, value: 5.0 });
+    }
+
+    #[test]
+    fn seg_combine_right_flag_resets() {
+        let a = SegPair { flag: 0, value: 100.0 };
+        let b = SegPair { flag: 1, value: 3.0 };
+        assert_eq!(seg_combine::<f64, AddF64>(a, b), SegPair { flag: 1, value: 3.0 });
+    }
+
+    #[test]
+    fn seg_combine_left_flag_propagates() {
+        let a = SegPair { flag: 1, value: 4.0 };
+        let b = SegPair { flag: 0, value: 3.0 };
+        assert_eq!(seg_combine::<f64, AddF64>(a, b), SegPair { flag: 1, value: 7.0 });
+    }
+
+    #[test]
+    fn seg_combine_is_associative_on_samples() {
+        // Exhaustive over flag patterns with integer-valued f64 (exact).
+        let vals = [1.0, 2.0, 4.0];
+        for fa in [0u32, 1] {
+            for fb in [0u32, 1] {
+                for fc in [0u32, 1] {
+                    let a = SegPair { flag: fa, value: vals[0] };
+                    let b = SegPair { flag: fb, value: vals[1] };
+                    let c_ = SegPair { flag: fc, value: vals[2] };
+                    let left = seg_combine::<f64, AddF64>(seg_combine::<f64, AddF64>(a, b), c_);
+                    let right = seg_combine::<f64, AddF64>(a, seg_combine::<f64, AddF64>(b, c_));
+                    assert_eq!(left, right, "flags {fa}{fb}{fc}");
+                }
+            }
+        }
+    }
+}
+
+/// Per-phase complex addition over three-phase triples — the backward
+/// sweep operator of the unbalanced solver.
+pub struct AddCVec3;
+impl ScanOp<numc::CVec3> for AddCVec3 {
+    fn identity() -> numc::CVec3 {
+        numc::CVec3::ZERO
+    }
+    fn combine(a: numc::CVec3, b: numc::CVec3) -> numc::CVec3 {
+        a + b
+    }
+    const FLOPS: u64 = numc::CVec3::ADD_FLOPS;
+    const NAME: &'static str = "add_cv3";
+}
+
+#[cfg(test)]
+mod cvec3_tests {
+    use super::*;
+    use numc::{c, CVec3};
+
+    #[test]
+    fn add_cvec3_identity_and_combine() {
+        let x = CVec3::new(c(1.0, 2.0), c(-1.0, 0.0), c(0.5, 0.5));
+        assert_eq!(AddCVec3::combine(AddCVec3::identity(), x), x);
+        let y = CVec3::splat(c(1.0, 1.0));
+        let z = AddCVec3::combine(x, y);
+        assert_eq!(z.a, c(2.0, 3.0));
+        assert_eq!(z.b, c(0.0, 1.0));
+    }
+}

@@ -1,0 +1,194 @@
+//! Device reduction — the classic two-elements-per-thread shared-memory
+//! tree reduction, iterated until one partial remains.
+//!
+//! Mirrors the canonical CUDA reduction (Harris, "Optimizing Parallel
+//! Reduction in CUDA"): each block loads a tile of `2·blockDim` elements,
+//! folds it in shared memory over `log₂ blockDim` barrier phases, and
+//! emits one partial; the host loop relaunches over the partials until a
+//! single value remains, which is returned through a (time-charged)
+//! device→host copy — exactly the convergence-check pattern of the
+//! paper's host-side iteration loop.
+
+use std::marker::PhantomData;
+
+use simt::{BlockScope, Device, DeviceBuffer, DeviceCopy, GlobalMut, GlobalRef, Kernel, LaunchConfig};
+
+use crate::ops::ScanOp;
+
+/// Threads per reduction block.
+pub const REDUCE_BLOCK: u32 = 256;
+/// Elements consumed per block (two per thread).
+pub const REDUCE_TILE: usize = (REDUCE_BLOCK * 2) as usize;
+
+struct ReduceKernel<'a, T, Op> {
+    input: GlobalRef<'a, T>,
+    partials: GlobalMut<'a, T>,
+    n: usize,
+    _op: PhantomData<fn() -> Op>,
+}
+
+impl<T: DeviceCopy, Op: ScanOp<T>> Kernel for ReduceKernel<'_, T, Op> {
+    fn name(&self) -> &'static str {
+        "reduce"
+    }
+
+    fn block(&self, blk: &mut BlockScope) {
+        let b = blk.block_dim();
+        let base = blk.block_idx() * REDUCE_TILE;
+        let sh = blk.shared::<T>(b);
+
+        // Phase 1: grid load, folding the two halves of the tile.
+        blk.threads(|t| {
+            let i = base + t.tid();
+            let j = i + b;
+            let lo = if i < self.n { t.ld(&self.input, i) } else { Op::identity() };
+            let hi = if j < self.n { t.ld(&self.input, j) } else { Op::identity() };
+            t.flops(Op::FLOPS);
+            t.sts(&sh, t.tid(), Op::combine(lo, hi));
+        });
+
+        // Tree fold: log₂(blockDim) barrier phases.
+        let mut stride = b / 2;
+        while stride > 0 {
+            blk.threads(|t| {
+                let tid = t.tid();
+                if tid < stride {
+                    let a = t.lds(&sh, tid);
+                    let c = t.lds(&sh, tid + stride);
+                    t.flops(Op::FLOPS);
+                    t.sts(&sh, tid, Op::combine(a, c));
+                }
+            });
+            stride /= 2;
+        }
+
+        // Thread 0 publishes the block partial.
+        blk.threads(|t| {
+            if t.tid() == 0 {
+                let v = t.lds(&sh, 0);
+                t.st(&self.partials, t.block_idx(), v);
+            }
+        });
+    }
+}
+
+/// Reduces a device buffer to a single host value under operator `Op`.
+///
+/// Empty input returns `Op::identity()` without touching the device.
+pub fn reduce<T: DeviceCopy, Op: ScanOp<T>>(dev: &mut Device, input: &DeviceBuffer<T>) -> T {
+    if input.is_empty() {
+        return Op::identity();
+    }
+    let mut partials = reduce_level::<T, Op>(dev, input);
+    while partials.len() > 1 {
+        partials = reduce_level::<T, Op>(dev, &partials);
+    }
+    dev.dtoh(&partials)[0]
+}
+
+fn reduce_level<T: DeviceCopy, Op: ScanOp<T>>(
+    dev: &mut Device,
+    input: &DeviceBuffer<T>,
+) -> DeviceBuffer<T> {
+    let n = input.len();
+    let grid = n.div_ceil(REDUCE_TILE).max(1);
+    let mut partials = dev.alloc::<T>(grid);
+    let kernel = ReduceKernel::<'_, T, Op> {
+        input: input.view(),
+        partials: partials.view_mut(),
+        n,
+        _op: PhantomData,
+    };
+    dev.launch(LaunchConfig::new(grid as u32, REDUCE_BLOCK), &kernel);
+    partials
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host;
+    use crate::ops::{AddComplex, AddF64, AddU32, MaxF64, MinF64};
+    use numc::{c, Complex};
+    use simt::DeviceProps;
+
+    fn dev() -> Device {
+        Device::with_workers(DeviceProps::paper_rig(), 2)
+    }
+
+    #[test]
+    fn empty_is_identity_without_launch() {
+        let mut d = dev();
+        let input = d.alloc::<f64>(0);
+        assert_eq!(reduce::<f64, AddF64>(&mut d, &input), 0.0);
+        assert_eq!(d.timeline().breakdown().kernels, 0);
+    }
+
+    #[test]
+    fn single_element() {
+        let mut d = dev();
+        let input = d.alloc_from(&[42.0_f64]);
+        assert_eq!(reduce::<f64, AddF64>(&mut d, &input), 42.0);
+    }
+
+    #[test]
+    fn sums_integers_exactly_across_sizes() {
+        let mut d = dev();
+        // Cover: sub-tile, exact tile, multi-block, multi-level sizes.
+        for n in [1usize, 7, 511, 512, 513, 4096, 100_000, 300_000] {
+            let xs: Vec<u32> = (0..n as u32).map(|i| i % 17).collect();
+            let buf = d.alloc_from(&xs);
+            let got = reduce::<u32, AddU32>(&mut d, &buf);
+            assert_eq!(got, xs.iter().sum::<u32>(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn max_and_min() {
+        let mut d = dev();
+        let xs: Vec<f64> = (0..10_000).map(|i| ((i * 2654435761u64 as usize) % 99991) as f64).collect();
+        let buf = d.alloc_from(&xs);
+        assert_eq!(reduce::<f64, MaxF64>(&mut d, &buf), host::reduce::<f64, MaxF64>(&xs));
+        assert_eq!(reduce::<f64, MinF64>(&mut d, &buf), host::reduce::<f64, MinF64>(&xs));
+    }
+
+    #[test]
+    fn complex_sum_matches_host_within_rounding() {
+        let mut d = dev();
+        let xs: Vec<Complex> =
+            (0..5000).map(|i| c((i % 13) as f64 * 0.5, -((i % 7) as f64))).collect();
+        let buf = d.alloc_from(&xs);
+        let got = reduce::<Complex, AddComplex>(&mut d, &buf);
+        let want = host::reduce::<Complex, AddComplex>(&xs);
+        assert!((got - want).abs() < 1e-9 * want.abs().max(1.0));
+    }
+
+    #[test]
+    fn multi_level_reduction_launches_expected_kernels() {
+        let mut d = dev();
+        // 300k elements: level 1 = 586 partials, level 2 = 2, level 3 = 1.
+        let xs = vec![1u32; 300_000];
+        let buf = d.alloc_from(&xs);
+        let got = reduce::<u32, AddU32>(&mut d, &buf);
+        assert_eq!(got, 300_000);
+        let b = d.timeline().breakdown();
+        assert_eq!(b.kernels, 3);
+        assert_eq!(b.dtoh_bytes, 4); // only the final scalar crosses back
+    }
+
+    #[test]
+    fn reduction_charges_flops() {
+        let mut d = dev();
+        let buf = d.alloc_from(&vec![1.0_f64; 10_000]);
+        let _ = reduce::<f64, AddF64>(&mut d, &buf);
+        let flops: u64 = d
+            .timeline()
+            .events()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                simt::EventKind::Kernel { stats, .. } => Some(stats.flops),
+                _ => None,
+            })
+            .sum();
+        assert!(flops >= 10_000, "tree reduction should charge at least n combines");
+    }
+}

@@ -1,0 +1,266 @@
+//! Device prefix scan — the work-efficient Blelloch scan.
+//!
+//! Structure (Blelloch 1990; the GPU formulation of Harris/Sengupta/Owens
+//! in *GPU Gems 3*, ch. 39):
+//!
+//! 1. `scan_blocks` — every block scans a tile of `2·blockDim` elements in
+//!    shared memory: an up-sweep (reduce) of `log₂ tile` phases, root
+//!    replacement with the identity, and a down-sweep of `log₂ tile`
+//!    phases, producing the tile's *exclusive* scan plus one block sum.
+//! 2. The block sums are scanned recursively (they are just another,
+//!    `tile`-times-smaller, scan problem).
+//! 3. `uniform_add` — each element is offset by its block's scanned sum.
+//!
+//! Everything stays on the device; no intermediate crosses the PCIe model.
+
+use std::marker::PhantomData;
+
+use simt::{BlockScope, Device, DeviceBuffer, DeviceCopy, GlobalMut, GlobalRef, Kernel, LaunchConfig};
+
+use crate::map::launch_map;
+use crate::ops::ScanOp;
+
+/// Threads per scan block.
+pub const SCAN_BLOCK: u32 = 256;
+/// Elements scanned per block (two per thread).
+pub const SCAN_TILE: usize = (SCAN_BLOCK * 2) as usize;
+
+struct ScanBlocksKernel<'a, T, Op> {
+    input: GlobalRef<'a, T>,
+    output: GlobalMut<'a, T>,
+    sums: GlobalMut<'a, T>,
+    n: usize,
+    _op: PhantomData<fn() -> Op>,
+}
+
+impl<T: DeviceCopy, Op: ScanOp<T>> Kernel for ScanBlocksKernel<'_, T, Op> {
+    fn name(&self) -> &'static str {
+        "scan_blocks"
+    }
+
+    fn block(&self, blk: &mut BlockScope) {
+        let b = blk.block_dim();
+        let tile = 2 * b;
+        let base = blk.block_idx() * tile;
+        let sh = blk.shared::<T>(tile);
+
+        // Load two elements per thread, identity-padding the tail.
+        blk.threads(|t| {
+            let tid = t.tid();
+            for k in [tid, tid + b] {
+                let i = base + k;
+                let v = if i < self.n { t.ld(&self.input, i) } else { Op::identity() };
+                t.sts(&sh, k, v);
+            }
+        });
+
+        // Up-sweep (reduce) phases.
+        let mut offset = 1usize;
+        while offset < tile {
+            let active = tile / (2 * offset);
+            blk.threads(|t| {
+                let tid = t.tid();
+                if tid < active {
+                    let i = offset * (2 * tid + 1) - 1;
+                    let j = offset * (2 * tid + 2) - 1;
+                    let a = t.lds(&sh, i);
+                    let c = t.lds(&sh, j);
+                    t.flops(Op::FLOPS);
+                    t.sts(&sh, j, Op::combine(a, c));
+                }
+            });
+            offset *= 2;
+        }
+
+        // Publish the block total, then clear the root.
+        blk.threads(|t| {
+            if t.tid() == 0 {
+                let total = t.lds(&sh, tile - 1);
+                t.st(&self.sums, t.block_idx(), total);
+                t.sts(&sh, tile - 1, Op::identity());
+            }
+        });
+
+        // Down-sweep phases.
+        let mut offset = tile / 2;
+        while offset > 0 {
+            let active = tile / (2 * offset);
+            blk.threads(|t| {
+                let tid = t.tid();
+                if tid < active {
+                    let i = offset * (2 * tid + 1) - 1;
+                    let j = offset * (2 * tid + 2) - 1;
+                    let left = t.lds(&sh, i);
+                    let right = t.lds(&sh, j);
+                    t.flops(Op::FLOPS);
+                    t.sts(&sh, i, right);
+                    t.sts(&sh, j, Op::combine(left, right));
+                }
+            });
+            offset /= 2;
+        }
+
+        // Store the scanned tile.
+        blk.threads(|t| {
+            let tid = t.tid();
+            for k in [tid, tid + b] {
+                let i = base + k;
+                if i < self.n {
+                    let v = t.lds(&sh, k);
+                    t.st(&self.output, i, v);
+                }
+            }
+        });
+    }
+}
+
+/// Device exclusive scan: `out[i] = x[0] ⊕ … ⊕ x[i−1]`, `out[0] = id`.
+///
+/// `output` must be at least as long as `input`.
+pub fn scan_exclusive<T: DeviceCopy, Op: ScanOp<T>>(
+    dev: &mut Device,
+    input: &DeviceBuffer<T>,
+    output: &mut DeviceBuffer<T>,
+) {
+    let n = input.len();
+    assert!(output.len() >= n, "scan: output shorter than input");
+    if n == 0 {
+        return;
+    }
+    let grid = n.div_ceil(SCAN_TILE).max(1);
+    let mut sums = dev.alloc::<T>(grid);
+    let kernel = ScanBlocksKernel::<'_, T, Op> {
+        input: input.view(),
+        output: output.view_mut(),
+        sums: sums.view_mut(),
+        n,
+        _op: PhantomData,
+    };
+    dev.launch(LaunchConfig::new(grid as u32, SCAN_BLOCK), &kernel);
+
+    if grid > 1 {
+        // Recursively scan the block sums, then apply the offsets.
+        let mut scanned_sums = dev.alloc::<T>(grid);
+        scan_exclusive::<T, Op>(dev, &sums, &mut scanned_sums);
+        let offs = scanned_sums.view();
+        let out_v = output.view_mut();
+        launch_map(dev, n, "uniform_add", move |t, i| {
+            let blk = i / SCAN_TILE;
+            let off = t.ld(&offs, blk);
+            let v = t.ld_mut(&out_v, i);
+            t.flops(Op::FLOPS);
+            t.st(&out_v, i, Op::combine(off, v));
+        });
+    }
+}
+
+/// Device inclusive scan: `out[i] = x[0] ⊕ … ⊕ x[i]`.
+///
+/// Implemented as the exclusive scan combined with the input element-wise
+/// (one extra map), keeping a single scan network for both flavours.
+pub fn scan_inclusive<T: DeviceCopy, Op: ScanOp<T>>(
+    dev: &mut Device,
+    input: &DeviceBuffer<T>,
+    output: &mut DeviceBuffer<T>,
+) {
+    let n = input.len();
+    scan_exclusive::<T, Op>(dev, input, output);
+    if n == 0 {
+        return;
+    }
+    let in_v = input.view();
+    let out_v = output.view_mut();
+    launch_map(dev, n, "inclusive_fixup", move |t, i| {
+        let e = t.ld_mut(&out_v, i);
+        let x = t.ld(&in_v, i);
+        t.flops(Op::FLOPS);
+        t.st(&out_v, i, Op::combine(e, x));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host;
+    use crate::ops::{AddF64, AddU32};
+    use simt::DeviceProps;
+
+    fn dev() -> Device {
+        Device::with_workers(DeviceProps::paper_rig(), 2)
+    }
+
+    fn device_scan_exclusive_u32(xs: &[u32]) -> Vec<u32> {
+        let mut d = dev();
+        let input = d.alloc_from(xs);
+        let mut out = d.alloc::<u32>(xs.len());
+        scan_exclusive::<u32, AddU32>(&mut d, &input, &mut out);
+        d.dtoh(&out)
+    }
+
+    #[test]
+    fn exclusive_small_cases() {
+        assert_eq!(device_scan_exclusive_u32(&[]), Vec::<u32>::new());
+        assert_eq!(device_scan_exclusive_u32(&[5]), vec![0]);
+        assert_eq!(device_scan_exclusive_u32(&[1, 2, 3, 4]), vec![0, 1, 3, 6]);
+    }
+
+    #[test]
+    fn exclusive_matches_host_across_sizes() {
+        // Boundary sizes around the tile and around one-level/two-level
+        // recursion: 512 = one tile; 513 spills; 262145 forces a
+        // three-level hierarchy (512² = 262144).
+        for n in [2usize, 31, 511, 512, 513, 1024, 5000, 262_144, 262_145] {
+            let xs: Vec<u32> = (0..n as u32).map(|i| (i * 7 + 3) % 11).collect();
+            let got = device_scan_exclusive_u32(&xs);
+            assert_eq!(got, host::scan_exclusive::<u32, AddU32>(&xs), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn inclusive_matches_host() {
+        let mut d = dev();
+        for n in [1usize, 512, 700, 10_000] {
+            let xs: Vec<u32> = (0..n as u32).map(|i| i % 5).collect();
+            let input = d.alloc_from(&xs);
+            let mut out = d.alloc::<u32>(n);
+            scan_inclusive::<u32, AddU32>(&mut d, &input, &mut out);
+            assert_eq!(d.dtoh(&out), host::scan_inclusive::<u32, AddU32>(&xs), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn f64_scan_close_to_host() {
+        let mut d = dev();
+        let xs: Vec<f64> = (0..4096).map(|i| ((i * 37) % 101) as f64 * 0.25).collect();
+        let input = d.alloc_from(&xs);
+        let mut out = d.alloc::<f64>(xs.len());
+        scan_inclusive::<f64, AddF64>(&mut d, &input, &mut out);
+        let got = d.dtoh(&out);
+        let want = host::scan_inclusive::<f64, AddF64>(&xs);
+        // Quarter-integers sum exactly in f64 at these magnitudes.
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn scan_stays_on_device_until_download() {
+        let mut d = dev();
+        let xs = vec![1u32; 100_000];
+        let input = d.alloc_from(&xs);
+        let mut out = d.alloc::<u32>(xs.len());
+        scan_exclusive::<u32, AddU32>(&mut d, &input, &mut out);
+        let b = d.timeline().breakdown();
+        assert_eq!(b.dtoh_bytes, 0, "no intermediate download");
+        // 100k/512 = 196 blocks → level-2 scan of 196 sums (1 block) →
+        // uniform add. 3 kernels total.
+        assert_eq!(b.kernels, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "output shorter")]
+    fn short_output_rejected() {
+        let mut d = dev();
+        let input = d.alloc_from(&[1u32; 8]);
+        let mut out = d.alloc::<u32>(4);
+        scan_exclusive::<u32, AddU32>(&mut d, &input, &mut out);
+    }
+}

@@ -1,0 +1,254 @@
+//! Device memory: buffers and the global-memory views kernels access.
+//!
+//! A [`DeviceBuffer`] models a `cudaMalloc`'d allocation. Host code cannot
+//! index it directly — data moves through [`crate::Device::htod`] /
+//! [`crate::Device::dtoh`] (which the timing model charges for) and
+//! kernels access it through [`GlobalRef`] (read-only) or [`GlobalMut`]
+//! (read-write) views.
+//!
+//! # Safety model
+//!
+//! `GlobalMut` hands every simulated thread interior-mutable access to the
+//! same slice, exactly like CUDA global memory. A racy kernel is a bug in
+//! the *kernel* (as it would be on silicon); the simulator does not make
+//! it UB-free. Enable the `racecheck` cargo feature to attach a per-cell
+//! access tracker that panics with a diagnostic when two threads of one
+//! launch touch the same element without an ordering barrier — the
+//! cuda-memcheck analog used by this workspace's test suites.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::AtomicU64;
+
+/// Marker for types that may live in device memory: plain-old-data that is
+/// freely copyable and thread-safe. `Default` supplies the zero pattern
+/// for fresh allocations (`cudaMemset(0)` analog).
+pub trait DeviceCopy: Copy + Default + Send + Sync + 'static {}
+impl<T: Copy + Default + Send + Sync + 'static> DeviceCopy for T {}
+
+/// Identifier distinguishing allocations in coalescing bookkeeping.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct BufId(pub u32);
+
+static NEXT_BUF_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_buf_id() -> BufId {
+    let v = NEXT_BUF_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    BufId(v as u32)
+}
+
+/// A device-resident typed allocation.
+#[derive(Debug)]
+pub struct DeviceBuffer<T> {
+    data: Box<[UnsafeCell<T>]>,
+    id: BufId,
+}
+
+// SAFETY: the UnsafeCells are only mutated through GlobalMut views inside
+// kernel launches; the launch engine is responsible for the discipline
+// (documented in the module docs). The buffer itself is just storage.
+unsafe impl<T: Send> Send for DeviceBuffer<T> {}
+unsafe impl<T: Send + Sync> Sync for DeviceBuffer<T> {}
+
+impl<T: DeviceCopy> DeviceBuffer<T> {
+    /// Allocates `len` zero-initialised elements. Prefer going through
+    /// [`crate::Device::alloc`] so the allocation is recorded on the
+    /// timeline.
+    pub(crate) fn zeroed(len: usize) -> Self {
+        let data: Box<[UnsafeCell<T>]> =
+            (0..len).map(|_| UnsafeCell::new(T::default())).collect();
+        DeviceBuffer { data, id: fresh_buf_id() }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size of the allocation in bytes.
+    #[inline]
+    pub fn size_bytes(&self) -> u64 {
+        (self.len() * std::mem::size_of::<T>()) as u64
+    }
+
+    /// The allocation id (used in coalescing stats).
+    #[inline]
+    pub fn id(&self) -> BufId {
+        self.id
+    }
+
+    /// Overwrites device contents from a host slice (engine-internal; the
+    /// public, time-charged path is [`crate::Device::htod`]).
+    pub(crate) fn copy_from_host(&mut self, src: &[T]) {
+        assert_eq!(
+            src.len(),
+            self.len(),
+            "htod length mismatch: host {} vs device {}",
+            src.len(),
+            self.len()
+        );
+        for (cell, v) in self.data.iter_mut().zip(src) {
+            *cell.get_mut() = *v;
+        }
+    }
+
+    /// Reads device contents into a fresh host vector (engine-internal;
+    /// the time-charged path is [`crate::Device::dtoh`]).
+    pub(crate) fn copy_to_host(&self) -> Vec<T> {
+        // SAFETY: &self guarantees no kernel holds a GlobalMut on another
+        // thread (launches are synchronous and take the views by borrow).
+        self.data.iter().map(|c| unsafe { *c.get() }).collect()
+    }
+
+    /// A read-only global-memory view for a kernel parameter.
+    pub fn view(&self) -> GlobalRef<'_, T> {
+        GlobalRef { data: &self.data, id: self.id }
+    }
+
+    /// A read-write global-memory view for a kernel parameter.
+    ///
+    /// Takes `&mut self` so host-side Rust code cannot also hold a
+    /// read view of a buffer a kernel is mutating — the one aliasing
+    /// mistake CUDA lets you make that we can rule out statically.
+    pub fn view_mut(&mut self) -> GlobalMut<'_, T> {
+        GlobalMut {
+            data: &self.data,
+            id: self.id,
+            #[cfg(feature = "racecheck")]
+            race: std::sync::Arc::new(crate::racecheck::RaceTable::new(self.data.len())),
+        }
+    }
+}
+
+/// Read-only kernel view of a [`DeviceBuffer`].
+#[derive(Clone, Copy, Debug)]
+pub struct GlobalRef<'a, T> {
+    pub(crate) data: &'a [UnsafeCell<T>],
+    pub(crate) id: BufId,
+}
+
+// SAFETY: GlobalRef never writes; concurrent reads of the UnsafeCells are
+// fine as long as no GlobalMut to the same buffer exists, which the
+// &self / &mut self split on DeviceBuffer enforces.
+unsafe impl<T: Sync> Sync for GlobalRef<'_, T> {}
+unsafe impl<T: Send> Send for GlobalRef<'_, T> {}
+
+impl<T: DeviceCopy> GlobalRef<'_, T> {
+    /// Number of elements visible through the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    pub(crate) fn raw_load(&self, i: usize) -> T {
+        // SAFETY: no writer can exist (see Sync impl note).
+        unsafe { *self.data[i].get() }
+    }
+}
+
+/// Read-write kernel view of a [`DeviceBuffer`].
+#[derive(Clone)]
+pub struct GlobalMut<'a, T> {
+    pub(crate) data: &'a [UnsafeCell<T>],
+    pub(crate) id: BufId,
+    #[cfg(feature = "racecheck")]
+    pub(crate) race: std::sync::Arc<crate::racecheck::RaceTable>,
+}
+
+// SAFETY: this is the CUDA global-memory contract — many threads may hold
+// the view; *well-synchronised kernels* write disjoint cells or order
+// accesses by block-local barriers. Racy kernels are bugs; the racecheck
+// feature exists to find them.
+unsafe impl<T: Send + Sync> Sync for GlobalMut<'_, T> {}
+unsafe impl<T: Send> Send for GlobalMut<'_, T> {}
+
+impl<T: DeviceCopy> GlobalMut<'_, T> {
+    /// Number of elements visible through the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    pub(crate) fn raw_load(&self, i: usize) -> T {
+        // SAFETY: see type-level contract.
+        unsafe { *self.data[i].get() }
+    }
+
+    #[inline]
+    pub(crate) fn raw_store(&self, i: usize, v: T) {
+        // SAFETY: see type-level contract.
+        unsafe { *self.data[i].get() = v }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_alloc_and_roundtrip() {
+        let mut b = DeviceBuffer::<f64>::zeroed(4);
+        assert_eq!(b.len(), 4);
+        assert!(!b.is_empty());
+        assert_eq!(b.size_bytes(), 32);
+        assert_eq!(b.copy_to_host(), vec![0.0; 4]);
+        b.copy_from_host(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(b.copy_to_host(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let b = DeviceBuffer::<u32>::zeroed(0);
+        assert!(b.is_empty());
+        assert_eq!(b.copy_to_host(), Vec::<u32>::new());
+        assert!(b.view().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "htod length mismatch")]
+    fn htod_length_mismatch_panics() {
+        let mut b = DeviceBuffer::<u32>::zeroed(2);
+        b.copy_from_host(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn buffer_ids_are_unique() {
+        let a = DeviceBuffer::<u8>::zeroed(1);
+        let b = DeviceBuffer::<u8>::zeroed(1);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn views_expose_contents() {
+        let mut b = DeviceBuffer::<u32>::zeroed(3);
+        b.copy_from_host(&[7, 8, 9]);
+        let v = b.view();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.raw_load(1), 8);
+        let m = b.view_mut();
+        m.raw_store(2, 42);
+        assert_eq!(m.raw_load(2), 42);
+        let _ = m;
+        assert_eq!(b.copy_to_host(), vec![7, 8, 42]);
+    }
+}

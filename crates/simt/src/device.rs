@@ -1,0 +1,228 @@
+//! The device handle: allocation, transfers, launches, timeline.
+
+use std::time::Instant;
+
+use crate::buffer::{DeviceBuffer, DeviceCopy};
+use crate::engine;
+use crate::kernel::{Kernel, LaunchConfig};
+use crate::props::DeviceProps;
+use crate::timeline::{Event, EventKind, Timeline};
+use crate::timing;
+
+/// A simulated CUDA device.
+///
+/// All operations are synchronous (the paper's pipeline is too: upload,
+/// iterate kernels with a host-side convergence loop, download). Modeled
+/// time for every operation is appended to the [`Timeline`].
+///
+/// # Panics
+///
+/// Launch-geometry violations (zero-sized or over-limit blocks) and
+/// device faults (out-of-bounds kernel accesses) panic, mirroring the
+/// fatal launch/memcheck errors they correspond to on real hardware.
+pub struct Device {
+    props: DeviceProps,
+    timeline: Timeline,
+    workers: usize,
+    allocated_bytes: u64,
+}
+
+impl Device {
+    /// Creates a device with the given properties, using every host core
+    /// for functional execution.
+    pub fn new(props: DeviceProps) -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self::with_workers(props, workers)
+    }
+
+    /// Creates a device with an explicit host worker-thread cap
+    /// (functional execution only; modeled time is unaffected).
+    pub fn with_workers(props: DeviceProps, workers: usize) -> Self {
+        props.validate().expect("invalid DeviceProps");
+        Device { props, timeline: Timeline::default(), workers: workers.max(1), allocated_bytes: 0 }
+    }
+
+    /// The calibrated reproduction device ([`DeviceProps::paper_rig`]).
+    pub fn paper_rig() -> Self {
+        Self::new(DeviceProps::paper_rig())
+    }
+
+    /// Device properties.
+    pub fn props(&self) -> &DeviceProps {
+        &self.props
+    }
+
+    /// Total bytes currently charged to device allocations.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated_bytes
+    }
+
+    /// The event log.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Mutable event log (for clearing between experiment phases).
+    pub fn timeline_mut(&mut self) -> &mut Timeline {
+        &mut self.timeline
+    }
+
+    /// Allocates `len` zero-initialised elements on the device.
+    pub fn alloc<T: DeviceCopy>(&mut self, len: usize) -> DeviceBuffer<T> {
+        let buf = DeviceBuffer::zeroed(len);
+        self.allocated_bytes += buf.size_bytes();
+        self.timeline.push(Event {
+            kind: EventKind::Alloc { bytes: buf.size_bytes() },
+            modeled_us: 0.0,
+            wall_us: 0.0,
+        });
+        buf
+    }
+
+    /// Allocates and uploads in one step (`cudaMalloc` + `cudaMemcpy`).
+    pub fn alloc_from<T: DeviceCopy>(&mut self, src: &[T]) -> DeviceBuffer<T> {
+        let mut buf = self.alloc(src.len());
+        self.htod(&mut buf, src);
+        buf
+    }
+
+    /// Uploads a host slice into a device buffer (lengths must match).
+    pub fn htod<T: DeviceCopy>(&mut self, buf: &mut DeviceBuffer<T>, src: &[T]) {
+        let t0 = Instant::now();
+        buf.copy_from_host(src);
+        let bytes = buf.size_bytes();
+        self.timeline.push(Event {
+            kind: EventKind::Htod { bytes },
+            modeled_us: timing::transfer_time(&self.props, bytes),
+            wall_us: t0.elapsed().as_secs_f64() * 1e6,
+        });
+    }
+
+    /// Downloads a device buffer into a fresh host vector.
+    pub fn dtoh<T: DeviceCopy>(&mut self, buf: &DeviceBuffer<T>) -> Vec<T> {
+        let t0 = Instant::now();
+        let out = buf.copy_to_host();
+        let bytes = buf.size_bytes();
+        self.timeline.push(Event {
+            kind: EventKind::Dtoh { bytes },
+            modeled_us: timing::transfer_time(&self.props, bytes),
+            wall_us: t0.elapsed().as_secs_f64() * 1e6,
+        });
+        out
+    }
+
+    /// Launches a kernel over the given grid.
+    pub fn launch<K: Kernel>(&mut self, cfg: LaunchConfig, kernel: &K) {
+        assert!(cfg.grid >= 1, "launch failure: empty grid");
+        assert!(
+            cfg.block >= 1 && cfg.block <= self.props.max_threads_per_block,
+            "launch failure: block size {} outside 1..={}",
+            cfg.block,
+            self.props.max_threads_per_block
+        );
+        let t0 = Instant::now();
+        let stats = engine::run_grid(
+            kernel,
+            &cfg,
+            self.props.warp_size,
+            self.props.shared_mem_per_block,
+            self.workers,
+        );
+        let wall_us = t0.elapsed().as_secs_f64() * 1e6;
+        let timing = timing::kernel_time(&self.props, &cfg, &stats);
+        self.timeline.push(Event {
+            kind: EventKind::Kernel {
+                name: kernel.name(),
+                grid: cfg.grid,
+                block: cfg.block,
+                stats,
+                timing,
+            },
+            modeled_us: timing.total_us,
+            wall_us,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::{GlobalMut, GlobalRef};
+    use crate::scope::BlockScope;
+
+    struct Double<'a> {
+        src: GlobalRef<'a, u32>,
+        dst: GlobalMut<'a, u32>,
+        n: usize,
+    }
+
+    impl Kernel for Double<'_> {
+        fn name(&self) -> &'static str {
+            "double"
+        }
+        fn block(&self, blk: &mut BlockScope) {
+            blk.threads(|t| {
+                let i = t.global_id();
+                if i < self.n {
+                    let v = t.ld(&self.src, i);
+                    t.flops(1);
+                    t.st(&self.dst, i, v * 2);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn end_to_end_launch_records_timeline() {
+        let mut dev = Device::with_workers(DeviceProps::paper_rig(), 2);
+        let host: Vec<u32> = (0..1000).collect();
+        let src = dev.alloc_from(&host);
+        let mut dst = dev.alloc::<u32>(1000);
+        let k = Double { src: src.view(), dst: dst.view_mut(), n: 1000 };
+        dev.launch(LaunchConfig::for_elems(1000), &k);
+        let out = dev.dtoh(&dst);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == 2 * i as u32));
+
+        let b = dev.timeline().breakdown();
+        assert_eq!(b.kernels, 1);
+        assert_eq!(b.htod_bytes, 4000);
+        assert_eq!(b.dtoh_bytes, 4000);
+        assert!(b.kernel_us >= dev.props().launch_overhead_us);
+        assert!(b.htod_us > dev.props().pcie_latency_us);
+        assert_eq!(dev.allocated_bytes(), 8000);
+    }
+
+    #[test]
+    fn modeled_time_is_deterministic() {
+        let run = || {
+            let mut dev = Device::with_workers(DeviceProps::paper_rig(), 4);
+            let host: Vec<u32> = (0..50_000).collect();
+            let src = dev.alloc_from(&host);
+            let mut dst = dev.alloc::<u32>(50_000);
+            let k = Double { src: src.view(), dst: dst.view_mut(), n: 50_000 };
+            dev.launch(LaunchConfig::for_elems(50_000), &k);
+            dev.timeline().total_modeled_us()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "launch failure")]
+    fn oversized_block_is_rejected() {
+        let mut dev = Device::paper_rig();
+        let mut dst = dev.alloc::<u32>(1);
+        let src = DeviceBuffer::<u32>::zeroed(1);
+        let k = Double { src: src.view(), dst: dst.view_mut(), n: 1 };
+        dev.launch(LaunchConfig::new(1, 2048), &k);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty grid")]
+    fn empty_grid_is_rejected() {
+        let mut dev = Device::paper_rig();
+        let mut dst = dev.alloc::<u32>(1);
+        let src = DeviceBuffer::<u32>::zeroed(1);
+        let k = Double { src: src.view(), dst: dst.view_mut(), n: 1 };
+        dev.launch(LaunchConfig::new(0, 32), &k);
+    }
+}

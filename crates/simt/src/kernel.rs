@@ -1,0 +1,88 @@
+//! The kernel trait and launch configuration.
+
+use crate::scope::BlockScope;
+
+/// A device kernel: the `__global__` function analog.
+///
+/// Implementors are plain structs whose fields are the kernel parameters
+/// (global-memory views, scalars). The engine calls [`Kernel::block`] once
+/// per block, potentially from many host threads concurrently, hence the
+/// `Sync` bound.
+pub trait Kernel: Sync {
+    /// Name recorded on the timeline (shows up in breakdown reports).
+    fn name(&self) -> &'static str;
+
+    /// Executes one block. See [`BlockScope`] for the execution model.
+    fn block(&self, blk: &mut BlockScope);
+}
+
+/// 1-D launch geometry (`<<<grid, block>>>`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Blocks in the grid. Must be ≥ 1.
+    pub grid: u32,
+    /// Threads per block. Must be ≥ 1 and ≤ the device limit.
+    pub block: u32,
+}
+
+impl LaunchConfig {
+    /// Default block size used by the element-wise helpers; matches the
+    /// 256-thread blocks typical of paper-era CUDA codes.
+    pub const DEFAULT_BLOCK: u32 = 256;
+
+    /// Explicit geometry.
+    pub const fn new(grid: u32, block: u32) -> Self {
+        LaunchConfig { grid, block }
+    }
+
+    /// Geometry covering `n` elements with one thread each, using
+    /// `block`-sized blocks (`grid = ceil(n / block)`). `n = 0` launches a
+    /// single block so degenerate calls stay well-formed (guards in the
+    /// kernel body skip all work).
+    pub fn for_elems_with_block(n: usize, block: u32) -> Self {
+        assert!(block >= 1, "block size must be >= 1");
+        let grid = n.div_ceil(block as usize).max(1);
+        assert!(grid <= u32::MAX as usize, "grid too large for {n} elements");
+        LaunchConfig { grid: grid as u32, block }
+    }
+
+    /// [`Self::for_elems_with_block`] with the default 256-thread block.
+    pub fn for_elems(n: usize) -> Self {
+        Self::for_elems_with_block(n, Self::DEFAULT_BLOCK)
+    }
+
+    /// Total threads in the launch.
+    pub fn total_threads(&self) -> u64 {
+        self.grid as u64 * self.block as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_elems_rounds_up() {
+        assert_eq!(LaunchConfig::for_elems(1), LaunchConfig::new(1, 256));
+        assert_eq!(LaunchConfig::for_elems(256), LaunchConfig::new(1, 256));
+        assert_eq!(LaunchConfig::for_elems(257), LaunchConfig::new(2, 256));
+        assert_eq!(LaunchConfig::for_elems_with_block(100, 32), LaunchConfig::new(4, 32));
+    }
+
+    #[test]
+    fn zero_elems_still_launches_one_block() {
+        let c = LaunchConfig::for_elems(0);
+        assert_eq!(c.grid, 1);
+    }
+
+    #[test]
+    fn total_threads() {
+        assert_eq!(LaunchConfig::new(4, 128).total_threads(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn zero_block_rejected() {
+        LaunchConfig::for_elems_with_block(10, 0);
+    }
+}

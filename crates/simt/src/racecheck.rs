@@ -1,0 +1,207 @@
+//! Optional data-race detector for kernel launches (`racecheck` feature).
+//!
+//! CUDA's memory model gives no ordering between threads of *different*
+//! blocks within one launch, and orders threads of the *same* block only
+//! across `__syncthreads()` barriers. The tracker enforces exactly that:
+//!
+//! * write → write to one cell from different threads: race, unless the
+//!   writes are in the same block and different phases;
+//! * write → read from a different thread: race, unless same block and
+//!   the read happens in a *later* phase than the write.
+//!
+//! Each cell stores the last writer as a packed word. The table is
+//! rebuilt per [`crate::DeviceBuffer::view_mut`] call (views are created
+//! per launch by convention), so stale launches never alias.
+//!
+//! This is a debugging tool: it is only compiled under the `racecheck`
+//! feature and is used by kernel test suites, not production runs.
+
+#![cfg(feature = "racecheck")]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identity of an executing simulated thread for race attribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThreadId {
+    /// Flat block index.
+    pub block: u32,
+    /// Thread index within the block.
+    pub tid: u32,
+    /// Barrier phase ordinal within the block (saturates at u16::MAX).
+    pub phase: u16,
+}
+
+/// Packed cell encoding:
+/// [1 bit valid][1 bit atomic][30 bits block][16 bits tid][16 bits phase].
+fn pack(t: ThreadId, atomic: bool) -> u64 {
+    (1u64 << 63)
+        | ((atomic as u64) << 62)
+        | ((t.block as u64 & 0x3FFF_FFFF) << 32)
+        | ((t.tid as u64 & 0xFFFF) << 16)
+        | t.phase as u64
+}
+
+fn unpack(w: u64) -> Option<(ThreadId, bool)> {
+    if w >> 63 == 0 {
+        return None;
+    }
+    let id = ThreadId {
+        block: ((w >> 32) & 0x3FFF_FFFF) as u32,
+        tid: ((w >> 16) & 0xFFFF) as u32,
+        phase: (w & 0xFFFF) as u16,
+    };
+    Some((id, (w >> 62) & 1 == 1))
+}
+
+/// Per-buffer, per-launch last-writer table.
+#[derive(Debug)]
+pub struct RaceTable {
+    cells: Box<[AtomicU64]>,
+}
+
+impl RaceTable {
+    /// Creates a table for a buffer of `len` elements.
+    pub fn new(len: usize) -> Self {
+        RaceTable { cells: (0..len).map(|_| AtomicU64::new(0)).collect() }
+    }
+
+    /// True when `a` (earlier writer) is ordered-before `b` (current
+    /// accessor) under the launch memory model.
+    fn ordered(a: ThreadId, b: ThreadId) -> bool {
+        if a.block == b.block && a.tid == b.tid {
+            return true; // program order within one thread
+        }
+        // Same block: barrier between phases orders the accesses.
+        a.block == b.block && a.phase < b.phase
+    }
+
+    /// Records a write by `who` to element `i`; panics on a detected race.
+    pub fn on_write(&self, i: usize, who: ThreadId) {
+        let new = pack(who, false);
+        let prev = self.cells[i].swap(new, Ordering::Relaxed);
+        if let Some((w, _atomic)) = unpack(prev) {
+            // A plain write conflicts with any unordered prior access,
+            // atomic or not.
+            if !Self::ordered(w, who) {
+                panic!(
+                    "racecheck: write-write race on element {i}: \
+                     block {}/thread {}/phase {} vs block {}/thread {}/phase {}",
+                    w.block, w.tid, w.phase, who.block, who.tid, who.phase
+                );
+            }
+        }
+    }
+
+    /// Records a read by `who` of element `i`; panics when it races with
+    /// an earlier write from an unordered thread.
+    pub fn on_read(&self, i: usize, who: ThreadId) {
+        let prev = self.cells[i].load(Ordering::Relaxed);
+        if let Some((w, _atomic)) = unpack(prev) {
+            if !Self::ordered(w, who) {
+                panic!(
+                    "racecheck: read-after-write race on element {i}: \
+                     written by block {}/thread {}/phase {}, read by block {}/thread {}/phase {}",
+                    w.block, w.tid, w.phase, who.block, who.tid, who.phase
+                );
+            }
+        }
+    }
+
+    /// Records an atomic RMW by `who` on element `i`. Concurrent atomics
+    /// never race with each other; an atomic racing an unordered *plain*
+    /// access panics.
+    pub fn on_atomic(&self, i: usize, who: ThreadId) {
+        let new = pack(who, true);
+        let prev = self.cells[i].swap(new, Ordering::Relaxed);
+        if let Some((w, atomic)) = unpack(prev) {
+            if !atomic && !Self::ordered(w, who) {
+                panic!(
+                    "racecheck: atomic-vs-plain race on element {i}: \
+                     plain access by block {}/thread {}/phase {}, atomic by block {}/thread {}/phase {}",
+                    w.block, w.tid, w.phase, who.block, who.tid, who.phase
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(block: u32, tid: u32, phase: u16) -> ThreadId {
+        ThreadId { block, tid, phase }
+    }
+
+    #[test]
+    fn pack_roundtrip() {
+        let id = t(12345, 678, 9);
+        assert_eq!(unpack(pack(id, false)), Some((id, false)));
+        assert_eq!(unpack(pack(id, true)), Some((id, true)));
+        assert_eq!(unpack(0), None);
+    }
+
+    #[test]
+    fn concurrent_atomics_do_not_race() {
+        let tab = RaceTable::new(1);
+        tab.on_atomic(0, t(0, 0, 0));
+        tab.on_atomic(0, t(5, 3, 0));
+        tab.on_atomic(0, t(2, 9, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "atomic-vs-plain race")]
+    fn atomic_after_unordered_plain_write_races() {
+        let tab = RaceTable::new(1);
+        tab.on_write(0, t(0, 0, 0));
+        tab.on_atomic(0, t(1, 0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "read-after-write race")]
+    fn plain_read_after_unordered_atomic_races() {
+        let tab = RaceTable::new(1);
+        tab.on_atomic(0, t(0, 0, 0));
+        tab.on_read(0, t(1, 0, 0));
+    }
+
+    #[test]
+    fn same_thread_rewrites_are_fine() {
+        let tab = RaceTable::new(1);
+        tab.on_write(0, t(0, 3, 0));
+        tab.on_write(0, t(0, 3, 0));
+        tab.on_read(0, t(0, 3, 0));
+    }
+
+    #[test]
+    fn barrier_orders_same_block() {
+        let tab = RaceTable::new(1);
+        tab.on_write(0, t(0, 3, 0));
+        tab.on_read(0, t(0, 7, 1)); // later phase: ordered
+        tab.on_write(0, t(0, 7, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "write-write race")]
+    fn same_phase_write_write_races() {
+        let tab = RaceTable::new(1);
+        tab.on_write(0, t(0, 3, 0));
+        tab.on_write(0, t(0, 4, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "read-after-write race")]
+    fn cross_block_read_races() {
+        let tab = RaceTable::new(1);
+        tab.on_write(0, t(0, 0, 0));
+        tab.on_read(0, t(1, 0, 5)); // different block: never ordered
+    }
+
+    #[test]
+    #[should_panic(expected = "write-write race")]
+    fn cross_block_write_races() {
+        let tab = RaceTable::new(1);
+        tab.on_write(0, t(0, 0, 3));
+        tab.on_write(0, t(2, 0, 3));
+    }
+}

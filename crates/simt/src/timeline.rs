@@ -1,0 +1,443 @@
+//! The device timeline: an event log of every launch and transfer.
+//!
+//! Experiments read the timeline to produce the paper's per-phase
+//! breakdowns (H2D / kernels-by-name / D2H) and its "GPU-only" timings
+//! (kernel events excluding transfers).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::stats::LaunchStats;
+use crate::timing::KernelTiming;
+
+/// What happened.
+#[derive(Clone, Debug)]
+pub enum EventKind {
+    /// Device allocation (no modeled cost; recorded for memory accounting).
+    Alloc {
+        /// Allocation size in bytes.
+        bytes: u64,
+    },
+    /// Host→device copy.
+    Htod {
+        /// Bytes transferred.
+        bytes: u64,
+    },
+    /// Device→host copy.
+    Dtoh {
+        /// Bytes transferred.
+        bytes: u64,
+    },
+    /// Kernel launch.
+    Kernel {
+        /// Kernel name (from [`crate::Kernel::name`]).
+        name: &'static str,
+        /// Blocks launched.
+        grid: u32,
+        /// Threads per block.
+        block: u32,
+        /// Merged execution statistics.
+        stats: LaunchStats,
+        /// Timing-model decomposition.
+        timing: KernelTiming,
+    },
+}
+
+/// One timeline entry.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Classification + payload.
+    pub kind: EventKind,
+    /// Modeled device time, µs (0 for allocations).
+    pub modeled_us: f64,
+    /// Host wall-clock spent simulating, µs (diagnostic only — NOT a
+    /// performance claim).
+    pub wall_us: f64,
+}
+
+impl Event {
+    /// The kernel name, or a fixed label for transfers/allocs.
+    pub fn label(&self) -> &'static str {
+        match &self.kind {
+            EventKind::Alloc { .. } => "<alloc>",
+            EventKind::Htod { .. } => "<htod>",
+            EventKind::Dtoh { .. } => "<dtoh>",
+            EventKind::Kernel { name, .. } => name,
+        }
+    }
+}
+
+/// Aggregate view over a span of events.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Breakdown {
+    /// Modeled µs in host→device copies.
+    pub htod_us: f64,
+    /// Modeled µs in device→host copies.
+    pub dtoh_us: f64,
+    /// Modeled µs in kernels.
+    pub kernel_us: f64,
+    /// Kernel launches.
+    pub kernels: u64,
+    /// Bytes moved host→device.
+    pub htod_bytes: u64,
+    /// Bytes moved device→host.
+    pub dtoh_bytes: u64,
+    /// Modeled µs per kernel name.
+    pub per_kernel_us: BTreeMap<&'static str, f64>,
+}
+
+impl Breakdown {
+    /// Total modeled device time.
+    pub fn total_us(&self) -> f64 {
+        self.htod_us + self.dtoh_us + self.kernel_us
+    }
+
+    /// Transfer share of total modeled time (0..1); `None` when idle.
+    pub fn transfer_fraction(&self) -> Option<f64> {
+        let t = self.total_us();
+        (t > 0.0).then(|| (self.htod_us + self.dtoh_us) / t)
+    }
+}
+
+impl fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "total {:.1} µs = htod {:.1} + kernels {:.1} ({}) + dtoh {:.1}",
+            self.total_us(),
+            self.htod_us,
+            self.kernel_us,
+            self.kernels,
+            self.dtoh_us
+        )?;
+        for (name, us) in &self.per_kernel_us {
+            writeln!(f, "  {name:<28} {us:>12.1} µs")?;
+        }
+        Ok(())
+    }
+}
+
+/// One row of the per-kernel profiler report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelReport {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Launch count.
+    pub launches: u64,
+    /// Total modeled µs.
+    pub modeled_us: f64,
+    /// Total threads launched.
+    pub threads: u64,
+    /// Total tallied flops.
+    pub flops: u64,
+    /// Global bytes requested.
+    pub gmem_bytes: u64,
+    /// Coalescing efficiency over all launches (None without traffic).
+    pub coalescing: Option<f64>,
+    /// Launches whose binding resource was compute / memory / latency.
+    pub bound_counts: (u64, u64, u64),
+}
+
+impl KernelReport {
+    /// The dominant binding resource across launches.
+    pub fn dominant_bound(&self) -> crate::timing::Bound {
+        let (c, m, l) = self.bound_counts;
+        if c >= m && c >= l {
+            crate::timing::Bound::Compute
+        } else if m >= l {
+            crate::timing::Bound::Memory
+        } else {
+            crate::timing::Bound::Latency
+        }
+    }
+}
+
+/// The event log. Owned by [`crate::Device`]; reset between experiment
+/// phases with [`Timeline::clear`] or bracketed with [`Timeline::mark`] /
+/// [`Timeline::breakdown_since`].
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    events: Vec<Event>,
+}
+
+impl Timeline {
+    /// All recorded events, oldest first.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub(crate) fn push(&mut self, ev: Event) {
+        self.events.push(ev);
+    }
+
+    /// Forgets all events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// A cursor for [`Timeline::breakdown_since`].
+    pub fn mark(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Aggregates every event.
+    pub fn breakdown(&self) -> Breakdown {
+        self.breakdown_since(0)
+    }
+
+    /// Aggregates events recorded after the given [`Timeline::mark`].
+    pub fn breakdown_since(&self, mark: usize) -> Breakdown {
+        let mut b = Breakdown::default();
+        for ev in &self.events[mark.min(self.events.len())..] {
+            match &ev.kind {
+                EventKind::Alloc { .. } => {}
+                EventKind::Htod { bytes } => {
+                    b.htod_us += ev.modeled_us;
+                    b.htod_bytes += bytes;
+                }
+                EventKind::Dtoh { bytes } => {
+                    b.dtoh_us += ev.modeled_us;
+                    b.dtoh_bytes += bytes;
+                }
+                EventKind::Kernel { name, .. } => {
+                    b.kernel_us += ev.modeled_us;
+                    b.kernels += 1;
+                    *b.per_kernel_us.entry(name).or_insert(0.0) += ev.modeled_us;
+                }
+            }
+        }
+        b
+    }
+
+    /// Per-kernel profiler rows, sorted by descending modeled time — the
+    /// `nvprof`-style summary the CLI's `profile` command prints.
+    pub fn kernel_report(&self) -> Vec<KernelReport> {
+        let mut by_name: BTreeMap<&'static str, KernelReport> = BTreeMap::new();
+        let mut ideal_tx: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut issued_tx: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for ev in &self.events {
+            if let EventKind::Kernel { name, stats, timing, .. } = &ev.kind {
+                let row = by_name.entry(name).or_insert_with(|| KernelReport {
+                    name,
+                    launches: 0,
+                    modeled_us: 0.0,
+                    threads: 0,
+                    flops: 0,
+                    gmem_bytes: 0,
+                    coalescing: None,
+                    bound_counts: (0, 0, 0),
+                });
+                row.launches += 1;
+                row.modeled_us += ev.modeled_us;
+                row.threads += stats.threads;
+                row.flops += stats.flops;
+                row.gmem_bytes += stats.gmem_bytes;
+                match timing.bound() {
+                    crate::timing::Bound::Compute => row.bound_counts.0 += 1,
+                    crate::timing::Bound::Memory => row.bound_counts.1 += 1,
+                    crate::timing::Bound::Latency => row.bound_counts.2 += 1,
+                }
+                *ideal_tx.entry(name).or_insert(0) +=
+                    stats.gmem_bytes.div_ceil(crate::stats::TRANSACTION_BYTES);
+                *issued_tx.entry(name).or_insert(0) += stats.gmem_transactions;
+            }
+        }
+        let mut rows: Vec<KernelReport> = by_name
+            .into_values()
+            .map(|mut r| {
+                let issued = issued_tx[r.name];
+                if issued > 0 {
+                    r.coalescing = Some(ideal_tx[r.name] as f64 / issued as f64);
+                }
+                r
+            })
+            .collect();
+        rows.sort_by(|a, b| b.modeled_us.total_cmp(&a.modeled_us));
+        rows
+    }
+
+    /// Renders [`Timeline::kernel_report`] as an aligned text table.
+    pub fn kernel_report_table(&self) -> String {
+        let rows = self.kernel_report();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>12} {:>12} {:>10} {:>8}
+",
+            "kernel", "launches", "modeled µs", "threads", "coalesce", "bound"
+        ));
+        for r in rows {
+            out.push_str(&format!(
+                "{:<24} {:>8} {:>12.1} {:>12} {:>10} {:>8}
+",
+                r.name,
+                r.launches,
+                r.modeled_us,
+                r.threads,
+                r.coalescing.map_or("-".to_string(), |c| format!("{:.0}%", 100.0 * c.min(1.0))),
+                match r.dominant_bound() {
+                    crate::timing::Bound::Compute => "compute",
+                    crate::timing::Bound::Memory => "memory",
+                    crate::timing::Bound::Latency => "latency",
+                }
+            ));
+        }
+        out
+    }
+
+    /// Total modeled µs over all events.
+    pub fn total_modeled_us(&self) -> f64 {
+        self.events.iter().map(|e| e.modeled_us).sum()
+    }
+
+    /// Total host wall µs spent simulating (diagnostic).
+    pub fn total_wall_us(&self) -> f64 {
+        self.events.iter().map(|e| e.wall_us).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel_event(name: &'static str, us: f64) -> Event {
+        Event {
+            kind: EventKind::Kernel {
+                name,
+                grid: 1,
+                block: 32,
+                stats: LaunchStats::default(),
+                timing: KernelTiming::default(),
+            },
+            modeled_us: us,
+            wall_us: 0.0,
+        }
+    }
+
+    fn htod(bytes: u64, us: f64) -> Event {
+        Event { kind: EventKind::Htod { bytes }, modeled_us: us, wall_us: 0.0 }
+    }
+
+    #[test]
+    fn breakdown_aggregates_by_category_and_name() {
+        let mut tl = Timeline::default();
+        tl.push(htod(1000, 5.0));
+        tl.push(kernel_event("sweep", 10.0));
+        tl.push(kernel_event("sweep", 10.0));
+        tl.push(kernel_event("reduce", 2.0));
+        tl.push(Event { kind: EventKind::Dtoh { bytes: 8 }, modeled_us: 1.0, wall_us: 0.0 });
+        let b = tl.breakdown();
+        assert_eq!(b.kernels, 3);
+        assert_eq!(b.htod_bytes, 1000);
+        assert_eq!(b.dtoh_bytes, 8);
+        assert!((b.kernel_us - 22.0).abs() < 1e-12);
+        assert!((b.total_us() - 28.0).abs() < 1e-12);
+        assert_eq!(b.per_kernel_us["sweep"], 20.0);
+        assert_eq!(b.per_kernel_us["reduce"], 2.0);
+        assert!((b.transfer_fraction().unwrap() - 6.0 / 28.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marks_scope_aggregation() {
+        let mut tl = Timeline::default();
+        tl.push(kernel_event("warmup", 100.0));
+        let m = tl.mark();
+        tl.push(kernel_event("sweep", 7.0));
+        let b = tl.breakdown_since(m);
+        assert_eq!(b.kernels, 1);
+        assert!((b.kernel_us - 7.0).abs() < 1e-12);
+        // Full breakdown still sees both.
+        assert_eq!(tl.breakdown().kernels, 2);
+    }
+
+    #[test]
+    fn clear_and_empty() {
+        let mut tl = Timeline::default();
+        assert!(tl.is_empty());
+        assert_eq!(tl.breakdown().transfer_fraction(), None);
+        tl.push(kernel_event("k", 1.0));
+        assert_eq!(tl.len(), 1);
+        tl.clear();
+        assert!(tl.is_empty());
+    }
+
+    #[test]
+    fn allocs_do_not_contribute_time() {
+        let mut tl = Timeline::default();
+        tl.push(Event { kind: EventKind::Alloc { bytes: 1 << 20 }, modeled_us: 0.0, wall_us: 3.0 });
+        assert_eq!(tl.breakdown().total_us(), 0.0);
+        assert_eq!(tl.total_wall_us(), 3.0);
+        assert_eq!(tl.events()[0].label(), "<alloc>");
+    }
+
+    #[test]
+    fn display_contains_kernel_rows() {
+        let mut tl = Timeline::default();
+        tl.push(kernel_event("inject", 4.0));
+        let s = tl.breakdown().to_string();
+        assert!(s.contains("inject"));
+        assert!(s.contains("kernels 4.0 (1)"));
+    }
+}
+
+#[cfg(test)]
+mod report_tests {
+    use super::*;
+
+    fn kernel_with(name: &'static str, us: f64, bytes: u64, tx: u64) -> Event {
+        let stats = LaunchStats {
+            blocks: 1,
+            threads: 32,
+            gmem_bytes: bytes,
+            gmem_transactions: tx,
+            ..Default::default()
+        };
+        let timing = KernelTiming { mem_us: us, total_us: us, ..Default::default() };
+        Event {
+            kind: EventKind::Kernel { name, grid: 1, block: 32, stats, timing },
+            modeled_us: us,
+            wall_us: 0.0,
+        }
+    }
+
+    #[test]
+    fn kernel_report_aggregates_and_sorts() {
+        let mut tl = Timeline::default();
+        tl.push(kernel_with("small", 1.0, 128, 1));
+        tl.push(kernel_with("big", 5.0, 1280, 20));
+        tl.push(kernel_with("big", 5.0, 1280, 20));
+        let rows = tl.kernel_report();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "big");
+        assert_eq!(rows[0].launches, 2);
+        assert!((rows[0].modeled_us - 10.0).abs() < 1e-12);
+        // big: ideal = 2×10 tx, issued 40 → 50% coalesced.
+        assert_eq!(rows[0].coalescing, Some(0.5));
+        assert_eq!(rows[1].name, "small");
+        assert_eq!(rows[1].coalescing, Some(1.0));
+    }
+
+    #[test]
+    fn report_table_renders() {
+        let mut tl = Timeline::default();
+        tl.push(kernel_with("sweep", 3.0, 256, 2));
+        let table = tl.kernel_report_table();
+        assert!(table.contains("sweep"));
+        assert!(table.contains("memory"));
+        assert!(table.contains("100%"));
+    }
+
+    #[test]
+    fn empty_timeline_empty_report() {
+        assert!(Timeline::default().kernel_report().is_empty());
+    }
+}

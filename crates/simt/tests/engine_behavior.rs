@@ -1,0 +1,72 @@
+//! Integration tests of simulator behaviour that spans modules: fault
+//! propagation from parallel workers, worker-count independence, and
+//! timeline determinism under concurrency.
+
+use simt::{BlockScope, Device, DeviceProps, GlobalMut, Kernel, LaunchConfig};
+
+struct WriteAll<'a> {
+    out: GlobalMut<'a, u32>,
+    n: usize,
+    /// When set, thread (fault_gid) indexes out of bounds.
+    fault_gid: Option<usize>,
+}
+
+impl Kernel for WriteAll<'_> {
+    fn name(&self) -> &'static str {
+        "write_all"
+    }
+    fn block(&self, blk: &mut BlockScope) {
+        blk.threads(|t| {
+            let i = t.global_id();
+            if Some(i) == self.fault_gid {
+                t.st(&self.out, self.n + 10, 1); // fault
+            } else if i < self.n {
+                t.st(&self.out, i, i as u32);
+            }
+        });
+    }
+}
+
+#[test]
+fn device_fault_in_parallel_worker_propagates_to_launcher() {
+    let result = std::panic::catch_unwind(|| {
+        let mut dev = Device::with_workers(DeviceProps::paper_rig(), 4);
+        let n = 100_000; // large enough to take the threaded path
+        let mut out = dev.alloc::<u32>(n);
+        let k = WriteAll { out: out.view_mut(), n, fault_gid: Some(n / 2) };
+        dev.launch(LaunchConfig::for_elems(n), &k);
+    });
+    assert!(result.is_err(), "an out-of-bounds store must abort the launch");
+}
+
+#[test]
+fn results_do_not_depend_on_worker_count() {
+    let run = |workers: usize| {
+        let mut dev = Device::with_workers(DeviceProps::paper_rig(), workers);
+        let n = 50_000;
+        let mut out = dev.alloc::<u32>(n);
+        let k = WriteAll { out: out.view_mut(), n, fault_gid: None };
+        dev.launch(LaunchConfig::for_elems(n), &k);
+        (dev.dtoh(&out), dev.timeline().total_modeled_us())
+    };
+    let (d1, t1) = run(1);
+    let (d8, t8) = run(8);
+    assert_eq!(d1, d8, "functional results are scheduling-independent");
+    assert_eq!(t1, t8, "modeled time is scheduling-independent");
+}
+
+#[test]
+fn grid_of_many_small_blocks_completes() {
+    // Stress the block scheduler: 20k blocks of one warp each.
+    let mut dev = Device::with_workers(DeviceProps::paper_rig(), 8);
+    let n = 20_000 * 32;
+    let mut out = dev.alloc::<u32>(n);
+    let k = WriteAll { out: out.view_mut(), n, fault_gid: None };
+    dev.launch(LaunchConfig::for_elems_with_block(n, 32), &k);
+    let host = dev.dtoh(&out);
+    assert!(host.iter().enumerate().all(|(i, &v)| v == i as u32));
+    match &dev.timeline().events().last().unwrap().kind {
+        simt::EventKind::Dtoh { bytes } => assert_eq!(*bytes, 4 * n as u64),
+        other => panic!("expected dtoh event, got {other:?}"),
+    }
+}

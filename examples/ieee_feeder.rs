@@ -1,0 +1,50 @@
+//! Solve the IEEE-style test feeders and print an engineering report:
+//! voltage profile, feeder losses, and the worst-served bus.
+//!
+//! Run: `cargo run --release --example ieee_feeder`
+
+use fbs::{SerialSolver, SolverConfig};
+use powergrid::ieee::{ieee123_style, ieee13, ieee37};
+use powergrid::{LevelOrder, RadialNetwork};
+use simt::HostProps;
+
+fn report(name: &str, net: &RadialNetwork) {
+    let cfg = SolverConfig::default();
+    let res = SerialSolver::new(HostProps::paper_rig()).solve(net, &cfg);
+    assert!(res.converged, "{name} must converge");
+    fbs::validate::assert_physical(net, &res, 1e-4);
+
+    let levels = LevelOrder::new(net);
+    let v0 = net.source_voltage().abs();
+    let (vmin, worst_bus) = res.min_voltage();
+    let losses = res.losses(net);
+    let src = res.source_power(net);
+
+    println!("=== {name} ===");
+    println!("  buses {} | levels {} | iterations {}", net.num_buses(), levels.num_levels(), res.iterations);
+    println!("  feeder demand: {:8.1} kW + j{:.1} kvar (per phase)", src.re / 1e3, src.im / 1e3);
+    println!("  series losses: {:8.2} kW ({:.2}% of demand)", losses.re / 1e3, 100.0 * losses.re / src.re);
+    println!("  worst bus: {worst_bus} at {:.4} pu ({:.1} V)", vmin / v0, vmin);
+
+    // Voltage histogram in half-percent bins, the classic feeder plot.
+    let mut bins = [0usize; 8];
+    for v in &res.v {
+        let pu = v.abs() / v0;
+        let idx = (((1.0 - pu) / 0.005) as usize).min(7);
+        bins[idx] += 1;
+    }
+    println!("  voltage profile (buses per 0.5% drop bin below 1.0 pu):");
+    for (i, count) in bins.iter().enumerate() {
+        if *count > 0 {
+            let lo = 1.0 - 0.005 * (i + 1) as f64;
+            println!("    {:>5.3}–{:>5.3} pu: {:>4} {}", lo, lo + 0.005, count, "#".repeat((*count).min(60)));
+        }
+    }
+    println!();
+}
+
+fn main() {
+    report("IEEE 13-node (positive-sequence equivalent)", &ieee13());
+    report("IEEE 37-node (positive-sequence equivalent)", &ieee37());
+    report("IEEE 123-style long feeder", &ieee123_style());
+}

@@ -1,0 +1,1 @@
+//! Root re-export crate; see crate docs in members.

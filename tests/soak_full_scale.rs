@@ -1,0 +1,44 @@
+//! Full-scale soak test: the paper's largest workload (256K buses),
+//! solved by every solver, cross-checked and physics-validated.
+//!
+//! `#[ignore]`d because it takes minutes in debug builds; run it with
+//! `cargo test --release --test soak_full_scale -- --ignored`.
+
+use fbs::{GpuSolver, JumpSolver, MulticoreSolver, SerialSolver, SolverArrays, SolverConfig};
+use powergrid::gen::{balanced_binary, GenSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simt::{Device, DeviceProps, HostProps};
+
+#[test]
+#[ignore = "full 256K-bus sweep; run with --release -- --ignored"]
+fn all_solvers_agree_at_256k() {
+    let mut rng = StdRng::seed_from_u64(256_000);
+    let net = balanced_binary(262_144, &GenSpec::default(), &mut rng);
+    let arrays = SolverArrays::new(&net);
+    let cfg = SolverConfig::default();
+
+    let serial = SerialSolver::new(HostProps::paper_rig()).solve_arrays(&arrays, &cfg);
+    assert!(serial.converged);
+    fbs::validate::assert_physical(&net, &serial, 1e-4);
+
+    let multicore = MulticoreSolver::new(HostProps::paper_rig(), 8).solve_arrays(&arrays, &cfg);
+    let mut gpu = GpuSolver::new(Device::new(DeviceProps::paper_rig()));
+    let level = gpu.solve_arrays(&arrays, &cfg);
+    let mut jump = JumpSolver::new(Device::new(DeviceProps::paper_rig()));
+    let jumped = jump.solve(&net, &cfg);
+
+    let tol_v = cfg.tol_volts(net.source_voltage().abs());
+    for (name, res) in [("multicore", &multicore), ("level-gpu", &level), ("jump-gpu", &jumped)] {
+        assert!(res.converged, "{name} must converge");
+        fbs::validate::assert_physical(&net, res, 1e-4);
+        let worst = (0..net.num_buses())
+            .map(|b| (res.v[b] - serial.v[b]).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst < 20.0 * tol_v, "{name} diverges from serial by {worst} V");
+    }
+
+    // The headline numbers hold at full scale.
+    let total_x = serial.timing.total_us() / level.timing.total_us();
+    assert!(total_x > 2.5, "total speedup at 256K must exceed 2.5x, got {total_x:.2}");
+}
