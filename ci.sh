@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Offline CI for the FBS power-flow repo. Two legs:
+#
+#   1. Tier-1 verify: release build + the full default test suite.
+#   2. Racecheck: re-runs every simt and fbs device kernel under the
+#      per-cell data-race detector (simt's `racecheck` feature).
+#
+# Everything runs with --offline — the repo has zero external registry
+# dependencies (see DESIGN.md, "Dependency policy"), so a warm toolchain
+# is all that's needed.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== tier-1: cargo build --release && cargo test -q =="
+cargo build --release --offline
+cargo test -q --offline
+
+echo "== racecheck: device kernels under the simt race detector =="
+cargo test -q --offline --features racecheck -p simt -p fbs
+
+echo "== ci.sh: all green =="

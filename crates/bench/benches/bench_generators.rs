@@ -1,56 +1,41 @@
-//! Criterion wall-clock benchmarks of topology generation and
-//! level-order preprocessing (the host-side setup path of every solve).
+//! Wall-clock micro-benchmarks of topology generation and level-order
+//! preprocessing (the host-side setup path of every solve).
+//!
+//! Run: `cargo bench -p fbs-bench --bench bench_generators`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fbs_bench::micro::{MicroBench, MicroReport};
 use powergrid::gen::{balanced_binary, random_tree, GenSpec};
 use powergrid::LevelOrder;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rng::rngs::StdRng;
+use rng::SeedableRng;
 
-fn bench_generate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generate_binary_tree");
-    for &n in &[16_384usize, 131_072] {
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(7);
-                balanced_binary(n, &GenSpec::default(), &mut rng)
-            });
+const SIZES: [usize; 2] = [16_384, 131_072];
+
+fn main() {
+    let mut report = MicroReport::new("generators");
+    let schedule = MicroBench::new(2, 15);
+
+    for &n in &SIZES {
+        schedule.run(&mut report, &format!("generate_binary_tree/{n}"), n, || {
+            let mut rng = StdRng::seed_from_u64(7);
+            balanced_binary(n, &GenSpec::default(), &mut rng);
         });
     }
-    group.finish();
-}
 
-fn bench_random_tree(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generate_random_tree");
-    for &n in &[16_384usize, 131_072] {
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(7);
-                random_tree(n, 16, &GenSpec::default(), &mut rng)
-            });
+    for &n in &SIZES {
+        schedule.run(&mut report, &format!("generate_random_tree/{n}"), n, || {
+            let mut rng = StdRng::seed_from_u64(7);
+            random_tree(n, 16, &GenSpec::default(), &mut rng);
         });
     }
-    group.finish();
-}
 
-fn bench_level_order(c: &mut Criterion) {
-    let mut group = c.benchmark_group("level_order");
-    for &n in &[16_384usize, 131_072] {
+    for &n in &SIZES {
         let mut rng = StdRng::seed_from_u64(7);
         let net = balanced_binary(n, &GenSpec::default(), &mut rng);
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &net, |b, net| {
-            b.iter(|| LevelOrder::new(net));
+        schedule.run(&mut report, &format!("level_order/{n}"), n, || {
+            LevelOrder::new(&net);
         });
     }
-    group.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_generate, bench_random_tree, bench_level_order
+    report.emit();
 }
-criterion_main!(benches);

@@ -1,65 +1,54 @@
-//! Criterion wall-clock benchmarks of the data-parallel primitives.
+//! Wall-clock micro-benchmarks of the data-parallel primitives.
 //!
 //! These measure the *simulator's* host execution speed (how fast the
 //! functional emulation runs) — useful for keeping the harness usable.
 //! They are NOT device-performance claims; modeled device time is what
 //! the `exp_e6_primitives` binary reports.
+//!
+//! Run: `cargo bench -p fbs-bench --bench bench_primitives`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fbs_bench::micro::{MicroBench, MicroReport};
 use numc::Complex;
 use primitives::ops::{AddComplex, AddF64, MaxF64};
 use primitives::{reduce, scan_inclusive, segscan_inclusive};
 use simt::{Device, DeviceProps};
 
-fn bench_reduce(c: &mut Criterion) {
-    let mut group = c.benchmark_group("reduce_max_f64");
-    for &n in &[4096usize, 65_536, 262_144] {
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut dev = Device::new(DeviceProps::paper_rig());
-            let xs: Vec<f64> = (0..n).map(|i| (i % 1000) as f64).collect();
-            let buf = dev.alloc_from(&xs);
-            b.iter(|| reduce::<f64, MaxF64>(&mut dev, &buf));
+const SIZES: [usize; 3] = [4096, 65_536, 262_144];
+
+fn main() {
+    let mut report = MicroReport::new("primitives");
+    let schedule = MicroBench::new(2, 15);
+
+    for &n in &SIZES {
+        let mut dev = Device::new(DeviceProps::paper_rig());
+        let xs: Vec<f64> = (0..n).map(|i| (i % 1000) as f64).collect();
+        let buf = dev.alloc_from(&xs);
+        schedule.run(&mut report, &format!("reduce_max_f64/{n}"), n, || {
+            reduce::<f64, MaxF64>(&mut dev, &buf);
         });
     }
-    group.finish();
-}
 
-fn bench_scan(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scan_inclusive_f64");
-    for &n in &[4096usize, 65_536, 262_144] {
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut dev = Device::new(DeviceProps::paper_rig());
-            let xs: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
-            let buf = dev.alloc_from(&xs);
-            let mut out = dev.alloc::<f64>(n);
-            b.iter(|| scan_inclusive::<f64, AddF64>(&mut dev, &buf, &mut out));
+    for &n in &SIZES {
+        let mut dev = Device::new(DeviceProps::paper_rig());
+        let xs: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+        let buf = dev.alloc_from(&xs);
+        let mut out = dev.alloc::<f64>(n);
+        schedule.run(&mut report, &format!("scan_inclusive_f64/{n}"), n, || {
+            scan_inclusive::<f64, AddF64>(&mut dev, &buf, &mut out);
         });
     }
-    group.finish();
-}
 
-fn bench_segscan(c: &mut Criterion) {
-    let mut group = c.benchmark_group("segscan_inclusive_c64");
-    for &n in &[4096usize, 65_536, 262_144] {
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut dev = Device::new(DeviceProps::paper_rig());
-            let xs: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, -1.0)).collect();
-            let flags: Vec<u32> = (0..n).map(|i| u32::from(i % 32 == 0)).collect();
-            let vals = dev.alloc_from(&xs);
-            let fl = dev.alloc_from(&flags);
-            let mut out = dev.alloc::<Complex>(n);
-            b.iter(|| segscan_inclusive::<Complex, AddComplex>(&mut dev, &vals, &fl, &mut out));
+    for &n in &SIZES {
+        let mut dev = Device::new(DeviceProps::paper_rig());
+        let xs: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, -1.0)).collect();
+        let flags: Vec<u32> = (0..n).map(|i| u32::from(i % 32 == 0)).collect();
+        let vals = dev.alloc_from(&xs);
+        let fl = dev.alloc_from(&flags);
+        let mut out = dev.alloc::<Complex>(n);
+        schedule.run(&mut report, &format!("segscan_inclusive_c64/{n}"), n, || {
+            segscan_inclusive::<Complex, AddComplex>(&mut dev, &vals, &fl, &mut out);
         });
     }
-    group.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_reduce, bench_scan, bench_segscan
+    report.emit();
 }
-criterion_main!(benches);

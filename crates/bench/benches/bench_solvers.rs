@@ -1,15 +1,17 @@
-//! Criterion wall-clock benchmarks of the three solvers.
+//! Wall-clock micro-benchmarks of the three solvers.
 //!
 //! Serial and multicore numbers are real host performance of this
 //! library; the GPU number is the *simulation cost* of the device solver
 //! (functional emulation), not a device-performance claim — modeled
 //! device time is what `exp_e1_total_speedup` reports.
+//!
+//! Run: `cargo bench -p fbs-bench --bench bench_solvers`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fbs::{GpuSolver, MulticoreSolver, SerialSolver, SolverArrays, SolverConfig};
+use fbs_bench::micro::{MicroBench, MicroReport};
 use powergrid::gen::{balanced_binary, GenSpec};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rng::rngs::StdRng;
+use rng::SeedableRng;
 use simt::{Device, DeviceProps, HostProps};
 
 const SIZES: [usize; 3] = [4096, 32_768, 131_072];
@@ -25,51 +27,30 @@ fn nets() -> Vec<(usize, SolverArrays)> {
         .collect()
 }
 
-fn bench_serial(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solve_serial");
+fn main() {
+    let mut report = MicroReport::new("solvers");
     let cfg = SolverConfig::default();
+
     for (n, arrays) in nets() {
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &arrays, |b, a| {
-            let solver = SerialSolver::new(HostProps::paper_rig());
-            b.iter(|| solver.solve_arrays(a, &cfg));
+        let solver = SerialSolver::new(HostProps::paper_rig());
+        MicroBench::new(2, 15).run(&mut report, &format!("solve_serial/{n}"), n, || {
+            solver.solve_arrays(&arrays, &cfg);
         });
     }
-    group.finish();
-}
 
-fn bench_multicore(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solve_multicore");
-    let cfg = SolverConfig::default();
     for (n, arrays) in nets() {
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &arrays, |b, a| {
-            let solver = MulticoreSolver::new(HostProps::paper_rig(), 8);
-            b.iter(|| solver.solve_arrays(a, &cfg));
+        let solver = MulticoreSolver::new(HostProps::paper_rig(), 8);
+        MicroBench::new(2, 15).run(&mut report, &format!("solve_multicore/{n}"), n, || {
+            solver.solve_arrays(&arrays, &cfg);
         });
     }
-    group.finish();
-}
 
-fn bench_gpu_simulation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solve_gpu_simulation");
-    group.sample_size(10);
-    let cfg = SolverConfig::default();
     for (n, arrays) in nets() {
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &arrays, |b, a| {
-            b.iter(|| {
-                let mut solver = GpuSolver::new(Device::new(DeviceProps::paper_rig()));
-                solver.solve_arrays(a, &cfg)
-            });
+        MicroBench::new(1, 5).run(&mut report, &format!("solve_gpu_simulation/{n}"), n, || {
+            let mut solver = GpuSolver::new(Device::new(DeviceProps::paper_rig()));
+            solver.solve_arrays(&arrays, &cfg);
         });
     }
-    group.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_serial, bench_multicore, bench_gpu_simulation
+    report.emit();
 }
-criterion_main!(benches);

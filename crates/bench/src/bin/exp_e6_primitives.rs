@@ -12,7 +12,7 @@ use fbs_bench::{rng_for, us, Table};
 use numc::Complex;
 use primitives::ops::{AddComplex, AddF64, MaxF64};
 use primitives::{reduce, scan_inclusive, segscan_inclusive};
-use rand::Rng;
+use rng::Rng;
 use simt::{Device, DeviceProps};
 
 const SIZES: [usize; 7] = [1024, 8192, 65_536, 262_144, 524_288, 1_048_576, 4_194_304];

@@ -7,14 +7,16 @@
 //! device/host models with fixed seeds, so output is reproducible
 //! bit-for-bit.
 
+pub mod micro;
+
 use std::fmt::Display;
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use fbs::{SolveResult, SolverConfig};
 use powergrid::RadialNetwork;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rng::rngs::StdRng;
+use rng::SeedableRng;
 
 /// The tree sizes of the paper's evaluation: 1K–256K buses, powers of two.
 pub const PAPER_SIZES: [usize; 9] =

@@ -1,0 +1,225 @@
+//! Micro-benchmark runner (in-repo Criterion replacement).
+//!
+//! Wall-clock measurement with the statistics a noisy CI box can
+//! defend: each benchmark runs `warmup` untimed iterations, then
+//! `iters` timed ones, and reports the **median** with the **MAD**
+//! (median absolute deviation) as the spread — both robust to the
+//! one-off scheduler hiccups that wreck means. Results accumulate into
+//! a [`MicroReport`] that prints the same column-aligned markdown and
+//! writes the same `results/*.csv` files as the experiment binaries
+//! (via [`crate::Table`]), so bench output and experiment output read
+//! alike.
+//!
+//! ```no_run
+//! use fbs_bench::micro::{MicroBench, MicroReport};
+//!
+//! let mut report = MicroReport::new("my_group");
+//! let mut xs = vec![0u64; 1 << 16];
+//! MicroBench::new(3, 25).run(&mut report, "sum", xs.len(), || {
+//!     xs.iter_mut().for_each(|x| *x += 1);
+//! });
+//! report.emit();
+//! ```
+
+use std::time::Instant;
+
+use crate::Table;
+
+/// Warmup/measurement schedule for one benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct MicroBench {
+    warmup: u32,
+    iters: u32,
+}
+
+impl MicroBench {
+    /// `warmup` untimed iterations followed by `iters` timed ones.
+    pub fn new(warmup: u32, iters: u32) -> Self {
+        assert!(iters >= 1, "need at least one timed iteration");
+        MicroBench { warmup, iters }
+    }
+
+    /// Times `f`, records a row named `name` into `report`, and returns
+    /// the stats. `elements` scales the derived throughput column.
+    pub fn run(
+        &self,
+        report: &mut MicroReport,
+        name: &str,
+        elements: usize,
+        mut f: impl FnMut(),
+    ) -> Stats {
+        for _ in 0..self.warmup {
+            f();
+        }
+        let mut samples_ns: Vec<f64> = (0..self.iters)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed().as_nanos() as f64
+            })
+            .collect();
+        let stats = Stats::from_samples(&mut samples_ns, elements);
+        report.push(name, &stats);
+        stats
+    }
+}
+
+/// Robust summary of one benchmark's timed samples.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Median wall-clock time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Median absolute deviation of the samples, nanoseconds.
+    pub mad_ns: f64,
+    /// Fastest sample, nanoseconds.
+    pub min_ns: f64,
+    /// Slowest sample, nanoseconds.
+    pub max_ns: f64,
+    /// Number of timed iterations.
+    pub iters: u32,
+    /// Elements processed per iteration (0 = no throughput).
+    pub elements: usize,
+}
+
+impl Stats {
+    /// Summarises raw samples (sorts `samples_ns` in place).
+    pub fn from_samples(samples_ns: &mut [f64], elements: usize) -> Self {
+        assert!(!samples_ns.is_empty(), "no samples");
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let med = sorted_median(samples_ns);
+        let mut devs: Vec<f64> = samples_ns.iter().map(|&s| (s - med).abs()).collect();
+        devs.sort_by(|a, b| a.total_cmp(b));
+        Stats {
+            median_ns: med,
+            mad_ns: sorted_median(&devs),
+            min_ns: samples_ns[0],
+            max_ns: samples_ns[samples_ns.len() - 1],
+            iters: samples_ns.len() as u32,
+            elements,
+        }
+    }
+
+    /// Median elements per second (0 when elements is 0).
+    pub fn throughput(&self) -> f64 {
+        if self.elements == 0 || self.median_ns == 0.0 {
+            0.0
+        } else {
+            self.elements as f64 / (self.median_ns * 1e-9)
+        }
+    }
+}
+
+/// Median of an ascending slice.
+fn sorted_median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Accumulates benchmark rows; prints markdown and writes
+/// `results/bench_<name>.csv` on [`MicroReport::emit`].
+pub struct MicroReport {
+    name: String,
+    table: Table,
+}
+
+impl MicroReport {
+    /// Starts an empty report for the named bench group.
+    pub fn new(name: &str) -> Self {
+        MicroReport {
+            name: name.to_string(),
+            table: Table::new(
+                &format!("micro-bench: {name} (wall-clock, median of N)"),
+                &["bench", "median", "mad", "min", "max", "iters", "Melem/s"],
+            ),
+        }
+    }
+
+    /// Appends one measured row.
+    pub fn push(&mut self, bench: &str, s: &Stats) {
+        let melems = s.throughput() / 1e6;
+        self.table.row(&[
+            &bench,
+            &fmt_ns(s.median_ns),
+            &fmt_ns(s.mad_ns),
+            &fmt_ns(s.min_ns),
+            &fmt_ns(s.max_ns),
+            &s.iters,
+            &format!("{melems:.1}"),
+        ]);
+    }
+
+    /// Prints the markdown table and writes the CSV mirror.
+    pub fn emit(&self) {
+        self.table.emit(&format!("bench_{}", self.name));
+    }
+}
+
+/// Human-readable nanoseconds (ns/µs/ms autoscale).
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e7 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e4 {
+        format!("{:.1} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_mad_of_odd_set() {
+        let mut s = vec![5.0, 1.0, 9.0];
+        let st = Stats::from_samples(&mut s, 0);
+        assert_eq!(st.median_ns, 5.0);
+        assert_eq!(st.mad_ns, 4.0); // deviations {4, 0, 4}
+        assert_eq!(st.min_ns, 1.0);
+        assert_eq!(st.max_ns, 9.0);
+    }
+
+    #[test]
+    fn median_of_even_set_interpolates() {
+        let mut s = vec![4.0, 2.0, 8.0, 6.0];
+        let st = Stats::from_samples(&mut s, 0);
+        assert_eq!(st.median_ns, 5.0);
+        assert_eq!(st.mad_ns, 2.0); // deviations {3, 1, 1, 3} → median 2
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        let mut s = vec![10.0, 11.0, 10.5, 1e9, 10.2];
+        let st = Stats::from_samples(&mut s, 0);
+        assert!(st.median_ns < 12.0, "{}", st.median_ns);
+    }
+
+    #[test]
+    fn throughput_uses_median() {
+        let mut s = vec![1e3; 5]; // 1 µs per iter
+        let st = Stats::from_samples(&mut s, 1000);
+        assert!((st.throughput() - 1e9).abs() < 1.0, "{}", st.throughput());
+        let mut s0 = vec![1e3; 5];
+        assert_eq!(Stats::from_samples(&mut s0, 0).throughput(), 0.0);
+    }
+
+    #[test]
+    fn runner_counts_iterations() {
+        let mut report = MicroReport::new("unit");
+        let mut count = 0u32;
+        let st = MicroBench::new(2, 7).run(&mut report, "count", 0, || count += 1);
+        assert_eq!(count, 9, "2 warmup + 7 timed");
+        assert_eq!(st.iters, 7);
+    }
+
+    #[test]
+    fn fmt_ns_autoscales() {
+        assert_eq!(fmt_ns(532.0), "532 ns");
+        assert_eq!(fmt_ns(15_300.0), "15.3 µs");
+        assert_eq!(fmt_ns(22_000_000.0), "22.00 ms");
+    }
+}

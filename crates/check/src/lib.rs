@@ -1,0 +1,362 @@
+//! Minimal property-testing harness (in-repo `proptest` replacement).
+//!
+//! A property is a function from a generated value to a
+//! [`CaseResult`]; the [`Checker`] runs it over a fixed budget of
+//! seeded cases, discards cases rejected by [`prop_assume!`], and on
+//! failure greedily shrinks the input before panicking with the failing
+//! seed. Each case's seed is derived deterministically from the
+//! property name, so suites are reproducible offline with no state
+//! files; a failure can be replayed alone by setting `CHECK_SEED`.
+//!
+//! ```
+//! use check::gen::{tuple2, usize_in, u64_any};
+//! use check::{checker, prop_assert, CaseResult};
+//!
+//! fn commutes(&(a, b): &(usize, u64)) -> CaseResult {
+//!     prop_assert!(a as u64 + b == b + a as u64, "a = {a}, b = {b}");
+//!     Ok(())
+//! }
+//! checker("addition_commutes")
+//!     .cases(64)
+//!     .run(tuple2(usize_in(0..1000), u64_any()), commutes);
+//! ```
+//!
+//! Panics inside a property (index bounds, internal `assert!`s such as
+//! `check_invariants`) are caught and treated as failures, so ported
+//! suites may keep panicking helpers.
+
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rng::rngs::StdRng;
+use rng::{Rng, SeedableRng, SplitMix64};
+
+pub mod gen;
+pub use gen::Gen;
+
+/// Why a case did not pass.
+#[derive(Clone, Debug)]
+pub enum CaseError {
+    /// The case's preconditions don't hold ([`prop_assume!`]); draw a
+    /// fresh case instead, it counts toward the discard cap only.
+    Discard,
+    /// The property is false for this input.
+    Fail(String),
+}
+
+impl CaseError {
+    /// Failure with a message (used by the assertion macros).
+    pub fn fail(msg: impl Into<String>) -> Self {
+        CaseError::Fail(msg.into())
+    }
+}
+
+/// What a property returns per case.
+pub type CaseResult = Result<(), CaseError>;
+
+/// Asserts a condition inside a property; optional format message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::CaseError::fail(format!(
+                "assertion failed: {} ({}:{})", stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::CaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property; optional context message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs != rhs {
+            return Err($crate::CaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?} ({}:{})",
+                stringify!($a), stringify!($b), lhs, rhs, file!(), line!()
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs != rhs {
+            return Err($crate::CaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), lhs, rhs
+            )));
+        }
+    }};
+}
+
+/// Discards the case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::CaseError::Discard);
+        }
+    };
+}
+
+/// Case budget for one property. Build with [`checker`].
+pub struct Checker {
+    name: String,
+    cases: u32,
+    max_discards: u32,
+}
+
+/// Starts a checker for the named property (the name seeds the case
+/// schedule and appears in failure reports).
+pub fn checker(name: &str) -> Checker {
+    Checker { name: name.to_string(), cases: 32, max_discards: 0 }
+}
+
+/// Cap on successful shrink steps per failure.
+const MAX_SHRINKS: u32 = 200;
+
+impl Checker {
+    /// Sets the number of passing cases required (default 32).
+    pub fn cases(mut self, n: u32) -> Self {
+        assert!(n > 0, "case budget must be positive");
+        self.cases = n;
+        self
+    }
+
+    /// Sets the discard cap (default: 10× the case budget).
+    pub fn max_discards(mut self, n: u32) -> Self {
+        self.max_discards = n;
+        self
+    }
+
+    /// Runs the property over the case budget; panics on the first
+    /// failure with the shrunk input and its reproduction seed.
+    pub fn run<T: Debug + 'static>(self, gen: Gen<T>, prop: impl Fn(&T) -> CaseResult) {
+        // Replay mode: CHECK_SEED pins a single case.
+        if let Ok(s) = std::env::var("CHECK_SEED") {
+            let seed = parse_seed(&s);
+            eprintln!("[check] {}: replaying single case CHECK_SEED={seed:#x}", self.name);
+            self.run_case(&gen, &prop, seed, 0);
+            return;
+        }
+
+        let max_discards = if self.max_discards == 0 { self.cases * 10 } else { self.max_discards };
+        // The property name keys the schedule: independent properties
+        // get independent streams even with identical generators.
+        let mut schedule = SplitMix64::new(fnv1a(self.name.as_bytes()));
+        let mut passed = 0u32;
+        let mut discarded = 0u32;
+        while passed < self.cases {
+            let case_seed = schedule.next_u64();
+            if self.run_case(&gen, &prop, case_seed, passed) {
+                passed += 1;
+            } else {
+                discarded += 1;
+                assert!(
+                    discarded <= max_discards,
+                    "property '{}': gave up after {discarded} discards ({passed} cases passed); \
+                     weaken prop_assume! or widen the generator",
+                    self.name
+                );
+            }
+        }
+    }
+
+    /// Runs one case; returns false when discarded, panics on failure.
+    fn run_case<T: Debug>(
+        &self,
+        gen: &Gen<T>,
+        prop: &impl Fn(&T) -> CaseResult,
+        case_seed: u64,
+        case_no: u32,
+    ) -> bool
+    where
+        T: 'static,
+    {
+        let mut rng = StdRng::seed_from_u64(case_seed);
+        let value = gen.sample(&mut rng);
+        match run_guarded(prop, &value) {
+            Ok(()) => true,
+            Err(CaseError::Discard) => false,
+            Err(CaseError::Fail(msg)) => {
+                let (min_value, min_msg, steps) = shrink_failure(gen, prop, value, msg.clone());
+                panic!(
+                    "property '{}' failed (case {} of {})\n\
+                     minimal input (after {} shrink steps): {:?}\n\
+                     failure: {}\n\
+                     original failure: {}\n\
+                     reproduce with: CHECK_SEED={:#x} cargo test {}",
+                    self.name, case_no + 1, self.cases, steps, min_value, min_msg, msg,
+                    case_seed, self.name
+                );
+            }
+        }
+    }
+}
+
+/// Runs the property, converting panics into failures.
+fn run_guarded<T>(prop: &impl Fn(&T) -> CaseResult, value: &T) -> CaseResult {
+    match catch_unwind(AssertUnwindSafe(|| prop(value))) {
+        Ok(res) => res,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic payload>");
+            Err(CaseError::fail(format!("panicked: {msg}")))
+        }
+    }
+}
+
+/// Greedy shrink: repeatedly move to the first simpler candidate that
+/// still fails, until none does or the step cap is hit.
+fn shrink_failure<T: Debug + 'static>(
+    gen: &Gen<T>,
+    prop: &impl Fn(&T) -> CaseResult,
+    mut value: T,
+    mut msg: String,
+) -> (T, String, u32) {
+    let mut steps = 0u32;
+    'outer: while steps < MAX_SHRINKS {
+        for cand in gen.shrink(&value) {
+            if let Err(CaseError::Fail(m)) = run_guarded(prop, &cand) {
+                value = cand;
+                msg = m;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, msg, steps)
+}
+
+/// Accepts decimal or 0x-prefixed hex seeds.
+fn parse_seed(s: &str) -> u64 {
+    let s = s.trim();
+    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.unwrap_or_else(|_| panic!("CHECK_SEED must be a u64 (decimal or 0x-hex), got `{s}`"))
+}
+
+/// FNV-1a 64-bit hash (names → schedule seeds).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::gen::{tuple2, u64_any, usize_in};
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_budget() {
+        use std::cell::Cell;
+        let count = Cell::new(0u32);
+        checker("always_true").cases(17).run(usize_in(0..100), |_| {
+            count.set(count.get() + 1);
+            Ok(())
+        });
+        assert_eq!(count.get(), 17);
+    }
+
+    #[test]
+    fn failing_property_panics_with_seed_and_shrinks() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            checker("fails_above_ten").cases(64).run(usize_in(0..1000), |&v| {
+                prop_assert!(v <= 10, "v = {v} exceeds 10");
+                Ok(())
+            });
+        }))
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("CHECK_SEED="), "{msg}");
+        // Greedy integer shrinking must land on the boundary.
+        assert!(msg.contains("minimal input (after"), "{msg}");
+        assert!(msg.contains("11"), "shrunk to boundary: {msg}");
+    }
+
+    #[test]
+    fn panicking_property_is_a_failure() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            checker("panics").cases(8).run(usize_in(0..10), |&v| {
+                assert!(v > 100, "inner assert fires");
+                Ok(())
+            });
+        }))
+        .expect_err("panic must be converted to failure");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("panicked"), "{msg}");
+    }
+
+    #[test]
+    fn assume_discards_but_budget_still_met() {
+        use std::cell::Cell;
+        let ran = Cell::new(0u32);
+        checker("assume_half").cases(20).run(usize_in(0..100), |&v| {
+            prop_assume!(v % 2 == 0);
+            ran.set(ran.get() + 1);
+            prop_assert!(v % 2 == 0);
+            Ok(())
+        });
+        assert_eq!(ran.get(), 20, "20 even cases must pass");
+    }
+
+    #[test]
+    fn over_assuming_gives_up() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            checker("assume_never").cases(10).max_discards(30).run(usize_in(0..10), |_| {
+                prop_assume!(false);
+                Ok(())
+            });
+        }))
+        .expect_err("must give up");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("gave up"), "{msg}");
+    }
+
+    #[test]
+    fn tuple_failure_shrinks_component() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            checker("tuple_fail").cases(64).run(
+                tuple2(usize_in(2..600), u64_any()),
+                |&(n, _seed)| {
+                    prop_assert!(n < 2, "always false for n >= 2");
+                    Ok(())
+                },
+            );
+        }))
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        // n shrinks to its lower bound 2 regardless of the seed drawn.
+        assert!(msg.contains("minimal input"), "{msg}");
+        assert!(msg.contains("(2,"), "{msg}");
+    }
+
+    #[test]
+    fn seeds_differ_across_property_names() {
+        let mut a = SplitMix64::new(fnv1a(b"prop_a"));
+        let mut b = SplitMix64::new(fnv1a(b"prop_b"));
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn parse_seed_accepts_hex_and_decimal() {
+        assert_eq!(parse_seed("255"), 255);
+        assert_eq!(parse_seed("0xff"), 255);
+        assert_eq!(parse_seed(" 0XFF "), 255);
+    }
+}

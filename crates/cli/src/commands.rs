@@ -8,8 +8,8 @@ use powergrid::gen::{
 };
 use powergrid::gridfile::{parse_grid, write_grid};
 use powergrid::{ieee, LevelOrder, RadialNetwork};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rng::rngs::StdRng;
+use rng::SeedableRng;
 use simt::{Device, DeviceProps, HostProps};
 
 use crate::args::Args;

@@ -307,8 +307,8 @@ mod tests {
     use crate::SolverConfig;
     use powergrid::gen::{balanced_binary, GenSpec};
     use powergrid::ieee::ieee13;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rng::rngs::StdRng;
+    use rng::SeedableRng;
     use simt::{DeviceProps, HostProps};
 
     fn batch() -> BatchSolver {

@@ -339,8 +339,8 @@ mod tests {
     use powergrid::gen::{balanced_binary, chain, star, GenSpec};
     use powergrid::ieee::{ieee123_style, ieee13, ieee37};
     use powergrid::NetworkBuilder;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rng::rngs::StdRng;
+    use rng::SeedableRng;
     use simt::{DeviceProps, HostProps};
 
     fn gpu() -> GpuSolver {
@@ -475,8 +475,8 @@ mod atomic_tests {
     use super::*;
     use crate::serial::SerialSolver;
     use powergrid::gen::{balanced_binary, balanced_kary, star, GenSpec};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rng::rngs::StdRng;
+    use rng::SeedableRng;
     use simt::{DeviceProps, HostProps};
 
     fn atomic_gpu() -> GpuSolver {

@@ -314,8 +314,8 @@ mod tests {
     use numc::c;
     use powergrid::gen::{balanced_binary, chain, star, GenSpec};
     use powergrid::ieee::{ieee13, ieee37};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rng::rngs::StdRng;
+    use rng::SeedableRng;
     use simt::{DeviceProps, HostProps};
 
     fn jump() -> JumpSolver {

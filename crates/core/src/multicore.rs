@@ -230,8 +230,8 @@ mod tests {
     use crate::serial::SerialSolver;
     use powergrid::gen::{balanced_binary, chain, GenSpec};
     use powergrid::ieee::ieee13;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rng::rngs::StdRng;
+    use rng::SeedableRng;
 
     fn mc() -> MulticoreSolver {
         MulticoreSolver::new(HostProps::paper_rig(), 8)

@@ -1,0 +1,115 @@
+//! Golden regression pins on *generated* feeders: a fixed-seed 1K
+//! balanced binary tree plus the IEEE-13 feeder, per-bus voltage
+//! magnitudes checked against values produced by the serial solver at
+//! tol 1e-12 and pinned to 1e-9 V. These freeze both the solver physics
+//! and the in-repo RNG stream — a refactor of either that silently
+//! moves results fails here first.
+
+use fbs::{GpuSolver, JumpSolver, SerialSolver, SolveResult, SolverConfig};
+use powergrid::gen::{balanced_binary, GenSpec};
+use powergrid::ieee::ieee13;
+use powergrid::RadialNetwork;
+use rng::rngs::StdRng;
+use rng::SeedableRng;
+use simt::{Device, DeviceProps, HostProps};
+
+const TREE_BUSES: usize = 1023;
+const TREE_SEED: u64 = 20200817;
+
+/// (bus, |V|) for every 64th bus of the tree plus the last bus, volts.
+const GOLDEN_TREE_VMAG: [(usize, f64); 17] = [
+    (0, 7200.000000000),
+    (64, 6792.095854426),
+    (128, 6789.871741342),
+    (192, 6745.817718372),
+    (256, 6787.906542459),
+    (320, 6765.387630656),
+    (384, 6745.138032981),
+    (448, 6765.636409412),
+    (512, 6786.537642372),
+    (576, 6780.422393947),
+    (640, 6764.721273003),
+    (704, 6763.984340893),
+    (768, 6744.484237637),
+    (832, 6764.991050153),
+    (896, 6765.779493615),
+    (960, 6769.980473409),
+    (1022, 6770.151488892),
+];
+
+/// Serial iteration count at tol 1e-12 — pins the convergence path, not
+/// just the fixed point.
+const GOLDEN_TREE_ITERS: u32 = 11;
+
+/// |V| for every IEEE-13 bus, volts.
+const GOLDEN_I13_VMAG: [f64; 13] = [
+    2401.777119829,
+    2241.110369394,
+    2236.286635248,
+    2234.824795463,
+    2236.618639529,
+    2235.163793463,
+    2129.354653465,
+    2129.354653465,
+    2127.403466725,
+    2126.383921709,
+    2124.921205345,
+    2125.824778733,
+    2116.661616069,
+];
+
+fn cfg() -> SolverConfig {
+    SolverConfig::new(1e-12, 200)
+}
+
+fn tree() -> RadialNetwork {
+    let mut rng = StdRng::seed_from_u64(TREE_SEED);
+    balanced_binary(TREE_BUSES, &GenSpec::default(), &mut rng)
+}
+
+fn check_tree(res: &SolveResult, who: &str, tol_v: f64) {
+    assert!(res.converged, "{who} must converge on the golden tree");
+    for &(bus, vmag) in &GOLDEN_TREE_VMAG {
+        assert!(
+            (res.v[bus].abs() - vmag).abs() < tol_v,
+            "{who}: tree bus {bus} drifted: |V| = {:.9} vs {vmag}",
+            res.v[bus].abs()
+        );
+    }
+}
+
+#[test]
+fn serial_tree_matches_golden_magnitudes() {
+    let res = SerialSolver::new(HostProps::paper_rig()).solve(&tree(), &cfg());
+    check_tree(&res, "serial", 1e-9);
+    assert_eq!(res.iterations, GOLDEN_TREE_ITERS, "iteration count drifted");
+}
+
+#[test]
+fn gpu_tree_matches_golden_magnitudes() {
+    // Different summation order than the host solver, so the pin is
+    // looser — still far tighter than any physical drift.
+    let mut solver = GpuSolver::new(Device::new(DeviceProps::paper_rig()));
+    let res = solver.solve(&tree(), &cfg());
+    check_tree(&res, "gpu", 1e-6);
+}
+
+#[test]
+fn jump_tree_matches_golden_magnitudes() {
+    let mut solver = JumpSolver::new(Device::new(DeviceProps::paper_rig()));
+    let res = solver.solve(&tree(), &cfg());
+    check_tree(&res, "jump", 1e-6);
+}
+
+#[test]
+fn serial_ieee13_matches_golden_magnitudes() {
+    let res = SerialSolver::new(HostProps::paper_rig()).solve(&ieee13(), &cfg());
+    assert!(res.converged);
+    for (bus, &vmag) in GOLDEN_I13_VMAG.iter().enumerate() {
+        assert!(
+            (res.v[bus].abs() - vmag).abs() < 1e-9,
+            "ieee13 bus {bus} drifted: |V| = {:.9} vs {vmag}",
+            res.v[bus].abs()
+        );
+    }
+}

@@ -52,8 +52,8 @@ fn gpu_solver_is_also_scale_free() {
 mod warm_start {
     use fbs::{GpuSolver, SerialSolver, SolverArrays, SolverConfig};
     use powergrid::gen::{balanced_binary, GenSpec};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rng::rngs::StdRng;
+    use rng::SeedableRng;
     use simt::{Device, DeviceProps, HostProps};
 
     #[test]

@@ -1,87 +1,127 @@
 //! Property tests: complex arithmetic field axioms (up to rounding) and
 //! three-phase algebra identities.
 
+use check::gen::{f64_in, tuple2, tuple3, tuple4, Gen};
+use check::{checker, prop_assert, prop_assert_eq, prop_assume, CaseResult};
 use numc::{c, CMat3, CVec3, Complex};
-use proptest::prelude::*;
 
-fn finite_complex() -> impl Strategy<Value = Complex> {
-    (-1e6f64..1e6, -1e6f64..1e6).prop_map(|(re, im)| c(re, im))
+fn finite_complex() -> Gen<Complex> {
+    tuple2(f64_in(-1e6..1e6), f64_in(-1e6..1e6)).map(|(re, im)| c(re, im))
 }
 
 fn close(a: Complex, b: Complex, tol: f64) -> bool {
     (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn addition_commutes_and_associates() {
+    checker("addition_commutes_and_associates").cases(64).run(
+        tuple3(finite_complex(), finite_complex(), finite_complex()),
+        |&(a, b, cc)| -> CaseResult {
+            prop_assert_eq!(a + b, b + a);
+            prop_assert!(close((a + b) + cc, a + (b + cc), 1e-12));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn addition_commutes_and_associates(a in finite_complex(), b in finite_complex(), cc in finite_complex()) {
-        prop_assert_eq!(a + b, b + a);
-        prop_assert!(close((a + b) + cc, a + (b + cc), 1e-12));
-    }
+#[test]
+fn multiplication_commutes_and_distributes() {
+    checker("multiplication_commutes_and_distributes").cases(64).run(
+        tuple3(finite_complex(), finite_complex(), finite_complex()),
+        |&(a, b, cc)| -> CaseResult {
+            prop_assert!(close(a * b, b * a, 1e-12));
+            prop_assert!(close(a * (b + cc), a * b + a * cc, 1e-10));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn multiplication_commutes_and_distributes(a in finite_complex(), b in finite_complex(), cc in finite_complex()) {
-        prop_assert!(close(a * b, b * a, 1e-12));
-        prop_assert!(close(a * (b + cc), a * b + a * cc, 1e-10));
-    }
+#[test]
+fn division_inverts_multiplication() {
+    checker("division_inverts_multiplication").cases(64).run(
+        tuple2(finite_complex(), finite_complex()),
+        |&(a, b)| -> CaseResult {
+            prop_assume!(b.abs() > 1e-3);
+            prop_assert!(close((a * b) / b, a, 1e-10));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn division_inverts_multiplication(a in finite_complex(), b in finite_complex()) {
-        prop_assume!(b.abs() > 1e-3);
-        prop_assert!(close((a * b) / b, a, 1e-10));
-    }
+#[test]
+fn conjugate_is_involutive_and_multiplicative() {
+    checker("conjugate_is_involutive_and_multiplicative").cases(64).run(
+        tuple2(finite_complex(), finite_complex()),
+        |&(a, b)| -> CaseResult {
+            prop_assert_eq!(a.conj().conj(), a);
+            prop_assert!(close((a * b).conj(), a.conj() * b.conj(), 1e-12));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn conjugate_is_involutive_and_multiplicative(a in finite_complex(), b in finite_complex()) {
-        prop_assert_eq!(a.conj().conj(), a);
-        prop_assert!(close((a * b).conj(), a.conj() * b.conj(), 1e-12));
-    }
+#[test]
+fn magnitude_is_multiplicative() {
+    checker("magnitude_is_multiplicative").cases(64).run(
+        tuple2(finite_complex(), finite_complex()),
+        |&(a, b)| -> CaseResult {
+            let lhs = (a * b).abs();
+            let rhs = a.abs() * b.abs();
+            prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + rhs));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn magnitude_is_multiplicative(a in finite_complex(), b in finite_complex()) {
-        let lhs = (a * b).abs();
-        let rhs = a.abs() * b.abs();
-        prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + rhs));
-    }
+#[test]
+fn polar_roundtrip() {
+    checker("polar_roundtrip").cases(64).run(
+        tuple2(f64_in(1e-3..1e6), f64_in(-3.1..3.1)),
+        |&(mag, angle)| -> CaseResult {
+            let z = Complex::from_polar(mag, angle);
+            prop_assert!((z.abs() - mag).abs() < 1e-9 * mag);
+            prop_assert!((z.arg() - angle).abs() < 1e-9);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn polar_roundtrip(mag in 1e-3f64..1e6, angle in -3.1f64..3.1) {
-        let z = Complex::from_polar(mag, angle);
-        prop_assert!((z.abs() - mag).abs() < 1e-9 * mag);
-        prop_assert!((z.arg() - angle).abs() < 1e-9);
-    }
+#[test]
+fn matvec_is_linear() {
+    checker("matvec_is_linear").cases(64).run(
+        tuple4(finite_complex(), finite_complex(), finite_complex(), finite_complex()),
+        |&(a, b, x, y)| -> CaseResult {
+            let m = CMat3::coupled(a, b);
+            let u = CVec3::splat(x);
+            let v = CVec3::new(y, x, y);
+            let lhs = m.mul_vec(u + v);
+            let rhs = m.mul_vec(u) + m.mul_vec(v);
+            for (p, q) in lhs.phases().iter().zip(rhs.phases()) {
+                prop_assert!(close(*p, q, 1e-9));
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn matvec_is_linear(
-        a in finite_complex(), b in finite_complex(),
-        x in finite_complex(), y in finite_complex(),
-    ) {
-        let m = CMat3::coupled(a, b);
-        let u = CVec3::splat(x);
-        let v = CVec3::new(y, x, y);
-        let lhs = m.mul_vec(u + v);
-        let rhs = m.mul_vec(u) + m.mul_vec(v);
-        for (p, q) in lhs.phases().iter().zip(rhs.phases()) {
-            prop_assert!(close(*p, q, 1e-9));
-        }
-    }
-
-    #[test]
-    fn coupled_matrix_on_balanced_vector_stays_balanced(
-        zs in finite_complex(), zm in finite_complex(), mag in 1.0f64..1e5,
-    ) {
-        // A transposition-symmetric matrix maps a balanced set to a
-        // balanced set (the positive-sequence eigenvector property):
-        // M·v = (z_self − z_mutual)·v for balanced v. Guard against
-        // catastrophic cancellation when z_self ≈ z_mutual, where the
-        // identity holds only to absolute (not relative) rounding.
-        prop_assume!((zs - zm).abs() > 1e-6 * (zs.abs() + zm.abs() + 1.0));
-        let m = CMat3::coupled(zs, zm);
-        let v = CVec3::balanced(mag);
-        let out = m.mul_vec(v);
-        prop_assume!(out.abs_max() > 1e-6);
-        prop_assert!(out.unbalance() < 1e-6, "unbalance {}", out.unbalance());
-    }
+#[test]
+fn coupled_matrix_on_balanced_vector_stays_balanced() {
+    checker("coupled_matrix_on_balanced_vector_stays_balanced").cases(64).run(
+        tuple3(finite_complex(), finite_complex(), f64_in(1.0..1e5)),
+        |&(zs, zm, mag)| -> CaseResult {
+            // A transposition-symmetric matrix maps a balanced set to a
+            // balanced set (the positive-sequence eigenvector property):
+            // M·v = (z_self − z_mutual)·v for balanced v. Guard against
+            // catastrophic cancellation when z_self ≈ z_mutual, where the
+            // identity holds only to absolute (not relative) rounding.
+            prop_assume!((zs - zm).abs() > 1e-6 * (zs.abs() + zm.abs() + 1.0));
+            let m = CMat3::coupled(zs, zm);
+            let v = CVec3::balanced(mag);
+            let out = m.mul_vec(v);
+            prop_assume!(out.abs_max() > 1e-6);
+            prop_assert!(out.unbalance() < 1e-6, "unbalance {}", out.unbalance());
+            Ok(())
+        },
+    );
 }

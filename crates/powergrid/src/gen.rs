@@ -18,7 +18,7 @@
 //! substitution.
 
 use numc::{c, Complex};
-use rand::Rng;
+use rng::Rng;
 
 use crate::network::{NetworkBuilder, RadialNetwork};
 
@@ -220,8 +220,8 @@ fn size_impedances(net: &mut RadialNetwork, spec: &GenSpec, rng: &mut impl Rng, 
 mod tests {
     use super::*;
     use crate::levels::LevelOrder;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rng::rngs::StdRng;
+    use rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(42)

@@ -157,8 +157,8 @@ mod tests {
     use super::*;
     use crate::gen::{balanced_binary, GenSpec};
     use crate::ieee::ieee13;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rng::rngs::StdRng;
+    use rng::SeedableRng;
 
     #[test]
     fn roundtrip_small_network() {

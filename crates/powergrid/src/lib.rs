@@ -13,9 +13,9 @@
 //!
 //! ```
 //! use powergrid::{gen, LevelOrder};
-//! use rand::SeedableRng;
+//! use rng::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = rng::rngs::StdRng::seed_from_u64(1);
 //! let net = gen::balanced_binary(1023, &gen::GenSpec::default(), &mut rng);
 //! let levels = LevelOrder::new(&net);
 //! assert_eq!(levels.num_levels(), 10);

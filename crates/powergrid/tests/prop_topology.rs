@@ -1,150 +1,157 @@
 //! Property tests over random radial networks: layout invariants,
 //! serialization round-trips, and generator feasibility.
 
+use check::gen::{f64_in, tuple2, tuple3, u64_any, usize_in};
+use check::{checker, prop_assert, prop_assert_eq, CaseResult};
 use powergrid::gen::{from_parent_fn, random_tree, GenSpec};
 use powergrid::gridfile::{parse_grid, write_grid};
 use powergrid::{DfsOrder, LevelOrder};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rng::rngs::StdRng;
+use rng::SeedableRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn level_order_invariants_hold_on_random_trees(
-        n in 1usize..800,
-        window in 1usize..40,
-        seed in any::<u64>(),
-    ) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let net = random_tree(n, window, &GenSpec::default(), &mut rng);
-        let lo = LevelOrder::new(&net);
-        lo.check_invariants();
-        prop_assert_eq!(lo.len(), n);
-        // Total level widths tile the bus count.
-        let total: usize = (0..lo.num_levels()).map(|l| lo.level_width(l)).sum();
-        prop_assert_eq!(total, n);
-    }
-
-    #[test]
-    fn dfs_order_invariants_hold_on_random_trees(
-        n in 1usize..800,
-        window in 1usize..40,
-        seed in any::<u64>(),
-    ) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let net = random_tree(n, window, &GenSpec::default(), &mut rng);
-        let dfs = DfsOrder::new(&net);
-        dfs.check_invariants();
-        // Subtree sizes sum to the total path count: Σ size = Σ (depth+1).
-        let sum_sizes: u64 = dfs.subtree_size.iter().map(|&x| x as u64).sum();
-        let sum_depths: u64 = dfs.depth.iter().map(|&d| d as u64 + 1).sum();
-        prop_assert_eq!(sum_sizes, sum_depths);
-    }
-
-    #[test]
-    fn level_and_dfs_agree_on_parent_relation(
-        n in 2usize..400,
-        seed in any::<u64>(),
-    ) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let net = random_tree(n, 16, &GenSpec::default(), &mut rng);
-        let lo = LevelOrder::new(&net);
-        let dfs = DfsOrder::new(&net);
-        for bus in 0..n {
-            let via_level = {
-                let p = lo.parent_pos[lo.pos_of[bus] as usize];
-                (p != powergrid::NO_PARENT).then(|| lo.order[p as usize])
-            };
-            let via_dfs = {
-                let p = dfs.parent_pos[dfs.pos_of[bus] as usize];
-                (p != powergrid::DFS_NO_PARENT).then(|| dfs.order[p as usize])
-            };
-            prop_assert_eq!(via_level, via_dfs, "bus {}", bus);
-        }
-    }
-
-    #[test]
-    fn gridfile_roundtrip_is_lossless(
-        n in 1usize..300,
-        seed in any::<u64>(),
-    ) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let net = random_tree(n, 8, &GenSpec::default(), &mut rng);
-        let back = parse_grid(&write_grid(&net)).expect("generated nets reparse");
-        prop_assert_eq!(back.num_buses(), net.num_buses());
-        for (a, b) in back.buses().iter().zip(net.buses()) {
-            prop_assert_eq!(a, b);
-        }
-        for (a, b) in back.branches().iter().zip(net.branches()) {
-            prop_assert_eq!(a, b);
-        }
-        prop_assert_eq!(back.source_voltage(), net.source_voltage());
-    }
-
-    #[test]
-    fn generator_feasibility_bounds_flat_drop(
-        n in 2usize..500,
-        seed in any::<u64>(),
-        shape in 0usize..3,
-    ) {
-        let spec = GenSpec::default();
-        let mut rng = StdRng::seed_from_u64(seed);
-        // Three shapes with wildly different depth profiles.
-        let net = match shape {
-            0 => from_parent_fn(n, &spec, &mut rng, |i| i.checked_sub(1)),        // chain
-            1 => from_parent_fn(n, &spec, &mut rng, |i| (i > 0).then_some(0)),    // star
-            _ => from_parent_fn(n, &spec, &mut rng, |i| (i > 0).then(|| (i - 1) / 2)), // binary
-        };
-        // Flat-voltage worst drop estimate must be within ~2× of the 5%
-        // target regardless of shape (jitter moves it around).
-        let v = net.source_voltage().abs();
-        let mut down = vec![0.0f64; n];
-        for i in (1..n).rev() {
-            down[i] += net.buses()[i].load.abs();
-            down[net.parent(i).unwrap()] += down[i];
-        }
-        let mut path = vec![0.0f64; n];
-        let mut worst: f64 = 0.0;
-        for i in 1..n {
-            let p = net.parent(i).unwrap();
-            path[i] = path[p] + net.parent_branch(i).unwrap().z.abs() * down[i] / v;
-            worst = worst.max(path[i]);
-        }
-        let frac = worst / v;
-        prop_assert!(frac < 0.10, "drop fraction {} too large for shape {}", frac, shape);
-    }
+#[test]
+fn level_order_invariants_hold_on_random_trees() {
+    checker("level_order_invariants_hold_on_random_trees").cases(48).run(
+        tuple3(usize_in(1..800), usize_in(1..40), u64_any()),
+        |&(n, window, seed)| -> CaseResult {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let net = random_tree(n, window, &GenSpec::default(), &mut rng);
+            let lo = LevelOrder::new(&net);
+            lo.check_invariants();
+            prop_assert_eq!(lo.len(), n);
+            // Total level widths tile the bus count.
+            let total: usize = (0..lo.num_levels()).map(|l| lo.level_width(l)).sum();
+            prop_assert_eq!(total, n);
+            Ok(())
+        },
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn dfs_order_invariants_hold_on_random_trees() {
+    checker("dfs_order_invariants_hold_on_random_trees").cases(48).run(
+        tuple3(usize_in(1..800), usize_in(1..40), u64_any()),
+        |&(n, window, seed)| -> CaseResult {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let net = random_tree(n, window, &GenSpec::default(), &mut rng);
+            let dfs = DfsOrder::new(&net);
+            dfs.check_invariants();
+            // Subtree sizes sum to the total path count: Σ size = Σ (depth+1).
+            let sum_sizes: u64 = dfs.subtree_size.iter().map(|&x| x as u64).sum();
+            let sum_depths: u64 = dfs.depth.iter().map(|&d| d as u64 + 1).sum();
+            prop_assert_eq!(sum_sizes, sum_depths);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn grid3_roundtrip_is_lossless_for_coupled_matrices(
-        n in 1usize..200,
-        seed in any::<u64>(),
-        unbalance in 0.0f64..0.5,
-    ) {
-        use powergrid::gridfile3::{parse_grid3, write_grid3};
-        use powergrid::three_phase::from_single_phase;
+#[test]
+fn level_and_dfs_agree_on_parent_relation() {
+    checker("level_and_dfs_agree_on_parent_relation").cases(48).run(
+        tuple2(usize_in(2..400), u64_any()),
+        |&(n, seed)| -> CaseResult {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let net = random_tree(n, 16, &GenSpec::default(), &mut rng);
+            let lo = LevelOrder::new(&net);
+            let dfs = DfsOrder::new(&net);
+            for bus in 0..n {
+                let via_level = {
+                    let p = lo.parent_pos[lo.pos_of[bus] as usize];
+                    (p != powergrid::NO_PARENT).then(|| lo.order[p as usize])
+                };
+                let via_dfs = {
+                    let p = dfs.parent_pos[dfs.pos_of[bus] as usize];
+                    (p != powergrid::DFS_NO_PARENT).then(|| dfs.order[p as usize])
+                };
+                prop_assert_eq!(via_level, via_dfs, "bus {}", bus);
+            }
+            Ok(())
+        },
+    );
+}
 
-        let mut rng = StdRng::seed_from_u64(seed);
-        let net1 = random_tree(n, 8, &GenSpec::default(), &mut rng);
-        let net3 = from_single_phase(&net1, unbalance, 0.25, &mut rng);
-        let back = parse_grid3(&write_grid3(&net3)).expect("generated 3φ nets reparse");
-        prop_assert_eq!(back.num_buses(), n);
-        for (a, b) in back.buses().iter().zip(net3.buses()) {
-            prop_assert!((a.load - b.load).abs_max() < 1e-9 * (1.0 + b.load.abs_max()));
-        }
-        for (a, b) in back.branches().iter().zip(net3.branches()) {
-            prop_assert_eq!((a.from, a.to), (b.from, b.to));
-            for r in 0..3 {
-                for c in 0..3 {
-                    let (x, y) = (a.z.m[r][c], b.z.m[r][c]);
-                    prop_assert!((x - y).abs() < 1e-12 * (1.0 + y.abs()));
+#[test]
+fn gridfile_roundtrip_is_lossless() {
+    checker("gridfile_roundtrip_is_lossless").cases(48).run(
+        tuple2(usize_in(1..300), u64_any()),
+        |&(n, seed)| -> CaseResult {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let net = random_tree(n, 8, &GenSpec::default(), &mut rng);
+            let back = parse_grid(&write_grid(&net)).expect("generated nets reparse");
+            prop_assert_eq!(back.num_buses(), net.num_buses());
+            for (a, b) in back.buses().iter().zip(net.buses()) {
+                prop_assert_eq!(a, b);
+            }
+            for (a, b) in back.branches().iter().zip(net.branches()) {
+                prop_assert_eq!(a, b);
+            }
+            prop_assert_eq!(back.source_voltage(), net.source_voltage());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn generator_feasibility_bounds_flat_drop() {
+    checker("generator_feasibility_bounds_flat_drop").cases(48).run(
+        tuple3(usize_in(2..500), u64_any(), usize_in(0..3)),
+        |&(n, seed, shape)| -> CaseResult {
+            let spec = GenSpec::default();
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Three shapes with wildly different depth profiles.
+            let net = match shape {
+                0 => from_parent_fn(n, &spec, &mut rng, |i| i.checked_sub(1)), // chain
+                1 => from_parent_fn(n, &spec, &mut rng, |i| (i > 0).then_some(0)), // star
+                _ => from_parent_fn(n, &spec, &mut rng, |i| (i > 0).then(|| (i - 1) / 2)), // binary
+            };
+            // Flat-voltage worst drop estimate must be within ~2× of the 5%
+            // target regardless of shape (jitter moves it around).
+            let v = net.source_voltage().abs();
+            let mut down = vec![0.0f64; n];
+            for i in (1..n).rev() {
+                down[i] += net.buses()[i].load.abs();
+                down[net.parent(i).unwrap()] += down[i];
+            }
+            let mut path = vec![0.0f64; n];
+            let mut worst: f64 = 0.0;
+            for i in 1..n {
+                let p = net.parent(i).unwrap();
+                path[i] = path[p] + net.parent_branch(i).unwrap().z.abs() * down[i] / v;
+                worst = worst.max(path[i]);
+            }
+            let frac = worst / v;
+            prop_assert!(frac < 0.10, "drop fraction {} too large for shape {}", frac, shape);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn grid3_roundtrip_is_lossless_for_coupled_matrices() {
+    checker("grid3_roundtrip_is_lossless_for_coupled_matrices").cases(24).run(
+        tuple3(usize_in(1..200), u64_any(), f64_in(0.0..0.5)),
+        |&(n, seed, unbalance)| -> CaseResult {
+            use powergrid::gridfile3::{parse_grid3, write_grid3};
+            use powergrid::three_phase::from_single_phase;
+
+            let mut rng = StdRng::seed_from_u64(seed);
+            let net1 = random_tree(n, 8, &GenSpec::default(), &mut rng);
+            let net3 = from_single_phase(&net1, unbalance, 0.25, &mut rng);
+            let back = parse_grid3(&write_grid3(&net3)).expect("generated 3φ nets reparse");
+            prop_assert_eq!(back.num_buses(), n);
+            for (a, b) in back.buses().iter().zip(net3.buses()) {
+                prop_assert!((a.load - b.load).abs_max() < 1e-9 * (1.0 + b.load.abs_max()));
+            }
+            for (a, b) in back.branches().iter().zip(net3.branches()) {
+                prop_assert_eq!((a.from, a.to), (b.from, b.to));
+                for r in 0..3 {
+                    for c in 0..3 {
+                        let (x, y) = (a.z.m[r][c], b.z.m[r][c]);
+                        prop_assert!((x - y).abs() < 1e-12 * (1.0 + y.abs()));
+                    }
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
 }

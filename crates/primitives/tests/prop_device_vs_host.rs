@@ -2,12 +2,13 @@
 //! host oracle on arbitrary inputs, including sizes that straddle block
 //! and recursion boundaries.
 
+use check::gen::{just, one_of, tuple2, tuple3, u64_any, u64_in, usize_in, vec_of, Gen};
+use check::{checker, prop_assert, prop_assert_eq, CaseResult};
 use primitives::ops::{AddF64, AddU32, MaxF64};
 use primitives::{
     compact, gather, host, reduce, scan_exclusive, scan_inclusive, scatter,
     segment_reduce_direct, segment_totals, segscan_inclusive,
 };
-use proptest::prelude::*;
 use simt::{Device, DeviceProps};
 
 fn dev() -> Device {
@@ -15,169 +16,210 @@ fn dev() -> Device {
 }
 
 /// Arbitrary length biased toward block boundaries (256/512 multiples ±1).
-fn interesting_len() -> impl Strategy<Value = usize> {
-    prop_oneof![
-        1usize..64,
-        Just(255),
-        Just(256),
-        Just(257),
-        Just(511),
-        Just(512),
-        Just(513),
-        Just(1024),
-        600usize..1400,
-    ]
+fn interesting_len() -> Gen<usize> {
+    one_of(vec![
+        usize_in(1..64),
+        just(255),
+        just(256),
+        just(257),
+        just(511),
+        just(512),
+        just(513),
+        just(1024),
+        usize_in(600..1400),
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn reduce_add_u32_matches_host() {
+    checker("reduce_add_u32_matches_host").cases(48).run(
+        tuple2(interesting_len(), u64_any()),
+        |&(n, seed)| -> CaseResult {
+            let xs: Vec<u32> = (0..n).map(|i| ((seed >> (i % 48)) as u32) % 1000).collect();
+            let mut d = dev();
+            let buf = d.alloc_from(&xs);
+            prop_assert_eq!(reduce::<u32, AddU32>(&mut d, &buf), host::reduce::<u32, AddU32>(&xs));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn reduce_add_u32_matches_host(n in interesting_len(), seed in any::<u64>()) {
-        let xs: Vec<u32> = (0..n).map(|i| ((seed >> (i % 48)) as u32) % 1000).collect();
-        let mut d = dev();
-        let buf = d.alloc_from(&xs);
-        prop_assert_eq!(reduce::<u32, AddU32>(&mut d, &buf), host::reduce::<u32, AddU32>(&xs));
-    }
+#[test]
+fn reduce_max_f64_matches_host() {
+    use check::gen::f64_in;
+    checker("reduce_max_f64_matches_host").cases(48).run(
+        vec_of(f64_in(-1e6..1e6), 1..1200),
+        |xs: &Vec<f64>| -> CaseResult {
+            let mut d = dev();
+            let buf = d.alloc_from(xs);
+            prop_assert_eq!(reduce::<f64, MaxF64>(&mut d, &buf), host::reduce::<f64, MaxF64>(xs));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn reduce_max_f64_matches_host(xs in prop::collection::vec(-1e6f64..1e6, 1..1200)) {
-        let mut d = dev();
-        let buf = d.alloc_from(&xs);
-        prop_assert_eq!(reduce::<f64, MaxF64>(&mut d, &buf), host::reduce::<f64, MaxF64>(&xs));
-    }
+#[test]
+fn scan_exclusive_matches_host() {
+    checker("scan_exclusive_matches_host").cases(48).run(
+        tuple2(interesting_len(), u64_any()),
+        |&(n, seed)| -> CaseResult {
+            let xs: Vec<u32> =
+                (0..n).map(|i| ((seed.wrapping_mul(i as u64 + 1) >> 7) % 97) as u32).collect();
+            let mut d = dev();
+            let input = d.alloc_from(&xs);
+            let mut out = d.alloc::<u32>(n);
+            scan_exclusive::<u32, AddU32>(&mut d, &input, &mut out);
+            prop_assert_eq!(d.dtoh(&out), host::scan_exclusive::<u32, AddU32>(&xs));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn scan_exclusive_matches_host(n in interesting_len(), seed in any::<u64>()) {
-        let xs: Vec<u32> = (0..n).map(|i| ((seed.wrapping_mul(i as u64 + 1) >> 7) % 97) as u32).collect();
-        let mut d = dev();
-        let input = d.alloc_from(&xs);
-        let mut out = d.alloc::<u32>(n);
-        scan_exclusive::<u32, AddU32>(&mut d, &input, &mut out);
-        prop_assert_eq!(d.dtoh(&out), host::scan_exclusive::<u32, AddU32>(&xs));
-    }
+#[test]
+fn scan_inclusive_matches_host() {
+    checker("scan_inclusive_matches_host").cases(48).run(
+        tuple2(interesting_len(), u64_any()),
+        |&(n, seed)| -> CaseResult {
+            let xs: Vec<u32> =
+                (0..n).map(|i| ((seed.wrapping_add(i as u64 * 31) >> 3) % 53) as u32).collect();
+            let mut d = dev();
+            let input = d.alloc_from(&xs);
+            let mut out = d.alloc::<u32>(n);
+            scan_inclusive::<u32, AddU32>(&mut d, &input, &mut out);
+            prop_assert_eq!(d.dtoh(&out), host::scan_inclusive::<u32, AddU32>(&xs));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn scan_inclusive_matches_host(n in interesting_len(), seed in any::<u64>()) {
-        let xs: Vec<u32> = (0..n).map(|i| ((seed.wrapping_add(i as u64 * 31) >> 3) % 53) as u32).collect();
-        let mut d = dev();
-        let input = d.alloc_from(&xs);
-        let mut out = d.alloc::<u32>(n);
-        scan_inclusive::<u32, AddU32>(&mut d, &input, &mut out);
-        prop_assert_eq!(d.dtoh(&out), host::scan_inclusive::<u32, AddU32>(&xs));
-    }
+#[test]
+fn segscan_matches_host() {
+    checker("segscan_matches_host").cases(48).run(
+        tuple3(interesting_len(), u64_any(), u64_in(1..20)),
+        |&(n, seed, flag_density)| -> CaseResult {
+            let xs: Vec<u32> = (0..n).map(|i| ((seed >> (i % 40)) % 11) as u32).collect();
+            let flags: Vec<u32> = (0..n)
+                .map(|i| u32::from(i == 0 || (seed.wrapping_mul(i as u64) % flag_density) == 0))
+                .collect();
+            let mut d = dev();
+            let values = d.alloc_from(&xs);
+            let fl = d.alloc_from(&flags);
+            let mut out = d.alloc::<u32>(n);
+            segscan_inclusive::<u32, AddU32>(&mut d, &values, &fl, &mut out);
+            prop_assert_eq!(d.dtoh(&out), host::segscan_inclusive::<u32, AddU32>(&xs, &flags));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn segscan_matches_host(
-        n in interesting_len(),
-        seed in any::<u64>(),
-        flag_density in 1u64..20,
-    ) {
-        let xs: Vec<u32> = (0..n).map(|i| ((seed >> (i % 40)) % 11) as u32).collect();
-        let flags: Vec<u32> = (0..n)
-            .map(|i| u32::from(i == 0 || (seed.wrapping_mul(i as u64) % flag_density) == 0))
-            .collect();
-        let mut d = dev();
-        let values = d.alloc_from(&xs);
-        let fl = d.alloc_from(&flags);
-        let mut out = d.alloc::<u32>(n);
-        segscan_inclusive::<u32, AddU32>(&mut d, &values, &fl, &mut out);
-        prop_assert_eq!(d.dtoh(&out), host::segscan_inclusive::<u32, AddU32>(&xs, &flags));
-    }
-
-    #[test]
-    fn segment_totals_matches_host(
-        n in 2usize..1200,
-        seed in any::<u64>(),
-    ) {
-        let xs: Vec<f64> = (0..n).map(|i| ((seed >> (i % 32)) % 7) as f64).collect();
-        let mut flags: Vec<u32> = (0..n)
-            .map(|i| u32::from(seed.wrapping_mul(i as u64 + 3) % 9 == 0))
-            .collect();
-        flags[0] = 1;
-        let mut last = Vec::new();
-        for (i, &f) in flags.iter().enumerate().skip(1) {
-            if f != 0 {
-                last.push(i as u32 - 1);
+#[test]
+fn segment_totals_matches_host() {
+    checker("segment_totals_matches_host").cases(48).run(
+        tuple2(usize_in(2..1200), u64_any()),
+        |&(n, seed)| -> CaseResult {
+            let xs: Vec<f64> = (0..n).map(|i| ((seed >> (i % 32)) % 7) as f64).collect();
+            let mut flags: Vec<u32> =
+                (0..n).map(|i| u32::from(seed.wrapping_mul(i as u64 + 3) % 9 == 0)).collect();
+            flags[0] = 1;
+            let mut last = Vec::new();
+            for (i, &f) in flags.iter().enumerate().skip(1) {
+                if f != 0 {
+                    last.push(i as u32 - 1);
+                }
             }
-        }
-        last.push(n as u32 - 1);
+            last.push(n as u32 - 1);
 
-        let mut d = dev();
-        let values = d.alloc_from(&xs);
-        let fl = d.alloc_from(&flags);
-        let seg_last = d.alloc_from(&last);
-        let mut out = d.alloc::<f64>(last.len());
-        segment_totals::<f64, AddF64>(&mut d, &values, &fl, &seg_last, &mut out);
-        prop_assert_eq!(d.dtoh(&out), host::segment_totals::<f64, AddF64>(&xs, &flags));
-    }
+            let mut d = dev();
+            let values = d.alloc_from(&xs);
+            let fl = d.alloc_from(&flags);
+            let seg_last = d.alloc_from(&last);
+            let mut out = d.alloc::<f64>(last.len());
+            segment_totals::<f64, AddF64>(&mut d, &values, &fl, &seg_last, &mut out);
+            prop_assert_eq!(d.dtoh(&out), host::segment_totals::<f64, AddF64>(&xs, &flags));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn direct_segment_reduce_agrees_with_scan_based(
-        seg_lens in prop::collection::vec(1usize..40, 1..64),
-        seed in any::<u64>(),
-    ) {
-        let n: usize = seg_lens.iter().sum();
-        let xs: Vec<f64> = (0..n).map(|i| ((seed >> (i % 24)) % 13) as f64).collect();
-        let mut offsets = vec![0u32];
-        let mut flags = vec![0u32; n];
-        let mut last = Vec::new();
-        let mut pos = 0usize;
-        for &len in &seg_lens {
-            flags[pos] = 1;
-            pos += len;
-            offsets.push(pos as u32);
-            last.push(pos as u32 - 1);
-        }
+#[test]
+fn direct_segment_reduce_agrees_with_scan_based() {
+    checker("direct_segment_reduce_agrees_with_scan_based").cases(48).run(
+        tuple2(vec_of(usize_in(1..40), 1..64), u64_any()),
+        |(seg_lens, seed): &(Vec<usize>, u64)| -> CaseResult {
+            let n: usize = seg_lens.iter().sum();
+            let xs: Vec<f64> = (0..n).map(|i| ((seed >> (i % 24)) % 13) as f64).collect();
+            let mut offsets = vec![0u32];
+            let mut flags = vec![0u32; n];
+            let mut last = Vec::new();
+            let mut pos = 0usize;
+            for &len in seg_lens {
+                flags[pos] = 1;
+                pos += len;
+                offsets.push(pos as u32);
+                last.push(pos as u32 - 1);
+            }
 
-        let mut d = dev();
-        let values = d.alloc_from(&xs);
-        let offs = d.alloc_from(&offsets);
-        let fl = d.alloc_from(&flags);
-        let seg_last = d.alloc_from(&last);
-        let mut direct = d.alloc::<f64>(seg_lens.len());
-        let mut scanned = d.alloc::<f64>(seg_lens.len());
-        segment_reduce_direct::<f64, AddF64>(&mut d, &values, &offs, &mut direct);
-        segment_totals::<f64, AddF64>(&mut d, &values, &fl, &seg_last, &mut scanned);
-        let a = d.dtoh(&direct);
-        let b = d.dtoh(&scanned);
-        for (x, y) in a.iter().zip(&b) {
-            prop_assert!((x - y).abs() < 1e-9);
-        }
-    }
+            let mut d = dev();
+            let values = d.alloc_from(&xs);
+            let offs = d.alloc_from(&offsets);
+            let fl = d.alloc_from(&flags);
+            let seg_last = d.alloc_from(&last);
+            let mut direct = d.alloc::<f64>(seg_lens.len());
+            let mut scanned = d.alloc::<f64>(seg_lens.len());
+            segment_reduce_direct::<f64, AddF64>(&mut d, &values, &offs, &mut direct);
+            segment_totals::<f64, AddF64>(&mut d, &values, &fl, &seg_last, &mut scanned);
+            let a = d.dtoh(&direct);
+            let b = d.dtoh(&scanned);
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert!((x - y).abs() < 1e-9);
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn gather_then_scatter_is_identity_for_permutations(n in 1usize..800, seed in any::<u64>()) {
-        // Build a permutation deterministically from the seed.
-        let mut perm: Vec<u32> = (0..n as u32).collect();
-        let mut s = seed | 1;
-        for i in (1..n).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let j = (s >> 33) as usize % (i + 1);
-            perm.swap(i, j);
-        }
-        let xs: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+#[test]
+fn gather_then_scatter_is_identity_for_permutations() {
+    checker("gather_then_scatter_is_identity_for_permutations").cases(48).run(
+        tuple2(usize_in(1..800), u64_any()),
+        |&(n, seed)| -> CaseResult {
+            // Build a permutation deterministically from the seed.
+            let mut perm: Vec<u32> = (0..n as u32).collect();
+            let mut s = seed | 1;
+            for i in (1..n).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = (s >> 33) as usize % (i + 1);
+                perm.swap(i, j);
+            }
+            let xs: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
 
-        let mut d = dev();
-        let src = d.alloc_from(&xs);
-        let idx = d.alloc_from(&perm);
-        let mut mid = d.alloc::<f64>(n);
-        gather(&mut d, &src, &idx, &mut mid);
-        let mut back = d.alloc::<f64>(n);
-        scatter(&mut d, &mid, &idx, &mut back);
-        prop_assert_eq!(d.dtoh(&back), xs);
-    }
+            let mut d = dev();
+            let src = d.alloc_from(&xs);
+            let idx = d.alloc_from(&perm);
+            let mut mid = d.alloc::<f64>(n);
+            gather(&mut d, &src, &idx, &mut mid);
+            let mut back = d.alloc::<f64>(n);
+            scatter(&mut d, &mid, &idx, &mut back);
+            prop_assert_eq!(d.dtoh(&back), xs);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn compact_matches_host(n in 1usize..900, seed in any::<u64>()) {
-        let xs: Vec<u32> = (0..n as u32).collect();
-        let keep: Vec<u32> = (0..n)
-            .map(|i| u32::from(seed.wrapping_mul(i as u64 + 7) % 3 == 0))
-            .collect();
-        let mut d = dev();
-        let input = d.alloc_from(&xs);
-        let keep_b = d.alloc_from(&keep);
-        let out = compact(&mut d, &input, &keep_b);
-        prop_assert_eq!(d.dtoh(&out), host::compact(&xs, &keep));
-    }
+#[test]
+fn compact_matches_host() {
+    checker("compact_matches_host").cases(48).run(
+        tuple2(usize_in(1..900), u64_any()),
+        |&(n, seed)| -> CaseResult {
+            let xs: Vec<u32> = (0..n as u32).collect();
+            let keep: Vec<u32> =
+                (0..n).map(|i| u32::from(seed.wrapping_mul(i as u64 + 7) % 3 == 0)).collect();
+            let mut d = dev();
+            let input = d.alloc_from(&xs);
+            let keep_b = d.alloc_from(&keep);
+            let out = compact(&mut d, &input, &keep_b);
+            prop_assert_eq!(d.dtoh(&out), host::compact(&xs, &keep));
+            Ok(())
+        },
+    );
 }

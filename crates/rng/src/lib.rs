@@ -1,0 +1,173 @@
+//! Self-contained deterministic pseudo-random numbers.
+//!
+//! The repo's dependency policy is *zero external crates*, so this crate
+//! replaces the small slice of `rand` the workspace actually used:
+//! seeding from a `u64`, uniform integers/floats over ranges, and a
+//! Box–Muller normal. Two classic generators provide the bits:
+//!
+//! * [`SplitMix64`] — Steele/Lea/Vigna's 64-bit mixer. Equidistributed,
+//!   trivially seedable, used here to expand one `u64` seed into the
+//!   larger xoshiro state (the seeding procedure Vigna recommends).
+//! * [`Xoshiro256pp`] — Blackman/Vigna's xoshiro256++ 1.0, a fast
+//!   all-purpose generator with 256 bits of state and a 2^256 − 1
+//!   period. [`rngs::StdRng`] aliases it, mirroring the `rand` module
+//!   layout so call sites read the same.
+//!
+//! Determinism is a feature, not an accident: every generator here is a
+//! pure function of its seed, across platforms and releases. Golden
+//! regression tests and `.grid` byte-identity tests rely on that, so
+//! changing any output stream is a breaking change.
+//!
+//! ```
+//! use rng::rngs::StdRng;
+//! use rng::{Rng, SeedableRng};
+//!
+//! let mut r = StdRng::seed_from_u64(7);
+//! let i = r.gen_range(0..10usize);
+//! let x = r.gen_range(0.5..=1.5f64);
+//! assert!(i < 10 && (0.5..=1.5).contains(&x));
+//! ```
+
+mod sample;
+mod splitmix;
+mod xoshiro;
+
+pub use sample::SampleRange;
+pub use splitmix::SplitMix64;
+pub use xoshiro::Xoshiro256pp;
+
+/// `rand`-style module holding the workspace's default generator.
+pub mod rngs {
+    /// The workspace's standard deterministic generator (xoshiro256++).
+    pub type StdRng = crate::Xoshiro256pp;
+}
+
+/// A source of uniformly distributed 64-bit words, plus the derived
+/// sampling surface the workspace uses.
+pub trait Rng {
+    /// The next raw 64-bit word of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+    fn gen_f64(&mut self) -> f64 {
+        // Top 53 bits scaled by 2^-53: the standard double construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value over `range` (integer `lo..hi` or float
+    /// `lo..hi` / `lo..=hi`). Panics on empty ranges.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Standard normal deviate via the Box–Muller transform.
+    fn gen_normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        // u1 in (0, 1]: avoids ln(0) without biasing the 53-bit stream.
+        let u1 = 1.0 - self.gen_f64();
+        let u2 = self.gen_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        mean + std_dev * r * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Uniform `u64` in `[0, bound)` by rejection (no modulo bias).
+    /// Panics when `bound` is zero.
+    fn gen_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_below needs a positive bound");
+        // Widening-multiply trick (Lemire): take the high word of
+        // x·bound, rejecting the small biased zone of the low word.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let wide = self.next_u64() as u128 * bound as u128;
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as u64;
+            }
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Constructing a generator deterministically from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a single seed word. Equal seeds give
+    /// byte-identical streams on every platform.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn gen_below_is_unbiased_enough_and_in_bounds() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 7];
+        for _ in 0..70_000 {
+            counts[r.gen_below(7) as usize] += 1;
+        }
+        for &c in &counts {
+            // Expect 10_000 per bucket; 4σ ≈ 380.
+            assert!((9_500..10_500).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn gen_below_zero_panics() {
+        StdRng::seed_from_u64(3).gen_below(0);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(4);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((24_000..26_000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn normal_has_right_moments() {
+        let mut r = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.gen_normal(3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn trait_object_and_reborrow_compose() {
+        // `&mut impl Rng` must itself be an `Rng` (generators pass
+        // theirs down by reborrow).
+        fn takes(mut r: impl Rng) -> u64 {
+            r.next_u64()
+        }
+        let mut r = StdRng::seed_from_u64(6);
+        let a = takes(&mut r);
+        let b = takes(&mut r);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,123 @@
+//! Range sampling: the glue that lets `rng.gen_range(0..n)` and
+//! `rng.gen_range(0.3..=1.5)` work over the workspace's integer and
+//! float types, mirroring the `rand` call-site syntax.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::Rng;
+
+/// A range that can produce a uniform sample of `T`.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range. Panics when the range is
+    /// empty (or, for floats, not finite).
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty integer range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.gen_below(span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer range");
+                let span = (hi as u64) - (lo as u64);
+                if span == u64::MAX {
+                    return lo.wrapping_add(rng.next_u64() as $t);
+                }
+                lo + rng.gen_below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u64, u32);
+
+fn f64_between<R: Rng + ?Sized>(lo: f64, hi: f64, rng: &mut R) -> f64 {
+    assert!(lo.is_finite() && hi.is_finite(), "float range must be finite");
+    // lo + u·(hi − lo) can round up to hi; clamp keeps the half-open
+    // contract while staying uniform to rounding.
+    let x = lo + rng.gen_f64() * (hi - lo);
+    if x < hi { x } else { hi.next_down().max(lo) }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty float range");
+        f64_between(self.start, self.end, rng)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty float range");
+        assert!(lo.is_finite() && hi.is_finite(), "float range must be finite");
+        lo + rng.gen_f64() * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn integer_ranges_cover_and_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[r.gen_range(3..8usize) - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+        for _ in 0..200 {
+            let v = r.gen_range(10..=12u64);
+            assert!((10..=12).contains(&v));
+        }
+        assert_eq!(r.gen_range(5..6usize), 5, "singleton range");
+        assert_eq!(r.gen_range(7..=7u32), 7, "singleton inclusive range");
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(12);
+        for _ in 0..10_000 {
+            let x = r.gen_range(-2.0..3.0f64);
+            assert!((-2.0..3.0).contains(&x), "{x}");
+            let y = r.gen_range(0.5..=1.5f64);
+            assert!((0.5..=1.5).contains(&y), "{y}");
+        }
+    }
+
+    #[test]
+    fn float_range_is_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(13);
+        let mean =
+            (0..50_000).map(|_| r.gen_range(0.0..1.0f64)).sum::<f64>() / 50_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "{mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty integer range")]
+    fn empty_int_range_panics() {
+        StdRng::seed_from_u64(1).gen_range(5..5usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty float range")]
+    fn empty_float_range_panics() {
+        StdRng::seed_from_u64(1).gen_range(1.0..1.0f64);
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_works() {
+        let mut r = StdRng::seed_from_u64(14);
+        let _ = r.gen_range(0..=u64::MAX);
+    }
+}

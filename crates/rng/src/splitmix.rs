@@ -1,0 +1,58 @@
+//! SplitMix64 — Steele, Lea & Vigna's 64-bit state mixer.
+//!
+//! One addition and three xor-shift-multiply rounds per output; passes
+//! BigCrush at 64 bits of state. Its role here is mostly *seeding*: one
+//! `u64` fans out into the 256-bit xoshiro state, which cannot otherwise
+//! be filled safely from a single word (an all-zero state is absorbing).
+
+use crate::{Rng, SeedableRng};
+
+/// The SplitMix64 generator. Every `u64` (including 0) is a valid state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the generator with the given state word.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        // Reference constants from Vigna's public-domain splitmix64.c.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64::new(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vector() {
+        // First three outputs of splitmix64.c with seed 1234567.
+        let mut r = SplitMix64::new(1234567);
+        assert_eq!(r.next_u64(), 0x599E_D017_FB08_FC85);
+        assert_eq!(r.next_u64(), 0x2C73_F084_5854_0FA5);
+        assert_eq!(r.next_u64(), 0x883E_BCE5_A3F2_7C77);
+    }
+
+    #[test]
+    fn zero_state_is_fine() {
+        let mut r = SplitMix64::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+}

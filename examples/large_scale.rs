@@ -6,8 +6,8 @@
 use fbs::{GpuSolver, SerialSolver, SolverConfig};
 use powergrid::gen::{balanced_binary, GenSpec};
 use powergrid::LevelOrder;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rng::rngs::StdRng;
+use rng::SeedableRng;
 use simt::{Device, DeviceProps, HostProps};
 
 fn main() {

@@ -6,8 +6,8 @@
 use fbs::{GpuSolver, SerialSolver, SolverConfig};
 use powergrid::gen::{balanced_binary, balanced_kary, caterpillar, chain, random_tree, star, GenSpec};
 use powergrid::{LevelOrder, RadialNetwork};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rng::rngs::StdRng;
+use rng::SeedableRng;
 use simt::{Device, DeviceProps, HostProps};
 
 const N: usize = 16_384;

@@ -1,52 +1,54 @@
 //! Batched solves must agree scenario-for-scenario with independent
 //! serial solves, on randomised topologies and load sets.
 
+use check::gen::{tuple3, u64_any, usize_in};
+use check::{checker, prop_assert, prop_assume, CaseResult};
 use fbs::{BatchSolver, SerialSolver, SolverConfig};
 use numc::Complex;
 use powergrid::gen::{random_tree, GenSpec};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rng::rngs::StdRng;
+use rng::SeedableRng;
 use simt::{Device, DeviceProps, HostProps};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn batch_matches_independent_serial_solves() {
+    checker("batch_matches_independent_serial_solves").cases(12).run(
+        tuple3(usize_in(3..250), usize_in(1..6), u64_any()),
+        |&(n, nb, seed)| -> CaseResult {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let net = random_tree(n, 8, &GenSpec::default(), &mut rng);
+            let cfg = SolverConfig::default();
 
-    #[test]
-    fn batch_matches_independent_serial_solves(
-        n in 3usize..250,
-        nb in 1usize..6,
-        seed in any::<u64>(),
-    ) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let net = random_tree(n, 8, &GenSpec::default(), &mut rng);
-        let cfg = SolverConfig::default();
+            // Scenarios: scaled copies of the base loading.
+            let scales: Vec<f64> = (0..nb).map(|k| 0.5 + 0.2 * k as f64).collect();
+            let scenarios: Vec<Vec<Complex>> = scales
+                .iter()
+                .map(|&sc| net.buses().iter().map(|b| b.load * sc).collect())
+                .collect();
 
-        // Scenarios: scaled copies of the base loading.
-        let scales: Vec<f64> = (0..nb).map(|k| 0.5 + 0.2 * k as f64).collect();
-        let scenarios: Vec<Vec<Complex>> = scales
-            .iter()
-            .map(|&sc| net.buses().iter().map(|b| b.load * sc).collect())
-            .collect();
+            let mut solver = BatchSolver::new(Device::with_workers(DeviceProps::paper_rig(), 2));
+            let batch = solver.solve(&net, &scenarios, &cfg);
+            prop_assume!(batch.converged);
 
-        let mut solver = BatchSolver::new(Device::with_workers(DeviceProps::paper_rig(), 2));
-        let batch = solver.solve(&net, &scenarios, &cfg);
-        prop_assume!(batch.converged);
-
-        let v0 = net.source_voltage().abs();
-        let tol_v = cfg.tol_volts(v0);
-        for (s, &scale) in scales.iter().enumerate() {
-            let mut scaled = net.clone();
-            scaled.scale_loads(scale);
-            let single = SerialSolver::new(HostProps::paper_rig()).solve(&scaled, &cfg);
-            prop_assert!(single.converged);
-            for bus in 0..n {
-                prop_assert!(
-                    (batch.v[s][bus] - single.v[bus]).abs() < 20.0 * tol_v,
-                    "scenario {} bus {}: {:?} vs {:?}",
-                    s, bus, batch.v[s][bus], single.v[bus]
-                );
+            let v0 = net.source_voltage().abs();
+            let tol_v = cfg.tol_volts(v0);
+            for (s, &scale) in scales.iter().enumerate() {
+                let mut scaled = net.clone();
+                scaled.scale_loads(scale);
+                let single = SerialSolver::new(HostProps::paper_rig()).solve(&scaled, &cfg);
+                prop_assert!(single.converged);
+                for bus in 0..n {
+                    prop_assert!(
+                        (batch.v[s][bus] - single.v[bus]).abs() < 20.0 * tol_v,
+                        "scenario {} bus {}: {:?} vs {:?}",
+                        s,
+                        bus,
+                        batch.v[s][bus],
+                        single.v[bus]
+                    );
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
 }

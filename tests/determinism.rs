@@ -1,0 +1,81 @@
+//! Determinism guarantees of the in-repo RNG and the solvers: the same
+//! seed must produce byte-identical grids, and every solver must report
+//! the same iteration count run-to-run (no hidden nondeterminism in the
+//! device simulation or the scheduling of the backward sweep).
+
+use fbs::{GpuSolver, JumpSolver, SerialSolver, SolverConfig};
+use powergrid::gen::{balanced_binary, random_tree, GenSpec};
+use powergrid::gridfile::write_grid;
+use powergrid::gridfile3::write_grid3;
+use powergrid::three_phase::from_single_phase;
+use rng::rngs::StdRng;
+use rng::SeedableRng;
+use simt::{Device, DeviceProps, HostProps};
+
+const SEED: u64 = 0xFEED_5EED;
+
+#[test]
+fn same_seed_yields_byte_identical_gridfile() {
+    let gen = || {
+        let mut rng = StdRng::seed_from_u64(SEED);
+        random_tree(700, 12, &GenSpec::default(), &mut rng)
+    };
+    let a = write_grid(&gen());
+    let b = write_grid(&gen());
+    assert_eq!(a, b, ".grid serialization must be byte-identical across runs");
+    assert!(!a.is_empty());
+}
+
+#[test]
+fn same_seed_yields_byte_identical_grid3file() {
+    let gen = || {
+        let mut rng = StdRng::seed_from_u64(SEED);
+        let net = balanced_binary(127, &GenSpec::default(), &mut rng);
+        from_single_phase(&net, 0.3, 0.25, &mut rng)
+    };
+    assert_eq!(
+        write_grid3(&gen()),
+        write_grid3(&gen()),
+        ".grid3 serialization must be byte-identical across runs"
+    );
+}
+
+#[test]
+fn different_seeds_yield_different_grids() {
+    let gen = |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        write_grid(&random_tree(700, 12, &GenSpec::default(), &mut rng))
+    };
+    assert_ne!(gen(1), gen(2), "distinct seeds must not collide on a 700-bus grid");
+}
+
+#[test]
+fn solver_iteration_counts_are_reproducible() {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let net = random_tree(400, 8, &GenSpec::default(), &mut rng);
+    let cfg = SolverConfig::default();
+
+    let serial = |net: &_| SerialSolver::new(HostProps::paper_rig()).solve(net, &cfg);
+    let gpu = |net: &_| GpuSolver::new(Device::new(DeviceProps::paper_rig())).solve(net, &cfg);
+    let jump = |net: &_| JumpSolver::new(Device::new(DeviceProps::paper_rig())).solve(net, &cfg);
+
+    for (who, solve) in [
+        ("serial", &serial as &dyn Fn(&_) -> _),
+        ("gpu", &gpu),
+        ("jump", &jump),
+    ] {
+        let first = solve(&net);
+        let second = solve(&net);
+        assert!(first.converged, "{who} must converge");
+        assert_eq!(
+            first.iterations, second.iterations,
+            "{who}: iteration count must be reproducible run-to-run"
+        );
+        for bus in 0..net.buses().len() {
+            assert_eq!(
+                first.v[bus], second.v[bus],
+                "{who}: bus {bus} voltage must be bit-identical run-to-run"
+            );
+        }
+    }
+}

@@ -5,8 +5,8 @@
 use fbs::{GpuSolver, MulticoreSolver, SerialSolver, SolverConfig};
 use powergrid::gen::{balanced_binary, GenSpec};
 use powergrid::gridfile::{parse_grid, write_grid};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rng::rngs::StdRng;
+use rng::SeedableRng;
 use simt::{Device, DeviceProps, HostProps};
 
 #[test]

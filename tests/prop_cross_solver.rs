@@ -2,120 +2,135 @@
 //! solver agrees with the serial reference bus-for-bus, and physics
 //! validation holds whenever the solve converges.
 
+use check::gen::{f64_in, tuple3, tuple4, u64_any, usize_in, Gen};
+use check::{checker, prop_assert, prop_assert_eq, CaseResult};
 use fbs::{BackwardStrategy, GpuSolver, SerialSolver, SolverConfig};
 use powergrid::gen::{from_parent_fn, GenSpec};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rng::rngs::StdRng;
+use rng::SeedableRng;
 use simt::{Device, DeviceProps, HostProps};
 
-/// Strategy: a random tree described by parent offsets (parent of bus i
+/// Generator: a random tree described by parent offsets (parent of bus i
 /// is a uniformly random earlier bus within a window), with random
 /// moderate loading.
-fn arbitrary_tree() -> impl Strategy<Value = (usize, u64, usize, f64)> {
-    (2usize..600, any::<u64>(), 1usize..32, 0.3f64..1.5)
+fn arbitrary_tree() -> Gen<(usize, u64, usize, f64)> {
+    tuple4(usize_in(2..600), u64_any(), usize_in(1..32), f64_in(0.3..1.5))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn gpu_matches_serial_on_arbitrary_trees() {
+    checker("gpu_matches_serial_on_arbitrary_trees").cases(24).run(
+        arbitrary_tree(),
+        |&(n, seed, window, load_scale)| -> CaseResult {
+            let mut spec = GenSpec::default();
+            spec.total_kw *= load_scale;
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Parent function: mirrors powergrid::gen::random_tree but with
+            // the harness-driven seed/window.
+            let parents: Vec<usize> = (0..n)
+                .map(|i| {
+                    if i == 0 {
+                        usize::MAX
+                    } else {
+                        let lo = i.saturating_sub(window);
+                        lo + (seed.wrapping_mul(i as u64 * 2654435761 + 17)
+                            % (i - lo).max(1) as u64) as usize
+                    }
+                })
+                .collect();
+            let net = from_parent_fn(n, &spec, &mut rng, |i| (i > 0).then(|| parents[i]));
 
-    #[test]
-    fn gpu_matches_serial_on_arbitrary_trees(
-        (n, seed, window, load_scale) in arbitrary_tree()
-    ) {
-        let mut spec = GenSpec::default();
-        spec.total_kw *= load_scale;
-        let mut rng = StdRng::seed_from_u64(seed);
-        // Parent function: mirrors powergrid::gen::random_tree but with
-        // the proptest-driven seed/window.
-        let parents: Vec<usize> = (0..n)
-            .map(|i| {
-                if i == 0 { usize::MAX } else {
-                    let lo = i.saturating_sub(window);
-                    lo + (seed.wrapping_mul(i as u64 * 2654435761 + 17) % (i - lo).max(1) as u64) as usize
+            let cfg = SolverConfig::default();
+            let serial = SerialSolver::new(HostProps::paper_rig()).solve(&net, &cfg);
+            let mut gpu = GpuSolver::new(Device::with_workers(DeviceProps::paper_rig(), 2));
+            let par = gpu.solve(&net, &cfg);
+
+            prop_assert_eq!(serial.converged, par.converged);
+            prop_assert_eq!(serial.iterations, par.iterations);
+            if serial.converged {
+                let scale = net.source_voltage().abs();
+                for bus in 0..n {
+                    prop_assert!(
+                        (serial.v[bus] - par.v[bus]).abs() < 1e-8 * scale,
+                        "bus {}: {:?} vs {:?}",
+                        bus,
+                        serial.v[bus],
+                        par.v[bus]
+                    );
                 }
-            })
-            .collect();
-        let net = from_parent_fn(n, &spec, &mut rng, |i| (i > 0).then(|| parents[i]));
+                fbs::validate::assert_physical(&net, &par, 1e-4);
+            }
+            Ok(())
+        },
+    );
+}
 
-        let cfg = SolverConfig::default();
-        let serial = SerialSolver::new(HostProps::paper_rig()).solve(&net, &cfg);
-        let mut gpu = GpuSolver::new(Device::with_workers(DeviceProps::paper_rig(), 2));
-        let par = gpu.solve(&net, &cfg);
+#[test]
+fn backward_strategies_agree() {
+    checker("backward_strategies_agree").cases(24).run(
+        arbitrary_tree(),
+        |&(n, seed, window, _)| -> CaseResult {
+            let spec = GenSpec::default();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let parents: Vec<usize> = (0..n)
+                .map(|i| {
+                    if i == 0 {
+                        usize::MAX
+                    } else {
+                        i.saturating_sub(1 + (seed as usize + i) % window.min(i))
+                    }
+                })
+                .collect();
+            let net = from_parent_fn(n, &spec, &mut rng, |i| (i > 0).then(|| parents[i]));
 
-        prop_assert_eq!(serial.converged, par.converged);
-        prop_assert_eq!(serial.iterations, par.iterations);
-        if serial.converged {
+            let cfg = SolverConfig::default();
+            let a = GpuSolver::with_strategy(
+                Device::with_workers(DeviceProps::paper_rig(), 2),
+                BackwardStrategy::SegScan,
+            )
+            .solve(&net, &cfg);
+            let b = GpuSolver::with_strategy(
+                Device::with_workers(DeviceProps::paper_rig(), 2),
+                BackwardStrategy::Direct,
+            )
+            .solve(&net, &cfg);
+            prop_assert_eq!(a.converged, b.converged);
             let scale = net.source_voltage().abs();
             for bus in 0..n {
-                prop_assert!(
-                    (serial.v[bus] - par.v[bus]).abs() < 1e-8 * scale,
-                    "bus {}: {:?} vs {:?}", bus, serial.v[bus], par.v[bus]
-                );
+                prop_assert!((a.v[bus] - b.v[bus]).abs() < 1e-8 * scale);
             }
-            fbs::validate::assert_physical(&net, &par, 1e-4);
-        }
-    }
-
-    #[test]
-    fn backward_strategies_agree(
-        (n, seed, window, _) in arbitrary_tree()
-    ) {
-        let spec = GenSpec::default();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let parents: Vec<usize> = (0..n)
-            .map(|i| if i == 0 { usize::MAX } else { i.saturating_sub(1 + (seed as usize + i) % window.min(i)) })
-            .collect();
-        let net = from_parent_fn(n, &spec, &mut rng, |i| (i > 0).then(|| parents[i]));
-
-        let cfg = SolverConfig::default();
-        let a = GpuSolver::with_strategy(
-            Device::with_workers(DeviceProps::paper_rig(), 2),
-            BackwardStrategy::SegScan,
-        )
-        .solve(&net, &cfg);
-        let b = GpuSolver::with_strategy(
-            Device::with_workers(DeviceProps::paper_rig(), 2),
-            BackwardStrategy::Direct,
-        )
-        .solve(&net, &cfg);
-        prop_assert_eq!(a.converged, b.converged);
-        let scale = net.source_voltage().abs();
-        for bus in 0..n {
-            prop_assert!((a.v[bus] - b.v[bus]).abs() < 1e-8 * scale);
-        }
-    }
+            Ok(())
+        },
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+/// Three-phase GPU vs serial on random phase-expanded trees.
+#[test]
+fn three_phase_gpu_matches_serial() {
+    checker("three_phase_gpu_matches_serial").cases(16).run(
+        tuple3(usize_in(2..300), u64_any(), f64_in(0.0..0.6)),
+        |&(n, seed, unbalance)| -> CaseResult {
+            use fbs::{Gpu3Solver, Serial3Solver};
+            use powergrid::three_phase::from_single_phase;
 
-    /// Three-phase GPU vs serial on random phase-expanded trees.
-    #[test]
-    fn three_phase_gpu_matches_serial(
-        n in 2usize..300,
-        seed in any::<u64>(),
-        unbalance in 0.0f64..0.6,
-    ) {
-        use fbs::{Gpu3Solver, Serial3Solver};
-        use powergrid::three_phase::from_single_phase;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let net1 = powergrid::gen::random_tree(n, 8, &GenSpec::default(), &mut rng);
+            let net3 = from_single_phase(&net1, unbalance, 0.25, &mut rng);
 
-        let mut rng = StdRng::seed_from_u64(seed);
-        let net1 = powergrid::gen::random_tree(n, 8, &GenSpec::default(), &mut rng);
-        let net3 = from_single_phase(&net1, unbalance, 0.25, &mut rng);
-
-        let cfg = SolverConfig::default();
-        let s = Serial3Solver::new(HostProps::paper_rig()).solve(&net3, &cfg);
-        let mut gpu = Gpu3Solver::new(Device::with_workers(DeviceProps::paper_rig(), 2));
-        let g = gpu.solve(&net3, &cfg);
-        prop_assert_eq!(s.converged, g.converged);
-        if s.converged {
-            let scale = net3.source_voltage().abs_max();
-            for bus in 0..n {
-                for (x, y) in s.v[bus].phases().iter().zip(g.v[bus].phases()) {
-                    prop_assert!((*x - y).abs() < 1e-8 * scale, "bus {}", bus);
+            let cfg = SolverConfig::default();
+            let s = Serial3Solver::new(HostProps::paper_rig()).solve(&net3, &cfg);
+            let mut gpu = Gpu3Solver::new(Device::with_workers(DeviceProps::paper_rig(), 2));
+            let g = gpu.solve(&net3, &cfg);
+            prop_assert_eq!(s.converged, g.converged);
+            if s.converged {
+                let scale = net3.source_voltage().abs_max();
+                for bus in 0..n {
+                    for (x, y) in s.v[bus].phases().iter().zip(g.v[bus].phases()) {
+                        prop_assert!((*x - y).abs() < 1e-8 * scale, "bus {}", bus);
+                    }
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
 }

@@ -5,8 +5,8 @@
 use fbs::{GpuSolver, SerialSolver, SolverConfig};
 use powergrid::gen::{balanced_binary, chain, star, GenSpec};
 use powergrid::LevelOrder;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rng::rngs::StdRng;
+use rng::SeedableRng;
 use simt::{Device, DeviceProps, HostProps};
 
 fn solve_pair(n: usize, seed: u64) -> (f64, f64, f64, f64) {

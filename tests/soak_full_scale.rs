@@ -6,8 +6,8 @@
 
 use fbs::{GpuSolver, JumpSolver, MulticoreSolver, SerialSolver, SolverArrays, SolverConfig};
 use powergrid::gen::{balanced_binary, GenSpec};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rng::rngs::StdRng;
+use rng::SeedableRng;
 use simt::{Device, DeviceProps, HostProps};
 
 #[test]
