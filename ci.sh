@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# Offline CI for the FBS power-flow repo. Two legs:
+# Offline CI for the FBS power-flow repo. Four legs:
 #
 #   1. Tier-1 verify: release build + the full default test suite.
-#   2. Racecheck: re-runs every simt and fbs device kernel under the
+#   2. Divergence/NaN hardening: the convergence-status suites (monitor
+#      unit tests, cross-solver collapse acceptance, batch masking, CLI
+#      exit codes) run by name so a filtered tier-1 can't skip them.
+#   3. Racecheck: re-runs every simt and fbs device kernel under the
 #      per-cell data-race detector (simt's `racecheck` feature).
+#   4. Lint: clippy over every target with warnings promoted to errors.
 #
 # Everything runs with --offline — the repo has zero external registry
 # dependencies (see DESIGN.md, "Dependency policy"), so a warm toolchain
@@ -16,7 +20,15 @@ echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release --offline
 cargo test -q --offline
 
+echo "== divergence/NaN hardening: status suites =="
+cargo test -q --offline -p fbs --lib status::
+cargo test -q --offline --test prop_divergence_status
+cargo test -q --offline -p fbs-cli --test cli_commands solve_exit_codes_reflect_status
+
 echo "== racecheck: device kernels under the simt race detector =="
 cargo test -q --offline --features racecheck -p simt -p fbs
+
+echo "== lint: cargo clippy -D warnings =="
+cargo clippy -q --offline --all-targets -- -D warnings
 
 echo "== ci.sh: all green =="

@@ -34,10 +34,10 @@ fn main() {
         let net3 = from_single_phase(&net1, 0.35, 0.3, &mut rng);
 
         let s3 = Serial3Solver::new(HostProps::paper_rig()).solve(&net3, &cfg);
-        assert!(s3.converged, "serial 3φ must converge at n={n}");
+        assert!(s3.converged(), "serial 3φ must converge at n={n}");
         let mut gpu = Gpu3Solver::new(Device::new(DeviceProps::paper_rig()));
         let g3 = gpu.solve(&net3, &cfg);
-        assert!(g3.converged, "gpu 3φ must converge at n={n}");
+        assert!(g3.converged(), "gpu 3φ must converge at n={n}");
 
         // Single-phase comparison on the same tree.
         let s1 = SerialSolver::new(HostProps::paper_rig()).solve(&net1, &cfg);

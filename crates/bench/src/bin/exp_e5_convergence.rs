@@ -22,7 +22,7 @@ fn main() {
     // --- Part 1: iterations vs loading multiplier ---
     let mut t1 = Table::new(
         "E5a: Iterations vs loading (binary 16K, tol 1e-6)",
-        &["load scale", "iterations", "converged", "min |V| (pu)", "gpu iters match"],
+        &["load scale", "iterations", "status", "min |V| (pu)", "gpu matches"],
     );
     for scale in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 12.0, 16.0] {
         let mut net = base.clone();
@@ -35,9 +35,9 @@ fn main() {
         t1.row(&[
             &format!("{scale:.2}x"),
             &s.iterations,
-            &s.converged,
+            &s.status,
             &format!("{min_pu:.4}"),
-            &(s.iterations == g.iterations && s.converged == g.converged),
+            &(s.iterations == g.iterations && s.status == g.status),
         ]);
     }
     t1.emit("e5a_loading");
@@ -51,7 +51,7 @@ fn main() {
         let tol = 10f64.powi(-exp);
         let cfg = SolverConfig::new(tol, 500);
         let s = SerialSolver::new(HostProps::paper_rig()).solve(&base, &cfg);
-        assert!(s.converged, "tol 1e-{exp} must converge at nominal loading");
+        assert!(s.converged(), "tol 1e-{exp} must converge at nominal loading");
         t2.row(&[&format!("1e-{exp}"), &s.iterations, &format!("{:.3e}", s.residual)]);
     }
     t2.emit("e5b_tolerance");

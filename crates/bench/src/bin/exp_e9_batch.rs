@@ -45,7 +45,7 @@ fn main() {
 
         let mut solver = BatchSolver::new(Device::new(DeviceProps::paper_rig()));
         let res = solver.solve_arrays(&arrays, &scenarios, &cfg);
-        assert!(res.converged, "batch of {nb} must converge");
+        assert!(res.converged(), "batch of {nb} must converge");
 
         let per = res.timing.total_us() / nb as f64;
         table.row(&[

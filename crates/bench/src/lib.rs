@@ -148,7 +148,7 @@ pub fn speedup(x: f64) -> String {
 /// Validates a converged result against its network before its timing is
 /// allowed into a table (no numbers from broken solves).
 pub fn validate_or_die(net: &RadialNetwork, res: &SolveResult, who: &str) {
-    assert!(res.converged, "{who}: solve did not converge");
+    assert!(res.converged(), "{who}: solve did not converge");
     fbs::validate::assert_physical(net, res, 1e-4);
 }
 

@@ -18,10 +18,13 @@ use std::rc::Rc;
 use rng::rngs::StdRng;
 use rng::Rng;
 
+/// A shared shrinking function: candidate smaller values for a failure.
+type ShrinkFn<T> = Rc<dyn Fn(&T) -> Vec<T>>;
+
 /// A reusable generator of `T` values: sampling plus shrinking.
 pub struct Gen<T> {
     sample: Rc<dyn Fn(&mut StdRng) -> T>,
-    shrink: Rc<dyn Fn(&T) -> Vec<T>>,
+    shrink: ShrinkFn<T>,
 }
 
 impl<T> Clone for Gen<T> {

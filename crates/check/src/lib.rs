@@ -168,7 +168,7 @@ impl Checker {
     }
 
     /// Runs one case; returns false when discarded, panics on failure.
-    fn run_case<T: Debug>(
+    fn run_case<T>(
         &self,
         gen: &Gen<T>,
         prop: &impl Fn(&T) -> CaseResult,
@@ -176,7 +176,7 @@ impl Checker {
         case_no: u32,
     ) -> bool
     where
-        T: 'static,
+        T: Debug + 'static,
     {
         let mut rng = StdRng::seed_from_u64(case_seed);
         let value = gen.sample(&mut rng);

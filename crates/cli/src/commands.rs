@@ -30,21 +30,26 @@ usage:
   fbs solve3 <FILE.grid3> [--solver serial|gpu] [--tol T] [--max-iter N]";
 
 /// Dispatches a full argv (without the program name).
-pub fn run(argv: &[String]) -> Result<(), String> {
+///
+/// Returns the process exit code: `0` for success, and for the solve
+/// family the [`fbs::SolveStatus::exit_code`] of the result (`2`
+/// max-iterations, `3` diverged, `4` numerical failure). Usage and I/O
+/// errors come back as `Err` and map to exit code `1` in `main`.
+pub fn run(argv: &[String]) -> Result<u8, String> {
     let (cmd, rest) = argv.split_first().ok_or("missing subcommand")?;
     match cmd.as_str() {
-        "gen" => cmd_gen(rest),
-        "feeders" => cmd_feeders(rest),
-        "info" => cmd_info(rest),
+        "gen" => cmd_gen(rest).map(|()| 0),
+        "feeders" => cmd_feeders(rest).map(|()| 0),
+        "info" => cmd_info(rest).map(|()| 0),
         "solve" => cmd_solve(rest),
-        "compare" => cmd_compare(rest),
+        "compare" => cmd_compare(rest).map(|()| 0),
         "profile" => cmd_profile(rest),
-        "feeders3" => cmd_feeders3(rest),
-        "gen3" => cmd_gen3(rest),
+        "feeders3" => cmd_feeders3(rest).map(|()| 0),
+        "gen3" => cmd_gen3(rest).map(|()| 0),
         "solve3" => cmd_solve3(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
-            Ok(())
+            Ok(0)
         }
         other => Err(format!("unknown subcommand `{other}`")),
     }
@@ -124,7 +129,7 @@ fn solver_config(a: &Args) -> Result<SolverConfig, String> {
     ))
 }
 
-fn cmd_solve(argv: &[String]) -> Result<(), String> {
+fn cmd_solve(argv: &[String]) -> Result<u8, String> {
     let a = Args::parse(argv, &["solver", "tol", "max-iter", "show-voltages", "timings"])?;
     let net = load(a.one_positional("grid file")?)?;
     let cfg = solver_config(&a)?;
@@ -132,8 +137,8 @@ fn cmd_solve(argv: &[String]) -> Result<(), String> {
     let res = run_solver(&net, &cfg, which)?;
 
     println!("solver:      {which}");
-    println!("converged:   {} in {} iterations (residual {:.3e} V)", res.converged, res.iterations, res.residual);
-    if res.converged {
+    println!("status:      {} in {} iterations (residual {:.3e} V)", res.status, res.iterations, res.residual);
+    if res.converged() {
         let (vmin, bus) = res.min_voltage();
         let pu = vmin / net.source_voltage().abs();
         let losses = res.losses(&net);
@@ -159,7 +164,7 @@ fn cmd_solve(argv: &[String]) -> Result<(), String> {
     for bus in 0..show.min(net.num_buses()) {
         println!("  V[{bus}] = {:.3} V  ∠{:.3}°", res.v[bus].abs(), res.v[bus].arg().to_degrees());
     }
-    Ok(())
+    Ok(res.status.exit_code())
 }
 
 fn run_solver(net: &RadialNetwork, cfg: &SolverConfig, which: &str) -> Result<SolveResult, String> {
@@ -202,7 +207,7 @@ fn cmd_gen3(argv: &[String]) -> Result<(), String> {
     emit_text(&powergrid::gridfile3::write_grid3(&net3), a.get("out"), net3.num_buses())
 }
 
-fn cmd_solve3(argv: &[String]) -> Result<(), String> {
+fn cmd_solve3(argv: &[String]) -> Result<u8, String> {
     let a = Args::parse(argv, &["solver", "tol", "max-iter"])?;
     let path = a.one_positional("grid3 file")?;
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -216,10 +221,10 @@ fn cmd_solve3(argv: &[String]) -> Result<(), String> {
     };
     println!("solver:      {which} (three-phase)");
     println!(
-        "converged:   {} in {} iterations (residual {:.3e} V)",
-        res.converged, res.iterations, res.residual
+        "status:      {} in {} iterations (residual {:.3e} V)",
+        res.status, res.iterations, res.residual
     );
-    if res.converged {
+    if res.converged() {
         let v0 = net.source_voltage().abs_max();
         let (vmin, sag_bus) = res.min_phase_voltage();
         let (unb, unb_bus) = res.max_unbalance();
@@ -234,7 +239,7 @@ fn cmd_solve3(argv: &[String]) -> Result<(), String> {
         );
     }
     println!("modeled:     total {:.1} µs", res.timing.total_us());
-    Ok(())
+    Ok(res.status.exit_code())
 }
 
 fn emit_text(text: &str, out: Option<&str>, buses: usize) -> Result<(), String> {
@@ -248,7 +253,7 @@ fn emit_text(text: &str, out: Option<&str>, buses: usize) -> Result<(), String> 
     Ok(())
 }
 
-fn cmd_profile(argv: &[String]) -> Result<(), String> {
+fn cmd_profile(argv: &[String]) -> Result<u8, String> {
     let a = Args::parse(argv, &["solver", "tol", "max-iter"])?;
     let net = load(a.one_positional("grid file")?)?;
     let cfg = solver_config(&a)?;
@@ -280,13 +285,13 @@ fn cmd_profile(argv: &[String]) -> Result<(), String> {
         other => return Err(format!("profile: unknown device solver `{other}`")),
     };
     println!(
-        "solver {which}: converged={} in {} iterations, {:.1} µs modeled\n",
-        res.converged,
+        "solver {which}: {} in {} iterations, {:.1} µs modeled\n",
+        res.status,
         res.iterations,
         res.timing.total_us()
     );
     print!("{table}");
-    Ok(())
+    Ok(res.status.exit_code())
 }
 
 fn cmd_compare(argv: &[String]) -> Result<(), String> {
@@ -304,7 +309,7 @@ fn cmd_compare(argv: &[String]) -> Result<(), String> {
             r.iterations,
             r.timing.total_us(),
             base / r.timing.total_us(),
-            r.converged
+            r.converged()
         );
     }
     Ok(())

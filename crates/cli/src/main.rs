@@ -7,7 +7,10 @@ use fbs_cli::commands;
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match commands::run(&argv) {
-        Ok(()) => ExitCode::SUCCESS,
+        // Solve subcommands surface the convergence status as the exit
+        // code (0 converged, 2 max-iterations, 3 diverged, 4 numerical
+        // failure); exit code 1 stays reserved for usage and I/O errors.
+        Ok(code) => ExitCode::from(code),
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("{}", commands::USAGE);

@@ -12,7 +12,7 @@ fn tmp(name: &str) -> PathBuf {
     p
 }
 
-fn run(args: &[&str]) -> Result<(), String> {
+fn run(args: &[&str]) -> Result<u8, String> {
     let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
     commands::run(&argv)
 }
@@ -30,8 +30,9 @@ fn gen_info_solve_compare_pipeline() {
 
     run(&["info", path_s]).expect("info must succeed");
     for solver in ["serial", "multicore", "gpu", "gpu-direct", "gpu-atomic", "gpu-jump"] {
-        run(&["solve", path_s, "--solver", solver, "--show-voltages", "3"])
+        let code = run(&["solve", path_s, "--solver", solver, "--show-voltages", "3"])
             .unwrap_or_else(|e| panic!("solve with {solver} failed: {e}"));
+        assert_eq!(code, 0, "healthy solve with {solver} must exit 0");
     }
     run(&["compare", path_s]).expect("compare must succeed");
     let _ = fs::remove_file(&path);
@@ -108,6 +109,43 @@ fn three_phase_pipeline() {
     assert!(run(&["solve3", s3, "--solver", "gpu-jump"]).is_err(), "3φ has serial/gpu only");
     let _ = fs::remove_file(&p1);
     let _ = fs::remove_file(&p3);
+}
+
+#[test]
+fn solve_exit_codes_reflect_status() {
+    use numc::{c, Complex};
+    use powergrid::gridfile::write_grid;
+    use powergrid::NetworkBuilder;
+
+    // Crafted collapse: V₀ = 100 V, Z = 10 Ω, S = 1000 VA drives the
+    // load bus to exactly 0 V, so iteration 2 divides by zero.
+    let mut b = NetworkBuilder::new(c(100.0, 0.0));
+    b.add_bus(Complex::ZERO);
+    b.add_bus(c(1000.0, 0.0));
+    b.connect(0, 1, c(10.0, 0.0));
+    let net = b.build().unwrap();
+
+    let path = tmp("collapse.grid");
+    let path_s = path.to_str().unwrap();
+    fs::write(&path, write_grid(&net)).unwrap();
+
+    for solver in ["serial", "multicore", "gpu", "gpu-direct", "gpu-atomic", "gpu-jump"] {
+        let code = run(&["solve", path_s, "--solver", solver, "--timings", "false"])
+            .unwrap_or_else(|e| panic!("solve with {solver} errored instead of exiting: {e}"));
+        assert_eq!(code, 4, "{solver}: voltage collapse must exit with the numerical-failure code");
+    }
+
+    // An honest non-convergence (tight tolerance, starved iteration
+    // budget) is a distinct exit code from divergence and from usage
+    // errors.
+    let healthy = tmp("starved.grid");
+    let healthy_s = healthy.to_str().unwrap();
+    run(&["gen", "--topology", "binary", "--buses", "127", "--out", healthy_s]).unwrap();
+    let code = run(&["solve", healthy_s, "--tol", "1e-14", "--max-iter", "2"]).unwrap();
+    assert_eq!(code, 2, "starved iteration budget must exit with the max-iterations code");
+
+    let _ = fs::remove_file(&path);
+    let _ = fs::remove_file(&healthy);
 }
 
 #[test]

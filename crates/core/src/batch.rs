@@ -26,13 +26,14 @@ use std::time::Instant;
 
 use numc::Complex;
 use powergrid::RadialNetwork;
-use primitives::ops::{AddComplex, MaxF64};
+use primitives::ops::{AddComplex, MaxAbsF64, ScanOp};
 use primitives::{fill, launch_map, reduce, segscan_inclusive_range};
 use simt::Device;
 
 use crate::arrays::SolverArrays;
 use crate::config::SolverConfig;
 use crate::report::{PhaseTimes, Timing};
+use crate::status::{ConvergenceMonitor, SolveStatus};
 
 /// Result of one batched solve.
 #[derive(Clone, Debug)]
@@ -41,14 +42,30 @@ pub struct BatchResult {
     pub v: Vec<Vec<Complex>>,
     /// Per-scenario branch currents into each bus, `[scenario][bus id]`.
     pub j: Vec<Vec<Complex>>,
-    /// Iterations until the *whole batch* met the tolerance.
+    /// Iterations the batch loop executed.
     pub iterations: u32,
-    /// Whether every scenario converged within the cap.
-    pub converged: bool,
-    /// Final batch-wide `max |ΔV|`, volts.
+    /// Per-scenario loop outcome. A scenario that diverges or goes
+    /// non-finite is *masked out* of the batch-wide reduction the moment
+    /// it is detected, so the healthy scenarios keep converging instead
+    /// of burning `max_iter` alongside it; its voltages are frozen at
+    /// the detecting iteration.
+    pub statuses: Vec<SolveStatus>,
+    /// Final `max |ΔV|` over the scenarios still active, volts.
     pub residual: f64,
     /// Timing summary for the whole batch.
     pub timing: Timing,
+}
+
+impl BatchResult {
+    /// Whether *every* scenario converged within the cap.
+    pub fn converged(&self) -> bool {
+        self.statuses.iter().all(|s| s.is_converged())
+    }
+
+    /// The most severe scenario outcome (batch-wide summary).
+    pub fn worst_status(&self) -> SolveStatus {
+        self.statuses.iter().fold(SolveStatus::Converged, |w, &s| w.worse(s))
+    }
 }
 
 /// The batched GPU solver.
@@ -98,7 +115,8 @@ impl BatchSolver {
         }
         let num_levels = a.num_levels();
         let v0 = a.source;
-        let tol = cfg.tol_volts(v0.abs());
+        let mut monitor = ConvergenceMonitor::new(cfg, v0.abs());
+        let (tol, cap) = (monitor.tol(), monitor.cap());
         let total = n * nb;
 
         // ---- Build the batched host arrays (scenario-major per level).
@@ -164,13 +182,19 @@ impl BatchSolver {
         let mut delta_buf = dev.alloc::<f64>(total);
         fill(dev, &mut delta_buf, 0.0);
         let mut scan_buf = dev.alloc::<Complex>(total);
+        // Per-element activity mask (1 = scenario still iterating). A
+        // masked scenario's forward kernel freezes its state and reports
+        // a zero delta, removing it from the batch-wide reduction.
+        let mut mask_host = vec![1u32; total];
+        let mut mask_buf = dev.alloc_from(&mask_host);
         let b = dev.timeline().breakdown_since(mark);
         phases.setup_us += b.total_us();
         transfer_us += b.htod_us + b.dtoh_us;
 
         let mut iterations = 0;
         let mut residual = f64::MAX;
-        let mut converged = false;
+        let mut statuses = vec![SolveStatus::MaxIterations; nb];
+        let mut active = vec![true; nb];
 
         while iterations < cfg.max_iter {
             iterations += 1;
@@ -234,10 +258,19 @@ impl BatchSolver {
                 let z_v = z_buf.view();
                 let par_v = parent_buf.view();
                 let j_v = j_buf.view();
+                let mask_v = mask_buf.view();
                 let d_v = delta_buf.view_mut();
                 let v_v = v_buf.view_mut();
                 launch_map(dev, len, "batch_forward", move |t, k| {
                     let g = lo + k;
+                    // Masked scenarios freeze: no voltage update and a
+                    // zero delta. The branch (not a multiply) matters —
+                    // `NaN · 0 = NaN` would put the corpse right back
+                    // into the reduction.
+                    if t.ld(&mask_v, g) == 0 {
+                        t.st(&d_v, g, 0.0);
+                        return;
+                    }
                     let parent = t.ld(&par_v, g) as usize;
                     let vp = t.ld_mut(&v_v, parent);
                     let z = t.ld(&z_v, g);
@@ -252,17 +285,126 @@ impl BatchSolver {
             phases.forward_us += dev.timeline().breakdown_since(mark).total_us();
 
             // ---- Convergence: batch-wide ∞-norm ----
+            // Healthy path: one reduction, one scalar read-back, exactly
+            // as before. Only when the monitor flags trouble does the
+            // solver pay for a per-scenario triage (delta download + host
+            // folds) to find and mask the offenders.
             let mark = dev.timeline().mark();
-            let delta = reduce::<f64, MaxF64>(dev, &delta_buf);
+            let delta = reduce::<f64, MaxAbsF64>(dev, &delta_buf);
+            let mut stop = false;
+            match monitor.observe(iterations, delta) {
+                None => residual = delta,
+                Some(SolveStatus::Converged) => {
+                    residual = delta;
+                    for (s, st) in statuses.iter_mut().enumerate() {
+                        if active[s] {
+                            *st = SolveStatus::Converged;
+                        }
+                    }
+                    stop = true;
+                }
+                Some(_) => {
+                    // Triage: fold each active scenario's ∞-norm on the
+                    // host and classify.
+                    let delta_host = dev.dtoh(&delta_buf);
+                    let mut per = vec![0.0f64; nb];
+                    for (s, r) in per.iter_mut().enumerate() {
+                        if !active[s] {
+                            continue;
+                        }
+                        for l in 0..num_levels {
+                            let base = bpos(l, s, 0);
+                            for &d in &delta_host[base..base + width(l)] {
+                                *r = MaxAbsF64::combine(*r, d);
+                            }
+                        }
+                    }
+                    let mut masked = Vec::new();
+                    for s in 0..nb {
+                        if !active[s] {
+                            continue;
+                        }
+                        if !per[s].is_finite() {
+                            statuses[s] = SolveStatus::NumericalFailure { at_iteration: iterations };
+                            masked.push(s);
+                        } else if per[s] > cap {
+                            statuses[s] = SolveStatus::Diverged { at_iteration: iterations };
+                            masked.push(s);
+                        }
+                    }
+                    if masked.is_empty() {
+                        // Growth-patience trigger with every scenario
+                        // under the cap: the batch maximum is what has
+                        // been growing — retire the worst offender.
+                        if let Some(worst) = (0..nb)
+                            .filter(|&s| active[s])
+                            .max_by(|&x, &y| per[x].total_cmp(&per[y]))
+                        {
+                            statuses[worst] = SolveStatus::Diverged { at_iteration: iterations };
+                            masked.push(worst);
+                        }
+                    }
+                    for &s in &masked {
+                        active[s] = false;
+                        for l in 0..num_levels {
+                            let base = bpos(l, s, 0);
+                            for slot in &mut mask_host[base..base + width(l)] {
+                                *slot = 0;
+                            }
+                        }
+                    }
+                    dev.htod(&mut mask_buf, &mask_host);
+                    // The residual landscape changed; restart growth
+                    // tracking for the survivors.
+                    monitor = ConvergenceMonitor::new(cfg, v0.abs());
+                    residual = (0..nb)
+                        .filter(|&s| active[s])
+                        .map(|s| per[s])
+                        .fold(0.0, MaxAbsF64::combine);
+                    if !active.iter().any(|&x| x) {
+                        stop = true;
+                    } else if residual <= tol {
+                        for (s, st) in statuses.iter_mut().enumerate() {
+                            if active[s] {
+                                *st = SolveStatus::Converged;
+                            }
+                        }
+                        stop = true;
+                    }
+                }
+            }
             let b = dev.timeline().breakdown_since(mark);
             phases.convergence_us += b.total_us();
             transfer_us += b.htod_us + b.dtoh_us;
             transfer_sweep_us += b.htod_us + b.dtoh_us;
-
-            residual = delta;
-            if delta <= tol {
-                converged = true;
+            if stop {
                 break;
+            }
+        }
+
+        // Iteration-cap exit: the batch as a whole missed the tolerance,
+        // but individual scenarios may have met it — classify each from
+        // the final deltas instead of smearing MaxIterations over all.
+        if statuses.contains(&SolveStatus::MaxIterations) {
+            let mark = dev.timeline().mark();
+            let delta_host = dev.dtoh(&delta_buf);
+            let b = dev.timeline().breakdown_since(mark);
+            phases.convergence_us += b.total_us();
+            transfer_us += b.htod_us + b.dtoh_us;
+            for (s, status) in statuses.iter_mut().enumerate() {
+                if *status != SolveStatus::MaxIterations {
+                    continue;
+                }
+                let mut r = 0.0f64;
+                for l in 0..num_levels {
+                    let base = bpos(l, s, 0);
+                    for &d in &delta_host[base..base + width(l)] {
+                        r = MaxAbsF64::combine(r, d);
+                    }
+                }
+                if r <= tol {
+                    *status = SolveStatus::Converged;
+                }
             }
         }
 
@@ -295,7 +437,7 @@ impl BatchSolver {
             transfer_sweep_us,
             wall_us: wall0.elapsed().as_secs_f64() * 1e6,
         };
-        BatchResult { v, j, iterations, converged, residual, timing }
+        BatchResult { v, j, iterations, statuses, residual, timing }
     }
 }
 
@@ -330,7 +472,7 @@ mod tests {
         let net = ieee13();
         let cfg = SolverConfig::default();
         let res = batch().solve(&net, &[loads_scaled(&net, 1.0)], &cfg);
-        assert!(res.converged);
+        assert!(res.converged());
         let single = serial_at(&net, 1.0, &cfg);
         for bus in 0..net.num_buses() {
             assert!((res.v[0][bus] - single.v[bus]).abs() < 1e-5);
@@ -345,7 +487,7 @@ mod tests {
         let scenarios: Vec<Vec<Complex>> =
             scales.iter().map(|&sc| loads_scaled(&net, sc)).collect();
         let res = batch().solve(&net, &scenarios, &cfg);
-        assert!(res.converged);
+        assert!(res.converged());
         let v0 = net.source_voltage().abs();
         for (s, &scale) in scales.iter().enumerate() {
             let single = serial_at(&net, scale, &cfg);
@@ -374,7 +516,7 @@ mod tests {
             (0..16).map(|k| loads_scaled(&net, 0.5 + 0.05 * k as f64)).collect();
         let mut b16 = batch();
         let r16 = b16.solve(&net, &scenarios, &cfg);
-        assert!(r16.converged);
+        assert!(r16.converged());
 
         // …versus one scenario costed 16 times.
         let mut b1 = batch();

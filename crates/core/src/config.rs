@@ -7,30 +7,71 @@ pub struct SolverConfig {
     /// Convergence tolerance, relative to the source-voltage magnitude:
     /// the solve stops when `max_p |V_p^{k} − V_p^{k−1}| ≤ tol_rel·|V₀|`.
     pub tol_rel: f64,
-    /// Iteration cap; exceeding it returns `converged = false`.
+    /// Iteration cap; exceeding it returns `SolveStatus::MaxIterations`.
     pub max_iter: u32,
+    /// Divergence cap, relative to the source-voltage magnitude: a
+    /// residual above `divergence_cap·|V₀|` aborts the solve with
+    /// `SolveStatus::Diverged`. A voltage *update* three orders of
+    /// magnitude above the source voltage has left any physical operating
+    /// regime, so the default of `1e3` never fires on a healthy solve.
+    pub divergence_cap: f64,
+    /// Number of consecutive residual-growth iterations tolerated before
+    /// declaring `SolveStatus::Diverged`. FBS residuals on convergent
+    /// cases decay (near-)monotonically; sustained growth means the fixed
+    /// point is repelling.
+    pub divergence_patience: u32,
 }
 
 impl SolverConfig {
     /// The tolerance used by the paper-reproduction experiments.
     pub const DEFAULT_TOL: f64 = 1e-6;
+    /// Default divergence cap (relative to `|V₀|`).
+    pub const DEFAULT_DIVERGENCE_CAP: f64 = 1e3;
+    /// Default growth patience before declaring divergence.
+    pub const DEFAULT_DIVERGENCE_PATIENCE: u32 = 8;
 
-    /// Creates a config with the given relative tolerance and cap.
+    /// Creates a config with the given relative tolerance and cap, using
+    /// the default divergence thresholds.
     pub fn new(tol_rel: f64, max_iter: u32) -> Self {
         assert!(tol_rel > 0.0 && tol_rel.is_finite(), "tolerance must be positive");
         assert!(max_iter >= 1, "need at least one iteration");
-        SolverConfig { tol_rel, max_iter }
+        SolverConfig {
+            tol_rel,
+            max_iter,
+            divergence_cap: Self::DEFAULT_DIVERGENCE_CAP,
+            divergence_patience: Self::DEFAULT_DIVERGENCE_PATIENCE,
+        }
+    }
+
+    /// Overrides the divergence thresholds. The cap must exceed the
+    /// tolerance or every solve would abort before converging.
+    pub fn with_divergence(mut self, cap: f64, patience: u32) -> Self {
+        assert!(cap.is_finite() && cap > self.tol_rel, "cap must be finite and above tol_rel");
+        assert!(patience >= 1, "need at least one growth iteration");
+        self.divergence_cap = cap;
+        self.divergence_patience = patience;
+        self
     }
 
     /// Absolute voltage tolerance for a given source magnitude, volts.
     pub fn tol_volts(&self, source_mag: f64) -> f64 {
         self.tol_rel * source_mag
     }
+
+    /// Absolute divergence cap for a given source magnitude, volts.
+    pub fn divergence_cap_volts(&self, source_mag: f64) -> f64 {
+        self.divergence_cap * source_mag
+    }
 }
 
 impl Default for SolverConfig {
     fn default() -> Self {
-        SolverConfig { tol_rel: Self::DEFAULT_TOL, max_iter: 100 }
+        SolverConfig {
+            tol_rel: Self::DEFAULT_TOL,
+            max_iter: 100,
+            divergence_cap: Self::DEFAULT_DIVERGENCE_CAP,
+            divergence_patience: Self::DEFAULT_DIVERGENCE_PATIENCE,
+        }
     }
 }
 
@@ -44,6 +85,23 @@ mod tests {
         assert_eq!(c.tol_rel, 1e-6);
         assert_eq!(c.max_iter, 100);
         assert_eq!(c.tol_volts(7200.0), 7200.0 * 1e-6);
+        assert_eq!(c.divergence_cap, 1e3);
+        assert_eq!(c.divergence_patience, 8);
+        assert_eq!(c.divergence_cap_volts(100.0), 1e5);
+    }
+
+    #[test]
+    fn with_divergence_overrides_thresholds() {
+        let c = SolverConfig::new(1e-6, 50).with_divergence(10.0, 3);
+        assert_eq!(c.divergence_cap, 10.0);
+        assert_eq!(c.divergence_patience, 3);
+        assert_eq!(c.tol_rel, 1e-6, "tolerance untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "cap")]
+    fn cap_below_tolerance_rejected() {
+        SolverConfig::new(1e-2, 50).with_divergence(1e-3, 3);
     }
 
     #[test]

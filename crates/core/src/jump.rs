@@ -32,12 +32,13 @@ use std::time::Instant;
 
 use numc::Complex;
 use powergrid::{DfsOrder, RadialNetwork, DFS_NO_PARENT};
-use primitives::ops::{AddComplex, MaxF64};
+use primitives::ops::{AddComplex, MaxAbsF64};
 use primitives::{fill, launch_map, reduce, scan_exclusive};
 use simt::Device;
 
 use crate::config::SolverConfig;
 use crate::report::{PhaseTimes, SolveResult, Timing};
+use crate::status::{ConvergenceMonitor, SolveStatus};
 
 /// Preorder solver arrays (the jump solver's analog of
 /// [`crate::SolverArrays`]).
@@ -123,7 +124,7 @@ impl JumpSolver {
         let dev = &mut self.device;
         let n = a.len();
         let v0 = a.source;
-        let tol = cfg.tol_volts(v0.abs());
+        let mut monitor = ConvergenceMonitor::new(cfg, v0.abs());
         let jump_rounds = ceil_log2(a.dfs.max_depth.max(1) as usize);
 
         let mut phases = PhaseTimes::default();
@@ -155,7 +156,7 @@ impl JumpSolver {
         let mut iterations = 0;
         let mut residual = f64::MAX;
         let mut residual_history = Vec::new();
-        let mut converged = false;
+        let mut status = SolveStatus::MaxIterations;
 
         while iterations < cfg.max_iter {
             iterations += 1;
@@ -262,7 +263,7 @@ impl JumpSolver {
 
             // ---- Convergence ----
             let mark = dev.timeline().mark();
-            let delta = reduce::<f64, MaxF64>(dev, &delta_buf);
+            let delta = reduce::<f64, MaxAbsF64>(dev, &delta_buf);
             let b = dev.timeline().breakdown_since(mark);
             phases.convergence_us += b.total_us();
             transfer_us += b.htod_us + b.dtoh_us;
@@ -270,8 +271,8 @@ impl JumpSolver {
 
             residual = delta;
             residual_history.push(delta);
-            if delta <= tol {
-                converged = true;
+            if let Some(s) = monitor.observe(iterations, delta) {
+                status = s;
                 break;
             }
         }
@@ -294,7 +295,7 @@ impl JumpSolver {
             v: a.dfs.unpermute(&v_pos),
             j: a.dfs.unpermute(&j_pos),
             iterations,
-            converged,
+            status,
             residual,
             residual_history,
             timing,
@@ -351,7 +352,7 @@ mod tests {
         for net in [ieee13(), ieee37()] {
             let serial = SerialSolver::new(HostProps::paper_rig()).solve(&net, &cfg);
             let res = jump().solve(&net, &cfg);
-            assert!(res.converged);
+            assert!(res.converged());
             assert_voltages_match(&net, &serial, &res);
             crate::validate::assert_physical(&net, &res, 1e-4);
         }
@@ -369,7 +370,7 @@ mod tests {
         ] {
             let serial = SerialSolver::new(HostProps::paper_rig()).solve(&net, &cfg);
             let res = jump().solve(&net, &cfg);
-            assert!(res.converged);
+            assert!(res.converged());
             assert_voltages_match(&net, &serial, &res);
         }
     }
@@ -384,7 +385,7 @@ mod tests {
         let net = chain(4096, &spec, &mut rng);
         let mut solver = jump();
         let res = solver.solve(&net, &cfg);
-        assert!(res.converged);
+        assert!(res.converged());
         let launches = solver.device().timeline().breakdown().kernels;
         let per_iter = launches as f64 / res.iterations as f64;
         assert!(
@@ -402,7 +403,7 @@ mod tests {
         let level = crate::GpuSolver::new(Device::with_workers(DeviceProps::paper_rig(), 2))
             .solve(&net, &cfg);
         let jumped = jump().solve(&net, &cfg);
-        assert!(level.converged && jumped.converged);
+        assert!(level.converged() && jumped.converged());
         assert!(
             jumped.timing.total_us() * 20.0 < level.timing.total_us(),
             "jump {} µs vs level {} µs",
@@ -417,7 +418,7 @@ mod tests {
         b.add_bus(Complex::ZERO);
         let net = b.build().unwrap();
         let res = jump().solve(&net, &SolverConfig::default());
-        assert!(res.converged);
+        assert!(res.converged());
         assert_eq!(res.v[0], c(240.0, 0.0));
     }
 

@@ -21,7 +21,7 @@
 //! let cfg = SolverConfig::default();
 //! let serial = SerialSolver::new(HostProps::paper_rig()).solve(&net, &cfg);
 //! let gpu = GpuSolver::new(Device::paper_rig()).solve(&net, &cfg);
-//! assert!(serial.converged && gpu.converged);
+//! assert!(serial.converged() && gpu.converged());
 //! assert!((serial.v[6] - gpu.v[6]).abs() < 1e-6);
 //! ```
 
@@ -35,6 +35,7 @@ pub mod jump;
 mod multicore;
 mod report;
 mod serial;
+mod status;
 pub mod three_phase;
 pub mod validate;
 
@@ -46,4 +47,5 @@ pub use jump::{JumpArrays, JumpSolver};
 pub use multicore::MulticoreSolver;
 pub use report::{PhaseTimes, SolveResult, Timing};
 pub use serial::SerialSolver;
+pub use status::{ConvergenceMonitor, SolveStatus};
 pub use three_phase::{Arrays3, Gpu3Solver, Serial3Solver, Solve3Result};

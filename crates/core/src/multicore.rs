@@ -15,11 +15,13 @@ use std::time::Instant;
 
 use numc::Complex;
 use powergrid::RadialNetwork;
+use primitives::ops::{MaxAbsF64, ScanOp};
 use simt::HostProps;
 
 use crate::arrays::SolverArrays;
 use crate::config::SolverConfig;
 use crate::report::{PhaseTimes, SolveResult, Timing};
+use crate::status::{ConvergenceMonitor, SolveStatus};
 
 /// Work below this many buses runs inline instead of forking threads.
 const PARALLEL_THRESHOLD: usize = 2048;
@@ -67,7 +69,7 @@ impl MulticoreSolver {
         let wall0 = Instant::now();
         let n = a.len();
         let v0 = a.source;
-        let tol = cfg.tol_volts(v0.abs());
+        let mut monitor = ConvergenceMonitor::new(cfg, v0.abs());
 
         let mut v = vec![v0; n];
         let mut i_inj = vec![Complex::ZERO; n];
@@ -81,7 +83,7 @@ impl MulticoreSolver {
         let mut iterations = 0;
         let mut residual = f64::MAX;
         let mut residual_history = Vec::new();
-        let mut converged = false;
+        let mut status = SolveStatus::MaxIterations;
 
         while iterations < cfg.max_iter {
             iterations += 1;
@@ -150,14 +152,15 @@ impl MulticoreSolver {
                 );
             }
 
-            // Convergence: parallel max-reduce.
-            let d = delta.iter().fold(0.0f64, |m, &x| m.max(x));
+            // Convergence: parallel max-reduce. `f64::max` drops NaN, so
+            // the fold uses the NaN-propagating ∞-norm operator.
+            let d = delta.iter().fold(0.0f64, |m, &x| MaxAbsF64::combine(m, x));
             phases.convergence_us += self.region_time_us(n as u64, 8 * n as u64, n, ws);
 
             residual = d;
             residual_history.push(d);
-            if d <= tol {
-                converged = true;
+            if let Some(s) = monitor.observe(iterations, d) {
+                status = s;
                 break;
             }
         }
@@ -169,7 +172,7 @@ impl MulticoreSolver {
             v: a.levels.unpermute(&v),
             j: a.levels.unpermute(&j),
             iterations,
-            converged,
+            status,
             residual,
             residual_history,
             timing,
@@ -243,7 +246,7 @@ mod tests {
         let cfg = SolverConfig::default();
         let s = SerialSolver::new(HostProps::paper_rig()).solve(&net, &cfg);
         let m = mc().solve(&net, &cfg);
-        assert!(m.converged);
+        assert!(m.converged());
         assert_eq!(m.iterations, s.iterations);
         for (a, b) in s.v.iter().zip(&m.v) {
             assert!((*a - *b).abs() < 1e-9);
@@ -259,7 +262,7 @@ mod tests {
         let cfg = SolverConfig::default();
         let s = SerialSolver::new(HostProps::paper_rig()).solve(&net, &cfg);
         let m = mc().solve(&net, &cfg);
-        assert!(m.converged && s.converged);
+        assert!(m.converged() && s.converged());
         for (a, b) in s.v.iter().zip(&m.v) {
             assert!((*a - *b).abs() < 1e-6);
         }

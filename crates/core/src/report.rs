@@ -2,6 +2,8 @@
 
 use numc::Complex;
 
+use crate::status::SolveStatus;
+
 /// Modeled time per solver phase, µs.
 ///
 /// For the GPU solver these are modeled *device* microseconds from the
@@ -89,8 +91,9 @@ pub struct SolveResult {
     pub j: Vec<Complex>,
     /// Iterations executed.
     pub iterations: u32,
-    /// Whether the convergence criterion was met within the cap.
-    pub converged: bool,
+    /// How the iteration loop ended (convergence, iteration cap,
+    /// divergence, or numerical failure).
+    pub status: SolveStatus,
     /// Final `max_p |ΔV_p|`, volts.
     pub residual: f64,
     /// Per-iteration `max_p |ΔV_p|` history (length = `iterations`);
@@ -101,6 +104,11 @@ pub struct SolveResult {
 }
 
 impl SolveResult {
+    /// Whether the convergence criterion was met within the cap.
+    pub fn converged(&self) -> bool {
+        self.status.is_converged()
+    }
+
     /// Convergence-rate estimate: geometric mean of successive residual
     /// ratios over the recorded history (`None` with fewer than 3
     /// iterations). Healthy FBS runs sit well below 1.
@@ -137,13 +145,31 @@ impl SolveResult {
     }
 
     /// Minimum voltage magnitude and the bus where it occurs.
+    ///
+    /// On corrupt results a non-finite magnitude is surfaced (the first
+    /// NaN/Inf bus wins) instead of being dropped by the comparison —
+    /// `NaN < acc` is always false, so a plain fold would report `(∞, 0)`
+    /// for a fully-NaN voltage profile.
     pub fn min_voltage(&self) -> (f64, usize) {
-        self.v
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (v.abs(), i))
-            .fold((f64::INFINITY, 0), |acc, x| if x.0 < acc.0 { x } else { acc })
+        min_magnitude_surfacing_nonfinite(self.v.iter().map(|v| v.abs()))
     }
+}
+
+/// Folds magnitudes to (min, index), except that the first non-finite
+/// entry short-circuits the fold and is returned as-is.
+pub(crate) fn min_magnitude_surfacing_nonfinite(
+    mags: impl Iterator<Item = f64>,
+) -> (f64, usize) {
+    let mut acc = (f64::INFINITY, 0);
+    for (i, m) in mags.enumerate() {
+        if !m.is_finite() {
+            return (m, i);
+        }
+        if m < acc.0 {
+            acc = (m, i);
+        }
+    }
+    acc
 }
 
 #[cfg(test)]
@@ -169,19 +195,40 @@ mod tests {
         assert_eq!(t.sweep_kernel_us(), 11.0);
     }
 
-    #[test]
-    fn min_voltage_finds_the_sag() {
-        let r = SolveResult {
-            v: vec![c(100.0, 0.0), c(98.0, -1.0), c(99.0, 0.0)],
-            j: vec![Complex::ZERO; 3],
+    fn result_with(v: Vec<Complex>) -> SolveResult {
+        SolveResult {
+            j: vec![Complex::ZERO; v.len()],
+            v,
             iterations: 1,
-            converged: true,
+            status: SolveStatus::Converged,
             residual: 0.0,
             residual_history: vec![0.0],
             timing: Timing::default(),
-        };
+        }
+    }
+
+    #[test]
+    fn min_voltage_finds_the_sag() {
+        let r = result_with(vec![c(100.0, 0.0), c(98.0, -1.0), c(99.0, 0.0)]);
         let (mag, bus) = r.min_voltage();
         assert_eq!(bus, 1);
         assert!((mag - c(98.0, -1.0).abs()).abs() < 1e-12);
+        assert!(r.converged());
+    }
+
+    #[test]
+    fn min_voltage_surfaces_nan_instead_of_reporting_infinity() {
+        let r = result_with(vec![c(100.0, 0.0), c(f64::NAN, 0.0), c(99.0, 0.0)]);
+        let (mag, bus) = r.min_voltage();
+        assert!(mag.is_nan(), "corrupt profile must surface NaN, got {mag}");
+        assert_eq!(bus, 1, "and point at the corrupt bus");
+    }
+
+    #[test]
+    fn min_voltage_surfaces_infinite_magnitudes() {
+        let r = result_with(vec![c(100.0, 0.0), c(99.0, 0.0), c(f64::INFINITY, 0.0)]);
+        let (mag, bus) = r.min_voltage();
+        assert_eq!(mag, f64::INFINITY);
+        assert_eq!(bus, 2);
     }
 }

@@ -19,11 +19,13 @@ use std::time::Instant;
 
 use numc::Complex;
 use powergrid::RadialNetwork;
+use primitives::ops::{MaxAbsF64, ScanOp};
 use simt::HostProps;
 
 use crate::arrays::SolverArrays;
 use crate::config::SolverConfig;
 use crate::report::{PhaseTimes, SolveResult, Timing};
+use crate::status::{ConvergenceMonitor, SolveStatus};
 
 /// Modeled flops per bus for the injection step (complex divide + conj).
 const INJ_FLOPS: u64 = Complex::DIV_FLOPS + 1;
@@ -87,7 +89,7 @@ impl SerialSolver {
         let wall0 = Instant::now();
         let n = a.len();
         let v0 = a.source;
-        let tol = cfg.tol_volts(v0.abs());
+        let mut monitor = ConvergenceMonitor::new(cfg, v0.abs());
         // Resident state cycled every iteration: S, Z, V, I, J (16 B
         // complex each) plus the integer topology arrays (~32 B/bus).
         let working_set = 112 * n as u64;
@@ -109,7 +111,7 @@ impl SerialSolver {
         let mut iterations = 0;
         let mut residual = f64::MAX;
         let mut residual_history = Vec::new();
-        let mut converged = false;
+        let mut status = SolveStatus::MaxIterations;
 
         while iterations < cfg.max_iter {
             iterations += 1;
@@ -139,15 +141,15 @@ impl SerialSolver {
                 working_set,
             );
 
-            // Forward sweep with folded convergence norm.
+            // Forward sweep with folded convergence norm. The fold must
+            // propagate NaN: `d > delta` is false for NaN, which would
+            // let a corrupt update vanish from the ∞-norm.
             let mut delta: f64 = 0.0;
             for p in 1..n {
                 let parent = a.parent_pos[p] as usize;
                 let new_v = v[parent] - a.z[p] * j[p];
                 let d = (new_v - v[p]).abs();
-                if d > delta {
-                    delta = d;
-                }
+                delta = MaxAbsF64::combine(delta, d);
                 v[p] = new_v;
             }
             phases.forward_us += self.host.region_time_us_ws(
@@ -161,8 +163,8 @@ impl SerialSolver {
 
             residual = delta;
             residual_history.push(delta);
-            if delta <= tol {
-                converged = true;
+            if let Some(s) = monitor.observe(iterations, delta) {
+                status = s;
                 break;
             }
         }
@@ -177,7 +179,7 @@ impl SerialSolver {
             v: a.levels.unpermute(&v),
             j: a.levels.unpermute(&j),
             iterations,
-            converged,
+            status,
             residual,
             residual_history,
             timing,
@@ -210,7 +212,7 @@ mod tests {
     #[test]
     fn two_bus_matches_closed_form() {
         let res = solver().solve(&two_bus(), &SolverConfig::default());
-        assert!(res.converged, "residual {}", res.residual);
+        assert!(res.converged(), "residual {}", res.residual);
         let want = 50.0 + (2500.0_f64 - 100.0).sqrt(); // larger root
         assert!((res.v[1].re - want).abs() < 1e-3, "{} vs {want}", res.v[1].re);
         assert!(res.v[1].im.abs() < 1e-9);
@@ -231,7 +233,7 @@ mod tests {
         b.connect(1, 2, c(0.5, 0.2));
         let net = b.build().unwrap();
         let res = solver().solve(&net, &SolverConfig::default());
-        assert!(res.converged);
+        assert!(res.converged());
         assert_eq!(res.iterations, 1);
         for v in &res.v {
             assert_eq!(*v, c(7200.0, 0.0));
@@ -253,7 +255,7 @@ mod tests {
         }
         let net = b.build().unwrap();
         let res = solver().solve(&net, &SolverConfig::default());
-        assert!(res.converged);
+        assert!(res.converged());
         for i in 1..10 {
             assert!(
                 res.v[i].abs() < res.v[i - 1].abs(),
@@ -268,15 +270,42 @@ mod tests {
 
     #[test]
     fn nonconvergence_is_reported_not_hidden() {
-        // Absurd overload: 10 MVA behind 10 Ω from a 100 V source.
+        // Absurd overload: 10 MVA behind 10 Ω from a 100 V source. The
+        // first update is ~10⁶ V — four orders of magnitude above |V₀| —
+        // so the early-abort flags divergence instead of burning the
+        // whole iteration budget oscillating.
         let mut b = NetworkBuilder::new(c(100.0, 0.0));
         b.add_bus(Complex::ZERO);
         b.add_bus(c(10e6, 0.0));
         b.connect(0, 1, c(10.0, 0.0));
         let net = b.build().unwrap();
         let res = solver().solve(&net, &SolverConfig::new(1e-9, 20));
-        assert!(!res.converged);
-        assert_eq!(res.iterations, 20);
+        assert!(!res.converged());
+        assert!(res.status.is_failure(), "overload must be flagged, got {}", res.status);
+        assert!(res.iterations < 20, "early-abort must beat the iteration cap");
+    }
+
+    #[test]
+    fn voltage_collapse_is_numerical_failure_not_convergence() {
+        // Crafted collapse: V₀ = 100 V, Z = 10 Ω, S = 1000 VA (all real).
+        // Iteration 1: I = conj(S/V₀) = 10 A, so V₁ = 100 − 10·10 = 0
+        // exactly; iteration 2 divides by zero → Inf → NaN cascade. The
+        // old boolean API reported this as converged (NaN dropped from
+        // the fold made the residual look tiny).
+        let mut b = NetworkBuilder::new(c(100.0, 0.0));
+        b.add_bus(Complex::ZERO);
+        b.add_bus(c(1000.0, 0.0));
+        b.connect(0, 1, c(10.0, 0.0));
+        let net = b.build().unwrap();
+        // Disarm the growth cap so only the NaN path can fire.
+        let cfg = SolverConfig::new(1e-9, 50).with_divergence(1e300, 50);
+        let res = solver().solve(&net, &cfg);
+        assert!(
+            matches!(res.status, SolveStatus::NumericalFailure { .. }),
+            "collapse through V=0 must be a numerical failure, got {}",
+            res.status
+        );
+        assert!(!res.residual.is_finite(), "the corrupt residual must be surfaced");
     }
 
     #[test]
@@ -284,7 +313,7 @@ mod tests {
         let net = two_bus();
         let loose = solver().solve(&net, &SolverConfig::new(1e-3, 100));
         let tight = solver().solve(&net, &SolverConfig::new(1e-12, 100));
-        assert!(loose.converged && tight.converged);
+        assert!(loose.converged() && tight.converged());
         assert!(tight.iterations > loose.iterations);
     }
 

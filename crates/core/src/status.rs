@@ -1,0 +1,291 @@
+//! Structured convergence status and the shared loop-exit classifier.
+//!
+//! Every solver in this crate drives its host-side iteration loop off one
+//! scalar: the ∞-norm of the voltage update. A bare `converged: bool`
+//! cannot distinguish the four ways that loop can end — met the
+//! tolerance, ran out of iterations, blew up, or produced NaN/±Inf — and
+//! the last two used to masquerade as the first because `f64::max` and
+//! `d > delta` comparisons both silently drop NaN. [`SolveStatus`] makes
+//! the outcome explicit, and [`ConvergenceMonitor`] centralises the
+//! classification so all six solvers agree on it iteration-for-iteration.
+
+use std::fmt;
+
+use crate::config::SolverConfig;
+
+/// How a solve's iteration loop ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SolveStatus {
+    /// The ∞-norm voltage update met the tolerance.
+    Converged,
+    /// The iteration cap was reached with a finite, non-exploding
+    /// residual (slow convergence or a bound oscillation).
+    MaxIterations,
+    /// The residual exceeded the divergence cap, or grew for
+    /// `divergence_patience` consecutive iterations.
+    Diverged {
+        /// Iteration (1-based) at which divergence was declared.
+        at_iteration: u32,
+    },
+    /// The residual went NaN or ±Inf — voltages collapsed through zero
+    /// (`I = conj(S/V)` with `V → 0`) or overflowed.
+    NumericalFailure {
+        /// Iteration (1-based) at which the residual went non-finite.
+        at_iteration: u32,
+    },
+}
+
+impl SolveStatus {
+    /// `true` only for [`SolveStatus::Converged`].
+    pub fn is_converged(self) -> bool {
+        matches!(self, SolveStatus::Converged)
+    }
+
+    /// `true` for the abnormal exits ([`SolveStatus::Diverged`] and
+    /// [`SolveStatus::NumericalFailure`]); `MaxIterations` is slow, not
+    /// broken.
+    pub fn is_failure(self) -> bool {
+        matches!(self, SolveStatus::Diverged { .. } | SolveStatus::NumericalFailure { .. })
+    }
+
+    /// Severity rank for batch-wide summaries (higher is worse).
+    fn severity(self) -> u8 {
+        match self {
+            SolveStatus::Converged => 0,
+            SolveStatus::MaxIterations => 1,
+            SolveStatus::Diverged { .. } => 2,
+            SolveStatus::NumericalFailure { .. } => 3,
+        }
+    }
+
+    /// The worse of two statuses (batch reductions keep the most severe
+    /// scenario outcome).
+    pub fn worse(self, other: SolveStatus) -> SolveStatus {
+        if other.severity() > self.severity() {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Process exit code for CLI front-ends: 0 converged, 2 iteration cap,
+    /// 3 diverged, 4 numerical failure (1 is reserved for usage/IO
+    /// errors).
+    pub fn exit_code(self) -> u8 {
+        match self {
+            SolveStatus::Converged => 0,
+            SolveStatus::MaxIterations => 2,
+            SolveStatus::Diverged { .. } => 3,
+            SolveStatus::NumericalFailure { .. } => 4,
+        }
+    }
+}
+
+impl fmt::Display for SolveStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveStatus::Converged => write!(f, "converged"),
+            SolveStatus::MaxIterations => write!(f, "max-iterations"),
+            SolveStatus::Diverged { at_iteration } => {
+                write!(f, "diverged (iteration {at_iteration})")
+            }
+            SolveStatus::NumericalFailure { at_iteration } => {
+                write!(f, "numerical-failure (iteration {at_iteration})")
+            }
+        }
+    }
+}
+
+/// Per-iteration residual classifier shared by every solver.
+///
+/// Feed it each iteration's ∞-norm residual via [`observe`]; it answers
+/// with `Some(status)` when the loop should stop. The checks, in order:
+///
+/// 1. non-finite residual → [`SolveStatus::NumericalFailure`],
+/// 2. residual ≤ tolerance → [`SolveStatus::Converged`],
+/// 3. residual > `divergence_cap · |V₀|` → [`SolveStatus::Diverged`],
+/// 4. residual grew for `divergence_patience` consecutive iterations →
+///    [`SolveStatus::Diverged`].
+///
+/// Healthy solves only ever trip check 2, so iteration counts are
+/// byte-identical to the pre-monitor loops.
+///
+/// [`observe`]: ConvergenceMonitor::observe
+#[derive(Clone, Debug)]
+pub struct ConvergenceMonitor {
+    tol: f64,
+    cap: f64,
+    patience: u32,
+    prev: f64,
+    growth_streak: u32,
+}
+
+impl ConvergenceMonitor {
+    /// Creates a monitor for a solve with the given source-voltage
+    /// magnitude (both the tolerance and the divergence cap scale with
+    /// it).
+    pub fn new(cfg: &SolverConfig, source_mag: f64) -> Self {
+        ConvergenceMonitor {
+            tol: cfg.tol_volts(source_mag),
+            cap: cfg.divergence_cap_volts(source_mag),
+            patience: cfg.divergence_patience,
+            prev: f64::INFINITY,
+            growth_streak: 0,
+        }
+    }
+
+    /// Absolute voltage tolerance of this solve, volts.
+    pub fn tol(&self) -> f64 {
+        self.tol
+    }
+
+    /// Absolute divergence cap of this solve, volts.
+    pub fn cap(&self) -> f64 {
+        self.cap
+    }
+
+    /// Classifies iteration `iteration`'s residual. `Some(status)` means
+    /// the loop must stop with that status; `None` means keep iterating.
+    pub fn observe(&mut self, iteration: u32, residual: f64) -> Option<SolveStatus> {
+        if !residual.is_finite() {
+            return Some(SolveStatus::NumericalFailure { at_iteration: iteration });
+        }
+        if residual <= self.tol {
+            return Some(SolveStatus::Converged);
+        }
+        if residual > self.cap {
+            return Some(SolveStatus::Diverged { at_iteration: iteration });
+        }
+        if residual > self.prev {
+            self.growth_streak += 1;
+            if self.growth_streak >= self.patience {
+                return Some(SolveStatus::Diverged { at_iteration: iteration });
+            }
+        } else {
+            self.growth_streak = 0;
+        }
+        self.prev = residual;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SolverConfig {
+        SolverConfig::new(1e-6, 100)
+    }
+
+    #[test]
+    fn converged_when_residual_meets_tolerance() {
+        let mut m = ConvergenceMonitor::new(&cfg(), 100.0);
+        assert_eq!(m.observe(1, 1.0), None);
+        assert_eq!(m.observe(2, 1e-5), Some(SolveStatus::Converged));
+    }
+
+    #[test]
+    fn nan_and_inf_are_numerical_failures_not_convergence() {
+        let mut m = ConvergenceMonitor::new(&cfg(), 100.0);
+        assert_eq!(
+            m.observe(3, f64::NAN),
+            Some(SolveStatus::NumericalFailure { at_iteration: 3 })
+        );
+        let mut m = ConvergenceMonitor::new(&cfg(), 100.0);
+        assert_eq!(
+            m.observe(1, f64::INFINITY),
+            Some(SolveStatus::NumericalFailure { at_iteration: 1 })
+        );
+    }
+
+    #[test]
+    fn residual_over_cap_diverges_immediately() {
+        let mut m = ConvergenceMonitor::new(&cfg(), 100.0);
+        // Default cap is 1e3·|V₀| = 1e5 V here.
+        assert_eq!(m.observe(1, 2e5), Some(SolveStatus::Diverged { at_iteration: 1 }));
+    }
+
+    #[test]
+    fn sustained_growth_diverges_after_patience() {
+        let mut m = ConvergenceMonitor::new(&cfg(), 100.0);
+        let patience = cfg().divergence_patience;
+        let mut r = 1.0;
+        let mut stopped = None;
+        for k in 1..=patience + 1 {
+            r *= 1.5; // grows every iteration, stays under the cap
+            if let Some(s) = m.observe(k, r) {
+                stopped = Some((k, s));
+                break;
+            }
+        }
+        let (k, s) = stopped.expect("sustained growth must be declared divergence");
+        assert_eq!(s, SolveStatus::Diverged { at_iteration: k });
+        // Iteration 1 establishes the baseline; growth is counted from
+        // iteration 2 on, so the streak fills at `patience + 1`.
+        assert_eq!(k, patience + 1, "patience counts consecutive growing iterations");
+    }
+
+    #[test]
+    fn a_single_growth_blip_is_forgiven() {
+        let mut m = ConvergenceMonitor::new(&cfg(), 100.0);
+        assert_eq!(m.observe(1, 10.0), None);
+        assert_eq!(m.observe(2, 12.0), None, "one uptick is not divergence");
+        assert_eq!(m.observe(3, 8.0), None);
+        for k in 0..cfg().divergence_patience {
+            // Alternating decay never accumulates a streak.
+            let r = 7.0 - 0.1 * k as f64;
+            assert_eq!(m.observe(4 + k, r), None);
+        }
+    }
+
+    #[test]
+    fn healthy_geometric_decay_runs_to_convergence() {
+        let mut m = ConvergenceMonitor::new(&cfg(), 7200.0);
+        let mut r = 700.0;
+        for k in 1..60 {
+            r *= 0.5;
+            match m.observe(k, r) {
+                None => continue,
+                Some(SolveStatus::Converged) => return,
+                Some(other) => panic!("healthy decay misclassified as {other:?}"),
+            }
+        }
+        panic!("decay must reach the tolerance");
+    }
+
+    #[test]
+    fn severity_order_and_worse() {
+        let d = SolveStatus::Diverged { at_iteration: 2 };
+        let n = SolveStatus::NumericalFailure { at_iteration: 5 };
+        assert_eq!(SolveStatus::Converged.worse(SolveStatus::MaxIterations), SolveStatus::MaxIterations);
+        assert_eq!(SolveStatus::MaxIterations.worse(d), d);
+        assert_eq!(d.worse(n), n);
+        assert_eq!(n.worse(SolveStatus::Converged), n);
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_and_reserved() {
+        let codes = [
+            SolveStatus::Converged.exit_code(),
+            SolveStatus::MaxIterations.exit_code(),
+            SolveStatus::Diverged { at_iteration: 1 }.exit_code(),
+            SolveStatus::NumericalFailure { at_iteration: 1 }.exit_code(),
+        ];
+        assert_eq!(codes[0], 0);
+        for (i, &a) in codes.iter().enumerate() {
+            assert_ne!(a, 1, "exit 1 is reserved for usage errors");
+            for &b in &codes[i + 1..] {
+                assert_ne!(a, b, "exit codes must be distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_humane() {
+        assert_eq!(SolveStatus::Converged.to_string(), "converged");
+        assert_eq!(
+            SolveStatus::NumericalFailure { at_iteration: 7 }.to_string(),
+            "numerical-failure (iteration 7)"
+        );
+    }
+}

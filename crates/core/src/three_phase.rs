@@ -26,12 +26,13 @@ use std::time::Instant;
 use numc::{CMat3, CVec3, Complex};
 use powergrid::three_phase::ThreePhaseNetwork;
 use powergrid::LevelOrder;
-use primitives::ops::{AddCVec3, MaxF64};
+use primitives::ops::{AddCVec3, MaxAbsF64, ScanOp};
 use primitives::{fill, launch_map, reduce, segscan_inclusive_range};
 use simt::{Device, HostProps};
 
 use crate::config::SolverConfig;
 use crate::report::{PhaseTimes, Timing};
+use crate::status::{ConvergenceMonitor, SolveStatus};
 
 /// Per-phase injection current at the present voltage.
 #[inline]
@@ -122,8 +123,8 @@ pub struct Solve3Result {
     pub j: Vec<CVec3>,
     /// Iterations executed.
     pub iterations: u32,
-    /// Whether the tolerance was met.
-    pub converged: bool,
+    /// How the iteration loop ended.
+    pub status: SolveStatus,
     /// Final worst-phase `|ΔV|`, volts.
     pub residual: f64,
     /// Timing summary.
@@ -131,14 +132,21 @@ pub struct Solve3Result {
 }
 
 impl Solve3Result {
+    /// Whether the tolerance was met.
+    pub fn converged(&self) -> bool {
+        self.status.is_converged()
+    }
+
     /// Worst (lowest) phase voltage magnitude over all buses and phases,
-    /// with its bus.
+    /// with its bus. Non-finite magnitudes are surfaced, not dropped (as
+    /// in [`crate::SolveResult::min_voltage`]); the fold runs per phase
+    /// because `CVec3::abs_min` uses `f64::min`, which drops a lone NaN
+    /// phase.
     pub fn min_phase_voltage(&self) -> (f64, usize) {
-        self.v
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (v.abs_min(), i))
-            .fold((f64::INFINITY, 0), |acc, x| if x.0 < acc.0 { x } else { acc })
+        let (mag, flat) = crate::report::min_magnitude_surfacing_nonfinite(
+            self.v.iter().flat_map(|v| v.phases().into_iter().map(|p| p.abs())),
+        );
+        (mag, flat / 3)
     }
 
     /// Largest voltage-unbalance factor over all buses, with its bus.
@@ -174,7 +182,7 @@ impl Serial3Solver {
         let wall0 = Instant::now();
         let n = a.len();
         let v0 = a.source;
-        let tol = cfg.tol_volts(v0.abs_max());
+        let mut monitor = ConvergenceMonitor::new(cfg, v0.abs_max());
         // Per-bus state: S, V, I, J (48 B each) + Z (144 B) + topology.
         let working_set = 360 * n as u64;
 
@@ -187,7 +195,7 @@ impl Serial3Solver {
         let mut iterations = 0;
         let mut residual = f64::MAX;
         let mut residual_history = Vec::new();
-        let mut converged = false;
+        let mut status = SolveStatus::MaxIterations;
 
         while iterations < cfg.max_iter {
             iterations += 1;
@@ -211,14 +219,14 @@ impl Serial3Solver {
                 working_set,
             );
 
+            // NaN-propagating fold: `d > delta` is false for NaN and
+            // would hide corrupt phases from the convergence norm.
             let mut delta: f64 = 0.0;
             for p in 1..n {
                 let parent = a.parent_pos[p] as usize;
                 let new_v = v[parent] - a.z[p].mul_vec(j[p]);
                 let d = (new_v - v[p]).abs_max();
-                if d > delta {
-                    delta = d;
-                }
+                delta = MaxAbsF64::combine(delta, d);
                 v[p] = new_v;
             }
             phases.forward_us += self.host.region_time_us_ws(
@@ -230,8 +238,8 @@ impl Serial3Solver {
 
             residual = delta;
             residual_history.push(delta);
-            if delta <= tol {
-                converged = true;
+            if let Some(s) = monitor.observe(iterations, delta) {
+                status = s;
                 break;
             }
         }
@@ -247,7 +255,7 @@ impl Serial3Solver {
             v: a.levels.unpermute(&v),
             j: a.levels.unpermute(&j),
             iterations,
-            converged,
+            status,
             residual,
             timing,
         }
@@ -284,7 +292,7 @@ impl Gpu3Solver {
         let n = a.len();
         let num_levels = a.levels.num_levels();
         let v0 = a.source;
-        let tol = cfg.tol_volts(v0.abs_max());
+        let mut monitor = ConvergenceMonitor::new(cfg, v0.abs_max());
 
         let mut phases = PhaseTimes::default();
         let mut transfer_us = 0.0;
@@ -311,7 +319,7 @@ impl Gpu3Solver {
 
         let mut iterations = 0;
         let mut residual = f64::MAX;
-        let mut converged = false;
+        let mut status = SolveStatus::MaxIterations;
 
         while iterations < cfg.max_iter {
             iterations += 1;
@@ -393,15 +401,15 @@ impl Gpu3Solver {
 
             // Convergence.
             let mark = dev.timeline().mark();
-            let delta = reduce::<f64, MaxF64>(dev, &delta_buf);
+            let delta = reduce::<f64, MaxAbsF64>(dev, &delta_buf);
             let b = dev.timeline().breakdown_since(mark);
             phases.convergence_us += b.total_us();
             transfer_us += b.htod_us + b.dtoh_us;
             transfer_sweep_us += b.htod_us + b.dtoh_us;
 
             residual = delta;
-            if delta <= tol {
-                converged = true;
+            if let Some(s) = monitor.observe(iterations, delta) {
+                status = s;
                 break;
             }
         }
@@ -423,7 +431,7 @@ impl Gpu3Solver {
             v: a.levels.unpermute(&v_pos),
             j: a.levels.unpermute(&j_pos),
             iterations,
-            converged,
+            status,
             residual,
             timing,
         }
@@ -469,7 +477,7 @@ mod tests {
         let cfg = SolverConfig::default();
         let r1 = SerialSolver::new(HostProps::paper_rig()).solve(&net1, &cfg);
         let r3 = Serial3Solver::new(HostProps::paper_rig()).solve(&net3, &cfg);
-        assert!(r1.converged && r3.converged);
+        assert!(r1.converged() && r3.converged());
         assert_eq!(r1.iterations, r3.iterations, "identical per-phase iterates");
 
         // Phase a is un-rotated: matches the single-phase solution.
@@ -491,7 +499,7 @@ mod tests {
         let cfg = SolverConfig::default();
         let s = Serial3Solver::new(HostProps::paper_rig()).solve(&net, &cfg);
         let g = gpu3().solve(&net, &cfg);
-        assert!(s.converged && g.converged);
+        assert!(s.converged() && g.converged());
         assert_eq!(s.iterations, g.iterations);
         for bus in 0..net.num_buses() {
             for (x, y) in s.v[bus].phases().iter().zip(g.v[bus].phases()) {
@@ -504,7 +512,7 @@ mod tests {
     fn unbalanced_feeder_shows_phase_separation() {
         let net = ieee13_unbalanced();
         let res = Serial3Solver::new(HostProps::paper_rig()).solve(&net, &SolverConfig::default());
-        assert!(res.converged);
+        assert!(res.converged());
         let (unb, bus) = res.max_unbalance();
         assert!(unb > 0.005, "published ieee13 loading is visibly unbalanced: {unb} at {bus}");
         // Phase with the heaviest load sags hardest at bus 675 (a-phase
@@ -517,7 +525,7 @@ mod tests {
     fn kcl_holds_per_phase() {
         let net = ieee13_unbalanced();
         let res = Serial3Solver::new(HostProps::paper_rig()).solve(&net, &SolverConfig::new(1e-10, 200));
-        assert!(res.converged);
+        assert!(res.converged());
         let n = net.num_buses();
         let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
         for bus in 0..n {

@@ -35,7 +35,7 @@ fn cfg() -> SolverConfig {
 }
 
 fn check(res: &SolveResult, who: &str, tol_v: f64) {
-    assert!(res.converged, "{who} must converge");
+    assert!(res.converged(), "{who} must converge");
     for &(bus, re, im) in &GOLDEN_V {
         assert!(
             (res.v[bus].re - re).abs() < tol_v && (res.v[bus].im - im).abs() < tol_v,

@@ -17,7 +17,7 @@ fn per_unit_and_si_solutions_agree() {
 
         let si = SerialSolver::new(HostProps::paper_rig()).solve(&net, &cfg);
         let pu = SerialSolver::new(HostProps::paper_rig()).solve(&pu_net, &cfg);
-        assert!(si.converged && pu.converged);
+        assert!(si.converged() && pu.converged());
         assert_eq!(si.iterations, pu.iterations, "scale-free iterates");
 
         for bus in 0..net.num_buses() {
@@ -43,7 +43,7 @@ fn gpu_solver_is_also_scale_free() {
     let mut g2 = GpuSolver::new(Device::with_workers(DeviceProps::paper_rig(), 2));
     let si = g1.solve(&net, &cfg);
     let pu = g2.solve(&pu_net, &cfg);
-    assert!(si.converged && pu.converged);
+    assert!(si.converged() && pu.converged());
     for bus in 0..net.num_buses() {
         assert!((base.v_to_pu(si.v[bus]) - pu.v[bus]).abs() < 1e-9);
     }
@@ -65,7 +65,7 @@ mod warm_start {
         let solver = SerialSolver::new(HostProps::paper_rig());
 
         let base = solver.solve_arrays(&arrays, &cfg);
-        assert!(base.converged);
+        assert!(base.converged());
 
         // Next time step: loads drift 2%.
         let mut next = net.clone();
@@ -74,7 +74,7 @@ mod warm_start {
 
         let cold = solver.solve_arrays(&next_arrays, &cfg);
         let warm = solver.solve_warm(&next_arrays, &cfg, Some(&base.v));
-        assert!(cold.converged && warm.converged);
+        assert!(cold.converged() && warm.converged());
         assert!(
             warm.iterations < cold.iterations,
             "warm {} must beat cold {}",
@@ -105,7 +105,7 @@ mod warm_start {
         let warm_cpu = serial.solve_warm(&next_arrays, &cfg, Some(&base.v));
         let mut gpu = GpuSolver::new(Device::with_workers(DeviceProps::paper_rig(), 2));
         let warm_gpu = gpu.solve_warm(&next_arrays, &cfg, Some(&base.v));
-        assert!(warm_cpu.converged && warm_gpu.converged);
+        assert!(warm_cpu.converged() && warm_gpu.converged());
         assert_eq!(warm_cpu.iterations, warm_gpu.iterations);
         for bus in 0..net.num_buses() {
             assert!((warm_cpu.v[bus] - warm_gpu.v[bus]).abs() < 1e-7);

@@ -37,7 +37,7 @@ fn gpu_solver_is_race_free_under_all_strategies() {
             let mut solver =
                 GpuSolver::with_strategy(Device::new(DeviceProps::paper_rig()), strategy);
             let res = solver.solve(&net, &cfg);
-            assert!(res.converged, "{strategy:?} must converge under racecheck");
+            assert!(res.converged(), "{strategy:?} must converge under racecheck");
         }
     }
 }
@@ -47,7 +47,7 @@ fn jump_solver_is_race_free() {
     let cfg = SolverConfig::default();
     for net in small_nets() {
         let mut solver = JumpSolver::new(Device::new(DeviceProps::paper_rig()));
-        assert!(solver.solve(&net, &cfg).converged);
+        assert!(solver.solve(&net, &cfg).converged());
     }
 }
 
@@ -59,7 +59,7 @@ fn batch_solver_is_race_free() {
         .map(|k| net.buses().iter().map(|b| b.load * (0.6 + 0.2 * k as f64)).collect())
         .collect();
     let mut solver = BatchSolver::new(Device::new(DeviceProps::paper_rig()));
-    assert!(solver.solve(net, &scenarios, &cfg).converged);
+    assert!(solver.solve(net, &scenarios, &cfg).converged());
 }
 
 #[test]

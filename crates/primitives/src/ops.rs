@@ -71,29 +71,76 @@ impl ScanOp<Complex> for AddComplex {
 
 /// `f64` maximum — the operator of the convergence check (∞-norm of the
 /// voltage update).
+///
+/// NaN *propagates*: if either operand is NaN the result is NaN. Rust's
+/// `f64::max` silently drops NaN operands, which would let a solver whose
+/// residual went NaN report a small (finite) ∞-norm and claim
+/// convergence; an absorbing NaN keeps corrupt data visible all the way
+/// up the reduction tree. The operator stays associative because NaN is
+/// absorbing under this definition.
 pub struct MaxF64;
 impl ScanOp<f64> for MaxF64 {
     fn identity() -> f64 {
         f64::NEG_INFINITY
     }
     fn combine(a: f64, b: f64) -> f64 {
-        a.max(b)
+        if a.is_nan() {
+            a
+        } else if b.is_nan() {
+            b
+        } else {
+            a.max(b)
+        }
     }
     const FLOPS: u64 = 1;
     const NAME: &'static str = "max_f64";
 }
 
-/// `f64` minimum (voltage-profile reporting).
+/// `f64` minimum (voltage-profile reporting). NaN propagates, as in
+/// [`MaxF64`].
 pub struct MinF64;
 impl ScanOp<f64> for MinF64 {
     fn identity() -> f64 {
         f64::INFINITY
     }
     fn combine(a: f64, b: f64) -> f64 {
-        a.min(b)
+        if a.is_nan() {
+            a
+        } else if b.is_nan() {
+            b
+        } else {
+            a.min(b)
+        }
     }
     const FLOPS: u64 = 1;
     const NAME: &'static str = "min_f64";
+}
+
+/// ∞-norm accumulator: NaN-propagating maximum of absolute values — the
+/// operator of every solver's convergence reduction.
+///
+/// Inputs are the per-bus `|ΔV|` magnitudes (non-negative by
+/// construction, or NaN when an update went `Inf − Inf`/`0/0`). On that
+/// domain `0.0` is a true identity and the operator is associative:
+/// results are non-negative, so the inner `abs` is idempotent, and NaN is
+/// absorbing. For *signed* inputs the identity law would not hold
+/// (`combine(x, 0) = |x|`), so keep this operator on magnitudes.
+pub struct MaxAbsF64;
+impl ScanOp<f64> for MaxAbsF64 {
+    fn identity() -> f64 {
+        0.0
+    }
+    fn combine(a: f64, b: f64) -> f64 {
+        if a.is_nan() {
+            a
+        } else if b.is_nan() {
+            b
+        } else {
+            a.abs().max(b.abs())
+        }
+    }
+    const FLOPS: u64 = 1;
+    const NAME: &'static str = "max_abs_f64";
 }
 
 /// The (flag, value) pair a segmented scan operates on, with the standard
@@ -138,6 +185,51 @@ mod tests {
     fn max_min_behave() {
         assert_eq!(MaxF64::combine(2.0, 3.0), 3.0);
         assert_eq!(MinF64::combine(2.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn max_min_propagate_nan_from_either_side() {
+        assert!(MaxF64::combine(f64::NAN, 3.0).is_nan());
+        assert!(MaxF64::combine(3.0, f64::NAN).is_nan());
+        assert!(MaxF64::combine(f64::NAN, f64::NEG_INFINITY).is_nan());
+        assert!(MinF64::combine(f64::NAN, 3.0).is_nan());
+        assert!(MinF64::combine(3.0, f64::NAN).is_nan());
+        assert!(MinF64::combine(f64::INFINITY, f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn max_min_keep_infinities() {
+        assert_eq!(MaxF64::combine(f64::INFINITY, 1.0), f64::INFINITY);
+        assert_eq!(MaxF64::combine(f64::NEG_INFINITY, 1.0), 1.0);
+        assert_eq!(MinF64::combine(f64::NEG_INFINITY, 1.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn max_abs_is_an_inf_norm_on_magnitudes() {
+        assert_eq!(MaxAbsF64::combine(MaxAbsF64::identity(), 3.0), 3.0);
+        assert_eq!(MaxAbsF64::combine(2.0, 5.0), 5.0);
+        assert_eq!(MaxAbsF64::combine(-7.0, 2.0), 7.0, "signed inputs fold to magnitudes");
+        assert!(MaxAbsF64::combine(f64::NAN, 0.0).is_nan());
+        assert!(MaxAbsF64::combine(0.0, f64::NAN).is_nan());
+        assert_eq!(MaxAbsF64::combine(f64::INFINITY, 1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn nan_propagating_max_stays_associative_on_samples() {
+        let vals = [1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -2.0, 0.0];
+        let eq = |a: f64, b: f64| (a.is_nan() && b.is_nan()) || a == b;
+        for &a in &vals {
+            for &b in &vals {
+                for &c in &vals {
+                    let left = MaxF64::combine(MaxF64::combine(a, b), c);
+                    let right = MaxF64::combine(a, MaxF64::combine(b, c));
+                    assert!(eq(left, right), "max: ({a}, {b}, {c})");
+                    let left = MaxAbsF64::combine(MaxAbsF64::combine(a.abs(), b.abs()), c.abs());
+                    let right = MaxAbsF64::combine(a.abs(), MaxAbsF64::combine(b.abs(), c.abs()));
+                    assert!(eq(left, right), "max_abs: ({a}, {b}, {c})");
+                }
+            }
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use check::gen::{just, one_of, tuple2, tuple3, u64_any, u64_in, usize_in, vec_of, Gen};
 use check::{checker, prop_assert, prop_assert_eq, CaseResult};
-use primitives::ops::{AddF64, AddU32, MaxF64};
+use primitives::ops::{AddF64, AddU32, MaxAbsF64, MaxF64, MinF64};
 use primitives::{
     compact, gather, host, reduce, scan_exclusive, scan_inclusive, scatter,
     segment_reduce_direct, segment_totals, segscan_inclusive,
@@ -53,6 +53,82 @@ fn reduce_max_f64_matches_host() {
             let mut d = dev();
             let buf = d.alloc_from(xs);
             prop_assert_eq!(reduce::<f64, MaxF64>(&mut d, &buf), host::reduce::<f64, MaxF64>(xs));
+            Ok(())
+        },
+    );
+}
+
+/// f64 equality that treats NaN as equal to NaN (reductions over corrupt
+/// data must agree on *which* non-value they produce, not on NaN != NaN).
+fn f64_bitwise_agree(a: f64, b: f64) -> bool {
+    (a.is_nan() && b.is_nan()) || a == b
+}
+
+#[test]
+fn reduce_max_f64_matches_host_on_nonfinite_inputs() {
+    use check::gen::f64_in;
+    // Finite values with NaN/±Inf injected at seed-chosen positions: the
+    // device tree reduction (identity-padded tiles, arbitrary fold shape)
+    // and the sequential host fold must agree, including propagating NaN.
+    checker("reduce_max_f64_matches_host_on_nonfinite_inputs").cases(48).run(
+        tuple3(interesting_len(), u64_any(), f64_in(-1e6..1e6)),
+        |&(n, seed, base)| -> CaseResult {
+            let specials = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY];
+            let xs: Vec<f64> = (0..n)
+                .map(|i| {
+                    let h = seed.wrapping_mul(i as u64 + 11).wrapping_add(0x9e3779b97f4a7c15);
+                    if h % 5 == 0 {
+                        specials[(h >> 8) as usize % specials.len()]
+                    } else {
+                        base + (h >> 16) as f64
+                    }
+                })
+                .collect();
+            let mut d = dev();
+            let buf = d.alloc_from(&xs);
+            let got_max = reduce::<f64, MaxF64>(&mut d, &buf);
+            let want_max = host::reduce::<f64, MaxF64>(&xs);
+            prop_assert!(
+                f64_bitwise_agree(got_max, want_max),
+                "MaxF64 device {got_max} vs host {want_max}"
+            );
+            let got_min = reduce::<f64, MinF64>(&mut d, &buf);
+            let want_min = host::reduce::<f64, MinF64>(&xs);
+            prop_assert!(
+                f64_bitwise_agree(got_min, want_min),
+                "MinF64 device {got_min} vs host {want_min}"
+            );
+            // NaN anywhere must surface as NaN from both sides.
+            if xs.iter().any(|x| x.is_nan()) {
+                prop_assert!(got_max.is_nan() && want_max.is_nan(), "NaN was dropped");
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn reduce_max_abs_f64_matches_host_on_magnitudes() {
+    checker("reduce_max_abs_f64_matches_host_on_magnitudes").cases(48).run(
+        tuple2(interesting_len(), u64_any()),
+        |&(n, seed)| -> CaseResult {
+            // Magnitude-domain inputs (non-negative or NaN), as produced
+            // by the solvers' |ΔV| buffers.
+            let xs: Vec<f64> = (0..n)
+                .map(|i| {
+                    let h = seed.wrapping_mul(i as u64 + 3).wrapping_add(0xd1b54a32d192ed03);
+                    match h % 7 {
+                        0 => f64::NAN,
+                        1 => f64::INFINITY,
+                        _ => (h >> 12) as f64 * 1e-6,
+                    }
+                })
+                .collect();
+            let mut d = dev();
+            let buf = d.alloc_from(&xs);
+            let got = reduce::<f64, MaxAbsF64>(&mut d, &buf);
+            let want = host::reduce::<f64, MaxAbsF64>(&xs);
+            prop_assert!(f64_bitwise_agree(got, want), "MaxAbsF64 device {got} vs host {want}");
             Ok(())
         },
     );

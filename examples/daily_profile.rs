@@ -27,7 +27,7 @@ fn main() {
 
     let mut solver = BatchSolver::new(Device::new(DeviceProps::paper_rig()));
     let res = solver.solve(&net, &scenarios, &cfg);
-    assert!(res.converged, "all 24 hours must converge");
+    assert!(res.converged(), "all 24 hours must converge");
 
     let v0 = net.source_voltage().abs();
     println!("24-hour load flow on the IEEE-123-style feeder ({} buses)", net.num_buses());

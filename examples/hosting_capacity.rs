@@ -58,7 +58,7 @@ fn main() {
         let mut best: Option<(f64, f64)> = None;
         for (k, &kw) in SIZES_KW.iter().enumerate() {
             let min_pu = res.v[k].iter().map(|v| v.abs()).fold(f64::INFINITY, f64::min) / v0;
-            if res.converged && min_pu >= V_FLOOR_PU {
+            if res.converged() && min_pu >= V_FLOOR_PU {
                 best = Some((kw, min_pu));
             }
         }

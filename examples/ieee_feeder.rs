@@ -11,7 +11,7 @@ use simt::HostProps;
 fn report(name: &str, net: &RadialNetwork) {
     let cfg = SolverConfig::default();
     let res = SerialSolver::new(HostProps::paper_rig()).solve(net, &cfg);
-    assert!(res.converged, "{name} must converge");
+    assert!(res.converged(), "{name} must converge");
     fbs::validate::assert_physical(net, &res, 1e-4);
 
     let levels = LevelOrder::new(net);

@@ -27,7 +27,7 @@ fn main() {
     let cfg = SolverConfig::default();
 
     let serial = SerialSolver::new(HostProps::paper_rig()).solve(&net, &cfg);
-    assert!(serial.converged);
+    assert!(serial.converged());
     println!(
         "serial CPU : {:9.1} µs modeled ({} iterations)",
         serial.timing.total_us(),
@@ -36,7 +36,7 @@ fn main() {
 
     let mut gpu = GpuSolver::new(Device::new(DeviceProps::paper_rig()));
     let par = gpu.solve(&net, &cfg);
-    assert!(par.converged);
+    assert!(par.converged());
     fbs::validate::assert_physical(&net, &par, 1e-4);
     let p = par.timing.phases;
     println!("GPU        : {:9.1} µs modeled ({} iterations)", par.timing.total_us(), par.iterations);

@@ -30,7 +30,7 @@ fn main() {
 
     // Serial CPU solve — the paper's baseline.
     let serial = SerialSolver::new(HostProps::paper_rig()).solve(&net, &cfg);
-    println!("serial: converged={} in {} iterations", serial.converged, serial.iterations);
+    println!("serial: converged={} in {} iterations", serial.converged(), serial.iterations);
     for bus in 0..net.num_buses() {
         println!(
             "  V[{bus}] = {:7.1} V  ∠{:6.3}°   J[{bus}] = {:6.1} A",
@@ -45,7 +45,7 @@ fn main() {
     // GPU solve — identical physics, level-synchronous kernels.
     let mut gpu = GpuSolver::new(Device::new(DeviceProps::paper_rig()));
     let par = gpu.solve(&net, &cfg);
-    println!("\ngpu:    converged={} in {} iterations", par.converged, par.iterations);
+    println!("\ngpu:    converged={} in {} iterations", par.converged(), par.iterations);
     let worst = net
         .buses()
         .iter()

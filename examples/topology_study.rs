@@ -35,7 +35,7 @@ fn main() {
         let s = SerialSolver::new(HostProps::paper_rig()).solve(net, &cfg);
         let mut gpu = GpuSolver::new(Device::new(DeviceProps::paper_rig()));
         let g = gpu.solve(net, &cfg);
-        assert!(s.converged && g.converged, "{name}");
+        assert!(s.converged() && g.converged(), "{name}");
         println!(
             "{:<32} {:>7} {:>11.1} {:>12.1} {:>12.1} {:>8.2}x",
             name,

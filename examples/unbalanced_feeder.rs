@@ -13,7 +13,7 @@ fn main() {
     let v0 = net.source_voltage().abs_max();
 
     let res = Serial3Solver::new(HostProps::paper_rig()).solve(&net, &cfg);
-    assert!(res.converged);
+    assert!(res.converged());
     println!(
         "IEEE 13-node, unbalanced three-phase solve: {} iterations (residual {:.2e} V)\n",
         res.iterations, res.residual

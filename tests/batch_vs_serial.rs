@@ -28,7 +28,7 @@ fn batch_matches_independent_serial_solves() {
 
             let mut solver = BatchSolver::new(Device::with_workers(DeviceProps::paper_rig(), 2));
             let batch = solver.solve(&net, &scenarios, &cfg);
-            prop_assume!(batch.converged);
+            prop_assume!(batch.converged());
 
             let v0 = net.source_voltage().abs();
             let tol_v = cfg.tol_volts(v0);
@@ -36,7 +36,7 @@ fn batch_matches_independent_serial_solves() {
                 let mut scaled = net.clone();
                 scaled.scale_loads(scale);
                 let single = SerialSolver::new(HostProps::paper_rig()).solve(&scaled, &cfg);
-                prop_assert!(single.converged);
+                prop_assert!(single.converged());
                 for bus in 0..n {
                     prop_assert!(
                         (batch.v[s][bus] - single.v[bus]).abs() < 20.0 * tol_v,

@@ -66,7 +66,7 @@ fn solver_iteration_counts_are_reproducible() {
     ] {
         let first = solve(&net);
         let second = solve(&net);
-        assert!(first.converged, "{who} must converge");
+        assert!(first.converged(), "{who} must converge");
         assert_eq!(
             first.iterations, second.iterations,
             "{who}: iteration count must be reproducible run-to-run"

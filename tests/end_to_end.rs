@@ -24,7 +24,7 @@ fn generate_serialize_solve_validate() {
     let gpu = gpu_solver.solve(&net, &cfg);
 
     for (name, res) in [("serial", &serial), ("multicore", &multicore), ("gpu", &gpu)] {
-        assert!(res.converged, "{name} must converge");
+        assert!(res.converged(), "{name} must converge");
         fbs::validate::assert_physical(&net, res, 1e-5);
     }
     assert_eq!(serial.iterations, gpu.iterations);
@@ -47,7 +47,7 @@ fn gpu_timeline_accounts_for_the_whole_solve() {
     let net = balanced_binary(511, &GenSpec::default(), &mut rng);
     let mut solver = GpuSolver::new(Device::with_workers(DeviceProps::paper_rig(), 2));
     let res = solver.solve(&net, &SolverConfig::default());
-    assert!(res.converged);
+    assert!(res.converged());
 
     // Phase attribution must cover the full timeline (no lost events).
     let timeline_total = solver.device().timeline().total_modeled_us();

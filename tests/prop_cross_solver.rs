@@ -45,9 +45,9 @@ fn gpu_matches_serial_on_arbitrary_trees() {
             let mut gpu = GpuSolver::new(Device::with_workers(DeviceProps::paper_rig(), 2));
             let par = gpu.solve(&net, &cfg);
 
-            prop_assert_eq!(serial.converged, par.converged);
+            prop_assert_eq!(serial.converged(), par.converged());
             prop_assert_eq!(serial.iterations, par.iterations);
-            if serial.converged {
+            if serial.converged() {
                 let scale = net.source_voltage().abs();
                 for bus in 0..n {
                     prop_assert!(
@@ -94,7 +94,7 @@ fn backward_strategies_agree() {
                 BackwardStrategy::Direct,
             )
             .solve(&net, &cfg);
-            prop_assert_eq!(a.converged, b.converged);
+            prop_assert_eq!(a.converged(), b.converged());
             let scale = net.source_voltage().abs();
             for bus in 0..n {
                 prop_assert!((a.v[bus] - b.v[bus]).abs() < 1e-8 * scale);
@@ -121,8 +121,8 @@ fn three_phase_gpu_matches_serial() {
             let s = Serial3Solver::new(HostProps::paper_rig()).solve(&net3, &cfg);
             let mut gpu = Gpu3Solver::new(Device::with_workers(DeviceProps::paper_rig(), 2));
             let g = gpu.solve(&net3, &cfg);
-            prop_assert_eq!(s.converged, g.converged);
-            if s.converged {
+            prop_assert_eq!(s.converged(), g.converged());
+            if s.converged() {
                 let scale = net3.source_voltage().abs_max();
                 for bus in 0..n {
                     for (x, y) in s.v[bus].phases().iter().zip(g.v[bus].phases()) {

@@ -16,7 +16,7 @@ fn solve_pair(n: usize, seed: u64) -> (f64, f64, f64, f64) {
     let s = SerialSolver::new(HostProps::paper_rig()).solve(&net, &cfg);
     let mut gpu = GpuSolver::new(Device::with_workers(DeviceProps::paper_rig(), 2));
     let g = gpu.solve(&net, &cfg);
-    assert!(s.converged && g.converged);
+    assert!(s.converged() && g.converged());
     (
         s.timing.total_us(),
         g.timing.total_us(),
@@ -82,7 +82,7 @@ fn topology_ordering_matches_mean_level_width() {
         let s = SerialSolver::new(HostProps::paper_rig()).solve(&net, &cfg);
         let mut gpu = GpuSolver::new(Device::with_workers(DeviceProps::paper_rig(), 2));
         let g = gpu.solve(&net, &cfg);
-        assert!(s.converged && g.converged, "{name}");
+        assert!(s.converged() && g.converged(), "{name}");
         // Per-iteration GPU time normalises away iteration-count noise.
         let per_iter = g.timing.phases.sweep_us() / g.iterations as f64;
         results.push((name, levels.mean_level_width(), per_iter));

@@ -19,7 +19,7 @@ fn all_solvers_agree_at_256k() {
     let cfg = SolverConfig::default();
 
     let serial = SerialSolver::new(HostProps::paper_rig()).solve_arrays(&arrays, &cfg);
-    assert!(serial.converged);
+    assert!(serial.converged());
     fbs::validate::assert_physical(&net, &serial, 1e-4);
 
     let multicore = MulticoreSolver::new(HostProps::paper_rig(), 8).solve_arrays(&arrays, &cfg);
@@ -30,7 +30,7 @@ fn all_solvers_agree_at_256k() {
 
     let tol_v = cfg.tol_volts(net.source_voltage().abs());
     for (name, res) in [("multicore", &multicore), ("level-gpu", &level), ("jump-gpu", &jumped)] {
-        assert!(res.converged, "{name} must converge");
+        assert!(res.converged(), "{name} must converge");
         fbs::validate::assert_physical(&net, res, 1e-4);
         let worst = (0..net.num_buses())
             .map(|b| (res.v[b] - serial.v[b]).abs())
