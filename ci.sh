@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# Offline CI for the FBS power-flow repo. Four legs:
+# Offline CI for the FBS power-flow repo. Five legs:
 #
 #   1. Tier-1 verify: release build + the full default test suite.
 #   2. Divergence/NaN hardening: the convergence-status suites (monitor
 #      unit tests, cross-solver collapse acceptance, batch masking, CLI
 #      exit codes) run by name so a filtered tier-1 can't skip them.
-#   3. Racecheck: re-runs every simt and fbs device kernel under the
+#   3. Fault injection/recovery: the resilience suites (fault-plan
+#      determinism, checkpoint/rollback recovery, degradation, CLI
+#      exit-5/replay) run by name, plus a smoke run of the E12 bench.
+#   4. Racecheck: re-runs every simt and fbs device kernel under the
 #      per-cell data-race detector (simt's `racecheck` feature).
-#   4. Lint: clippy over every target with warnings promoted to errors.
+#   5. Lint: clippy over every target with warnings promoted to errors.
 #
 # Everything runs with --offline — the repo has zero external registry
 # dependencies (see DESIGN.md, "Dependency policy"), so a warm toolchain
@@ -24,6 +27,13 @@ echo "== divergence/NaN hardening: status suites =="
 cargo test -q --offline -p fbs --lib status::
 cargo test -q --offline --test prop_divergence_status
 cargo test -q --offline -p fbs-cli --test cli_commands solve_exit_codes_reflect_status
+
+echo "== fault injection/recovery: resilience suites =="
+cargo test -q --offline -p simt --lib fault::
+cargo test -q --offline -p fbs --lib recovery::
+cargo test -q --offline -p fbs --test prop_fault_recovery
+cargo test -q --offline -p fbs-cli --test cli_commands -- device_loss byte_identical
+E12_SMOKE=1 cargo run -q --offline --release -p fbs-bench --bin exp_e12_faults > /dev/null
 
 echo "== racecheck: device kernels under the simt race detector =="
 cargo test -q --offline --features racecheck -p simt -p fbs

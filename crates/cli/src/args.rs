@@ -56,6 +56,16 @@ impl Args {
         self.flags.get(name).map(String::as_str)
     }
 
+    /// Optional typed flag; errors mention the flag name.
+    pub fn get_parse<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.flags.get(name) {
+            None => Ok(None),
+            Some(v) => {
+                v.parse().map(Some).map_err(|_| format!("--{name}: cannot parse `{v}`"))
+            }
+        }
+    }
+
     /// Typed flag with a default; errors mention the flag name.
     pub fn get_parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.flags.get(name) {

@@ -2,7 +2,10 @@
 
 use std::fs;
 
-use fbs::{BackwardStrategy, GpuSolver, JumpSolver, MulticoreSolver, SerialSolver, SolveResult, SolverConfig};
+use fbs::{
+    Backend, BackwardStrategy, GpuSolver, JumpSolver, MulticoreSolver, Resilient3Solver,
+    ResilientSolver, SerialSolver, SolveResult, SolverConfig,
+};
 use powergrid::gen::{
     balanced_binary, balanced_kary, broom, caterpillar, chain, random_tree, star, GenSpec,
 };
@@ -10,7 +13,7 @@ use powergrid::gridfile::{parse_grid, write_grid};
 use powergrid::{ieee, LevelOrder, RadialNetwork};
 use rng::rngs::StdRng;
 use rng::SeedableRng;
-use simt::{Device, DeviceProps, HostProps};
+use simt::{Device, DeviceProps, FaultKind, FaultPlan, HostProps};
 
 use crate::args::Args;
 
@@ -23,17 +26,31 @@ usage:
   fbs info <FILE.grid>
   fbs solve <FILE.grid> [--solver serial|gpu|gpu-direct|multicore] [--tol T]
             [--max-iter N] [--show-voltages N] [--timings true|false]
+            [--fault-seed S] [--fault-rate R] [--fault-lost-at OP] [--degrade true|false]
   fbs compare <FILE.grid> [--tol T] [--max-iter N]
   fbs profile <FILE.grid> [--solver gpu|gpu-direct|gpu-atomic|gpu-jump] [--tol T]
+            [--fault-seed S] [--fault-rate R] [--fault-lost-at OP] [--degrade true|false]
   fbs feeders3 [--name ieee13] [--out FILE.grid3]
   fbs gen3 <FILE.grid> [--unbalance U] [--mutual M] [--seed S] [--out FILE.grid3]
-  fbs solve3 <FILE.grid3> [--solver serial|gpu] [--tol T] [--max-iter N]";
+  fbs solve3 <FILE.grid3> [--solver serial|gpu] [--tol T] [--max-iter N]
+            [--fault-seed S] [--fault-rate R] [--fault-lost-at OP] [--degrade true|false]
+
+fault injection: --fault-seed arms a seeded, replayable fault plan
+(default rate 0.005/op; override with --fault-rate). --fault-lost-at
+scripts device loss at the given op. FBS_FAULT_SEED in the environment
+overrides --fault-seed for byte-identical replays. Unrecoverable runs
+(--degrade false) exit with code 5.";
+
+/// Exit code for an unrecoverable fault-injected run: the device was
+/// lost (or the retry budget drained) and degradation was disabled.
+const EXIT_UNRECOVERABLE: u8 = 5;
 
 /// Dispatches a full argv (without the program name).
 ///
 /// Returns the process exit code: `0` for success, and for the solve
 /// family the [`fbs::SolveStatus::exit_code`] of the result (`2`
-/// max-iterations, `3` diverged, `4` numerical failure). Usage and I/O
+/// max-iterations, `3` diverged, `4` numerical failure, `5`
+/// unrecoverable device loss under fault injection). Usage and I/O
 /// errors come back as `Err` and map to exit code `1` in `main`.
 pub fn run(argv: &[String]) -> Result<u8, String> {
     let (cmd, rest) = argv.split_first().ok_or("missing subcommand")?;
@@ -129,15 +146,88 @@ fn solver_config(a: &Args) -> Result<SolverConfig, String> {
     ))
 }
 
+/// Builds the fault plan requested by `--fault-seed` / `--fault-rate` /
+/// `--fault-lost-at`, or `None` when no fault flag is present.
+///
+/// `FBS_FAULT_SEED` in the environment overrides `--fault-seed`, so a
+/// logged run can be replayed byte-identically without editing the
+/// command line. The rate defaults to 0.005 faults/op once a seed is
+/// given, and to 0 when only `--fault-lost-at` is used.
+fn fault_plan(a: &Args) -> Result<Option<FaultPlan>, String> {
+    let env_seed = match std::env::var("FBS_FAULT_SEED") {
+        Ok(v) => {
+            Some(v.parse::<u64>().map_err(|e| format!("FBS_FAULT_SEED `{v}`: {e}"))?)
+        }
+        Err(_) => None,
+    };
+    let flag_seed: Option<u64> = a.get_parse("fault-seed")?;
+    let rate: Option<f64> = a.get_parse("fault-rate")?;
+    let lost_at: Option<u64> = a.get_parse("fault-lost-at")?;
+    let seed = env_seed.or(flag_seed);
+    if seed.is_none() && rate.is_none() && lost_at.is_none() {
+        return Ok(None);
+    }
+    let rate = rate.unwrap_or(if seed.is_some() { 0.005 } else { 0.0 });
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("--fault-rate must be in [0, 1], got {rate}"));
+    }
+    let mut plan = FaultPlan::seeded(seed.unwrap_or(0), rate);
+    if let Some(op) = lost_at {
+        plan = plan.with_fault_at(op, FaultKind::DeviceLost { at_op: 0 });
+    }
+    Ok(Some(plan))
+}
+
+/// One deterministic summary line of what the resilient supervisor did.
+fn print_fault_report(res: &SolveResult, plan: &FaultPlan) {
+    if let Some(rep) = &res.fault_report {
+        println!(
+            "recovery:    seed {} rate {} | {} faults, {} rollbacks, {} retries, {} checkpoints | backend {}",
+            plan.seed(),
+            plan.rate(),
+            rep.faults_injected,
+            rep.rollbacks,
+            rep.retries,
+            rep.checkpoints,
+            rep.backends.join("→"),
+        );
+    }
+}
+
 fn cmd_solve(argv: &[String]) -> Result<u8, String> {
-    let a = Args::parse(argv, &["solver", "tol", "max-iter", "show-voltages", "timings"])?;
+    let a = Args::parse(
+        argv,
+        &["solver", "tol", "max-iter", "show-voltages", "timings", "fault-seed", "fault-rate", "fault-lost-at", "degrade"],
+    )?;
     let net = load(a.one_positional("grid file")?)?;
     let cfg = solver_config(&a)?;
     let which = a.get_or("solver", "serial");
-    let res = run_solver(&net, &cfg, which)?;
+    let plan = fault_plan(&a)?;
+    let res = match &plan {
+        None => run_solver(&net, &cfg, which)?,
+        Some(plan) => {
+            let backend =
+                Backend::from_name(which).ok_or_else(|| format!("unknown solver `{which}`"))?;
+            let mut solver =
+                ResilientSolver::new(backend, DeviceProps::paper_rig(), HostProps::paper_rig())
+                    .with_fault_plan(plan.clone())
+                    .with_degradation(a.get_parse_or("degrade", true)?);
+            match solver.solve(&net, &cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    println!("solver:      {which}");
+                    println!("status:      {e}");
+                    return Ok(EXIT_UNRECOVERABLE);
+                }
+            }
+        }
+    };
 
     println!("solver:      {which}");
     println!("status:      {} in {} iterations (residual {:.3e} V)", res.status, res.iterations, res.residual);
+    if let Some(plan) = &plan {
+        print_fault_report(&res, plan);
+    }
     if res.converged() {
         let (vmin, bus) = res.min_voltage();
         let pu = vmin / net.source_voltage().abs();
@@ -208,16 +298,36 @@ fn cmd_gen3(argv: &[String]) -> Result<(), String> {
 }
 
 fn cmd_solve3(argv: &[String]) -> Result<u8, String> {
-    let a = Args::parse(argv, &["solver", "tol", "max-iter"])?;
+    let a = Args::parse(
+        argv,
+        &["solver", "tol", "max-iter", "fault-seed", "fault-rate", "fault-lost-at", "degrade"],
+    )?;
     let path = a.one_positional("grid3 file")?;
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let net = powergrid::gridfile3::parse_grid3(&text).map_err(|e| format!("{path}: {e}"))?;
     let cfg = solver_config(&a)?;
     let which = a.get_or("solver", "serial");
-    let res = match which {
-        "serial" => fbs::Serial3Solver::new(HostProps::paper_rig()).solve(&net, &cfg),
-        "gpu" => fbs::Gpu3Solver::new(Device::new(DeviceProps::paper_rig())).solve(&net, &cfg),
-        other => return Err(format!("unknown three-phase solver `{other}`")),
+    let plan = fault_plan(&a)?;
+    let res = match (which, plan) {
+        // Fault plans only touch device ops; serial runs are unaffected.
+        ("serial", _) => fbs::Serial3Solver::new(HostProps::paper_rig()).solve(&net, &cfg),
+        ("gpu", None) => {
+            fbs::Gpu3Solver::new(Device::new(DeviceProps::paper_rig())).solve(&net, &cfg)
+        }
+        ("gpu", Some(plan)) => {
+            let mut solver = Resilient3Solver::new(DeviceProps::paper_rig(), HostProps::paper_rig())
+                .with_fault_plan(plan)
+                .with_degradation(a.get_parse_or("degrade", true)?);
+            match solver.solve(&net, &cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    println!("solver:      {which} (three-phase)");
+                    println!("status:      {e}");
+                    return Ok(EXIT_UNRECOVERABLE);
+                }
+            }
+        }
+        (other, _) => return Err(format!("unknown three-phase solver `{other}`")),
     };
     println!("solver:      {which} (three-phase)");
     println!(
@@ -254,10 +364,16 @@ fn emit_text(text: &str, out: Option<&str>, buses: usize) -> Result<(), String> 
 }
 
 fn cmd_profile(argv: &[String]) -> Result<u8, String> {
-    let a = Args::parse(argv, &["solver", "tol", "max-iter"])?;
+    let a = Args::parse(
+        argv,
+        &["solver", "tol", "max-iter", "fault-seed", "fault-rate", "fault-lost-at", "degrade"],
+    )?;
     let net = load(a.one_positional("grid file")?)?;
     let cfg = solver_config(&a)?;
     let which = a.get_or("solver", "gpu");
+    if let Some(plan) = fault_plan(&a)? {
+        return profile_resilient(&net, &cfg, which, plan, a.get_parse_or("degrade", true)?);
+    }
     // Run the chosen device solver while keeping its timeline for the
     // per-kernel report.
     let device = Device::new(DeviceProps::paper_rig());
@@ -291,6 +407,43 @@ fn cmd_profile(argv: &[String]) -> Result<u8, String> {
         res.timing.total_us()
     );
     print!("{table}");
+    Ok(res.status.exit_code())
+}
+
+/// `profile` under fault injection: runs the resilient supervisor and
+/// reports the kernel table of the last device it drove (the one whose
+/// attempt produced the result, unless the solve degraded to the CPU).
+fn profile_resilient(
+    net: &RadialNetwork,
+    cfg: &SolverConfig,
+    which: &str,
+    plan: FaultPlan,
+    degrade: bool,
+) -> Result<u8, String> {
+    let backend = Backend::from_name(which)
+        .filter(|b| b.is_device())
+        .ok_or_else(|| format!("profile: unknown device solver `{which}`"))?;
+    let mut solver = ResilientSolver::new(backend, DeviceProps::paper_rig(), HostProps::paper_rig())
+        .with_fault_plan(plan.clone())
+        .with_degradation(degrade);
+    let res = match solver.solve(net, cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            println!("solver {which}: {e}");
+            return Ok(EXIT_UNRECOVERABLE);
+        }
+    };
+    println!(
+        "solver {which}: {} in {} iterations, {:.1} µs modeled",
+        res.status,
+        res.iterations,
+        res.timing.total_us()
+    );
+    print_fault_report(&res, &plan);
+    println!();
+    if let Some(dev) = solver.last_device() {
+        print!("{}", dev.timeline().kernel_report_table());
+    }
     Ok(res.status.exit_code())
 }
 

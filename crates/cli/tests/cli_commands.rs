@@ -163,3 +163,75 @@ fn solve_honors_tolerance_flag() {
     assert!(run(&["solve", path_s, "--tol", "not-a-number"]).is_err());
     let _ = fs::remove_file(&path);
 }
+
+#[test]
+fn forced_device_loss_without_degradation_exits_5() {
+    let path = tmp("lost.grid");
+    let path_s = path.to_str().unwrap();
+    run(&["gen", "--topology", "binary", "--buses", "255", "--seed", "7", "--out", path_s])
+        .unwrap();
+
+    let code = run(&[
+        "solve", path_s, "--solver", "gpu", "--fault-lost-at", "40", "--degrade", "false",
+    ])
+    .expect("device loss is a reported exit code, not a usage error");
+    assert_eq!(code, 5, "unrecoverable device loss must exit 5");
+
+    // With degradation enabled the same loss still produces an answer.
+    let code = run(&["solve", path_s, "--solver", "gpu", "--fault-lost-at", "40"]).unwrap();
+    assert_eq!(code, 0, "degraded solve must still converge");
+
+    // solve3 reports unrecoverable runs the same way: script the loss
+    // to re-fire at the start of every attempt so retries cannot win.
+    let p3 = tmp("lost.grid3");
+    let s3 = p3.to_str().unwrap();
+    run(&["feeders3", "--name", "ieee13", "--out", s3]).unwrap();
+    let code = run(&[
+        "solve3", s3, "--solver", "gpu", "--fault-rate", "1", "--degrade", "false",
+    ])
+    .expect("exhausted 3φ retries are a reported exit code");
+    assert_eq!(code, 5, "3φ budget exhaustion without degradation must exit 5");
+
+    let _ = fs::remove_file(&path);
+    let _ = fs::remove_file(&p3);
+}
+
+#[test]
+fn seeded_fault_runs_are_byte_identical() {
+    use std::process::Command;
+
+    let path = tmp("replay.grid");
+    let path_s = path.to_str().unwrap();
+    run(&["gen", "--topology", "binary", "--buses", "255", "--seed", "7", "--out", path_s])
+        .unwrap();
+
+    let exe = env!("CARGO_BIN_EXE_fbs");
+    let solve = |env: Option<(&str, &str)>, args: &[&str]| {
+        let mut cmd = Command::new(exe);
+        cmd.args(args).env_remove("FBS_FAULT_SEED");
+        if let Some((k, v)) = env {
+            cmd.env(k, v);
+        }
+        let out = cmd.output().expect("spawn fbs binary");
+        (out.status.code(), String::from_utf8(out.stdout).expect("utf-8 stdout"))
+    };
+
+    let args =
+        ["solve", path_s, "--solver", "gpu-atomic", "--fault-seed", "99", "--fault-rate", "0.01"];
+    let (c1, out1) = solve(None, &args);
+    let (c2, out2) = solve(None, &args);
+    assert_eq!(out1, out2, "same seed must replay to byte-identical stdout");
+    assert_eq!(c1, c2);
+    assert!(out1.contains("recovery:    seed 99"), "fault summary missing:\n{out1}");
+
+    // FBS_FAULT_SEED overrides --fault-seed, reproducing the seed-99 run
+    // from a command line that says seed 1.
+    let (c3, out3) = solve(
+        Some(("FBS_FAULT_SEED", "99")),
+        &["solve", path_s, "--solver", "gpu-atomic", "--fault-seed", "1", "--fault-rate", "0.01"],
+    );
+    assert_eq!(out3, out1, "env-overridden seed must replay the --fault-seed run");
+    assert_eq!(c3, c1);
+
+    let _ = fs::remove_file(&path);
+}

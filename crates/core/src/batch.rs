@@ -27,8 +27,8 @@ use std::time::Instant;
 use numc::Complex;
 use powergrid::RadialNetwork;
 use primitives::ops::{AddComplex, MaxAbsF64, ScanOp};
-use primitives::{fill, launch_map, reduce, segscan_inclusive_range};
-use simt::Device;
+use primitives::{try_fill, try_launch_map, try_reduce, try_segscan_inclusive_range};
+use simt::{Device, DeviceError};
 
 use crate::arrays::SolverArrays;
 use crate::config::SolverConfig;
@@ -106,6 +106,30 @@ impl BatchSolver {
         scenarios: &[Vec<Complex>],
         cfg: &SolverConfig,
     ) -> BatchResult {
+        self.try_solve_arrays(a, scenarios, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`BatchSolver::solve`]: surfaces injected faults and
+    /// device loss as [`DeviceError`] instead of panicking. Batch-shape
+    /// violations (empty batch, wrong-length scenario) remain panics —
+    /// they are caller bugs, not device weather.
+    pub fn try_solve(
+        &mut self,
+        net: &RadialNetwork,
+        scenarios: &[Vec<Complex>],
+        cfg: &SolverConfig,
+    ) -> Result<BatchResult, DeviceError> {
+        let arrays = SolverArrays::new(net);
+        self.try_solve_arrays(&arrays, scenarios, cfg)
+    }
+
+    /// Fallible [`BatchSolver::solve_arrays`].
+    pub fn try_solve_arrays(
+        &mut self,
+        a: &SolverArrays,
+        scenarios: &[Vec<Complex>],
+        cfg: &SolverConfig,
+    ) -> Result<BatchResult, DeviceError> {
         let wall0 = Instant::now();
         let nb = scenarios.len();
         assert!(nb >= 1, "batch must contain at least one scenario");
@@ -168,25 +192,25 @@ impl BatchSolver {
 
         // ---- Setup ----
         let mark = dev.timeline().mark();
-        let s_buf = dev.alloc_from(&s_host);
-        let z_buf = dev.alloc_from(&z_host);
-        let parent_buf = dev.alloc_from(&parent_host);
-        let flags_buf = dev.alloc_from(&flags_host);
-        let seg_last_buf = dev.alloc_from(&seg_last_host);
-        let child_lo_buf = dev.alloc_from(&child_lo_host);
-        let child_hi_buf = dev.alloc_from(&child_hi_host);
-        let mut v_buf = dev.alloc::<Complex>(total);
-        fill(dev, &mut v_buf, v0);
-        let mut i_buf = dev.alloc::<Complex>(total);
-        let mut j_buf = dev.alloc::<Complex>(total);
-        let mut delta_buf = dev.alloc::<f64>(total);
-        fill(dev, &mut delta_buf, 0.0);
-        let mut scan_buf = dev.alloc::<Complex>(total);
+        let s_buf = dev.try_alloc_from(&s_host)?;
+        let z_buf = dev.try_alloc_from(&z_host)?;
+        let parent_buf = dev.try_alloc_from(&parent_host)?;
+        let flags_buf = dev.try_alloc_from(&flags_host)?;
+        let seg_last_buf = dev.try_alloc_from(&seg_last_host)?;
+        let child_lo_buf = dev.try_alloc_from(&child_lo_host)?;
+        let child_hi_buf = dev.try_alloc_from(&child_hi_host)?;
+        let mut v_buf = dev.try_alloc::<Complex>(total)?;
+        try_fill(dev, &mut v_buf, v0)?;
+        let mut i_buf = dev.try_alloc::<Complex>(total)?;
+        let mut j_buf = dev.try_alloc::<Complex>(total)?;
+        let mut delta_buf = dev.try_alloc::<f64>(total)?;
+        try_fill(dev, &mut delta_buf, 0.0)?;
+        let mut scan_buf = dev.try_alloc::<Complex>(total)?;
         // Per-element activity mask (1 = scenario still iterating). A
         // masked scenario's forward kernel freezes its state and reports
         // a zero delta, removing it from the batch-wide reduction.
         let mut mask_host = vec![1u32; total];
-        let mut mask_buf = dev.alloc_from(&mask_host);
+        let mut mask_buf = dev.try_alloc_from(&mask_host)?;
         let b = dev.timeline().breakdown_since(mark);
         phases.setup_us += b.total_us();
         transfer_us += b.htod_us + b.dtoh_us;
@@ -205,7 +229,7 @@ impl BatchSolver {
                 let s_v = s_buf.view();
                 let v_v = v_buf.view();
                 let i_v = i_buf.view_mut();
-                launch_map(dev, total, "batch_inject", move |t, g| {
+                try_launch_map(dev, total, "batch_inject", move |t, g| {
                     let s = t.ld(&s_v, g);
                     let out = if s == Complex::ZERO {
                         Complex::ZERO
@@ -215,7 +239,7 @@ impl BatchSolver {
                         (s / v).conj()
                     };
                     t.st(&i_v, g, out);
-                });
+                })?;
             }
             phases.injection_us += dev.timeline().breakdown_since(mark).total_us();
 
@@ -227,9 +251,9 @@ impl BatchSolver {
                 if l + 1 < num_levels {
                     let clo = nb * level_off(l + 1);
                     let chi = clo + nb * width(l + 1);
-                    segscan_inclusive_range::<Complex, AddComplex>(
+                    try_segscan_inclusive_range::<Complex, AddComplex>(
                         dev, &j_buf, &flags_buf, clo, chi, &mut scan_buf,
-                    );
+                    )?;
                 }
                 let i_v = i_buf.view();
                 let lo_v = child_lo_buf.view();
@@ -237,7 +261,7 @@ impl BatchSolver {
                 let last_v = seg_last_buf.view();
                 let scan_v = scan_buf.view();
                 let j_v = j_buf.view_mut();
-                launch_map(dev, len, "batch_backward_combine", move |t, k| {
+                try_launch_map(dev, len, "batch_backward_combine", move |t, k| {
                     let g = lo + k;
                     let mut acc = t.ld(&i_v, g);
                     if t.ld(&lo_v, g) < t.ld(&hi_v, g) {
@@ -246,7 +270,7 @@ impl BatchSolver {
                         acc += t.ld(&scan_v, tail);
                     }
                     t.st(&j_v, g, acc);
-                });
+                })?;
             }
             phases.backward_us += dev.timeline().breakdown_since(mark).total_us();
 
@@ -261,7 +285,7 @@ impl BatchSolver {
                 let mask_v = mask_buf.view();
                 let d_v = delta_buf.view_mut();
                 let v_v = v_buf.view_mut();
-                launch_map(dev, len, "batch_forward", move |t, k| {
+                try_launch_map(dev, len, "batch_forward", move |t, k| {
                     let g = lo + k;
                     // Masked scenarios freeze: no voltage update and a
                     // zero delta. The branch (not a multiply) matters —
@@ -280,7 +304,7 @@ impl BatchSolver {
                     t.flops(Complex::MUL_FLOPS + Complex::ADD_FLOPS + 4);
                     t.st(&v_v, g, new_v);
                     t.st(&d_v, g, (new_v - old).abs());
-                });
+                })?;
             }
             phases.forward_us += dev.timeline().breakdown_since(mark).total_us();
 
@@ -290,7 +314,7 @@ impl BatchSolver {
             // solver pay for a per-scenario triage (delta download + host
             // folds) to find and mask the offenders.
             let mark = dev.timeline().mark();
-            let delta = reduce::<f64, MaxAbsF64>(dev, &delta_buf);
+            let delta = try_reduce::<f64, MaxAbsF64>(dev, &delta_buf)?;
             let mut stop = false;
             match monitor.observe(iterations, delta) {
                 None => residual = delta,
@@ -306,7 +330,7 @@ impl BatchSolver {
                 Some(_) => {
                     // Triage: fold each active scenario's ∞-norm on the
                     // host and classify.
-                    let delta_host = dev.dtoh(&delta_buf);
+                    let delta_host = dev.try_dtoh(&delta_buf)?;
                     let mut per = vec![0.0f64; nb];
                     for (s, r) in per.iter_mut().enumerate() {
                         if !active[s] {
@@ -353,7 +377,7 @@ impl BatchSolver {
                             }
                         }
                     }
-                    dev.htod(&mut mask_buf, &mask_host);
+                    dev.try_htod(&mut mask_buf, &mask_host)?;
                     // The residual landscape changed; restart growth
                     // tracking for the survivors.
                     monitor = ConvergenceMonitor::new(cfg, v0.abs());
@@ -387,7 +411,7 @@ impl BatchSolver {
         // the final deltas instead of smearing MaxIterations over all.
         if statuses.contains(&SolveStatus::MaxIterations) {
             let mark = dev.timeline().mark();
-            let delta_host = dev.dtoh(&delta_buf);
+            let delta_host = dev.try_dtoh(&delta_buf)?;
             let b = dev.timeline().breakdown_since(mark);
             phases.convergence_us += b.total_us();
             transfer_us += b.htod_us + b.dtoh_us;
@@ -410,8 +434,8 @@ impl BatchSolver {
 
         // ---- Teardown: download and unbatch ----
         let mark = dev.timeline().mark();
-        let v_flat = dev.dtoh(&v_buf);
-        let j_flat = dev.dtoh(&j_buf);
+        let v_flat = dev.try_dtoh(&v_buf)?;
+        let j_flat = dev.try_dtoh(&j_buf)?;
         let b = dev.timeline().breakdown_since(mark);
         phases.teardown_us += b.total_us();
         transfer_us += b.htod_us + b.dtoh_us;
@@ -437,7 +461,7 @@ impl BatchSolver {
             transfer_sweep_us,
             wall_us: wall0.elapsed().as_secs_f64() * 1e6,
         };
-        BatchResult { v, j, iterations, statuses, residual, timing }
+        Ok(BatchResult { v, j, iterations, statuses, residual, timing })
     }
 }
 

@@ -20,6 +20,13 @@ pub struct SolverConfig {
     /// cases decay (near-)monotonically; sustained growth means the fixed
     /// point is repelling.
     pub divergence_patience: u32,
+    /// Recovery: a device-side voltage checkpoint is taken every this
+    /// many iterations (used by `recovery::ResilientSolver`; plain
+    /// `solve` calls never checkpoint).
+    pub checkpoint_every: u32,
+    /// Recovery: bound on rollback/retry attempts before the resilient
+    /// supervisor degrades to the next backend in the chain.
+    pub max_recoveries: u32,
 }
 
 impl SolverConfig {
@@ -29,6 +36,12 @@ impl SolverConfig {
     pub const DEFAULT_DIVERGENCE_CAP: f64 = 1e3;
     /// Default growth patience before declaring divergence.
     pub const DEFAULT_DIVERGENCE_PATIENCE: u32 = 8;
+    /// Default checkpoint cadence, iterations. Healthy FBS solves
+    /// converge in ~10–20 iterations, so every 4 bounds replay work to
+    /// at most 4 sweeps while keeping checkpoint transfers rare.
+    pub const DEFAULT_CHECKPOINT_EVERY: u32 = 4;
+    /// Default rollback/retry budget per backend.
+    pub const DEFAULT_MAX_RECOVERIES: u32 = 8;
 
     /// Creates a config with the given relative tolerance and cap, using
     /// the default divergence thresholds.
@@ -40,6 +53,8 @@ impl SolverConfig {
             max_iter,
             divergence_cap: Self::DEFAULT_DIVERGENCE_CAP,
             divergence_patience: Self::DEFAULT_DIVERGENCE_PATIENCE,
+            checkpoint_every: Self::DEFAULT_CHECKPOINT_EVERY,
+            max_recoveries: Self::DEFAULT_MAX_RECOVERIES,
         }
     }
 
@@ -50,6 +65,15 @@ impl SolverConfig {
         assert!(patience >= 1, "need at least one growth iteration");
         self.divergence_cap = cap;
         self.divergence_patience = patience;
+        self
+    }
+
+    /// Overrides the recovery policy: checkpoint cadence and the
+    /// rollback/retry budget used by `recovery::ResilientSolver`.
+    pub fn with_recovery(mut self, checkpoint_every: u32, max_recoveries: u32) -> Self {
+        assert!(checkpoint_every >= 1, "need a nonzero checkpoint cadence");
+        self.checkpoint_every = checkpoint_every;
+        self.max_recoveries = max_recoveries;
         self
     }
 
@@ -71,6 +95,8 @@ impl Default for SolverConfig {
             max_iter: 100,
             divergence_cap: Self::DEFAULT_DIVERGENCE_CAP,
             divergence_patience: Self::DEFAULT_DIVERGENCE_PATIENCE,
+            checkpoint_every: Self::DEFAULT_CHECKPOINT_EVERY,
+            max_recoveries: Self::DEFAULT_MAX_RECOVERIES,
         }
     }
 }

@@ -29,12 +29,13 @@ use std::time::Instant;
 
 use numc::Complex;
 use powergrid::RadialNetwork;
-use primitives::ops::{AddComplex, MaxAbsF64};
-use primitives::{fill, launch_map, reduce, segscan_inclusive_range};
-use simt::Device;
+use primitives::ops::{AddComplex, MaxAbsF64, ScanOp};
+use primitives::{try_fill, try_launch_map, try_reduce, try_segscan_inclusive_range};
+use simt::{Device, DeviceBuffer, DeviceError};
 
 use crate::arrays::SolverArrays;
 use crate::config::SolverConfig;
+use crate::recovery::SweepSession;
 use crate::report::{PhaseTimes, SolveResult, Timing};
 use crate::status::{ConvergenceMonitor, SolveStatus};
 
@@ -106,43 +107,39 @@ impl GpuSolver {
         cfg: &SolverConfig,
         v_init: Option<&[Complex]>,
     ) -> SolveResult {
+        self.try_solve_warm(a, cfg, v_init).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`GpuSolver::solve`]: surfaces injected faults and device
+    /// loss as [`DeviceError`] instead of panicking.
+    pub fn try_solve(
+        &mut self,
+        net: &RadialNetwork,
+        cfg: &SolverConfig,
+    ) -> Result<SolveResult, DeviceError> {
+        let arrays = SolverArrays::new(net);
+        self.try_solve_arrays(&arrays, cfg)
+    }
+
+    /// Fallible [`GpuSolver::solve_arrays`].
+    pub fn try_solve_arrays(
+        &mut self,
+        a: &SolverArrays,
+        cfg: &SolverConfig,
+    ) -> Result<SolveResult, DeviceError> {
+        self.try_solve_warm(a, cfg, None)
+    }
+
+    /// Fallible [`GpuSolver::solve_warm`].
+    pub fn try_solve_warm(
+        &mut self,
+        a: &SolverArrays,
+        cfg: &SolverConfig,
+        v_init: Option<&[Complex]>,
+    ) -> Result<SolveResult, DeviceError> {
         let wall0 = Instant::now();
-        let dev = &mut self.device;
-        let n = a.len();
-        let num_levels = a.num_levels();
-        let v0 = a.source;
-        let mut monitor = ConvergenceMonitor::new(cfg, v0.abs());
-
-        let mut phases = PhaseTimes::default();
-        let mut transfer_us = 0.0;
-        let mut transfer_sweep_us = 0.0;
-
-        // ---- Setup: topology + state upload ----
-        let mark = dev.timeline().mark();
-        let s_buf = dev.alloc_from(&a.s);
-        let z_buf = dev.alloc_from(&a.z);
-        let parent_buf = dev.alloc_from(&a.parent_pos);
-        let child_lo_buf = dev.alloc_from(&a.child_lo);
-        let child_hi_buf = dev.alloc_from(&a.child_hi);
-        let flags_buf = dev.alloc_from(&a.head_flags);
-        let seg_last_buf = dev.alloc_from(&a.seg_last);
-        let mut v_buf = dev.alloc::<Complex>(n);
-        match v_init {
-            Some(init) => {
-                assert_eq!(init.len(), n, "warm start needs one voltage per bus");
-                let by_pos = a.levels.permute(init);
-                dev.htod(&mut v_buf, &by_pos);
-            }
-            None => fill(dev, &mut v_buf, v0),
-        }
-        let mut i_buf = dev.alloc::<Complex>(n);
-        let mut j_buf = dev.alloc::<Complex>(n);
-        let mut delta_buf = dev.alloc::<f64>(n);
-        fill(dev, &mut delta_buf, 0.0);
-        let mut scan_buf = dev.alloc::<Complex>(n);
-        let b = dev.timeline().breakdown_since(mark);
-        phases.setup_us += b.total_us();
-        transfer_us += b.htod_us + b.dtoh_us;
+        let mut monitor = ConvergenceMonitor::new(cfg, a.source.abs());
+        let mut sess = GpuSession::new(&mut self.device, a, self.strategy, v_init)?;
 
         let mut iterations = 0;
         let mut residual = f64::MAX;
@@ -151,153 +148,7 @@ impl GpuSolver {
 
         while iterations < cfg.max_iter {
             iterations += 1;
-
-            // ---- Injection ----
-            let mark = dev.timeline().mark();
-            {
-                let s_v = s_buf.view();
-                let v_v = v_buf.view();
-                let i_v = i_buf.view_mut();
-                launch_map(dev, n, "fbs_inject", move |t, p| {
-                    let s = t.ld(&s_v, p);
-                    let out = if s == Complex::ZERO {
-                        Complex::ZERO
-                    } else {
-                        let v = t.ld(&v_v, p);
-                        t.flops(Complex::DIV_FLOPS + 1);
-                        (s / v).conj()
-                    };
-                    t.st(&i_v, p, out);
-                });
-            }
-            let b = dev.timeline().breakdown_since(mark);
-            phases.injection_us += b.total_us();
-
-            // ---- Backward sweep: deepest level → root ----
-            let mark = dev.timeline().mark();
-            if self.strategy == BackwardStrategy::AtomicScatter {
-                // Init J = I everywhere, then one child→parent atomic
-                // scatter per level: children of a level-(l−1) bus all
-                // live at level l, so after the level-l scatter every
-                // level-(l−1) branch current is final.
-                {
-                    let i_v = i_buf.view();
-                    let j_v = j_buf.view_mut();
-                    launch_map(dev, n, "fbs_backward_init", move |t, p| {
-                        let v = t.ld(&i_v, p);
-                        t.st(&j_v, p, v);
-                    });
-                }
-                for l in (1..num_levels).rev() {
-                    let range = a.levels.level_range(l);
-                    let (lo, len) = (range.start, range.len());
-                    let par_v = parent_buf.view();
-                    let j_v = j_buf.view_mut();
-                    launch_map(dev, len, "fbs_backward_scatter", move |t, k| {
-                        let c = lo + k;
-                        let parent = t.ld(&par_v, c) as usize;
-                        let jc = t.ld_mut(&j_v, c);
-                        t.flops(Complex::ADD_FLOPS);
-                        t.atomic_add(&j_v, parent, jc);
-                    });
-                }
-            }
-            for l in (0..num_levels).rev() {
-                if self.strategy == BackwardStrategy::AtomicScatter {
-                    break;
-                }
-                let range = a.levels.level_range(l);
-                let (lo, len) = (range.start, range.len());
-                let has_child_level = l + 1 < num_levels;
-
-                if self.strategy == BackwardStrategy::SegScan && has_child_level {
-                    let crange = a.levels.level_range(l + 1);
-                    segscan_inclusive_range::<Complex, AddComplex>(
-                        dev,
-                        &j_buf,
-                        &flags_buf,
-                        crange.start,
-                        crange.end,
-                        &mut scan_buf,
-                    );
-                }
-
-                match self.strategy {
-                    BackwardStrategy::SegScan => {
-                        let i_v = i_buf.view();
-                        let lo_v = child_lo_buf.view();
-                        let hi_v = child_hi_buf.view();
-                        let last_v = seg_last_buf.view();
-                        let scan_v = scan_buf.view();
-                        let j_v = j_buf.view_mut();
-                        launch_map(dev, len, "fbs_backward_combine", move |t, k| {
-                            let p = lo + k;
-                            let mut acc = t.ld(&i_v, p);
-                            if t.ld(&lo_v, p) < t.ld(&hi_v, p) {
-                                let tail = t.ld(&last_v, p) as usize;
-                                t.flops(Complex::ADD_FLOPS);
-                                acc += t.ld(&scan_v, tail);
-                            }
-                            t.st(&j_v, p, acc);
-                        });
-                    }
-                    BackwardStrategy::Direct => {
-                        let i_v = i_buf.view();
-                        let lo_v = child_lo_buf.view();
-                        let hi_v = child_hi_buf.view();
-                        let j_v = j_buf.view_mut();
-                        launch_map(dev, len, "fbs_backward_direct", move |t, k| {
-                            let p = lo + k;
-                            let mut acc = t.ld(&i_v, p);
-                            let c_lo = t.ld(&lo_v, p) as usize;
-                            let c_hi = t.ld(&hi_v, p) as usize;
-                            for c in c_lo..c_hi {
-                                t.flops(Complex::ADD_FLOPS);
-                                acc += t.ld_mut(&j_v, c);
-                            }
-                            t.st(&j_v, p, acc);
-                        });
-                    }
-                    BackwardStrategy::AtomicScatter => unreachable!("handled above"),
-                }
-            }
-            let b = dev.timeline().breakdown_since(mark);
-            phases.backward_us += b.total_us();
-
-            // ---- Forward sweep: root → leaves ----
-            let mark = dev.timeline().mark();
-            for l in 1..num_levels {
-                let range = a.levels.level_range(l);
-                let (lo, len) = (range.start, range.len());
-                let z_v = z_buf.view();
-                let par_v = parent_buf.view();
-                let j_v = j_buf.view();
-                let d_v = delta_buf.view_mut();
-                let v_v = v_buf.view_mut();
-                launch_map(dev, len, "fbs_forward", move |t, k| {
-                    let p = lo + k;
-                    let parent = t.ld(&par_v, p) as usize;
-                    let vp = t.ld_mut(&v_v, parent);
-                    let z = t.ld(&z_v, p);
-                    let jb = t.ld(&j_v, p);
-                    let old = t.ld_mut(&v_v, p);
-                    let new_v = vp - z * jb;
-                    t.flops(Complex::MUL_FLOPS + Complex::ADD_FLOPS + 4);
-                    t.st(&v_v, p, new_v);
-                    t.st(&d_v, p, (new_v - old).abs());
-                });
-            }
-            let b = dev.timeline().breakdown_since(mark);
-            phases.forward_us += b.total_us();
-
-            // ---- Convergence: ∞-norm reduction + scalar read-back ----
-            let mark = dev.timeline().mark();
-            let delta = reduce::<f64, MaxAbsF64>(dev, &delta_buf);
-            let b = dev.timeline().breakdown_since(mark);
-            phases.convergence_us += b.total_us();
-            transfer_us += b.htod_us + b.dtoh_us;
-            transfer_sweep_us += b.htod_us + b.dtoh_us;
-
+            let delta = sess.iterate()?;
             residual = delta;
             residual_history.push(delta);
             if let Some(s) = monitor.observe(iterations, delta) {
@@ -306,21 +157,9 @@ impl GpuSolver {
             }
         }
 
-        // ---- Teardown: download results ----
-        let mark = dev.timeline().mark();
-        let v_pos = dev.dtoh(&v_buf);
-        let j_pos = dev.dtoh(&j_buf);
-        let b = dev.timeline().breakdown_since(mark);
-        phases.teardown_us += b.total_us();
-        transfer_us += b.htod_us + b.dtoh_us;
-
-        let timing = Timing {
-            phases,
-            transfer_us,
-            transfer_sweep_us,
-            wall_us: wall0.elapsed().as_secs_f64() * 1e6,
-        };
-        SolveResult {
+        let (v_pos, j_pos) = sess.download()?;
+        let timing = sess.timing(wall0);
+        Ok(SolveResult {
             v: a.levels.unpermute(&v_pos),
             j: a.levels.unpermute(&j_pos),
             iterations,
@@ -328,7 +167,365 @@ impl GpuSolver {
             residual,
             residual_history,
             timing,
+            fault_report: None,
+        })
+    }
+}
+
+/// One level-synchronous solve in progress: device state plus phase
+/// accounting, stepped one iteration at a time.
+///
+/// Splitting the solve into a session is what lets the recovery
+/// supervisor ([`crate::recovery::ResilientSolver`]) interleave
+/// checkpoints, integrity checks and rollbacks between iterations
+/// without duplicating the sweep kernels.
+pub(crate) struct GpuSession<'a> {
+    dev: &'a mut Device,
+    a: &'a SolverArrays,
+    strategy: BackwardStrategy,
+    s_buf: DeviceBuffer<Complex>,
+    z_buf: DeviceBuffer<Complex>,
+    parent_buf: DeviceBuffer<u32>,
+    child_lo_buf: DeviceBuffer<u32>,
+    child_hi_buf: DeviceBuffer<u32>,
+    flags_buf: DeviceBuffer<u32>,
+    seg_last_buf: DeviceBuffer<u32>,
+    v_buf: DeviceBuffer<Complex>,
+    i_buf: DeviceBuffer<Complex>,
+    j_buf: DeviceBuffer<Complex>,
+    delta_buf: DeviceBuffer<f64>,
+    scan_buf: DeviceBuffer<Complex>,
+    phases: PhaseTimes,
+    transfer_us: f64,
+    transfer_sweep_us: f64,
+    recovery_us: f64,
+}
+
+impl<'a> GpuSession<'a> {
+    /// Uploads topology and state (charged to the setup phase).
+    pub(crate) fn new(
+        dev: &'a mut Device,
+        a: &'a SolverArrays,
+        strategy: BackwardStrategy,
+        v_init: Option<&[Complex]>,
+    ) -> Result<Self, DeviceError> {
+        let n = a.len();
+        let v0 = a.source;
+        let mut phases = PhaseTimes::default();
+
+        let mark = dev.timeline().mark();
+        let s_buf = dev.try_alloc_from(&a.s)?;
+        let z_buf = dev.try_alloc_from(&a.z)?;
+        let parent_buf = dev.try_alloc_from(&a.parent_pos)?;
+        let child_lo_buf = dev.try_alloc_from(&a.child_lo)?;
+        let child_hi_buf = dev.try_alloc_from(&a.child_hi)?;
+        let flags_buf = dev.try_alloc_from(&a.head_flags)?;
+        let seg_last_buf = dev.try_alloc_from(&a.seg_last)?;
+        let mut v_buf = dev.try_alloc::<Complex>(n)?;
+        match v_init {
+            Some(init) => {
+                assert_eq!(init.len(), n, "warm start needs one voltage per bus");
+                let by_pos = a.levels.permute(init);
+                dev.try_htod(&mut v_buf, &by_pos)?;
+            }
+            None => try_fill(dev, &mut v_buf, v0)?,
         }
+        let i_buf = dev.try_alloc::<Complex>(n)?;
+        let j_buf = dev.try_alloc::<Complex>(n)?;
+        let mut delta_buf = dev.try_alloc::<f64>(n)?;
+        try_fill(dev, &mut delta_buf, 0.0)?;
+        let scan_buf = dev.try_alloc::<Complex>(n)?;
+        let b = dev.timeline().breakdown_since(mark);
+        phases.setup_us += b.total_us();
+        let transfer_us = b.htod_us + b.dtoh_us;
+
+        Ok(GpuSession {
+            dev,
+            a,
+            strategy,
+            s_buf,
+            z_buf,
+            parent_buf,
+            child_lo_buf,
+            child_hi_buf,
+            flags_buf,
+            seg_last_buf,
+            v_buf,
+            i_buf,
+            j_buf,
+            delta_buf,
+            scan_buf,
+            phases,
+            transfer_us,
+            transfer_sweep_us: 0.0,
+            recovery_us: 0.0,
+        })
+    }
+
+    /// Timing summary as of now (the caller supplies the wall-clock
+    /// origin of the whole solve).
+    pub(crate) fn timing(&self, wall0: Instant) -> Timing {
+        Timing {
+            phases: self.phases,
+            transfer_us: self.transfer_us,
+            transfer_sweep_us: self.transfer_sweep_us,
+            wall_us: wall0.elapsed().as_secs_f64() * 1e6,
+        }
+    }
+
+    /// Modeled µs spent on checkpoint/restore/verify traffic.
+    pub(crate) fn recovery_us(&self) -> f64 {
+        self.recovery_us
+    }
+}
+
+impl SweepSession for GpuSession<'_> {
+    fn iterate(&mut self) -> Result<f64, DeviceError> {
+        let dev = &mut *self.dev;
+        let a = self.a;
+        let n = a.len();
+        let num_levels = a.num_levels();
+
+        // ---- Injection ----
+        let mark = dev.timeline().mark();
+        {
+            let s_v = self.s_buf.view();
+            let v_v = self.v_buf.view();
+            let i_v = self.i_buf.view_mut();
+            try_launch_map(dev, n, "fbs_inject", move |t, p| {
+                let s = t.ld(&s_v, p);
+                let out = if s == Complex::ZERO {
+                    Complex::ZERO
+                } else {
+                    let v = t.ld(&v_v, p);
+                    t.flops(Complex::DIV_FLOPS + 1);
+                    (s / v).conj()
+                };
+                t.st(&i_v, p, out);
+            })?;
+        }
+        let b = dev.timeline().breakdown_since(mark);
+        self.phases.injection_us += b.total_us();
+
+        // ---- Backward sweep: deepest level → root ----
+        let mark = dev.timeline().mark();
+        if self.strategy == BackwardStrategy::AtomicScatter {
+            // Init J = I everywhere, then one child→parent atomic
+            // scatter per level: children of a level-(l−1) bus all
+            // live at level l, so after the level-l scatter every
+            // level-(l−1) branch current is final.
+            {
+                let i_v = self.i_buf.view();
+                let j_v = self.j_buf.view_mut();
+                try_launch_map(dev, n, "fbs_backward_init", move |t, p| {
+                    let v = t.ld(&i_v, p);
+                    t.st(&j_v, p, v);
+                })?;
+            }
+            for l in (1..num_levels).rev() {
+                let range = a.levels.level_range(l);
+                let (lo, len) = (range.start, range.len());
+                let par_v = self.parent_buf.view();
+                let j_v = self.j_buf.view_mut();
+                try_launch_map(dev, len, "fbs_backward_scatter", move |t, k| {
+                    let c = lo + k;
+                    let parent = t.ld(&par_v, c) as usize;
+                    let jc = t.ld_mut(&j_v, c);
+                    t.flops(Complex::ADD_FLOPS);
+                    t.atomic_add(&j_v, parent, jc);
+                })?;
+            }
+        }
+        for l in (0..num_levels).rev() {
+            if self.strategy == BackwardStrategy::AtomicScatter {
+                break;
+            }
+            let range = a.levels.level_range(l);
+            let (lo, len) = (range.start, range.len());
+            let has_child_level = l + 1 < num_levels;
+
+            if self.strategy == BackwardStrategy::SegScan && has_child_level {
+                let crange = a.levels.level_range(l + 1);
+                try_segscan_inclusive_range::<Complex, AddComplex>(
+                    dev,
+                    &self.j_buf,
+                    &self.flags_buf,
+                    crange.start,
+                    crange.end,
+                    &mut self.scan_buf,
+                )?;
+            }
+
+            match self.strategy {
+                BackwardStrategy::SegScan => {
+                    let i_v = self.i_buf.view();
+                    let lo_v = self.child_lo_buf.view();
+                    let hi_v = self.child_hi_buf.view();
+                    let last_v = self.seg_last_buf.view();
+                    let scan_v = self.scan_buf.view();
+                    let j_v = self.j_buf.view_mut();
+                    try_launch_map(dev, len, "fbs_backward_combine", move |t, k| {
+                        let p = lo + k;
+                        let mut acc = t.ld(&i_v, p);
+                        if t.ld(&lo_v, p) < t.ld(&hi_v, p) {
+                            let tail = t.ld(&last_v, p) as usize;
+                            t.flops(Complex::ADD_FLOPS);
+                            acc += t.ld(&scan_v, tail);
+                        }
+                        t.st(&j_v, p, acc);
+                    })?;
+                }
+                BackwardStrategy::Direct => {
+                    let i_v = self.i_buf.view();
+                    let lo_v = self.child_lo_buf.view();
+                    let hi_v = self.child_hi_buf.view();
+                    let j_v = self.j_buf.view_mut();
+                    try_launch_map(dev, len, "fbs_backward_direct", move |t, k| {
+                        let p = lo + k;
+                        let mut acc = t.ld(&i_v, p);
+                        let c_lo = t.ld(&lo_v, p) as usize;
+                        let c_hi = t.ld(&hi_v, p) as usize;
+                        for c in c_lo..c_hi {
+                            t.flops(Complex::ADD_FLOPS);
+                            acc += t.ld_mut(&j_v, c);
+                        }
+                        t.st(&j_v, p, acc);
+                    })?;
+                }
+                BackwardStrategy::AtomicScatter => unreachable!("handled above"),
+            }
+        }
+        let b = dev.timeline().breakdown_since(mark);
+        self.phases.backward_us += b.total_us();
+
+        // ---- Forward sweep: root → leaves ----
+        let mark = dev.timeline().mark();
+        for l in 1..num_levels {
+            let range = a.levels.level_range(l);
+            let (lo, len) = (range.start, range.len());
+            let z_v = self.z_buf.view();
+            let par_v = self.parent_buf.view();
+            let j_v = self.j_buf.view();
+            let d_v = self.delta_buf.view_mut();
+            let v_v = self.v_buf.view_mut();
+            try_launch_map(dev, len, "fbs_forward", move |t, k| {
+                let p = lo + k;
+                let parent = t.ld(&par_v, p) as usize;
+                let vp = t.ld_mut(&v_v, parent);
+                let z = t.ld(&z_v, p);
+                let jb = t.ld(&j_v, p);
+                let old = t.ld_mut(&v_v, p);
+                let new_v = vp - z * jb;
+                t.flops(Complex::MUL_FLOPS + Complex::ADD_FLOPS + 4);
+                t.st(&v_v, p, new_v);
+                t.st(&d_v, p, (new_v - old).abs());
+            })?;
+        }
+        let b = dev.timeline().breakdown_since(mark);
+        self.phases.forward_us += b.total_us();
+
+        // ---- Convergence: ∞-norm reduction + scalar read-back ----
+        let mark = dev.timeline().mark();
+        let delta = try_reduce::<f64, MaxAbsF64>(dev, &self.delta_buf)?;
+        let b = dev.timeline().breakdown_since(mark);
+        self.phases.convergence_us += b.total_us();
+        self.transfer_us += b.htod_us + b.dtoh_us;
+        self.transfer_sweep_us += b.htod_us + b.dtoh_us;
+        Ok(delta)
+    }
+
+    fn snapshot(&mut self) -> Result<Vec<Complex>, DeviceError> {
+        let mark = self.dev.timeline().mark();
+        let v = self.dev.try_dtoh(&self.v_buf)?;
+        self.recovery_us += self.dev.timeline().breakdown_since(mark).total_us();
+        Ok(v)
+    }
+
+    fn restore(&mut self, v_pos: &[Complex]) -> Result<(), DeviceError> {
+        let dev = &mut *self.dev;
+        let a = self.a;
+        let mark = dev.timeline().mark();
+        // Statics are re-uploaded wholesale: a bit flip in a topology or
+        // impedance buffer is permanent, so a voltage-only rollback would
+        // replay the fault instead of erasing it.
+        dev.try_htod(&mut self.s_buf, &a.s)?;
+        dev.try_htod(&mut self.z_buf, &a.z)?;
+        dev.try_htod(&mut self.parent_buf, &a.parent_pos)?;
+        dev.try_htod(&mut self.child_lo_buf, &a.child_lo)?;
+        dev.try_htod(&mut self.child_hi_buf, &a.child_hi)?;
+        dev.try_htod(&mut self.flags_buf, &a.head_flags)?;
+        dev.try_htod(&mut self.seg_last_buf, &a.seg_last)?;
+        dev.try_htod(&mut self.v_buf, v_pos)?;
+        try_fill(dev, &mut self.delta_buf, 0.0)?;
+        self.recovery_us += dev.timeline().breakdown_since(mark).total_us();
+        Ok(())
+    }
+
+    fn verify_static(&mut self) -> Result<bool, DeviceError> {
+        let dev = &mut *self.dev;
+        let a = self.a;
+        let mark = dev.timeline().mark();
+        let ok = dev.try_dtoh(&self.s_buf)? == a.s
+            && dev.try_dtoh(&self.z_buf)? == a.z
+            && dev.try_dtoh(&self.parent_buf)? == a.parent_pos
+            && dev.try_dtoh(&self.child_lo_buf)? == a.child_lo
+            && dev.try_dtoh(&self.child_hi_buf)? == a.child_hi
+            && dev.try_dtoh(&self.flags_buf)? == a.head_flags
+            && dev.try_dtoh(&self.seg_last_buf)? == a.seg_last;
+        self.recovery_us += dev.timeline().breakdown_since(mark).total_us();
+        Ok(ok)
+    }
+
+    fn download(&mut self) -> Result<(Vec<Complex>, Vec<Complex>), DeviceError> {
+        let dev = &mut *self.dev;
+        let mark = dev.timeline().mark();
+        let v_pos = dev.try_dtoh(&self.v_buf)?;
+        let j_pos = dev.try_dtoh(&self.j_buf)?;
+        let b = dev.timeline().breakdown_since(mark);
+        self.phases.teardown_us += b.total_us();
+        self.transfer_us += b.htod_us + b.dtoh_us;
+        Ok((v_pos, j_pos))
+    }
+
+    fn host_iterate(&self, v_pos: &[Complex]) -> (f64, Vec<Complex>) {
+        let a = self.a;
+        let n = a.len();
+        let i: Vec<Complex> = (0..n)
+            .map(|p| {
+                if a.s[p] == Complex::ZERO {
+                    Complex::ZERO
+                } else {
+                    (a.s[p] / v_pos[p]).conj()
+                }
+            })
+            .collect();
+        // Children sit at higher positions than their parent in level
+        // order, so one reverse pass accumulates every subtree.
+        let mut j = vec![Complex::ZERO; n];
+        for p in (0..n).rev() {
+            let mut acc = i[p];
+            for jc in &j[a.child_lo[p] as usize..a.child_hi[p] as usize] {
+                acc += *jc;
+            }
+            j[p] = acc;
+        }
+        let mut v_new = v_pos.to_vec();
+        let mut res = 0.0;
+        for p in 1..n {
+            let parent = a.parent_pos[p] as usize;
+            let nv = v_new[parent] - a.z[p] * j[p];
+            res = MaxAbsF64::combine(res, (nv - v_pos[p]).abs());
+            v_new[p] = nv;
+        }
+        (res, j)
+    }
+
+    fn source_mag(&self) -> f64 {
+        self.a.source.abs()
+    }
+
+    fn faults_observed(&self) -> u32 {
+        self.dev.fault_log().len() as u32
     }
 }
 

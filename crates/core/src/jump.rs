@@ -32,11 +32,12 @@ use std::time::Instant;
 
 use numc::Complex;
 use powergrid::{DfsOrder, RadialNetwork, DFS_NO_PARENT};
-use primitives::ops::{AddComplex, MaxAbsF64};
-use primitives::{fill, launch_map, reduce, scan_exclusive};
-use simt::Device;
+use primitives::ops::{AddComplex, MaxAbsF64, ScanOp};
+use primitives::{try_fill, try_launch_map, try_reduce, try_scan_exclusive};
+use simt::{Device, DeviceBuffer, DeviceError};
 
 use crate::config::SolverConfig;
+use crate::recovery::SweepSession;
 use crate::report::{PhaseTimes, SolveResult, Timing};
 use crate::status::{ConvergenceMonitor, SolveStatus};
 
@@ -120,38 +121,29 @@ impl JumpSolver {
 
     /// Solves with pre-built preorder arrays.
     pub fn solve_arrays(&mut self, a: &JumpArrays, cfg: &SolverConfig) -> SolveResult {
+        self.try_solve_arrays(a, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`JumpSolver::solve`]: surfaces injected faults and
+    /// device loss as [`DeviceError`] instead of panicking.
+    pub fn try_solve(
+        &mut self,
+        net: &RadialNetwork,
+        cfg: &SolverConfig,
+    ) -> Result<SolveResult, DeviceError> {
+        let arrays = JumpArrays::new(net);
+        self.try_solve_arrays(&arrays, cfg)
+    }
+
+    /// Fallible [`JumpSolver::solve_arrays`].
+    pub fn try_solve_arrays(
+        &mut self,
+        a: &JumpArrays,
+        cfg: &SolverConfig,
+    ) -> Result<SolveResult, DeviceError> {
         let wall0 = Instant::now();
-        let dev = &mut self.device;
-        let n = a.len();
-        let v0 = a.source;
-        let mut monitor = ConvergenceMonitor::new(cfg, v0.abs());
-        let jump_rounds = ceil_log2(a.dfs.max_depth.max(1) as usize);
-
-        let mut phases = PhaseTimes::default();
-        let mut transfer_us = 0.0;
-        let mut transfer_sweep_us = 0.0;
-
-        // ---- Setup ----
-        let mark = dev.timeline().mark();
-        let s_buf = dev.alloc_from(&a.s);
-        let z_buf = dev.alloc_from(&a.z);
-        let parent_buf = dev.alloc_from(&a.parent_or_self);
-        let size_buf = dev.alloc_from(&a.subtree_size);
-        let mut v_buf = dev.alloc::<Complex>(n);
-        fill(dev, &mut v_buf, v0);
-        let mut i_buf = dev.alloc::<Complex>(n);
-        let mut excl_buf = dev.alloc::<Complex>(n);
-        let mut j_buf = dev.alloc::<Complex>(n);
-        let mut delta_buf = dev.alloc::<f64>(n);
-        fill(dev, &mut delta_buf, 0.0);
-        // Ping-pong state for pointer jumping.
-        let mut d_a = dev.alloc::<Complex>(n);
-        let mut d_b = dev.alloc::<Complex>(n);
-        let mut ptr_a = dev.alloc::<u32>(n);
-        let mut ptr_b = dev.alloc::<u32>(n);
-        let b = dev.timeline().breakdown_since(mark);
-        phases.setup_us += b.total_us();
-        transfer_us += b.htod_us + b.dtoh_us;
+        let mut monitor = ConvergenceMonitor::new(cfg, a.source.abs());
+        let mut sess = JumpSession::new(&mut self.device, a)?;
 
         let mut iterations = 0;
         let mut residual = f64::MAX;
@@ -160,115 +152,7 @@ impl JumpSolver {
 
         while iterations < cfg.max_iter {
             iterations += 1;
-
-            // ---- Injection ----
-            let mark = dev.timeline().mark();
-            {
-                let s_v = s_buf.view();
-                let v_v = v_buf.view();
-                let i_v = i_buf.view_mut();
-                launch_map(dev, n, "jump_inject", move |t, d| {
-                    let s = t.ld(&s_v, d);
-                    let out = if s == Complex::ZERO {
-                        Complex::ZERO
-                    } else {
-                        let v = t.ld(&v_v, d);
-                        t.flops(Complex::DIV_FLOPS + 1);
-                        (s / v).conj()
-                    };
-                    t.st(&i_v, d, out);
-                });
-            }
-            phases.injection_us += dev.timeline().breakdown_since(mark).total_us();
-
-            // ---- Backward sweep, fused: one scan + one map ----
-            let mark = dev.timeline().mark();
-            scan_exclusive::<Complex, AddComplex>(dev, &i_buf, &mut excl_buf);
-            {
-                let e_v = excl_buf.view();
-                let i_v = i_buf.view();
-                let m_v = size_buf.view();
-                let j_v = j_buf.view_mut();
-                launch_map(dev, n, "jump_subtree_sum", move |t, d| {
-                    let m = t.ld(&m_v, d) as usize;
-                    let lo = t.ld(&e_v, d);
-                    // P[d+m]: one past the array end means "grand total",
-                    // reconstructed from the last exclusive entry + last
-                    // injection (avoids an n+1-sized scan buffer).
-                    let hi = if d + m < n {
-                        t.ld(&e_v, d + m)
-                    } else {
-                        let last = n - 1;
-                        t.flops(Complex::ADD_FLOPS);
-                        t.ld(&e_v, last) + t.ld(&i_v, last)
-                    };
-                    t.flops(Complex::ADD_FLOPS);
-                    t.st(&j_v, d, hi - lo);
-                });
-            }
-            phases.backward_us += dev.timeline().breakdown_since(mark).total_us();
-
-            // ---- Forward sweep: per-edge drops, then pointer jumping ----
-            let mark = dev.timeline().mark();
-            {
-                let z_v = z_buf.view();
-                let j_v = j_buf.view();
-                let p_v = parent_buf.view();
-                let d_v = d_a.view_mut();
-                let ptr_v = ptr_a.view_mut();
-                launch_map(dev, n, "jump_edge_drop", move |t, d| {
-                    let z = t.ld(&z_v, d);
-                    let jb = t.ld(&j_v, d);
-                    t.flops(Complex::MUL_FLOPS);
-                    t.st(&d_v, d, z * jb);
-                    let p = t.ld(&p_v, d);
-                    t.st(&ptr_v, d, p);
-                });
-            }
-            let (mut cur_d, mut cur_ptr, mut nxt_d, mut nxt_ptr) =
-                (&mut d_a, &mut ptr_a, &mut d_b, &mut ptr_b);
-            for _ in 0..jump_rounds {
-                {
-                    let d_in = cur_d.view();
-                    let ptr_in = cur_ptr.view();
-                    let d_out = nxt_d.view_mut();
-                    let ptr_out = nxt_ptr.view_mut();
-                    launch_map(dev, n, "jump_round", move |t, d| {
-                        let p = t.ld(&ptr_in, d) as usize;
-                        let mine = t.ld(&d_in, d);
-                        let theirs = t.ld(&d_in, p);
-                        t.flops(Complex::ADD_FLOPS);
-                        t.st(&d_out, d, mine + theirs);
-                        let pp = t.ld(&ptr_in, p);
-                        t.st(&ptr_out, d, pp);
-                    });
-                }
-                std::mem::swap(&mut cur_d, &mut nxt_d);
-                std::mem::swap(&mut cur_ptr, &mut nxt_ptr);
-            }
-            {
-                let d_v = cur_d.view();
-                let v_v = v_buf.view_mut();
-                let delta_v = delta_buf.view_mut();
-                launch_map(dev, n, "jump_voltage", move |t, d| {
-                    let old = t.ld_mut(&v_v, d);
-                    let drop_ = t.ld(&d_v, d);
-                    let new_v = v0 - drop_;
-                    t.flops(Complex::ADD_FLOPS + 4);
-                    t.st(&v_v, d, new_v);
-                    t.st(&delta_v, d, (new_v - old).abs());
-                });
-            }
-            phases.forward_us += dev.timeline().breakdown_since(mark).total_us();
-
-            // ---- Convergence ----
-            let mark = dev.timeline().mark();
-            let delta = reduce::<f64, MaxAbsF64>(dev, &delta_buf);
-            let b = dev.timeline().breakdown_since(mark);
-            phases.convergence_us += b.total_us();
-            transfer_us += b.htod_us + b.dtoh_us;
-            transfer_sweep_us += b.htod_us + b.dtoh_us;
-
+            let delta = sess.iterate()?;
             residual = delta;
             residual_history.push(delta);
             if let Some(s) = monitor.observe(iterations, delta) {
@@ -277,21 +161,9 @@ impl JumpSolver {
             }
         }
 
-        // ---- Teardown ----
-        let mark = dev.timeline().mark();
-        let v_pos = dev.dtoh(&v_buf);
-        let j_pos = dev.dtoh(&j_buf);
-        let b = dev.timeline().breakdown_since(mark);
-        phases.teardown_us += b.total_us();
-        transfer_us += b.htod_us + b.dtoh_us;
-
-        let timing = Timing {
-            phases,
-            transfer_us,
-            transfer_sweep_us,
-            wall_us: wall0.elapsed().as_secs_f64() * 1e6,
-        };
-        SolveResult {
+        let (v_pos, j_pos) = sess.download()?;
+        let timing = sess.timing(wall0);
+        Ok(SolveResult {
             v: a.dfs.unpermute(&v_pos),
             j: a.dfs.unpermute(&j_pos),
             iterations,
@@ -299,7 +171,309 @@ impl JumpSolver {
             residual,
             residual_history,
             timing,
+            fault_report: None,
+        })
+    }
+}
+
+/// One jump-formulation solve in progress (the [`crate::gpu::GpuSession`]
+/// counterpart for preorder arrays); same session split, same purpose:
+/// the recovery supervisor steps it an iteration at a time.
+pub(crate) struct JumpSession<'a> {
+    dev: &'a mut Device,
+    a: &'a JumpArrays,
+    jump_rounds: u32,
+    s_buf: DeviceBuffer<Complex>,
+    z_buf: DeviceBuffer<Complex>,
+    parent_buf: DeviceBuffer<u32>,
+    size_buf: DeviceBuffer<u32>,
+    v_buf: DeviceBuffer<Complex>,
+    i_buf: DeviceBuffer<Complex>,
+    excl_buf: DeviceBuffer<Complex>,
+    j_buf: DeviceBuffer<Complex>,
+    delta_buf: DeviceBuffer<f64>,
+    d_a: DeviceBuffer<Complex>,
+    d_b: DeviceBuffer<Complex>,
+    ptr_a: DeviceBuffer<u32>,
+    ptr_b: DeviceBuffer<u32>,
+    phases: PhaseTimes,
+    transfer_us: f64,
+    transfer_sweep_us: f64,
+    recovery_us: f64,
+}
+
+impl<'a> JumpSession<'a> {
+    /// Uploads topology and state (charged to the setup phase).
+    pub(crate) fn new(dev: &'a mut Device, a: &'a JumpArrays) -> Result<Self, DeviceError> {
+        let n = a.len();
+        let v0 = a.source;
+        let jump_rounds = ceil_log2(a.dfs.max_depth.max(1) as usize);
+        let mut phases = PhaseTimes::default();
+
+        let mark = dev.timeline().mark();
+        let s_buf = dev.try_alloc_from(&a.s)?;
+        let z_buf = dev.try_alloc_from(&a.z)?;
+        let parent_buf = dev.try_alloc_from(&a.parent_or_self)?;
+        let size_buf = dev.try_alloc_from(&a.subtree_size)?;
+        let mut v_buf = dev.try_alloc::<Complex>(n)?;
+        try_fill(dev, &mut v_buf, v0)?;
+        let i_buf = dev.try_alloc::<Complex>(n)?;
+        let excl_buf = dev.try_alloc::<Complex>(n)?;
+        let j_buf = dev.try_alloc::<Complex>(n)?;
+        let mut delta_buf = dev.try_alloc::<f64>(n)?;
+        try_fill(dev, &mut delta_buf, 0.0)?;
+        // Ping-pong state for pointer jumping.
+        let d_a = dev.try_alloc::<Complex>(n)?;
+        let d_b = dev.try_alloc::<Complex>(n)?;
+        let ptr_a = dev.try_alloc::<u32>(n)?;
+        let ptr_b = dev.try_alloc::<u32>(n)?;
+        let b = dev.timeline().breakdown_since(mark);
+        phases.setup_us += b.total_us();
+        let transfer_us = b.htod_us + b.dtoh_us;
+
+        Ok(JumpSession {
+            dev,
+            a,
+            jump_rounds,
+            s_buf,
+            z_buf,
+            parent_buf,
+            size_buf,
+            v_buf,
+            i_buf,
+            excl_buf,
+            j_buf,
+            delta_buf,
+            d_a,
+            d_b,
+            ptr_a,
+            ptr_b,
+            phases,
+            transfer_us,
+            transfer_sweep_us: 0.0,
+            recovery_us: 0.0,
+        })
+    }
+
+    /// Timing summary as of now.
+    pub(crate) fn timing(&self, wall0: Instant) -> Timing {
+        Timing {
+            phases: self.phases,
+            transfer_us: self.transfer_us,
+            transfer_sweep_us: self.transfer_sweep_us,
+            wall_us: wall0.elapsed().as_secs_f64() * 1e6,
         }
+    }
+
+    /// Modeled µs spent on checkpoint/restore/verify traffic.
+    #[allow(dead_code)]
+    pub(crate) fn recovery_us(&self) -> f64 {
+        self.recovery_us
+    }
+}
+
+impl SweepSession for JumpSession<'_> {
+    fn iterate(&mut self) -> Result<f64, DeviceError> {
+        let dev = &mut *self.dev;
+        let a = self.a;
+        let n = a.len();
+        let v0 = a.source;
+
+        // ---- Injection ----
+        let mark = dev.timeline().mark();
+        {
+            let s_v = self.s_buf.view();
+            let v_v = self.v_buf.view();
+            let i_v = self.i_buf.view_mut();
+            try_launch_map(dev, n, "jump_inject", move |t, d| {
+                let s = t.ld(&s_v, d);
+                let out = if s == Complex::ZERO {
+                    Complex::ZERO
+                } else {
+                    let v = t.ld(&v_v, d);
+                    t.flops(Complex::DIV_FLOPS + 1);
+                    (s / v).conj()
+                };
+                t.st(&i_v, d, out);
+            })?;
+        }
+        self.phases.injection_us += dev.timeline().breakdown_since(mark).total_us();
+
+        // ---- Backward sweep, fused: one scan + one map ----
+        let mark = dev.timeline().mark();
+        try_scan_exclusive::<Complex, AddComplex>(dev, &self.i_buf, &mut self.excl_buf)?;
+        {
+            let e_v = self.excl_buf.view();
+            let i_v = self.i_buf.view();
+            let m_v = self.size_buf.view();
+            let j_v = self.j_buf.view_mut();
+            try_launch_map(dev, n, "jump_subtree_sum", move |t, d| {
+                let m = t.ld(&m_v, d) as usize;
+                let lo = t.ld(&e_v, d);
+                // P[d+m]: one past the array end means "grand total",
+                // reconstructed from the last exclusive entry + last
+                // injection (avoids an n+1-sized scan buffer).
+                let hi = if d + m < n {
+                    t.ld(&e_v, d + m)
+                } else {
+                    let last = n - 1;
+                    t.flops(Complex::ADD_FLOPS);
+                    t.ld(&e_v, last) + t.ld(&i_v, last)
+                };
+                t.flops(Complex::ADD_FLOPS);
+                t.st(&j_v, d, hi - lo);
+            })?;
+        }
+        self.phases.backward_us += dev.timeline().breakdown_since(mark).total_us();
+
+        // ---- Forward sweep: per-edge drops, then pointer jumping ----
+        let mark = dev.timeline().mark();
+        {
+            let z_v = self.z_buf.view();
+            let j_v = self.j_buf.view();
+            let p_v = self.parent_buf.view();
+            let d_v = self.d_a.view_mut();
+            let ptr_v = self.ptr_a.view_mut();
+            try_launch_map(dev, n, "jump_edge_drop", move |t, d| {
+                let z = t.ld(&z_v, d);
+                let jb = t.ld(&j_v, d);
+                t.flops(Complex::MUL_FLOPS);
+                t.st(&d_v, d, z * jb);
+                let p = t.ld(&p_v, d);
+                t.st(&ptr_v, d, p);
+            })?;
+        }
+        let (mut cur_d, mut cur_ptr, mut nxt_d, mut nxt_ptr) =
+            (&mut self.d_a, &mut self.ptr_a, &mut self.d_b, &mut self.ptr_b);
+        for _ in 0..self.jump_rounds {
+            {
+                let d_in = cur_d.view();
+                let ptr_in = cur_ptr.view();
+                let d_out = nxt_d.view_mut();
+                let ptr_out = nxt_ptr.view_mut();
+                try_launch_map(dev, n, "jump_round", move |t, d| {
+                    let p = t.ld(&ptr_in, d) as usize;
+                    let mine = t.ld(&d_in, d);
+                    let theirs = t.ld(&d_in, p);
+                    t.flops(Complex::ADD_FLOPS);
+                    t.st(&d_out, d, mine + theirs);
+                    let pp = t.ld(&ptr_in, p);
+                    t.st(&ptr_out, d, pp);
+                })?;
+            }
+            std::mem::swap(&mut cur_d, &mut nxt_d);
+            std::mem::swap(&mut cur_ptr, &mut nxt_ptr);
+        }
+        {
+            let d_v = cur_d.view();
+            let v_v = self.v_buf.view_mut();
+            let delta_v = self.delta_buf.view_mut();
+            try_launch_map(dev, n, "jump_voltage", move |t, d| {
+                let old = t.ld_mut(&v_v, d);
+                let drop_ = t.ld(&d_v, d);
+                let new_v = v0 - drop_;
+                t.flops(Complex::ADD_FLOPS + 4);
+                t.st(&v_v, d, new_v);
+                t.st(&delta_v, d, (new_v - old).abs());
+            })?;
+        }
+        self.phases.forward_us += dev.timeline().breakdown_since(mark).total_us();
+
+        // ---- Convergence ----
+        let mark = dev.timeline().mark();
+        let delta = try_reduce::<f64, MaxAbsF64>(dev, &self.delta_buf)?;
+        let b = dev.timeline().breakdown_since(mark);
+        self.phases.convergence_us += b.total_us();
+        self.transfer_us += b.htod_us + b.dtoh_us;
+        self.transfer_sweep_us += b.htod_us + b.dtoh_us;
+        Ok(delta)
+    }
+
+    fn snapshot(&mut self) -> Result<Vec<Complex>, DeviceError> {
+        let mark = self.dev.timeline().mark();
+        let v = self.dev.try_dtoh(&self.v_buf)?;
+        self.recovery_us += self.dev.timeline().breakdown_since(mark).total_us();
+        Ok(v)
+    }
+
+    fn restore(&mut self, v_pos: &[Complex]) -> Result<(), DeviceError> {
+        let dev = &mut *self.dev;
+        let a = self.a;
+        let mark = dev.timeline().mark();
+        dev.try_htod(&mut self.s_buf, &a.s)?;
+        dev.try_htod(&mut self.z_buf, &a.z)?;
+        dev.try_htod(&mut self.parent_buf, &a.parent_or_self)?;
+        dev.try_htod(&mut self.size_buf, &a.subtree_size)?;
+        dev.try_htod(&mut self.v_buf, v_pos)?;
+        try_fill(dev, &mut self.delta_buf, 0.0)?;
+        self.recovery_us += dev.timeline().breakdown_since(mark).total_us();
+        Ok(())
+    }
+
+    fn verify_static(&mut self) -> Result<bool, DeviceError> {
+        let dev = &mut *self.dev;
+        let a = self.a;
+        let mark = dev.timeline().mark();
+        let ok = dev.try_dtoh(&self.s_buf)? == a.s
+            && dev.try_dtoh(&self.z_buf)? == a.z
+            && dev.try_dtoh(&self.parent_buf)? == a.parent_or_self
+            && dev.try_dtoh(&self.size_buf)? == a.subtree_size;
+        self.recovery_us += dev.timeline().breakdown_since(mark).total_us();
+        Ok(ok)
+    }
+
+    fn download(&mut self) -> Result<(Vec<Complex>, Vec<Complex>), DeviceError> {
+        let dev = &mut *self.dev;
+        let mark = dev.timeline().mark();
+        let v_pos = dev.try_dtoh(&self.v_buf)?;
+        let j_pos = dev.try_dtoh(&self.j_buf)?;
+        let b = dev.timeline().breakdown_since(mark);
+        self.phases.teardown_us += b.total_us();
+        self.transfer_us += b.htod_us + b.dtoh_us;
+        Ok((v_pos, j_pos))
+    }
+
+    fn host_iterate(&self, v_pos: &[Complex]) -> (f64, Vec<Complex>) {
+        let a = self.a;
+        let n = a.len();
+        let i: Vec<Complex> = (0..n)
+            .map(|d| {
+                if a.s[d] == Complex::ZERO {
+                    Complex::ZERO
+                } else {
+                    (a.s[d] / v_pos[d]).conj()
+                }
+            })
+            .collect();
+        // Preorder puts parents before children, so a reverse pass
+        // pushes each subtree total onto its parent.
+        let mut j = i;
+        for d in (1..n).rev() {
+            let parent = a.parent_or_self[d] as usize;
+            let jd = j[d];
+            j[parent] += jd;
+        }
+        let mut v_new = v_pos.to_vec();
+        v_new[0] = a.source;
+        // The device rebuilds every voltage from the source constant, so
+        // a corrupted root read-back never perturbs the children — check
+        // the root directly (exactly zero in clean runs).
+        let mut res = MaxAbsF64::combine(0.0, (a.source - v_pos[0]).abs());
+        for d in 1..n {
+            let parent = a.parent_or_self[d] as usize;
+            let nv = v_new[parent] - a.z[d] * j[d];
+            res = MaxAbsF64::combine(res, (nv - v_pos[d]).abs());
+            v_new[d] = nv;
+        }
+        (res, j)
+    }
+
+    fn source_mag(&self) -> f64 {
+        self.a.source.abs()
+    }
+
+    fn faults_observed(&self) -> u32 {
+        self.dev.fault_log().len() as u32
     }
 }
 

@@ -33,6 +33,7 @@ mod config;
 mod gpu;
 pub mod jump;
 mod multicore;
+mod recovery;
 mod report;
 mod serial;
 mod status;
@@ -45,7 +46,8 @@ pub use config::SolverConfig;
 pub use gpu::{BackwardStrategy, GpuSolver};
 pub use jump::{JumpArrays, JumpSolver};
 pub use multicore::MulticoreSolver;
-pub use report::{PhaseTimes, SolveResult, Timing};
+pub use recovery::{Backend, Resilient3Solver, ResilienceError, ResilientSolver};
+pub use report::{FaultReport, PhaseTimes, SolveResult, Timing};
 pub use serial::SerialSolver;
 pub use status::{ConvergenceMonitor, SolveStatus};
 pub use three_phase::{Arrays3, Gpu3Solver, Serial3Solver, Solve3Result};

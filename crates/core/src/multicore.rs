@@ -176,6 +176,7 @@ impl MulticoreSolver {
             residual,
             residual_history,
             timing,
+            fault_report: None,
         }
     }
 }

@@ -1,0 +1,886 @@
+//! Checkpoint/rollback recovery and graceful GPU→CPU degradation.
+//!
+//! The fault model ([`simt::FaultPlan`]) injects loud errors (failed
+//! allocations and launches, device loss) and *silent* data corruption
+//! (transfer bit flips, resident-buffer bit flips). This module turns
+//! a fallible, faulty device into a solver that still produces the
+//! fault-free answer:
+//!
+//! * **Checkpoints.** Every `checkpoint_every` iterations the supervisor
+//!   downloads the voltage state. A checkpoint taken while *tainted*
+//!   (faults observed since the last certified checkpoint) must first
+//!   pass certification: the static topology buffers are compared
+//!   byte-for-byte against their host copies, and one host-side sweep
+//!   from the downloaded voltages must reproduce a residual consistent
+//!   with the device's. The initial checkpoint is the flat start — known
+//!   clean without touching the device.
+//! * **Detection.** Loud faults surface as [`DeviceError`]s from the
+//!   fallible kernels. Silent corruption is biased into f64 exponent
+//!   bits, so it shows up as a residual spike or NaN within an
+//!   iteration or two; whatever slips past that is caught by the
+//!   certification gates, which also guard convergence itself: a
+//!   tainted "converged" result is accepted only after the static
+//!   check, a host-sweep residual within tolerance, and an elementwise
+//!   branch-current cross-check.
+//! * **Rollback.** Any anomaly while tainted triggers a rollback:
+//!   statics are re-uploaded (healing resident corruption), voltages
+//!   are restored from the last certified checkpoint, and the sweep
+//!   replays. Anomalies while *untainted* are genuine — they are
+//!   reported honestly, never rolled back.
+//! * **Degradation.** Every rollback or restart charges a budget of
+//!   `max_recoveries`. Device loss or budget exhaustion degrades the
+//!   backend: gpu → multicore → serial. The CPU backends cannot fault,
+//!   so a degraded solve reproduces the true answer (or the true
+//!   failure) deterministically.
+//!
+//! Because rollbacks restore certified-clean state and the CPU
+//! fallbacks are fault-free, a recovered solve matches the fault-free
+//! solve's voltages; results carry [`SolveStatus::Recovered`] and a
+//! [`FaultReport`] so callers can see the run was not clean.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use numc::Complex;
+use powergrid::three_phase::ThreePhaseNetwork;
+use powergrid::RadialNetwork;
+use simt::{Device, DeviceError, DeviceProps, FaultPlan, HostProps};
+
+use crate::arrays::SolverArrays;
+use crate::config::SolverConfig;
+use crate::gpu::{BackwardStrategy, GpuSession};
+use crate::jump::{JumpArrays, JumpSession};
+use crate::multicore::MulticoreSolver;
+use crate::report::{FaultReport, SolveResult};
+use crate::serial::SerialSolver;
+use crate::status::{ConvergenceMonitor, SolveStatus};
+use crate::three_phase::{Arrays3, Gpu3Solver, Serial3Solver, Solve3Result};
+
+/// A residual is anomalous when it exceeds this multiple of the
+/// previous iteration's residual (or of the tolerance, near
+/// convergence). Exponent-bit corruption changes magnitudes by at least
+/// 2×, so genuine FBS decay and injected corruption separate cleanly.
+pub(crate) const SPIKE_FACTOR: f64 = 4.0;
+
+/// One GPU sweep in progress, abstracted over the level-synchronous and
+/// jump formulations so the recovery loop in [`drive`] is written once.
+///
+/// All voltages are in the session's device position order.
+pub(crate) trait SweepSession {
+    /// Runs one full FBS iteration; returns the ∞-norm voltage update.
+    fn iterate(&mut self) -> Result<f64, DeviceError>;
+    /// Downloads the voltage state (checkpoint capture).
+    fn snapshot(&mut self) -> Result<Vec<Complex>, DeviceError>;
+    /// Re-uploads every static buffer and the given voltages, clearing
+    /// scratch state — heals any resident corruption.
+    fn restore(&mut self, v_pos: &[Complex]) -> Result<(), DeviceError>;
+    /// Compares every static device buffer byte-for-byte against its
+    /// host copy.
+    fn verify_static(&mut self) -> Result<bool, DeviceError>;
+    /// Downloads the final voltages and branch currents.
+    fn download(&mut self) -> Result<(Vec<Complex>, Vec<Complex>), DeviceError>;
+    /// One host-side FBS iteration from `v_pos`: returns the residual
+    /// it would produce and the host-computed branch currents.
+    fn host_iterate(&self, v_pos: &[Complex]) -> (f64, Vec<Complex>);
+    /// Source voltage magnitude (tolerance scaling).
+    fn source_mag(&self) -> f64;
+    /// Faults the device has recorded so far (monotone per device).
+    fn faults_observed(&self) -> u32;
+}
+
+/// The bounded retry budget one resilient solve may spend.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RetryBudget {
+    max: u32,
+    used: u32,
+}
+
+impl RetryBudget {
+    pub(crate) fn new(max: u32) -> Self {
+        RetryBudget { max, used: 0 }
+    }
+
+    /// Consumes one retry; `false` means the budget is exhausted.
+    pub(crate) fn charge(&mut self) -> bool {
+        if self.used >= self.max {
+            return false;
+        }
+        self.used += 1;
+        true
+    }
+
+    pub(crate) fn used(&self) -> u32 {
+        self.used
+    }
+}
+
+/// What [`drive`] hands back on a completed (possibly honestly failed)
+/// solve, in device position order.
+pub(crate) struct DriveOutcome {
+    pub v_pos: Vec<Complex>,
+    pub j_pos: Vec<Complex>,
+    pub iterations: u32,
+    pub status: SolveStatus,
+    pub residual: f64,
+    pub residual_history: Vec<f64>,
+}
+
+/// Why [`drive`] gave up on the current device.
+pub(crate) enum DriveAbort {
+    /// The device is gone; no retry on it can succeed.
+    Lost(DeviceError),
+    /// The retry budget ran dry.
+    Exhausted,
+    /// Session setup failed transiently; retry on a fresh device
+    /// (already charged to the budget).
+    Restart,
+}
+
+/// The last certified-clean state the sweep can roll back to.
+struct Checkpoint {
+    v: Vec<Complex>,
+    iterations: u32,
+    residual: f64,
+    history: Vec<f64>,
+    monitor: ConvergenceMonitor,
+    faults: u32,
+}
+
+/// Rolls the session back to `ckpt`, charging the budget; loud faults
+/// during the restore itself are retried within the same budget.
+fn rollback<S: SweepSession>(
+    sess: &mut S,
+    ckpt: &Checkpoint,
+    report: &mut FaultReport,
+    budget: &mut RetryBudget,
+) -> Result<(), DriveAbort> {
+    loop {
+        report.rollbacks += 1;
+        if !budget.charge() {
+            return Err(DriveAbort::Exhausted);
+        }
+        report.retries += 1;
+        match sess.restore(&ckpt.v) {
+            Ok(()) => return Ok(()),
+            Err(e @ DeviceError::DeviceLost { .. }) => return Err(DriveAbort::Lost(e)),
+            Err(_) => continue,
+        }
+    }
+}
+
+/// The checkpointed iteration loop shared by every device backend.
+///
+/// With `checkpointing` false (no fault plan armed) this performs
+/// exactly the same device operations as the plain solver loop — zero
+/// recovery overhead on clean runs.
+pub(crate) fn drive<S: SweepSession>(
+    sess: &mut S,
+    cfg: &SolverConfig,
+    init_v: &[Complex],
+    checkpointing: bool,
+    report: &mut FaultReport,
+    budget: &mut RetryBudget,
+) -> Result<DriveOutcome, DriveAbort> {
+    let monitor0 = ConvergenceMonitor::new(cfg, sess.source_mag());
+    let tol = monitor0.tol();
+    // The flat start is host-known clean: certifying it costs nothing.
+    // `faults: 0` (not the current count) so setup-time corruption
+    // taints the run and gets caught by the first certification.
+    let mut ckpt = Checkpoint {
+        v: init_v.to_vec(),
+        iterations: 0,
+        residual: f64::INFINITY,
+        history: Vec::new(),
+        monitor: monitor0,
+        faults: 0,
+    };
+
+    'attempt: loop {
+        let mut mon = ckpt.monitor.clone();
+        let mut iters = ckpt.iterations;
+        let mut history = ckpt.history.clone();
+        let mut prev_r = ckpt.residual;
+        let mut residual = ckpt.residual;
+
+        macro_rules! step {
+            ($e:expr) => {
+                match $e {
+                    Ok(x) => x,
+                    Err(e @ DeviceError::DeviceLost { .. }) => {
+                        return Err(DriveAbort::Lost(e));
+                    }
+                    Err(_) => {
+                        rollback(sess, &ckpt, report, budget)?;
+                        continue 'attempt;
+                    }
+                }
+            };
+        }
+        macro_rules! recover {
+            () => {{
+                rollback(sess, &ckpt, report, budget)?;
+                continue 'attempt;
+            }};
+        }
+
+        loop {
+            if iters >= cfg.max_iter {
+                if sess.faults_observed() > ckpt.faults {
+                    recover!();
+                }
+                let (v_pos, j_pos) = step!(sess.download());
+                return Ok(DriveOutcome {
+                    v_pos,
+                    j_pos,
+                    iterations: iters,
+                    status: SolveStatus::MaxIterations,
+                    residual,
+                    residual_history: history,
+                });
+            }
+            iters += 1;
+            let r = step!(sess.iterate());
+            history.push(r);
+            residual = r;
+            let tainted = sess.faults_observed() > ckpt.faults;
+            if tainted && (!r.is_finite() || r > SPIKE_FACTOR * prev_r.max(tol)) {
+                recover!();
+            }
+            match mon.observe(iters, r) {
+                None => {
+                    prev_r = r;
+                    if checkpointing && iters.is_multiple_of(cfg.checkpoint_every) {
+                        if tainted {
+                            // Certification: statics exact, and one host
+                            // sweep from the captured voltages must agree
+                            // with what the device just reported.
+                            if !step!(sess.verify_static()) {
+                                recover!();
+                            }
+                            let v = step!(sess.snapshot());
+                            let (rh, _) = sess.host_iterate(&v);
+                            if !rh.is_finite() || rh > SPIKE_FACTOR * r.max(tol) {
+                                recover!();
+                            }
+                            ckpt.v = v;
+                        } else {
+                            ckpt.v = step!(sess.snapshot());
+                        }
+                        ckpt.iterations = iters;
+                        ckpt.residual = r;
+                        ckpt.history = history.clone();
+                        ckpt.monitor = mon.clone();
+                        ckpt.faults = sess.faults_observed();
+                        report.checkpoints += 1;
+                    }
+                }
+                Some(SolveStatus::Converged) => {
+                    if !tainted {
+                        let (v_pos, j_pos) = step!(sess.download());
+                        return Ok(DriveOutcome {
+                            v_pos,
+                            j_pos,
+                            iterations: iters,
+                            status: SolveStatus::Converged,
+                            residual,
+                            residual_history: history,
+                        });
+                    }
+                    // Tainted convergence must earn acceptance.
+                    if !step!(sess.verify_static()) {
+                        recover!();
+                    }
+                    let (v_pos, j_pos) = step!(sess.download());
+                    let (rh, j_h) = sess.host_iterate(&v_pos);
+                    let j_ok = j_pos.len() == j_h.len()
+                        && j_pos.iter().zip(&j_h).all(|(a, b)| {
+                            let d = (*a - *b).abs();
+                            d.is_finite() && d <= 1e-4 * (1.0 + b.abs())
+                        });
+                    if rh.is_finite() && rh <= SPIKE_FACTOR * tol && j_ok {
+                        return Ok(DriveOutcome {
+                            v_pos,
+                            j_pos,
+                            iterations: iters,
+                            status: SolveStatus::Converged,
+                            residual,
+                            residual_history: history,
+                        });
+                    }
+                    recover!();
+                }
+                Some(bad) => {
+                    if tainted {
+                        recover!();
+                    }
+                    // A genuine divergence or numerical failure: report
+                    // it honestly, never roll it back.
+                    let (v_pos, j_pos) = step!(sess.download());
+                    return Ok(DriveOutcome {
+                        v_pos,
+                        j_pos,
+                        iterations: iters,
+                        status: bad,
+                        residual,
+                        residual_history: history,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Which solver implementation a resilient solve runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Serial CPU reference.
+    Serial,
+    /// Level-parallel multicore CPU solver.
+    Multicore,
+    /// Level-synchronous GPU solver, segmented-scan backward.
+    Gpu,
+    /// Level-synchronous GPU solver, direct backward.
+    GpuDirect,
+    /// Level-synchronous GPU solver, atomic-scatter backward.
+    GpuAtomic,
+    /// Depth-insensitive jump GPU solver.
+    GpuJump,
+}
+
+impl Backend {
+    /// CLI/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Serial => "serial",
+            Backend::Multicore => "multicore",
+            Backend::Gpu => "gpu",
+            Backend::GpuDirect => "gpu-direct",
+            Backend::GpuAtomic => "gpu-atomic",
+            Backend::GpuJump => "gpu-jump",
+        }
+    }
+
+    /// Parses a CLI solver name.
+    pub fn from_name(name: &str) -> Option<Backend> {
+        Some(match name {
+            "serial" => Backend::Serial,
+            "multicore" => Backend::Multicore,
+            "gpu" => Backend::Gpu,
+            "gpu-direct" => Backend::GpuDirect,
+            "gpu-atomic" => Backend::GpuAtomic,
+            "gpu-jump" => Backend::GpuJump,
+            _ => return None,
+        })
+    }
+
+    /// The next backend in the degradation chain, `None` at the end.
+    /// Device backends fall back to the multicore CPU solver, which
+    /// falls back to serial; CPU backends cannot fault but the chain is
+    /// defined all the way down.
+    pub fn fallback(self) -> Option<Backend> {
+        match self {
+            Backend::Serial => None,
+            Backend::Multicore => Some(Backend::Serial),
+            _ => Some(Backend::Multicore),
+        }
+    }
+
+    /// Whether this backend runs on the simulated device (and is
+    /// therefore exposed to injected device faults).
+    pub fn is_device(self) -> bool {
+        !matches!(self, Backend::Serial | Backend::Multicore)
+    }
+}
+
+/// Why a resilient solve could not produce a result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResilienceError {
+    /// The device was lost and degradation is disabled.
+    DeviceLost(DeviceError),
+    /// The retry budget ran dry and degradation is disabled.
+    BudgetExhausted {
+        /// Retries spent before giving up.
+        retries: u32,
+    },
+}
+
+impl fmt::Display for ResilienceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResilienceError::DeviceLost(e) => {
+                write!(f, "unrecoverable: {e} and degradation is disabled")
+            }
+            ResilienceError::BudgetExhausted { retries } => {
+                write!(f, "unrecoverable: recovery budget exhausted after {retries} retries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResilienceError {}
+
+/// Fault-tolerant single-phase solver: checkpoints, rolls back, retries
+/// on fresh devices, and degrades gpu → multicore → serial.
+pub struct ResilientSolver {
+    backend: Backend,
+    props: DeviceProps,
+    host: HostProps,
+    plan: Option<FaultPlan>,
+    degrade: bool,
+    last_device: Option<Device>,
+}
+
+impl ResilientSolver {
+    /// Creates a supervisor for the given backend and hardware models.
+    pub fn new(backend: Backend, props: DeviceProps, host: HostProps) -> Self {
+        ResilientSolver { backend, props, host, plan: None, degrade: true, last_device: None }
+    }
+
+    /// Arms a fault plan; every device the supervisor creates gets a
+    /// clone (clones share the op counter, so retries continue the
+    /// fault stream instead of replaying it).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Enables or disables GPU→CPU degradation (default enabled).
+    pub fn with_degradation(mut self, degrade: bool) -> Self {
+        self.degrade = degrade;
+        self
+    }
+
+    /// The backend this supervisor starts on.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The device used by the most recent device attempt (timeline and
+    /// fault-log inspection), if any.
+    pub fn last_device(&self) -> Option<&Device> {
+        self.last_device.as_ref()
+    }
+
+    /// Solves, recovering from injected faults.
+    pub fn solve(
+        &mut self,
+        net: &RadialNetwork,
+        cfg: &SolverConfig,
+    ) -> Result<SolveResult, ResilienceError> {
+        let mut report = FaultReport::default();
+        let mut budget = RetryBudget::new(cfg.max_recoveries);
+        let mut backend = self.backend;
+        loop {
+            report.backends.push(backend.name().to_string());
+            if !backend.is_device() {
+                let mut res = match backend {
+                    Backend::Serial => SerialSolver::new(self.host.clone()).solve(net, cfg),
+                    Backend::Multicore => MulticoreSolver::new(
+                        self.host.clone(),
+                        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+                    )
+                    .solve(net, cfg),
+                    _ => unreachable!(),
+                };
+                res.status = upgraded(res.status, &report);
+                res.fault_report = Some(report);
+                return Ok(res);
+            }
+            match self.run_device(backend, net, cfg, &mut report, &mut budget) {
+                Ok(mut res) => {
+                    res.status = upgraded(res.status, &report);
+                    res.fault_report = Some(report);
+                    return Ok(res);
+                }
+                Err(abort) => {
+                    if self.degrade {
+                        backend = backend.fallback().expect("device backends have a fallback");
+                        continue;
+                    }
+                    return Err(match abort {
+                        DriveAbort::Lost(e) => ResilienceError::DeviceLost(e),
+                        _ => ResilienceError::BudgetExhausted { retries: report.retries },
+                    });
+                }
+            }
+        }
+    }
+
+    /// Runs attempts on fresh devices until one completes or the
+    /// backend must be abandoned.
+    fn run_device(
+        &mut self,
+        backend: Backend,
+        net: &RadialNetwork,
+        cfg: &SolverConfig,
+        report: &mut FaultReport,
+        budget: &mut RetryBudget,
+    ) -> Result<SolveResult, DriveAbort> {
+        let level_arrays =
+            (backend != Backend::GpuJump).then(|| SolverArrays::new(net));
+        let jump_arrays = (backend == Backend::GpuJump).then(|| JumpArrays::new(net));
+        let checkpointing = self.plan.is_some();
+        loop {
+            let mut dev = Device::new(self.props.clone());
+            if let Some(plan) = &self.plan {
+                dev.arm_faults(plan.clone());
+            }
+            // Corrupted index buffers can drive kernels out of bounds;
+            // the engine propagates the panic, which is just another
+            // fault: charge it and restart on a fresh device.
+            let attempt = catch_unwind(AssertUnwindSafe(|| match backend {
+                Backend::GpuJump => run_jump_attempt(
+                    &mut dev,
+                    jump_arrays.as_ref().unwrap(),
+                    cfg,
+                    checkpointing,
+                    report,
+                    budget,
+                ),
+                _ => run_level_attempt(
+                    &mut dev,
+                    level_arrays.as_ref().unwrap(),
+                    strategy_of(backend),
+                    cfg,
+                    checkpointing,
+                    report,
+                    budget,
+                ),
+            }));
+            report.faults_injected += dev.fault_log().len() as u32;
+            let lost = dev.is_lost();
+            self.last_device = Some(dev);
+            match attempt {
+                Ok(Ok(res)) => return Ok(res),
+                Ok(Err(DriveAbort::Restart)) => continue,
+                Ok(Err(abort)) => return Err(abort),
+                Err(_panic) => {
+                    if lost {
+                        return Err(DriveAbort::Lost(DeviceError::DeviceLost { at_op: 0 }));
+                    }
+                    report.rollbacks += 1;
+                    if !budget.charge() {
+                        return Err(DriveAbort::Exhausted);
+                    }
+                    report.retries += 1;
+                    continue;
+                }
+            }
+        }
+    }
+}
+
+fn strategy_of(backend: Backend) -> BackwardStrategy {
+    match backend {
+        Backend::GpuDirect => BackwardStrategy::Direct,
+        Backend::GpuAtomic => BackwardStrategy::AtomicScatter,
+        _ => BackwardStrategy::SegScan,
+    }
+}
+
+/// Converged-but-not-clean runs are reported as recovered.
+fn upgraded(status: SolveStatus, report: &FaultReport) -> SolveStatus {
+    if status == SolveStatus::Converged
+        && (report.faults_injected > 0 || report.retries > 0 || report.degraded())
+    {
+        SolveStatus::Recovered { faults: report.faults_injected, retries: report.retries }
+    } else {
+        status
+    }
+}
+
+/// Maps a session-setup failure: device loss aborts the backend, any
+/// other error charges the budget and asks for a fresh device.
+fn setup_abort(
+    e: DeviceError,
+    report: &mut FaultReport,
+    budget: &mut RetryBudget,
+) -> DriveAbort {
+    if matches!(e, DeviceError::DeviceLost { .. }) {
+        return DriveAbort::Lost(e);
+    }
+    report.rollbacks += 1;
+    if !budget.charge() {
+        return DriveAbort::Exhausted;
+    }
+    report.retries += 1;
+    DriveAbort::Restart
+}
+
+fn run_level_attempt(
+    dev: &mut Device,
+    a: &SolverArrays,
+    strategy: BackwardStrategy,
+    cfg: &SolverConfig,
+    checkpointing: bool,
+    report: &mut FaultReport,
+    budget: &mut RetryBudget,
+) -> Result<SolveResult, DriveAbort> {
+    let wall0 = Instant::now();
+    let mut sess = match GpuSession::new(dev, a, strategy, None) {
+        Ok(s) => s,
+        Err(e) => return Err(setup_abort(e, report, budget)),
+    };
+    let init_v = vec![a.source; a.len()];
+    let out = drive(&mut sess, cfg, &init_v, checkpointing, report, budget);
+    report.checkpoint_us += sess.recovery_us();
+    let out = out?;
+    let timing = sess.timing(wall0);
+    Ok(SolveResult {
+        v: a.levels.unpermute(&out.v_pos),
+        j: a.levels.unpermute(&out.j_pos),
+        iterations: out.iterations,
+        status: out.status,
+        residual: out.residual,
+        residual_history: out.residual_history,
+        timing,
+        fault_report: None,
+    })
+}
+
+fn run_jump_attempt(
+    dev: &mut Device,
+    a: &JumpArrays,
+    cfg: &SolverConfig,
+    checkpointing: bool,
+    report: &mut FaultReport,
+    budget: &mut RetryBudget,
+) -> Result<SolveResult, DriveAbort> {
+    let wall0 = Instant::now();
+    let mut sess = match JumpSession::new(dev, a) {
+        Ok(s) => s,
+        Err(e) => return Err(setup_abort(e, report, budget)),
+    };
+    let init_v = vec![a.source; a.len()];
+    let out = drive(&mut sess, cfg, &init_v, checkpointing, report, budget);
+    report.checkpoint_us += sess.recovery_us();
+    let out = out?;
+    let timing = sess.timing(wall0);
+    Ok(SolveResult {
+        v: a.dfs.unpermute(&out.v_pos),
+        j: a.dfs.unpermute(&out.j_pos),
+        iterations: out.iterations,
+        status: out.status,
+        residual: out.residual,
+        residual_history: out.residual_history,
+        timing,
+        fault_report: None,
+    })
+}
+
+/// Fault-tolerant three-phase solver.
+///
+/// The three-phase GPU solver has no checkpointed session, so the
+/// policy is simpler and stricter: retry whole solves on fresh devices
+/// until one completes with *zero* recorded faults (provably clean),
+/// then accept it; device loss or budget exhaustion degrades straight
+/// to the serial three-phase reference.
+pub struct Resilient3Solver {
+    props: DeviceProps,
+    host: HostProps,
+    plan: Option<FaultPlan>,
+    degrade: bool,
+}
+
+impl Resilient3Solver {
+    /// Creates a supervisor for the three-phase GPU solver.
+    pub fn new(props: DeviceProps, host: HostProps) -> Self {
+        Resilient3Solver { props, host, plan: None, degrade: true }
+    }
+
+    /// Arms a fault plan (see [`ResilientSolver::with_fault_plan`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Enables or disables degradation to the serial reference.
+    pub fn with_degradation(mut self, degrade: bool) -> Self {
+        self.degrade = degrade;
+        self
+    }
+
+    /// Solves, recovering from injected faults.
+    pub fn solve(
+        &mut self,
+        net: &ThreePhaseNetwork,
+        cfg: &SolverConfig,
+    ) -> Result<Solve3Result, ResilienceError> {
+        let a = Arrays3::new(net);
+        let mut faults_total = 0u32;
+        let mut budget = RetryBudget::new(cfg.max_recoveries);
+        let mut last_lost: Option<DeviceError> = None;
+        loop {
+            let mut dev = Device::new(self.props.clone());
+            if let Some(plan) = &self.plan {
+                dev.arm_faults(plan.clone());
+            }
+            let mut solver = Gpu3Solver::new(dev);
+            let attempt = catch_unwind(AssertUnwindSafe(|| solver.solve_arrays(&a, cfg)));
+            let faults = solver.device().fault_log().len() as u32;
+            faults_total += faults;
+            let lost = solver.device().is_lost();
+            if let Ok(res) = attempt {
+                if faults == 0 && !lost {
+                    // Provably clean attempt: accept.
+                    let mut res = res;
+                    if budget.used() > 0 && res.status == SolveStatus::Converged {
+                        res.status = SolveStatus::Recovered {
+                            faults: faults_total,
+                            retries: budget.used(),
+                        };
+                    }
+                    return Ok(res);
+                }
+            }
+            if lost {
+                last_lost =
+                    Some(DeviceError::DeviceLost { at_op: 0 });
+            }
+            if !budget.charge() {
+                break;
+            }
+        }
+        if !self.degrade {
+            return Err(match last_lost {
+                Some(e) => ResilienceError::DeviceLost(e),
+                None => ResilienceError::BudgetExhausted { retries: budget.used() },
+            });
+        }
+        let mut res = Serial3Solver::new(self.host.clone()).solve_arrays(&a, cfg);
+        if res.status == SolveStatus::Converged {
+            res.status =
+                SolveStatus::Recovered { faults: faults_total, retries: budget.used() };
+        }
+        Ok(res)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::GpuSolver;
+    use powergrid::ieee::ieee13;
+    use simt::FaultKind;
+
+    fn rig() -> (DeviceProps, HostProps) {
+        (DeviceProps::paper_rig(), HostProps::paper_rig())
+    }
+
+    #[test]
+    fn retry_budget_exhausts() {
+        let mut b = RetryBudget::new(2);
+        assert!(b.charge());
+        assert!(b.charge());
+        assert!(!b.charge());
+        assert_eq!(b.used(), 2);
+    }
+
+    #[test]
+    fn fallback_chain_ends_at_serial() {
+        assert_eq!(Backend::Gpu.fallback(), Some(Backend::Multicore));
+        assert_eq!(Backend::GpuJump.fallback(), Some(Backend::Multicore));
+        assert_eq!(Backend::Multicore.fallback(), Some(Backend::Serial));
+        assert_eq!(Backend::Serial.fallback(), None);
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in [
+            Backend::Serial,
+            Backend::Multicore,
+            Backend::Gpu,
+            Backend::GpuDirect,
+            Backend::GpuAtomic,
+            Backend::GpuJump,
+        ] {
+            assert_eq!(Backend::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Backend::from_name("fpga"), None);
+    }
+
+    #[test]
+    fn fault_free_resilient_gpu_matches_plain_gpu_exactly() {
+        let net = ieee13();
+        let cfg = SolverConfig::default();
+        let (props, host) = rig();
+        let plain = GpuSolver::new(Device::new(props.clone())).solve(&net, &cfg);
+        let res = ResilientSolver::new(Backend::Gpu, props, host)
+            .solve(&net, &cfg)
+            .expect("clean run cannot fail");
+        assert_eq!(res.status, SolveStatus::Converged);
+        assert_eq!(res.iterations, plain.iterations);
+        assert_eq!(res.v, plain.v, "fault-free supervisor run must be bit-identical");
+        let report = res.fault_report.expect("supervisor attaches a report");
+        assert_eq!(report.faults_injected, 0);
+        assert_eq!(report.checkpoints, 0, "no plan armed means no checkpoint traffic");
+        assert_eq!(report.backends, vec!["gpu".to_string()]);
+    }
+
+    #[test]
+    fn seeded_faults_recover_to_the_fault_free_answer() {
+        let net = ieee13();
+        let cfg = SolverConfig::default();
+        let (props, host) = rig();
+        let plain = GpuSolver::new(Device::new(props.clone())).solve(&net, &cfg);
+        let plan = FaultPlan::seeded(20200817, 0.02);
+        let mut solver =
+            ResilientSolver::new(Backend::Gpu, props, host).with_fault_plan(plan);
+        let res = solver.solve(&net, &cfg).expect("recoverable faults must not error");
+        assert!(res.status.is_converged(), "got {}", res.status);
+        let scale = net.source_voltage().abs();
+        for (a, b) in res.v.iter().zip(&plain.v) {
+            assert!((*a - *b).abs() <= 1e-9 * scale, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn device_loss_degrades_to_multicore_with_the_right_answer() {
+        let net = ieee13();
+        let cfg = SolverConfig::default();
+        let (props, host) = rig();
+        let serial = SerialSolver::new(host.clone()).solve(&net, &cfg);
+        // Op 30 lands mid-solve on every level backend.
+        let plan = FaultPlan::scripted([(30, FaultKind::DeviceLost { at_op: 0 })]);
+        let mut solver =
+            ResilientSolver::new(Backend::Gpu, props, host).with_fault_plan(plan);
+        let res = solver.solve(&net, &cfg).expect("degradation must rescue the solve");
+        let report = res.fault_report.clone().expect("report");
+        assert!(report.degraded(), "backends: {:?}", report.backends);
+        assert_eq!(report.backends, vec!["gpu".to_string(), "multicore".to_string()]);
+        assert!(matches!(res.status, SolveStatus::Recovered { .. }), "got {}", res.status);
+        let scale = net.source_voltage().abs();
+        for (a, b) in res.v.iter().zip(&serial.v) {
+            assert!((*a - *b).abs() <= 1e-9 * scale);
+        }
+    }
+
+    #[test]
+    fn device_loss_without_degradation_is_an_error() {
+        let net = ieee13();
+        let cfg = SolverConfig::default();
+        let (props, host) = rig();
+        let plan = FaultPlan::scripted([(30, FaultKind::DeviceLost { at_op: 0 })]);
+        let mut solver = ResilientSolver::new(Backend::Gpu, props, host)
+            .with_fault_plan(plan)
+            .with_degradation(false);
+        let err = solver.solve(&net, &cfg).expect_err("loss with degradation off");
+        assert!(matches!(err, ResilienceError::DeviceLost(_)), "got {err}");
+        assert!(err.to_string().contains("unrecoverable"));
+    }
+
+    #[test]
+    fn cpu_backends_pass_through_unchanged() {
+        let net = ieee13();
+        let cfg = SolverConfig::default();
+        let (props, host) = rig();
+        let serial = SerialSolver::new(host.clone()).solve(&net, &cfg);
+        let res = ResilientSolver::new(Backend::Serial, props, host)
+            .solve(&net, &cfg)
+            .unwrap();
+        assert_eq!(res.status, SolveStatus::Converged);
+        assert_eq!(res.v, serial.v);
+        assert_eq!(res.fault_report.unwrap().backends, vec!["serial".to_string()]);
+    }
+}

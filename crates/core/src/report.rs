@@ -81,6 +81,40 @@ impl Timing {
     }
 }
 
+/// What the resilient supervisor had to do to finish a solve.
+///
+/// Attached to [`SolveResult::fault_report`] only by
+/// `recovery::ResilientSolver`; plain solver calls leave it `None`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultReport {
+    /// Device faults injected/observed across every attempt.
+    pub faults_injected: u32,
+    /// Rollbacks to a checkpoint (includes full restarts).
+    pub rollbacks: u32,
+    /// Retry budget consumed (every rollback and fresh-device restart
+    /// charges one retry).
+    pub retries: u32,
+    /// Checkpoints taken across every attempt.
+    pub checkpoints: u32,
+    /// Modeled µs spent taking checkpoints (device→host voltage copies).
+    pub checkpoint_us: f64,
+    /// Backends tried, in order, ending with the one that produced the
+    /// result (e.g. `["gpu", "multicore"]` after one degradation).
+    pub backends: Vec<String>,
+}
+
+impl FaultReport {
+    /// The backend that produced the result.
+    pub fn final_backend(&self) -> &str {
+        self.backends.last().map(String::as_str).unwrap_or("")
+    }
+
+    /// Whether the supervisor had to abandon the preferred backend.
+    pub fn degraded(&self) -> bool {
+        self.backends.len() > 1
+    }
+}
+
 /// The result of one power-flow solve.
 #[derive(Clone, Debug)]
 pub struct SolveResult {
@@ -101,6 +135,9 @@ pub struct SolveResult {
     pub residual_history: Vec<f64>,
     /// Timing summary.
     pub timing: Timing,
+    /// Recovery bookkeeping — `Some` only when the solve ran under the
+    /// resilient supervisor.
+    pub fault_report: Option<FaultReport>,
 }
 
 impl SolveResult {
@@ -204,6 +241,7 @@ mod tests {
             residual: 0.0,
             residual_history: vec![0.0],
             timing: Timing::default(),
+            fault_report: None,
         }
     }
 

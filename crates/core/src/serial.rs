@@ -183,6 +183,7 @@ impl SerialSolver {
             residual,
             residual_history,
             timing,
+            fault_report: None,
         }
     }
 }

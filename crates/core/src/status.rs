@@ -18,6 +18,16 @@ use crate::config::SolverConfig;
 pub enum SolveStatus {
     /// The ∞-norm voltage update met the tolerance.
     Converged,
+    /// Converged, but only after the resilient supervisor rolled back
+    /// and replayed past injected device faults. The answer is as good
+    /// as [`SolveStatus::Converged`]; the variant records that the run
+    /// was not clean.
+    Recovered {
+        /// Device faults observed during the solve.
+        faults: u32,
+        /// Rollback/retry attempts the supervisor spent.
+        retries: u32,
+    },
     /// The iteration cap was reached with a finite, non-exploding
     /// residual (slow convergence or a bound oscillation).
     MaxIterations,
@@ -36,9 +46,10 @@ pub enum SolveStatus {
 }
 
 impl SolveStatus {
-    /// `true` only for [`SolveStatus::Converged`].
+    /// `true` for [`SolveStatus::Converged`] and
+    /// [`SolveStatus::Recovered`] — both met the tolerance.
     pub fn is_converged(self) -> bool {
-        matches!(self, SolveStatus::Converged)
+        matches!(self, SolveStatus::Converged | SolveStatus::Recovered { .. })
     }
 
     /// `true` for the abnormal exits ([`SolveStatus::Diverged`] and
@@ -52,9 +63,10 @@ impl SolveStatus {
     fn severity(self) -> u8 {
         match self {
             SolveStatus::Converged => 0,
-            SolveStatus::MaxIterations => 1,
-            SolveStatus::Diverged { .. } => 2,
-            SolveStatus::NumericalFailure { .. } => 3,
+            SolveStatus::Recovered { .. } => 1,
+            SolveStatus::MaxIterations => 2,
+            SolveStatus::Diverged { .. } => 3,
+            SolveStatus::NumericalFailure { .. } => 4,
         }
     }
 
@@ -73,7 +85,7 @@ impl SolveStatus {
     /// errors).
     pub fn exit_code(self) -> u8 {
         match self {
-            SolveStatus::Converged => 0,
+            SolveStatus::Converged | SolveStatus::Recovered { .. } => 0,
             SolveStatus::MaxIterations => 2,
             SolveStatus::Diverged { .. } => 3,
             SolveStatus::NumericalFailure { .. } => 4,
@@ -85,6 +97,9 @@ impl fmt::Display for SolveStatus {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SolveStatus::Converged => write!(f, "converged"),
+            SolveStatus::Recovered { faults, retries } => {
+                write!(f, "recovered ({faults} faults, {retries} retries)")
+            }
             SolveStatus::MaxIterations => write!(f, "max-iterations"),
             SolveStatus::Diverged { at_iteration } => {
                 write!(f, "diverged (iteration {at_iteration})")
@@ -278,6 +293,17 @@ mod tests {
                 assert_ne!(a, b, "exit codes must be distinct");
             }
         }
+    }
+
+    #[test]
+    fn recovered_counts_as_converged_but_ranks_worse() {
+        let r = SolveStatus::Recovered { faults: 3, retries: 2 };
+        assert!(r.is_converged());
+        assert!(!r.is_failure());
+        assert_eq!(r.exit_code(), 0, "a recovered answer is still a good answer");
+        assert_eq!(SolveStatus::Converged.worse(r), r);
+        assert_eq!(r.worse(SolveStatus::MaxIterations), SolveStatus::MaxIterations);
+        assert_eq!(r.to_string(), "recovered (3 faults, 2 retries)");
     }
 
     #[test]

@@ -40,9 +40,10 @@ mod scan;
 mod segscan;
 
 pub use compact::compact;
-pub use map::{fill, gather, launch_map, launch_map_with_block, scatter};
-pub use reduce::{reduce, REDUCE_BLOCK, REDUCE_TILE};
-pub use scan::{scan_exclusive, scan_inclusive, SCAN_BLOCK, SCAN_TILE};
+pub use map::{fill, gather, launch_map, launch_map_with_block, scatter, try_fill, try_launch_map};
+pub use reduce::{reduce, try_reduce, REDUCE_BLOCK, REDUCE_TILE};
+pub use scan::{scan_exclusive, scan_inclusive, try_scan_exclusive, SCAN_BLOCK, SCAN_TILE};
 pub use segscan::{
-    segment_reduce_direct, segment_totals, segscan_inclusive, segscan_inclusive_range, SEGSCAN_BLOCK,
+    segment_reduce_direct, segment_totals, segscan_inclusive, segscan_inclusive_range,
+    try_segscan_inclusive_range, SEGSCAN_BLOCK,
 };

@@ -1,7 +1,10 @@
 //! Element-wise launch helpers and index-based movement kernels
 //! (gather / scatter / fill).
 
-use simt::{BlockScope, Device, DeviceBuffer, DeviceCopy, GlobalMut, GlobalRef, Kernel, LaunchConfig, ThreadCtx};
+use simt::{
+    BlockScope, Device, DeviceBuffer, DeviceCopy, DeviceError, GlobalMut, GlobalRef, Kernel,
+    LaunchConfig, ThreadCtx,
+};
 
 /// A kernel that runs `f(thread, i)` once for each `i < n`, one thread
 /// per element.
@@ -34,7 +37,21 @@ pub fn launch_map<F>(dev: &mut Device, n: usize, name: &'static str, f: F)
 where
     F: Fn(&mut ThreadCtx<'_>, usize) + Sync,
 {
-    dev.launch(LaunchConfig::for_elems(n), &MapKernel { name, n, f });
+    try_launch_map(dev, n, name, f).unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// Fallible [`launch_map`]: surfaces injected faults and device loss as
+/// [`DeviceError`] instead of panicking.
+pub fn try_launch_map<F>(
+    dev: &mut Device,
+    n: usize,
+    name: &'static str,
+    f: F,
+) -> Result<(), DeviceError>
+where
+    F: Fn(&mut ThreadCtx<'_>, usize) + Sync,
+{
+    dev.try_launch(LaunchConfig::for_elems(n), &MapKernel { name, n, f })
 }
 
 /// Like [`launch_map`] with an explicit block size.
@@ -90,10 +107,19 @@ pub fn scatter<T: DeviceCopy>(
 
 /// Device fill: `buf[i] = value` for all elements.
 pub fn fill<T: DeviceCopy>(dev: &mut Device, buf: &mut DeviceBuffer<T>, value: T) {
+    try_fill(dev, buf, value).unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// Fallible [`fill`].
+pub fn try_fill<T: DeviceCopy>(
+    dev: &mut Device,
+    buf: &mut DeviceBuffer<T>,
+    value: T,
+) -> Result<(), DeviceError> {
     let out_v = buf.view_mut();
-    launch_map(dev, out_v.len(), "fill", move |t, i| {
+    try_launch_map(dev, out_v.len(), "fill", move |t, i| {
         t.st(&out_v, i, value);
-    });
+    })
 }
 
 #[cfg(test)]

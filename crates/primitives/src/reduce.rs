@@ -11,7 +11,10 @@
 
 use std::marker::PhantomData;
 
-use simt::{BlockScope, Device, DeviceBuffer, DeviceCopy, GlobalMut, GlobalRef, Kernel, LaunchConfig};
+use simt::{
+    BlockScope, Device, DeviceBuffer, DeviceCopy, DeviceError, GlobalMut, GlobalRef, Kernel,
+    LaunchConfig,
+};
 
 use crate::ops::ScanOp;
 
@@ -76,31 +79,40 @@ impl<T: DeviceCopy, Op: ScanOp<T>> Kernel for ReduceKernel<'_, T, Op> {
 ///
 /// Empty input returns `Op::identity()` without touching the device.
 pub fn reduce<T: DeviceCopy, Op: ScanOp<T>>(dev: &mut Device, input: &DeviceBuffer<T>) -> T {
+    try_reduce::<T, Op>(dev, input).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`reduce`]: surfaces injected faults and device loss as
+/// [`DeviceError`] instead of panicking.
+pub fn try_reduce<T: DeviceCopy, Op: ScanOp<T>>(
+    dev: &mut Device,
+    input: &DeviceBuffer<T>,
+) -> Result<T, DeviceError> {
     if input.is_empty() {
-        return Op::identity();
+        return Ok(Op::identity());
     }
-    let mut partials = reduce_level::<T, Op>(dev, input);
+    let mut partials = reduce_level::<T, Op>(dev, input)?;
     while partials.len() > 1 {
-        partials = reduce_level::<T, Op>(dev, &partials);
+        partials = reduce_level::<T, Op>(dev, &partials)?;
     }
-    dev.dtoh(&partials)[0]
+    Ok(dev.try_dtoh(&partials)?[0])
 }
 
 fn reduce_level<T: DeviceCopy, Op: ScanOp<T>>(
     dev: &mut Device,
     input: &DeviceBuffer<T>,
-) -> DeviceBuffer<T> {
+) -> Result<DeviceBuffer<T>, DeviceError> {
     let n = input.len();
     let grid = n.div_ceil(REDUCE_TILE).max(1);
-    let mut partials = dev.alloc::<T>(grid);
+    let mut partials = dev.try_alloc::<T>(grid)?;
     let kernel = ReduceKernel::<'_, T, Op> {
         input: input.view(),
         partials: partials.view_mut(),
         n,
         _op: PhantomData,
     };
-    dev.launch(LaunchConfig::new(grid as u32, REDUCE_BLOCK), &kernel);
-    partials
+    dev.try_launch(LaunchConfig::new(grid as u32, REDUCE_BLOCK), &kernel)?;
+    Ok(partials)
 }
 
 #[cfg(test)]

@@ -15,9 +15,12 @@
 
 use std::marker::PhantomData;
 
-use simt::{BlockScope, Device, DeviceBuffer, DeviceCopy, GlobalMut, GlobalRef, Kernel, LaunchConfig};
+use simt::{
+    BlockScope, Device, DeviceBuffer, DeviceCopy, DeviceError, GlobalMut, GlobalRef, Kernel,
+    LaunchConfig,
+};
 
-use crate::map::launch_map;
+use crate::map::{launch_map, try_launch_map};
 use crate::ops::ScanOp;
 
 /// Threads per scan block.
@@ -122,13 +125,23 @@ pub fn scan_exclusive<T: DeviceCopy, Op: ScanOp<T>>(
     input: &DeviceBuffer<T>,
     output: &mut DeviceBuffer<T>,
 ) {
+    try_scan_exclusive::<T, Op>(dev, input, output).unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// Fallible [`scan_exclusive`]: surfaces injected faults and device loss
+/// as [`DeviceError`] instead of panicking.
+pub fn try_scan_exclusive<T: DeviceCopy, Op: ScanOp<T>>(
+    dev: &mut Device,
+    input: &DeviceBuffer<T>,
+    output: &mut DeviceBuffer<T>,
+) -> Result<(), DeviceError> {
     let n = input.len();
     assert!(output.len() >= n, "scan: output shorter than input");
     if n == 0 {
-        return;
+        return Ok(());
     }
     let grid = n.div_ceil(SCAN_TILE).max(1);
-    let mut sums = dev.alloc::<T>(grid);
+    let mut sums = dev.try_alloc::<T>(grid)?;
     let kernel = ScanBlocksKernel::<'_, T, Op> {
         input: input.view(),
         output: output.view_mut(),
@@ -136,22 +149,23 @@ pub fn scan_exclusive<T: DeviceCopy, Op: ScanOp<T>>(
         n,
         _op: PhantomData,
     };
-    dev.launch(LaunchConfig::new(grid as u32, SCAN_BLOCK), &kernel);
+    dev.try_launch(LaunchConfig::new(grid as u32, SCAN_BLOCK), &kernel)?;
 
     if grid > 1 {
         // Recursively scan the block sums, then apply the offsets.
-        let mut scanned_sums = dev.alloc::<T>(grid);
-        scan_exclusive::<T, Op>(dev, &sums, &mut scanned_sums);
+        let mut scanned_sums = dev.try_alloc::<T>(grid)?;
+        try_scan_exclusive::<T, Op>(dev, &sums, &mut scanned_sums)?;
         let offs = scanned_sums.view();
         let out_v = output.view_mut();
-        launch_map(dev, n, "uniform_add", move |t, i| {
+        try_launch_map(dev, n, "uniform_add", move |t, i| {
             let blk = i / SCAN_TILE;
             let off = t.ld(&offs, blk);
             let v = t.ld_mut(&out_v, i);
             t.flops(Op::FLOPS);
             t.st(&out_v, i, Op::combine(off, v));
-        });
+        })?;
     }
+    Ok(())
 }
 
 /// Device inclusive scan: `out[i] = x[0] ⊕ … ⊕ x[i]`.

@@ -23,9 +23,12 @@
 
 use std::marker::PhantomData;
 
-use simt::{BlockScope, Device, DeviceBuffer, DeviceCopy, GlobalMut, GlobalRef, Kernel, LaunchConfig};
+use simt::{
+    BlockScope, Device, DeviceBuffer, DeviceCopy, DeviceError, GlobalMut, GlobalRef, Kernel,
+    LaunchConfig,
+};
 
-use crate::map::{gather, launch_map};
+use crate::map::{gather, launch_map, try_launch_map};
 use crate::ops::{seg_combine, ScanOp, SegPair};
 
 /// Threads (and elements) per segmented-scan block.
@@ -138,14 +141,28 @@ pub fn segscan_inclusive_range<T: DeviceCopy, Op: ScanOp<T>>(
     hi: usize,
     output: &mut DeviceBuffer<T>,
 ) {
+    try_segscan_inclusive_range::<T, Op>(dev, values, flags, lo, hi, output)
+        .unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// Fallible [`segscan_inclusive_range`]: surfaces injected faults and
+/// device loss as [`DeviceError`] instead of panicking.
+pub fn try_segscan_inclusive_range<T: DeviceCopy, Op: ScanOp<T>>(
+    dev: &mut Device,
+    values: &DeviceBuffer<T>,
+    flags: &DeviceBuffer<u32>,
+    lo: usize,
+    hi: usize,
+    output: &mut DeviceBuffer<T>,
+) -> Result<(), DeviceError> {
     assert_eq!(values.len(), flags.len(), "segscan: values/flags length mismatch");
     assert!(lo <= hi && hi <= values.len(), "segscan: invalid range {lo}..{hi}");
     assert!(output.len() >= hi, "segscan: output shorter than range end");
     if hi == lo {
-        return;
+        return Ok(());
     }
-    let mut scanned_flags = dev.alloc::<u32>(values.len());
-    segscan_impl::<T, Op>(dev, values, flags, lo, hi, output, &mut scanned_flags);
+    let mut scanned_flags = dev.try_alloc::<u32>(values.len())?;
+    segscan_impl::<T, Op>(dev, values, flags, lo, hi, output, &mut scanned_flags)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -157,15 +174,15 @@ fn segscan_impl<T: DeviceCopy, Op: ScanOp<T>>(
     hi: usize,
     output: &mut DeviceBuffer<T>,
     scanned_flags: &mut DeviceBuffer<u32>,
-) {
+) -> Result<(), DeviceError> {
     let len = hi - lo;
     if len == 0 {
-        return;
+        return Ok(());
     }
     let b = SEGSCAN_BLOCK as usize;
     let grid = len.div_ceil(b).max(1);
-    let mut agg_values = dev.alloc::<T>(grid);
-    let mut agg_flags = dev.alloc::<u32>(grid);
+    let mut agg_values = dev.try_alloc::<T>(grid)?;
+    let mut agg_flags = dev.try_alloc::<u32>(grid)?;
     let kernel = SegScanBlocksKernel::<'_, T, Op> {
         values: values.view(),
         flags: flags.view(),
@@ -177,13 +194,13 @@ fn segscan_impl<T: DeviceCopy, Op: ScanOp<T>>(
         hi,
         _op: PhantomData,
     };
-    dev.launch(LaunchConfig::new(grid as u32, SEGSCAN_BLOCK), &kernel);
+    dev.try_launch(LaunchConfig::new(grid as u32, SEGSCAN_BLOCK), &kernel)?;
 
     if grid > 1 {
         // Scan the aggregates (inclusive) so block b's carry is the
         // combined pair of blocks 0..=b−1, i.e. scanned_agg[b−1].
-        let mut scanned_agg = dev.alloc::<T>(grid);
-        let mut scanned_agg_flags = dev.alloc::<u32>(grid);
+        let mut scanned_agg = dev.try_alloc::<T>(grid)?;
+        let mut scanned_agg_flags = dev.try_alloc::<u32>(grid)?;
         segscan_impl::<T, Op>(
             dev,
             &agg_values,
@@ -192,12 +209,12 @@ fn segscan_impl<T: DeviceCopy, Op: ScanOp<T>>(
             grid,
             &mut scanned_agg,
             &mut scanned_agg_flags,
-        );
+        )?;
 
         let carry_v = scanned_agg.view();
         let out_v = output.view_mut();
         let flag_v = scanned_flags.view();
-        launch_map(dev, len, "segscan_carry", move |t, i| {
+        try_launch_map(dev, len, "segscan_carry", move |t, i| {
             let blk = i / b;
             if blk == 0 {
                 return;
@@ -212,8 +229,9 @@ fn segscan_impl<T: DeviceCopy, Op: ScanOp<T>>(
             let v = t.ld_mut(&out_v, gi);
             t.flops(Op::FLOPS);
             t.st(&out_v, gi, Op::combine(carry, v));
-        });
+        })?;
     }
+    Ok(())
 }
 
 /// Segmented reduction via scan: writes the total of segment `s` (in

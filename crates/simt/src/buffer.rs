@@ -17,7 +17,9 @@
 //! cuda-memcheck analog used by this workspace's test suites.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::AtomicU64;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Marker for types that may live in device memory: plain-old-data that is
 /// freely copyable and thread-safe. `Default` supplies the zero pattern
@@ -36,11 +38,79 @@ fn fresh_buf_id() -> BufId {
     BufId(v as u32)
 }
 
+/// Tracks the live allocations of one device: total bytes in use
+/// (checked against [`crate::DeviceProps::global_mem_bytes`]) and a
+/// registry of live regions so injected bit flips can target resident
+/// memory. Shared `Arc`-style between the device and its buffers;
+/// [`DeviceBuffer`]s deregister themselves on drop.
+#[derive(Debug, Default)]
+pub(crate) struct MemPool {
+    in_use: AtomicU64,
+    registry: Mutex<BTreeMap<u32, Region>>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Region {
+    addr: usize,
+    bytes: u64,
+}
+
+impl MemPool {
+    /// Bytes currently allocated from this pool.
+    pub(crate) fn in_use(&self) -> u64 {
+        self.in_use.load(Ordering::Relaxed)
+    }
+
+    fn register(&self, id: BufId, addr: usize, bytes: u64) {
+        self.in_use.fetch_add(bytes, Ordering::Relaxed);
+        self.registry.lock().unwrap().insert(id.0, Region { addr, bytes });
+    }
+
+    fn release(&self, id: BufId) {
+        if let Some(r) = self.registry.lock().unwrap().remove(&id.0) {
+            self.in_use.fetch_sub(r.bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Applies an injected [`crate::FaultKind::BufferBitFlip`]: picks the
+    /// `nth`-modulo-live allocation (registry order is deterministic)
+    /// and flips one bit of the word `word` selects. Returns the hit
+    /// buffer, or `None` when nothing is resident. Only called between
+    /// synchronous device ops while no kernel is running, so the raw
+    /// write cannot race a launch.
+    pub(crate) fn flip_bit(&self, nth: u64, word: u64, bit: u32) -> Option<BufId> {
+        let reg = self.registry.lock().unwrap();
+        let live: Vec<(&u32, &Region)> = reg.iter().filter(|(_, r)| r.bytes > 0).collect();
+        if live.is_empty() {
+            return None;
+        }
+        let (&id, r) = live[(nth % live.len() as u64) as usize];
+        let (byte, bit_in_byte) = crate::fault::word_flip_target(word, bit, r.bytes);
+        // SAFETY: the region was registered by a live DeviceBuffer and is
+        // removed in its Drop, so addr+byte is inside a live allocation;
+        // flips happen only between synchronous ops (see doc above).
+        unsafe {
+            let p = (r.addr + byte as usize) as *mut u8;
+            *p ^= 1 << bit_in_byte;
+        }
+        Some(BufId(id))
+    }
+}
+
 /// A device-resident typed allocation.
 #[derive(Debug)]
 pub struct DeviceBuffer<T> {
     data: Box<[UnsafeCell<T>]>,
     id: BufId,
+    pool: Option<Arc<MemPool>>,
+}
+
+impl<T> Drop for DeviceBuffer<T> {
+    fn drop(&mut self) {
+        if let Some(pool) = &self.pool {
+            pool.release(self.id);
+        }
+    }
 }
 
 // SAFETY: the UnsafeCells are only mutated through GlobalMut views inside
@@ -56,7 +126,30 @@ impl<T: DeviceCopy> DeviceBuffer<T> {
     pub(crate) fn zeroed(len: usize) -> Self {
         let data: Box<[UnsafeCell<T>]> =
             (0..len).map(|_| UnsafeCell::new(T::default())).collect();
-        DeviceBuffer { data, id: fresh_buf_id() }
+        DeviceBuffer { data, id: fresh_buf_id(), pool: None }
+    }
+
+    /// Allocates like [`DeviceBuffer::zeroed`] but accounted against (and
+    /// registered with) a device's [`MemPool`]; the registration is
+    /// undone when the buffer drops. The boxed-slice storage never
+    /// moves, so the registered address stays valid even if the
+    /// `DeviceBuffer` handle itself is moved.
+    pub(crate) fn zeroed_in(len: usize, pool: &Arc<MemPool>) -> Self {
+        let mut buf = Self::zeroed(len);
+        pool.register(buf.id, buf.data.as_ptr() as usize, buf.size_bytes());
+        buf.pool = Some(Arc::clone(pool));
+        buf
+    }
+
+    /// Flips one bit of the raw allocation (injected transfer
+    /// corruption). `byte` must be in bounds.
+    pub(crate) fn flip_bit(&mut self, byte: usize, bit_in_byte: u32) {
+        assert!((byte as u64) < self.size_bytes(), "flip_bit out of bounds");
+        // SAFETY: &mut self — no views or kernels alive; byte checked.
+        unsafe {
+            let p = self.data.as_ptr() as *mut u8;
+            *p.add(byte) ^= 1 << (bit_in_byte % 8);
+        }
     }
 
     /// Number of elements.
@@ -236,6 +329,40 @@ mod tests {
         let a = DeviceBuffer::<u8>::zeroed(1);
         let b = DeviceBuffer::<u8>::zeroed(1);
         assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn pool_accounting_registers_and_releases_on_drop() {
+        let pool = Arc::new(MemPool::default());
+        let a = DeviceBuffer::<f64>::zeroed_in(100, &pool);
+        let b = DeviceBuffer::<u32>::zeroed_in(10, &pool);
+        assert_eq!(pool.in_use(), 840);
+        drop(a);
+        assert_eq!(pool.in_use(), 40, "freeing a buffer must release its bytes");
+        drop(b);
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn pool_flip_bit_corrupts_exactly_one_word_of_a_live_buffer() {
+        let pool = Arc::new(MemPool::default());
+        let mut buf = DeviceBuffer::<f64>::zeroed_in(8, &pool);
+        buf.copy_from_host(&[1.0; 8]);
+        let hit = pool.flip_bit(0, 3, 55).expect("one live buffer to hit");
+        assert_eq!(hit, buf.id());
+        let changed = buf.copy_to_host().iter().filter(|&&v| v != 1.0).count();
+        assert_eq!(changed, 1, "exactly one word must be corrupted");
+        // Same draw flips the same bit back.
+        pool.flip_bit(0, 3, 55).unwrap();
+        assert_eq!(buf.copy_to_host(), vec![1.0; 8]);
+    }
+
+    #[test]
+    fn pool_flip_bit_on_empty_pool_is_none() {
+        let pool = Arc::new(MemPool::default());
+        assert_eq!(pool.flip_bit(1, 2, 3), None);
+        let _empty = DeviceBuffer::<u8>::zeroed_in(0, &pool);
+        assert_eq!(pool.flip_bit(1, 2, 3), None, "zero-byte regions are skipped");
     }
 
     #[test]

@@ -69,6 +69,7 @@ pub mod atomic;
 mod buffer;
 mod device;
 mod engine;
+pub mod fault;
 mod kernel;
 mod props;
 #[cfg(feature = "racecheck")]
@@ -81,6 +82,7 @@ pub mod timing;
 pub use atomic::AtomicAdd;
 pub use buffer::{BufId, DeviceBuffer, DeviceCopy, GlobalMut, GlobalRef};
 pub use device::Device;
+pub use fault::{DeviceError, FaultKind, FaultPlan, FaultRecord, FaultSite};
 pub use kernel::{Kernel, LaunchConfig};
 pub use props::{DeviceProps, HostProps};
 pub use scope::{BlockScope, Shared, ThreadCtx};

@@ -46,6 +46,9 @@ pub struct DeviceProps {
     pub pcie_latency_us: f64,
     /// Modeled cost of one `__syncthreads()`-style phase boundary, cycles.
     pub barrier_cycles: f64,
+    /// Device-memory capacity, bytes. Allocations are accounted against
+    /// this and fail with `DeviceError::OutOfMemory` once exceeded.
+    pub global_mem_bytes: u64,
 }
 
 impl DeviceProps {
@@ -68,6 +71,7 @@ impl DeviceProps {
             pcie_bandwidth_gbps: 11.0,
             pcie_latency_us: 10.0,
             barrier_cycles: 40.0,
+            global_mem_bytes: 6 * 1024 * 1024 * 1024,
         }
     }
 
@@ -90,6 +94,7 @@ impl DeviceProps {
             pcie_bandwidth_gbps: 12.0,
             pcie_latency_us: 8.0,
             barrier_cycles: 40.0,
+            global_mem_bytes: 11 * 1024 * 1024 * 1024,
         }
     }
 
@@ -112,6 +117,7 @@ impl DeviceProps {
             pcie_bandwidth_gbps: 8.0,
             pcie_latency_us: 12.0,
             barrier_cycles: 40.0,
+            global_mem_bytes: 8 * 1024 * 1024 * 1024,
         }
     }
 
@@ -138,6 +144,7 @@ impl DeviceProps {
             pcie_bandwidth_gbps: 12.0,
             pcie_latency_us: 8.0,
             barrier_cycles: 40.0,
+            global_mem_bytes: 8 * 1024 * 1024 * 1024,
         }
     }
 
@@ -205,6 +212,9 @@ impl DeviceProps {
             if v <= 0.0 || v.is_nan() {
                 return Err(format!("{name} must be positive"));
             }
+        }
+        if self.global_mem_bytes == 0 {
+            return Err("global_mem_bytes must be nonzero".into());
         }
         Ok(())
     }
@@ -347,6 +357,10 @@ mod tests {
         let mut p = DeviceProps::paper_rig();
         p.shared_mem_per_sm = 1024;
         p.shared_mem_per_block = 48 * 1024;
+        assert!(p.validate().is_err());
+
+        let mut p = DeviceProps::paper_rig();
+        p.global_mem_bytes = 0;
         assert!(p.validate().is_err());
     }
 

@@ -41,6 +41,14 @@ pub enum EventKind {
         /// Timing-model decomposition.
         timing: KernelTiming,
     },
+    /// An injected fault (no modeled cost; recorded so profiler and
+    /// breakdown reports show what a faulty run actually experienced).
+    Fault {
+        /// Human-readable description, e.g. `bit-flip @ launch`.
+        desc: String,
+        /// Device op index at which the fault fired.
+        op: u64,
+    },
 }
 
 /// One timeline entry.
@@ -63,6 +71,7 @@ impl Event {
             EventKind::Htod { .. } => "<htod>",
             EventKind::Dtoh { .. } => "<dtoh>",
             EventKind::Kernel { name, .. } => name,
+            EventKind::Fault { .. } => "<fault>",
         }
     }
 }
@@ -84,6 +93,8 @@ pub struct Breakdown {
     pub dtoh_bytes: u64,
     /// Modeled µs per kernel name.
     pub per_kernel_us: BTreeMap<&'static str, f64>,
+    /// Injected faults observed in the span.
+    pub faults: u64,
 }
 
 impl Breakdown {
@@ -112,6 +123,9 @@ impl fmt::Display for Breakdown {
         )?;
         for (name, us) in &self.per_kernel_us {
             writeln!(f, "  {name:<28} {us:>12.1} µs")?;
+        }
+        if self.faults > 0 {
+            writeln!(f, "  faults injected: {}", self.faults)?;
         }
         Ok(())
     }
@@ -214,6 +228,7 @@ impl Timeline {
                     b.kernels += 1;
                     *b.per_kernel_us.entry(name).or_insert(0.0) += ev.modeled_us;
                 }
+                EventKind::Fault { .. } => b.faults += 1,
             }
         }
         b
@@ -377,6 +392,21 @@ mod tests {
         assert_eq!(tl.breakdown().total_us(), 0.0);
         assert_eq!(tl.total_wall_us(), 3.0);
         assert_eq!(tl.events()[0].label(), "<alloc>");
+    }
+
+    #[test]
+    fn fault_events_are_counted_and_labeled() {
+        let mut tl = Timeline::default();
+        tl.push(Event {
+            kind: EventKind::Fault { desc: "bit-flip @ launch".into(), op: 7 },
+            modeled_us: 0.0,
+            wall_us: 0.0,
+        });
+        assert_eq!(tl.events()[0].label(), "<fault>");
+        let b = tl.breakdown();
+        assert_eq!(b.faults, 1);
+        assert_eq!(b.total_us(), 0.0, "faults carry no modeled time");
+        assert!(b.to_string().contains("faults injected: 1"));
     }
 
     #[test]
