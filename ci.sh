@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Offline CI for the FBS power-flow repo. Five legs:
+# Offline CI for the FBS power-flow repo. Six legs:
 #
 #   1. Tier-1 verify: release build + the full default test suite.
 #   2. Divergence/NaN hardening: the convergence-status suites (monitor
@@ -8,9 +8,14 @@
 #   3. Fault injection/recovery: the resilience suites (fault-plan
 #      determinism, checkpoint/rollback recovery, degradation, CLI
 #      exit-5/replay) run by name, plus a smoke run of the E12 bench.
-#   4. Racecheck: re-runs every simt and fbs device kernel under the
+#   4. Service: the robustness-service suites (deadline/breaker/
+#      backpressure unit + property tests, parser-hardening fuzz, CLI
+#      exit-6/7) under a hard wall-clock ceiling — a hung watchdog or
+#      drain must fail the leg, not wedge CI — plus a smoke run of the
+#      E13 bench.
+#   5. Racecheck: re-runs every simt and fbs device kernel under the
 #      per-cell data-race detector (simt's `racecheck` feature).
-#   5. Lint: clippy over every target with warnings promoted to errors.
+#   6. Lint: clippy over every target with warnings promoted to errors.
 #
 # Everything runs with --offline — the repo has zero external registry
 # dependencies (see DESIGN.md, "Dependency policy"), so a warm toolchain
@@ -34,6 +39,13 @@ cargo test -q --offline -p fbs --lib recovery::
 cargo test -q --offline -p fbs --test prop_fault_recovery
 cargo test -q --offline -p fbs-cli --test cli_commands -- device_loss byte_identical
 E12_SMOKE=1 cargo run -q --offline --release -p fbs-bench --bin exp_e12_faults > /dev/null
+
+echo "== service: deadlines, breaker, backpressure, parser hardening =="
+timeout 300 cargo test -q --offline -p fbs --lib service::
+timeout 300 cargo test -q --offline -p fbs --test prop_service
+timeout 300 cargo test -q --offline -p powergrid --test prop_parse_hardening
+timeout 300 cargo test -q --offline -p fbs-cli --test cli_commands -- deadline_and_invalid_config service_flags
+E13_SMOKE=1 timeout 300 cargo run -q --offline --release -p fbs-bench --bin exp_e13_service > /dev/null
 
 echo "== racecheck: device kernels under the simt race detector =="
 cargo test -q --offline --features racecheck -p simt -p fbs

@@ -3,8 +3,9 @@
 use std::fs;
 
 use fbs::{
-    Backend, BackwardStrategy, GpuSolver, JumpSolver, MulticoreSolver, Resilient3Solver,
-    ResilientSolver, SerialSolver, SolveResult, SolverConfig,
+    Backend, BackwardStrategy, GpuSolver, JumpSolver, MulticoreSolver, Outcome, Request,
+    Resilient3Solver, ResilientSolver, SerialSolver, ServiceConfig, SolveResult, SolveService,
+    SolverConfig,
 };
 use powergrid::gen::{
     balanced_binary, balanced_kary, broom, caterpillar, chain, random_tree, star, GenSpec,
@@ -26,6 +27,7 @@ usage:
   fbs info <FILE.grid>
   fbs solve <FILE.grid> [--solver serial|gpu|gpu-direct|multicore] [--tol T]
             [--max-iter N] [--show-voltages N] [--timings true|false]
+            [--deadline-ms MS] [--max-retries N] [--breaker-threshold K]
             [--fault-seed S] [--fault-rate R] [--fault-lost-at OP] [--degrade true|false]
   fbs compare <FILE.grid> [--tol T] [--max-iter N]
   fbs profile <FILE.grid> [--solver gpu|gpu-direct|gpu-atomic|gpu-jump] [--tol T]
@@ -33,13 +35,19 @@ usage:
   fbs feeders3 [--name ieee13] [--out FILE.grid3]
   fbs gen3 <FILE.grid> [--unbalance U] [--mutual M] [--seed S] [--out FILE.grid3]
   fbs solve3 <FILE.grid3> [--solver serial|gpu] [--tol T] [--max-iter N]
+            [--deadline-ms MS] [--max-retries N] [--breaker-threshold K]
             [--fault-seed S] [--fault-rate R] [--fault-lost-at OP] [--degrade true|false]
 
 fault injection: --fault-seed arms a seeded, replayable fault plan
 (default rate 0.005/op; override with --fault-rate). --fault-lost-at
 scripts device loss at the given op. FBS_FAULT_SEED in the environment
 overrides --fault-seed for byte-identical replays. Unrecoverable runs
-(--degrade false) exit with code 5.";
+(--degrade false) exit with code 5.
+
+service: --deadline-ms bounds the modeled solve time; a deadline-cut
+run reports partial state and exits with code 6. --max-retries or
+--breaker-threshold route the solve through the robustness service
+(seeded retry backoff, circuit breaker over the device, CPU fallback).";
 
 /// Exit code for an unrecoverable fault-injected run: the device was
 /// lost (or the retry budget drained) and degradation was disabled.
@@ -50,8 +58,9 @@ const EXIT_UNRECOVERABLE: u8 = 5;
 /// Returns the process exit code: `0` for success, and for the solve
 /// family the [`fbs::SolveStatus::exit_code`] of the result (`2`
 /// max-iterations, `3` diverged, `4` numerical failure, `5`
-/// unrecoverable device loss under fault injection). Usage and I/O
-/// errors come back as `Err` and map to exit code `1` in `main`.
+/// unrecoverable device loss under fault injection, `6` deadline
+/// exceeded, `7` invalid solver configuration). Usage and I/O errors
+/// come back as `Err` and map to exit code `1` in `main`.
 pub fn run(argv: &[String]) -> Result<u8, String> {
     let (cmd, rest) = argv.split_first().ok_or("missing subcommand")?;
     match cmd.as_str() {
@@ -139,11 +148,21 @@ fn cmd_info(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the solver config from `--tol`, `--max-iter` and
+/// `--deadline-ms` without going through the asserting constructors:
+/// out-of-range values (`--max-iter 0`, a negative deadline) must reach
+/// the solver's own validation and come back as a structured
+/// `SolveStatus::InvalidConfig` (exit 7), never as a CLI panic.
 fn solver_config(a: &Args) -> Result<SolverConfig, String> {
-    Ok(SolverConfig::new(
-        a.get_parse_or("tol", SolverConfig::DEFAULT_TOL)?,
-        a.get_parse_or("max-iter", 100u32)?,
-    ))
+    let mut cfg = SolverConfig {
+        tol_rel: a.get_parse_or("tol", SolverConfig::DEFAULT_TOL)?,
+        max_iter: a.get_parse_or("max-iter", 100u32)?,
+        ..SolverConfig::default()
+    };
+    if let Some(ms) = a.get_parse::<f64>("deadline-ms")? {
+        cfg.deadline_us = Some(ms * 1000.0);
+    }
+    Ok(cfg)
 }
 
 /// Builds the fault plan requested by `--fault-seed` / `--fault-rate` /
@@ -194,30 +213,92 @@ fn print_fault_report(res: &SolveResult, plan: &FaultPlan) {
     }
 }
 
+/// Whether the request should go through the robustness service
+/// ([`SolveService`]) rather than a bare solver: any service flag does.
+fn wants_service(a: &Args) -> bool {
+    a.get("max-retries").is_some() || a.get("breaker-threshold").is_some()
+}
+
+/// Builds a [`SolveService`] from `--max-retries` / `--breaker-threshold`
+/// (defaults match [`ServiceConfig::default`]) and an optional fault plan.
+fn build_service(
+    a: &Args,
+    backend: Backend,
+    plan: Option<&FaultPlan>,
+) -> Result<SolveService, String> {
+    let scfg = ServiceConfig {
+        backend,
+        max_retries: a.get_parse_or("max-retries", 3u32)?,
+        breaker_threshold: a.get_parse_or("breaker-threshold", 3u32)?,
+        ..ServiceConfig::default()
+    };
+    let mut svc = SolveService::new(scfg, DeviceProps::paper_rig(), HostProps::paper_rig());
+    if let Some(plan) = plan {
+        svc = svc.with_fault_plan(plan.clone());
+    }
+    Ok(svc)
+}
+
+/// Submits one request to a fresh service and prints the service
+/// summary line. Returns the outcome for the caller to unpack.
+fn serve_one(
+    a: &Args,
+    backend: Backend,
+    plan: Option<&FaultPlan>,
+    req: Request,
+) -> Result<Outcome, String> {
+    let mut svc = build_service(a, backend, plan)?;
+    svc.submit(req).map_err(|_| "service shed a single request".to_string())?;
+    let resp = svc.process_one().ok_or("service lost the queued request")?;
+    println!(
+        "service:     backend {} | {} retries, {} µs backoff | breaker {}",
+        resp.backend,
+        resp.retries,
+        resp.backoff_us,
+        resp.breaker.name()
+    );
+    Ok(resp.outcome)
+}
+
 fn cmd_solve(argv: &[String]) -> Result<u8, String> {
     let a = Args::parse(
         argv,
-        &["solver", "tol", "max-iter", "show-voltages", "timings", "fault-seed", "fault-rate", "fault-lost-at", "degrade"],
+        &["solver", "tol", "max-iter", "show-voltages", "timings", "deadline-ms", "max-retries", "breaker-threshold", "fault-seed", "fault-rate", "fault-lost-at", "degrade"],
     )?;
     let net = load(a.one_positional("grid file")?)?;
     let cfg = solver_config(&a)?;
     let which = a.get_or("solver", "serial");
     let plan = fault_plan(&a)?;
-    let res = match &plan {
-        None => run_solver(&net, &cfg, which)?,
-        Some(plan) => {
-            let backend =
-                Backend::from_name(which).ok_or_else(|| format!("unknown solver `{which}`"))?;
-            let mut solver =
-                ResilientSolver::new(backend, DeviceProps::paper_rig(), HostProps::paper_rig())
-                    .with_fault_plan(plan.clone())
-                    .with_degradation(a.get_parse_or("degrade", true)?);
-            match solver.solve(&net, &cfg) {
-                Ok(r) => r,
-                Err(e) => {
-                    println!("solver:      {which}");
-                    println!("status:      {e}");
-                    return Ok(EXIT_UNRECOVERABLE);
+    let res = if wants_service(&a) {
+        let backend =
+            Backend::from_name(which).ok_or_else(|| format!("unknown solver `{which}`"))?;
+        let req = Request::Solve { net: net.clone(), cfg };
+        match serve_one(&a, backend, plan.as_ref(), req)? {
+            Outcome::Solved(r) => r,
+            Outcome::Failed(e) => {
+                println!("solver:      {which}");
+                println!("status:      {e}");
+                return Ok(EXIT_UNRECOVERABLE);
+            }
+            other => return Err(format!("unexpected service outcome: {other:?}")),
+        }
+    } else {
+        match &plan {
+            None => run_solver(&net, &cfg, which)?,
+            Some(plan) => {
+                let backend =
+                    Backend::from_name(which).ok_or_else(|| format!("unknown solver `{which}`"))?;
+                let mut solver =
+                    ResilientSolver::new(backend, DeviceProps::paper_rig(), HostProps::paper_rig())
+                        .with_fault_plan(plan.clone())
+                        .with_degradation(a.get_parse_or("degrade", true)?);
+                match solver.solve(&net, &cfg) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        println!("solver:      {which}");
+                        println!("status:      {e}");
+                        return Ok(EXIT_UNRECOVERABLE);
+                    }
                 }
             }
         }
@@ -300,7 +381,7 @@ fn cmd_gen3(argv: &[String]) -> Result<(), String> {
 fn cmd_solve3(argv: &[String]) -> Result<u8, String> {
     let a = Args::parse(
         argv,
-        &["solver", "tol", "max-iter", "fault-seed", "fault-rate", "fault-lost-at", "degrade"],
+        &["solver", "tol", "max-iter", "deadline-ms", "max-retries", "breaker-threshold", "fault-seed", "fault-rate", "fault-lost-at", "degrade"],
     )?;
     let path = a.one_positional("grid3 file")?;
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -308,6 +389,24 @@ fn cmd_solve3(argv: &[String]) -> Result<u8, String> {
     let cfg = solver_config(&a)?;
     let which = a.get_or("solver", "serial");
     let plan = fault_plan(&a)?;
+    if wants_service(&a) {
+        // Three-phase service requests always run device-first (the
+        // service's fallback covers the serial path).
+        if which != "gpu" {
+            return Err(format!("service flags need --solver gpu, got `{which}`"));
+        }
+        let req = Request::Solve3 { net: net.clone(), cfg };
+        let res = match serve_one(&a, Backend::Gpu, plan.as_ref(), req)? {
+            Outcome::Solved3(r) => r,
+            Outcome::Failed(e) => {
+                println!("solver:      {which} (three-phase)");
+                println!("status:      {e}");
+                return Ok(EXIT_UNRECOVERABLE);
+            }
+            other => return Err(format!("unexpected service outcome: {other:?}")),
+        };
+        return report_solve3(&net, which, &res);
+    }
     let res = match (which, plan) {
         // Fault plans only touch device ops; serial runs are unaffected.
         ("serial", _) => fbs::Serial3Solver::new(HostProps::paper_rig()).solve(&net, &cfg),
@@ -329,6 +428,15 @@ fn cmd_solve3(argv: &[String]) -> Result<u8, String> {
         }
         (other, _) => return Err(format!("unknown three-phase solver `{other}`")),
     };
+    report_solve3(&net, which, &res)
+}
+
+/// Prints the `solve3` result block and returns the status exit code.
+fn report_solve3(
+    net: &powergrid::three_phase::ThreePhaseNetwork,
+    which: &str,
+    res: &fbs::Solve3Result,
+) -> Result<u8, String> {
     println!("solver:      {which} (three-phase)");
     println!(
         "status:      {} in {} iterations (residual {:.3e} V)",

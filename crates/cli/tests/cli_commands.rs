@@ -197,6 +197,72 @@ fn forced_device_loss_without_degradation_exits_5() {
 }
 
 #[test]
+fn deadline_and_invalid_config_exit_codes() {
+    let path = tmp("deadline.grid");
+    let path_s = path.to_str().unwrap();
+    run(&["gen", "--topology", "binary", "--buses", "1023", "--out", path_s]).unwrap();
+
+    // A microscopic modeled budget cuts the solve after its first
+    // iteration: partial state, exit code 6.
+    for solver in ["serial", "gpu", "gpu-jump"] {
+        let code = run(&[
+            "solve", path_s, "--solver", solver, "--deadline-ms", "1e-6", "--timings", "false",
+        ])
+        .unwrap_or_else(|e| panic!("{solver}: deadline run errored: {e}"));
+        assert_eq!(code, 6, "{solver}: deadline-cut solve must exit 6");
+    }
+
+    // A generous budget changes nothing.
+    let code = run(&["solve", path_s, "--deadline-ms", "1e9", "--timings", "false"]).unwrap();
+    assert_eq!(code, 0, "a generous deadline must not fire");
+
+    // --max-iter 0 is a structured config error, never a panic: exit 7.
+    let code = run(&["solve", path_s, "--max-iter", "0", "--timings", "false"]).unwrap();
+    assert_eq!(code, 7, "max-iter 0 must exit with the invalid-config code");
+    let code = run(&["solve", path_s, "--deadline-ms", "-5", "--timings", "false"]).unwrap();
+    assert_eq!(code, 7, "negative deadline must exit with the invalid-config code");
+
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn service_flags_route_through_the_robustness_layer() {
+    let path = tmp("svc.grid");
+    let path_s = path.to_str().unwrap();
+    run(&["gen", "--topology", "binary", "--buses", "255", "--out", path_s]).unwrap();
+
+    // A clean run through the service answers normally.
+    let code = run(&[
+        "solve", path_s, "--solver", "gpu", "--max-retries", "2", "--timings", "false",
+    ])
+    .expect("service solve must not be a usage error");
+    assert_eq!(code, 0, "clean service solve must exit 0");
+
+    // Under saturating fault pressure the breaker opens and the CPU
+    // fallback still produces a converged answer.
+    let code = run(&[
+        "solve", path_s, "--solver", "gpu", "--breaker-threshold", "1", "--max-retries", "0",
+        "--fault-rate", "1", "--timings", "false",
+    ])
+    .unwrap();
+    assert_eq!(code, 0, "service fallback must still converge");
+
+    // solve3 runs device-first under the service; serial is rejected.
+    let p3 = tmp("svc.grid3");
+    let s3 = p3.to_str().unwrap();
+    run(&["feeders3", "--name", "ieee13", "--out", s3]).unwrap();
+    let code = run(&["solve3", s3, "--solver", "gpu", "--max-retries", "1"]).unwrap();
+    assert_eq!(code, 0, "three-phase service solve must exit 0");
+    assert!(
+        run(&["solve3", s3, "--solver", "serial", "--max-retries", "1"]).is_err(),
+        "service flags require the device solver for solve3"
+    );
+
+    let _ = fs::remove_file(&path);
+    let _ = fs::remove_file(&p3);
+}
+
+#[test]
 fn seeded_fault_runs_are_byte_identical() {
     use std::process::Command;
 

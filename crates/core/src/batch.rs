@@ -139,6 +139,16 @@ impl BatchSolver {
         }
         let num_levels = a.num_levels();
         let v0 = a.source;
+        if cfg.validate().is_err() {
+            return Ok(BatchResult {
+                v: vec![vec![v0; n]; nb],
+                j: vec![vec![Complex::ZERO; n]; nb],
+                iterations: 0,
+                statuses: vec![SolveStatus::InvalidConfig; nb],
+                residual: f64::INFINITY,
+                timing: Timing::default(),
+            });
+        }
         let mut monitor = ConvergenceMonitor::new(cfg, v0.abs());
         let (tol, cap) = (monitor.tol(), monitor.cap());
         let total = n * nb;
@@ -401,6 +411,23 @@ impl BatchSolver {
             phases.convergence_us += b.total_us();
             transfer_us += b.htod_us + b.dtoh_us;
             transfer_sweep_us += b.htod_us + b.dtoh_us;
+            let deadline_hit =
+                !stop && cfg.deadline_us.is_some_and(|budget| phases.total_us() >= budget);
+            if deadline_hit {
+                // The batch ran out of modeled time: every scenario
+                // still iterating is cut off with its partial state;
+                // already-settled statuses stand.
+                let elapsed = phases.total_us();
+                for (s, st) in statuses.iter_mut().enumerate() {
+                    if active[s] && *st == SolveStatus::MaxIterations {
+                        *st = SolveStatus::DeadlineExceeded {
+                            at_iteration: iterations,
+                            elapsed_us: elapsed as u64,
+                        };
+                    }
+                }
+                stop = true;
+            }
             if stop {
                 break;
             }

@@ -1,5 +1,48 @@
 //! Solver configuration and the shared convergence criterion.
 
+use std::fmt;
+
+/// Why a [`SolverConfig`] failed validation.
+///
+/// The constructors (`new`, `with_divergence`, `with_recovery`,
+/// `with_deadline`) assert these invariants eagerly, but every field is
+/// public — a config assembled or mutated directly can smuggle in values
+/// the asserts never saw (`max_iter = 0` historically returned
+/// `MaxIterations` with an uninitialized residual). All six solvers now
+/// call [`SolverConfig::validate`] on entry and report
+/// `SolveStatus::InvalidConfig` instead of iterating on garbage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `max_iter` is zero — the loop would exit before its first sweep.
+    ZeroMaxIter,
+    /// `tol_rel` is non-positive, NaN or infinite.
+    BadTolerance,
+    /// `divergence_cap` is non-finite or not above `tol_rel`, or
+    /// `divergence_patience` is zero.
+    BadDivergence,
+    /// `checkpoint_every` is zero — checkpoints would never be taken but
+    /// the cadence arithmetic divides by it.
+    ZeroCheckpointEvery,
+    /// `deadline_us` is present but non-positive, NaN or infinite.
+    BadDeadline,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroMaxIter => write!(f, "max_iter must be at least 1"),
+            ConfigError::BadTolerance => write!(f, "tol_rel must be positive and finite"),
+            ConfigError::BadDivergence => {
+                write!(f, "divergence_cap must be finite and above tol_rel, patience nonzero")
+            }
+            ConfigError::ZeroCheckpointEvery => write!(f, "checkpoint_every must be at least 1"),
+            ConfigError::BadDeadline => write!(f, "deadline_us must be positive and finite"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Configuration shared by every FBS solver in this crate, so that
 /// serial/GPU/multicore runs are comparable iteration-for-iteration.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -27,6 +70,11 @@ pub struct SolverConfig {
     /// Recovery: bound on rollback/retry attempts before the resilient
     /// supervisor degrades to the next backend in the chain.
     pub max_recoveries: u32,
+    /// Modeled-time budget for the solve, µs. When set, every solver
+    /// checks its accumulated modeled phase time after each iteration
+    /// and aborts with `SolveStatus::DeadlineExceeded` once the budget
+    /// is spent. `None` (the default) means unbounded.
+    pub deadline_us: Option<f64>,
 }
 
 impl SolverConfig {
@@ -55,6 +103,7 @@ impl SolverConfig {
             divergence_patience: Self::DEFAULT_DIVERGENCE_PATIENCE,
             checkpoint_every: Self::DEFAULT_CHECKPOINT_EVERY,
             max_recoveries: Self::DEFAULT_MAX_RECOVERIES,
+            deadline_us: None,
         }
     }
 
@@ -77,6 +126,43 @@ impl SolverConfig {
         self
     }
 
+    /// Sets a modeled-time deadline for the solve, µs. The budget must
+    /// be positive and finite.
+    pub fn with_deadline(mut self, deadline_us: f64) -> Self {
+        assert!(
+            deadline_us > 0.0 && deadline_us.is_finite(),
+            "deadline must be positive and finite"
+        );
+        self.deadline_us = Some(deadline_us);
+        self
+    }
+
+    /// Checks every invariant the builder asserts, for configs that were
+    /// assembled or mutated through the public fields. Solvers call this
+    /// on entry; an `Err` becomes `SolveStatus::InvalidConfig`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.tol_rel > 0.0 && self.tol_rel.is_finite()) {
+            return Err(ConfigError::BadTolerance);
+        }
+        if self.max_iter == 0 {
+            return Err(ConfigError::ZeroMaxIter);
+        }
+        if !(self.divergence_cap.is_finite() && self.divergence_cap > self.tol_rel)
+            || self.divergence_patience == 0
+        {
+            return Err(ConfigError::BadDivergence);
+        }
+        if self.checkpoint_every == 0 {
+            return Err(ConfigError::ZeroCheckpointEvery);
+        }
+        if let Some(d) = self.deadline_us {
+            if !(d > 0.0 && d.is_finite()) {
+                return Err(ConfigError::BadDeadline);
+            }
+        }
+        Ok(())
+    }
+
     /// Absolute voltage tolerance for a given source magnitude, volts.
     pub fn tol_volts(&self, source_mag: f64) -> f64 {
         self.tol_rel * source_mag
@@ -97,6 +183,7 @@ impl Default for SolverConfig {
             divergence_patience: Self::DEFAULT_DIVERGENCE_PATIENCE,
             checkpoint_every: Self::DEFAULT_CHECKPOINT_EVERY,
             max_recoveries: Self::DEFAULT_MAX_RECOVERIES,
+            deadline_us: None,
         }
     }
 }
@@ -140,5 +227,44 @@ mod tests {
     #[should_panic(expected = "iteration")]
     fn zero_iterations_rejected() {
         SolverConfig::new(1e-6, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline")]
+    fn non_positive_deadline_rejected() {
+        SolverConfig::default().with_deadline(0.0);
+    }
+
+    #[test]
+    fn validate_catches_field_poked_footguns() {
+        assert_eq!(SolverConfig::default().validate(), Ok(()));
+        assert_eq!(
+            SolverConfig::default().with_deadline(500.0).validate(),
+            Ok(()),
+            "a finite positive deadline is valid"
+        );
+
+        let mut c = SolverConfig::default();
+        c.max_iter = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroMaxIter));
+
+        let mut c = SolverConfig::default();
+        c.tol_rel = f64::NAN;
+        assert_eq!(c.validate(), Err(ConfigError::BadTolerance));
+
+        let mut c = SolverConfig::default();
+        c.divergence_cap = f64::INFINITY;
+        assert_eq!(c.validate(), Err(ConfigError::BadDivergence));
+        c.divergence_cap = SolverConfig::DEFAULT_DIVERGENCE_CAP;
+        c.divergence_patience = 0;
+        assert_eq!(c.validate(), Err(ConfigError::BadDivergence));
+
+        let mut c = SolverConfig::default();
+        c.checkpoint_every = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroCheckpointEvery));
+
+        let mut c = SolverConfig::default();
+        c.deadline_us = Some(-1.0);
+        assert_eq!(c.validate(), Err(ConfigError::BadDeadline));
     }
 }

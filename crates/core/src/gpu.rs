@@ -138,6 +138,9 @@ impl GpuSolver {
         v_init: Option<&[Complex]>,
     ) -> Result<SolveResult, DeviceError> {
         let wall0 = Instant::now();
+        if cfg.validate().is_err() {
+            return Ok(crate::report::invalid_config_result(a.len(), a.source));
+        }
         let mut monitor = ConvergenceMonitor::new(cfg, a.source.abs());
         let mut sess = GpuSession::new(&mut self.device, a, self.strategy, v_init)?;
 
@@ -154,6 +157,16 @@ impl GpuSolver {
             if let Some(s) = monitor.observe(iterations, delta) {
                 status = s;
                 break;
+            }
+            if let Some(budget) = cfg.deadline_us {
+                let elapsed = sess.elapsed_modeled_us();
+                if elapsed >= budget {
+                    status = SolveStatus::DeadlineExceeded {
+                        at_iteration: iterations,
+                        elapsed_us: elapsed as u64,
+                    };
+                    break;
+                }
             }
         }
 
@@ -280,6 +293,10 @@ impl<'a> GpuSession<'a> {
 }
 
 impl SweepSession for GpuSession<'_> {
+    fn elapsed_modeled_us(&self) -> f64 {
+        self.phases.total_us() + self.recovery_us
+    }
+
     fn iterate(&mut self) -> Result<f64, DeviceError> {
         let dev = &mut *self.dev;
         let a = self.a;

@@ -142,6 +142,9 @@ impl JumpSolver {
         cfg: &SolverConfig,
     ) -> Result<SolveResult, DeviceError> {
         let wall0 = Instant::now();
+        if cfg.validate().is_err() {
+            return Ok(crate::report::invalid_config_result(a.len(), a.source));
+        }
         let mut monitor = ConvergenceMonitor::new(cfg, a.source.abs());
         let mut sess = JumpSession::new(&mut self.device, a)?;
 
@@ -158,6 +161,16 @@ impl JumpSolver {
             if let Some(s) = monitor.observe(iterations, delta) {
                 status = s;
                 break;
+            }
+            if let Some(budget) = cfg.deadline_us {
+                let elapsed = sess.elapsed_modeled_us();
+                if elapsed >= budget {
+                    status = SolveStatus::DeadlineExceeded {
+                        at_iteration: iterations,
+                        elapsed_us: elapsed as u64,
+                    };
+                    break;
+                }
             }
         }
 
@@ -273,6 +286,10 @@ impl<'a> JumpSession<'a> {
 }
 
 impl SweepSession for JumpSession<'_> {
+    fn elapsed_modeled_us(&self) -> f64 {
+        self.phases.total_us() + self.recovery_us
+    }
+
     fn iterate(&mut self) -> Result<f64, DeviceError> {
         let dev = &mut *self.dev;
         let a = self.a;

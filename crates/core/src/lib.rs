@@ -36,18 +36,23 @@ mod multicore;
 mod recovery;
 mod report;
 mod serial;
+pub mod service;
 mod status;
 pub mod three_phase;
 pub mod validate;
 
 pub use arrays::SolverArrays;
 pub use batch::{BatchResult, BatchSolver};
-pub use config::SolverConfig;
+pub use config::{ConfigError, SolverConfig};
 pub use gpu::{BackwardStrategy, GpuSolver};
 pub use jump::{JumpArrays, JumpSolver};
 pub use multicore::MulticoreSolver;
 pub use recovery::{Backend, Resilient3Solver, ResilienceError, ResilientSolver};
 pub use report::{FaultReport, PhaseTimes, SolveResult, Timing};
 pub use serial::SerialSolver;
+pub use service::{
+    BreakerState, Deadline, Outcome, Request, Response, ServiceConfig, ServiceStats,
+    SolveService,
+};
 pub use status::{ConvergenceMonitor, SolveStatus};
 pub use three_phase::{Arrays3, Gpu3Solver, Serial3Solver, Solve3Result};

@@ -69,6 +69,9 @@ impl MulticoreSolver {
         let wall0 = Instant::now();
         let n = a.len();
         let v0 = a.source;
+        if cfg.validate().is_err() {
+            return crate::report::invalid_config_result(n, v0);
+        }
         let mut monitor = ConvergenceMonitor::new(cfg, v0.abs());
 
         let mut v = vec![v0; n];
@@ -162,6 +165,16 @@ impl MulticoreSolver {
             if let Some(s) = monitor.observe(iterations, d) {
                 status = s;
                 break;
+            }
+            if let Some(budget) = cfg.deadline_us {
+                let elapsed = phases.total_us();
+                if elapsed >= budget {
+                    status = SolveStatus::DeadlineExceeded {
+                        at_iteration: iterations,
+                        elapsed_us: elapsed as u64,
+                    };
+                    break;
+                }
             }
         }
 

@@ -40,6 +40,8 @@
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use numc::Complex;
@@ -68,6 +70,10 @@ pub(crate) const SPIKE_FACTOR: f64 = 4.0;
 ///
 /// All voltages are in the session's device position order.
 pub(crate) trait SweepSession {
+    /// Modeled µs elapsed on this session so far (phase times plus
+    /// recovery traffic) — the clock [`SolverConfig::deadline_us`] is
+    /// checked against.
+    fn elapsed_modeled_us(&self) -> f64;
     /// Runs one full FBS iteration; returns the ∞-norm voltage update.
     fn iterate(&mut self) -> Result<f64, DeviceError>;
     /// Downloads the voltage state (checkpoint capture).
@@ -181,6 +187,7 @@ pub(crate) fn drive<S: SweepSession>(
     checkpointing: bool,
     report: &mut FaultReport,
     budget: &mut RetryBudget,
+    cancel: Option<&AtomicBool>,
 ) -> Result<DriveOutcome, DriveAbort> {
     let monitor0 = ConvergenceMonitor::new(cfg, sess.source_mag());
     let tol = monitor0.tol();
@@ -249,6 +256,32 @@ pub(crate) fn drive<S: SweepSession>(
             }
             match mon.observe(iters, r) {
                 None => {
+                    // Deadline and watchdog-cancel checks happen only on
+                    // a still-running iteration, mirroring the plain
+                    // solver loops: a converged/failed status is never
+                    // masked by a slow clock.
+                    let deadline_hit = cfg
+                        .deadline_us
+                        .is_some_and(|budget_us| sess.elapsed_modeled_us() >= budget_us);
+                    let cancelled =
+                        cancel.is_some_and(|c| c.load(Ordering::Relaxed));
+                    if deadline_hit || cancelled {
+                        if sess.faults_observed() > ckpt.faults {
+                            recover!();
+                        }
+                        let (v_pos, j_pos) = step!(sess.download());
+                        return Ok(DriveOutcome {
+                            v_pos,
+                            j_pos,
+                            iterations: iters,
+                            status: SolveStatus::DeadlineExceeded {
+                                at_iteration: iters,
+                                elapsed_us: sess.elapsed_modeled_us() as u64,
+                            },
+                            residual,
+                            residual_history: history,
+                        });
+                    }
                     prev_r = r;
                     if checkpointing && iters.is_multiple_of(cfg.checkpoint_every) {
                         if tainted {
@@ -429,12 +462,21 @@ pub struct ResilientSolver {
     plan: Option<FaultPlan>,
     degrade: bool,
     last_device: Option<Device>,
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl ResilientSolver {
     /// Creates a supervisor for the given backend and hardware models.
     pub fn new(backend: Backend, props: DeviceProps, host: HostProps) -> Self {
-        ResilientSolver { backend, props, host, plan: None, degrade: true, last_device: None }
+        ResilientSolver {
+            backend,
+            props,
+            host,
+            plan: None,
+            degrade: true,
+            last_device: None,
+            cancel: None,
+        }
     }
 
     /// Arms a fault plan; every device the supervisor creates gets a
@@ -448,6 +490,17 @@ impl ResilientSolver {
     /// Enables or disables GPU→CPU degradation (default enabled).
     pub fn with_degradation(mut self, degrade: bool) -> Self {
         self.degrade = degrade;
+        self
+    }
+
+    /// Arms a cooperative cancellation flag. A watchdog (or any other
+    /// supervisor) sets the flag; the device iteration loop notices it
+    /// at the next convergence check and returns the partial state with
+    /// [`SolveStatus::DeadlineExceeded`]. The flag never consumes
+    /// fault-plan operations, so armed-but-unfired watchdogs leave the
+    /// fault stream untouched.
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 
@@ -468,6 +521,15 @@ impl ResilientSolver {
         net: &RadialNetwork,
         cfg: &SolverConfig,
     ) -> Result<SolveResult, ResilienceError> {
+        if cfg.validate().is_err() {
+            let mut res =
+                crate::report::invalid_config_result(net.num_buses(), net.source_voltage());
+            res.fault_report = Some(FaultReport {
+                backends: vec![self.backend.name().to_string()],
+                ..FaultReport::default()
+            });
+            return Ok(res);
+        }
         let mut report = FaultReport::default();
         let mut budget = RetryBudget::new(cfg.max_recoveries);
         let mut backend = self.backend;
@@ -521,6 +583,7 @@ impl ResilientSolver {
             (backend != Backend::GpuJump).then(|| SolverArrays::new(net));
         let jump_arrays = (backend == Backend::GpuJump).then(|| JumpArrays::new(net));
         let checkpointing = self.plan.is_some();
+        let cancel = self.cancel.clone();
         loop {
             let mut dev = Device::new(self.props.clone());
             if let Some(plan) = &self.plan {
@@ -537,6 +600,7 @@ impl ResilientSolver {
                     checkpointing,
                     report,
                     budget,
+                    cancel.as_deref(),
                 ),
                 _ => run_level_attempt(
                     &mut dev,
@@ -546,6 +610,7 @@ impl ResilientSolver {
                     checkpointing,
                     report,
                     budget,
+                    cancel.as_deref(),
                 ),
             }));
             report.faults_injected += dev.fault_log().len() as u32;
@@ -608,6 +673,7 @@ fn setup_abort(
     DriveAbort::Restart
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_level_attempt(
     dev: &mut Device,
     a: &SolverArrays,
@@ -616,6 +682,7 @@ fn run_level_attempt(
     checkpointing: bool,
     report: &mut FaultReport,
     budget: &mut RetryBudget,
+    cancel: Option<&AtomicBool>,
 ) -> Result<SolveResult, DriveAbort> {
     let wall0 = Instant::now();
     let mut sess = match GpuSession::new(dev, a, strategy, None) {
@@ -623,7 +690,7 @@ fn run_level_attempt(
         Err(e) => return Err(setup_abort(e, report, budget)),
     };
     let init_v = vec![a.source; a.len()];
-    let out = drive(&mut sess, cfg, &init_v, checkpointing, report, budget);
+    let out = drive(&mut sess, cfg, &init_v, checkpointing, report, budget, cancel);
     report.checkpoint_us += sess.recovery_us();
     let out = out?;
     let timing = sess.timing(wall0);
@@ -646,6 +713,7 @@ fn run_jump_attempt(
     checkpointing: bool,
     report: &mut FaultReport,
     budget: &mut RetryBudget,
+    cancel: Option<&AtomicBool>,
 ) -> Result<SolveResult, DriveAbort> {
     let wall0 = Instant::now();
     let mut sess = match JumpSession::new(dev, a) {
@@ -653,7 +721,7 @@ fn run_jump_attempt(
         Err(e) => return Err(setup_abort(e, report, budget)),
     };
     let init_v = vec![a.source; a.len()];
-    let out = drive(&mut sess, cfg, &init_v, checkpointing, report, budget);
+    let out = drive(&mut sess, cfg, &init_v, checkpointing, report, budget, cancel);
     report.checkpoint_us += sess.recovery_us();
     let out = out?;
     let timing = sess.timing(wall0);
@@ -707,6 +775,12 @@ impl Resilient3Solver {
         net: &ThreePhaseNetwork,
         cfg: &SolverConfig,
     ) -> Result<Solve3Result, ResilienceError> {
+        if cfg.validate().is_err() {
+            return Ok(crate::three_phase::invalid_config_result3(
+                net.num_buses(),
+                net.source_voltage(),
+            ));
+        }
         let a = Arrays3::new(net);
         let mut faults_total = 0u32;
         let mut budget = RetryBudget::new(cfg.max_recoveries);

@@ -192,6 +192,22 @@ impl SolveResult {
     }
 }
 
+/// The result a solver returns when [`crate::SolverConfig::validate`]
+/// fails: flat-start voltages, zero iterations, an infinite residual and
+/// `SolveStatus::InvalidConfig`. The solve never ran.
+pub(crate) fn invalid_config_result(n: usize, v0: Complex) -> SolveResult {
+    SolveResult {
+        v: vec![v0; n],
+        j: vec![Complex::ZERO; n],
+        iterations: 0,
+        status: SolveStatus::InvalidConfig,
+        residual: f64::INFINITY,
+        residual_history: Vec::new(),
+        timing: Timing::default(),
+        fault_report: None,
+    }
+}
+
 /// Folds magnitudes to (min, index), except that the first non-finite
 /// entry short-circuits the fold and is returned as-is.
 pub(crate) fn min_magnitude_surfacing_nonfinite(

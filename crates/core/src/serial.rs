@@ -89,6 +89,9 @@ impl SerialSolver {
         let wall0 = Instant::now();
         let n = a.len();
         let v0 = a.source;
+        if cfg.validate().is_err() {
+            return crate::report::invalid_config_result(n, v0);
+        }
         let mut monitor = ConvergenceMonitor::new(cfg, v0.abs());
         // Resident state cycled every iteration: S, Z, V, I, J (16 B
         // complex each) plus the integer topology arrays (~32 B/bus).
@@ -166,6 +169,16 @@ impl SerialSolver {
             if let Some(s) = monitor.observe(iterations, delta) {
                 status = s;
                 break;
+            }
+            if let Some(budget) = cfg.deadline_us {
+                let elapsed = phases.total_us();
+                if elapsed >= budget {
+                    status = SolveStatus::DeadlineExceeded {
+                        at_iteration: iterations,
+                        elapsed_us: elapsed as u64,
+                    };
+                    break;
+                }
             }
         }
 
@@ -307,6 +320,33 @@ mod tests {
             res.status
         );
         assert!(!res.residual.is_finite(), "the corrupt residual must be surfaced");
+    }
+
+    #[test]
+    fn invalid_config_is_reported_not_iterated() {
+        let mut cfg = SolverConfig::default();
+        cfg.max_iter = 0;
+        let res = solver().solve(&two_bus(), &cfg);
+        assert_eq!(res.status, SolveStatus::InvalidConfig);
+        assert_eq!(res.iterations, 0);
+        assert!(res.residual.is_infinite(), "no iteration ran, so no residual exists");
+        assert_eq!(res.v.len(), 2, "flat-start voltages are still returned");
+    }
+
+    #[test]
+    fn deadline_abort_reports_partial_iterations() {
+        // A budget far below one modeled sweep: the deadline trips after
+        // the first iteration, before the (unreachably tight) tolerance.
+        let cfg = SolverConfig::new(1e-14, 10_000).with_deadline(1e-9);
+        let res = solver().solve(&two_bus(), &cfg);
+        match res.status {
+            SolveStatus::DeadlineExceeded { at_iteration, .. } => {
+                assert_eq!(at_iteration, 1);
+                assert_eq!(res.iterations, 1);
+            }
+            other => panic!("expected a deadline abort, got {other}"),
+        }
+        assert!(res.residual.is_finite(), "partial state is real, not garbage");
     }
 
     #[test]

@@ -31,6 +31,20 @@ pub enum SolveStatus {
     /// The iteration cap was reached with a finite, non-exploding
     /// residual (slow convergence or a bound oscillation).
     MaxIterations,
+    /// The solve ran out of time budget before meeting the tolerance.
+    /// The voltages are the (partial, finite) state at the abort point —
+    /// usable for diagnostics, not for operating decisions.
+    DeadlineExceeded {
+        /// Iterations completed when the deadline tripped (≥ 0; a solve
+        /// aborted before its first sweep reports 0).
+        at_iteration: u32,
+        /// Modeled time elapsed when the deadline tripped, µs (for a
+        /// wall-clock watchdog abort, the wall time instead).
+        elapsed_us: u64,
+    },
+    /// The configuration failed validation (e.g. `max_iter == 0` poked
+    /// in through the public fields); the solve never started.
+    InvalidConfig,
     /// The residual exceeded the divergence cap, or grew for
     /// `divergence_patience` consecutive iterations.
     Diverged {
@@ -52,11 +66,17 @@ impl SolveStatus {
         matches!(self, SolveStatus::Converged | SolveStatus::Recovered { .. })
     }
 
-    /// `true` for the abnormal exits ([`SolveStatus::Diverged`] and
-    /// [`SolveStatus::NumericalFailure`]); `MaxIterations` is slow, not
-    /// broken.
+    /// `true` for the abnormal exits ([`SolveStatus::Diverged`],
+    /// [`SolveStatus::NumericalFailure`] and
+    /// [`SolveStatus::InvalidConfig`]); `MaxIterations` and
+    /// `DeadlineExceeded` are slow, not broken.
     pub fn is_failure(self) -> bool {
-        matches!(self, SolveStatus::Diverged { .. } | SolveStatus::NumericalFailure { .. })
+        matches!(
+            self,
+            SolveStatus::Diverged { .. }
+                | SolveStatus::NumericalFailure { .. }
+                | SolveStatus::InvalidConfig
+        )
     }
 
     /// Severity rank for batch-wide summaries (higher is worse).
@@ -65,8 +85,10 @@ impl SolveStatus {
             SolveStatus::Converged => 0,
             SolveStatus::Recovered { .. } => 1,
             SolveStatus::MaxIterations => 2,
-            SolveStatus::Diverged { .. } => 3,
-            SolveStatus::NumericalFailure { .. } => 4,
+            SolveStatus::DeadlineExceeded { .. } => 3,
+            SolveStatus::Diverged { .. } => 4,
+            SolveStatus::NumericalFailure { .. } => 5,
+            SolveStatus::InvalidConfig => 6,
         }
     }
 
@@ -81,14 +103,17 @@ impl SolveStatus {
     }
 
     /// Process exit code for CLI front-ends: 0 converged, 2 iteration cap,
-    /// 3 diverged, 4 numerical failure (1 is reserved for usage/IO
-    /// errors).
+    /// 3 diverged, 4 numerical failure, 6 deadline exceeded, 7 invalid
+    /// config (1 is reserved for usage/IO errors, 5 for unrecoverable
+    /// device loss).
     pub fn exit_code(self) -> u8 {
         match self {
             SolveStatus::Converged | SolveStatus::Recovered { .. } => 0,
             SolveStatus::MaxIterations => 2,
             SolveStatus::Diverged { .. } => 3,
             SolveStatus::NumericalFailure { .. } => 4,
+            SolveStatus::DeadlineExceeded { .. } => 6,
+            SolveStatus::InvalidConfig => 7,
         }
     }
 }
@@ -101,6 +126,10 @@ impl fmt::Display for SolveStatus {
                 write!(f, "recovered ({faults} faults, {retries} retries)")
             }
             SolveStatus::MaxIterations => write!(f, "max-iterations"),
+            SolveStatus::DeadlineExceeded { at_iteration, elapsed_us } => {
+                write!(f, "deadline-exceeded (iteration {at_iteration}, {elapsed_us} µs)")
+            }
+            SolveStatus::InvalidConfig => write!(f, "invalid-config"),
             SolveStatus::Diverged { at_iteration } => {
                 write!(f, "diverged (iteration {at_iteration})")
             }
@@ -270,11 +299,14 @@ mod tests {
 
     #[test]
     fn severity_order_and_worse() {
+        let dl = SolveStatus::DeadlineExceeded { at_iteration: 3, elapsed_us: 900 };
         let d = SolveStatus::Diverged { at_iteration: 2 };
         let n = SolveStatus::NumericalFailure { at_iteration: 5 };
         assert_eq!(SolveStatus::Converged.worse(SolveStatus::MaxIterations), SolveStatus::MaxIterations);
-        assert_eq!(SolveStatus::MaxIterations.worse(d), d);
+        assert_eq!(SolveStatus::MaxIterations.worse(dl), dl);
+        assert_eq!(dl.worse(d), d);
         assert_eq!(d.worse(n), n);
+        assert_eq!(n.worse(SolveStatus::InvalidConfig), SolveStatus::InvalidConfig);
         assert_eq!(n.worse(SolveStatus::Converged), n);
     }
 
@@ -285,14 +317,33 @@ mod tests {
             SolveStatus::MaxIterations.exit_code(),
             SolveStatus::Diverged { at_iteration: 1 }.exit_code(),
             SolveStatus::NumericalFailure { at_iteration: 1 }.exit_code(),
+            SolveStatus::DeadlineExceeded { at_iteration: 1, elapsed_us: 1 }.exit_code(),
+            SolveStatus::InvalidConfig.exit_code(),
         ];
         assert_eq!(codes[0], 0);
         for (i, &a) in codes.iter().enumerate() {
             assert_ne!(a, 1, "exit 1 is reserved for usage errors");
+            assert_ne!(a, 5, "exit 5 is reserved for unrecoverable device loss");
             for &b in &codes[i + 1..] {
                 assert_ne!(a, b, "exit codes must be distinct");
             }
         }
+    }
+
+    #[test]
+    fn deadline_is_slow_not_broken() {
+        let dl = SolveStatus::DeadlineExceeded { at_iteration: 4, elapsed_us: 1234 };
+        assert!(!dl.is_converged());
+        assert!(!dl.is_failure(), "a deadline miss is a scheduling event, not corruption");
+        assert_eq!(dl.exit_code(), 6);
+        assert_eq!(dl.to_string(), "deadline-exceeded (iteration 4, 1234 µs)");
+    }
+
+    #[test]
+    fn invalid_config_is_a_failure() {
+        assert!(SolveStatus::InvalidConfig.is_failure());
+        assert!(!SolveStatus::InvalidConfig.is_converged());
+        assert_eq!(SolveStatus::InvalidConfig.to_string(), "invalid-config");
     }
 
     #[test]

@@ -159,6 +159,19 @@ impl Solve3Result {
     }
 }
 
+/// The three-phase analogue of [`crate::report::invalid_config_result`]:
+/// flat-start voltages, zero iterations, `SolveStatus::InvalidConfig`.
+pub(crate) fn invalid_config_result3(n: usize, v0: CVec3) -> Solve3Result {
+    Solve3Result {
+        v: vec![v0; n],
+        j: vec![CVec3::ZERO; n],
+        iterations: 0,
+        status: SolveStatus::InvalidConfig,
+        residual: f64::INFINITY,
+        timing: Timing::default(),
+    }
+}
+
 /// Serial reference three-phase FBS solver.
 #[derive(Clone, Debug, Default)]
 pub struct Serial3Solver {
@@ -182,6 +195,9 @@ impl Serial3Solver {
         let wall0 = Instant::now();
         let n = a.len();
         let v0 = a.source;
+        if cfg.validate().is_err() {
+            return invalid_config_result3(n, v0);
+        }
         let mut monitor = ConvergenceMonitor::new(cfg, v0.abs_max());
         // Per-bus state: S, V, I, J (48 B each) + Z (144 B) + topology.
         let working_set = 360 * n as u64;
@@ -242,6 +258,16 @@ impl Serial3Solver {
                 status = s;
                 break;
             }
+            if let Some(budget) = cfg.deadline_us {
+                let elapsed = phases.total_us();
+                if elapsed >= budget {
+                    status = SolveStatus::DeadlineExceeded {
+                        at_iteration: iterations,
+                        elapsed_us: elapsed as u64,
+                    };
+                    break;
+                }
+            }
         }
         let _ = residual_history;
 
@@ -292,6 +318,9 @@ impl Gpu3Solver {
         let n = a.len();
         let num_levels = a.levels.num_levels();
         let v0 = a.source;
+        if cfg.validate().is_err() {
+            return invalid_config_result3(n, v0);
+        }
         let mut monitor = ConvergenceMonitor::new(cfg, v0.abs_max());
 
         let mut phases = PhaseTimes::default();
@@ -411,6 +440,16 @@ impl Gpu3Solver {
             if let Some(s) = monitor.observe(iterations, delta) {
                 status = s;
                 break;
+            }
+            if let Some(budget) = cfg.deadline_us {
+                let elapsed = phases.total_us();
+                if elapsed >= budget {
+                    status = SolveStatus::DeadlineExceeded {
+                        at_iteration: iterations,
+                        elapsed_us: elapsed as u64,
+                    };
+                    break;
+                }
             }
         }
 

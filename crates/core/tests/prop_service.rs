@@ -1,0 +1,158 @@
+//! Property tests of the service layer's three policies, over random
+//! networks and random policy parameters:
+//!
+//! * deadline-hit solves always report a *partial* iteration count and
+//!   an elapsed time at or past the budget — never a fabricated final
+//!   answer;
+//! * a service whose breaker is open (dead device) still answers, and
+//!   its voltages match the serial reference to 1e-9 V;
+//! * a burst that overflows the admission queue sheds exactly the
+//!   overflow — every request is answered or rejected, never dropped.
+
+use check::gen::{tuple2, tuple3, u64_any, usize_in};
+use check::{checker, prop_assert, prop_assert_eq, CaseResult};
+use fbs::{
+    Backend, GpuSolver, Outcome, Request, SerialSolver, ServiceConfig, SolveService, SolveStatus,
+    SolverConfig,
+};
+use powergrid::gen::{random_tree, GenSpec};
+use rng::rngs::StdRng;
+use rng::SeedableRng;
+use simt::{Device, DeviceProps, FaultKind, FaultPlan, HostProps};
+
+fn net_for(n: usize, seed: u64) -> powergrid::RadialNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_tree(n, 8, &GenSpec::default(), &mut rng)
+}
+
+#[test]
+fn deadline_hit_solves_report_partial_progress() {
+    checker("deadline_hit_solves_report_partial_progress").cases(24).run(
+        tuple3(usize_in(32..400), u64_any(), usize_in(10..60)),
+        |&(n, seed, pct)| -> CaseResult {
+            let net = net_for(n, seed);
+            // Tight tolerance forces a multi-iteration solve, so a
+            // mid-range budget lands inside the loop.
+            let cfg = SolverConfig::new(1e-12, 200);
+            let full = GpuSolver::new(Device::new(DeviceProps::paper_rig())).solve(&net, &cfg);
+            let budget = full.timing.total_us() * (pct as f64 / 100.0);
+
+            let cut = GpuSolver::new(Device::new(DeviceProps::paper_rig()))
+                .solve(&net, &cfg.with_deadline(budget));
+            match cut.status {
+                SolveStatus::DeadlineExceeded { at_iteration, elapsed_us } => {
+                    prop_assert!(at_iteration >= 1, "deadline fires after a full iteration");
+                    prop_assert!(
+                        at_iteration <= full.iterations,
+                        "partial count {} cannot exceed the full run's {}",
+                        at_iteration,
+                        full.iterations
+                    );
+                    prop_assert_eq!(cut.iterations, at_iteration);
+                    prop_assert!(
+                        elapsed_us as f64 >= budget,
+                        "reported elapsed {} µs is before the {budget} µs budget",
+                        elapsed_us
+                    );
+                }
+                // A budget past the convergence point changes nothing.
+                SolveStatus::Converged => {
+                    prop_assert_eq!(cut.iterations, full.iterations);
+                }
+                other => {
+                    return Err(check::CaseError::fail(format!(
+                        "deadline run ended {other:?}"
+                    )))
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn breaker_open_service_matches_serial_to_1e9() {
+    checker("breaker_open_service_matches_serial_to_1e9").cases(12).run(
+        tuple2(usize_in(16..220), u64_any()),
+        |&(n, seed)| -> CaseResult {
+            let net = net_for(n, seed);
+            let cfg = SolverConfig::default();
+            let serial = SerialSolver::new(HostProps::paper_rig()).solve(&net, &cfg);
+
+            // Kill the device at the start of every attempt: the first
+            // request trips the breaker, the rest are served open.
+            let plan = FaultPlan::scripted(
+                (0..64).map(|k| (3 + 11 * k, FaultKind::DeviceLost { at_op: 0 })),
+            );
+            let scfg = ServiceConfig {
+                backend: Backend::Gpu,
+                max_retries: 0,
+                breaker_threshold: 1,
+                breaker_probe_after: 1000,
+                ..ServiceConfig::default()
+            };
+            let mut svc = SolveService::new(scfg, DeviceProps::paper_rig(), HostProps::paper_rig())
+                .with_fault_plan(plan);
+
+            for req in 0..4 {
+                svc.submit(Request::Solve { net: net.clone(), cfg }).expect("queue admits");
+                let resp = svc.process_one().expect("queued");
+                let res = match resp.outcome {
+                    Outcome::Solved(res) => res,
+                    other => {
+                        return Err(check::CaseError::fail(format!(
+                            "request {req} ended {other:?}"
+                        )))
+                    }
+                };
+                prop_assert!(res.converged(), "request {} must converge, got {:?}", req, res.status);
+                for (bus, (a, b)) in res.v.iter().zip(&serial.v).enumerate() {
+                    prop_assert!(
+                        (a.abs() - b.abs()).abs() < 1e-9,
+                        "request {}, bus {}: |V| drifted {:e}",
+                        req,
+                        bus,
+                        (a.abs() - b.abs()).abs()
+                    );
+                }
+            }
+            prop_assert_eq!(svc.breaker().name(), "open");
+            prop_assert!(svc.stats().fallback_served >= 3, "open breaker must route to fallback");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn burst_backpressure_sheds_exactly_the_overflow() {
+    checker("burst_backpressure_sheds_exactly_the_overflow").cases(24).run(
+        tuple3(usize_in(1..20), usize_in(1..8), u64_any()),
+        |&(m, capacity, seed)| -> CaseResult {
+            let net = net_for(24, seed);
+            let cfg = SolverConfig::default();
+            let scfg = ServiceConfig { queue_capacity: capacity, ..ServiceConfig::default() };
+            let mut svc =
+                SolveService::new(scfg, DeviceProps::paper_rig(), HostProps::paper_rig());
+
+            // m simultaneous arrivals against a queue of `capacity`.
+            let arrivals =
+                (0..m).map(|_| (0.0, Request::Solve { net: net.clone(), cfg })).collect();
+            let responses = svc.run_stream(arrivals);
+
+            prop_assert_eq!(responses.len(), m, "every request gets exactly one response");
+            let shed = responses
+                .iter()
+                .filter(|r| matches!(r.outcome, Outcome::Rejected { .. }))
+                .count();
+            prop_assert_eq!(shed, m.saturating_sub(capacity), "shed is exactly the overflow");
+            prop_assert_eq!(svc.stats().served as usize, m - shed);
+            prop_assert!(svc.stats().peak_queue_depth <= capacity);
+            for r in &responses {
+                if let Outcome::Rejected { queue_depth } = r.outcome {
+                    prop_assert_eq!(queue_depth, capacity, "sheds report the full queue");
+                }
+            }
+            Ok(())
+        },
+    );
+}

@@ -38,6 +38,15 @@ pub enum ParseError {
     SparseBusIds,
     /// No `source` line.
     MissingSource,
+    /// A numeric field parsed but is NaN or infinite (1-based line
+    /// number). `f64::from_str` happily accepts `NaN` and `inf`, which
+    /// would otherwise poison every downstream sweep.
+    NonFinite(usize),
+    /// A branch connects a bus to itself (1-based line number).
+    SelfLoop(usize),
+    /// The same pair of buses is connected twice (1-based line number
+    /// of the second occurrence), in either orientation.
+    DuplicateEdge(usize),
     /// The parsed network failed radiality validation.
     Invalid(NetworkError),
 }
@@ -50,6 +59,9 @@ impl std::fmt::Display for ParseError {
             ParseError::BadLine(n, why) => write!(f, "line {n}: {why}"),
             ParseError::SparseBusIds => write!(f, "bus ids must be dense 0..n"),
             ParseError::MissingSource => write!(f, "missing `source` line"),
+            ParseError::NonFinite(n) => write!(f, "line {n}: numbers must be finite"),
+            ParseError::SelfLoop(n) => write!(f, "line {n}: branch connects a bus to itself"),
+            ParseError::DuplicateEdge(n) => write!(f, "line {n}: duplicate branch"),
             ParseError::Invalid(e) => write!(f, "invalid network: {e}"),
         }
     }
@@ -78,6 +90,7 @@ pub fn parse_grid(text: &str) -> Result<RadialNetwork, ParseError> {
     let mut source = None;
     let mut buses: Vec<(usize, f64, f64)> = Vec::new();
     let mut branches: Vec<(usize, usize, f64, f64)> = Vec::new();
+    let mut edges: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
     let mut saw_header = false;
 
     for (ln, raw) in text.lines().enumerate() {
@@ -100,12 +113,14 @@ pub fn parse_grid(text: &str) -> Result<RadialNetwork, ParseError> {
             "source" => {
                 let re: f64 = parse_tok(&mut tok).map_err(|w| bad(&w))?;
                 let im: f64 = parse_tok(&mut tok).map_err(|w| bad(&w))?;
+                finite(&[re, im], ln)?;
                 source = Some(c(re, im));
             }
             "bus" => {
                 let id: usize = parse_tok(&mut tok).map_err(|w| bad(&w))?;
                 let p: f64 = parse_tok(&mut tok).map_err(|w| bad(&w))?;
                 let q: f64 = parse_tok(&mut tok).map_err(|w| bad(&w))?;
+                finite(&[p, q], ln)?;
                 buses.push((id, p, q));
             }
             "branch" => {
@@ -113,6 +128,13 @@ pub fn parse_grid(text: &str) -> Result<RadialNetwork, ParseError> {
                 let to: usize = parse_tok(&mut tok).map_err(|w| bad(&w))?;
                 let r: f64 = parse_tok(&mut tok).map_err(|w| bad(&w))?;
                 let x: f64 = parse_tok(&mut tok).map_err(|w| bad(&w))?;
+                finite(&[r, x], ln)?;
+                if from == to {
+                    return Err(ParseError::SelfLoop(ln + 1));
+                }
+                if !edges.insert((from.min(to), from.max(to))) {
+                    return Err(ParseError::DuplicateEdge(ln + 1));
+                }
                 branches.push((from, to, r, x));
             }
             other => return Err(bad(&format!("unknown directive `{other}`"))),
@@ -150,6 +172,15 @@ pub fn parse_grid(text: &str) -> Result<RadialNetwork, ParseError> {
 fn parse_tok<T: std::str::FromStr>(tok: &mut std::str::SplitAsciiWhitespace<'_>) -> Result<T, String> {
     let s = tok.next().ok_or_else(|| "missing field".to_string())?;
     s.parse().map_err(|_| format!("cannot parse `{s}`"))
+}
+
+/// Rejects NaN/infinite numeric fields on line `ln` (0-based).
+pub(crate) fn finite(vals: &[f64], ln: usize) -> Result<(), ParseError> {
+    if vals.iter().all(|v| v.is_finite()) {
+        Ok(())
+    } else {
+        Err(ParseError::NonFinite(ln + 1))
+    }
 }
 
 #[cfg(test)]
@@ -234,9 +265,32 @@ mod tests {
 
     #[test]
     fn invalid_topology_surfaces_network_error() {
-        let cyclic = "grid 1\nsource 1 0\nbus 0 0 0\nbus 1 0 0\nbus 2 0 0\nbranch 1 2 1 0\nbranch 2 1 1 0\n";
+        let cyclic = "grid 1\nsource 1 0\nbus 0 0 0\nbus 1 0 0\nbus 2 0 0\nbranch 0 1 1 0\nbranch 1 2 1 0\nbranch 2 0 1 0\n";
         let err = parse_grid(cyclic).unwrap_err();
         assert!(matches!(err, ParseError::Invalid(_)), "{err:?}");
+    }
+
+    #[test]
+    fn non_finite_numbers_rejected() {
+        // `f64::from_str` accepts all of these spellings; the parser
+        // must not let them into a network.
+        for field in ["NaN", "inf", "-inf", "Infinity"] {
+            let text = format!("grid 1\nsource 1 0\nbus 0 {field} 0\nbus 1 0 0\nbranch 0 1 1 0\n");
+            assert_eq!(parse_grid(&text).unwrap_err(), ParseError::NonFinite(3), "{field}");
+        }
+        let z = "grid 1\nsource 1 0\nbus 0 0 0\nbus 1 0 0\nbranch 0 1 NaN 0\n";
+        assert_eq!(parse_grid(z).unwrap_err(), ParseError::NonFinite(5));
+        let s = "grid 1\nsource inf 0\nbus 0 0 0\n";
+        assert_eq!(parse_grid(s).unwrap_err(), ParseError::NonFinite(2));
+    }
+
+    #[test]
+    fn self_loops_and_duplicate_edges_rejected() {
+        let loop_ = "grid 1\nsource 1 0\nbus 0 0 0\nbus 1 0 0\nbranch 1 1 1 0\n";
+        assert_eq!(parse_grid(loop_).unwrap_err(), ParseError::SelfLoop(5));
+        // The reversed orientation is the same edge.
+        let dup = "grid 1\nsource 1 0\nbus 0 0 0\nbus 1 0 0\nbranch 0 1 1 0\nbranch 1 0 2 0\n";
+        assert_eq!(parse_grid(dup).unwrap_err(), ParseError::DuplicateEdge(6));
     }
 
     #[test]

@@ -69,6 +69,7 @@ pub fn parse_grid3(text: &str) -> Result<ThreePhaseNetwork, ParseError> {
     let mut source = None;
     let mut buses: Vec<(usize, CVec3)> = Vec::new();
     let mut branches: Vec<(usize, usize, CMat3)> = Vec::new();
+    let mut edges: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
     let mut saw_header = false;
 
     for (ln, raw) in text.lines().enumerate() {
@@ -95,6 +96,7 @@ pub fn parse_grid3(text: &str) -> Result<ThreePhaseNetwork, ParseError> {
             "source3" => {
                 let vals: Result<Vec<f64>, _> = (0..6).map(|_| num(&mut tok)).collect();
                 let v = vals?;
+                crate::gridfile::finite(&v, ln)?;
                 source = Some(CVec3::new(c(v[0], v[1]), c(v[2], v[3]), c(v[4], v[5])));
             }
             "bus3" => {
@@ -105,6 +107,7 @@ pub fn parse_grid3(text: &str) -> Result<ThreePhaseNetwork, ParseError> {
                     .map_err(|_| bad("bad bus id"))?;
                 let vals: Result<Vec<f64>, _> = (0..6).map(|_| num(&mut tok)).collect();
                 let v = vals?;
+                crate::gridfile::finite(&v, ln)?;
                 buses.push((id, CVec3::new(c(v[0], v[1]), c(v[2], v[3]), c(v[4], v[5]))));
             }
             "branch3" => {
@@ -120,6 +123,13 @@ pub fn parse_grid3(text: &str) -> Result<ThreePhaseNetwork, ParseError> {
                     .map_err(|_| bad("bad to id"))?;
                 let vals: Result<Vec<f64>, _> = (0..4).map(|_| num(&mut tok)).collect();
                 let v = vals?;
+                crate::gridfile::finite(&v, ln)?;
+                if from == to {
+                    return Err(ParseError::SelfLoop(ln + 1));
+                }
+                if !edges.insert((from.min(to), from.max(to))) {
+                    return Err(ParseError::DuplicateEdge(ln + 1));
+                }
                 branches.push((from, to, CMat3::coupled(c(v[0], v[1]), c(v[2], v[3]))));
             }
             other => return Err(bad(&format!("unknown directive `{other}`"))),
@@ -193,6 +203,19 @@ mod tests {
         ));
         let bad_line = "grid3 1\nsource3 1 0 1 0 1 0\nbus3 0 x 0 0 0 0 0\n";
         assert!(matches!(parse_grid3(bad_line), Err(ParseError::BadLine(3, _))));
+    }
+
+    #[test]
+    fn hardening_mirrors_the_single_phase_parser() {
+        let head = "grid3 1\nsource3 1 0 1 0 1 0\nbus3 0 0 0 0 0 0 0\nbus3 1 0 0 0 0 0 0\n";
+        let nan = format!("{head}branch3 0 1 NaN 0 0 0\n");
+        assert!(matches!(parse_grid3(&nan), Err(ParseError::NonFinite(5))));
+        let inf_load = "grid3 1\nsource3 1 0 1 0 1 0\nbus3 0 0 inf 0 0 0 0\n";
+        assert!(matches!(parse_grid3(inf_load), Err(ParseError::NonFinite(3))));
+        let loop_ = format!("{head}branch3 1 1 1 0 0 0\n");
+        assert!(matches!(parse_grid3(&loop_), Err(ParseError::SelfLoop(5))));
+        let dup = format!("{head}branch3 0 1 1 0 0 0\nbranch3 1 0 1 0 0 0\n");
+        assert!(matches!(parse_grid3(&dup), Err(ParseError::DuplicateEdge(6))));
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Fuzz-style hardening property: no input text — however mangled —
+//! may make `parse_grid` / `parse_grid3` panic. Every outcome is either
+//! a structured [`ParseError`] or a validated network.
+//!
+//! Golden `.grid` / `.grid3` bytes are mutated by a seeded pipeline of
+//! line-level and byte-level edits (the kind of damage truncated
+//! downloads, editor accidents, and hostile inputs actually produce),
+//! then parsed under `catch_unwind`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use check::gen::{tuple3, u64_any, usize_in};
+use check::{checker, CaseResult};
+use powergrid::gen::{random_tree, GenSpec};
+use powergrid::gridfile::{parse_grid, write_grid};
+use powergrid::gridfile3::{parse_grid3, write_grid3};
+use powergrid::three_phase::ieee13_unbalanced;
+use powergrid::LevelOrder;
+use rng::rngs::StdRng;
+use rng::{Rng, SeedableRng};
+
+/// Tokens that stress the numeric and structural paths.
+const EVIL_TOKENS: [&str; 12] = [
+    "NaN", "inf", "-inf", "1e999", "-1e999", "0", "-0.0", "18446744073709551616",
+    "branch 3 3 1 0", "bus 0 0 0", "grid 2", "\u{fffd}",
+];
+
+/// Applies `count` seeded mutations to `text`, staying valid UTF-8.
+fn mutate(text: &str, seed: u64, count: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = text.to_string();
+    for _ in 0..count {
+        let mut bytes = s.into_bytes();
+        match rng.gen_below(6) {
+            // Replace one byte with something from the printable range.
+            0 if !bytes.is_empty() => {
+                let i = rng.gen_below(bytes.len() as u64) as usize;
+                bytes[i] = b' ' + (rng.gen_below(95) as u8);
+            }
+            // Delete a random slice.
+            1 if !bytes.is_empty() => {
+                let a = rng.gen_below(bytes.len() as u64) as usize;
+                let b = (a + 1 + rng.gen_below(32) as usize).min(bytes.len());
+                bytes.drain(a..b);
+            }
+            // Truncate.
+            2 if !bytes.is_empty() => {
+                let at = rng.gen_below(bytes.len() as u64) as usize;
+                bytes.truncate(at);
+            }
+            // Duplicate a random line.
+            3 => {
+                let text = String::from_utf8_lossy(&bytes).into_owned();
+                let lines: Vec<&str> = text.lines().collect();
+                if !lines.is_empty() {
+                    let i = rng.gen_below(lines.len() as u64) as usize;
+                    let mut out = lines.clone();
+                    out.insert(i, lines[i]);
+                    bytes = out.join("\n").into_bytes();
+                }
+            }
+            // Splice in a hostile token at a whitespace boundary.
+            4 => {
+                let tok = EVIL_TOKENS[rng.gen_below(EVIL_TOKENS.len() as u64) as usize];
+                let at = if bytes.is_empty() { 0 } else { rng.gen_below(bytes.len() as u64) as usize };
+                let at = bytes[..at].iter().rposition(|&b| b == b' ' || b == b'\n').map_or(0, |p| p + 1);
+                bytes.splice(at..at, tok.bytes());
+            }
+            // Swap two lines.
+            _ => {
+                let text = String::from_utf8_lossy(&bytes).into_owned();
+                let mut lines: Vec<&str> = text.lines().collect();
+                if lines.len() >= 2 {
+                    let i = rng.gen_below(lines.len() as u64) as usize;
+                    let j = rng.gen_below(lines.len() as u64) as usize;
+                    lines.swap(i, j);
+                    bytes = lines.join("\n").into_bytes();
+                }
+            }
+        }
+        s = String::from_utf8_lossy(&bytes).into_owned();
+    }
+    s
+}
+
+#[test]
+fn mutated_grid_files_never_panic_the_parser() {
+    checker("mutated_grid_files_never_panic_the_parser").cases(300).run(
+        tuple3(u64_any(), usize_in(1..10), usize_in(2..120)),
+        |&(seed, muts, n)| -> CaseResult {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let golden = write_grid(&random_tree(n, 8, &GenSpec::default(), &mut rng));
+            let mangled = mutate(&golden, seed ^ 0xdead, muts);
+            let outcome = catch_unwind(AssertUnwindSafe(|| parse_grid(&mangled)));
+            match outcome {
+                Err(_) => Err(check::CaseError::fail(format!(
+                    "parse_grid panicked on:\n{mangled}"
+                ))),
+                Ok(Err(_structured)) => Ok(()),
+                Ok(Ok(net)) => {
+                    // Anything accepted must be a well-formed radial
+                    // network the solvers can level-schedule.
+                    LevelOrder::new(&net).check_invariants();
+                    Ok(())
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn mutated_grid3_files_never_panic_the_parser() {
+    let golden = write_grid3(&ieee13_unbalanced());
+    checker("mutated_grid3_files_never_panic_the_parser").cases(300).run(
+        tuple3(u64_any(), usize_in(1..10), usize_in(0..1)),
+        |&(seed, muts, _)| -> CaseResult {
+            let mangled = mutate(&golden, seed ^ 0xbeef, muts);
+            let outcome = catch_unwind(AssertUnwindSafe(|| parse_grid3(&mangled)));
+            match outcome {
+                Err(_) => Err(check::CaseError::fail(format!(
+                    "parse_grid3 panicked on:\n{mangled}"
+                ))),
+                Ok(Err(_structured)) => Ok(()),
+                Ok(Ok(net)) => {
+                    if net.num_buses() == 0 {
+                        return Err(check::CaseError::fail("accepted an empty network"));
+                    }
+                    Ok(())
+                }
+            }
+        },
+    );
+}

@@ -49,6 +49,14 @@ pub enum EventKind {
         /// Device op index at which the fault fired.
         op: u64,
     },
+    /// A supervisor annotation (no modeled cost): service-layer state
+    /// changes — circuit-breaker transitions, shed requests — recorded
+    /// in-band so a replayed run shows *when* policy decisions happened
+    /// relative to device work.
+    Marker {
+        /// Human-readable description, e.g. `breaker closed→open`.
+        desc: String,
+    },
 }
 
 /// One timeline entry.
@@ -72,6 +80,7 @@ impl Event {
             EventKind::Dtoh { .. } => "<dtoh>",
             EventKind::Kernel { name, .. } => name,
             EventKind::Fault { .. } => "<fault>",
+            EventKind::Marker { .. } => "<marker>",
         }
     }
 }
@@ -194,6 +203,18 @@ impl Timeline {
         self.events.push(ev);
     }
 
+    /// Records a supervisor annotation ([`EventKind::Marker`]) at the
+    /// current point in the log. Markers carry no modeled or wall time;
+    /// they exist so out-of-band policy (circuit breakers, shedding)
+    /// leaves an in-band trace.
+    pub fn note(&mut self, desc: impl Into<String>) {
+        self.events.push(Event {
+            kind: EventKind::Marker { desc: desc.into() },
+            modeled_us: 0.0,
+            wall_us: 0.0,
+        });
+    }
+
     /// Forgets all events.
     pub fn clear(&mut self) {
         self.events.clear();
@@ -229,6 +250,7 @@ impl Timeline {
                     *b.per_kernel_us.entry(name).or_insert(0.0) += ev.modeled_us;
                 }
                 EventKind::Fault { .. } => b.faults += 1,
+                EventKind::Marker { .. } => {}
             }
         }
         b
@@ -407,6 +429,23 @@ mod tests {
         assert_eq!(b.faults, 1);
         assert_eq!(b.total_us(), 0.0, "faults carry no modeled time");
         assert!(b.to_string().contains("faults injected: 1"));
+    }
+
+    #[test]
+    fn markers_are_labeled_and_timeless() {
+        let mut tl = Timeline::default();
+        tl.push(kernel_event("sweep", 5.0));
+        tl.note("breaker closed→open");
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl.events()[1].label(), "<marker>");
+        let b = tl.breakdown();
+        assert_eq!(b.kernels, 1, "markers are not kernels");
+        assert_eq!(b.faults, 0, "markers are not faults");
+        assert!((b.total_us() - 5.0).abs() < 1e-12, "markers carry no modeled time");
+        match &tl.events()[1].kind {
+            EventKind::Marker { desc } => assert_eq!(desc, "breaker closed→open"),
+            other => panic!("expected marker, got {other:?}"),
+        }
     }
 
     #[test]
