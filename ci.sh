@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Offline CI for the FBS power-flow repo. Six legs:
+# Offline CI for the FBS power-flow repo. Seven legs:
 #
 #   1. Tier-1 verify: release build + the full default test suite.
 #   2. Divergence/NaN hardening: the convergence-status suites (monitor
@@ -13,9 +13,14 @@
 #      exit-6/7) under a hard wall-clock ceiling — a hung watchdog or
 #      drain must fail the leg, not wedge CI — plus a smoke run of the
 #      E13 bench.
-#   5. Racecheck: re-runs every simt and fbs device kernel under the
+#   5. Telemetry: the metrics/trace subsystem suites (registry,
+#      histogram merge/quantile properties, exporter goldens) plus the
+#      CLI golden-trace tests — a fixed-seed trace must stay
+#      byte-identical and the run summary must reconcile with the
+#      solver's phase report.
+#   6. Racecheck: re-runs every simt and fbs device kernel under the
 #      per-cell data-race detector (simt's `racecheck` feature).
-#   6. Lint: clippy over every target with warnings promoted to errors.
+#   7. Lint: clippy over every target with warnings promoted to errors.
 #
 # Everything runs with --offline — the repo has zero external registry
 # dependencies (see DESIGN.md, "Dependency policy"), so a warm toolchain
@@ -46,6 +51,12 @@ timeout 300 cargo test -q --offline -p fbs --test prop_service
 timeout 300 cargo test -q --offline -p powergrid --test prop_parse_hardening
 timeout 300 cargo test -q --offline -p fbs-cli --test cli_commands -- deadline_and_invalid_config service_flags
 E13_SMOKE=1 timeout 300 cargo run -q --offline --release -p fbs-bench --bin exp_e13_service > /dev/null
+
+echo "== telemetry: registry/exporter suites + CLI golden traces =="
+cargo test -q --offline -p telemetry
+cargo test -q --offline -p fbs --lib obs::
+cargo test -q --offline -p simt --lib span_export::
+cargo test -q --offline -p fbs-cli --test telemetry_golden
 
 echo "== racecheck: device kernels under the simt race detector =="
 cargo test -q --offline --features racecheck -p simt -p fbs

@@ -41,6 +41,7 @@ fn main() {
         let mut gpu = GpuSolver::new(Device::new(props));
         let res = gpu.solve(&net, &cfg);
         validate_or_die(&net, &res, name);
+        table.sample(&res.timing);
         table.row(&[
             &name,
             &sms,

@@ -44,6 +44,7 @@ fn main() {
         let mut gpu1 = fbs::GpuSolver::new(Device::new(DeviceProps::paper_rig()));
         let g1 = gpu1.solve(&net1, &cfg);
 
+        table.sample(&g3.timing);
         table.row(&[
             &n,
             &g3.iterations,

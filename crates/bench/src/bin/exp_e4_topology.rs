@@ -48,6 +48,7 @@ fn main() {
         let par = gpu.solve(net, &cfg);
         validate_or_die(net, &par, name);
 
+        table.sample(&par.timing);
         let x = serial.timing.total_us() / par.timing.total_us();
         table.row(&[
             name,

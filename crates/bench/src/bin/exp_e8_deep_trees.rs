@@ -45,6 +45,7 @@ fn main() {
         let jp = jump.solve(net, &cfg);
         validate_or_die(net, &jp, name);
 
+        table.sample(&jp.timing);
         table.row(&[
             name,
             &depth,

@@ -47,6 +47,7 @@ fn main() {
         let res = solver.solve_arrays(&arrays, &scenarios, &cfg);
         assert!(res.converged(), "batch of {nb} must converge");
 
+        table.sample(&res.timing);
         let per = res.timing.total_us() / nb as f64;
         table.row(&[
             &nb,

@@ -1,17 +1,18 @@
-//! Shared infrastructure for the experiment binaries (`exp_e1` … `exp_e7`).
+//! Shared infrastructure for the experiment binaries (`exp_e1` … `exp_e13`).
 //!
 //! Each binary regenerates one table/figure of the reconstructed
 //! evaluation (see `DESIGN.md`, per-experiment index): it prints a
 //! markdown table to stdout and writes the same rows as CSV under
-//! `results/`. All experiments run on the calibrated `paper_rig`
-//! device/host models with fixed seeds, so output is reproducible
-//! bit-for-bit.
+//! `results/` (see [`table`]), plus its headline medians into
+//! `results/BENCH_summary.json` (see [`summary`]). All experiments run
+//! on the calibrated `paper_rig` device/host models with fixed seeds,
+//! so modeled output is reproducible bit-for-bit.
 
 pub mod micro;
+pub mod summary;
+pub mod table;
 
-use std::fmt::Display;
-use std::fs;
-use std::path::{Path, PathBuf};
+pub use table::{results_dir, speedup, us, Table};
 
 use fbs::{SolveResult, SolverConfig};
 use powergrid::RadialNetwork;
@@ -35,158 +36,9 @@ pub fn eval_config() -> SolverConfig {
     SolverConfig::default()
 }
 
-/// A simple column-aligned markdown table accumulated row by row and
-/// mirrored to CSV.
-pub struct Table {
-    title: String,
-    headers: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// Starts a table with the given title and column headers.
-    pub fn new(title: &str, headers: &[&str]) -> Self {
-        Table {
-            title: title.to_string(),
-            headers: headers.iter().map(|s| s.to_string()).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends one row (must match the header count).
-    pub fn row(&mut self, cells: &[&dyn Display]) {
-        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
-    }
-
-    /// Renders the table as column-aligned markdown.
-    pub fn to_markdown(&self) -> String {
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
-        for row in &self.rows {
-            for (w, cell) in widths.iter_mut().zip(row) {
-                *w = (*w).max(cell.len());
-            }
-        }
-        let mut out = format!("\n## {}\n\n", self.title);
-        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            let inner: Vec<String> = cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:>width$}", width = w))
-                .collect();
-            format!("| {} |\n", inner.join(" | "))
-        };
-        out.push_str(&fmt_row(&self.headers, &widths));
-        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
-        out.push_str(&format!("| {} |\n", sep.join(" | ")));
-        for row in &self.rows {
-            out.push_str(&fmt_row(row, &widths));
-        }
-        out
-    }
-
-    /// Renders the rows as CSV (headers first).
-    pub fn to_csv(&self) -> String {
-        let esc = |s: &str| {
-            if s.contains(',') || s.contains('"') {
-                format!("\"{}\"", s.replace('"', "\"\""))
-            } else {
-                s.to_string()
-            }
-        };
-        let mut out = String::new();
-        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
-            out.push('\n');
-        }
-        out
-    }
-
-    /// Prints the markdown table and writes `results/<name>.csv`
-    /// (relative to the workspace root when run via cargo).
-    pub fn emit(&self, name: &str) {
-        print!("{}", self.to_markdown());
-        let dir = results_dir();
-        if let Err(e) = fs::create_dir_all(&dir) {
-            eprintln!("warning: cannot create {}: {e}", dir.display());
-            return;
-        }
-        let path = dir.join(format!("{name}.csv"));
-        match fs::write(&path, self.to_csv()) {
-            Ok(()) => println!("\n[written {}]", path.display()),
-            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
-        }
-    }
-}
-
-/// `results/` next to the workspace root (falls back to CWD).
-pub fn results_dir() -> PathBuf {
-    let manifest = env!("CARGO_MANIFEST_DIR");
-    Path::new(manifest)
-        .ancestors()
-        .nth(2)
-        .map(|ws| ws.join("results"))
-        .unwrap_or_else(|| PathBuf::from("results"))
-}
-
-/// Formats µs with sensible precision.
-pub fn us(v: f64) -> String {
-    if v >= 100_000.0 {
-        format!("{:.1} ms", v / 1000.0)
-    } else {
-        format!("{v:.1} µs")
-    }
-}
-
-/// Formats a speedup factor.
-pub fn speedup(x: f64) -> String {
-    format!("{x:.2}x")
-}
-
 /// Validates a converged result against its network before its timing is
 /// allowed into a table (no numbers from broken solves).
 pub fn validate_or_die(net: &RadialNetwork, res: &SolveResult, who: &str) {
     assert!(res.converged(), "{who}: solve did not converge");
     fbs::validate::assert_physical(net, res, 1e-4);
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn table_renders_markdown_and_csv() {
-        let mut t = Table::new("Demo", &["n", "time"]);
-        t.row(&[&1024, &"5.0 µs"]);
-        t.row(&[&2048, &"9.1 µs"]);
-        let md = t.to_markdown();
-        assert!(md.contains("## Demo"));
-        assert!(md.contains("| 1024 |"));
-        let csv = t.to_csv();
-        assert!(csv.starts_with("n,time\n"));
-        assert!(csv.contains("2048,9.1 µs\n"));
-    }
-
-    #[test]
-    #[should_panic(expected = "row width")]
-    fn row_width_checked() {
-        let mut t = Table::new("Demo", &["a", "b"]);
-        t.row(&[&1]);
-    }
-
-    #[test]
-    fn csv_escapes_commas() {
-        let mut t = Table::new("Demo", &["x"]);
-        t.row(&[&"a,b"]);
-        assert!(t.to_csv().contains("\"a,b\""));
-    }
-
-    #[test]
-    fn formatting_helpers() {
-        assert_eq!(us(12.34), "12.3 µs");
-        assert_eq!(us(250_000.0), "250.0 ms");
-        assert_eq!(speedup(3.912), "3.91x");
-    }
 }

@@ -124,6 +124,7 @@ fn sorted_median(sorted: &[f64]) -> f64 {
 pub struct MicroReport {
     name: String,
     table: Table,
+    medians_ns: Vec<f64>,
 }
 
 impl MicroReport {
@@ -135,6 +136,7 @@ impl MicroReport {
                 &format!("micro-bench: {name} (wall-clock, median of N)"),
                 &["bench", "median", "mad", "min", "max", "iters", "Melem/s"],
             ),
+            medians_ns: Vec::new(),
         }
     }
 
@@ -150,11 +152,16 @@ impl MicroReport {
             &s.iters,
             &format!("{melems:.1}"),
         ]);
+        self.medians_ns.push(s.median_ns);
     }
 
-    /// Prints the markdown table and writes the CSV mirror.
+    /// Prints the markdown table, writes the CSV mirror, and folds the
+    /// group's median wall time into `results/BENCH_summary.json`.
     pub fn emit(&self) {
-        self.table.emit(&format!("bench_{}", self.name));
+        let name = format!("bench_{}", self.name);
+        self.table.emit(&name);
+        let wall_us: Vec<f64> = self.medians_ns.iter().map(|ns| ns / 1e3).collect();
+        crate::summary::record(&name, &[], &wall_us);
     }
 }
 

@@ -2,10 +2,11 @@
 
 use std::fs;
 
+use fbs::obs::status_key;
 use fbs::{
-    Backend, BackwardStrategy, GpuSolver, JumpSolver, MulticoreSolver, Outcome, Request,
-    Resilient3Solver, ResilientSolver, SerialSolver, ServiceConfig, SolveResult, SolveService,
-    SolverConfig,
+    record_run, Backend, BackwardStrategy, BatchSolver, FaultReport, GpuSolver, JumpSolver,
+    MulticoreSolver, Outcome, Request, Resilient3Solver, ResilientSolver, SerialSolver,
+    ServiceConfig, SolveResult, SolveService, SolveStatus, SolverConfig, Timing,
 };
 use powergrid::gen::{
     balanced_binary, balanced_kary, broom, caterpillar, chain, random_tree, star, GenSpec,
@@ -14,7 +15,8 @@ use powergrid::gridfile::{parse_grid, write_grid};
 use powergrid::{ieee, LevelOrder, RadialNetwork};
 use rng::rngs::StdRng;
 use rng::SeedableRng;
-use simt::{Device, DeviceProps, FaultKind, FaultPlan, HostProps};
+use simt::{export_timeline_spans, Device, DeviceProps, FaultKind, FaultPlan, HostProps};
+use telemetry::Recorder;
 
 use crate::args::Args;
 
@@ -29,14 +31,20 @@ usage:
             [--max-iter N] [--show-voltages N] [--timings true|false]
             [--deadline-ms MS] [--max-retries N] [--breaker-threshold K]
             [--fault-seed S] [--fault-rate R] [--fault-lost-at OP] [--degrade true|false]
+            [--trace-out FILE] [--metrics-out FILE]
+  fbs batch <FILE.grid> [--scenarios N] [--scale-start S] [--scale-step D]
+            [--tol T] [--max-iter N] [--deadline-ms MS]
+            [--trace-out FILE] [--metrics-out FILE]
   fbs compare <FILE.grid> [--tol T] [--max-iter N]
   fbs profile <FILE.grid> [--solver gpu|gpu-direct|gpu-atomic|gpu-jump] [--tol T]
             [--fault-seed S] [--fault-rate R] [--fault-lost-at OP] [--degrade true|false]
+            [--trace-out FILE] [--metrics-out FILE]
   fbs feeders3 [--name ieee13] [--out FILE.grid3]
   fbs gen3 <FILE.grid> [--unbalance U] [--mutual M] [--seed S] [--out FILE.grid3]
   fbs solve3 <FILE.grid3> [--solver serial|gpu] [--tol T] [--max-iter N]
             [--deadline-ms MS] [--max-retries N] [--breaker-threshold K]
             [--fault-seed S] [--fault-rate R] [--fault-lost-at OP] [--degrade true|false]
+            [--trace-out FILE] [--metrics-out FILE]
 
 fault injection: --fault-seed arms a seeded, replayable fault plan
 (default rate 0.005/op; override with --fault-rate). --fault-lost-at
@@ -47,7 +55,13 @@ overrides --fault-seed for byte-identical replays. Unrecoverable runs
 service: --deadline-ms bounds the modeled solve time; a deadline-cut
 run reports partial state and exits with code 6. --max-retries or
 --breaker-threshold route the solve through the robustness service
-(seeded retry backoff, circuit breaker over the device, CPU fallback).";
+(seeded retry backoff, circuit breaker over the device, CPU fallback).
+
+telemetry: --trace-out writes a Chrome trace-event JSON of the run on
+the modeled clock (open in Perfetto / chrome://tracing); byte-identical
+across runs for a fixed seed. --metrics-out writes Prometheus text
+exposition when FILE ends in .prom or .txt, and the machine-readable
+run-summary JSON otherwise.";
 
 /// Exit code for an unrecoverable fault-injected run: the device was
 /// lost (or the retry budget drained) and degradation was disabled.
@@ -68,6 +82,7 @@ pub fn run(argv: &[String]) -> Result<u8, String> {
         "feeders" => cmd_feeders(rest).map(|()| 0),
         "info" => cmd_info(rest).map(|()| 0),
         "solve" => cmd_solve(rest),
+        "batch" => cmd_batch(rest),
         "compare" => cmd_compare(rest).map(|()| 0),
         "profile" => cmd_profile(rest),
         "feeders3" => cmd_feeders3(rest).map(|()| 0),
@@ -213,6 +228,79 @@ fn print_fault_report(res: &SolveResult, plan: &FaultPlan) {
     }
 }
 
+/// Telemetry sinks requested with `--trace-out` / `--metrics-out`.
+///
+/// When neither flag is present there is no recorder and every method is
+/// a no-op, so un-instrumented runs behave exactly as before. All
+/// exported timestamps come from the modeled clock: for a fixed seed the
+/// written files are byte-identical across runs.
+#[derive(Clone, Debug, Default)]
+struct Telemetry {
+    rec: Option<Recorder>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+}
+
+impl Telemetry {
+    fn from_args(a: &Args) -> Telemetry {
+        let trace_out = a.get("trace-out").map(str::to_string);
+        let metrics_out = a.get("metrics-out").map(str::to_string);
+        let rec = (trace_out.is_some() || metrics_out.is_some()).then(Recorder::new);
+        Telemetry { rec, trace_out, metrics_out }
+    }
+
+    /// The recorder to attach to solvers, when any sink was requested.
+    fn recorder(&self) -> Option<&Recorder> {
+        self.rec.as_ref()
+    }
+
+    /// Appends the device's timeline to the trace's device track
+    /// (kernels and transfers as spans, faults/markers as instants).
+    fn bridge_device(&self, dev: &Device) {
+        if let Some(rec) = &self.rec {
+            rec.with_trace(|t| export_timeline_spans(dev.timeline(), t, 0.0));
+        }
+    }
+
+    /// Records the run-level gauges and counters the run summary is
+    /// built from (per-phase modeled time, status, recovery counters).
+    fn record(
+        &self,
+        timing: &Timing,
+        iterations: u32,
+        residual: f64,
+        status: &SolveStatus,
+        fault_report: Option<&FaultReport>,
+    ) {
+        if let Some(rec) = &self.rec {
+            record_run(rec, timing, iterations, residual, status, fault_report);
+        }
+    }
+
+    /// Snapshots the recorder and writes the requested files: Chrome
+    /// trace JSON for `--trace-out`; for `--metrics-out`, Prometheus
+    /// text when the path ends in `.prom`/`.txt`, run-summary JSON
+    /// otherwise. Called on every exit path of an instrumented command
+    /// so failed runs still leave their partial telemetry behind.
+    fn write(&self) -> Result<(), String> {
+        let Some(rec) = &self.rec else { return Ok(()) };
+        let (trace, metrics) = rec.snapshot();
+        if let Some(path) = &self.trace_out {
+            fs::write(path, telemetry::chrome_trace_json(&trace))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        if let Some(path) = &self.metrics_out {
+            let text = if path.ends_with(".prom") || path.ends_with(".txt") {
+                telemetry::prometheus_text(&metrics)
+            } else {
+                telemetry::run_summary_json(&metrics, &trace)
+            };
+            fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
 /// Whether the request should go through the robustness service
 /// ([`SolveService`]) rather than a bare solver: any service flag does.
 fn wants_service(a: &Args) -> bool {
@@ -225,6 +313,7 @@ fn build_service(
     a: &Args,
     backend: Backend,
     plan: Option<&FaultPlan>,
+    tele: &Telemetry,
 ) -> Result<SolveService, String> {
     let scfg = ServiceConfig {
         backend,
@@ -236,6 +325,9 @@ fn build_service(
     if let Some(plan) = plan {
         svc = svc.with_fault_plan(plan.clone());
     }
+    if let Some(rec) = tele.recorder() {
+        svc = svc.with_recorder(rec.clone());
+    }
     Ok(svc)
 }
 
@@ -245,9 +337,10 @@ fn serve_one(
     a: &Args,
     backend: Backend,
     plan: Option<&FaultPlan>,
+    tele: &Telemetry,
     req: Request,
 ) -> Result<Outcome, String> {
-    let mut svc = build_service(a, backend, plan)?;
+    let mut svc = build_service(a, backend, plan, tele)?;
     svc.submit(req).map_err(|_| "service shed a single request".to_string())?;
     let resp = svc.process_one().ok_or("service lost the queued request")?;
     println!(
@@ -263,28 +356,30 @@ fn serve_one(
 fn cmd_solve(argv: &[String]) -> Result<u8, String> {
     let a = Args::parse(
         argv,
-        &["solver", "tol", "max-iter", "show-voltages", "timings", "deadline-ms", "max-retries", "breaker-threshold", "fault-seed", "fault-rate", "fault-lost-at", "degrade"],
+        &["solver", "tol", "max-iter", "show-voltages", "timings", "deadline-ms", "max-retries", "breaker-threshold", "fault-seed", "fault-rate", "fault-lost-at", "degrade", "trace-out", "metrics-out"],
     )?;
     let net = load(a.one_positional("grid file")?)?;
     let cfg = solver_config(&a)?;
     let which = a.get_or("solver", "serial");
     let plan = fault_plan(&a)?;
+    let tele = Telemetry::from_args(&a);
     let res = if wants_service(&a) {
         let backend =
             Backend::from_name(which).ok_or_else(|| format!("unknown solver `{which}`"))?;
         let req = Request::Solve { net: net.clone(), cfg };
-        match serve_one(&a, backend, plan.as_ref(), req)? {
+        match serve_one(&a, backend, plan.as_ref(), &tele, req)? {
             Outcome::Solved(r) => r,
             Outcome::Failed(e) => {
                 println!("solver:      {which}");
                 println!("status:      {e}");
+                tele.write()?;
                 return Ok(EXIT_UNRECOVERABLE);
             }
             other => return Err(format!("unexpected service outcome: {other:?}")),
         }
     } else {
         match &plan {
-            None => run_solver(&net, &cfg, which)?,
+            None => run_solver(&net, &cfg, which, &tele)?,
             Some(plan) => {
                 let backend =
                     Backend::from_name(which).ok_or_else(|| format!("unknown solver `{which}`"))?;
@@ -292,17 +387,27 @@ fn cmd_solve(argv: &[String]) -> Result<u8, String> {
                     ResilientSolver::new(backend, DeviceProps::paper_rig(), HostProps::paper_rig())
                         .with_fault_plan(plan.clone())
                         .with_degradation(a.get_parse_or("degrade", true)?);
-                match solver.solve(&net, &cfg) {
+                if let Some(rec) = tele.recorder() {
+                    solver = solver.with_recorder(rec.clone());
+                }
+                let solved = solver.solve(&net, &cfg);
+                if let Some(dev) = solver.last_device() {
+                    tele.bridge_device(dev);
+                }
+                match solved {
                     Ok(r) => r,
                     Err(e) => {
                         println!("solver:      {which}");
                         println!("status:      {e}");
+                        tele.write()?;
                         return Ok(EXIT_UNRECOVERABLE);
                     }
                 }
             }
         }
     };
+    tele.record(&res.timing, res.iterations, res.residual, &res.status, res.fault_report.as_ref());
+    tele.write()?;
 
     println!("solver:      {which}");
     println!("status:      {} in {} iterations (residual {:.3e} V)", res.status, res.iterations, res.residual);
@@ -338,24 +443,122 @@ fn cmd_solve(argv: &[String]) -> Result<u8, String> {
     Ok(res.status.exit_code())
 }
 
-fn run_solver(net: &RadialNetwork, cfg: &SolverConfig, which: &str) -> Result<SolveResult, String> {
+fn run_solver(
+    net: &RadialNetwork,
+    cfg: &SolverConfig,
+    which: &str,
+    tele: &Telemetry,
+) -> Result<SolveResult, String> {
+    let strategy = match which {
+        "gpu" => Some(BackwardStrategy::SegScan),
+        "gpu-direct" => Some(BackwardStrategy::Direct),
+        "gpu-atomic" => Some(BackwardStrategy::AtomicScatter),
+        _ => None,
+    };
     Ok(match which {
-        "serial" => SerialSolver::new(HostProps::paper_rig()).solve(net, cfg),
-        "multicore" => MulticoreSolver::default().solve(net, cfg),
-        "gpu" => GpuSolver::new(Device::new(DeviceProps::paper_rig())).solve(net, cfg),
-        "gpu-direct" => GpuSolver::with_strategy(
-            Device::new(DeviceProps::paper_rig()),
-            BackwardStrategy::Direct,
-        )
-        .solve(net, cfg),
-        "gpu-atomic" => GpuSolver::with_strategy(
-            Device::new(DeviceProps::paper_rig()),
-            BackwardStrategy::AtomicScatter,
-        )
-        .solve(net, cfg),
-        "gpu-jump" => JumpSolver::new(Device::new(DeviceProps::paper_rig())).solve(net, cfg),
+        "serial" => {
+            let mut s = SerialSolver::new(HostProps::paper_rig());
+            if let Some(rec) = tele.recorder() {
+                s = s.with_recorder(rec.clone());
+            }
+            s.solve(net, cfg)
+        }
+        "multicore" => {
+            let mut s = MulticoreSolver::default();
+            if let Some(rec) = tele.recorder() {
+                s = s.with_recorder(rec.clone());
+            }
+            s.solve(net, cfg)
+        }
+        "gpu" | "gpu-direct" | "gpu-atomic" => {
+            let mut s = GpuSolver::with_strategy(
+                Device::new(DeviceProps::paper_rig()),
+                strategy.expect("strategy set for every gpu variant"),
+            );
+            if let Some(rec) = tele.recorder() {
+                s = s.with_recorder(rec.clone());
+            }
+            let r = s.solve(net, cfg);
+            tele.bridge_device(s.device());
+            r
+        }
+        "gpu-jump" => {
+            let mut s = JumpSolver::new(Device::new(DeviceProps::paper_rig()));
+            if let Some(rec) = tele.recorder() {
+                s = s.with_recorder(rec.clone());
+            }
+            let r = s.solve(net, cfg);
+            tele.bridge_device(s.device());
+            r
+        }
         other => return Err(format!("unknown solver `{other}`")),
     })
+}
+
+/// `fbs batch`: a time-series-style batched solve — one topology, N
+/// load scenarios scaled `scale-start + k·scale-step`, all swept in one
+/// device batch (topology uploads once, kernels cover every scenario).
+fn cmd_batch(argv: &[String]) -> Result<u8, String> {
+    let a = Args::parse(
+        argv,
+        &["scenarios", "scale-start", "scale-step", "tol", "max-iter", "deadline-ms", "trace-out", "metrics-out"],
+    )?;
+    let net = load(a.one_positional("grid file")?)?;
+    let cfg = solver_config(&a)?;
+    let nb: usize = a.get_parse_or("scenarios", 8usize)?;
+    if nb == 0 {
+        return Err("--scenarios must be at least 1".into());
+    }
+    let start: f64 = a.get_parse_or("scale-start", 0.5)?;
+    let step: f64 = a.get_parse_or("scale-step", 0.1)?;
+    let tele = Telemetry::from_args(&a);
+    let scenarios: Vec<Vec<_>> = (0..nb)
+        .map(|k| {
+            let scale = start + step * k as f64;
+            net.buses().iter().map(|b| b.load * scale).collect()
+        })
+        .collect();
+
+    let mut solver = BatchSolver::new(Device::new(DeviceProps::paper_rig()));
+    if let Some(rec) = tele.recorder() {
+        solver = solver.with_recorder(rec.clone());
+    }
+    let res = solver
+        .try_solve(&net, &scenarios, &cfg)
+        .map_err(|e| format!("batch solve failed: {e}"))?;
+    tele.bridge_device(solver.device());
+
+    let worst = res.worst_status();
+    let converged = res.statuses.iter().filter(|s| s.is_converged()).count();
+    let last_scale = start + step * (nb - 1) as f64;
+    println!(
+        "batch:       {nb} scenarios × {} buses (load scale {start:.2}..{last_scale:.2})",
+        net.num_buses()
+    );
+    println!(
+        "status:      {converged}/{nb} converged (worst: {worst}) in {} iterations (residual {:.3e} V)",
+        res.iterations, res.residual
+    );
+    if converged < nb {
+        let mut counts: std::collections::BTreeMap<&'static str, usize> =
+            std::collections::BTreeMap::new();
+        for s in &res.statuses {
+            *counts.entry(status_key(s)).or_insert(0) += 1;
+        }
+        let parts: Vec<String> =
+            counts.iter().map(|(k, n)| format!("{k} {n}")).collect();
+        println!("breakdown:   {}", parts.join(" | "));
+    }
+    let t = &res.timing;
+    println!(
+        "modeled:     total {:.1} µs | {:.1} µs/scenario (transfers {:.1} µs)",
+        t.total_us(),
+        t.total_us() / nb as f64,
+        t.transfer_us
+    );
+    tele.record(&res.timing, res.iterations, res.residual, &worst, None);
+    tele.write()?;
+    Ok(worst.exit_code())
 }
 
 fn cmd_feeders3(argv: &[String]) -> Result<(), String> {
@@ -381,7 +584,7 @@ fn cmd_gen3(argv: &[String]) -> Result<(), String> {
 fn cmd_solve3(argv: &[String]) -> Result<u8, String> {
     let a = Args::parse(
         argv,
-        &["solver", "tol", "max-iter", "deadline-ms", "max-retries", "breaker-threshold", "fault-seed", "fault-rate", "fault-lost-at", "degrade"],
+        &["solver", "tol", "max-iter", "deadline-ms", "max-retries", "breaker-threshold", "fault-seed", "fault-rate", "fault-lost-at", "degrade", "trace-out", "metrics-out"],
     )?;
     let path = a.one_positional("grid3 file")?;
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -389,6 +592,7 @@ fn cmd_solve3(argv: &[String]) -> Result<u8, String> {
     let cfg = solver_config(&a)?;
     let which = a.get_or("solver", "serial");
     let plan = fault_plan(&a)?;
+    let tele = Telemetry::from_args(&a);
     if wants_service(&a) {
         // Three-phase service requests always run device-first (the
         // service's fallback covers the serial path).
@@ -396,38 +600,59 @@ fn cmd_solve3(argv: &[String]) -> Result<u8, String> {
             return Err(format!("service flags need --solver gpu, got `{which}`"));
         }
         let req = Request::Solve3 { net: net.clone(), cfg };
-        let res = match serve_one(&a, Backend::Gpu, plan.as_ref(), req)? {
+        let res = match serve_one(&a, Backend::Gpu, plan.as_ref(), &tele, req)? {
             Outcome::Solved3(r) => r,
             Outcome::Failed(e) => {
                 println!("solver:      {which} (three-phase)");
                 println!("status:      {e}");
+                tele.write()?;
                 return Ok(EXIT_UNRECOVERABLE);
             }
             other => return Err(format!("unexpected service outcome: {other:?}")),
         };
+        tele.record(&res.timing, res.iterations, res.residual, &res.status, None);
+        tele.write()?;
         return report_solve3(&net, which, &res);
     }
     let res = match (which, plan) {
         // Fault plans only touch device ops; serial runs are unaffected.
-        ("serial", _) => fbs::Serial3Solver::new(HostProps::paper_rig()).solve(&net, &cfg),
+        ("serial", _) => {
+            let mut s = fbs::Serial3Solver::new(HostProps::paper_rig());
+            if let Some(rec) = tele.recorder() {
+                s = s.with_recorder(rec.clone());
+            }
+            s.solve(&net, &cfg)
+        }
         ("gpu", None) => {
-            fbs::Gpu3Solver::new(Device::new(DeviceProps::paper_rig())).solve(&net, &cfg)
+            let mut s = fbs::Gpu3Solver::new(Device::new(DeviceProps::paper_rig()));
+            if let Some(rec) = tele.recorder() {
+                s = s.with_recorder(rec.clone());
+            }
+            let r = s.solve(&net, &cfg);
+            tele.bridge_device(s.device());
+            r
         }
         ("gpu", Some(plan)) => {
             let mut solver = Resilient3Solver::new(DeviceProps::paper_rig(), HostProps::paper_rig())
                 .with_fault_plan(plan)
                 .with_degradation(a.get_parse_or("degrade", true)?);
+            if let Some(rec) = tele.recorder() {
+                solver = solver.with_recorder(rec.clone());
+            }
             match solver.solve(&net, &cfg) {
                 Ok(r) => r,
                 Err(e) => {
                     println!("solver:      {which} (three-phase)");
                     println!("status:      {e}");
+                    tele.write()?;
                     return Ok(EXIT_UNRECOVERABLE);
                 }
             }
         }
         (other, _) => return Err(format!("unknown three-phase solver `{other}`")),
     };
+    tele.record(&res.timing, res.iterations, res.residual, &res.status, None);
+    tele.write()?;
     report_solve3(&net, which, &res)
 }
 
@@ -474,37 +699,58 @@ fn emit_text(text: &str, out: Option<&str>, buses: usize) -> Result<(), String> 
 fn cmd_profile(argv: &[String]) -> Result<u8, String> {
     let a = Args::parse(
         argv,
-        &["solver", "tol", "max-iter", "fault-seed", "fault-rate", "fault-lost-at", "degrade"],
+        &["solver", "tol", "max-iter", "fault-seed", "fault-rate", "fault-lost-at", "degrade", "trace-out", "metrics-out"],
     )?;
     let net = load(a.one_positional("grid file")?)?;
     let cfg = solver_config(&a)?;
     let which = a.get_or("solver", "gpu");
+    let tele = Telemetry::from_args(&a);
     if let Some(plan) = fault_plan(&a)? {
-        return profile_resilient(&net, &cfg, which, plan, a.get_parse_or("degrade", true)?);
+        return profile_resilient(&net, &cfg, which, plan, a.get_parse_or("degrade", true)?, &tele);
     }
     // Run the chosen device solver while keeping its timeline for the
-    // per-kernel report.
+    // per-kernel report and the notes/trace exports.
     let device = Device::new(DeviceProps::paper_rig());
-    let (res, table) = match which {
+    let (res, table, notes) = match which {
         "gpu" => {
             let mut s = GpuSolver::new(device);
+            if let Some(rec) = tele.recorder() {
+                s = s.with_recorder(rec.clone());
+            }
             let r = s.solve(&net, &cfg);
-            (r, s.device().timeline().kernel_report_table())
+            tele.bridge_device(s.device());
+            let tl = s.device().timeline();
+            (r, tl.kernel_report_table(), tl.notes())
         }
         "gpu-direct" => {
             let mut s = GpuSolver::with_strategy(device, BackwardStrategy::Direct);
+            if let Some(rec) = tele.recorder() {
+                s = s.with_recorder(rec.clone());
+            }
             let r = s.solve(&net, &cfg);
-            (r, s.device().timeline().kernel_report_table())
+            tele.bridge_device(s.device());
+            let tl = s.device().timeline();
+            (r, tl.kernel_report_table(), tl.notes())
         }
         "gpu-atomic" => {
             let mut s = GpuSolver::with_strategy(device, BackwardStrategy::AtomicScatter);
+            if let Some(rec) = tele.recorder() {
+                s = s.with_recorder(rec.clone());
+            }
             let r = s.solve(&net, &cfg);
-            (r, s.device().timeline().kernel_report_table())
+            tele.bridge_device(s.device());
+            let tl = s.device().timeline();
+            (r, tl.kernel_report_table(), tl.notes())
         }
         "gpu-jump" => {
             let mut s = JumpSolver::new(device);
+            if let Some(rec) = tele.recorder() {
+                s = s.with_recorder(rec.clone());
+            }
             let r = s.solve(&net, &cfg);
-            (r, s.device().timeline().kernel_report_table())
+            tele.bridge_device(s.device());
+            let tl = s.device().timeline();
+            (r, tl.kernel_report_table(), tl.notes())
         }
         other => return Err(format!("profile: unknown device solver `{other}`")),
     };
@@ -515,7 +761,23 @@ fn cmd_profile(argv: &[String]) -> Result<u8, String> {
         res.timing.total_us()
     );
     print!("{table}");
+    print_timeline_notes(&notes);
+    tele.record(&res.timing, res.iterations, res.residual, &res.status, None);
+    tele.write()?;
     Ok(res.status.exit_code())
+}
+
+/// Prints the timeline's fault/marker annotations (supervisor breaker
+/// flips, checkpoint/rollback markers, injected faults) after the kernel
+/// table, instead of dropping them on the floor.
+fn print_timeline_notes(notes: &[String]) {
+    if notes.is_empty() {
+        return;
+    }
+    println!("\ntimeline events:");
+    for n in notes {
+        println!("  {n}");
+    }
 }
 
 /// `profile` under fault injection: runs the resilient supervisor and
@@ -527,6 +789,7 @@ fn profile_resilient(
     which: &str,
     plan: FaultPlan,
     degrade: bool,
+    tele: &Telemetry,
 ) -> Result<u8, String> {
     let backend = Backend::from_name(which)
         .filter(|b| b.is_device())
@@ -534,10 +797,21 @@ fn profile_resilient(
     let mut solver = ResilientSolver::new(backend, DeviceProps::paper_rig(), HostProps::paper_rig())
         .with_fault_plan(plan.clone())
         .with_degradation(degrade);
-    let res = match solver.solve(net, cfg) {
+    if let Some(rec) = tele.recorder() {
+        solver = solver.with_recorder(rec.clone());
+    }
+    let solved = solver.solve(net, cfg);
+    if let Some(dev) = solver.last_device() {
+        tele.bridge_device(dev);
+    }
+    let res = match solved {
         Ok(r) => r,
         Err(e) => {
             println!("solver {which}: {e}");
+            if let Some(dev) = solver.last_device() {
+                print_timeline_notes(&dev.timeline().notes());
+            }
+            tele.write()?;
             return Ok(EXIT_UNRECOVERABLE);
         }
     };
@@ -551,7 +825,10 @@ fn profile_resilient(
     println!();
     if let Some(dev) = solver.last_device() {
         print!("{}", dev.timeline().kernel_report_table());
+        print_timeline_notes(&dev.timeline().notes());
     }
+    tele.record(&res.timing, res.iterations, res.residual, &res.status, res.fault_report.as_ref());
+    tele.write()?;
     Ok(res.status.exit_code())
 }
 
@@ -560,10 +837,12 @@ fn cmd_compare(argv: &[String]) -> Result<(), String> {
     let net = load(a.one_positional("grid file")?)?;
     let cfg = solver_config(&a)?;
     println!("{:<10} {:>7} {:>14} {:>14} {:>9}", "solver", "iters", "modeled total", "vs serial", "conv");
-    let serial = run_solver(&net, &cfg, "serial")?;
+    let tele = Telemetry::default();
+    let serial = run_solver(&net, &cfg, "serial", &tele)?;
     let base = serial.timing.total_us();
     for which in ["serial", "multicore", "gpu", "gpu-direct", "gpu-atomic", "gpu-jump"] {
-        let r = if which == "serial" { serial.clone() } else { run_solver(&net, &cfg, which)? };
+        let r =
+            if which == "serial" { serial.clone() } else { run_solver(&net, &cfg, which, &tele)? };
         println!(
             "{:<10} {:>7} {:>11.1} µs {:>13.2}x {:>9}",
             which,

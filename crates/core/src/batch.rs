@@ -30,8 +30,11 @@ use primitives::ops::{AddComplex, MaxAbsF64, ScanOp};
 use primitives::{try_fill, try_launch_map, try_reduce, try_segscan_inclusive_range};
 use simt::{Device, DeviceError};
 
+use telemetry::Recorder;
+
 use crate::arrays::SolverArrays;
 use crate::config::SolverConfig;
+use crate::obs::Obs;
 use crate::report::{PhaseTimes, Timing};
 use crate::status::{ConvergenceMonitor, SolveStatus};
 
@@ -71,12 +74,20 @@ impl BatchResult {
 /// The batched GPU solver.
 pub struct BatchSolver {
     device: Device,
+    recorder: Option<Recorder>,
 }
 
 impl BatchSolver {
     /// Creates a solver on the given device.
     pub fn new(device: Device) -> Self {
-        BatchSolver { device }
+        BatchSolver { device, recorder: None }
+    }
+
+    /// Attaches a telemetry recorder: per-iteration/per-phase spans and
+    /// residual samples are recorded into it during every solve.
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.recorder = Some(rec);
+        self
     }
 
     /// The underlying device.
@@ -224,6 +235,8 @@ impl BatchSolver {
         let b = dev.timeline().breakdown_since(mark);
         phases.setup_us += b.total_us();
         transfer_us += b.htod_us + b.dtoh_us;
+        let obs = Obs::new(self.recorder.as_ref(), "solver.batch");
+        obs.phase("setup", 0.0, phases.setup_us);
 
         let mut iterations = 0;
         let mut residual = f64::MAX;
@@ -232,6 +245,7 @@ impl BatchSolver {
 
         while iterations < cfg.max_iter {
             iterations += 1;
+            let iter_t0 = phases.total_us();
 
             // ---- Injection over the whole batch ----
             let mark = dev.timeline().mark();
@@ -252,6 +266,8 @@ impl BatchSolver {
                 })?;
             }
             phases.injection_us += dev.timeline().breakdown_since(mark).total_us();
+            obs.phase("injection", iter_t0, phases.total_us());
+            let bwd_t0 = phases.total_us();
 
             // ---- Backward sweep: each level covers all scenarios ----
             let mark = dev.timeline().mark();
@@ -283,6 +299,8 @@ impl BatchSolver {
                 })?;
             }
             phases.backward_us += dev.timeline().breakdown_since(mark).total_us();
+            obs.phase("backward", bwd_t0, phases.total_us());
+            let fwd_t0 = phases.total_us();
 
             // ---- Forward sweep ----
             let mark = dev.timeline().mark();
@@ -317,6 +335,8 @@ impl BatchSolver {
                 })?;
             }
             phases.forward_us += dev.timeline().breakdown_since(mark).total_us();
+            obs.phase("forward", fwd_t0, phases.total_us());
+            let cvg_t0 = phases.total_us();
 
             // ---- Convergence: batch-wide ∞-norm ----
             // Healthy path: one reduction, one scalar read-back, exactly
@@ -409,6 +429,8 @@ impl BatchSolver {
             }
             let b = dev.timeline().breakdown_since(mark);
             phases.convergence_us += b.total_us();
+            obs.phase("convergence", cvg_t0, phases.total_us());
+            obs.iteration(iterations, iter_t0, phases.total_us(), residual);
             transfer_us += b.htod_us + b.dtoh_us;
             transfer_sweep_us += b.htod_us + b.dtoh_us;
             let deadline_hit =
@@ -464,7 +486,9 @@ impl BatchSolver {
         let v_flat = dev.try_dtoh(&v_buf)?;
         let j_flat = dev.try_dtoh(&j_buf)?;
         let b = dev.timeline().breakdown_since(mark);
+        let td_t0 = phases.total_us();
         phases.teardown_us += b.total_us();
+        obs.phase("teardown", td_t0, phases.total_us());
         transfer_us += b.htod_us + b.dtoh_us;
 
         let mut v = vec![vec![Complex::ZERO; n]; nb];

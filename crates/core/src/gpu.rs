@@ -32,9 +32,11 @@ use powergrid::RadialNetwork;
 use primitives::ops::{AddComplex, MaxAbsF64, ScanOp};
 use primitives::{try_fill, try_launch_map, try_reduce, try_segscan_inclusive_range};
 use simt::{Device, DeviceBuffer, DeviceError};
+use telemetry::Recorder;
 
 use crate::arrays::SolverArrays;
 use crate::config::SolverConfig;
+use crate::obs::Obs;
 use crate::recovery::SweepSession;
 use crate::report::{PhaseTimes, SolveResult, Timing};
 use crate::status::{ConvergenceMonitor, SolveStatus};
@@ -63,18 +65,26 @@ pub enum BackwardStrategy {
 pub struct GpuSolver {
     device: Device,
     strategy: BackwardStrategy,
+    recorder: Option<Recorder>,
 }
 
 impl GpuSolver {
     /// Creates a solver on the given device with the paper's
     /// segmented-scan backward sweep.
     pub fn new(device: Device) -> Self {
-        GpuSolver { device, strategy: BackwardStrategy::SegScan }
+        GpuSolver { device, strategy: BackwardStrategy::SegScan, recorder: None }
     }
 
     /// Creates a solver with an explicit backward-sweep strategy.
     pub fn with_strategy(device: Device, strategy: BackwardStrategy) -> Self {
-        GpuSolver { device, strategy }
+        GpuSolver { device, strategy, recorder: None }
+    }
+
+    /// Attaches a telemetry recorder: per-iteration/per-phase spans and
+    /// residual samples are recorded into it during every solve.
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.recorder = Some(rec);
+        self
     }
 
     /// The underlying device (timeline inspection).
@@ -142,7 +152,9 @@ impl GpuSolver {
             return Ok(crate::report::invalid_config_result(a.len(), a.source));
         }
         let mut monitor = ConvergenceMonitor::new(cfg, a.source.abs());
-        let mut sess = GpuSession::new(&mut self.device, a, self.strategy, v_init)?;
+        let obs = Obs::new(self.recorder.as_ref(), "solver.gpu");
+        let mut sess =
+            GpuSession::with_obs(&mut self.device, a, self.strategy, v_init, obs.clone())?;
 
         let mut iterations = 0;
         let mut residual = f64::MAX;
@@ -151,7 +163,9 @@ impl GpuSolver {
 
         while iterations < cfg.max_iter {
             iterations += 1;
+            let iter_t0 = sess.elapsed_modeled_us();
             let delta = sess.iterate()?;
+            obs.iteration(iterations, iter_t0, sess.elapsed_modeled_us(), delta);
             residual = delta;
             residual_history.push(delta);
             if let Some(s) = monitor.observe(iterations, delta) {
@@ -212,15 +226,19 @@ pub(crate) struct GpuSession<'a> {
     transfer_us: f64,
     transfer_sweep_us: f64,
     recovery_us: f64,
+    obs: Obs,
 }
 
 impl<'a> GpuSession<'a> {
-    /// Uploads topology and state (charged to the setup phase).
-    pub(crate) fn new(
+    /// Uploads topology and state (charged to the setup phase). Phase
+    /// spans are recorded through `obs` on the session's modeled clock;
+    /// pass `Obs::default()` for an uninstrumented session.
+    pub(crate) fn with_obs(
         dev: &'a mut Device,
         a: &'a SolverArrays,
         strategy: BackwardStrategy,
         v_init: Option<&[Complex]>,
+        obs: Obs,
     ) -> Result<Self, DeviceError> {
         let n = a.len();
         let v0 = a.source;
@@ -251,6 +269,7 @@ impl<'a> GpuSession<'a> {
         let b = dev.timeline().breakdown_since(mark);
         phases.setup_us += b.total_us();
         let transfer_us = b.htod_us + b.dtoh_us;
+        obs.phase("setup", 0.0, phases.setup_us);
 
         Ok(GpuSession {
             dev,
@@ -272,6 +291,7 @@ impl<'a> GpuSession<'a> {
             transfer_us,
             transfer_sweep_us: 0.0,
             recovery_us: 0.0,
+            obs,
         })
     }
 
@@ -322,7 +342,9 @@ impl SweepSession for GpuSession<'_> {
             })?;
         }
         let b = dev.timeline().breakdown_since(mark);
+        let t0 = self.phases.total_us() + self.recovery_us;
         self.phases.injection_us += b.total_us();
+        self.obs.phase("injection", t0, self.phases.total_us() + self.recovery_us);
 
         // ---- Backward sweep: deepest level → root ----
         let mark = dev.timeline().mark();
@@ -413,7 +435,9 @@ impl SweepSession for GpuSession<'_> {
             }
         }
         let b = dev.timeline().breakdown_since(mark);
+        let t0 = self.phases.total_us() + self.recovery_us;
         self.phases.backward_us += b.total_us();
+        self.obs.phase("backward", t0, self.phases.total_us() + self.recovery_us);
 
         // ---- Forward sweep: root → leaves ----
         let mark = dev.timeline().mark();
@@ -439,13 +463,17 @@ impl SweepSession for GpuSession<'_> {
             })?;
         }
         let b = dev.timeline().breakdown_since(mark);
+        let t0 = self.phases.total_us() + self.recovery_us;
         self.phases.forward_us += b.total_us();
+        self.obs.phase("forward", t0, self.phases.total_us() + self.recovery_us);
 
         // ---- Convergence: ∞-norm reduction + scalar read-back ----
         let mark = dev.timeline().mark();
         let delta = try_reduce::<f64, MaxAbsF64>(dev, &self.delta_buf)?;
         let b = dev.timeline().breakdown_since(mark);
+        let t0 = self.phases.total_us() + self.recovery_us;
         self.phases.convergence_us += b.total_us();
+        self.obs.phase("convergence", t0, self.phases.total_us() + self.recovery_us);
         self.transfer_us += b.htod_us + b.dtoh_us;
         self.transfer_sweep_us += b.htod_us + b.dtoh_us;
         Ok(delta)
@@ -499,7 +527,9 @@ impl SweepSession for GpuSession<'_> {
         let v_pos = dev.try_dtoh(&self.v_buf)?;
         let j_pos = dev.try_dtoh(&self.j_buf)?;
         let b = dev.timeline().breakdown_since(mark);
+        let t0 = self.phases.total_us() + self.recovery_us;
         self.phases.teardown_us += b.total_us();
+        self.obs.phase("teardown", t0, self.phases.total_us() + self.recovery_us);
         self.transfer_us += b.htod_us + b.dtoh_us;
         Ok((v_pos, j_pos))
     }

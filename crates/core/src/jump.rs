@@ -35,8 +35,10 @@ use powergrid::{DfsOrder, RadialNetwork, DFS_NO_PARENT};
 use primitives::ops::{AddComplex, MaxAbsF64, ScanOp};
 use primitives::{try_fill, try_launch_map, try_reduce, try_scan_exclusive};
 use simt::{Device, DeviceBuffer, DeviceError};
+use telemetry::Recorder;
 
 use crate::config::SolverConfig;
+use crate::obs::Obs;
 use crate::recovery::SweepSession;
 use crate::report::{PhaseTimes, SolveResult, Timing};
 use crate::status::{ConvergenceMonitor, SolveStatus};
@@ -100,12 +102,20 @@ impl JumpArrays {
 /// The depth-insensitive GPU solver.
 pub struct JumpSolver {
     device: Device,
+    recorder: Option<Recorder>,
 }
 
 impl JumpSolver {
     /// Creates a solver on the given device.
     pub fn new(device: Device) -> Self {
-        JumpSolver { device }
+        JumpSolver { device, recorder: None }
+    }
+
+    /// Attaches a telemetry recorder: per-iteration/per-phase spans and
+    /// residual samples are recorded into it during every solve.
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.recorder = Some(rec);
+        self
     }
 
     /// The underlying device (timeline inspection).
@@ -146,7 +156,8 @@ impl JumpSolver {
             return Ok(crate::report::invalid_config_result(a.len(), a.source));
         }
         let mut monitor = ConvergenceMonitor::new(cfg, a.source.abs());
-        let mut sess = JumpSession::new(&mut self.device, a)?;
+        let obs = Obs::new(self.recorder.as_ref(), "solver.jump");
+        let mut sess = JumpSession::with_obs(&mut self.device, a, obs.clone())?;
 
         let mut iterations = 0;
         let mut residual = f64::MAX;
@@ -155,7 +166,9 @@ impl JumpSolver {
 
         while iterations < cfg.max_iter {
             iterations += 1;
+            let iter_t0 = sess.elapsed_modeled_us();
             let delta = sess.iterate()?;
+            obs.iteration(iterations, iter_t0, sess.elapsed_modeled_us(), delta);
             residual = delta;
             residual_history.push(delta);
             if let Some(s) = monitor.observe(iterations, delta) {
@@ -213,11 +226,18 @@ pub(crate) struct JumpSession<'a> {
     transfer_us: f64,
     transfer_sweep_us: f64,
     recovery_us: f64,
+    obs: Obs,
 }
 
 impl<'a> JumpSession<'a> {
-    /// Uploads topology and state (charged to the setup phase).
-    pub(crate) fn new(dev: &'a mut Device, a: &'a JumpArrays) -> Result<Self, DeviceError> {
+    /// Uploads topology and state (charged to the setup phase). Phase
+    /// spans are recorded through `obs` on the session's modeled clock;
+    /// pass `Obs::default()` for an uninstrumented session.
+    pub(crate) fn with_obs(
+        dev: &'a mut Device,
+        a: &'a JumpArrays,
+        obs: Obs,
+    ) -> Result<Self, DeviceError> {
         let n = a.len();
         let v0 = a.source;
         let jump_rounds = ceil_log2(a.dfs.max_depth.max(1) as usize);
@@ -243,6 +263,7 @@ impl<'a> JumpSession<'a> {
         let b = dev.timeline().breakdown_since(mark);
         phases.setup_us += b.total_us();
         let transfer_us = b.htod_us + b.dtoh_us;
+        obs.phase("setup", 0.0, phases.setup_us);
 
         Ok(JumpSession {
             dev,
@@ -265,6 +286,7 @@ impl<'a> JumpSession<'a> {
             transfer_us,
             transfer_sweep_us: 0.0,
             recovery_us: 0.0,
+            obs,
         })
     }
 
@@ -314,7 +336,9 @@ impl SweepSession for JumpSession<'_> {
                 t.st(&i_v, d, out);
             })?;
         }
+        let t0 = self.phases.total_us() + self.recovery_us;
         self.phases.injection_us += dev.timeline().breakdown_since(mark).total_us();
+        self.obs.phase("injection", t0, self.phases.total_us() + self.recovery_us);
 
         // ---- Backward sweep, fused: one scan + one map ----
         let mark = dev.timeline().mark();
@@ -341,7 +365,9 @@ impl SweepSession for JumpSession<'_> {
                 t.st(&j_v, d, hi - lo);
             })?;
         }
+        let t0 = self.phases.total_us() + self.recovery_us;
         self.phases.backward_us += dev.timeline().breakdown_since(mark).total_us();
+        self.obs.phase("backward", t0, self.phases.total_us() + self.recovery_us);
 
         // ---- Forward sweep: per-edge drops, then pointer jumping ----
         let mark = dev.timeline().mark();
@@ -394,13 +420,17 @@ impl SweepSession for JumpSession<'_> {
                 t.st(&delta_v, d, (new_v - old).abs());
             })?;
         }
+        let t0 = self.phases.total_us() + self.recovery_us;
         self.phases.forward_us += dev.timeline().breakdown_since(mark).total_us();
+        self.obs.phase("forward", t0, self.phases.total_us() + self.recovery_us);
 
         // ---- Convergence ----
         let mark = dev.timeline().mark();
         let delta = try_reduce::<f64, MaxAbsF64>(dev, &self.delta_buf)?;
         let b = dev.timeline().breakdown_since(mark);
+        let t0 = self.phases.total_us() + self.recovery_us;
         self.phases.convergence_us += b.total_us();
+        self.obs.phase("convergence", t0, self.phases.total_us() + self.recovery_us);
         self.transfer_us += b.htod_us + b.dtoh_us;
         self.transfer_sweep_us += b.htod_us + b.dtoh_us;
         Ok(delta)
@@ -445,7 +475,9 @@ impl SweepSession for JumpSession<'_> {
         let v_pos = dev.try_dtoh(&self.v_buf)?;
         let j_pos = dev.try_dtoh(&self.j_buf)?;
         let b = dev.timeline().breakdown_since(mark);
+        let t0 = self.phases.total_us() + self.recovery_us;
         self.phases.teardown_us += b.total_us();
+        self.obs.phase("teardown", t0, self.phases.total_us() + self.recovery_us);
         self.transfer_us += b.htod_us + b.dtoh_us;
         Ok((v_pos, j_pos))
     }

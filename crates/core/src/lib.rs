@@ -33,6 +33,7 @@ mod config;
 mod gpu;
 pub mod jump;
 mod multicore;
+pub mod obs;
 mod recovery;
 mod report;
 mod serial;
@@ -47,6 +48,7 @@ pub use config::{ConfigError, SolverConfig};
 pub use gpu::{BackwardStrategy, GpuSolver};
 pub use jump::{JumpArrays, JumpSolver};
 pub use multicore::MulticoreSolver;
+pub use obs::record_run;
 pub use recovery::{Backend, Resilient3Solver, ResilienceError, ResilientSolver};
 pub use report::{FaultReport, PhaseTimes, SolveResult, Timing};
 pub use serial::SerialSolver;

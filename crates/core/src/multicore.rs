@@ -18,8 +18,11 @@ use powergrid::RadialNetwork;
 use primitives::ops::{MaxAbsF64, ScanOp};
 use simt::HostProps;
 
+use telemetry::Recorder;
+
 use crate::arrays::SolverArrays;
 use crate::config::SolverConfig;
+use crate::obs::Obs;
 use crate::report::{PhaseTimes, SolveResult, Timing};
 use crate::status::{ConvergenceMonitor, SolveStatus};
 
@@ -34,13 +37,21 @@ const FORK_JOIN_US: f64 = 4.0;
 pub struct MulticoreSolver {
     host: HostProps,
     cores: usize,
+    recorder: Option<Recorder>,
 }
 
 impl MulticoreSolver {
     /// Creates a solver modeling `cores` host cores.
     pub fn new(host: HostProps, cores: usize) -> Self {
         assert!(cores >= 1, "need at least one core");
-        MulticoreSolver { host, cores }
+        MulticoreSolver { host, cores, recorder: None }
+    }
+
+    /// Attaches a telemetry recorder: per-iteration/per-phase spans and
+    /// residual samples are recorded into it during every solve.
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.recorder = Some(rec);
+        self
     }
 
     /// Modeled core count.
@@ -87,9 +98,11 @@ impl MulticoreSolver {
         let mut residual = f64::MAX;
         let mut residual_history = Vec::new();
         let mut status = SolveStatus::MaxIterations;
+        let obs = Obs::new(self.recorder.as_ref(), "solver.multicore");
 
         while iterations < cfg.max_iter {
             iterations += 1;
+            let iter_t0 = phases.total_us();
 
             // Injection: embarrassingly parallel over all buses.
             par_zip(&mut i_inj, |lo, out| {
@@ -100,6 +113,8 @@ impl MulticoreSolver {
                 }
             });
             phases.injection_us += self.region_time_us(12 * n as u64, 48 * n as u64, n, ws);
+            obs.phase("injection", iter_t0, phases.total_us());
+            let bwd_t0 = phases.total_us();
 
             // Backward sweep: parallel within each level, levels in
             // sequence (barrier between levels).
@@ -128,6 +143,9 @@ impl MulticoreSolver {
                 );
             }
 
+            obs.phase("backward", bwd_t0, phases.total_us());
+            let fwd_t0 = phases.total_us();
+
             // Forward sweep: parallel within each level.
             for l in 1..a.num_levels() {
                 let range = a.levels.level_range(l);
@@ -155,6 +173,8 @@ impl MulticoreSolver {
                 );
             }
 
+            obs.phase("forward", fwd_t0, phases.total_us());
+
             // Convergence: parallel max-reduce. `f64::max` drops NaN, so
             // the fold uses the NaN-propagating ∞-norm operator.
             let d = delta.iter().fold(0.0f64, |m, &x| MaxAbsF64::combine(m, x));
@@ -162,6 +182,7 @@ impl MulticoreSolver {
 
             residual = d;
             residual_history.push(d);
+            obs.iteration(iterations, iter_t0, phases.total_us(), d);
             if let Some(s) = monitor.observe(iterations, d) {
                 status = s;
                 break;

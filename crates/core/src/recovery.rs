@@ -49,11 +49,14 @@ use powergrid::three_phase::ThreePhaseNetwork;
 use powergrid::RadialNetwork;
 use simt::{Device, DeviceError, DeviceProps, FaultPlan, HostProps};
 
+use telemetry::Recorder;
+
 use crate::arrays::SolverArrays;
 use crate::config::SolverConfig;
 use crate::gpu::{BackwardStrategy, GpuSession};
 use crate::jump::{JumpArrays, JumpSession};
 use crate::multicore::MulticoreSolver;
+use crate::obs::Obs;
 use crate::report::{FaultReport, SolveResult};
 use crate::serial::SerialSolver;
 use crate::status::{ConvergenceMonitor, SolveStatus};
@@ -160,9 +163,11 @@ fn rollback<S: SweepSession>(
     ckpt: &Checkpoint,
     report: &mut FaultReport,
     budget: &mut RetryBudget,
+    obs: &Obs,
 ) -> Result<(), DriveAbort> {
     loop {
         report.rollbacks += 1;
+        obs.instant("rollback", sess.elapsed_modeled_us());
         if !budget.charge() {
             return Err(DriveAbort::Exhausted);
         }
@@ -180,6 +185,7 @@ fn rollback<S: SweepSession>(
 /// With `checkpointing` false (no fault plan armed) this performs
 /// exactly the same device operations as the plain solver loop — zero
 /// recovery overhead on clean runs.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn drive<S: SweepSession>(
     sess: &mut S,
     cfg: &SolverConfig,
@@ -188,6 +194,7 @@ pub(crate) fn drive<S: SweepSession>(
     report: &mut FaultReport,
     budget: &mut RetryBudget,
     cancel: Option<&AtomicBool>,
+    obs: &Obs,
 ) -> Result<DriveOutcome, DriveAbort> {
     let monitor0 = ConvergenceMonitor::new(cfg, sess.source_mag());
     let tol = monitor0.tol();
@@ -218,7 +225,7 @@ pub(crate) fn drive<S: SweepSession>(
                         return Err(DriveAbort::Lost(e));
                     }
                     Err(_) => {
-                        rollback(sess, &ckpt, report, budget)?;
+                        rollback(sess, &ckpt, report, budget, obs)?;
                         continue 'attempt;
                     }
                 }
@@ -226,7 +233,7 @@ pub(crate) fn drive<S: SweepSession>(
         }
         macro_rules! recover {
             () => {{
-                rollback(sess, &ckpt, report, budget)?;
+                rollback(sess, &ckpt, report, budget, obs)?;
                 continue 'attempt;
             }};
         }
@@ -306,6 +313,7 @@ pub(crate) fn drive<S: SweepSession>(
                         ckpt.monitor = mon.clone();
                         ckpt.faults = sess.faults_observed();
                         report.checkpoints += 1;
+                        obs.instant("checkpoint", sess.elapsed_modeled_us());
                     }
                 }
                 Some(SolveStatus::Converged) => {
@@ -463,6 +471,7 @@ pub struct ResilientSolver {
     degrade: bool,
     last_device: Option<Device>,
     cancel: Option<Arc<AtomicBool>>,
+    recorder: Option<Recorder>,
 }
 
 impl ResilientSolver {
@@ -476,7 +485,16 @@ impl ResilientSolver {
             degrade: true,
             last_device: None,
             cancel: None,
+            recorder: None,
         }
+    }
+
+    /// Attaches a telemetry recorder: the device sessions it drives emit
+    /// per-iteration/per-phase spans, and checkpoint/rollback/backend
+    /// switches show up as instant events.
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.recorder = Some(rec);
+        self
     }
 
     /// Arms a fault plan; every device the supervisor creates gets a
@@ -537,12 +555,23 @@ impl ResilientSolver {
             report.backends.push(backend.name().to_string());
             if !backend.is_device() {
                 let mut res = match backend {
-                    Backend::Serial => SerialSolver::new(self.host.clone()).solve(net, cfg),
-                    Backend::Multicore => MulticoreSolver::new(
-                        self.host.clone(),
-                        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
-                    )
-                    .solve(net, cfg),
+                    Backend::Serial => {
+                        let mut s = SerialSolver::new(self.host.clone());
+                        if let Some(rec) = &self.recorder {
+                            s = s.with_recorder(rec.clone());
+                        }
+                        s.solve(net, cfg)
+                    }
+                    Backend::Multicore => {
+                        let mut s = MulticoreSolver::new(
+                            self.host.clone(),
+                            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+                        );
+                        if let Some(rec) = &self.recorder {
+                            s = s.with_recorder(rec.clone());
+                        }
+                        s.solve(net, cfg)
+                    }
                     _ => unreachable!(),
                 };
                 res.status = upgraded(res.status, &report);
@@ -584,6 +613,7 @@ impl ResilientSolver {
         let jump_arrays = (backend == Backend::GpuJump).then(|| JumpArrays::new(net));
         let checkpointing = self.plan.is_some();
         let cancel = self.cancel.clone();
+        let obs = Obs::new(self.recorder.as_ref(), "recovery");
         loop {
             let mut dev = Device::new(self.props.clone());
             if let Some(plan) = &self.plan {
@@ -601,6 +631,7 @@ impl ResilientSolver {
                     report,
                     budget,
                     cancel.as_deref(),
+                    &obs,
                 ),
                 _ => run_level_attempt(
                     &mut dev,
@@ -611,6 +642,7 @@ impl ResilientSolver {
                     report,
                     budget,
                     cancel.as_deref(),
+                    &obs,
                 ),
             }));
             report.faults_injected += dev.fault_log().len() as u32;
@@ -683,14 +715,15 @@ fn run_level_attempt(
     report: &mut FaultReport,
     budget: &mut RetryBudget,
     cancel: Option<&AtomicBool>,
+    obs: &Obs,
 ) -> Result<SolveResult, DriveAbort> {
     let wall0 = Instant::now();
-    let mut sess = match GpuSession::new(dev, a, strategy, None) {
+    let mut sess = match GpuSession::with_obs(dev, a, strategy, None, obs.clone()) {
         Ok(s) => s,
         Err(e) => return Err(setup_abort(e, report, budget)),
     };
     let init_v = vec![a.source; a.len()];
-    let out = drive(&mut sess, cfg, &init_v, checkpointing, report, budget, cancel);
+    let out = drive(&mut sess, cfg, &init_v, checkpointing, report, budget, cancel, obs);
     report.checkpoint_us += sess.recovery_us();
     let out = out?;
     let timing = sess.timing(wall0);
@@ -706,6 +739,7 @@ fn run_level_attempt(
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_jump_attempt(
     dev: &mut Device,
     a: &JumpArrays,
@@ -714,14 +748,15 @@ fn run_jump_attempt(
     report: &mut FaultReport,
     budget: &mut RetryBudget,
     cancel: Option<&AtomicBool>,
+    obs: &Obs,
 ) -> Result<SolveResult, DriveAbort> {
     let wall0 = Instant::now();
-    let mut sess = match JumpSession::new(dev, a) {
+    let mut sess = match JumpSession::with_obs(dev, a, obs.clone()) {
         Ok(s) => s,
         Err(e) => return Err(setup_abort(e, report, budget)),
     };
     let init_v = vec![a.source; a.len()];
-    let out = drive(&mut sess, cfg, &init_v, checkpointing, report, budget, cancel);
+    let out = drive(&mut sess, cfg, &init_v, checkpointing, report, budget, cancel, obs);
     report.checkpoint_us += sess.recovery_us();
     let out = out?;
     let timing = sess.timing(wall0);
@@ -749,12 +784,19 @@ pub struct Resilient3Solver {
     host: HostProps,
     plan: Option<FaultPlan>,
     degrade: bool,
+    recorder: Option<Recorder>,
 }
 
 impl Resilient3Solver {
     /// Creates a supervisor for the three-phase GPU solver.
     pub fn new(props: DeviceProps, host: HostProps) -> Self {
-        Resilient3Solver { props, host, plan: None, degrade: true }
+        Resilient3Solver { props, host, plan: None, degrade: true, recorder: None }
+    }
+
+    /// Attaches a telemetry recorder (see [`ResilientSolver::with_recorder`]).
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.recorder = Some(rec);
+        self
     }
 
     /// Arms a fault plan (see [`ResilientSolver::with_fault_plan`]).
@@ -791,6 +833,9 @@ impl Resilient3Solver {
                 dev.arm_faults(plan.clone());
             }
             let mut solver = Gpu3Solver::new(dev);
+            if let Some(rec) = &self.recorder {
+                solver = solver.with_recorder(rec.clone());
+            }
             let attempt = catch_unwind(AssertUnwindSafe(|| solver.solve_arrays(&a, cfg)));
             let faults = solver.device().fault_log().len() as u32;
             faults_total += faults;
@@ -822,7 +867,11 @@ impl Resilient3Solver {
                 None => ResilienceError::BudgetExhausted { retries: budget.used() },
             });
         }
-        let mut res = Serial3Solver::new(self.host.clone()).solve_arrays(&a, cfg);
+        let mut fallback = Serial3Solver::new(self.host.clone());
+        if let Some(rec) = &self.recorder {
+            fallback = fallback.with_recorder(rec.clone());
+        }
+        let mut res = fallback.solve_arrays(&a, cfg);
         if res.status == SolveStatus::Converged {
             res.status =
                 SolveStatus::Recovered { faults: faults_total, retries: budget.used() };

@@ -22,8 +22,11 @@ use powergrid::RadialNetwork;
 use primitives::ops::{MaxAbsF64, ScanOp};
 use simt::HostProps;
 
+use telemetry::Recorder;
+
 use crate::arrays::SolverArrays;
 use crate::config::SolverConfig;
+use crate::obs::Obs;
 use crate::report::{PhaseTimes, SolveResult, Timing};
 use crate::status::{ConvergenceMonitor, SolveStatus};
 
@@ -46,12 +49,20 @@ const FWD_BYTES: u64 = 80;
 #[derive(Clone, Debug, Default)]
 pub struct SerialSolver {
     host: HostProps,
+    recorder: Option<Recorder>,
 }
 
 impl SerialSolver {
     /// Creates a solver modeled on the given host CPU.
     pub fn new(host: HostProps) -> Self {
-        SerialSolver { host }
+        SerialSolver { host, recorder: None }
+    }
+
+    /// Attaches a telemetry recorder: per-iteration/per-phase spans and
+    /// residual samples are recorded into it during every solve.
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.recorder = Some(rec);
+        self
     }
 
     /// The modeled host description.
@@ -115,9 +126,11 @@ impl SerialSolver {
         let mut residual = f64::MAX;
         let mut residual_history = Vec::new();
         let mut status = SolveStatus::MaxIterations;
+        let obs = Obs::new(self.recorder.as_ref(), "solver.serial");
 
         while iterations < cfg.max_iter {
             iterations += 1;
+            let iter_t0 = phases.total_us();
 
             // Injection.
             for p in 0..n {
@@ -129,6 +142,8 @@ impl SerialSolver {
                 INJ_BYTES * n as u64,
                 working_set,
             );
+            obs.phase("injection", iter_t0, phases.total_us());
+            let bwd_t0 = phases.total_us();
 
             // Backward sweep: leaves → root.
             for p in (0..n).rev() {
@@ -143,6 +158,8 @@ impl SerialSolver {
                 BWD_BYTES * n as u64,
                 working_set,
             );
+            obs.phase("backward", bwd_t0, phases.total_us());
+            let fwd_t0 = phases.total_us();
 
             // Forward sweep with folded convergence norm. The fold must
             // propagate NaN: `d > delta` is false for NaN, which would
@@ -160,12 +177,14 @@ impl SerialSolver {
                 FWD_BYTES * (n as u64 - 1),
                 working_set,
             );
+            obs.phase("forward", fwd_t0, phases.total_us());
             // The convergence norm is one compare+branch per bus, already
             // counted in FWD_FLOPS; charge the scalar check only.
             phases.convergence_us += self.host.region_time_us(1, 8);
 
             residual = delta;
             residual_history.push(delta);
+            obs.iteration(iterations, iter_t0, phases.total_us(), delta);
             if let Some(s) = monitor.observe(iterations, delta) {
                 status = s;
                 break;

@@ -58,6 +58,9 @@ use rng::rngs::StdRng;
 use rng::{Rng, SeedableRng};
 use simt::{Device, DeviceError, DeviceProps, FaultPlan, HostProps, Timeline};
 
+use telemetry::trace::ArgValue;
+use telemetry::{Recorder, Trace};
+
 use crate::arrays::SolverArrays;
 use crate::batch::{BatchResult, BatchSolver};
 use crate::config::SolverConfig;
@@ -310,6 +313,11 @@ pub struct SolveService {
     queue: VecDeque<(u64, Request)>,
     next_id: u64,
     stats: ServiceStats,
+    recorder: Option<Recorder>,
+    /// Modeled service clock, µs: advanced by each response's service
+    /// time (or pinned to stream time in [`SolveService::run_stream`]).
+    /// Stamps service-track telemetry events.
+    clock_us: f64,
 }
 
 impl SolveService {
@@ -329,6 +337,8 @@ impl SolveService {
             queue: VecDeque::new(),
             next_id: 0,
             stats: ServiceStats::default(),
+            recorder: None,
+            clock_us: 0.0,
         }
     }
 
@@ -337,6 +347,15 @@ impl SolveService {
     /// across requests and retries instead of replaying).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.plan = Some(plan);
+        self
+    }
+
+    /// Attaches a telemetry recorder: per-request spans, queue-depth
+    /// samples, shed/retry counters and breaker transitions are recorded
+    /// on the service track, stamped with the modeled service clock.
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        rec.name_thread(Trace::TID_SERVICE, "service (modeled)");
+        self.recorder = Some(rec);
         self
     }
 
@@ -369,6 +388,9 @@ impl SolveService {
     pub fn submit(&mut self, req: Request) -> Result<u64, Response> {
         self.stats.submitted += 1;
         self.stats.peak_queue_depth = self.stats.peak_queue_depth.max(self.queue.len());
+        if let Some(rec) = &self.recorder {
+            rec.counter_sample("service.queue_depth", self.clock_us, self.queue.len() as f64);
+        }
         if self.queue.len() >= self.cfg.queue_capacity {
             let id = self.take_id();
             return Err(self.shed(id));
@@ -419,6 +441,7 @@ impl SolveService {
                     break;
                 }
                 let (id, r, _) = waiting.pop_front().expect("front exists");
+                self.clock_us = start;
                 let resp = self.execute(id, r);
                 server_free_at = start + resp.service_us();
                 responses.push(resp);
@@ -426,6 +449,10 @@ impl SolveService {
             self.stats.submitted += 1;
             self.stats.peak_queue_depth =
                 self.stats.peak_queue_depth.max(waiting.len());
+            self.clock_us = self.clock_us.max(t);
+            if let Some(rec) = &self.recorder {
+                rec.counter_sample("service.queue_depth", t, waiting.len() as f64);
+            }
             if waiting.len() >= self.cfg.queue_capacity {
                 let id = self.take_id();
                 responses.push(self.shed(id));
@@ -437,6 +464,7 @@ impl SolveService {
         // Graceful drain: the stream is over but admitted work is owed
         // an answer.
         while let Some((id, r, arrived)) = waiting.pop_front() {
+            self.clock_us = server_free_at.max(arrived);
             let resp = self.execute(id, r);
             server_free_at = server_free_at.max(arrived) + resp.service_us();
             responses.push(resp);
@@ -454,6 +482,19 @@ impl SolveService {
         let depth = self.queue.len().max(self.cfg.queue_capacity);
         self.stats.shed += 1;
         self.timeline.note(format!("shed id={id} depth={depth}"));
+        if let Some(rec) = &self.recorder {
+            rec.counter_add("service.shed", 1);
+            rec.instant_with(
+                Trace::TID_SERVICE,
+                "service",
+                "shed",
+                self.clock_us,
+                vec![
+                    ("id".to_string(), ArgValue::U64(id)),
+                    ("queue_depth".to_string(), ArgValue::U64(depth as u64)),
+                ],
+            );
+        }
         Response {
             id,
             outcome: Outcome::Rejected { queue_depth: depth },
@@ -468,6 +509,20 @@ impl SolveService {
         let from = self.breaker;
         self.breaker = to;
         self.timeline.note(format!("breaker {}→{} ({why})", from.name(), to.name()));
+        if let Some(rec) = &self.recorder {
+            rec.counter_add(&format!("service.breaker.{}", to.name()), 1);
+            rec.instant_with(
+                Trace::TID_SERVICE,
+                "service",
+                "breaker",
+                self.clock_us,
+                vec![
+                    ("from".to_string(), ArgValue::from(from.name())),
+                    ("to".to_string(), ArgValue::from(to.name())),
+                    ("why".to_string(), ArgValue::from(why)),
+                ],
+            );
+        }
     }
 
     /// Fills in the service default deadline when the request brought
@@ -540,8 +595,32 @@ impl SolveService {
     }
 
     /// Serves one request end to end: route, attempt, retry, breaker
-    /// bookkeeping, fallback.
+    /// bookkeeping, fallback. Records the request as a span on the
+    /// service track and advances the modeled service clock.
     fn execute(&mut self, id: u64, req: Request) -> Response {
+        let t0 = self.clock_us;
+        let resp = self.execute_inner(id, req);
+        self.clock_us = t0 + resp.service_us();
+        if let Some(rec) = &self.recorder {
+            rec.span_with(
+                Trace::TID_SERVICE,
+                "service",
+                "request",
+                t0,
+                resp.service_us(),
+                vec![
+                    ("id".to_string(), ArgValue::U64(resp.id)),
+                    ("backend".to_string(), ArgValue::from(resp.backend)),
+                    ("retries".to_string(), ArgValue::U64(u64::from(resp.retries))),
+                ],
+            );
+            rec.observe("service.request_us", resp.service_us());
+            rec.counter_sample("service.queue_depth", self.clock_us, self.queue.len() as f64);
+        }
+        resp
+    }
+
+    fn execute_inner(&mut self, id: u64, req: Request) -> Response {
         self.stats.served += 1;
         let mut retries = 0u32;
         let mut backoff_us = 0u64;
@@ -564,7 +643,12 @@ impl SolveService {
                 Err(f) if f.transient && retries < self.cfg.max_retries => {
                     retries += 1;
                     self.stats.retries += 1;
-                    backoff_us += self.next_backoff(retries);
+                    let wait = self.next_backoff(retries);
+                    backoff_us += wait;
+                    if let Some(rec) = &self.recorder {
+                        rec.counter_add("service.retries", 1);
+                        rec.counter_add("service.backoff_us", wait);
+                    }
                 }
                 Err(f) => {
                     self.on_device_failure();
@@ -596,6 +680,9 @@ impl SolveService {
                 if let Some(plan) = &self.plan {
                     solver = solver.with_fault_plan(plan.clone());
                 }
+                if let Some(rec) = &self.recorder {
+                    solver = solver.with_recorder(rec.clone());
+                }
                 let attempt = if let Some(wall) = self.cfg.deadline.wall {
                     let cancel = Arc::new(AtomicBool::new(false));
                     solver = solver.with_cancel(Arc::clone(&cancel));
@@ -620,6 +707,9 @@ impl SolveService {
                 if let Some(plan) = &self.plan {
                     solver = solver.with_fault_plan(plan.clone());
                 }
+                if let Some(rec) = &self.recorder {
+                    solver = solver.with_recorder(rec.clone());
+                }
                 match solver.solve(net, &cfg) {
                     Ok(res) => Ok(Outcome::Solved3(res)),
                     Err(err) => {
@@ -636,6 +726,9 @@ impl SolveService {
                     dev.arm_faults(plan.clone());
                 }
                 let mut solver = BatchSolver::new(dev);
+                if let Some(rec) = &self.recorder {
+                    solver = solver.with_recorder(rec.clone());
+                }
                 // Corrupted index buffers can panic inside a kernel;
                 // that is a loud device fault, not a service bug.
                 let attempt = catch_unwind(AssertUnwindSafe(|| {
@@ -678,18 +771,24 @@ impl SolveService {
         let (outcome, backend) = match req {
             Request::Solve { net, cfg } => {
                 let cfg = self.effective_cfg(cfg);
-                let res = ResilientSolver::new(
+                let mut solver = ResilientSolver::new(
                     Backend::Multicore,
                     self.props.clone(),
                     self.host.clone(),
-                )
-                .solve(net, &cfg)
-                .expect("CPU fallback cannot fail");
+                );
+                if let Some(rec) = &self.recorder {
+                    solver = solver.with_recorder(rec.clone());
+                }
+                let res = solver.solve(net, &cfg).expect("CPU fallback cannot fail");
                 (Outcome::Solved(res), "multicore")
             }
             Request::Solve3 { net, cfg } => {
                 let cfg = self.effective_cfg(cfg);
-                let res = Serial3Solver::new(self.host.clone()).solve(net, &cfg);
+                let mut solver = Serial3Solver::new(self.host.clone());
+                if let Some(rec) = &self.recorder {
+                    solver = solver.with_recorder(rec.clone());
+                }
+                let res = solver.solve(net, &cfg);
                 (Outcome::Solved3(res), "serial")
             }
             Request::Batch { net, scenarios, cfg } => {

@@ -30,7 +30,10 @@ use primitives::ops::{AddCVec3, MaxAbsF64, ScanOp};
 use primitives::{fill, launch_map, reduce, segscan_inclusive_range};
 use simt::{Device, HostProps};
 
+use telemetry::Recorder;
+
 use crate::config::SolverConfig;
+use crate::obs::Obs;
 use crate::report::{PhaseTimes, Timing};
 use crate::status::{ConvergenceMonitor, SolveStatus};
 
@@ -176,12 +179,20 @@ pub(crate) fn invalid_config_result3(n: usize, v0: CVec3) -> Solve3Result {
 #[derive(Clone, Debug, Default)]
 pub struct Serial3Solver {
     host: HostProps,
+    recorder: Option<Recorder>,
 }
 
 impl Serial3Solver {
     /// Creates a solver modeled on the given host.
     pub fn new(host: HostProps) -> Self {
-        Serial3Solver { host }
+        Serial3Solver { host, recorder: None }
+    }
+
+    /// Attaches a telemetry recorder: per-iteration/per-phase spans and
+    /// residual samples are recorded into it during every solve.
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.recorder = Some(rec);
+        self
     }
 
     /// Solves a three-phase network.
@@ -212,15 +223,19 @@ impl Serial3Solver {
         let mut residual = f64::MAX;
         let mut residual_history = Vec::new();
         let mut status = SolveStatus::MaxIterations;
+        let obs = Obs::new(self.recorder.as_ref(), "solver.serial3");
 
         while iterations < cfg.max_iter {
             iterations += 1;
+            let iter_t0 = phases.total_us();
 
             for p in 0..n {
                 i_inj[p] = inject3(a.s[p], v[p]);
             }
             phases.injection_us +=
                 self.host.region_time_us_ws(INJ3_FLOPS * n as u64, 144 * n as u64, working_set);
+            obs.phase("injection", iter_t0, phases.total_us());
+            let bwd_t0 = phases.total_us();
 
             for p in (0..n).rev() {
                 let mut acc = i_inj[p];
@@ -234,6 +249,8 @@ impl Serial3Solver {
                 144 * n as u64,
                 working_set,
             );
+            obs.phase("backward", bwd_t0, phases.total_us());
+            let fwd_t0 = phases.total_us();
 
             // NaN-propagating fold: `d > delta` is false for NaN and
             // would hide corrupt phases from the convergence norm.
@@ -250,10 +267,12 @@ impl Serial3Solver {
                 336 * (n as u64 - 1),
                 working_set,
             );
+            obs.phase("forward", fwd_t0, phases.total_us());
             phases.convergence_us += self.host.region_time_us(1, 8);
 
             residual = delta;
             residual_history.push(delta);
+            obs.iteration(iterations, iter_t0, phases.total_us(), delta);
             if let Some(s) = monitor.observe(iterations, delta) {
                 status = s;
                 break;
@@ -292,12 +311,20 @@ impl Serial3Solver {
 /// phase triples).
 pub struct Gpu3Solver {
     device: Device,
+    recorder: Option<Recorder>,
 }
 
 impl Gpu3Solver {
     /// Creates a solver on the given device.
     pub fn new(device: Device) -> Self {
-        Gpu3Solver { device }
+        Gpu3Solver { device, recorder: None }
+    }
+
+    /// Attaches a telemetry recorder: per-iteration/per-phase spans and
+    /// residual samples are recorded into it during every solve.
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.recorder = Some(rec);
+        self
     }
 
     /// The underlying device.
@@ -345,6 +372,8 @@ impl Gpu3Solver {
         let b = dev.timeline().breakdown_since(mark);
         phases.setup_us += b.total_us();
         transfer_us += b.htod_us + b.dtoh_us;
+        let obs = Obs::new(self.recorder.as_ref(), "solver.gpu3");
+        obs.phase("setup", 0.0, phases.setup_us);
 
         let mut iterations = 0;
         let mut residual = f64::MAX;
@@ -352,6 +381,7 @@ impl Gpu3Solver {
 
         while iterations < cfg.max_iter {
             iterations += 1;
+            let iter_t0 = phases.total_us();
 
             // Injection.
             let mark = dev.timeline().mark();
@@ -367,6 +397,8 @@ impl Gpu3Solver {
                 });
             }
             phases.injection_us += dev.timeline().breakdown_since(mark).total_us();
+            obs.phase("injection", iter_t0, phases.total_us());
+            let bwd_t0 = phases.total_us();
 
             // Backward sweep.
             let mark = dev.timeline().mark();
@@ -402,6 +434,8 @@ impl Gpu3Solver {
                 });
             }
             phases.backward_us += dev.timeline().breakdown_since(mark).total_us();
+            obs.phase("backward", bwd_t0, phases.total_us());
+            let fwd_t0 = phases.total_us();
 
             // Forward sweep.
             let mark = dev.timeline().mark();
@@ -427,16 +461,20 @@ impl Gpu3Solver {
                 });
             }
             phases.forward_us += dev.timeline().breakdown_since(mark).total_us();
+            obs.phase("forward", fwd_t0, phases.total_us());
+            let cvg_t0 = phases.total_us();
 
             // Convergence.
             let mark = dev.timeline().mark();
             let delta = reduce::<f64, MaxAbsF64>(dev, &delta_buf);
             let b = dev.timeline().breakdown_since(mark);
             phases.convergence_us += b.total_us();
+            obs.phase("convergence", cvg_t0, phases.total_us());
             transfer_us += b.htod_us + b.dtoh_us;
             transfer_sweep_us += b.htod_us + b.dtoh_us;
 
             residual = delta;
+            obs.iteration(iterations, iter_t0, phases.total_us(), delta);
             if let Some(s) = monitor.observe(iterations, delta) {
                 status = s;
                 break;
@@ -457,7 +495,9 @@ impl Gpu3Solver {
         let v_pos = dev.dtoh(&v_buf);
         let j_pos = dev.dtoh(&j_buf);
         let b = dev.timeline().breakdown_since(mark);
+        let td_t0 = phases.total_us();
         phases.teardown_us += b.total_us();
+        obs.phase("teardown", td_t0, phases.total_us());
         transfer_us += b.htod_us + b.dtoh_us;
 
         let timing = Timing {

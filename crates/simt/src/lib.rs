@@ -75,6 +75,7 @@ mod props;
 #[cfg(feature = "racecheck")]
 pub mod racecheck;
 mod scope;
+pub mod span_export;
 mod stats;
 pub mod timeline;
 pub mod timing;
@@ -86,6 +87,7 @@ pub use fault::{DeviceError, FaultKind, FaultPlan, FaultRecord, FaultSite};
 pub use kernel::{Kernel, LaunchConfig};
 pub use props::{DeviceProps, HostProps};
 pub use scope::{BlockScope, Shared, ThreadCtx};
+pub use span_export::export_timeline_spans;
 pub use stats::{LaunchStats, TRANSACTION_BYTES};
 pub use timeline::{Breakdown, Event, EventKind, KernelReport, Timeline};
 pub use timing::{Bound, KernelTiming};

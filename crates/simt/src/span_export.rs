@@ -1,0 +1,164 @@
+//! Bridge from the device [`Timeline`] to a [`telemetry::Trace`].
+//!
+//! Walks the event log with a cumulative modeled-time clock: each event's
+//! span starts where the previous one ended, so the exported device track
+//! is a gap-free reconstruction of the modeled schedule. Kernels and
+//! transfers become complete ("X") spans; allocations, faults, and
+//! supervisor markers — all zero-cost on the modeled clock — become
+//! instant ("i") events at their position in the stream. Host wall time is
+//! deliberately **not** exported: it would break byte-stability and is
+//! never part of a performance claim.
+
+use telemetry::trace::{ArgValue, InstantEvent, Span, Trace};
+
+use crate::timeline::{EventKind, Timeline};
+
+/// Append the timeline's events to `trace` on [`Trace::TID_DEVICE`],
+/// starting the modeled clock at `base_us`. Returns the clock value after
+/// the last event (i.e. `base_us` + total modeled µs of the timeline).
+pub fn export_timeline_spans(tl: &Timeline, trace: &mut Trace, base_us: f64) -> f64 {
+    trace.name_thread(Trace::TID_DEVICE, "device (modeled)");
+    let mut clock = base_us;
+    for ev in tl.events() {
+        let tid = Trace::TID_DEVICE;
+        match &ev.kind {
+            EventKind::Kernel { name, grid, block, stats, .. } => {
+                trace.push_span(Span {
+                    name: (*name).to_string(),
+                    cat: "kernel".to_string(),
+                    tid,
+                    ts_us: clock,
+                    dur_us: ev.modeled_us,
+                    args: vec![
+                        ("grid".to_string(), ArgValue::U64(u64::from(*grid))),
+                        ("block".to_string(), ArgValue::U64(u64::from(*block))),
+                        ("threads".to_string(), ArgValue::U64(stats.threads)),
+                        ("gmem_bytes".to_string(), ArgValue::U64(stats.gmem_bytes)),
+                    ],
+                });
+            }
+            EventKind::Htod { bytes } => {
+                trace.push_span(Span {
+                    name: "htod".to_string(),
+                    cat: "xfer".to_string(),
+                    tid,
+                    ts_us: clock,
+                    dur_us: ev.modeled_us,
+                    args: vec![("bytes".to_string(), ArgValue::U64(*bytes))],
+                });
+            }
+            EventKind::Dtoh { bytes } => {
+                trace.push_span(Span {
+                    name: "dtoh".to_string(),
+                    cat: "xfer".to_string(),
+                    tid,
+                    ts_us: clock,
+                    dur_us: ev.modeled_us,
+                    args: vec![("bytes".to_string(), ArgValue::U64(*bytes))],
+                });
+            }
+            EventKind::Alloc { bytes } => {
+                trace.push_instant(InstantEvent {
+                    name: "alloc".to_string(),
+                    cat: "mem".to_string(),
+                    tid,
+                    ts_us: clock,
+                    args: vec![("bytes".to_string(), ArgValue::U64(*bytes))],
+                });
+            }
+            EventKind::Fault { desc, op } => {
+                trace.push_instant(InstantEvent {
+                    name: "fault".to_string(),
+                    cat: "fault".to_string(),
+                    tid,
+                    ts_us: clock,
+                    args: vec![
+                        ("desc".to_string(), ArgValue::Str(desc.clone())),
+                        ("op".to_string(), ArgValue::U64(*op)),
+                    ],
+                });
+            }
+            EventKind::Marker { desc } => {
+                trace.push_instant(InstantEvent {
+                    name: "marker".to_string(),
+                    cat: "marker".to_string(),
+                    tid,
+                    ts_us: clock,
+                    args: vec![("desc".to_string(), ArgValue::Str(desc.clone()))],
+                });
+            }
+        }
+        clock += ev.modeled_us;
+    }
+    clock
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::LaunchStats;
+    use crate::timeline::Event;
+    use crate::timing::KernelTiming;
+
+    fn timeline_with_mixed_events() -> Timeline {
+        let mut tl = Timeline::default();
+        tl.push(Event {
+            kind: EventKind::Alloc { bytes: 4096 },
+            modeled_us: 0.0,
+            wall_us: 1.0,
+        });
+        tl.push(Event {
+            kind: EventKind::Htod { bytes: 1024 },
+            modeled_us: 5.0,
+            wall_us: 2.0,
+        });
+        tl.push(Event {
+            kind: EventKind::Kernel {
+                name: "fwd_sweep",
+                grid: 2,
+                block: 128,
+                stats: LaunchStats::default(),
+                timing: KernelTiming::default(),
+            },
+            modeled_us: 10.0,
+            wall_us: 99.0,
+        });
+        tl.note("breaker closed→open");
+        tl.push(Event {
+            kind: EventKind::Dtoh { bytes: 8 },
+            modeled_us: 1.5,
+            wall_us: 0.5,
+        });
+        tl
+    }
+
+    #[test]
+    fn spans_are_gap_free_on_the_modeled_clock() {
+        let tl = timeline_with_mixed_events();
+        let mut trace = Trace::new();
+        let end = export_timeline_spans(&tl, &mut trace, 100.0);
+        assert!((end - 116.5).abs() < 1e-12);
+        // Two transfers + one kernel become spans; alloc + marker instants.
+        assert_eq!(trace.spans.len(), 3);
+        assert_eq!(trace.instants.len(), 2);
+        assert_eq!(trace.spans[0].ts_us, 100.0); // htod after zero-cost alloc
+        assert_eq!(trace.spans[1].ts_us, 105.0);
+        assert_eq!(trace.spans[1].name, "fwd_sweep");
+        assert_eq!(trace.spans[2].ts_us, 115.0); // marker is zero-width
+        // Wall time must never leak into the trace.
+        let total: f64 = trace.spans.iter().map(|s| s.dur_us).sum();
+        assert!((total - tl.total_modeled_us()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn export_matches_breakdown_totals() {
+        let tl = timeline_with_mixed_events();
+        let mut trace = Trace::new();
+        export_timeline_spans(&tl, &mut trace, 0.0);
+        let b = tl.breakdown();
+        assert!((trace.total_us_in_cat("kernel") - b.kernel_us).abs() < 1e-12);
+        assert!(
+            (trace.total_us_in_cat("xfer") - (b.htod_us + b.dtoh_us)).abs() < 1e-12
+        );
+    }
+}

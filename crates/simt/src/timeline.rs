@@ -331,6 +331,29 @@ impl Timeline {
         out
     }
 
+    /// Human-readable annotation lines for every zero-cost fault/marker
+    /// event, in log order, each prefixed with the modeled timestamp (µs)
+    /// at which it fired. These events carry no modeled time and are
+    /// skipped by [`Timeline::breakdown`]; this is how supervisors
+    /// (profilers, the CLI) surface them instead of dropping them.
+    pub fn notes(&self) -> Vec<String> {
+        let mut clock = 0.0_f64;
+        let mut out = Vec::new();
+        for ev in &self.events {
+            match &ev.kind {
+                EventKind::Fault { desc, op } => {
+                    out.push(format!("[{clock:>12.1} µs] fault @op {op}: {desc}"));
+                }
+                EventKind::Marker { desc } => {
+                    out.push(format!("[{clock:>12.1} µs] marker: {desc}"));
+                }
+                _ => {}
+            }
+            clock += ev.modeled_us;
+        }
+        out
+    }
+
     /// Total modeled µs over all events.
     pub fn total_modeled_us(&self) -> f64 {
         self.events.iter().map(|e| e.modeled_us).sum()

@@ -1,0 +1,164 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Produces the [Trace Event Format] consumed by `chrome://tracing` and
+//! Perfetto: one JSON object per event, `ts`/`dur` in microseconds (which
+//! is exactly the unit of our modeled clock, so values pass through
+//! unscaled). Output is one event per line in insertion order with
+//! deterministic number formatting, so a fixed-seed run exports
+//! byte-identical traces.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::json::{fmt_num, write_escaped};
+use crate::trace::{ArgValue, Trace};
+
+fn write_args(out: &mut String, args: &[(String, ArgValue)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_escaped(out, k);
+        out.push(':');
+        match v {
+            ArgValue::U64(u) => {
+                out.push_str(&u.to_string());
+            }
+            ArgValue::F64(f) => out.push_str(&fmt_num(*f)),
+            ArgValue::Str(s) => write_escaped(out, s),
+        }
+    }
+    out.push('}');
+}
+
+fn write_common(out: &mut String, ph: char, name: &str, cat: &str, tid: u32, ts_us: f64) {
+    out.push_str("{\"ph\":\"");
+    out.push(ph);
+    out.push_str("\",\"pid\":0,\"tid\":");
+    out.push_str(&tid.to_string());
+    out.push_str(",\"name\":");
+    write_escaped(out, name);
+    if !cat.is_empty() {
+        out.push_str(",\"cat\":");
+        write_escaped(out, cat);
+    }
+    out.push_str(",\"ts\":");
+    out.push_str(&fmt_num(ts_us));
+}
+
+/// Serialise a [`Trace`] to Chrome trace-event JSON.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let mut out = String::with_capacity(256 + trace.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push_str(",\n");
+        }
+    };
+
+    // Metadata: process name, then track names in declaration order.
+    sep(&mut out);
+    out.push_str(
+        "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"fbs (modeled time)\"}}",
+    );
+    for (tid, name) in &trace.thread_names {
+        sep(&mut out);
+        out.push_str("{\"ph\":\"M\",\"pid\":0,\"tid\":");
+        out.push_str(&tid.to_string());
+        out.push_str(",\"name\":\"thread_name\",\"args\":{\"name\":");
+        write_escaped(&mut out, name);
+        out.push_str("}}");
+    }
+
+    for s in &trace.spans {
+        sep(&mut out);
+        write_common(&mut out, 'X', &s.name, &s.cat, s.tid, s.ts_us);
+        out.push_str(",\"dur\":");
+        out.push_str(&fmt_num(s.dur_us));
+        if !s.args.is_empty() {
+            out.push_str(",\"args\":");
+            write_args(&mut out, &s.args);
+        }
+        out.push('}');
+    }
+
+    for ev in &trace.instants {
+        sep(&mut out);
+        write_common(&mut out, 'i', &ev.name, &ev.cat, ev.tid, ev.ts_us);
+        out.push_str(",\"s\":\"t\"");
+        if !ev.args.is_empty() {
+            out.push_str(",\"args\":");
+            write_args(&mut out, &ev.args);
+        }
+        out.push('}');
+    }
+
+    for c in &trace.counters {
+        sep(&mut out);
+        write_common(&mut out, 'C', &c.name, "", 0, c.ts_us);
+        out.push_str(",\"args\":{\"value\":");
+        out.push_str(&fmt_num(c.value));
+        out.push_str("}}");
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::trace::{InstantEvent, Span};
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        t.name_thread(Trace::TID_DEVICE, "device");
+        t.push_span(Span {
+            name: "fwd_sweep".into(),
+            cat: "kernel".into(),
+            tid: Trace::TID_DEVICE,
+            ts_us: 1.5,
+            dur_us: 2.25,
+            args: vec![("grid".into(), ArgValue::U64(4))],
+        });
+        t.push_instant(InstantEvent {
+            name: "fault".into(),
+            cat: "fault".into(),
+            tid: Trace::TID_DEVICE,
+            ts_us: 2.0,
+            args: vec![("desc".into(), ArgValue::Str("bit-flip".into()))],
+        });
+        t.push_counter("residual", 3.0, 0.125);
+        t
+    }
+
+    #[test]
+    fn output_is_valid_json_with_expected_events() {
+        let s = chrome_trace_json(&sample_trace());
+        let v = json::parse(&s).expect("chrome trace must parse as JSON");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // 2 metadata + 1 span + 1 instant + 1 counter.
+        assert_eq!(events.len(), 5);
+        let span = &events[2];
+        assert_eq!(span.get("ph").unwrap().as_str().unwrap(), "X");
+        assert_eq!(span.get("ts").unwrap().as_f64().unwrap(), 1.5);
+        assert_eq!(span.get("dur").unwrap().as_f64().unwrap(), 2.25);
+        assert_eq!(
+            span.get("args").unwrap().get("grid").unwrap().as_f64(),
+            Some(4.0)
+        );
+        assert_eq!(events[3].get("ph").unwrap().as_str().unwrap(), "i");
+        assert_eq!(events[4].get("ph").unwrap().as_str().unwrap(), "C");
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let t = sample_trace();
+        assert_eq!(chrome_trace_json(&t), chrome_trace_json(&t));
+    }
+}

@@ -1,0 +1,50 @@
+//! # telemetry — deterministic metrics + modeled-time tracing
+//!
+//! The observability substrate of the forward-backward-sweep reproduction.
+//! Everything here is **deterministic**: timestamps are modeled
+//! microseconds from the `simt` analytical clock (never wall time), metric
+//! stores iterate in sorted order, and numbers are formatted with the
+//! shortest round-trip representation — so exporting the same fixed-seed
+//! run twice yields byte-identical files, and golden tests can pin them.
+//!
+//! * [`Registry`] — monotonic counters, gauges, and power-of-two-bucket
+//!   [`Histogram`]s with exact merge semantics.
+//! * [`Trace`] / [`Span`] — span tracing on the modeled clock.
+//! * [`Recorder`] — the cloneable handle instrumented layers write through.
+//! * Exporters: [`chrome_trace_json`] (loadable in `chrome://tracing` /
+//!   Perfetto), [`prometheus_text`] (text exposition), and
+//!   [`run_summary_json`] (machine-readable digest).
+//!
+//! ```
+//! use telemetry::{Recorder, Trace};
+//!
+//! let rec = Recorder::new();
+//! rec.name_thread(Trace::TID_SOLVER, "solver");
+//! rec.span(Trace::TID_SOLVER, "phase", "forward", 0.0, 12.5);
+//! rec.observe("solver.iteration_us", 12.5);
+//! rec.counter_add("recovery.rollbacks", 1);
+//! let (trace, metrics) = rec.snapshot();
+//! let chrome = telemetry::chrome_trace_json(&trace);
+//! let prom = telemetry::prometheus_text(&metrics);
+//! let summary = telemetry::run_summary_json(&metrics, &trace);
+//! assert!(chrome.contains("\"ph\":\"X\""));
+//! assert!(prom.contains("recovery_rollbacks 1"));
+//! assert!(summary.starts_with('{'));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod json;
+pub mod metrics;
+pub mod prometheus;
+pub mod recorder;
+pub mod summary;
+pub mod trace;
+
+pub use chrome::chrome_trace_json;
+pub use metrics::{Histogram, Registry};
+pub use prometheus::{prometheus_text, sanitize_name};
+pub use recorder::Recorder;
+pub use summary::{run_summary, run_summary_json};
+pub use trace::{ArgValue, CounterSample, InstantEvent, Span, Trace};

@@ -1,0 +1,319 @@
+//! Deterministic metrics: monotonic counters, gauges, and log-spaced-bucket
+//! histograms with exact merge semantics.
+//!
+//! Histogram buckets are **powers of two**: bucket `k` covers `[2^k, 2^(k+1))`.
+//! The bucket index of a sample is read straight off the IEEE-754 exponent
+//! bits, so bucketing is exact on every platform, and merging two histograms
+//! is a bucket-wise integer add — no rank approximation drift, no
+//! re-bucketing. Quantile estimates return the **upper edge** of the bucket
+//! containing the requested rank, which makes them conservative (never below
+//! the true quantile) and deterministic.
+
+use std::collections::BTreeMap;
+
+/// Sparse fixed-layout histogram over power-of-two buckets.
+///
+/// All histograms share the same (conceptually infinite) bucket layout, so
+/// [`Histogram::merge`] is exact: counts add bucket-wise. Non-positive
+/// samples land in a dedicated underflow bucket with upper edge `0`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    buckets: BTreeMap<i32, u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Sentinel bucket index for samples `<= 0` (and subnormals' floor).
+const UNDERFLOW: i32 = i32::MIN;
+
+/// Exact `floor(log2(v))` for positive normal `v`, via the exponent bits.
+fn bucket_index(v: f64) -> i32 {
+    if v.is_nan() || v <= 0.0 {
+        return UNDERFLOW;
+    }
+    let e = ((v.to_bits() >> 52) & 0x7ff) as i32;
+    if e == 0 {
+        // Subnormal: below 2^-1022; fold into the lowest normal bucket.
+        -1023
+    } else if e == 0x7ff {
+        // +Inf: clamp to the top bucket.
+        1023
+    } else {
+        e - 1023
+    }
+}
+
+/// Upper edge of bucket `k`, i.e. `2^(k+1)`; `0` for the underflow bucket.
+fn upper_edge(k: i32) -> f64 {
+    if k == UNDERFLOW {
+        0.0
+    } else {
+        exp2(k.saturating_add(1))
+    }
+}
+
+fn exp2(k: i32) -> f64 {
+    let k = k.clamp(-1074, 1023);
+    (2.0f64).powi(k)
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: BTreeMap::new(),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one sample. NaN samples are counted in the underflow bucket
+    /// and excluded from `sum`/`min`/`max`.
+    pub fn observe(&mut self, v: f64) {
+        *self.buckets.entry(bucket_index(v)).or_insert(0) += 1;
+        self.count += 1;
+        if !v.is_nan() {
+            self.sum += v;
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all (non-NaN) samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.min <= self.max).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.min <= self.max).then_some(self.max)
+    }
+
+    /// Fold another histogram into this one. Bucket counts, `count`, and
+    /// min/max merge exactly; `sum` is a float add.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&k, &c) in &other.buckets {
+            *self.buckets.entry(k).or_insert(0) += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Conservative quantile estimate: the upper edge of the bucket holding
+    /// the sample of rank `ceil(q·count)`. Returns `0.0` on an empty
+    /// histogram. `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (&k, &c) in &self.buckets {
+            cum += c;
+            if cum >= target {
+                return upper_edge(k);
+            }
+        }
+        // Unreachable: cum == count >= target after the loop.
+        upper_edge(*self.buckets.keys().next_back().unwrap())
+    }
+
+    /// Occupied buckets as `(upper_edge, cumulative_count)` in ascending
+    /// edge order — the shape Prometheus exposition wants.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut cum = 0u64;
+        self.buckets
+            .iter()
+            .map(|(&k, &c)| {
+                cum += c;
+                (upper_edge(k), cum)
+            })
+            .collect()
+    }
+}
+
+/// A named collection of counters, gauges, and histograms.
+///
+/// Backed by `BTreeMap`s so iteration (and therefore every exporter) is
+/// deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to the named monotonic counter (created at 0).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Set the named gauge to `v`.
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Record `v` into the named histogram (created empty).
+    pub fn observe(&mut self, name: &str, v: f64) {
+        self.histograms.entry(name.to_string()).or_default().observe(v);
+    }
+
+    /// Read a counter (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Read a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Read a histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merge another registry into this one: counters add, gauges take the
+    /// other's value (last-writer-wins), histograms merge exactly.
+    pub fn merge(&mut self, other: &Registry) {
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, &v) in &other.gauges {
+            self.gauges.insert(k.clone(), v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_floor_log2() {
+        assert_eq!(bucket_index(1.0), 0);
+        assert_eq!(bucket_index(1.999), 0);
+        assert_eq!(bucket_index(2.0), 1);
+        assert_eq!(bucket_index(0.5), -1);
+        assert_eq!(bucket_index(0.75), -1);
+        assert_eq!(bucket_index(3.0e-5), -16);
+        assert_eq!(bucket_index(1024.0), 10);
+        assert_eq!(bucket_index(0.0), UNDERFLOW);
+        assert_eq!(bucket_index(-3.0), UNDERFLOW);
+    }
+
+    #[test]
+    fn sample_lies_within_its_bucket() {
+        for &v in &[1e-9, 3.7e-3, 0.5, 1.0, 1.5, 2.0, 317.0, 1e12] {
+            let k = bucket_index(v);
+            assert!(exp2(k) <= v && v < upper_edge(k), "v={v} k={k}");
+        }
+    }
+
+    #[test]
+    fn quantile_brackets_samples() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 3.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!(h.quantile(1.0) >= 100.0);
+        assert!(h.quantile(0.0) >= 1.0);
+        assert!(h.quantile(0.5) >= 2.0);
+        // Monotone in q.
+        assert!(h.quantile(0.25) <= h.quantile(0.75));
+    }
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert!(h.cumulative_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_is_exact_on_buckets() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for (i, v) in [0.1, 5.0, 700.0, 0.0, 2.5, 2.6].iter().enumerate() {
+            if i % 2 == 0 {
+                a.observe(*v);
+            } else {
+                b.observe(*v);
+            }
+            all.observe(*v);
+        }
+        a.merge(&b);
+        assert_eq!(a.buckets, all.buckets);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn registry_basics() {
+        let mut r = Registry::new();
+        r.counter_add("a", 2);
+        r.counter_add("a", 3);
+        r.gauge_set("g", 1.5);
+        r.observe("h", 4.0);
+        assert_eq!(r.counter("a"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.gauge("g"), Some(1.5));
+        assert_eq!(r.histogram("h").unwrap().count(), 1);
+
+        let mut r2 = Registry::new();
+        r2.counter_add("a", 1);
+        r2.gauge_set("g", 9.0);
+        r2.observe("h", 8.0);
+        r.merge(&r2);
+        assert_eq!(r.counter("a"), 6);
+        assert_eq!(r.gauge("g"), Some(9.0));
+        assert_eq!(r.histogram("h").unwrap().count(), 2);
+    }
+}

@@ -1,0 +1,101 @@
+//! Prometheus text exposition (version 0.0.4) exporter.
+//!
+//! Counters, gauges, and histograms are written in name order with `# TYPE`
+//! headers. Histogram buckets are the occupied power-of-two buckets as
+//! cumulative `_bucket{le="..."}` series plus the mandatory `+Inf` bucket,
+//! `_sum`, and `_count`. Metric names are sanitised to the Prometheus
+//! charset; values use shortest round-trip formatting, so output is
+//! deterministic.
+
+use std::fmt::Write as _;
+
+use crate::json::fmt_num;
+use crate::metrics::Registry;
+
+/// Rewrite `name` into a valid Prometheus metric name:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`, with every invalid char mapped to `_`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if ok {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Serialise a [`Registry`] to the Prometheus text exposition format.
+pub fn prometheus_text(reg: &Registry) -> String {
+    let mut out = String::new();
+    for (name, v) in reg.counters() {
+        let n = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, v) in reg.gauges() {
+        let n = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {}", fmt_num(v));
+    }
+    for (name, h) in reg.histograms() {
+        let n = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        for (edge, cum) in h.cumulative_buckets() {
+            let _ = writeln!(out, "{n}_bucket{{le=\"{}\"}} {cum}", fmt_num(edge));
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count());
+        let _ = writeln!(out, "{n}_sum {}", fmt_num(h.sum()));
+        let _ = writeln!(out, "{n}_count {}", h.count());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize() {
+        assert_eq!(sanitize_name("solver.phase.fwd_us"), "solver_phase_fwd_us");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn exposition_shape() {
+        let mut reg = Registry::new();
+        reg.counter_add("service.shed", 3);
+        reg.gauge_set("residual", 1.5e-9);
+        reg.observe("iter.us", 1.5);
+        reg.observe("iter.us", 6.0);
+        let text = prometheus_text(&reg);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.contains(&"# TYPE service_shed counter"));
+        assert!(lines.contains(&"service_shed 3"));
+        assert!(lines.contains(&"# TYPE residual gauge"));
+        assert!(lines.contains(&"residual 0.0000000015"));
+        assert!(lines.contains(&"# TYPE iter_us histogram"));
+        // 1.5 → bucket [1,2) edge 2; 6.0 → bucket [4,8) edge 8 cumulative 2.
+        assert!(lines.contains(&"iter_us_bucket{le=\"2\"} 1"));
+        assert!(lines.contains(&"iter_us_bucket{le=\"8\"} 2"));
+        assert!(lines.contains(&"iter_us_bucket{le=\"+Inf\"} 2"));
+        assert!(lines.contains(&"iter_us_sum 7.5"));
+        assert!(lines.contains(&"iter_us_count 2"));
+        // Every non-comment line is "name value".
+        for l in &lines {
+            if !l.starts_with('#') {
+                assert_eq!(l.split(' ').count(), 2, "bad line: {l}");
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! The [`Recorder`] — a cheap, cloneable handle that every instrumented
+//! layer writes through.
+//!
+//! One recorder is created per run (usually by the CLI), cloned into the
+//! solver / recovery driver / service, and drained once at the end with
+//! [`Recorder::snapshot`]. Internally it is an `Arc<Mutex<..>>` so the
+//! service watchdog thread and scoped solver threads can share it; all
+//! hot-path producers are single-threaded, so the lock is uncontended and
+//! event order stays deterministic.
+
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::Registry;
+use crate::trace::{ArgValue, InstantEvent, Span, Trace};
+
+#[derive(Debug, Default)]
+struct Inner {
+    trace: Trace,
+    metrics: Registry,
+}
+
+/// Shared handle onto one run's trace + metrics registry.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder(Arc<Mutex<Inner>>);
+
+impl Recorder {
+    /// A fresh recorder with an empty trace and registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned lock means a producer panicked mid-record; telemetry
+        // is best-effort, so keep whatever was recorded.
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Add `delta` to a monotonic counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        self.lock().metrics.counter_add(name, delta);
+    }
+
+    /// Set a gauge.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        self.lock().metrics.gauge_set(name, v);
+    }
+
+    /// Record a histogram sample.
+    pub fn observe(&self, name: &str, v: f64) {
+        self.lock().metrics.observe(name, v);
+    }
+
+    /// Append a complete span with no args.
+    pub fn span(&self, tid: u32, cat: &str, name: &str, ts_us: f64, dur_us: f64) {
+        self.span_with(tid, cat, name, ts_us, dur_us, Vec::new());
+    }
+
+    /// Append a complete span with args.
+    pub fn span_with(
+        &self,
+        tid: u32,
+        cat: &str,
+        name: &str,
+        ts_us: f64,
+        dur_us: f64,
+        args: Vec<(String, ArgValue)>,
+    ) {
+        self.lock().trace.push_span(Span {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            tid,
+            ts_us,
+            dur_us,
+            args,
+        });
+    }
+
+    /// Append an instant event with no args.
+    pub fn instant(&self, tid: u32, cat: &str, name: &str, ts_us: f64) {
+        self.instant_with(tid, cat, name, ts_us, Vec::new());
+    }
+
+    /// Append an instant event with args.
+    pub fn instant_with(
+        &self,
+        tid: u32,
+        cat: &str,
+        name: &str,
+        ts_us: f64,
+        args: Vec<(String, ArgValue)>,
+    ) {
+        self.lock().trace.push_instant(InstantEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            tid,
+            ts_us,
+            args,
+        });
+    }
+
+    /// Append a counter-series sample (also mirrored as a gauge so the
+    /// final value shows up in metrics exports).
+    pub fn counter_sample(&self, name: &str, ts_us: f64, value: f64) {
+        let mut inner = self.lock();
+        inner.trace.push_counter(name, ts_us, value);
+        inner.metrics.gauge_set(name, value);
+    }
+
+    /// Name a trace track.
+    pub fn name_thread(&self, tid: u32, name: &str) {
+        self.lock().trace.name_thread(tid, name);
+    }
+
+    /// Run `f` with mutable access to the trace (bulk producers such as the
+    /// simt timeline bridge use this to avoid per-event locking).
+    pub fn with_trace<R>(&self, f: impl FnOnce(&mut Trace) -> R) -> R {
+        f(&mut self.lock().trace)
+    }
+
+    /// Run `f` with mutable access to the metrics registry.
+    pub fn with_metrics<R>(&self, f: impl FnOnce(&mut Registry) -> R) -> R {
+        f(&mut self.lock().metrics)
+    }
+
+    /// Clone out the accumulated trace and registry.
+    pub fn snapshot(&self) -> (Trace, Registry) {
+        let inner = self.lock();
+        (inner.trace.clone(), inner.metrics.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let rec = Recorder::new();
+        let rec2 = rec.clone();
+        rec.counter_add("c", 1);
+        rec2.counter_add("c", 2);
+        rec.span(0, "cat", "s", 0.0, 1.0);
+        let (trace, metrics) = rec2.snapshot();
+        assert_eq!(metrics.counter("c"), 3);
+        assert_eq!(trace.spans.len(), 1);
+    }
+
+    #[test]
+    fn counter_sample_mirrors_gauge() {
+        let rec = Recorder::new();
+        rec.counter_sample("q", 1.0, 3.0);
+        rec.counter_sample("q", 2.0, 5.0);
+        let (trace, metrics) = rec.snapshot();
+        assert_eq!(trace.counters.len(), 2);
+        assert_eq!(metrics.gauge("q"), Some(5.0));
+    }
+}

@@ -1,0 +1,126 @@
+//! Machine-readable run-summary JSON exporter.
+//!
+//! A compact, sorted-key JSON object holding every counter and gauge, a
+//! digest of every histogram (count/sum/min/max and conservative
+//! quantiles), and per-category span totals. Downstream tooling (and the
+//! acceptance test that reconciles per-phase modeled time against the
+//! `simt::Timeline` phase report) reads this instead of scraping stdout.
+
+use std::collections::BTreeMap;
+
+use crate::json::Value;
+use crate::metrics::Registry;
+use crate::trace::Trace;
+
+/// Build the run-summary document as a [`Value`] tree.
+pub fn run_summary(reg: &Registry, trace: &Trace) -> Value {
+    let mut root = BTreeMap::new();
+
+    let counters: BTreeMap<String, Value> = reg
+        .counters()
+        .map(|(k, v)| (k.to_string(), Value::Num(v as f64)))
+        .collect();
+    root.insert("counters".to_string(), Value::Obj(counters));
+
+    let gauges: BTreeMap<String, Value> = reg
+        .gauges()
+        .map(|(k, v)| (k.to_string(), Value::Num(v)))
+        .collect();
+    root.insert("gauges".to_string(), Value::Obj(gauges));
+
+    let mut hists = BTreeMap::new();
+    for (name, h) in reg.histograms() {
+        let mut o = BTreeMap::new();
+        o.insert("count".to_string(), Value::Num(h.count() as f64));
+        o.insert("sum".to_string(), Value::Num(h.sum()));
+        o.insert("min".to_string(), h.min().map_or(Value::Null, Value::Num));
+        o.insert("max".to_string(), h.max().map_or(Value::Null, Value::Num));
+        o.insert("p50".to_string(), Value::Num(h.quantile(0.5)));
+        o.insert("p90".to_string(), Value::Num(h.quantile(0.9)));
+        o.insert("p99".to_string(), Value::Num(h.quantile(0.99)));
+        hists.insert(name.to_string(), Value::Obj(o));
+    }
+    root.insert("histograms".to_string(), Value::Obj(hists));
+
+    // Span totals per category: count + total modeled microseconds.
+    let mut by_cat: BTreeMap<String, (u64, f64)> = BTreeMap::new();
+    for s in &trace.spans {
+        let e = by_cat.entry(s.cat.clone()).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += s.dur_us;
+    }
+    let spans: BTreeMap<String, Value> = by_cat
+        .into_iter()
+        .map(|(cat, (n, us))| {
+            let mut o = BTreeMap::new();
+            o.insert("count".to_string(), Value::Num(n as f64));
+            o.insert("total_us".to_string(), Value::Num(us));
+            (cat, Value::Obj(o))
+        })
+        .collect();
+    root.insert("spans".to_string(), Value::Obj(spans));
+    root.insert(
+        "instants".to_string(),
+        Value::Num(trace.instants.len() as f64),
+    );
+
+    Value::Obj(root)
+}
+
+/// Serialise the run summary to a JSON string (single line + trailing
+/// newline, deterministic key order).
+pub fn run_summary_json(reg: &Registry, trace: &Trace) -> String {
+    let mut s = run_summary(reg, trace).to_json();
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::trace::Span;
+
+    #[test]
+    fn summary_roundtrips_and_totals_match() {
+        let mut reg = Registry::new();
+        reg.counter_add("recovery.rollbacks", 2);
+        reg.gauge_set("phase.forward_us", 42.5);
+        reg.observe("iter.us", 3.0);
+        let mut trace = Trace::new();
+        trace.push_span(Span {
+            name: "forward".into(),
+            cat: "phase".into(),
+            tid: 0,
+            ts_us: 0.0,
+            dur_us: 40.0,
+            args: vec![],
+        });
+        trace.push_span(Span {
+            name: "forward".into(),
+            cat: "phase".into(),
+            tid: 0,
+            ts_us: 40.0,
+            dur_us: 2.5,
+            args: vec![],
+        });
+        let s = run_summary_json(&reg, &trace);
+        let v = json::parse(&s).unwrap();
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("recovery.rollbacks")
+                .unwrap()
+                .as_f64(),
+            Some(2.0)
+        );
+        assert_eq!(
+            v.get("gauges").unwrap().get("phase.forward_us").unwrap().as_f64(),
+            Some(42.5)
+        );
+        let phase = v.get("spans").unwrap().get("phase").unwrap();
+        assert_eq!(phase.get("count").unwrap().as_f64(), Some(2.0));
+        assert_eq!(phase.get("total_us").unwrap().as_f64(), Some(42.5));
+        assert!(v.get("histograms").unwrap().get("iter.us").is_some());
+    }
+}

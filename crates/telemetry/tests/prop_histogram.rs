@@ -1,0 +1,120 @@
+//! Property tests for the power-of-two-bucket histogram: exact merge
+//! semantics, quantile bracketing/monotonicity, and Prometheus
+//! exposition invariants on arbitrary sample sets.
+
+use check::gen::{f64_in, one_of, tuple2, vec_of, Gen};
+use check::{checker, prop_assert, prop_assert_eq, CaseResult};
+use telemetry::{prometheus_text, Histogram, Registry};
+
+/// Samples spanning ~18 binary orders of magnitude, plus exact zeros.
+fn sample() -> Gen<f64> {
+    one_of(vec![
+        f64_in(1e-6..1e-3),
+        f64_in(1e-3..1.0),
+        f64_in(1.0..4096.0),
+        f64_in(4096.0..1e9),
+        Gen::no_shrink(|_| 0.0),
+    ])
+}
+
+fn samples() -> Gen<(Vec<f64>, Vec<f64>)> {
+    tuple2(vec_of(sample(), 0..60), vec_of(sample(), 0..60))
+}
+
+fn observe_all(vs: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in vs {
+        h.observe(v);
+    }
+    h
+}
+
+#[test]
+fn merge_equals_observing_concatenation() {
+    checker("merge_equals_observing_concatenation").cases(60).run(
+        samples(),
+        |(a, b): &(Vec<f64>, Vec<f64>)| -> CaseResult {
+            let mut merged = observe_all(a);
+            merged.merge(&observe_all(b));
+
+            let mut concat = a.clone();
+            concat.extend_from_slice(b);
+            let direct = observe_all(&concat);
+
+            prop_assert_eq!(merged.count(), direct.count());
+            prop_assert_eq!(merged.min(), direct.min());
+            prop_assert_eq!(merged.max(), direct.max());
+            // Bucket occupancy is exact (integer adds), which implies every
+            // quantile of the merged histogram matches the direct one.
+            for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+                prop_assert_eq!(merged.quantile(q).to_bits(), direct.quantile(q).to_bits());
+            }
+            // Sums differ only by float associativity.
+            prop_assert!(
+                (merged.sum() - direct.sum()).abs() <= 1e-9 * direct.sum().abs().max(1.0),
+                "sum mismatch: {} vs {}",
+                merged.sum(),
+                direct.sum()
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn quantiles_bracket_and_are_monotone() {
+    checker("quantiles_bracket_and_are_monotone").cases(60).run(
+        vec_of(sample(), 1..80),
+        |vs: &Vec<f64>| -> CaseResult {
+            let h = observe_all(vs);
+            let max = h.max().unwrap();
+            // The conservative estimate never under-reports the true max,
+            // and never over-reports by more than one bucket (factor 2).
+            prop_assert!(h.quantile(1.0) >= max);
+            prop_assert!(h.quantile(1.0) <= (2.0 * max).max(f64::MIN_POSITIVE));
+            let mut prev = h.quantile(0.0);
+            for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+                let cur = h.quantile(q);
+                prop_assert!(cur >= prev, "quantile not monotone at q={}", q);
+                prev = cur;
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn prometheus_exposition_invariants() {
+    checker("prometheus_exposition_invariants").cases(40).run(
+        vec_of(sample(), 0..60),
+        |vs: &Vec<f64>| -> CaseResult {
+            let mut reg = Registry::new();
+            for &v in vs {
+                reg.observe("solve.iter_us", v);
+            }
+            reg.counter_add("runs", 1);
+            let text = prometheus_text(&reg);
+
+            // Cumulative bucket counts are non-decreasing and end at count.
+            let mut last = 0u64;
+            let mut saw_inf = false;
+            for line in text.lines() {
+                if let Some(rest) = line.strip_prefix("solve_iter_us_bucket{le=\"") {
+                    let (edge, count) = rest.split_once("\"} ").unwrap();
+                    let c: u64 = count.parse().unwrap();
+                    prop_assert!(c >= last, "cumulative counts decreased");
+                    last = c;
+                    if edge == "+Inf" {
+                        saw_inf = true;
+                        prop_assert_eq!(c, vs.len() as u64);
+                    }
+                }
+            }
+            prop_assert!(saw_inf, "missing mandatory +Inf bucket");
+            prop_assert!(text.contains(&format!("solve_iter_us_count {}", vs.len())));
+            prop_assert!(text.contains("# TYPE solve_iter_us histogram"));
+            prop_assert!(text.contains("# TYPE runs counter"));
+            Ok(())
+        },
+    );
+}
