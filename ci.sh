@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Offline CI for the FBS power-flow repo. Seven legs:
+# Offline CI for the FBS power-flow repo. Eight legs:
 #
 #   1. Tier-1 verify: release build + the full default test suite.
 #   2. Divergence/NaN hardening: the convergence-status suites (monitor
@@ -18,9 +18,13 @@
 #      CLI golden-trace tests — a fixed-seed trace must stay
 #      byte-identical and the run summary must reconcile with the
 #      solver's phase report.
-#   6. Racecheck: re-runs every simt and fbs device kernel under the
+#   6. Tensor batch: the tensor-engine unit suite and the four-family
+#      property suite (serial parity, masking, determinism, fault
+#      recovery) under a wall-clock ceiling, plus an `E9_SMOKE` run of
+#      the E9 bench as an end-to-end sanity pass.
+#   7. Racecheck: re-runs every simt and fbs device kernel under the
 #      per-cell data-race detector (simt's `racecheck` feature).
-#   7. Lint: clippy over every target with warnings promoted to errors.
+#   8. Lint: clippy over every target with warnings promoted to errors.
 #
 # Everything runs with --offline — the repo has zero external registry
 # dependencies (see DESIGN.md, "Dependency policy"), so a warm toolchain
@@ -57,6 +61,11 @@ cargo test -q --offline -p telemetry
 cargo test -q --offline -p fbs --lib obs::
 cargo test -q --offline -p simt --lib span_export::
 cargo test -q --offline -p fbs-cli --test telemetry_golden
+
+echo "== tensor batch: engine suites + E9 smoke =="
+timeout 300 cargo test -q --offline -p fbs --lib tensor_batch::
+timeout 300 cargo test -q --offline --test prop_tensor_batch
+E9_SMOKE=1 timeout 300 cargo run -q --offline --release -p fbs-bench --bin exp_e9_batch > /dev/null
 
 echo "== racecheck: device kernels under the simt race detector =="
 cargo test -q --offline --features racecheck -p simt -p fbs

@@ -1,24 +1,34 @@
-//! E9 (extension) — batched time-series load flow: modeled cost per
-//! scenario versus batch size.
+//! E9 (extension) — tensor-batched time-series load flow: modeled cost
+//! per scenario versus batch size, legacy batcher versus tensor engine.
 //!
 //! The operational workload behind the paper's motivation (distribution
 //! system analysis) is time-series: thousands of load scenarios on one
-//! topology. Batching levels across scenarios turns the launch-bound
-//! small-tree regime of E1/E3 into a bandwidth-bound one; this experiment
-//! measures how far the per-scenario cost falls as the batch grows, and
-//! where it crosses below the serial CPU cost.
+//! topology. The legacy `BatchSolver` widened each level kernel across
+//! scenarios but still launched per level; the tensor engine fuses all
+//! levels of all scenarios into two launches per iteration and keeps the
+//! loads on device (`solve_scaled`), so the per-scenario cost keeps
+//! falling to batch sizes the legacy path could never amortise. This
+//! experiment pins the headline: at B = 100K the per-scenario modeled
+//! cost must be at most 0.2x the legacy B = 128 baseline.
 //!
 //! Run: `cargo run -p fbs-bench --release --bin exp_e9_batch`
+//! Smoke (CI): `E9_SMOKE=1 cargo run -p fbs-bench --release --bin exp_e9_batch`
 
-use fbs::{BatchSolver, SerialSolver, SolverArrays};
-use fbs_bench::{eval_config, rng_for, speedup, us, Table};
+use fbs::{BatchSolver, SerialSolver, SolverArrays, TensorBatchSolver};
+use fbs_bench::{eval_config, rng_for, speedup, summary, us, Table};
 use numc::Complex;
 use powergrid::gen::{balanced_binary, GenSpec};
 use simt::{Device, DeviceProps, HostProps};
 
 const N: usize = 4095; // a mid-size feeder where a single GPU solve loses
 
+/// Daily-curve-like load scale for scenario `k` of `nb`.
+fn scale_for(k: usize, nb: usize) -> f64 {
+    0.55 + 0.5 * ((k as f64 / nb.max(2) as f64) * std::f64::consts::PI).sin()
+}
+
 fn main() {
+    let smoke = std::env::var("E9_SMOKE").is_ok();
     let cfg = eval_config();
     let spec = GenSpec::default();
     let mut rng = rng_for(90);
@@ -29,36 +39,89 @@ fn main() {
     let serial = SerialSolver::new(HostProps::paper_rig());
     let serial_us = serial.solve_arrays(&arrays, &cfg).timing.total_us();
 
+    // The legacy batcher's best case is the reference the tensor engine
+    // is measured against: B = 128 (B = 8 under E9_SMOKE).
+    let legacy_b: usize = if smoke { 8 } else { 128 };
+    let legacy_loads: Vec<Vec<Complex>> = (0..legacy_b)
+        .map(|k| {
+            let s = scale_for(k, legacy_b);
+            net.buses().iter().map(|b| b.load * s).collect()
+        })
+        .collect();
+    let mut legacy = BatchSolver::new(Device::new(DeviceProps::paper_rig()));
+    let legacy_res = legacy.solve_arrays(&arrays, &legacy_loads, &cfg);
+    assert!(legacy_res.converged(), "legacy batch of {legacy_b} must converge");
+    let legacy_per = legacy_res.timing.total_us() / legacy_b as f64;
+
     let mut table = Table::new(
-        "E9: Batched GPU load flow, 4K-bus binary feeder",
-        &["batch", "iters", "gpu total", "gpu per scenario", "serial per scenario", "speedup/scenario"],
+        "E9: Tensor-batched GPU load flow, 4K-bus binary feeder",
+        &[
+            "batch",
+            "engine",
+            "iters",
+            "total",
+            "per scenario",
+            "scenarios/s",
+            "vs serial",
+            "vs legacy@128",
+        ],
     );
+    table.row(&[
+        &legacy_b,
+        &"legacy",
+        &legacy_res.iterations,
+        &us(legacy_res.timing.total_us()),
+        &us(legacy_per),
+        &format!("{:.0}", 1e6 / legacy_per),
+        &speedup(serial_us / legacy_per),
+        &speedup(1.0),
+    ]);
 
-    for nb in [1usize, 2, 4, 8, 16, 32, 64, 128] {
-        // Scenario loads: a daily-curve-like scaling sweep.
-        let scenarios: Vec<Vec<Complex>> = (0..nb)
-            .map(|k| {
-                let scale = 0.55 + 0.5 * ((k as f64 / nb.max(2) as f64) * std::f64::consts::PI).sin();
-                net.buses().iter().map(|b| b.load * scale).collect()
-            })
-            .collect();
-
-        let mut solver = BatchSolver::new(Device::new(DeviceProps::paper_rig()));
-        let res = solver.solve_arrays(&arrays, &scenarios, &cfg);
-        assert!(res.converged(), "batch of {nb} must converge");
+    let batches: &[usize] = if smoke { &[8, 32, 128] } else { &[128, 1024, 8192, 100_000] };
+    let mut headline_sps = 0.0;
+    let mut largest_per = f64::INFINITY;
+    for &nb in batches {
+        let scales: Vec<f64> = (0..nb).map(|k| scale_for(k, nb)).collect();
+        // stats_only: a 100K-scenario state download is pure teardown
+        // cost nobody reads in a throughput sweep.
+        let mut solver =
+            TensorBatchSolver::new(Device::new(DeviceProps::paper_rig())).stats_only();
+        let res = solver.solve_scaled_arrays(&arrays, &scales, &cfg);
+        assert!(res.converged(), "tensor batch of {nb} must converge");
 
         table.sample(&res.timing);
         let per = res.timing.total_us() / nb as f64;
+        headline_sps = res.scenarios_per_sec;
+        largest_per = per;
         table.row(&[
             &nb,
+            &"tensor",
             &res.iterations,
             &us(res.timing.total_us()),
             &us(per),
-            &us(serial_us),
+            &format!("{:.0}", res.scenarios_per_sec),
             &speedup(serial_us / per),
+            &speedup(legacy_per / per),
         ]);
     }
 
     table.emit("e9_batch");
-    println!("\na feeder where one GPU solve loses 8x becomes a win once scenarios are batched.");
+    summary::record_metric("e9_batch", "scenarios_per_sec", headline_sps);
+
+    let ratio = largest_per / legacy_per;
+    println!(
+        "\ntensor engine at B={}: {} per scenario = {:.3}x the legacy B={legacy_b} cost \
+         ({} scenarios per modeled second).",
+        batches[batches.len() - 1],
+        us(largest_per),
+        ratio,
+        format_args!("{headline_sps:.0}"),
+    );
+    if !smoke {
+        assert!(
+            ratio <= 0.2,
+            "acceptance: per-scenario cost at B=100K must be <= 0.2x the legacy \
+             B=128 baseline (got {ratio:.3}x)"
+        );
+    }
 }

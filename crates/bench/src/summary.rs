@@ -84,6 +84,43 @@ pub fn record(name: &str, modeled_us: &[f64], wall_us: &[f64]) {
     }
 }
 
+/// Folds one named scalar metric into an experiment's entry in
+/// `results/BENCH_summary.json`, preserving whatever medians [`record`]
+/// already wrote for it. Used for headline numbers that are not timing
+/// medians — e.g. E9's `scenarios_per_sec` throughput.
+pub fn record_metric(name: &str, key: &str, value: f64) {
+    let dir = results_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join("BENCH_summary.json");
+    let existing = fs::read_to_string(&path).ok();
+    let mut experiments = load_experiments(existing.as_deref());
+    merge_metric(&mut experiments, name, key, value);
+    if let Err(e) = fs::write(&path, render(experiments)) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    }
+}
+
+/// Inserts `key = value` into `name`'s entry, creating the entry (or
+/// replacing a non-object one) as needed.
+fn merge_metric(experiments: &mut BTreeMap<String, Value>, name: &str, key: &str, value: f64) {
+    let entry = experiments
+        .entry(name.to_string())
+        .or_insert_with(|| Value::Obj(BTreeMap::new()));
+    match entry {
+        Value::Obj(o) => {
+            o.insert(key.to_string(), Value::Num(value));
+        }
+        other => {
+            let mut o = BTreeMap::new();
+            o.insert(key.to_string(), Value::Num(value));
+            *other = Value::Obj(o);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +159,19 @@ mod tests {
             exps.get("e2").unwrap().get("median_modeled_us").and_then(Value::as_f64),
             Some(30.0)
         );
+    }
+
+    #[test]
+    fn merge_metric_preserves_existing_medians() {
+        let mut exps = BTreeMap::new();
+        exps.insert("e9_batch".to_string(), entry(&[100.0], &[200.0]));
+        merge_metric(&mut exps, "e9_batch", "scenarios_per_sec", 50_000.0);
+        let e = &exps["e9_batch"];
+        assert_eq!(e.get("median_modeled_us").and_then(Value::as_f64), Some(100.0));
+        assert_eq!(e.get("scenarios_per_sec").and_then(Value::as_f64), Some(50_000.0));
+        // A metric on an experiment with no medians creates the entry.
+        merge_metric(&mut exps, "fresh", "k", 1.0);
+        assert_eq!(exps["fresh"].get("k").and_then(Value::as_f64), Some(1.0));
     }
 
     #[test]

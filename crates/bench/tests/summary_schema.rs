@@ -1,0 +1,82 @@
+//! Schema coverage for `results/BENCH_summary.json`.
+//!
+//! The summary is the cross-PR perf trajectory: every experiment binary
+//! folds its medians into it, so a bin missing from the committed file
+//! means its numbers silently fell out of the record. This test pins the
+//! schema — every bin present, every entry carrying its medians — so a
+//! renamed experiment or a dropped `emit` fails loudly.
+
+use std::fs;
+
+use fbs_bench::results_dir;
+use telemetry::json::{self, Value};
+
+/// Every experiment bin's summary key (E5 and E7 emit two tables each),
+/// plus the micro-bench group.
+const EXPERIMENTS: &[&str] = &[
+    "e1_total_speedup",
+    "e2_kernel_speedup",
+    "e3_breakdown",
+    "e4_topology",
+    "e5a_loading",
+    "e5b_tolerance",
+    "e6_primitives",
+    "e7a_backward_strategy",
+    "e7b_multicore",
+    "e8_deep_trees",
+    "e9_batch",
+    "e10_devices",
+    "e11_three_phase",
+    "e12_faults",
+    "e13_service",
+    "bench_generators",
+];
+
+/// Groups with no modeled clock (host-side generator benches): their
+/// entries carry wall medians instead.
+const WALL_ONLY: &[&str] = &["bench_generators"];
+
+#[test]
+fn summary_covers_every_experiment_bin() {
+    let path = results_dir().join("BENCH_summary.json");
+    let text = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("summary missing at {}: {e}", path.display()));
+    let doc = json::parse(&text).expect("summary must be valid JSON");
+    let exps = doc
+        .get("experiments")
+        .expect("summary must have an `experiments` map");
+
+    let mut missing = Vec::new();
+    for &name in EXPERIMENTS {
+        let Some(entry) = exps.get(name) else {
+            missing.push(name);
+            continue;
+        };
+        // Each entry carries its headline median and a sample count;
+        // wall medians are host-dependent and optional elsewhere.
+        let median_key =
+            if WALL_ONLY.contains(&name) { "median_wall_us" } else { "median_modeled_us" };
+        assert!(
+            entry.get(median_key).and_then(Value::as_f64).is_some(),
+            "{name}: {median_key} missing or non-numeric"
+        );
+        assert!(
+            entry.get("samples").and_then(Value::as_f64).is_some_and(|s| s >= 1.0),
+            "{name}: samples missing or < 1"
+        );
+    }
+    assert!(
+        missing.is_empty(),
+        "experiments missing from BENCH_summary.json (re-run their bins): {missing:?}"
+    );
+
+    // E9's headline throughput metric rides in the same entry.
+    let sps = exps
+        .get("e9_batch")
+        .and_then(|e| e.get("scenarios_per_sec"))
+        .and_then(Value::as_f64);
+    assert!(
+        sps.is_some_and(|v| v > 0.0),
+        "e9_batch must record a positive scenarios_per_sec, got {sps:?}"
+    );
+}

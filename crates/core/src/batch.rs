@@ -605,6 +605,52 @@ mod tests {
     }
 
     #[test]
+    fn masked_scenario_reports_its_freeze_iteration_not_max_iter() {
+        let net = ieee13();
+        let cfg = SolverConfig::default();
+        // Three healthy scenarios around one poisoned with a NaN load at
+        // a non-root bus (the root injection is guarded): the monitor
+        // trips within the first iterations and the triage masks it.
+        let mut scenarios: Vec<Vec<Complex>> =
+            [0.6, 1.0, 1.2].iter().map(|&sc| loads_scaled(&net, sc)).collect();
+        let mut bad = loads_scaled(&net, 1.0);
+        bad[5] = Complex::new(f64::NAN, f64::NAN);
+        scenarios.insert(1, bad);
+
+        let res = batch().solve(&net, &scenarios, &cfg);
+        let at = match res.statuses[1] {
+            SolveStatus::NumericalFailure { at_iteration }
+            | SolveStatus::Diverged { at_iteration } => at_iteration,
+            other => panic!("poisoned scenario must be masked, got {other:?}"),
+        };
+        // The freeze iteration is when the mask landed, not the cap and
+        // not the batch's final iteration count.
+        assert!(at >= 1, "freeze iteration must be recorded");
+        assert!(
+            at < cfg.max_iter,
+            "frozen scenario must not report the iteration cap ({at} vs {})",
+            cfg.max_iter
+        );
+        assert!(
+            at <= res.iterations,
+            "freeze at iteration {at} cannot postdate the batch's {} iterations",
+            res.iterations
+        );
+        // The survivors still converge to the serial answer.
+        let v0 = net.source_voltage().abs();
+        for &(s, scale) in [(0usize, 0.6), (2, 1.0), (3, 1.2)].iter() {
+            assert_eq!(res.statuses[s], SolveStatus::Converged, "scenario {s}");
+            let single = serial_at(&net, scale, &cfg);
+            for bus in 0..net.num_buses() {
+                assert!(
+                    (res.v[s][bus] - single.v[bus]).abs() < 1e-4 * v0,
+                    "scenario {s} bus {bus} drifted after masking"
+                );
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "at least one scenario")]
     fn empty_batch_rejected() {
         let net = ieee13();

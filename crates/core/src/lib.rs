@@ -39,6 +39,7 @@ mod report;
 mod serial;
 pub mod service;
 mod status;
+pub mod tensor_batch;
 pub mod three_phase;
 pub mod validate;
 
@@ -48,7 +49,7 @@ pub use config::{ConfigError, SolverConfig};
 pub use gpu::{BackwardStrategy, GpuSolver};
 pub use jump::{JumpArrays, JumpSolver};
 pub use multicore::MulticoreSolver;
-pub use obs::record_run;
+pub use obs::{record_batch_run, record_run};
 pub use recovery::{Backend, Resilient3Solver, ResilienceError, ResilientSolver};
 pub use report::{FaultReport, PhaseTimes, SolveResult, Timing};
 pub use serial::SerialSolver;
@@ -57,4 +58,5 @@ pub use service::{
     SolveService,
 };
 pub use status::{ConvergenceMonitor, SolveStatus};
+pub use tensor_batch::{TensorBatchResult, TensorBatchSolver};
 pub use three_phase::{Arrays3, Gpu3Solver, Serial3Solver, Solve3Result};

@@ -1,0 +1,1389 @@
+//! Tensor-batched power flow: scenario-major SoA state, fused
+//! (level × batch) kernels, one launch per iteration.
+//!
+//! [`crate::BatchSolver`] amortises launch overhead per *level*: every
+//! tree level of every iteration is its own kernel, so a depth-`L` solve
+//! still pays `O(L)` launches per iteration regardless of batch size.
+//! This module removes the per-level launches entirely by turning the
+//! batch into a tensor:
+//!
+//! * **Scenario-major SoA layout** — every per-scenario array (voltages,
+//!   branch currents, loads, residuals) is one slab indexed
+//!   `g(s, p) = s·n + p`, where `p` is the level-order position. Adjacent
+//!   threads touch adjacent positions of one scenario, so warp accesses
+//!   coalesce exactly as in the single-scenario solver, and scenario `s`
+//!   occupies one contiguous stripe.
+//! * **Shared topology** — impedances, parent pointers, child ranges and
+//!   the level table describe one tree and upload once per solve at size
+//!   `n`, not `B·n`.
+//! * **Fused sweeps** — one 2-D launch per *iteration*:
+//!   `gridDim.y = B` (one block per scenario), with the tree levels of
+//!   both sweep directions expressed as barrier phases *inside* the
+//!   block. Injection fuses into the leaf-to-root accumulation; between
+//!   the backward and forward halves each thread keeps the currents and
+//!   previous voltages of its nodes in registers, so the forward ladder
+//!   re-reads neither slab; and the per-scenario ∞-norm residual folds in
+//!   shared memory and publishes one `f64` per scenario — the batched
+//!   reduction collapses into the same launch.
+//!
+//! Per-scenario cost therefore approaches the bandwidth floor: the only
+//! per-iteration traffic is one read of the load and voltage slabs, one
+//! write of the current and voltage slabs, and one topology read — and
+//! launch overhead is `1/B` launches per scenario per iteration.
+//!
+//! # Masking, early abort, determinism
+//!
+//! Every scenario owns a [`ConvergenceMonitor`]. The moment a scenario
+//! converges, diverges, or goes non-finite it is *frozen*: its mask entry
+//! drops to 0, the fused kernels skip its stripe (one 4-byte read per
+//! block), and its state stays exactly as it was at the freezing
+//! iteration. The loop aborts as soon as no scenario is active. Because a
+//! scenario's trajectory depends only on its own stripe and it is frozen
+//! at *its own* convergence iteration, results are byte-identical across
+//! runs and across batch orderings, and `per_scenario_iterations[s]`
+//! equals the iteration count the serial solver reports for the same
+//! scenario.
+//!
+//! # Fault recovery
+//!
+//! Transient device errors retry the affected chunk from scratch (budget
+//! [`SolverConfig::max_recoveries`]); a lost device degrades to the
+//! serial solver per scenario. When a fault plan is armed, finished
+//! chunks are *audited*: static buffers are read back and compared, and
+//! one extra no-commit iteration per scenario (j and V into scratch
+//! slabs) measures `max |ΔV|` via [`primitives::try_reduce_batched`] —
+//! any scenario whose audit residual exceeds the tolerance, plus any
+//! flagged failure, is re-solved on the host and reported as
+//! [`SolveStatus::Recovered`]. Repaired scenarios return the serial
+//! solver's state, so silent corruption cannot leak into results.
+//!
+//! # Scale
+//!
+//! Batches larger than device memory are processed in scenario chunks;
+//! the topology stays resident across chunks. For Monte-Carlo-style
+//! studies the per-scenario loads can be synthesised *on device* from the
+//! base loads and one `f64` scale factor per scenario
+//! ([`TensorBatchSolver::solve_scaled`]), eliminating the `B·n` load
+//! upload; combined with [`TensorBatchSolver::stats_only`] (skip the
+//! state download) the engine streams through hundreds of thousands of
+//! scenarios.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use numc::Complex;
+use powergrid::RadialNetwork;
+use primitives::ops::{MaxAbsF64, ScanOp};
+use primitives::{try_fill, try_reduce_batched};
+use simt::{
+    BlockScope, Device, DeviceBuffer, DeviceError, GlobalMut, GlobalRef, HostProps, Kernel,
+    LaunchConfig,
+};
+use telemetry::Recorder;
+
+use crate::arrays::SolverArrays;
+use crate::config::SolverConfig;
+use crate::obs::Obs;
+use crate::report::{FaultReport, PhaseTimes, Timing};
+use crate::serial::SerialSolver;
+use crate::status::{ConvergenceMonitor, SolveStatus};
+
+/// Threads per scenario block.
+const TENSOR_BLOCK: u32 = 256;
+
+/// Scenarios resident in one sweep block. The tree topology (impedances,
+/// parent pointers, child ranges, base loads) is read once per node per
+/// block and applied to every resident scenario's stripe, so topology
+/// traffic per scenario falls by this factor. Two keeps the per-thread
+/// local state (≈ 0.5 KB per scenario at 4K nodes / 256 threads) within
+/// a plausible register/L1 budget.
+const SCENARIOS_PER_BLOCK: usize = 2;
+
+/// Upper bound on scenarios per chunk: bounds device *and* host footprint
+/// (a chunk of 4K-bus scenarios is ~1 GB of state at this cap).
+const MAX_CHUNK_SCENARIOS: usize = 8192;
+
+/// Result of one tensor-batched solve.
+#[derive(Clone, Debug)]
+pub struct TensorBatchResult {
+    /// Per-scenario bus voltages, `[scenario][bus id]`. Empty in
+    /// [`TensorBatchSolver::stats_only`] mode.
+    pub v: Vec<Vec<Complex>>,
+    /// Per-scenario branch currents into each bus, `[scenario][bus id]`.
+    /// Empty in stats-only mode.
+    pub j: Vec<Vec<Complex>>,
+    /// Iterations of the slowest scenario (the batch loop maximum).
+    pub iterations: u32,
+    /// Iterations each scenario actually ran before freezing — its own
+    /// convergence/divergence iteration, not the batch maximum.
+    pub per_scenario_iterations: Vec<u32>,
+    /// Per-scenario outcome. Frozen scenarios carry their freeze
+    /// iteration in the status payload (`at_iteration`).
+    pub statuses: Vec<SolveStatus>,
+    /// Final per-scenario `max |ΔV|`, volts.
+    pub residuals: Vec<f64>,
+    /// Batch-wide worst final residual (NaN-propagating fold), volts.
+    pub residual: f64,
+    /// Timing summary for the whole batch.
+    pub timing: Timing,
+    /// Modeled throughput: scenarios per modeled device second.
+    pub scenarios_per_sec: f64,
+    /// Populated when faults were observed or a fault plan was armed.
+    pub fault_report: Option<FaultReport>,
+}
+
+impl TensorBatchResult {
+    /// Whether *every* scenario converged (recovered counts).
+    pub fn converged(&self) -> bool {
+        self.statuses.iter().all(|s| s.is_converged())
+    }
+
+    /// The most severe scenario outcome (batch-wide summary).
+    pub fn worst_status(&self) -> SolveStatus {
+        self.statuses.iter().fold(SolveStatus::Converged, |w, &s| w.worse(s))
+    }
+}
+
+/// Scenario loads for one solve.
+enum Loads<'s> {
+    /// Full by-bus load vectors, one per scenario.
+    Explicit(&'s [Vec<Complex>]),
+    /// `loads(s) = base × scales[s]` with the base loads from the arrays,
+    /// synthesised on device (no `B·n` upload).
+    Scaled(&'s [f64]),
+}
+
+impl Loads<'_> {
+    fn len(&self) -> usize {
+        match self {
+            Loads::Explicit(s) => s.len(),
+            Loads::Scaled(s) => s.len(),
+        }
+    }
+}
+
+/// The tensor-batched GPU solver.
+pub struct TensorBatchSolver {
+    device: Device,
+    recorder: Option<Recorder>,
+    chunk_cap: usize,
+    keep_state: bool,
+}
+
+impl TensorBatchSolver {
+    /// Creates a solver on the given device.
+    pub fn new(device: Device) -> Self {
+        TensorBatchSolver {
+            device,
+            recorder: None,
+            chunk_cap: MAX_CHUNK_SCENARIOS,
+            keep_state: true,
+        }
+    }
+
+    /// Attaches a telemetry recorder: per-chunk spans, per-iteration
+    /// residual samples, and batch throughput are recorded during every
+    /// solve.
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.recorder = Some(rec);
+        self
+    }
+
+    /// Caps scenarios per chunk (testing/tuning; clamped to ≥ 1).
+    pub fn with_chunk_scenarios(mut self, cap: usize) -> Self {
+        self.chunk_cap = cap.max(1);
+        self
+    }
+
+    /// Skip the per-bus state download: `v`/`j` come back empty, only
+    /// statuses, iterations and residuals are reported. This is the
+    /// streaming mode for huge Monte Carlo batches.
+    pub fn stats_only(mut self) -> Self {
+        self.keep_state = false;
+        self
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Solves `scenarios.len()` load scenarios over one network. Each
+    /// scenario is a full by-bus load vector (`scenarios[s][bus]`, VA).
+    /// Panics if the batch is empty or any scenario length differs from
+    /// the bus count.
+    pub fn solve(
+        &mut self,
+        net: &RadialNetwork,
+        scenarios: &[Vec<Complex>],
+        cfg: &SolverConfig,
+    ) -> TensorBatchResult {
+        let arrays = SolverArrays::new(net);
+        self.solve_arrays(&arrays, scenarios, cfg)
+    }
+
+    /// Solves per-scenario scalings of the network's base loads:
+    /// scenario `s` uses `load(bus) × scales[s]`. The scale factors are
+    /// the only per-scenario upload.
+    pub fn solve_scaled(
+        &mut self,
+        net: &RadialNetwork,
+        scales: &[f64],
+        cfg: &SolverConfig,
+    ) -> TensorBatchResult {
+        let arrays = SolverArrays::new(net);
+        self.solve_scaled_arrays(&arrays, scales, cfg)
+    }
+
+    /// Solves with pre-built level-order arrays.
+    pub fn solve_arrays(
+        &mut self,
+        a: &SolverArrays,
+        scenarios: &[Vec<Complex>],
+        cfg: &SolverConfig,
+    ) -> TensorBatchResult {
+        self.try_solve_arrays(a, scenarios, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`TensorBatchSolver::solve_scaled`] with pre-built arrays.
+    pub fn solve_scaled_arrays(
+        &mut self,
+        a: &SolverArrays,
+        scales: &[f64],
+        cfg: &SolverConfig,
+    ) -> TensorBatchResult {
+        self.try_solve_scaled_arrays(a, scales, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`TensorBatchSolver::solve`]. Device weather is handled
+    /// internally (retry, then host fallback), so an `Err` only escapes
+    /// when recovery itself is impossible; batch-shape violations remain
+    /// panics.
+    pub fn try_solve(
+        &mut self,
+        net: &RadialNetwork,
+        scenarios: &[Vec<Complex>],
+        cfg: &SolverConfig,
+    ) -> Result<TensorBatchResult, DeviceError> {
+        let arrays = SolverArrays::new(net);
+        self.try_solve_arrays(&arrays, scenarios, cfg)
+    }
+
+    /// Fallible [`TensorBatchSolver::solve_arrays`].
+    pub fn try_solve_arrays(
+        &mut self,
+        a: &SolverArrays,
+        scenarios: &[Vec<Complex>],
+        cfg: &SolverConfig,
+    ) -> Result<TensorBatchResult, DeviceError> {
+        let n = a.len();
+        for (s, sc) in scenarios.iter().enumerate() {
+            assert_eq!(sc.len(), n, "scenario {s} has {} loads for {n} buses", sc.len());
+        }
+        self.solve_impl(a, Loads::Explicit(scenarios), cfg)
+    }
+
+    /// Fallible [`TensorBatchSolver::solve_scaled_arrays`].
+    pub fn try_solve_scaled_arrays(
+        &mut self,
+        a: &SolverArrays,
+        scales: &[f64],
+        cfg: &SolverConfig,
+    ) -> Result<TensorBatchResult, DeviceError> {
+        self.solve_impl(a, Loads::Scaled(scales), cfg)
+    }
+
+    fn solve_impl(
+        &mut self,
+        a: &SolverArrays,
+        loads: Loads<'_>,
+        cfg: &SolverConfig,
+    ) -> Result<TensorBatchResult, DeviceError> {
+        let wall0 = Instant::now();
+        let nb = loads.len();
+        assert!(nb >= 1, "batch must contain at least one scenario");
+        let n = a.len();
+        let v0 = a.source;
+
+        if cfg.validate().is_err() {
+            return Ok(TensorBatchResult {
+                v: if self.keep_state { vec![vec![v0; n]; nb] } else { Vec::new() },
+                j: if self.keep_state { vec![vec![Complex::ZERO; n]; nb] } else { Vec::new() },
+                iterations: 0,
+                per_scenario_iterations: vec![0; nb],
+                statuses: vec![SolveStatus::InvalidConfig; nb],
+                residuals: vec![f64::INFINITY; nb],
+                residual: f64::INFINITY,
+                timing: Timing::default(),
+                scenarios_per_sec: 0.0,
+                fault_report: None,
+            });
+        }
+
+        let obs = Obs::new(self.recorder.as_ref(), "solver.tensor-batch");
+        let armed = self.device.fault_plan().is_some();
+        let faults_before = self.device.fault_log().len();
+        let chunk_cap = self.chunk_cap.min(nb);
+
+        let mut out = Outcome::new(nb, self.keep_state);
+        let mut phases = PhaseTimes::default();
+        let mut transfer_us = 0.0;
+        let mut transfer_sweep_us = 0.0;
+        let mut retries_total = 0u32;
+        let mut degraded = false;
+
+        // ---- Topology upload (once; re-done only on chunk retry).
+        // Transient faults (injected alloc-OOM, transfer failures) get
+        // the retry budget; a device that stays broken degrades every
+        // chunk to the host path below.
+        let mark = self.device.timeline().mark();
+        let mut topo = None;
+        for attempt in 0..=cfg.max_recoveries {
+            if self.device.is_lost() {
+                break;
+            }
+            match Topology::upload(&mut self.device, a) {
+                Ok(t) => {
+                    topo = Some(t);
+                    break;
+                }
+                Err(_) => {
+                    if attempt < cfg.max_recoveries {
+                        retries_total += 1;
+                    }
+                }
+            }
+        }
+        let b = self.device.timeline().breakdown_since(mark);
+        phases.setup_us += b.total_us();
+        transfer_us += b.htod_us + b.dtoh_us;
+
+        let mut chunk_start = 0usize;
+        while chunk_start < nb {
+            let chunk = chunk_cap.min(nb - chunk_start);
+            let range = chunk_start..chunk_start + chunk;
+            let chunk_t0 = phases.total_us();
+
+            // Retry the chunk on transient faults; degrade to the host
+            // when the device is lost or the budget runs out — device
+            // weather never escapes as an `Err`.
+            let mut attempts = 0u32;
+            loop {
+                if topo.is_none() || self.device.is_lost() {
+                    degraded = true;
+                    break;
+                }
+                // Corrupted index buffers can drive a kernel out of
+                // bounds; the engine propagates the panic, which is just
+                // another device fault: catch it and restart the chunk.
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    run_chunk(
+                        &mut self.device,
+                        a,
+                        topo.as_ref().expect("topology resident"),
+                        &loads,
+                        range.clone(),
+                        cfg,
+                        armed,
+                        &obs,
+                        &mut phases,
+                        &mut transfer_us,
+                        &mut transfer_sweep_us,
+                        &mut out,
+                    )
+                }));
+                match attempt {
+                    Ok(Ok(())) => break,
+                    Ok(Err(_)) | Err(_) if self.device.is_lost() => {
+                        degraded = true;
+                        break;
+                    }
+                    Ok(Err(_)) | Err(_) => {
+                        if attempts >= cfg.max_recoveries {
+                            degraded = true;
+                            break;
+                        }
+                        attempts += 1;
+                        retries_total += 1;
+                        obs.instant("chunk-retry", phases.total_us());
+                        // Re-upload the topology: the fault may have
+                        // corrupted resident buffers.
+                        let mark = self.device.timeline().mark();
+                        match Topology::upload(&mut self.device, a) {
+                            Ok(t) => topo = Some(t),
+                            Err(_) => {
+                                degraded = true;
+                                topo = None;
+                            }
+                        }
+                        let b = self.device.timeline().breakdown_since(mark);
+                        phases.setup_us += b.total_us();
+                        transfer_us += b.htod_us + b.dtoh_us;
+                        if degraded {
+                            break;
+                        }
+                    }
+                }
+            }
+
+            if degraded {
+                // Host fallback for every scenario of this chunk.
+                let t0 = phases.total_us();
+                let serial = SerialSolver::new(HostProps::paper_rig());
+                for s in range.clone() {
+                    let res = serial.solve_arrays(&repair_arrays(a, &loads, s), cfg);
+                    out.absorb_serial(s, res, true);
+                }
+                phases.teardown_us += out.repair_us;
+                out.repair_us = 0.0;
+                obs.phase("fallback", t0, phases.total_us());
+            }
+
+            obs.batch_chunk(chunk_start / chunk_cap, chunk, chunk_t0, phases.total_us());
+            chunk_start += chunk;
+        }
+
+        let faults_seen = (self.device.fault_log().len() - faults_before) as u32;
+        let timing = Timing {
+            phases,
+            transfer_us,
+            transfer_sweep_us,
+            wall_us: wall0.elapsed().as_secs_f64() * 1e6,
+        };
+        let total_us = timing.total_us();
+        let scenarios_per_sec = if total_us > 0.0 { nb as f64 / (total_us * 1e-6) } else { 0.0 };
+        obs.batch_summary(nb, scenarios_per_sec);
+
+        let fault_report = (armed || faults_seen > 0 || retries_total > 0).then(|| FaultReport {
+            faults_injected: faults_seen,
+            rollbacks: 0,
+            retries: retries_total,
+            checkpoints: 0,
+            checkpoint_us: 0.0,
+            backends: if degraded {
+                vec!["tensor-gpu".to_string(), "cpu-serial".to_string()]
+            } else {
+                vec!["tensor-gpu".to_string()]
+            },
+        });
+
+        let residual =
+            out.residuals.iter().fold(0.0f64, |acc, &r| MaxAbsF64::combine(acc, r));
+        Ok(TensorBatchResult {
+            iterations: out.per_scenario_iterations.iter().copied().max().unwrap_or(0),
+            v: out.v,
+            j: out.j,
+            per_scenario_iterations: out.per_scenario_iterations,
+            statuses: out.statuses,
+            residuals: out.residuals,
+            residual,
+            timing,
+            scenarios_per_sec,
+            fault_report,
+        })
+    }
+}
+
+/// Accumulates per-scenario outputs across chunks.
+struct Outcome {
+    v: Vec<Vec<Complex>>,
+    j: Vec<Vec<Complex>>,
+    per_scenario_iterations: Vec<u32>,
+    statuses: Vec<SolveStatus>,
+    residuals: Vec<f64>,
+    keep_state: bool,
+    repairs: u32,
+    repair_us: f64,
+}
+
+impl Outcome {
+    fn new(nb: usize, keep_state: bool) -> Self {
+        Outcome {
+            v: if keep_state { vec![Vec::new(); nb] } else { Vec::new() },
+            j: if keep_state { vec![Vec::new(); nb] } else { Vec::new() },
+            per_scenario_iterations: vec![0; nb],
+            statuses: vec![SolveStatus::MaxIterations; nb],
+            residuals: vec![f64::INFINITY; nb],
+            keep_state,
+            repairs: 0,
+            repair_us: 0.0,
+        }
+    }
+
+    /// Replaces scenario `s` with a serial solve outcome. `recovered`
+    /// upgrades a converged serial status to [`SolveStatus::Recovered`]
+    /// (the payload is patched by the caller at the end via
+    /// `fault_report`; counts here are per-scenario bookkeeping).
+    fn absorb_serial(&mut self, s: usize, res: crate::report::SolveResult, recovered: bool) {
+        self.per_scenario_iterations[s] = res.iterations;
+        self.residuals[s] = res.residual;
+        self.statuses[s] = if recovered && res.status == SolveStatus::Converged {
+            SolveStatus::Recovered { faults: 1, retries: 1 }
+        } else {
+            res.status
+        };
+        if self.keep_state {
+            self.v[s] = res.v;
+            self.j[s] = res.j;
+        }
+        self.repairs += 1;
+        self.repair_us += res.timing.total_us();
+    }
+}
+
+/// Resident topology buffers (position space, size `n`).
+struct Topology {
+    z: DeviceBuffer<Complex>,
+    parent_pos: DeviceBuffer<u32>,
+    child_lo: DeviceBuffer<u32>,
+    child_hi: DeviceBuffer<u32>,
+    /// Base loads in position space (the scaled-mode operand).
+    base_s: DeviceBuffer<Complex>,
+}
+
+impl Topology {
+    fn upload(dev: &mut Device, a: &SolverArrays) -> Result<Self, DeviceError> {
+        Ok(Topology {
+            z: dev.try_alloc_from(&a.z)?,
+            parent_pos: dev.try_alloc_from(&a.parent_pos)?,
+            child_lo: dev.try_alloc_from(&a.child_lo)?,
+            child_hi: dev.try_alloc_from(&a.child_hi)?,
+            base_s: dev.try_alloc_from(&a.s)?,
+        })
+    }
+
+    /// Reads every static buffer back and compares against the host
+    /// truth (the audit's first line of defence).
+    fn verify(&self, dev: &mut Device, a: &SolverArrays) -> Result<bool, DeviceError> {
+        Ok(dev.try_dtoh(&self.z)? == a.z
+            && dev.try_dtoh(&self.parent_pos)? == a.parent_pos
+            && dev.try_dtoh(&self.child_lo)? == a.child_lo
+            && dev.try_dtoh(&self.child_hi)? == a.child_hi
+            && dev.try_dtoh(&self.base_s)? == a.s)
+    }
+}
+
+/// Position-space loads of one scenario (the serial repair operand).
+fn repair_arrays(a: &SolverArrays, loads: &Loads<'_>, s: usize) -> SolverArrays {
+    let mut a2 = a.clone();
+    match loads {
+        Loads::Explicit(sc) => {
+            for (p, slot) in a2.s.iter_mut().enumerate() {
+                *slot = sc[s][a.levels.order[p] as usize];
+            }
+        }
+        Loads::Scaled(scales) => {
+            for slot in a2.s.iter_mut() {
+                *slot = *slot * scales[s];
+            }
+        }
+    }
+    a2
+}
+
+/// Scenario-load device views for the fused kernels.
+enum LoadsRef<'a> {
+    Explicit(GlobalRef<'a, Complex>),
+    Scaled { base: GlobalRef<'a, Complex>, scales: GlobalRef<'a, f64> },
+}
+
+/// Runs one chunk of scenarios to completion on the device, including the
+/// armed-plan audit, writing results into `out`.
+#[allow(clippy::too_many_arguments)]
+fn run_chunk(
+    dev: &mut Device,
+    a: &SolverArrays,
+    topo: &Topology,
+    loads: &Loads<'_>,
+    range: std::ops::Range<usize>,
+    cfg: &SolverConfig,
+    armed: bool,
+    obs: &Obs,
+    phases: &mut PhaseTimes,
+    transfer_us: &mut f64,
+    transfer_sweep_us: &mut f64,
+    out: &mut Outcome,
+) -> Result<(), DeviceError> {
+    let n = a.len();
+    let nb = range.len();
+    let v0 = a.source;
+    let level_offsets: Vec<u32> = a.levels.level_offsets.clone();
+
+    // ---- Per-chunk state (setup).
+    let mark = dev.timeline().mark();
+    let mut s_slab: Option<DeviceBuffer<Complex>> = None;
+    let mut scale_buf: Option<DeviceBuffer<f64>> = None;
+    let mut s_host: Vec<Complex> = Vec::new();
+    match loads {
+        Loads::Explicit(scenarios) => {
+            s_host = vec![Complex::ZERO; nb * n];
+            for ls in 0..nb {
+                let sc = &scenarios[range.start + ls];
+                for p in 0..n {
+                    s_host[ls * n + p] = sc[a.levels.order[p] as usize];
+                }
+            }
+            s_slab = Some(dev.try_alloc_from(&s_host)?);
+        }
+        Loads::Scaled(scales) => {
+            scale_buf = Some(dev.try_alloc_from(&scales[range.clone()])?);
+        }
+    }
+    let mut v_buf = dev.try_alloc::<Complex>(nb * n)?;
+    try_fill(dev, &mut v_buf, v0)?;
+    let mut j_buf = dev.try_alloc::<Complex>(nb * n)?;
+    let mut mask_buf = dev.try_alloc_from(&vec![1u32; nb])?;
+    let mut res_buf = dev.try_alloc::<f64>(nb)?;
+    try_fill(dev, &mut res_buf, 0.0)?;
+    let b = dev.timeline().breakdown_since(mark);
+    phases.setup_us += b.total_us();
+    *transfer_us += b.htod_us + b.dtoh_us;
+
+    // ---- Per-scenario monitors and masks.
+    let mut monitors: Vec<ConvergenceMonitor> =
+        (0..nb).map(|_| ConvergenceMonitor::new(cfg, v0.abs())).collect();
+    let tol = monitors[0].tol();
+    let mut mask_host = vec![1u32; nb];
+    let mut active = nb;
+    let mut frozen_status: Vec<Option<SolveStatus>> = vec![None; nb];
+    let mut last_residual = vec![f64::INFINITY; nb];
+    let mut iters_done = vec![0u32; nb];
+    // The sweep packs SCENARIOS_PER_BLOCK scenarios per block to amortise
+    // topology reads; the audit maps one block per scenario.
+    let grid_sweep =
+        LaunchConfig::grid2d(1, nb.div_ceil(SCENARIOS_PER_BLOCK) as u32, TENSOR_BLOCK);
+    let grid_audit = LaunchConfig::grid2d(1, nb as u32, TENSOR_BLOCK);
+
+    let mut iteration = 0u32;
+    while active > 0 && iteration < cfg.max_iter {
+        iteration += 1;
+        let iter_t0 = phases.total_us();
+
+        // One fused sweep launch per iteration: backward, forward, and
+        // the in-block residual fold. The launch cannot be split into
+        // per-half timings, so its whole modeled time is charged to
+        // `backward_us` (`forward_us` stays 0 in the tensor engine, like
+        // `injection_us` — both are fused into the same kernel).
+        let mark = dev.timeline().mark();
+        {
+            let kernel = SweepKernel {
+                loads: loads_ref(&s_slab, &scale_buf, topo),
+                v: v_buf.view_mut(),
+                j: j_buf.view_mut(),
+                z: topo.z.view(),
+                parent_pos: topo.parent_pos.view(),
+                child_lo: topo.child_lo.view(),
+                child_hi: topo.child_hi.view(),
+                mask: mask_buf.view(),
+                residuals: res_buf.view_mut(),
+                level_offsets: &level_offsets,
+                n,
+                nb,
+            };
+            dev.try_launch(grid_sweep, &kernel)?;
+        }
+        phases.backward_us += dev.timeline().breakdown_since(mark).total_us();
+        obs.phase("sweep", iter_t0, phases.total_us());
+
+        // Per-scenario convergence triage on the host.
+        let conv_t0 = phases.total_us();
+        let mark = dev.timeline().mark();
+        let residuals = dev.try_dtoh(&res_buf)?;
+        let mut any_froze = false;
+        let mut worst_active = 0.0f64;
+        for ls in 0..nb {
+            if mask_host[ls] == 0 {
+                continue;
+            }
+            let r = residuals[ls];
+            last_residual[ls] = r;
+            iters_done[ls] = iteration;
+            worst_active = MaxAbsF64::combine(worst_active, r);
+            if let Some(status) = monitors[ls].observe(iteration, r) {
+                frozen_status[ls] = Some(status);
+                mask_host[ls] = 0;
+                active -= 1;
+                any_froze = true;
+            }
+        }
+        if any_froze && active > 0 {
+            dev.try_htod(&mut mask_buf, &mask_host)?;
+        }
+        let b = dev.timeline().breakdown_since(mark);
+        phases.convergence_us += b.total_us();
+        *transfer_us += b.htod_us + b.dtoh_us;
+        *transfer_sweep_us += b.htod_us + b.dtoh_us;
+        obs.phase("convergence", conv_t0, phases.total_us());
+        obs.iteration(iteration, iter_t0, phases.total_us(), worst_active);
+
+        // Modeled deadline covers the scenarios still running.
+        if let Some(budget) = cfg.deadline_us {
+            let elapsed = phases.total_us();
+            if elapsed >= budget && active > 0 {
+                for ls in 0..nb {
+                    if mask_host[ls] == 1 {
+                        mask_host[ls] = 0;
+                        frozen_status[ls] = Some(SolveStatus::DeadlineExceeded {
+                            at_iteration: iteration,
+                            elapsed_us: elapsed as u64,
+                        });
+                    }
+                }
+                active = 0;
+            }
+        }
+    }
+
+    // ---- Audit (armed plans only): static readback compare + one
+    // no-commit iteration, per-scenario ∞-norm via the batched reduce.
+    let mut suspicious = vec![false; nb];
+    if armed {
+        let audit_t0 = phases.total_us();
+        let mark = dev.timeline().mark();
+        let statics_ok = topo.verify(dev, a)?
+            && match (&s_slab, &scale_buf, loads) {
+                (Some(buf), _, _) => dev.try_dtoh(buf)? == s_host,
+                (_, Some(buf), Loads::Scaled(scales)) => {
+                    dev.try_dtoh(buf)? == scales[range.clone()]
+                }
+                _ => true,
+            };
+        if !statics_ok {
+            suspicious.iter_mut().for_each(|f| *f = true);
+        } else {
+            let mut j_audit = dev.try_alloc::<Complex>(nb * n)?;
+            let mut v_audit = dev.try_alloc::<Complex>(nb * n)?;
+            let mut delta = dev.try_alloc::<f64>(nb * n)?;
+            {
+                let kernel = AuditKernel {
+                    loads: loads_ref(&s_slab, &scale_buf, topo),
+                    v: v_buf.view(),
+                    j: j_buf.view(),
+                    j_audit: j_audit.view_mut(),
+                    v_audit: v_audit.view_mut(),
+                    delta: delta.view_mut(),
+                    z: topo.z.view(),
+                    parent_pos: topo.parent_pos.view(),
+                    child_lo: topo.child_lo.view(),
+                    child_hi: topo.child_hi.view(),
+                    level_offsets: &level_offsets,
+                    n,
+                };
+                dev.try_launch(grid_audit, &kernel)?;
+            }
+            let audit_res = try_reduce_batched::<f64, MaxAbsF64>(dev, &delta, nb)?;
+            for ls in 0..nb {
+                let status = frozen_status[ls].unwrap_or(SolveStatus::MaxIterations);
+                let clean = status.is_converged() && audit_res[ls] <= tol;
+                // A converged scenario failing its audit, or any flagged
+                // failure under an armed plan, goes to the host oracle.
+                suspicious[ls] = !clean;
+            }
+        }
+        let b = dev.timeline().breakdown_since(mark);
+        phases.convergence_us += b.total_us();
+        *transfer_us += b.htod_us + b.dtoh_us;
+        obs.phase("audit", audit_t0, phases.total_us());
+    }
+
+    // ---- Teardown: state download and unbatching.
+    let keep = out.keep_state;
+    let (v_host, j_host) = if keep {
+        let mark = dev.timeline().mark();
+        let v = dev.try_dtoh(&v_buf)?;
+        let j = dev.try_dtoh(&j_buf)?;
+        let b = dev.timeline().breakdown_since(mark);
+        phases.teardown_us += b.total_us();
+        *transfer_us += b.htod_us + b.dtoh_us;
+        (v, j)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+
+    let serial = SerialSolver::new(HostProps::paper_rig());
+    for ls in 0..nb {
+        let s = range.start + ls;
+        if armed && suspicious[ls] {
+            let res = serial.solve_arrays(&repair_arrays(a, loads, s), cfg);
+            out.absorb_serial(s, res, true);
+            continue;
+        }
+        out.per_scenario_iterations[s] = iters_done[ls];
+        out.statuses[s] = frozen_status[ls].unwrap_or(SolveStatus::MaxIterations);
+        out.residuals[s] = last_residual[ls];
+        if keep {
+            out.v[s] = unpermute(a, &v_host[ls * n..(ls + 1) * n]);
+            out.j[s] = unpermute(a, &j_host[ls * n..(ls + 1) * n]);
+        }
+    }
+    phases.teardown_us += out.repair_us;
+    out.repair_us = 0.0;
+    Ok(())
+}
+
+fn loads_ref<'a>(
+    s_slab: &'a Option<DeviceBuffer<Complex>>,
+    scale_buf: &'a Option<DeviceBuffer<f64>>,
+    topo: &'a Topology,
+) -> LoadsRef<'a> {
+    match (s_slab, scale_buf) {
+        (Some(s), _) => LoadsRef::Explicit(s.view()),
+        (_, Some(sc)) => LoadsRef::Scaled { base: topo.base_s.view(), scales: sc.view() },
+        _ => unreachable!("one load source is always present"),
+    }
+}
+
+fn unpermute(a: &SolverArrays, pos: &[Complex]) -> Vec<Complex> {
+    let mut by_bus = vec![Complex::ZERO; pos.len()];
+    for (p, &v) in pos.iter().enumerate() {
+        by_bus[a.levels.order[p] as usize] = v;
+    }
+    by_bus
+}
+
+/// One fused FBS iteration per launch: the backward sweep (injection
+/// inline, levels leaf→root) runs immediately into the forward ladder
+/// sweep (levels root→leaf) as barrier phases of the *same* kernel, one
+/// block per [`SCENARIOS_PER_BLOCK`] scenarios (`blockIdx.y`).
+///
+/// Fusing the two sweeps lets each thread keep the branch current and the
+/// previous-iteration voltage of every node it owns in per-thread locals
+/// between the halves — the sweep assignment is the same strided
+/// `(level, tid + m·bdim)` pattern in both directions, so the forward
+/// half re-reads neither slab from global memory. The locals model
+/// registers (with spill to L1 local memory): `⌈n/bdim⌉ · 32 B` per
+/// thread per resident scenario, ≈ 0.5 KB each on a 4K-node tree at 256
+/// threads. Topology words (impedance, parent, child range, base load)
+/// are read once per node and applied to every resident scenario. The
+/// per-scenario ∞-norm residual accumulates in per-thread locals and
+/// tree-folds through shared memory at the end, so it costs one `f64` of
+/// global traffic per scenario.
+struct SweepKernel<'a> {
+    loads: LoadsRef<'a>,
+    v: GlobalMut<'a, Complex>,
+    j: GlobalMut<'a, Complex>,
+    z: GlobalRef<'a, Complex>,
+    parent_pos: GlobalRef<'a, u32>,
+    child_lo: GlobalRef<'a, u32>,
+    child_hi: GlobalRef<'a, u32>,
+    mask: GlobalRef<'a, u32>,
+    residuals: GlobalMut<'a, f64>,
+    level_offsets: &'a [u32],
+    n: usize,
+    /// Scenarios in the chunk (the last block may hold fewer than
+    /// [`SCENARIOS_PER_BLOCK`]).
+    nb: usize,
+}
+
+impl Kernel for SweepKernel<'_> {
+    fn name(&self) -> &'static str {
+        "tensor_sweep"
+    }
+
+    fn block(&self, blk: &mut BlockScope) {
+        let group = blk.block_idx_y() * SCENARIOS_PER_BLOCK;
+        let group_end = (group + SCENARIOS_PER_BLOCK).min(self.nb);
+        let bdim = blk.block_dim();
+
+        // Active resident scenarios with their load scales; frozen
+        // scenarios cost one 4-byte mask read each and drop out.
+        let mut members: Vec<(usize, f64)> = Vec::new();
+        blk.threads(|t| {
+            if t.tid() == 0 {
+                for s_idx in group..group_end {
+                    if t.ld(&self.mask, s_idx) != 0 {
+                        let scale = match &self.loads {
+                            LoadsRef::Scaled { scales, .. } => t.ld(scales, s_idx),
+                            LoadsRef::Explicit(_) => 0.0,
+                        };
+                        members.push((s_idx, scale));
+                    }
+                }
+            }
+        });
+        if members.is_empty() {
+            return;
+        }
+        let nm = members.len();
+
+        // Per-thread local slots: thread `t` owns node `off + t + m·bdim`
+        // of level `l` at slot `(slot_base[l] + m)·bdim + t`, one bank of
+        // slots per resident scenario.
+        let nl = self.level_offsets.len() - 1;
+        let mut slot_base = vec![0usize; nl + 1];
+        for l in 0..nl {
+            let w = (self.level_offsets[l + 1] - self.level_offsets[l]) as usize;
+            slot_base[l + 1] = slot_base[l] + w.div_ceil(bdim);
+        }
+        let bank = slot_base[nl] * bdim;
+        let mut local_j = vec![Complex::ZERO; nm * bank];
+        let mut local_v = vec![Complex::ZERO; nm * bank];
+
+        // Backward half, leaf→root: injection fused in, children summed
+        // over their contiguous level-order range. Each current is stored
+        // to global (the parent phase and the audit read it there) and
+        // kept in this thread's local slot for the forward half, along
+        // with the pre-update voltage.
+        for l in (0..nl).rev() {
+            let off = self.level_offsets[l] as usize;
+            let w = self.level_offsets[l + 1] as usize - off;
+            let sb = slot_base[l];
+            blk.threads(|t| {
+                let mut k = t.tid();
+                let mut m = 0usize;
+                while k < w {
+                    let p = off + k;
+                    // One topology read per node, shared by the members.
+                    let base_sv = match &self.loads {
+                        LoadsRef::Scaled { base: bs, .. } => Some(t.ld(bs, p)),
+                        LoadsRef::Explicit(_) => None,
+                    };
+                    let lo = t.ld(&self.child_lo, p) as usize;
+                    let hi = t.ld(&self.child_hi, p) as usize;
+                    let slot = (sb + m) * bdim + t.tid();
+                    for (qi, &(s_idx, scale)) in members.iter().enumerate() {
+                        let base = s_idx * self.n;
+                        let g = base + p;
+                        let sv = match (&self.loads, base_sv) {
+                            (_, Some(b)) => {
+                                t.flops(2);
+                                b * scale
+                            }
+                            (LoadsRef::Explicit(s), _) => t.ld(s, g),
+                            _ => unreachable!("scaled loads stage base_sv"),
+                        };
+                        let vv = t.ld_mut(&self.v, g);
+                        let mut acc = if sv == Complex::ZERO {
+                            Complex::ZERO
+                        } else {
+                            t.flops(Complex::DIV_FLOPS + 1);
+                            (sv / vv).conj()
+                        };
+                        for c in lo..hi {
+                            t.flops(Complex::ADD_FLOPS);
+                            acc += t.ld_mut(&self.j, base + c);
+                        }
+                        t.st(&self.j, g, acc);
+                        local_j[qi * bank + slot] = acc;
+                        local_v[qi * bank + slot] = vv;
+                    }
+                    k += bdim;
+                    m += 1;
+                }
+            });
+        }
+
+        // Forward half, root→leaf: the ladder update reads the parent's
+        // fresh voltage from global (written the previous phase) but takes
+        // its own current and previous voltage from the local slots. Each
+        // member's residual partial accumulates per thread in the exact
+        // per-node order of the unfused sweep.
+        let mut partial = vec![0.0f64; nm * bdim];
+        for (l, &sb) in slot_base.iter().enumerate().take(nl).skip(1) {
+            let off = self.level_offsets[l] as usize;
+            let w = self.level_offsets[l + 1] as usize - off;
+            blk.threads(|t| {
+                let tid = t.tid();
+                let mut k = tid;
+                let mut m = 0usize;
+                while k < w {
+                    let p = off + k;
+                    let parent = t.ld(&self.parent_pos, p) as usize;
+                    let zv = t.ld(&self.z, p);
+                    let slot = (sb + m) * bdim + tid;
+                    for (qi, &(s_idx, _)) in members.iter().enumerate() {
+                        let base = s_idx * self.n;
+                        let g = base + p;
+                        let vp = t.ld_mut(&self.v, base + parent);
+                        let jv = local_j[qi * bank + slot];
+                        let old = local_v[qi * bank + slot];
+                        let nv = vp - zv * jv;
+                        t.flops(Complex::MUL_FLOPS + Complex::ADD_FLOPS + 4);
+                        let d = (nv - old).abs();
+                        t.st(&self.v, g, nv);
+                        t.flops(MaxAbsF64::FLOPS);
+                        partial[qi * bdim + tid] =
+                            MaxAbsF64::combine(partial[qi * bdim + tid], d);
+                    }
+                    k += bdim;
+                    m += 1;
+                }
+            });
+        }
+
+        // Tree-fold each member's partials and publish its residual.
+        let sh = blk.shared::<f64>(bdim);
+        for (qi, &(s_idx, _)) in members.iter().enumerate() {
+            blk.threads(|t| {
+                t.sts(&sh, t.tid(), partial[qi * bdim + t.tid()]);
+            });
+            let mut stride = bdim / 2;
+            while stride > 0 {
+                blk.threads(|t| {
+                    let tid = t.tid();
+                    if tid < stride {
+                        let a = t.lds(&sh, tid);
+                        let c = t.lds(&sh, tid + stride);
+                        t.flops(MaxAbsF64::FLOPS);
+                        t.sts(&sh, tid, MaxAbsF64::combine(a, c));
+                    }
+                });
+                stride /= 2;
+            }
+            blk.threads(|t| {
+                if t.tid() == 0 {
+                    let r = t.lds(&sh, 0);
+                    t.st(&self.residuals, s_idx, r);
+                }
+            });
+        }
+    }
+}
+
+/// One *no-commit* iteration for the integrity audit: recomputes branch
+/// currents and next-iteration voltages into scratch slabs (the resident
+/// state is untouched) and writes per-node `|ΔV|`. A scenario at a true
+/// fixed point audits at or below its final residual; corrupted state,
+/// a premature convergence, or a poisoned stripe audits above tolerance
+/// (or NaN) and is routed to the host oracle.
+struct AuditKernel<'a> {
+    loads: LoadsRef<'a>,
+    v: GlobalRef<'a, Complex>,
+    j: GlobalRef<'a, Complex>,
+    j_audit: GlobalMut<'a, Complex>,
+    v_audit: GlobalMut<'a, Complex>,
+    delta: GlobalMut<'a, f64>,
+    z: GlobalRef<'a, Complex>,
+    parent_pos: GlobalRef<'a, u32>,
+    child_lo: GlobalRef<'a, u32>,
+    child_hi: GlobalRef<'a, u32>,
+    level_offsets: &'a [u32],
+    n: usize,
+}
+
+impl Kernel for AuditKernel<'_> {
+    fn name(&self) -> &'static str {
+        "tensor_audit"
+    }
+
+    fn block(&self, blk: &mut BlockScope) {
+        let s_idx = blk.block_idx_y();
+        let base = s_idx * self.n;
+        let bdim = blk.block_dim();
+
+        let mut scale = 0.0f64;
+        blk.threads(|t| {
+            if t.tid() == 0 {
+                if let LoadsRef::Scaled { scales, .. } = &self.loads {
+                    scale = t.ld(scales, s_idx);
+                }
+            }
+        });
+
+        let nl = self.level_offsets.len() - 1;
+        // Backward into the scratch currents.
+        for l in (0..nl).rev() {
+            let off = self.level_offsets[l] as usize;
+            let w = self.level_offsets[l + 1] as usize - off;
+            blk.threads(|t| {
+                let mut k = t.tid();
+                while k < w {
+                    let p = off + k;
+                    let g = base + p;
+                    let sv = match &self.loads {
+                        LoadsRef::Explicit(s) => t.ld(s, g),
+                        LoadsRef::Scaled { base: bs, .. } => {
+                            let b = t.ld(bs, p);
+                            t.flops(2);
+                            b * scale
+                        }
+                    };
+                    let mut acc = if sv == Complex::ZERO {
+                        Complex::ZERO
+                    } else {
+                        let vv = t.ld(&self.v, g);
+                        t.flops(Complex::DIV_FLOPS + 1);
+                        (sv / vv).conj()
+                    };
+                    let lo = t.ld(&self.child_lo, p) as usize;
+                    let hi = t.ld(&self.child_hi, p) as usize;
+                    for c in lo..hi {
+                        t.flops(Complex::ADD_FLOPS);
+                        acc += t.ld_mut(&self.j_audit, base + c);
+                    }
+                    t.st(&self.j_audit, g, acc);
+                    k += bdim;
+                }
+            });
+        }
+        // Forward into the scratch voltages, exactly the ladder update.
+        // Each position's delta folds the voltage drift with a relative
+        // branch-current cross-check: the recomputed current of a true
+        // fixed point agrees with the resident one to O(tol), while a
+        // flipped exponent bit shifts it by a factor of two or more —
+        // this catches corruption of a frozen scenario's current slab,
+        // which no voltage-only audit can see.
+        for l in 0..nl {
+            let off = self.level_offsets[l] as usize;
+            let w = self.level_offsets[l + 1] as usize - off;
+            blk.threads(|t| {
+                let mut k = t.tid();
+                while k < w {
+                    let p = off + k;
+                    let g = base + p;
+                    let ja = t.ld_mut(&self.j_audit, g);
+                    let jr = t.ld(&self.j, g);
+                    let denom = ja.abs() + jr.abs();
+                    t.flops(10);
+                    let jerr = if denom > 1e-300 {
+                        let rel = (ja - jr).abs() / denom;
+                        // NaN currents are flagged alongside mismatches.
+                        if rel > 0.25 || rel.is_nan() {
+                            f64::INFINITY
+                        } else {
+                            0.0
+                        }
+                    } else {
+                        0.0
+                    };
+                    if l == 0 {
+                        let root = t.ld(&self.v, g);
+                        t.st(&self.v_audit, g, root);
+                        t.st(&self.delta, g, jerr);
+                    } else {
+                        let parent = t.ld(&self.parent_pos, p) as usize;
+                        let vp = t.ld_mut(&self.v_audit, base + parent);
+                        let zv = t.ld(&self.z, p);
+                        let nv = vp - zv * ja;
+                        t.flops(Complex::MUL_FLOPS + Complex::ADD_FLOPS + 4);
+                        let old = t.ld(&self.v, g);
+                        t.st(&self.v_audit, g, nv);
+                        t.flops(MaxAbsF64::FLOPS);
+                        t.st(&self.delta, g, MaxAbsF64::combine((nv - old).abs(), jerr));
+                    }
+                    k += bdim;
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numc::c;
+    use powergrid::gen::{balanced_binary, chain, random_tree, star, GenSpec};
+    use powergrid::ieee::{ieee13, ieee37};
+    use rng::rngs::StdRng;
+    use rng::SeedableRng;
+    use simt::DeviceProps;
+
+    fn device() -> Device {
+        Device::with_workers(DeviceProps::paper_rig(), 2)
+    }
+
+    fn solver() -> TensorBatchSolver {
+        TensorBatchSolver::new(device())
+    }
+
+    fn base_loads(net: &RadialNetwork) -> Vec<Complex> {
+        net.buses().iter().map(|b| b.load).collect()
+    }
+
+    fn scaled_scenarios(net: &RadialNetwork, scales: &[f64]) -> Vec<Vec<Complex>> {
+        let base = base_loads(net);
+        scales.iter().map(|&sc| base.iter().map(|&s| s * sc).collect()).collect()
+    }
+
+    #[test]
+    fn matches_serial_per_scenario_on_ieee_feeders() {
+        let cfg = SolverConfig::default();
+        for net in [ieee13(), ieee37()] {
+            let scales = [0.5, 1.0, 1.3];
+            let res = solver().solve(&net, &scaled_scenarios(&net, &scales), &cfg);
+            assert!(res.converged(), "{:?}", res.statuses);
+            let a = SolverArrays::new(&net);
+            for (s, &sc) in scales.iter().enumerate() {
+                let mut a2 = a.clone();
+                for slot in a2.s.iter_mut() {
+                    *slot = *slot * sc;
+                }
+                let serial = SerialSolver::new(HostProps::paper_rig()).solve_arrays(&a2, &cfg);
+                assert_eq!(
+                    res.per_scenario_iterations[s], serial.iterations,
+                    "scenario {s} iteration parity"
+                );
+                for bus in 0..net.num_buses() {
+                    let d = (res.v[s][bus] - serial.v[bus]).abs();
+                    assert!(d < 1e-9, "scenario {s} bus {bus} off by {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_mode_matches_explicit_mode_bitwise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = random_tree(300, 6, &GenSpec::default(), &mut rng);
+        let cfg = SolverConfig::default();
+        let scales: Vec<f64> = (0..9).map(|k| 0.55 + 0.1 * k as f64).collect();
+        let explicit = solver().solve(&net, &scaled_scenarios(&net, &scales), &cfg);
+        let scaled = solver().solve_scaled(&net, &scales, &cfg);
+        assert!(explicit.converged() && scaled.converged());
+        assert_eq!(explicit.per_scenario_iterations, scaled.per_scenario_iterations);
+        assert_eq!(explicit.residuals, scaled.residuals);
+        for s in 0..scales.len() {
+            assert_eq!(explicit.v[s], scaled.v[s], "scenario {s}");
+            assert_eq!(explicit.j[s], scaled.j[s], "scenario {s}");
+        }
+    }
+
+    #[test]
+    fn chunked_solve_is_identical_to_unchunked() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let net = random_tree(150, 5, &GenSpec::default(), &mut rng);
+        let cfg = SolverConfig::default();
+        let scales: Vec<f64> = (0..23).map(|k| 0.6 + 0.03 * k as f64).collect();
+        let whole = solver().solve_scaled(&net, &scales, &cfg);
+        let chunked = TensorBatchSolver::new(device())
+            .with_chunk_scenarios(4)
+            .solve_scaled(&net, &scales, &cfg);
+        assert_eq!(whole.statuses, chunked.statuses);
+        assert_eq!(whole.per_scenario_iterations, chunked.per_scenario_iterations);
+        assert_eq!(whole.residuals, chunked.residuals);
+        for s in 0..scales.len() {
+            assert_eq!(whole.v[s], chunked.v[s], "scenario {s}");
+        }
+    }
+
+    #[test]
+    fn masks_divergent_scenarios_without_perturbing_the_rest() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let net = random_tree(120, 8, &GenSpec::default(), &mut rng);
+        let cfg = SolverConfig::default();
+        let healthy = [0.6, 0.9, 1.2];
+        let clean = solver().solve(&net, &scaled_scenarios(&net, &healthy), &cfg);
+        assert!(clean.converged(), "{:?}", clean.statuses);
+
+        let mut scenarios = scaled_scenarios(&net, &healthy);
+        scenarios.push(base_loads(&net).iter().map(|&s| s * 1e6).collect());
+        let mixed = solver().solve(&net, &scenarios, &cfg);
+        for s in 0..3 {
+            assert_eq!(mixed.statuses[s], SolveStatus::Converged);
+            assert_eq!(mixed.v[s], clean.v[s], "healthy lane {s} perturbed");
+            assert_eq!(
+                mixed.per_scenario_iterations[s],
+                clean.per_scenario_iterations[s]
+            );
+        }
+        assert!(!mixed.statuses[3].is_converged());
+        assert!(!mixed.converged());
+        assert_eq!(mixed.worst_status(), mixed.statuses[3]);
+        // The sick lane froze early — it must not drag the batch loop.
+        assert!(
+            mixed.per_scenario_iterations[3] < cfg.max_iter,
+            "divergence must freeze early, ran {}",
+            mixed.per_scenario_iterations[3]
+        );
+        assert_eq!(mixed.iterations, clean.iterations);
+    }
+
+    #[test]
+    fn nan_load_is_a_numerical_failure_with_its_freeze_iteration() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let net = random_tree(60, 8, &GenSpec::default(), &mut rng);
+        let cfg = SolverConfig::default();
+        let mut sick = base_loads(&net);
+        sick[7] = c(f64::NAN, 0.0);
+        let res = solver().solve(&net, &[base_loads(&net), sick], &cfg);
+        assert_eq!(res.statuses[0], SolveStatus::Converged);
+        match res.statuses[1] {
+            SolveStatus::NumericalFailure { at_iteration } => {
+                assert_eq!(at_iteration, res.per_scenario_iterations[1]);
+                assert!(at_iteration < cfg.max_iter);
+            }
+            other => panic!("NaN load must be a numerical failure, got {other}"),
+        }
+    }
+
+    #[test]
+    fn stats_only_mode_reports_without_state() {
+        let net = ieee37();
+        let res = TensorBatchSolver::new(device()).stats_only().solve_scaled(
+            &net,
+            &[0.8, 1.0, 1.1],
+            &SolverConfig::default(),
+        );
+        assert!(res.converged());
+        assert!(res.v.is_empty() && res.j.is_empty());
+        assert_eq!(res.per_scenario_iterations.len(), 3);
+        assert!(res.scenarios_per_sec > 0.0);
+    }
+
+    #[test]
+    fn launches_are_one_per_iteration_not_per_level() {
+        let mut rng = StdRng::seed_from_u64(17);
+        // A deep chain would cost hundreds of launches per iteration in
+        // the per-level batch solver.
+        let net = chain(512, &GenSpec::default(), &mut rng);
+        let mut s = solver();
+        let res = s.solve_scaled(&net, &[0.9, 1.0, 1.1, 1.2], &SolverConfig::default());
+        assert!(res.converged());
+        let kernels = s.device().timeline().breakdown().kernels;
+        // 1 fused sweep/iteration + 2 fills; freezing scenarios never add
+        // launches.
+        assert!(
+            kernels as u32 <= res.iterations + 2,
+            "expected fused launches, got {kernels} for {} iterations",
+            res.iterations
+        );
+    }
+
+    #[test]
+    fn star_and_binary_topologies_converge_and_match_serial() {
+        let cfg = SolverConfig::default();
+        let spec = GenSpec::default();
+        let mut rng = StdRng::seed_from_u64(23);
+        for net in [balanced_binary(255, &spec, &mut rng), star(200, &spec, &mut rng)] {
+            let res = solver().solve_scaled(&net, &[1.0], &cfg);
+            assert!(res.converged());
+            let serial =
+                SerialSolver::new(HostProps::paper_rig()).solve(&net, &cfg);
+            for bus in 0..net.num_buses() {
+                let d = (res.v[0][bus] - serial.v[bus]).abs();
+                assert!(d < 1e-9, "bus {bus} off by {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_config_short_circuits() {
+        let net = ieee13();
+        let mut cfg = SolverConfig::default();
+        cfg.max_iter = 0;
+        let res = solver().solve_scaled(&net, &[1.0, 2.0], &cfg);
+        assert_eq!(res.statuses, vec![SolveStatus::InvalidConfig; 2]);
+        assert_eq!(res.iterations, 0);
+        assert_eq!(res.scenarios_per_sec, 0.0);
+    }
+
+    #[test]
+    fn single_bus_network_converges_immediately() {
+        let mut b = powergrid::NetworkBuilder::new(c(240.0, 0.0));
+        b.add_bus(Complex::ZERO);
+        let net = b.build().unwrap();
+        let res = solver().solve_scaled(&net, &[1.0], &SolverConfig::default());
+        assert!(res.converged());
+        assert_eq!(res.v[0][0], c(240.0, 0.0));
+        assert_eq!(res.per_scenario_iterations, vec![1]);
+    }
+
+    #[test]
+    fn throughput_headline_is_positive_and_finite() {
+        let net = ieee37();
+        let res = solver().solve_scaled(&net, &[0.9, 1.0], &SolverConfig::default());
+        assert!(res.scenarios_per_sec.is_finite() && res.scenarios_per_sec > 0.0);
+        let expect = 2.0 / (res.timing.total_us() * 1e-6);
+        assert!((res.scenarios_per_sec - expect).abs() < 1e-6 * expect);
+    }
+}

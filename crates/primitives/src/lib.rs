@@ -41,7 +41,9 @@ mod segscan;
 
 pub use compact::compact;
 pub use map::{fill, gather, launch_map, launch_map_with_block, scatter, try_fill, try_launch_map};
-pub use reduce::{reduce, try_reduce, REDUCE_BLOCK, REDUCE_TILE};
+pub use reduce::{
+    reduce, reduce_batched, try_reduce, try_reduce_batched, REDUCE_BLOCK, REDUCE_TILE,
+};
 pub use scan::{scan_exclusive, scan_inclusive, try_scan_exclusive, SCAN_BLOCK, SCAN_TILE};
 pub use segscan::{
     segment_reduce_direct, segment_totals, segscan_inclusive, segscan_inclusive_range,

@@ -115,6 +115,135 @@ fn reduce_level<T: DeviceCopy, Op: ScanOp<T>>(
     Ok(partials)
 }
 
+/// Batched reduction kernel over a 2-D launch: `blockIdx.y` selects the
+/// segment, the x blocks tile that segment. Same Harris tree fold as
+/// [`ReduceKernel`], but every segment folds independently in one launch —
+/// the per-scenario ∞-norm pattern of the tensor batch engine.
+struct BatchedReduceKernel<'a, T, Op> {
+    input: GlobalRef<'a, T>,
+    partials: GlobalMut<'a, T>,
+    seg_len: usize,
+    _op: PhantomData<fn() -> Op>,
+}
+
+impl<T: DeviceCopy, Op: ScanOp<T>> Kernel for BatchedReduceKernel<'_, T, Op> {
+    fn name(&self) -> &'static str {
+        "reduce_batched"
+    }
+
+    fn block(&self, blk: &mut BlockScope) {
+        let b = blk.block_dim();
+        let seg = blk.block_idx_y();
+        let grid_x = blk.grid_dim();
+        let seg_base = seg * self.seg_len;
+        let tile_base = blk.block_idx_x() * REDUCE_TILE;
+        let sh = blk.shared::<T>(b);
+
+        blk.threads(|t| {
+            let i = tile_base + t.tid();
+            let j = i + b;
+            let lo = if i < self.seg_len {
+                t.ld(&self.input, seg_base + i)
+            } else {
+                Op::identity()
+            };
+            let hi = if j < self.seg_len {
+                t.ld(&self.input, seg_base + j)
+            } else {
+                Op::identity()
+            };
+            t.flops(Op::FLOPS);
+            t.sts(&sh, t.tid(), Op::combine(lo, hi));
+        });
+
+        let mut stride = b / 2;
+        while stride > 0 {
+            blk.threads(|t| {
+                let tid = t.tid();
+                if tid < stride {
+                    let a = t.lds(&sh, tid);
+                    let c = t.lds(&sh, tid + stride);
+                    t.flops(Op::FLOPS);
+                    t.sts(&sh, tid, Op::combine(a, c));
+                }
+            });
+            stride /= 2;
+        }
+
+        // Thread 0 publishes one partial per (segment, x-block), keeping
+        // the segment-major layout so the next level reduces in place.
+        blk.threads(|t| {
+            if t.tid() == 0 {
+                let v = t.lds(&sh, 0);
+                t.st(&self.partials, seg * grid_x + t.block_idx_x(), v);
+            }
+        });
+    }
+}
+
+/// Reduces `segments` equal-length segments of a device buffer to one host
+/// value each under operator `Op` (input laid out segment-major:
+/// `input[seg * seg_len + i]`).
+///
+/// Zero segments return an empty vector; zero-length segments return
+/// `Op::identity()` per segment — neither touches the device. Panics if
+/// the buffer length is not a multiple of `segments`.
+pub fn reduce_batched<T: DeviceCopy, Op: ScanOp<T>>(
+    dev: &mut Device,
+    input: &DeviceBuffer<T>,
+    segments: usize,
+) -> Vec<T> {
+    try_reduce_batched::<T, Op>(dev, input, segments).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`reduce_batched`]: surfaces injected faults and device loss
+/// as [`DeviceError`] instead of panicking.
+pub fn try_reduce_batched<T: DeviceCopy, Op: ScanOp<T>>(
+    dev: &mut Device,
+    input: &DeviceBuffer<T>,
+    segments: usize,
+) -> Result<Vec<T>, DeviceError> {
+    if segments == 0 {
+        return Ok(Vec::new());
+    }
+    assert_eq!(
+        input.len() % segments,
+        0,
+        "batched reduce needs equal-length segments ({} elements / {segments} segments)",
+        input.len()
+    );
+    let seg_len = input.len() / segments;
+    if seg_len == 0 {
+        return Ok(vec![Op::identity(); segments]);
+    }
+    let mut current: Option<DeviceBuffer<T>> = None;
+    let mut len = seg_len;
+    while len > 1 || current.is_none() {
+        let grid_x = len.div_ceil(REDUCE_TILE).max(1);
+        let mut partials = dev.try_alloc::<T>(grid_x * segments)?;
+        {
+            let input_view = match &current {
+                Some(buf) => buf.view(),
+                None => input.view(),
+            };
+            let kernel = BatchedReduceKernel::<'_, T, Op> {
+                input: input_view,
+                partials: partials.view_mut(),
+                seg_len: len,
+                _op: PhantomData,
+            };
+            assert!(grid_x <= u32::MAX as usize && segments <= u32::MAX as usize);
+            dev.try_launch(
+                LaunchConfig::grid2d(grid_x as u32, segments as u32, REDUCE_BLOCK),
+                &kernel,
+            )?;
+        }
+        current = Some(partials);
+        len = grid_x;
+    }
+    dev.try_dtoh(current.as_ref().expect("at least one level ran"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +314,72 @@ mod tests {
         let b = d.timeline().breakdown();
         assert_eq!(b.kernels, 3);
         assert_eq!(b.dtoh_bytes, 4); // only the final scalar crosses back
+    }
+
+    #[test]
+    fn batched_reduce_matches_per_segment_host_folds() {
+        let mut d = dev();
+        // Cover sub-tile, exact-tile, and multi-level segment lengths.
+        for (segments, seg_len) in [(1usize, 7usize), (3, 511), (5, 512), (4, 513), (2, 4096)] {
+            let xs: Vec<f64> = (0..segments * seg_len)
+                .map(|i| (((i * 2654435761usize) % 9973) as f64) - 4986.0)
+                .collect();
+            let buf = d.alloc_from(&xs);
+            let got = reduce_batched::<f64, crate::ops::MaxAbsF64>(&mut d, &buf, segments);
+            assert_eq!(got.len(), segments);
+            for (s, g) in got.iter().enumerate() {
+                let want =
+                    host::reduce::<f64, crate::ops::MaxAbsF64>(&xs[s * seg_len..(s + 1) * seg_len]);
+                assert_eq!(*g, want, "segments={segments} seg_len={seg_len} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_reduce_segments_are_independent() {
+        let mut d = dev();
+        // A NaN in segment 1 must poison only segment 1 (MaxAbsF64 is
+        // NaN-propagating) — the neighbours stay exact.
+        let seg_len = 700;
+        let mut xs = vec![1.0f64; 3 * seg_len];
+        xs[seg_len + 13] = f64::NAN;
+        xs[2 * seg_len + 20] = -9.0;
+        let buf = d.alloc_from(&xs);
+        let got = reduce_batched::<f64, crate::ops::MaxAbsF64>(&mut d, &buf, 3);
+        assert_eq!(got[0], 1.0);
+        assert!(got[1].is_nan());
+        assert_eq!(got[2], 9.0);
+    }
+
+    #[test]
+    fn batched_reduce_single_launch_covers_all_segments() {
+        let mut d = dev();
+        // seg_len ≤ tile: one 2-D launch reduces every segment at once.
+        let (segments, seg_len) = (64usize, 512usize);
+        let xs = vec![1u32; segments * seg_len];
+        let buf = d.alloc_from(&xs);
+        let got = reduce_batched::<u32, AddU32>(&mut d, &buf, segments);
+        assert_eq!(got, vec![seg_len as u32; segments]);
+        assert_eq!(d.timeline().breakdown().kernels, 1);
+    }
+
+    #[test]
+    fn batched_reduce_degenerate_shapes() {
+        let mut d = dev();
+        let empty = d.alloc::<f64>(0);
+        assert!(reduce_batched::<f64, AddF64>(&mut d, &empty, 0).is_empty());
+        assert_eq!(reduce_batched::<f64, AddF64>(&mut d, &empty, 4), vec![0.0; 4]);
+        assert_eq!(d.timeline().breakdown().kernels, 0, "degenerate shapes never launch");
+        let one = d.alloc_from(&[3.5f64, -2.0]);
+        assert_eq!(reduce_batched::<f64, AddF64>(&mut d, &one, 2), vec![3.5, -2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length segments")]
+    fn batched_reduce_rejects_ragged_input() {
+        let mut d = dev();
+        let buf = d.alloc_from(&[1.0f64; 10]);
+        let _ = reduce_batched::<f64, AddF64>(&mut d, &buf, 3);
     }
 
     #[test]

@@ -252,7 +252,7 @@ impl Device {
         kernel: &K,
     ) -> Result<(), DeviceError> {
         let fault = self.poll_fault(FaultSite::Launch)?;
-        if cfg.grid < 1 {
+        if cfg.grid < 1 || cfg.grid_y < 1 {
             return Err(DeviceError::Launch { reason: "empty grid".into() });
         }
         if cfg.block < 1 || cfg.block > self.props.max_threads_per_block {
@@ -285,7 +285,7 @@ impl Device {
         self.timeline.push(Event {
             kind: EventKind::Kernel {
                 name: kernel.name(),
-                grid: cfg.grid,
+                grid: cfg.total_blocks().min(u32::MAX as u64) as u32,
                 block: cfg.block,
                 stats,
                 timing,

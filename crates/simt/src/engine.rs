@@ -5,7 +5,7 @@
 //! Small launches run inline on the calling thread — spawning costs more
 //! than it saves below a few thousand simulated threads.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::kernel::{Kernel, LaunchConfig};
@@ -16,24 +16,26 @@ use crate::stats::LaunchStats;
 const PARALLEL_THRESHOLD_THREADS: u64 = 8192;
 
 /// Blocks handed to a worker per queue pop (amortises the atomic).
-fn chunk_size(grid: u32, workers: usize) -> u32 {
-    (grid / (workers as u32 * 8)).max(1)
+fn chunk_size(total_blocks: u64, workers: usize) -> u64 {
+    (total_blocks / (workers as u64 * 8)).max(1)
 }
 
 fn run_block<K: Kernel + ?Sized>(
     kernel: &K,
-    block_idx: u32,
+    block_idx: u64,
     cfg: &LaunchConfig,
     warp_size: u32,
     shared_limit: u32,
     out: &mut LaunchStats,
 ) {
-    let mut scope = BlockScope::new(block_idx, cfg.grid, cfg.block, warp_size, shared_limit);
+    let mut scope =
+        BlockScope::new(block_idx, cfg.grid, cfg.grid_y, cfg.block, warp_size, shared_limit);
     kernel.block(&mut scope);
     scope.acc.fold_into(out, cfg.block as u64);
 }
 
-/// Executes every block of the grid and returns merged statistics.
+/// Executes every block of the grid (in flat row-major order) and returns
+/// merged statistics.
 pub(crate) fn run_grid<K: Kernel + ?Sized>(
     kernel: &K,
     cfg: &LaunchConfig,
@@ -41,18 +43,19 @@ pub(crate) fn run_grid<K: Kernel + ?Sized>(
     shared_limit: u32,
     max_workers: usize,
 ) -> LaunchStats {
-    let workers = max_workers.min(cfg.grid as usize).max(1);
+    let total = cfg.total_blocks();
+    let workers = (max_workers as u64).min(total).max(1) as usize;
     if workers == 1 || cfg.total_threads() < PARALLEL_THRESHOLD_THREADS {
         let mut stats = LaunchStats::default();
-        for b in 0..cfg.grid {
+        for b in 0..total {
             run_block(kernel, b, cfg, warp_size, shared_limit, &mut stats);
         }
         return stats;
     }
 
-    let next = AtomicU32::new(0);
+    let next = AtomicU64::new(0);
     let merged: Mutex<LaunchStats> = Mutex::new(LaunchStats::default());
-    let chunk = chunk_size(cfg.grid, workers);
+    let chunk = chunk_size(total, workers);
 
     std::thread::scope(|s| {
         for _ in 0..workers {
@@ -60,10 +63,10 @@ pub(crate) fn run_grid<K: Kernel + ?Sized>(
                 let mut local = LaunchStats::default();
                 loop {
                     let start = next.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= cfg.grid {
+                    if start >= total {
                         break;
                     }
-                    let end = (start + chunk).min(cfg.grid);
+                    let end = (start + chunk).min(total);
                     for b in start..end {
                         run_block(kernel, b, cfg, warp_size, shared_limit, &mut local);
                     }
@@ -156,5 +159,41 @@ mod tests {
         assert_eq!(chunk_size(1, 8), 1);
         assert_eq!(chunk_size(64, 8), 1);
         assert_eq!(chunk_size(6400, 8), 100);
+    }
+
+    /// out[y*grid + x] = flat block index, from a 2-D launch.
+    struct GridStamp<'a> {
+        out: crate::buffer::GlobalMut<'a, u32>,
+    }
+
+    impl Kernel for GridStamp<'_> {
+        fn name(&self) -> &'static str {
+            "grid_stamp"
+        }
+        fn block(&self, blk: &mut BlockScope) {
+            let (x, y, gx) = (blk.block_idx_x(), blk.block_idx_y(), blk.grid_dim());
+            blk.threads(|t| {
+                if t.tid() == 0 {
+                    t.st(&self.out, t.block_idx_y() * gx + t.block_idx_x(), (y * gx + x) as u32);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn two_dimensional_grid_runs_every_block_once() {
+        for workers in [1usize, 4] {
+            let (gx, gy) = (7u32, 5u32);
+            let mut out = DeviceBuffer::<u32>::zeroed((gx * gy) as usize);
+            let k = GridStamp { out: out.view_mut() };
+            // Large block size so the parallel path engages at workers=4.
+            let cfg = LaunchConfig::grid2d(gx, gy, 256);
+            let stats = run_grid(&k, &cfg, 32, 48 * 1024, workers);
+            assert_eq!(stats.blocks, (gx * gy) as u64);
+            let host = out.copy_to_host();
+            for (i, v) in host.iter().enumerate() {
+                assert_eq!(*v as usize, i, "block {i} ran with wrong coordinates");
+            }
+        }
     }
 }

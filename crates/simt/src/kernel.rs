@@ -16,11 +16,20 @@ pub trait Kernel: Sync {
     fn block(&self, blk: &mut BlockScope);
 }
 
-/// 1-D launch geometry (`<<<grid, block>>>`).
+/// Launch geometry (`<<<grid, block>>>`), 1-D by default with an optional
+/// second grid dimension (`<<<dim3(grid, grid_y), block>>>`).
+///
+/// The y dimension exists for batched kernels: `grid_y` typically indexes
+/// the *segment* (a scenario, a reduction lane), `grid` the blocks within
+/// it. Blocks execute in flat row-major order `y * grid + x`; timing only
+/// sees the total block count, so a `(g, 1)` and a `(1, g)` launch with the
+/// same per-block work cost the same modeled time.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LaunchConfig {
-    /// Blocks in the grid. Must be ≥ 1.
+    /// Blocks along x. Must be ≥ 1.
     pub grid: u32,
+    /// Blocks along y. Must be ≥ 1 (1 for ordinary 1-D launches).
+    pub grid_y: u32,
     /// Threads per block. Must be ≥ 1 and ≤ the device limit.
     pub block: u32,
 }
@@ -30,9 +39,14 @@ impl LaunchConfig {
     /// 256-thread blocks typical of paper-era CUDA codes.
     pub const DEFAULT_BLOCK: u32 = 256;
 
-    /// Explicit geometry.
+    /// Explicit 1-D geometry.
     pub const fn new(grid: u32, block: u32) -> Self {
-        LaunchConfig { grid, block }
+        LaunchConfig { grid, grid_y: 1, block }
+    }
+
+    /// Explicit 2-D geometry: `grid × grid_y` blocks of `block` threads.
+    pub const fn grid2d(grid: u32, grid_y: u32, block: u32) -> Self {
+        LaunchConfig { grid, grid_y, block }
     }
 
     /// Geometry covering `n` elements with one thread each, using
@@ -43,7 +57,7 @@ impl LaunchConfig {
         assert!(block >= 1, "block size must be >= 1");
         let grid = n.div_ceil(block as usize).max(1);
         assert!(grid <= u32::MAX as usize, "grid too large for {n} elements");
-        LaunchConfig { grid: grid as u32, block }
+        LaunchConfig { grid: grid as u32, grid_y: 1, block }
     }
 
     /// [`Self::for_elems_with_block`] with the default 256-thread block.
@@ -51,9 +65,14 @@ impl LaunchConfig {
         Self::for_elems_with_block(n, Self::DEFAULT_BLOCK)
     }
 
+    /// Total blocks in the launch (`grid × grid_y`).
+    pub fn total_blocks(&self) -> u64 {
+        self.grid as u64 * self.grid_y as u64
+    }
+
     /// Total threads in the launch.
     pub fn total_threads(&self) -> u64 {
-        self.grid as u64 * self.block as u64
+        self.total_blocks() * self.block as u64
     }
 }
 
@@ -78,6 +97,15 @@ mod tests {
     #[test]
     fn total_threads() {
         assert_eq!(LaunchConfig::new(4, 128).total_threads(), 512);
+    }
+
+    #[test]
+    fn grid2d_counts_both_dimensions() {
+        let c = LaunchConfig::grid2d(3, 5, 64);
+        assert_eq!(c.total_blocks(), 15);
+        assert_eq!(c.total_threads(), 15 * 64);
+        assert_eq!(LaunchConfig::new(3, 64).grid_y, 1);
+        assert_eq!(LaunchConfig::for_elems(1000).grid_y, 1);
     }
 
     #[test]

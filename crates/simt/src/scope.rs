@@ -33,8 +33,10 @@ use crate::stats::BlockAccounting;
 
 /// Per-block execution scope handed to [`crate::Kernel::block`].
 pub struct BlockScope {
-    pub(crate) block_idx: u32,
+    /// Flat block index in row-major order (`y * gridDim.x + x`).
+    pub(crate) block_idx: u64,
     pub(crate) grid_dim: u32,
+    pub(crate) grid_dim_y: u32,
     pub(crate) block_dim: u32,
     pub(crate) warp_size: u32,
     pub(crate) shared_limit: u32,
@@ -44,8 +46,9 @@ pub struct BlockScope {
 
 impl BlockScope {
     pub(crate) fn new(
-        block_idx: u32,
+        block_idx: u64,
         grid_dim: u32,
+        grid_dim_y: u32,
         block_dim: u32,
         warp_size: u32,
         shared_limit: u32,
@@ -53,6 +56,7 @@ impl BlockScope {
         BlockScope {
             block_idx,
             grid_dim,
+            grid_dim_y,
             block_dim,
             warp_size,
             shared_limit,
@@ -61,16 +65,36 @@ impl BlockScope {
         }
     }
 
-    /// Flat index of this block within the launch grid.
+    /// Flat index of this block within the launch grid
+    /// (`blockIdx.y * gridDim.x + blockIdx.x`; equals `blockIdx.x` for
+    /// 1-D launches).
     #[inline]
     pub fn block_idx(&self) -> usize {
         self.block_idx as usize
     }
 
-    /// Number of blocks in the grid.
+    /// Block index along x (`blockIdx.x`).
+    #[inline]
+    pub fn block_idx_x(&self) -> usize {
+        (self.block_idx % self.grid_dim as u64) as usize
+    }
+
+    /// Block index along y (`blockIdx.y`; 0 for 1-D launches).
+    #[inline]
+    pub fn block_idx_y(&self) -> usize {
+        (self.block_idx / self.grid_dim as u64) as usize
+    }
+
+    /// Blocks along x (`gridDim.x`).
     #[inline]
     pub fn grid_dim(&self) -> usize {
         self.grid_dim as usize
+    }
+
+    /// Blocks along y (`gridDim.y`; 1 for 1-D launches).
+    #[inline]
+    pub fn grid_dim_y(&self) -> usize {
+        self.grid_dim_y as usize
     }
 
     /// Threads per block.
@@ -115,6 +139,7 @@ impl BlockScope {
                 block_idx: self.block_idx,
                 block_dim: self.block_dim,
                 grid_dim: self.grid_dim,
+                grid_dim_y: self.grid_dim_y,
                 phase,
                 seq: 0,
                 acc: &mut self.acc,
@@ -177,9 +202,11 @@ impl<T: DeviceCopy> Shared<T> {
 /// Per-thread execution context for one phase.
 pub struct ThreadCtx<'b> {
     tid: u32,
-    block_idx: u32,
+    /// Flat block index (`blockIdx.y * gridDim.x + blockIdx.x`).
+    block_idx: u64,
     block_dim: u32,
     grid_dim: u32,
+    grid_dim_y: u32,
     #[cfg_attr(not(feature = "racecheck"), allow(dead_code))]
     phase: u16,
     /// Memory accesses issued by this thread in this phase (the
@@ -195,10 +222,23 @@ impl ThreadCtx<'_> {
         self.tid as usize
     }
 
-    /// Flat block index (`blockIdx.x`).
+    /// Flat block index (`blockIdx.y * gridDim.x + blockIdx.x`; equals
+    /// `blockIdx.x` for 1-D launches).
     #[inline]
     pub fn block_idx(&self) -> usize {
         self.block_idx as usize
+    }
+
+    /// Block index along x (`blockIdx.x`).
+    #[inline]
+    pub fn block_idx_x(&self) -> usize {
+        (self.block_idx % self.grid_dim as u64) as usize
+    }
+
+    /// Block index along y (`blockIdx.y`; 0 for 1-D launches).
+    #[inline]
+    pub fn block_idx_y(&self) -> usize {
+        (self.block_idx / self.grid_dim as u64) as usize
     }
 
     /// Threads per block (`blockDim.x`).
@@ -207,22 +247,29 @@ impl ThreadCtx<'_> {
         self.block_dim as usize
     }
 
-    /// Blocks per grid (`gridDim.x`).
+    /// Blocks per grid along x (`gridDim.x`).
     #[inline]
     pub fn grid_dim(&self) -> usize {
         self.grid_dim as usize
     }
 
-    /// Global thread id (`blockIdx.x * blockDim.x + threadIdx.x`).
+    /// Blocks per grid along y (`gridDim.y`; 1 for 1-D launches).
+    #[inline]
+    pub fn grid_dim_y(&self) -> usize {
+        self.grid_dim_y as usize
+    }
+
+    /// Flat global thread id
+    /// (`block_idx() * blockDim.x + threadIdx.x`).
     #[inline]
     pub fn global_id(&self) -> usize {
         self.block_idx as usize * self.block_dim as usize + self.tid as usize
     }
 
-    /// Total threads in the launch (`gridDim.x * blockDim.x`).
+    /// Total threads in the launch (`gridDim.x * gridDim.y * blockDim.x`).
     #[inline]
     pub fn launch_threads(&self) -> usize {
-        self.grid_dim as usize * self.block_dim as usize
+        self.grid_dim as usize * self.grid_dim_y as usize * self.block_dim as usize
     }
 
     /// Tallies `n` floating-point operations against the timing model.
@@ -307,7 +354,7 @@ impl ThreadCtx<'_> {
     #[cfg(feature = "racecheck")]
     fn race_id(&self) -> crate::racecheck::ThreadId {
         crate::racecheck::ThreadId {
-            block: self.block_idx,
+            block: self.block_idx as u32,
             tid: self.tid,
             phase: self.phase,
         }
@@ -334,8 +381,8 @@ mod tests {
     use super::*;
     use crate::buffer::DeviceBuffer;
 
-    fn scope(block_idx: u32, grid: u32, block: u32) -> BlockScope {
-        BlockScope::new(block_idx, grid, block, 32, 48 * 1024)
+    fn scope(block_idx: u64, grid: u32, block: u32) -> BlockScope {
+        BlockScope::new(block_idx, grid, 1, block, 32, 48 * 1024)
     }
 
     #[test]
@@ -355,6 +402,25 @@ mod tests {
         assert_eq!(seen.len(), 64);
         assert_eq!(seen[0], (0, 192));
         assert_eq!(seen[63], (63, 255));
+    }
+
+    #[test]
+    fn two_dimensional_indices_decompose_row_major() {
+        // grid = (4, 3): flat block 9 sits at (x=1, y=2).
+        let mut s = BlockScope::new(9, 4, 3, 16, 32, 48 * 1024);
+        assert_eq!(s.block_idx(), 9);
+        assert_eq!(s.block_idx_x(), 1);
+        assert_eq!(s.block_idx_y(), 2);
+        assert_eq!(s.grid_dim(), 4);
+        assert_eq!(s.grid_dim_y(), 3);
+        s.threads(|t| {
+            assert_eq!(t.block_idx(), 9);
+            assert_eq!(t.block_idx_x(), 1);
+            assert_eq!(t.block_idx_y(), 2);
+            assert_eq!(t.grid_dim_y(), 3);
+            assert_eq!(t.launch_threads(), 4 * 3 * 16);
+            assert_eq!(t.global_id(), 9 * 16 + t.tid());
+        });
     }
 
     #[test]

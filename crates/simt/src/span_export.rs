@@ -151,6 +151,24 @@ mod tests {
     }
 
     #[test]
+    fn empty_timeline_exports_nothing_but_names_the_track() {
+        let tl = Timeline::default();
+        let mut trace = Trace::new();
+        let end = export_timeline_spans(&tl, &mut trace, 42.5);
+        // No events → no spans, no instants, and the clock is returned
+        // unchanged so callers can keep chaining exports.
+        assert_eq!(end, 42.5);
+        assert!(trace.spans.is_empty());
+        assert!(trace.instants.is_empty());
+        // The device track is still named, so an empty export yields a
+        // loadable (if blank) Chrome trace rather than an anonymous tid.
+        assert!(trace
+            .thread_names
+            .iter()
+            .any(|(t, n)| *t == Trace::TID_DEVICE && n == "device (modeled)"));
+    }
+
+    #[test]
     fn export_matches_breakdown_totals() {
         let tl = timeline_with_mixed_events();
         let mut trace = Trace::new();

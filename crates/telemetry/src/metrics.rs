@@ -74,8 +74,9 @@ impl Histogram {
     /// Record one sample. NaN samples are counted in the underflow bucket
     /// and excluded from `sum`/`min`/`max`.
     pub fn observe(&mut self, v: f64) {
-        *self.buckets.entry(bucket_index(v)).or_insert(0) += 1;
-        self.count += 1;
+        let slot = self.buckets.entry(bucket_index(v)).or_insert(0);
+        *slot = slot.saturating_add(1);
+        self.count = self.count.saturating_add(1);
         if !v.is_nan() {
             self.sum += v;
             self.min = self.min.min(v);
@@ -104,12 +105,15 @@ impl Histogram {
     }
 
     /// Fold another histogram into this one. Bucket counts, `count`, and
-    /// min/max merge exactly; `sum` is a float add.
+    /// min/max merge exactly; `sum` is a float add. Counts saturate at
+    /// `u64::MAX` instead of wrapping (a wrapped count would silently
+    /// corrupt quantiles; a pinned one stays monotone).
     pub fn merge(&mut self, other: &Histogram) {
         for (&k, &c) in &other.buckets {
-            *self.buckets.entry(k).or_insert(0) += c;
+            let slot = self.buckets.entry(k).or_insert(0);
+            *slot = slot.saturating_add(c);
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -126,7 +130,7 @@ impl Histogram {
         let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut cum = 0u64;
         for (&k, &c) in &self.buckets {
-            cum += c;
+            cum = cum.saturating_add(c);
             if cum >= target {
                 return upper_edge(k);
             }
@@ -142,7 +146,7 @@ impl Histogram {
         self.buckets
             .iter()
             .map(|(&k, &c)| {
-                cum += c;
+                cum = cum.saturating_add(c);
                 (upper_edge(k), cum)
             })
             .collect()
@@ -166,9 +170,11 @@ impl Registry {
         Self::default()
     }
 
-    /// Add `delta` to the named monotonic counter (created at 0).
+    /// Add `delta` to the named monotonic counter (created at 0,
+    /// saturating at `u64::MAX`).
     pub fn counter_add(&mut self, name: &str, delta: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+        let slot = self.counters.entry(name.to_string()).or_insert(0);
+        *slot = slot.saturating_add(delta);
     }
 
     /// Set the named gauge to `v`.
@@ -215,7 +221,8 @@ impl Registry {
     /// other's value (last-writer-wins), histograms merge exactly.
     pub fn merge(&mut self, other: &Registry) {
         for (k, &v) in &other.counters {
-            *self.counters.entry(k.clone()).or_insert(0) += v;
+            let slot = self.counters.entry(k.clone()).or_insert(0);
+            *slot = slot.saturating_add(v);
         }
         for (k, &v) in &other.gauges {
             self.gauges.insert(k.clone(), v);
@@ -293,6 +300,56 @@ mod tests {
         assert_eq!(a.count(), all.count());
         assert_eq!(a.min(), all.min());
         assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_saturates_at_the_u64_boundary() {
+        // Self-merge doubles every count, so 64 doublings of a single
+        // sample cross 2^64. Wrapping arithmetic would land the count
+        // back on 0 (and panic in debug); saturation pins it at the max
+        // and keeps the histogram usable.
+        let mut h = Histogram::new();
+        h.observe(3.0);
+        for _ in 0..64 {
+            let snapshot = h.clone();
+            h.merge(&snapshot);
+        }
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.buckets[&bucket_index(3.0)], u64::MAX);
+        // Rank math on a saturated histogram stays monotone and in-bucket.
+        assert_eq!(h.quantile(1.0), upper_edge(bucket_index(3.0)));
+        assert!(h.quantile(0.0) <= h.quantile(1.0));
+        let cum = h.cumulative_buckets();
+        assert_eq!(cum, vec![(upper_edge(bucket_index(3.0)), u64::MAX)]);
+        // Min/max/sum are float-side and unaffected by count saturation.
+        assert_eq!(h.min(), Some(3.0));
+        assert_eq!(h.max(), Some(3.0));
+    }
+
+    #[test]
+    fn observe_saturates_a_full_histogram() {
+        let mut h = Histogram::new();
+        h.observe(5.0);
+        for _ in 0..64 {
+            let snapshot = h.clone();
+            h.merge(&snapshot);
+        }
+        // One more direct sample on a saturated histogram must not wrap.
+        h.observe(5.0);
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.buckets[&bucket_index(5.0)], u64::MAX);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let mut r = Registry::new();
+        r.counter_add("launches", u64::MAX - 1);
+        r.counter_add("launches", 5);
+        assert_eq!(r.counter("launches"), u64::MAX);
+        let mut other = Registry::new();
+        other.counter_add("launches", u64::MAX);
+        r.merge(&other);
+        assert_eq!(r.counter("launches"), u64::MAX);
     }
 
     #[test]
