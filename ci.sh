@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Offline CI for the FBS power-flow repo. Eight legs:
+# Offline CI for the FBS power-flow repo. Nine legs:
 #
 #   1. Tier-1 verify: release build + the full default test suite.
 #   2. Divergence/NaN hardening: the convergence-status suites (monitor
@@ -22,9 +22,14 @@
 #      property suite (serial parity, masking, determinism, fault
 #      recovery) under a wall-clock ceiling, plus an `E9_SMOKE` run of
 #      the E9 bench as an end-to-end sanity pass.
-#   7. Racecheck: re-runs every simt and fbs device kernel under the
+#   7. Contingency: the topology-delta property suite (revertibility,
+#      rebuild equivalence, warm starts, screening parity), the
+#      screener unit suite, the CLI `screen` subcommand test, and an
+#      `E14_SMOKE` run of the E14 bench — all under wall-clock
+#      ceilings.
+#   8. Racecheck: re-runs every simt and fbs device kernel under the
 #      per-cell data-race detector (simt's `racecheck` feature).
-#   8. Lint: clippy over every target with warnings promoted to errors.
+#   9. Lint: clippy over every target with warnings promoted to errors.
 #
 # Everything runs with --offline — the repo has zero external registry
 # dependencies (see DESIGN.md, "Dependency policy"), so a warm toolchain
@@ -66,6 +71,12 @@ echo "== tensor batch: engine suites + E9 smoke =="
 timeout 300 cargo test -q --offline -p fbs --lib tensor_batch::
 timeout 300 cargo test -q --offline --test prop_tensor_batch
 E9_SMOKE=1 timeout 300 cargo run -q --offline --release -p fbs-bench --bin exp_e9_batch > /dev/null
+
+echo "== contingency: delta-topology suites + E14 smoke =="
+timeout 300 cargo test -q --offline -p fbs --lib contingency::
+timeout 300 cargo test -q --offline --test prop_delta_topology
+timeout 300 cargo test -q --offline -p fbs-cli --test cli_commands screen_runs_every_n_minus_1_outage
+E14_SMOKE=1 timeout 300 cargo run -q --offline --release -p fbs-bench --bin exp_e14_contingency > /dev/null
 
 echo "== racecheck: device kernels under the simt race detector =="
 cargo test -q --offline --features racecheck -p simt -p fbs

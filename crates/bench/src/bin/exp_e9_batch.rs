@@ -1,15 +1,23 @@
 //! E9 (extension) — tensor-batched time-series load flow: modeled cost
-//! per scenario versus batch size, legacy batcher versus tensor engine.
+//! per scenario versus batch size.
 //!
 //! The operational workload behind the paper's motivation (distribution
 //! system analysis) is time-series: thousands of load scenarios on one
-//! topology. The legacy `BatchSolver` widened each level kernel across
-//! scenarios but still launched per level; the tensor engine fuses all
-//! levels of all scenarios into two launches per iteration and keeps the
-//! loads on device (`solve_scaled`), so the per-scenario cost keeps
-//! falling to batch sizes the legacy path could never amortise. This
-//! experiment pins the headline: at B = 100K the per-scenario modeled
-//! cost must be at most 0.2x the legacy B = 128 baseline.
+//! topology. The tensor engine fuses all levels of all scenarios into
+//! two launches per iteration and keeps the loads on device
+//! (`solve_scaled`), so the per-scenario cost keeps falling with batch
+//! size until the sweep itself — not launch overhead or transfers — is
+//! the bill. The legacy level-batched engine has been retired;
+//! `BatchSolver` is now a compatibility shim over the tensor engine, so
+//! the reference points here are the *serial* per-scenario cost and the
+//! shim at a modest batch (which pays the full per-bus state download
+//! the stats-only sweep skips).
+//!
+//! Acceptance (full run): at B = 100K the per-scenario modeled cost must
+//! be at most 0.1x the serial baseline, and no higher than the B = 128
+//! stats-only cost — the fused engine saturates early (B = 128 is
+//! already within ~15% of the asymptote) and the curve must never turn
+//! upward as the batch grows.
 //!
 //! Run: `cargo run -p fbs-bench --release --bin exp_e9_batch`
 //! Smoke (CI): `E9_SMOKE=1 cargo run -p fbs-bench --release --bin exp_e9_batch`
@@ -39,19 +47,19 @@ fn main() {
     let serial = SerialSolver::new(HostProps::paper_rig());
     let serial_us = serial.solve_arrays(&arrays, &cfg).timing.total_us();
 
-    // The legacy batcher's best case is the reference the tensor engine
-    // is measured against: B = 128 (B = 8 under E9_SMOKE).
-    let legacy_b: usize = if smoke { 8 } else { 128 };
-    let legacy_loads: Vec<Vec<Complex>> = (0..legacy_b)
+    // The compatibility shim (`BatchSolver`) at a modest batch: the
+    // full-result path, per-bus voltages downloaded and unbatched.
+    let compat_b: usize = if smoke { 8 } else { 128 };
+    let compat_loads: Vec<Vec<Complex>> = (0..compat_b)
         .map(|k| {
-            let s = scale_for(k, legacy_b);
+            let s = scale_for(k, compat_b);
             net.buses().iter().map(|b| b.load * s).collect()
         })
         .collect();
-    let mut legacy = BatchSolver::new(Device::new(DeviceProps::paper_rig()));
-    let legacy_res = legacy.solve_arrays(&arrays, &legacy_loads, &cfg);
-    assert!(legacy_res.converged(), "legacy batch of {legacy_b} must converge");
-    let legacy_per = legacy_res.timing.total_us() / legacy_b as f64;
+    let mut compat = BatchSolver::new(Device::new(DeviceProps::paper_rig()));
+    let compat_res = compat.solve_arrays(&arrays, &compat_loads, &cfg);
+    assert!(compat_res.converged(), "compat batch of {compat_b} must converge");
+    let compat_per = compat_res.timing.total_us() / compat_b as f64;
 
     let mut table = Table::new(
         "E9: Tensor-batched GPU load flow, 4K-bus binary feeder",
@@ -63,22 +71,23 @@ fn main() {
             "per scenario",
             "scenarios/s",
             "vs serial",
-            "vs legacy@128",
+            &format!("vs compat@{compat_b}"),
         ],
     );
     table.row(&[
-        &legacy_b,
-        &"legacy",
-        &legacy_res.iterations,
-        &us(legacy_res.timing.total_us()),
-        &us(legacy_per),
-        &format!("{:.0}", 1e6 / legacy_per),
-        &speedup(serial_us / legacy_per),
+        &compat_b,
+        &"compat",
+        &compat_res.iterations,
+        &us(compat_res.timing.total_us()),
+        &us(compat_per),
+        &format!("{:.0}", 1e6 / compat_per),
+        &speedup(serial_us / compat_per),
         &speedup(1.0),
     ]);
 
     let batches: &[usize] = if smoke { &[8, 32, 128] } else { &[128, 1024, 8192, 100_000] };
     let mut headline_sps = 0.0;
+    let mut first_per = f64::INFINITY;
     let mut largest_per = f64::INFINITY;
     for &nb in batches {
         let scales: Vec<f64> = (0..nb).map(|k| scale_for(k, nb)).collect();
@@ -92,6 +101,9 @@ fn main() {
         table.sample(&res.timing);
         let per = res.timing.total_us() / nb as f64;
         headline_sps = res.scenarios_per_sec;
+        if first_per.is_infinite() {
+            first_per = per;
+        }
         largest_per = per;
         table.row(&[
             &nb,
@@ -101,27 +113,35 @@ fn main() {
             &us(per),
             &format!("{:.0}", res.scenarios_per_sec),
             &speedup(serial_us / per),
-            &speedup(legacy_per / per),
+            &speedup(compat_per / per),
         ]);
     }
 
     table.emit("e9_batch");
     summary::record_metric("e9_batch", "scenarios_per_sec", headline_sps);
 
-    let ratio = largest_per / legacy_per;
+    let vs_serial = largest_per / serial_us;
+    let vs_first = largest_per / first_per;
     println!(
-        "\ntensor engine at B={}: {} per scenario = {:.3}x the legacy B={legacy_b} cost \
-         ({} scenarios per modeled second).",
+        "\ntensor engine at B={}: {} per scenario = {:.3}x serial, {:.3}x the \
+         B={} tensor cost ({} scenarios per modeled second).",
         batches[batches.len() - 1],
         us(largest_per),
-        ratio,
+        vs_serial,
+        vs_first,
+        batches[0],
         format_args!("{headline_sps:.0}"),
     );
     if !smoke {
         assert!(
-            ratio <= 0.2,
-            "acceptance: per-scenario cost at B=100K must be <= 0.2x the legacy \
-             B=128 baseline (got {ratio:.3}x)"
+            vs_serial <= 0.1,
+            "acceptance: per-scenario cost at B=100K must be <= 0.1x the serial \
+             baseline (got {vs_serial:.3}x)"
+        );
+        assert!(
+            vs_first <= 1.0,
+            "acceptance: per-scenario cost must not grow with batch size \
+             (B=100K at {vs_first:.3}x the B=128 cost)"
         );
     }
 }

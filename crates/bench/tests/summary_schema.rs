@@ -29,6 +29,7 @@ const EXPERIMENTS: &[&str] = &[
     "e11_three_phase",
     "e12_faults",
     "e13_service",
+    "e14_contingency",
     "bench_generators",
 ];
 
@@ -78,5 +79,21 @@ fn summary_covers_every_experiment_bin() {
     assert!(
         sps.is_some_and(|v| v > 0.0),
         "e9_batch must record a positive scenarios_per_sec, got {sps:?}"
+    );
+
+    // E14's headline metrics: screening throughput plus the warm/cold
+    // iteration medians of the paired contingency sample.
+    let e14 = exps.get("e14_contingency").expect("checked above");
+    for key in ["contingencies_per_sec", "warm_median_iters", "cold_median_iters"] {
+        let v = e14.get(key).and_then(Value::as_f64);
+        assert!(v.is_some_and(|v| v > 0.0), "e14_contingency: {key} missing, got {v:?}");
+    }
+    let (warm, cold) = (
+        e14.get("warm_median_iters").and_then(Value::as_f64).unwrap(),
+        e14.get("cold_median_iters").and_then(Value::as_f64).unwrap(),
+    );
+    assert!(
+        warm <= cold,
+        "warm median iterations ({warm}) must not exceed cold ({cold})"
     );
 }

@@ -51,6 +51,31 @@ fn feeders_are_exportable_and_solvable() {
 }
 
 #[test]
+fn screen_runs_every_n_minus_1_outage() {
+    let path = tmp("screen.grid");
+    let path_s = path.to_str().unwrap();
+    run(&["feeders", "--name", "ieee37", "--out", path_s]).expect("feeders must succeed");
+    // Warm (default), cold, and a voltage floor; the feeder survives
+    // every single outage, so all three exit 0.
+    assert_eq!(run(&["screen", path_s]).expect("warm screen"), 0);
+    assert_eq!(run(&["screen", path_s, "--warm", "false"]).expect("cold screen"), 0);
+    assert_eq!(run(&["screen", path_s, "--v-floor", "0.95"]).expect("floored screen"), 0);
+    assert!(run(&["screen"]).is_err(), "missing positional");
+
+    // The metrics sink carries the screen-level counters.
+    let metrics = tmp("screen-metrics.json");
+    let metrics_s = metrics.to_str().unwrap();
+    assert_eq!(
+        run(&["screen", path_s, "--metrics-out", metrics_s]).expect("screen with metrics"),
+        0
+    );
+    let text = fs::read_to_string(&metrics).unwrap();
+    assert!(text.contains("screen.contingencies"), "{text}");
+    let _ = fs::remove_file(&path);
+    let _ = fs::remove_file(&metrics);
+}
+
+#[test]
 fn size_suffixes_accepted_in_gen() {
     let path = tmp("suffix.grid");
     let path_s = path.to_str().unwrap();

@@ -3,40 +3,40 @@
 //! The operational workload of distribution analysis is not one solve
 //! but thousands — time-series load flow (8760 hourly scenarios), Monte
 //! Carlo hosting-capacity studies, contingency sweeps. The topology is
-//! fixed; only the loads change. This module batches `B` scenarios into
-//! one device state so that
+//! fixed; only the loads change.
 //!
-//! * topology arrays upload **once**,
-//! * every per-level kernel covers the level of **all B scenarios at
-//!   once** (level width × B threads), amortising launch overhead — the
-//!   small-tree launch-bound regime of E1/E3 disappears for `B` large
-//!   enough,
-//! * one convergence reduction covers the whole batch (iterate until
-//!   every scenario meets the tolerance).
+//! [`BatchSolver`] is the stable entry point for that workload. It used
+//! to carry its own level-batched engine (scenario-major within each
+//! level, one segmented scan per level per iteration); that engine has
+//! been retired in favour of the tensor-batched one — scenario-major
+//! slabs, a single fused kernel per iteration, per-scenario convergence
+//! freezing and chunked execution — which strictly dominates it on the
+//! modeled device. `BatchSolver` is now a thin shim over
+//! [`TensorBatchSolver`] that preserves the original API and result
+//! shape:
 //!
-//! # Batched layout
+//! * topology arrays upload **once** per chunk,
+//! * each iteration is **one** fused kernel covering every scenario —
+//!   the small-tree launch-bound regime of E1/E3 disappears entirely,
+//! * convergence is tracked **per scenario**: a scenario that diverges
+//!   or goes non-finite is frozen at the detecting iteration while the
+//!   healthy scenarios keep converging.
 //!
-//! Scenario-major *within each level*: level `l` (width `w`) occupies the
-//! global range `[B·off_l, B·off_l + B·w)`, scenario `s` at
-//! `[B·off_l + s·w, …+w)`. Children of one parent stay contiguous and
-//! never straddle a scenario boundary, so the same head-flag segmented
-//! scan drives the backward sweep unchanged.
-
-use std::time::Instant;
+//! New code should use [`TensorBatchSolver`] directly — it exposes
+//! per-scenario iteration counts, stats-only streaming, fault-armed
+//! execution and topology patches ([`crate::contingency`]) that this
+//! compatibility surface does not.
 
 use numc::Complex;
 use powergrid::RadialNetwork;
-use primitives::ops::{AddComplex, MaxAbsF64, ScanOp};
-use primitives::{try_fill, try_launch_map, try_reduce, try_segscan_inclusive_range};
 use simt::{Device, DeviceError};
-
 use telemetry::Recorder;
 
 use crate::arrays::SolverArrays;
 use crate::config::SolverConfig;
-use crate::obs::Obs;
-use crate::report::{PhaseTimes, Timing};
-use crate::status::{ConvergenceMonitor, SolveStatus};
+use crate::report::Timing;
+use crate::status::SolveStatus;
+use crate::tensor_batch::{TensorBatchResult, TensorBatchSolver};
 
 /// Result of one batched solve.
 #[derive(Clone, Debug)]
@@ -45,15 +45,16 @@ pub struct BatchResult {
     pub v: Vec<Vec<Complex>>,
     /// Per-scenario branch currents into each bus, `[scenario][bus id]`.
     pub j: Vec<Vec<Complex>>,
-    /// Iterations the batch loop executed.
+    /// Iterations the batch loop executed (the slowest scenario's
+    /// count).
     pub iterations: u32,
     /// Per-scenario loop outcome. A scenario that diverges or goes
-    /// non-finite is *masked out* of the batch-wide reduction the moment
-    /// it is detected, so the healthy scenarios keep converging instead
-    /// of burning `max_iter` alongside it; its voltages are frozen at
-    /// the detecting iteration.
+    /// non-finite is frozen the moment it is detected, so the healthy
+    /// scenarios keep converging instead of burning `max_iter`
+    /// alongside it; its voltages are frozen at the detecting
+    /// iteration, which the status carries as `at_iteration`.
     pub statuses: Vec<SolveStatus>,
-    /// Final `max |ΔV|` over the scenarios still active, volts.
+    /// Batch-wide worst final `max |ΔV|`, volts.
     pub residual: f64,
     /// Timing summary for the whole batch.
     pub timing: Timing,
@@ -71,28 +72,41 @@ impl BatchResult {
     }
 }
 
-/// The batched GPU solver.
+impl From<TensorBatchResult> for BatchResult {
+    fn from(r: TensorBatchResult) -> Self {
+        BatchResult {
+            v: r.v,
+            j: r.j,
+            iterations: r.iterations,
+            statuses: r.statuses,
+            residual: r.residual,
+            timing: r.timing,
+        }
+    }
+}
+
+/// The batched GPU solver — a compatibility shim over
+/// [`TensorBatchSolver`].
 pub struct BatchSolver {
-    device: Device,
-    recorder: Option<Recorder>,
+    inner: TensorBatchSolver,
 }
 
 impl BatchSolver {
     /// Creates a solver on the given device.
     pub fn new(device: Device) -> Self {
-        BatchSolver { device, recorder: None }
+        BatchSolver { inner: TensorBatchSolver::new(device) }
     }
 
-    /// Attaches a telemetry recorder: per-iteration/per-phase spans and
+    /// Attaches a telemetry recorder: per-chunk/per-iteration spans and
     /// residual samples are recorded into it during every solve.
     pub fn with_recorder(mut self, rec: Recorder) -> Self {
-        self.recorder = Some(rec);
+        self.inner = self.inner.with_recorder(rec);
         self
     }
 
     /// The underlying device.
     pub fn device(&self) -> &Device {
-        &self.device
+        self.inner.device()
     }
 
     /// Solves `scenarios.len()` load scenarios over one network.
@@ -106,8 +120,7 @@ impl BatchSolver {
         scenarios: &[Vec<Complex>],
         cfg: &SolverConfig,
     ) -> BatchResult {
-        let arrays = SolverArrays::new(net);
-        self.solve_arrays(&arrays, scenarios, cfg)
+        self.inner.solve(net, scenarios, cfg).into()
     }
 
     /// Solves with pre-built level-order arrays.
@@ -117,7 +130,7 @@ impl BatchSolver {
         scenarios: &[Vec<Complex>],
         cfg: &SolverConfig,
     ) -> BatchResult {
-        self.try_solve_arrays(a, scenarios, cfg).unwrap_or_else(|e| panic!("{e}"))
+        self.inner.solve_arrays(a, scenarios, cfg).into()
     }
 
     /// Fallible [`BatchSolver::solve`]: surfaces injected faults and
@@ -130,8 +143,7 @@ impl BatchSolver {
         scenarios: &[Vec<Complex>],
         cfg: &SolverConfig,
     ) -> Result<BatchResult, DeviceError> {
-        let arrays = SolverArrays::new(net);
-        self.try_solve_arrays(&arrays, scenarios, cfg)
+        self.inner.try_solve(net, scenarios, cfg).map(Into::into)
     }
 
     /// Fallible [`BatchSolver::solve_arrays`].
@@ -141,378 +153,7 @@ impl BatchSolver {
         scenarios: &[Vec<Complex>],
         cfg: &SolverConfig,
     ) -> Result<BatchResult, DeviceError> {
-        let wall0 = Instant::now();
-        let nb = scenarios.len();
-        assert!(nb >= 1, "batch must contain at least one scenario");
-        let n = a.len();
-        for (s, sc) in scenarios.iter().enumerate() {
-            assert_eq!(sc.len(), n, "scenario {s} has {} loads for {n} buses", sc.len());
-        }
-        let num_levels = a.num_levels();
-        let v0 = a.source;
-        if cfg.validate().is_err() {
-            return Ok(BatchResult {
-                v: vec![vec![v0; n]; nb],
-                j: vec![vec![Complex::ZERO; n]; nb],
-                iterations: 0,
-                statuses: vec![SolveStatus::InvalidConfig; nb],
-                residual: f64::INFINITY,
-                timing: Timing::default(),
-            });
-        }
-        let mut monitor = ConvergenceMonitor::new(cfg, v0.abs());
-        let (tol, cap) = (monitor.tol(), monitor.cap());
-        let total = n * nb;
-
-        // ---- Build the batched host arrays (scenario-major per level).
-        // bpos(l, s, k) = B·off_l + s·w_l + k for the k-th position of
-        // level l.
-        let level_off = |l: usize| a.levels.level_offsets[l] as usize;
-        let width = |l: usize| level_off(l + 1) - level_off(l);
-        let bpos = |l: usize, s: usize, k: usize| nb * level_off(l) + s * width(l) + k;
-
-        let mut s_host = vec![Complex::ZERO; total];
-        let mut z_host = vec![Complex::ZERO; total];
-        let mut parent_host = vec![0u32; total];
-        let mut flags_host = vec![0u32; total];
-        let mut seg_last_host = vec![0u32; total];
-        let mut child_lo_host = vec![0u32; total];
-        let mut child_hi_host = vec![0u32; total];
-        for l in 0..num_levels {
-            let off = level_off(l);
-            let w = width(l);
-            for (s, scenario) in scenarios.iter().enumerate() {
-                for k in 0..w {
-                    let p = off + k; // unbatched position
-                    let g = bpos(l, s, k);
-                    let bus = a.levels.order[p] as usize;
-                    s_host[g] = scenario[bus];
-                    z_host[g] = a.z[p];
-                    flags_host[g] = a.head_flags[p];
-                    if l > 0 {
-                        let pp = a.parent_pos[p] as usize; // in level l−1
-                        parent_host[g] = bpos(l - 1, s, pp - level_off(l - 1)) as u32;
-                    } else {
-                        parent_host[g] = g as u32;
-                    }
-                    let (clo, chi) = (a.child_lo[p] as usize, a.child_hi[p] as usize);
-                    if clo < chi {
-                        let c_off = level_off(l + 1);
-                        child_lo_host[g] = bpos(l + 1, s, clo - c_off) as u32;
-                        child_hi_host[g] = bpos(l + 1, s, chi - c_off) as u32;
-                        seg_last_host[g] = bpos(l + 1, s, chi - 1 - c_off) as u32;
-                    }
-                }
-            }
-        }
-
-        let dev = &mut self.device;
-        let mut phases = PhaseTimes::default();
-        let mut transfer_us = 0.0;
-        let mut transfer_sweep_us = 0.0;
-
-        // ---- Setup ----
-        let mark = dev.timeline().mark();
-        let s_buf = dev.try_alloc_from(&s_host)?;
-        let z_buf = dev.try_alloc_from(&z_host)?;
-        let parent_buf = dev.try_alloc_from(&parent_host)?;
-        let flags_buf = dev.try_alloc_from(&flags_host)?;
-        let seg_last_buf = dev.try_alloc_from(&seg_last_host)?;
-        let child_lo_buf = dev.try_alloc_from(&child_lo_host)?;
-        let child_hi_buf = dev.try_alloc_from(&child_hi_host)?;
-        let mut v_buf = dev.try_alloc::<Complex>(total)?;
-        try_fill(dev, &mut v_buf, v0)?;
-        let mut i_buf = dev.try_alloc::<Complex>(total)?;
-        let mut j_buf = dev.try_alloc::<Complex>(total)?;
-        let mut delta_buf = dev.try_alloc::<f64>(total)?;
-        try_fill(dev, &mut delta_buf, 0.0)?;
-        let mut scan_buf = dev.try_alloc::<Complex>(total)?;
-        // Per-element activity mask (1 = scenario still iterating). A
-        // masked scenario's forward kernel freezes its state and reports
-        // a zero delta, removing it from the batch-wide reduction.
-        let mut mask_host = vec![1u32; total];
-        let mut mask_buf = dev.try_alloc_from(&mask_host)?;
-        let b = dev.timeline().breakdown_since(mark);
-        phases.setup_us += b.total_us();
-        transfer_us += b.htod_us + b.dtoh_us;
-        let obs = Obs::new(self.recorder.as_ref(), "solver.batch");
-        obs.phase("setup", 0.0, phases.setup_us);
-
-        let mut iterations = 0;
-        let mut residual = f64::MAX;
-        let mut statuses = vec![SolveStatus::MaxIterations; nb];
-        let mut active = vec![true; nb];
-
-        while iterations < cfg.max_iter {
-            iterations += 1;
-            let iter_t0 = phases.total_us();
-
-            // ---- Injection over the whole batch ----
-            let mark = dev.timeline().mark();
-            {
-                let s_v = s_buf.view();
-                let v_v = v_buf.view();
-                let i_v = i_buf.view_mut();
-                try_launch_map(dev, total, "batch_inject", move |t, g| {
-                    let s = t.ld(&s_v, g);
-                    let out = if s == Complex::ZERO {
-                        Complex::ZERO
-                    } else {
-                        let v = t.ld(&v_v, g);
-                        t.flops(Complex::DIV_FLOPS + 1);
-                        (s / v).conj()
-                    };
-                    t.st(&i_v, g, out);
-                })?;
-            }
-            phases.injection_us += dev.timeline().breakdown_since(mark).total_us();
-            obs.phase("injection", iter_t0, phases.total_us());
-            let bwd_t0 = phases.total_us();
-
-            // ---- Backward sweep: each level covers all scenarios ----
-            let mark = dev.timeline().mark();
-            for l in (0..num_levels).rev() {
-                let lo = nb * level_off(l);
-                let len = nb * width(l);
-                if l + 1 < num_levels {
-                    let clo = nb * level_off(l + 1);
-                    let chi = clo + nb * width(l + 1);
-                    try_segscan_inclusive_range::<Complex, AddComplex>(
-                        dev, &j_buf, &flags_buf, clo, chi, &mut scan_buf,
-                    )?;
-                }
-                let i_v = i_buf.view();
-                let lo_v = child_lo_buf.view();
-                let hi_v = child_hi_buf.view();
-                let last_v = seg_last_buf.view();
-                let scan_v = scan_buf.view();
-                let j_v = j_buf.view_mut();
-                try_launch_map(dev, len, "batch_backward_combine", move |t, k| {
-                    let g = lo + k;
-                    let mut acc = t.ld(&i_v, g);
-                    if t.ld(&lo_v, g) < t.ld(&hi_v, g) {
-                        let tail = t.ld(&last_v, g) as usize;
-                        t.flops(Complex::ADD_FLOPS);
-                        acc += t.ld(&scan_v, tail);
-                    }
-                    t.st(&j_v, g, acc);
-                })?;
-            }
-            phases.backward_us += dev.timeline().breakdown_since(mark).total_us();
-            obs.phase("backward", bwd_t0, phases.total_us());
-            let fwd_t0 = phases.total_us();
-
-            // ---- Forward sweep ----
-            let mark = dev.timeline().mark();
-            for l in 1..num_levels {
-                let lo = nb * level_off(l);
-                let len = nb * width(l);
-                let z_v = z_buf.view();
-                let par_v = parent_buf.view();
-                let j_v = j_buf.view();
-                let mask_v = mask_buf.view();
-                let d_v = delta_buf.view_mut();
-                let v_v = v_buf.view_mut();
-                try_launch_map(dev, len, "batch_forward", move |t, k| {
-                    let g = lo + k;
-                    // Masked scenarios freeze: no voltage update and a
-                    // zero delta. The branch (not a multiply) matters —
-                    // `NaN · 0 = NaN` would put the corpse right back
-                    // into the reduction.
-                    if t.ld(&mask_v, g) == 0 {
-                        t.st(&d_v, g, 0.0);
-                        return;
-                    }
-                    let parent = t.ld(&par_v, g) as usize;
-                    let vp = t.ld_mut(&v_v, parent);
-                    let z = t.ld(&z_v, g);
-                    let jb = t.ld(&j_v, g);
-                    let old = t.ld_mut(&v_v, g);
-                    let new_v = vp - z * jb;
-                    t.flops(Complex::MUL_FLOPS + Complex::ADD_FLOPS + 4);
-                    t.st(&v_v, g, new_v);
-                    t.st(&d_v, g, (new_v - old).abs());
-                })?;
-            }
-            phases.forward_us += dev.timeline().breakdown_since(mark).total_us();
-            obs.phase("forward", fwd_t0, phases.total_us());
-            let cvg_t0 = phases.total_us();
-
-            // ---- Convergence: batch-wide ∞-norm ----
-            // Healthy path: one reduction, one scalar read-back, exactly
-            // as before. Only when the monitor flags trouble does the
-            // solver pay for a per-scenario triage (delta download + host
-            // folds) to find and mask the offenders.
-            let mark = dev.timeline().mark();
-            let delta = try_reduce::<f64, MaxAbsF64>(dev, &delta_buf)?;
-            let mut stop = false;
-            match monitor.observe(iterations, delta) {
-                None => residual = delta,
-                Some(SolveStatus::Converged) => {
-                    residual = delta;
-                    for (s, st) in statuses.iter_mut().enumerate() {
-                        if active[s] {
-                            *st = SolveStatus::Converged;
-                        }
-                    }
-                    stop = true;
-                }
-                Some(_) => {
-                    // Triage: fold each active scenario's ∞-norm on the
-                    // host and classify.
-                    let delta_host = dev.try_dtoh(&delta_buf)?;
-                    let mut per = vec![0.0f64; nb];
-                    for (s, r) in per.iter_mut().enumerate() {
-                        if !active[s] {
-                            continue;
-                        }
-                        for l in 0..num_levels {
-                            let base = bpos(l, s, 0);
-                            for &d in &delta_host[base..base + width(l)] {
-                                *r = MaxAbsF64::combine(*r, d);
-                            }
-                        }
-                    }
-                    let mut masked = Vec::new();
-                    for s in 0..nb {
-                        if !active[s] {
-                            continue;
-                        }
-                        if !per[s].is_finite() {
-                            statuses[s] = SolveStatus::NumericalFailure { at_iteration: iterations };
-                            masked.push(s);
-                        } else if per[s] > cap {
-                            statuses[s] = SolveStatus::Diverged { at_iteration: iterations };
-                            masked.push(s);
-                        }
-                    }
-                    if masked.is_empty() {
-                        // Growth-patience trigger with every scenario
-                        // under the cap: the batch maximum is what has
-                        // been growing — retire the worst offender.
-                        if let Some(worst) = (0..nb)
-                            .filter(|&s| active[s])
-                            .max_by(|&x, &y| per[x].total_cmp(&per[y]))
-                        {
-                            statuses[worst] = SolveStatus::Diverged { at_iteration: iterations };
-                            masked.push(worst);
-                        }
-                    }
-                    for &s in &masked {
-                        active[s] = false;
-                        for l in 0..num_levels {
-                            let base = bpos(l, s, 0);
-                            for slot in &mut mask_host[base..base + width(l)] {
-                                *slot = 0;
-                            }
-                        }
-                    }
-                    dev.try_htod(&mut mask_buf, &mask_host)?;
-                    // The residual landscape changed; restart growth
-                    // tracking for the survivors.
-                    monitor = ConvergenceMonitor::new(cfg, v0.abs());
-                    residual = (0..nb)
-                        .filter(|&s| active[s])
-                        .map(|s| per[s])
-                        .fold(0.0, MaxAbsF64::combine);
-                    if !active.iter().any(|&x| x) {
-                        stop = true;
-                    } else if residual <= tol {
-                        for (s, st) in statuses.iter_mut().enumerate() {
-                            if active[s] {
-                                *st = SolveStatus::Converged;
-                            }
-                        }
-                        stop = true;
-                    }
-                }
-            }
-            let b = dev.timeline().breakdown_since(mark);
-            phases.convergence_us += b.total_us();
-            obs.phase("convergence", cvg_t0, phases.total_us());
-            obs.iteration(iterations, iter_t0, phases.total_us(), residual);
-            transfer_us += b.htod_us + b.dtoh_us;
-            transfer_sweep_us += b.htod_us + b.dtoh_us;
-            let deadline_hit =
-                !stop && cfg.deadline_us.is_some_and(|budget| phases.total_us() >= budget);
-            if deadline_hit {
-                // The batch ran out of modeled time: every scenario
-                // still iterating is cut off with its partial state;
-                // already-settled statuses stand.
-                let elapsed = phases.total_us();
-                for (s, st) in statuses.iter_mut().enumerate() {
-                    if active[s] && *st == SolveStatus::MaxIterations {
-                        *st = SolveStatus::DeadlineExceeded {
-                            at_iteration: iterations,
-                            elapsed_us: elapsed as u64,
-                        };
-                    }
-                }
-                stop = true;
-            }
-            if stop {
-                break;
-            }
-        }
-
-        // Iteration-cap exit: the batch as a whole missed the tolerance,
-        // but individual scenarios may have met it — classify each from
-        // the final deltas instead of smearing MaxIterations over all.
-        if statuses.contains(&SolveStatus::MaxIterations) {
-            let mark = dev.timeline().mark();
-            let delta_host = dev.try_dtoh(&delta_buf)?;
-            let b = dev.timeline().breakdown_since(mark);
-            phases.convergence_us += b.total_us();
-            transfer_us += b.htod_us + b.dtoh_us;
-            for (s, status) in statuses.iter_mut().enumerate() {
-                if *status != SolveStatus::MaxIterations {
-                    continue;
-                }
-                let mut r = 0.0f64;
-                for l in 0..num_levels {
-                    let base = bpos(l, s, 0);
-                    for &d in &delta_host[base..base + width(l)] {
-                        r = MaxAbsF64::combine(r, d);
-                    }
-                }
-                if r <= tol {
-                    *status = SolveStatus::Converged;
-                }
-            }
-        }
-
-        // ---- Teardown: download and unbatch ----
-        let mark = dev.timeline().mark();
-        let v_flat = dev.try_dtoh(&v_buf)?;
-        let j_flat = dev.try_dtoh(&j_buf)?;
-        let b = dev.timeline().breakdown_since(mark);
-        let td_t0 = phases.total_us();
-        phases.teardown_us += b.total_us();
-        obs.phase("teardown", td_t0, phases.total_us());
-        transfer_us += b.htod_us + b.dtoh_us;
-
-        let mut v = vec![vec![Complex::ZERO; n]; nb];
-        let mut j = vec![vec![Complex::ZERO; n]; nb];
-        for l in 0..num_levels {
-            let off = level_off(l);
-            let w = width(l);
-            for s in 0..nb {
-                for k in 0..w {
-                    let bus = a.levels.order[off + k] as usize;
-                    let g = bpos(l, s, k);
-                    v[s][bus] = v_flat[g];
-                    j[s][bus] = j_flat[g];
-                }
-            }
-        }
-
-        let timing = Timing {
-            phases,
-            transfer_us,
-            transfer_sweep_us,
-            wall_us: wall0.elapsed().as_secs_f64() * 1e6,
-        };
-        Ok(BatchResult { v, j, iterations, statuses, residual, timing })
+        self.inner.try_solve_arrays(a, scenarios, cfg).map(Into::into)
     }
 }
 
@@ -581,6 +222,22 @@ mod tests {
     }
 
     #[test]
+    fn shim_result_is_bitwise_the_tensor_result() {
+        let net = ieee13();
+        let cfg = SolverConfig::default();
+        let scenarios: Vec<Vec<Complex>> =
+            [0.5, 1.0, 1.25].iter().map(|&sc| loads_scaled(&net, sc)).collect();
+        let shim = batch().solve(&net, &scenarios, &cfg);
+        let tensor = TensorBatchSolver::new(Device::with_workers(DeviceProps::paper_rig(), 2))
+            .solve(&net, &scenarios, &cfg);
+        assert_eq!(shim.statuses, tensor.statuses);
+        assert_eq!(shim.iterations, tensor.iterations);
+        assert_eq!(shim.residual.to_bits(), tensor.residual.to_bits());
+        assert_eq!(shim.v, tensor.v);
+        assert_eq!(shim.j, tensor.j);
+    }
+
+    #[test]
     fn batching_amortises_launches_on_generated_trees() {
         let mut rng = StdRng::seed_from_u64(77);
         let net = balanced_binary(1023, &GenSpec::default(), &mut rng);
@@ -609,8 +266,8 @@ mod tests {
         let net = ieee13();
         let cfg = SolverConfig::default();
         // Three healthy scenarios around one poisoned with a NaN load at
-        // a non-root bus (the root injection is guarded): the monitor
-        // trips within the first iterations and the triage masks it.
+        // a non-root bus (the root injection is guarded): the per-scenario
+        // monitor trips within the first iterations and freezes it.
         let mut scenarios: Vec<Vec<Complex>> =
             [0.6, 1.0, 1.2].iter().map(|&sc| loads_scaled(&net, sc)).collect();
         let mut bad = loads_scaled(&net, 1.0);

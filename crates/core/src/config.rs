@@ -75,6 +75,14 @@ pub struct SolverConfig {
     /// and aborts with `SolveStatus::DeadlineExceeded` once the budget
     /// is spent. `None` (the default) means unbounded.
     pub deadline_us: Option<f64>,
+    /// Warm start: seed the voltage iterate from a caller-supplied
+    /// base-case profile instead of the flat source-voltage start.
+    /// The profile itself is passed alongside the config (the
+    /// `solve_warm` entry points and the contingency screener); this
+    /// flag records intent so batched paths can decide per-run whether
+    /// to upload a seed profile. Ignored by entry points that take no
+    /// profile.
+    pub warm_start: bool,
 }
 
 impl SolverConfig {
@@ -104,6 +112,7 @@ impl SolverConfig {
             checkpoint_every: Self::DEFAULT_CHECKPOINT_EVERY,
             max_recoveries: Self::DEFAULT_MAX_RECOVERIES,
             deadline_us: None,
+            warm_start: false,
         }
     }
 
@@ -134,6 +143,15 @@ impl SolverConfig {
             "deadline must be positive and finite"
         );
         self.deadline_us = Some(deadline_us);
+        self
+    }
+
+    /// Requests a warm start: solvers with a `solve_warm` entry point
+    /// seed the iterate from the supplied base-case profile, and the
+    /// contingency screener solves the base case once and reuses it
+    /// across every contingency.
+    pub fn with_warm_start(mut self) -> Self {
+        self.warm_start = true;
         self
     }
 
@@ -184,6 +202,7 @@ impl Default for SolverConfig {
             checkpoint_every: Self::DEFAULT_CHECKPOINT_EVERY,
             max_recoveries: Self::DEFAULT_MAX_RECOVERIES,
             deadline_us: None,
+            warm_start: false,
         }
     }
 }
@@ -201,6 +220,17 @@ mod tests {
         assert_eq!(c.divergence_cap, 1e3);
         assert_eq!(c.divergence_patience, 8);
         assert_eq!(c.divergence_cap_volts(100.0), 1e5);
+        assert!(!c.warm_start, "cold start by default");
+    }
+
+    #[test]
+    fn warm_start_is_an_opt_in_flag() {
+        let c = SolverConfig::default().with_warm_start();
+        assert!(c.warm_start);
+        assert_eq!(c.validate(), Ok(()), "warm start does not perturb validation");
+        // The flag composes with the other builders.
+        let c = SolverConfig::new(1e-8, 40).with_warm_start().with_deadline(1e6);
+        assert!(c.warm_start && c.deadline_us == Some(1e6));
     }
 
     #[test]

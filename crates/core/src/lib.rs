@@ -30,6 +30,7 @@
 mod arrays;
 pub mod batch;
 mod config;
+pub mod contingency;
 mod gpu;
 pub mod jump;
 mod multicore;
@@ -46,6 +47,7 @@ pub mod validate;
 pub use arrays::SolverArrays;
 pub use batch::{BatchResult, BatchSolver};
 pub use config::{ConfigError, SolverConfig};
+pub use contingency::{ContingencyOutcome, ContingencyScreener, ScreeningReport};
 pub use gpu::{BackwardStrategy, GpuSolver};
 pub use jump::{JumpArrays, JumpSolver};
 pub use multicore::MulticoreSolver;
@@ -58,5 +60,5 @@ pub use service::{
     SolveService,
 };
 pub use status::{ConvergenceMonitor, SolveStatus};
-pub use tensor_batch::{TensorBatchResult, TensorBatchSolver};
+pub use tensor_batch::{ScenarioPatch, TensorBatchResult, TensorBatchSolver};
 pub use three_phase::{Arrays3, Gpu3Solver, Serial3Solver, Solve3Result};

@@ -72,7 +72,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use numc::Complex;
-use powergrid::RadialNetwork;
+use powergrid::{DfsOrder, RadialNetwork};
 use primitives::ops::{MaxAbsF64, ScanOp};
 use primitives::{try_fill, try_reduce_batched};
 use simt::{
@@ -103,6 +103,43 @@ const SCENARIOS_PER_BLOCK: usize = 2;
 /// (a chunk of 4K-bus scenarios is ~1 GB of state at this cap).
 const MAX_CHUNK_SCENARIOS: usize = 8192;
 
+/// One scenario's topology delta for a patched solve
+/// ([`TensorBatchSolver::solve_patched`]): the shared tree is uploaded
+/// once and each scenario carries at most a few words describing how its
+/// topology differs — no per-scenario arrays, no rebuild.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScenarioPatch {
+    /// Open the branch feeding this bus: its whole DFS subtree is
+    /// de-energized (masked out of the sweeps and the residual) and the
+    /// energized parent drops the subtree's branch current from its
+    /// child sum. `None` leaves the topology intact.
+    pub outage: Option<usize>,
+    /// Replace the impedance of the branch feeding bus `.0` with `.1`.
+    pub z_override: Option<(usize, Complex)>,
+    /// Load scale applied to the base loads (`1.0` = base case). The
+    /// scale is the only per-scenario load state, exactly as in
+    /// [`TensorBatchSolver::solve_scaled`].
+    pub scale: f64,
+}
+
+impl Default for ScenarioPatch {
+    fn default() -> Self {
+        ScenarioPatch { outage: None, z_override: None, scale: 1.0 }
+    }
+}
+
+impl ScenarioPatch {
+    /// The base case: no topology change, base loads.
+    pub fn base() -> Self {
+        Self::default()
+    }
+
+    /// An N-1 outage of the branch feeding `bus`, at base loads.
+    pub fn outage(bus: usize) -> Self {
+        ScenarioPatch { outage: Some(bus), ..Self::default() }
+    }
+}
+
 /// Result of one tensor-batched solve.
 #[derive(Clone, Debug)]
 pub struct TensorBatchResult {
@@ -124,6 +161,12 @@ pub struct TensorBatchResult {
     pub residuals: Vec<f64>,
     /// Batch-wide worst final residual (NaN-propagating fold), volts.
     pub residual: f64,
+    /// Patched solves only: per-scenario minimum energized `|V|`, volts,
+    /// taken over every non-root bus the sweeps updated (de-energized
+    /// subtrees excluded). The screening headline — a contingency that
+    /// converges but sags below a voltage floor is still a violation.
+    /// Empty for unpatched solves; `+∞` for a single-bus network.
+    pub min_v: Vec<f64>,
     /// Timing summary for the whole batch.
     pub timing: Timing,
     /// Modeled throughput: scenarios per modeled device second.
@@ -191,8 +234,15 @@ impl TensorBatchSolver {
 
     /// Caps scenarios per chunk (testing/tuning; clamped to ≥ 1).
     pub fn with_chunk_scenarios(mut self, cap: usize) -> Self {
-        self.chunk_cap = cap.max(1);
+        self.set_chunk_scenarios(cap);
         self
+    }
+
+    /// By-ref form of [`Self::with_chunk_scenarios`], for callers that
+    /// plan the chunk size per solve (e.g. the contingency screener
+    /// sizing chunks from the bus count).
+    pub fn set_chunk_scenarios(&mut self, cap: usize) {
+        self.chunk_cap = cap.max(1);
     }
 
     /// Skip the per-bus state download: `v`/`j` come back empty, only
@@ -280,7 +330,7 @@ impl TensorBatchSolver {
         for (s, sc) in scenarios.iter().enumerate() {
             assert_eq!(sc.len(), n, "scenario {s} has {} loads for {n} buses", sc.len());
         }
-        self.solve_impl(a, Loads::Explicit(scenarios), cfg)
+        self.solve_impl(a, Loads::Explicit(scenarios), cfg, None)
     }
 
     /// Fallible [`TensorBatchSolver::solve_scaled_arrays`].
@@ -290,7 +340,57 @@ impl TensorBatchSolver {
         scales: &[f64],
         cfg: &SolverConfig,
     ) -> Result<TensorBatchResult, DeviceError> {
-        self.solve_impl(a, Loads::Scaled(scales), cfg)
+        self.solve_impl(a, Loads::Scaled(scales), cfg, None)
+    }
+
+    /// Solves one topology *variant* per scenario over the shared base
+    /// tree: each [`ScenarioPatch`] opens at most one branch (N-1
+    /// outage), overrides at most one impedance, and scales the base
+    /// loads. The tree uploads once; per-scenario state is a handful of
+    /// words. `warm` optionally seeds every scenario's voltage iterate
+    /// from a base-case profile (indexed by bus id) instead of the flat
+    /// start — the batched counterpart of
+    /// [`SerialSolver::solve_warm`].
+    ///
+    /// De-energized buses of an outage scenario report `V = 0`, `J = 0`
+    /// (when state is kept) and are excluded from the residual and from
+    /// [`TensorBatchResult::min_v`]. Panics on shape violations (bad bus
+    /// ids, outage of the root).
+    pub fn solve_patched(
+        &mut self,
+        net: &RadialNetwork,
+        patches: &[ScenarioPatch],
+        cfg: &SolverConfig,
+        warm: Option<&[Complex]>,
+    ) -> TensorBatchResult {
+        self.try_solve_patched(net, patches, cfg, warm).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`TensorBatchSolver::solve_patched`].
+    pub fn try_solve_patched(
+        &mut self,
+        net: &RadialNetwork,
+        patches: &[ScenarioPatch],
+        cfg: &SolverConfig,
+        warm: Option<&[Complex]>,
+    ) -> Result<TensorBatchResult, DeviceError> {
+        let arrays = SolverArrays::new(net);
+        let dfs = DfsOrder::new(net);
+        self.try_solve_patched_arrays(&arrays, &dfs, patches, cfg, warm)
+    }
+
+    /// [`TensorBatchSolver::solve_patched`] with pre-built level-order
+    /// arrays and DFS order (both over the *same* network).
+    pub fn try_solve_patched_arrays(
+        &mut self,
+        a: &SolverArrays,
+        dfs: &DfsOrder,
+        patches: &[ScenarioPatch],
+        cfg: &SolverConfig,
+        warm: Option<&[Complex]>,
+    ) -> Result<TensorBatchResult, DeviceError> {
+        let plan = PatchPlan::build(a, dfs, patches, warm);
+        self.solve_impl(a, Loads::Scaled(&plan.scales), cfg, Some(&plan))
     }
 
     fn solve_impl(
@@ -298,6 +398,7 @@ impl TensorBatchSolver {
         a: &SolverArrays,
         loads: Loads<'_>,
         cfg: &SolverConfig,
+        patches: Option<&PatchPlan>,
     ) -> Result<TensorBatchResult, DeviceError> {
         let wall0 = Instant::now();
         let nb = loads.len();
@@ -314,6 +415,7 @@ impl TensorBatchSolver {
                 statuses: vec![SolveStatus::InvalidConfig; nb],
                 residuals: vec![f64::INFINITY; nb],
                 residual: f64::INFINITY,
+                min_v: if patches.is_some() { vec![f64::INFINITY; nb] } else { Vec::new() },
                 timing: Timing::default(),
                 scenarios_per_sec: 0.0,
                 fault_report: None,
@@ -342,7 +444,7 @@ impl TensorBatchSolver {
             if self.device.is_lost() {
                 break;
             }
-            match Topology::upload(&mut self.device, a) {
+            match Topology::upload(&mut self.device, a, patches) {
                 Ok(t) => {
                     topo = Some(t);
                     break;
@@ -382,6 +484,7 @@ impl TensorBatchSolver {
                         a,
                         topo.as_ref().expect("topology resident"),
                         &loads,
+                        patches,
                         range.clone(),
                         cfg,
                         armed,
@@ -409,7 +512,7 @@ impl TensorBatchSolver {
                         // Re-upload the topology: the fault may have
                         // corrupted resident buffers.
                         let mark = self.device.timeline().mark();
-                        match Topology::upload(&mut self.device, a) {
+                        match Topology::upload(&mut self.device, a, patches) {
                             Ok(t) => topo = Some(t),
                             Err(_) => {
                                 degraded = true;
@@ -431,8 +534,8 @@ impl TensorBatchSolver {
                 let t0 = phases.total_us();
                 let serial = SerialSolver::new(HostProps::paper_rig());
                 for s in range.clone() {
-                    let res = serial.solve_arrays(&repair_arrays(a, &loads, s), cfg);
-                    out.absorb_serial(s, res, true);
+                    let res = repair_solve(&serial, a, &loads, patches, s, cfg);
+                    out.absorb_serial(s, res, true, patches);
                 }
                 phases.teardown_us += out.repair_us;
                 out.repair_us = 0.0;
@@ -477,6 +580,7 @@ impl TensorBatchSolver {
             statuses: out.statuses,
             residuals: out.residuals,
             residual,
+            min_v: if patches.is_some() { out.min_v } else { Vec::new() },
             timing,
             scenarios_per_sec,
             fault_report,
@@ -491,6 +595,7 @@ struct Outcome {
     per_scenario_iterations: Vec<u32>,
     statuses: Vec<SolveStatus>,
     residuals: Vec<f64>,
+    min_v: Vec<f64>,
     keep_state: bool,
     repairs: u32,
     repair_us: f64,
@@ -504,6 +609,7 @@ impl Outcome {
             per_scenario_iterations: vec![0; nb],
             statuses: vec![SolveStatus::MaxIterations; nb],
             residuals: vec![f64::INFINITY; nb],
+            min_v: vec![f64::INFINITY; nb],
             keep_state,
             repairs: 0,
             repair_us: 0.0,
@@ -513,8 +619,23 @@ impl Outcome {
     /// Replaces scenario `s` with a serial solve outcome. `recovered`
     /// upgrades a converged serial status to [`SolveStatus::Recovered`]
     /// (the payload is patched by the caller at the end via
-    /// `fault_report`; counts here are per-scenario bookkeeping).
-    fn absorb_serial(&mut self, s: usize, res: crate::report::SolveResult, recovered: bool) {
+    /// `fault_report`; counts here are per-scenario bookkeeping). In
+    /// patched mode the de-energized buses are zeroed and the energized
+    /// `min |V|` is computed host-side, matching the device convention.
+    fn absorb_serial(
+        &mut self,
+        s: usize,
+        mut res: crate::report::SolveResult,
+        recovered: bool,
+        patches: Option<&PatchPlan>,
+    ) {
+        if let Some(plan) = patches {
+            self.min_v[s] = host_min_v(&res.v, plan.root, &plan.isolated[s]);
+            for &bus in &plan.isolated[s] {
+                res.v[bus as usize] = Complex::ZERO;
+                res.j[bus as usize] = Complex::ZERO;
+            }
+        }
         self.per_scenario_iterations[s] = res.iterations;
         self.residuals[s] = res.residual;
         self.statuses[s] = if recovered && res.status == SolveStatus::Converged {
@@ -531,6 +652,126 @@ impl Outcome {
     }
 }
 
+/// Host-side view of a patched batch: the shared position→DFS map plus
+/// one cut range / impedance override / load scale per scenario.
+/// `u32::MAX` is the universal "no patch" sentinel — an empty cut range
+/// and an impossible override position — so unpatched scenarios flow
+/// through the same kernel code without branching.
+struct PatchPlan {
+    /// Level position → DFS preorder position (length `n`). A node is
+    /// de-energized in scenario `s` iff its DFS position falls in
+    /// `[cut_lo[s], cut_hi[s])` — the subtree of the outaged bus is one
+    /// contiguous DFS range, so membership is two compares.
+    dfs_pos: Vec<u32>,
+    /// Per-scenario load scales (the `Loads::Scaled` operand).
+    scales: Vec<f64>,
+    /// Level position of the outaged bus (the energized parent drops
+    /// child `cut_pos` from its sum), or `u32::MAX`.
+    cut_pos: Vec<u32>,
+    cut_lo: Vec<u32>,
+    cut_hi: Vec<u32>,
+    /// Level position whose feeding impedance is overridden, or
+    /// `u32::MAX`.
+    z_pos: Vec<u32>,
+    z_val: Vec<Complex>,
+    /// De-energized bus ids per scenario (empty without an outage).
+    isolated: Vec<Vec<u32>>,
+    /// Warm-start profile, by bus id (replicated device-side).
+    warm: Option<Vec<Complex>>,
+    /// Root bus id (excluded from `min_v`).
+    root: usize,
+}
+
+impl PatchPlan {
+    fn build(
+        a: &SolverArrays,
+        dfs: &DfsOrder,
+        patches: &[ScenarioPatch],
+        warm: Option<&[Complex]>,
+    ) -> Self {
+        let n = a.len();
+        assert_eq!(dfs.len(), n, "DFS order is over a {}-bus tree, arrays over {n}", dfs.len());
+        let root = a.levels.order[0] as usize;
+        let nb = patches.len();
+        let dfs_pos: Vec<u32> =
+            (0..n).map(|p| dfs.pos_of[a.levels.order[p] as usize]).collect();
+        let mut plan = PatchPlan {
+            dfs_pos,
+            scales: Vec::with_capacity(nb),
+            cut_pos: Vec::with_capacity(nb),
+            cut_lo: Vec::with_capacity(nb),
+            cut_hi: Vec::with_capacity(nb),
+            z_pos: Vec::with_capacity(nb),
+            z_val: Vec::with_capacity(nb),
+            isolated: Vec::with_capacity(nb),
+            warm: warm.map(|w| {
+                assert_eq!(w.len(), n, "warm profile needs one voltage per bus");
+                w.to_vec()
+            }),
+            root,
+        };
+        for (s, patch) in patches.iter().enumerate() {
+            assert!(
+                patch.scale.is_finite(),
+                "scenario {s}: load scale must be finite, got {}",
+                patch.scale
+            );
+            plan.scales.push(patch.scale);
+            match patch.outage {
+                Some(bus) => {
+                    assert!(bus < n, "scenario {s}: outage bus {bus} of {n}");
+                    assert_ne!(bus, root, "scenario {s}: the root has no feeding branch");
+                    let d = dfs.pos_of[bus];
+                    let sz = dfs.subtree_size[d as usize];
+                    plan.cut_pos.push(a.levels.pos_of[bus]);
+                    plan.cut_lo.push(d);
+                    plan.cut_hi.push(d + sz);
+                    plan.isolated.push(dfs.order[d as usize..(d + sz) as usize].to_vec());
+                }
+                None => {
+                    plan.cut_pos.push(u32::MAX);
+                    plan.cut_lo.push(u32::MAX);
+                    plan.cut_hi.push(u32::MAX);
+                    plan.isolated.push(Vec::new());
+                }
+            }
+            match patch.z_override {
+                Some((bus, z)) => {
+                    assert!(bus < n, "scenario {s}: override bus {bus} of {n}");
+                    assert_ne!(bus, root, "scenario {s}: the root has no feeding branch");
+                    assert!(
+                        z.is_finite() && z.abs() > 0.0 && z.re >= 0.0,
+                        "scenario {s}: override impedance {z:?} is not a valid impedance"
+                    );
+                    plan.z_pos.push(a.levels.pos_of[bus]);
+                    plan.z_val.push(z);
+                }
+                None => {
+                    plan.z_pos.push(u32::MAX);
+                    plan.z_val.push(Complex::ZERO);
+                }
+            }
+        }
+        plan
+    }
+}
+
+/// Minimum energized non-root `|V|` of a by-bus profile (the host-side
+/// mirror of the sweep kernel's min fold, for repaired scenarios).
+fn host_min_v(v: &[Complex], root: usize, isolated: &[u32]) -> f64 {
+    let mut dead = vec![false; v.len()];
+    for &b in isolated {
+        dead[b as usize] = true;
+    }
+    let mut min = f64::INFINITY;
+    for (b, vv) in v.iter().enumerate() {
+        if b != root && !dead[b] {
+            min = min.min(vv.abs());
+        }
+    }
+    min
+}
+
 /// Resident topology buffers (position space, size `n`).
 struct Topology {
     z: DeviceBuffer<Complex>,
@@ -539,32 +780,56 @@ struct Topology {
     child_hi: DeviceBuffer<u32>,
     /// Base loads in position space (the scaled-mode operand).
     base_s: DeviceBuffer<Complex>,
+    /// Patched solves: level position → DFS position (cut membership).
+    dfs_pos: Option<DeviceBuffer<u32>>,
 }
 
 impl Topology {
-    fn upload(dev: &mut Device, a: &SolverArrays) -> Result<Self, DeviceError> {
+    fn upload(
+        dev: &mut Device,
+        a: &SolverArrays,
+        patches: Option<&PatchPlan>,
+    ) -> Result<Self, DeviceError> {
         Ok(Topology {
             z: dev.try_alloc_from(&a.z)?,
             parent_pos: dev.try_alloc_from(&a.parent_pos)?,
             child_lo: dev.try_alloc_from(&a.child_lo)?,
             child_hi: dev.try_alloc_from(&a.child_hi)?,
             base_s: dev.try_alloc_from(&a.s)?,
+            dfs_pos: match patches {
+                Some(plan) => Some(dev.try_alloc_from(&plan.dfs_pos)?),
+                None => None,
+            },
         })
     }
 
     /// Reads every static buffer back and compares against the host
     /// truth (the audit's first line of defence).
-    fn verify(&self, dev: &mut Device, a: &SolverArrays) -> Result<bool, DeviceError> {
+    fn verify(
+        &self,
+        dev: &mut Device,
+        a: &SolverArrays,
+        patches: Option<&PatchPlan>,
+    ) -> Result<bool, DeviceError> {
         Ok(dev.try_dtoh(&self.z)? == a.z
             && dev.try_dtoh(&self.parent_pos)? == a.parent_pos
             && dev.try_dtoh(&self.child_lo)? == a.child_lo
             && dev.try_dtoh(&self.child_hi)? == a.child_hi
-            && dev.try_dtoh(&self.base_s)? == a.s)
+            && dev.try_dtoh(&self.base_s)? == a.s
+            && match (&self.dfs_pos, patches) {
+                (Some(buf), Some(plan)) => dev.try_dtoh(buf)? == plan.dfs_pos,
+                _ => true,
+            })
     }
 }
 
 /// Position-space loads of one scenario (the serial repair operand).
-fn repair_arrays(a: &SolverArrays, loads: &Loads<'_>, s: usize) -> SolverArrays {
+fn repair_arrays(
+    a: &SolverArrays,
+    loads: &Loads<'_>,
+    patches: Option<&PatchPlan>,
+    s: usize,
+) -> SolverArrays {
     let mut a2 = a.clone();
     match loads {
         Loads::Explicit(sc) => {
@@ -578,7 +843,33 @@ fn repair_arrays(a: &SolverArrays, loads: &Loads<'_>, s: usize) -> SolverArrays 
             }
         }
     }
+    if let Some(plan) = patches {
+        // An outage leaves the branch as an open switch: the subtree's
+        // loads go to zero (so its currents vanish) and its buses are
+        // masked on the way out; the serial sweep needs no other change.
+        for &bus in &plan.isolated[s] {
+            a2.s[a.levels.pos_of[bus as usize] as usize] = Complex::ZERO;
+        }
+        if plan.z_pos[s] != u32::MAX {
+            a2.z[plan.z_pos[s] as usize] = plan.z_val[s];
+        }
+    }
     a2
+}
+
+/// Serial solve of one (possibly patched, possibly warm-started)
+/// scenario — the host oracle for repairs and the degraded path.
+fn repair_solve(
+    serial: &SerialSolver,
+    a: &SolverArrays,
+    loads: &Loads<'_>,
+    patches: Option<&PatchPlan>,
+    s: usize,
+    cfg: &SolverConfig,
+) -> crate::report::SolveResult {
+    let arrays = repair_arrays(a, loads, patches, s);
+    let warm = patches.and_then(|plan| plan.warm.as_deref());
+    serial.solve_warm(&arrays, cfg, warm)
 }
 
 /// Scenario-load device views for the fused kernels.
@@ -595,6 +886,7 @@ fn run_chunk(
     a: &SolverArrays,
     topo: &Topology,
     loads: &Loads<'_>,
+    patches: Option<&PatchPlan>,
     range: std::ops::Range<usize>,
     cfg: &SolverConfig,
     armed: bool,
@@ -629,8 +921,37 @@ fn run_chunk(
             scale_buf = Some(dev.try_alloc_from(&scales[range.clone()])?);
         }
     }
+    // Patched chunks: a few words per scenario describe the cut range
+    // and the impedance override, plus one `min |V|` slot per scenario.
+    let chunk_patch = match patches {
+        Some(plan) => Some(ChunkPatch {
+            cut_pos: dev.try_alloc_from(&plan.cut_pos[range.clone()])?,
+            cut_lo: dev.try_alloc_from(&plan.cut_lo[range.clone()])?,
+            cut_hi: dev.try_alloc_from(&plan.cut_hi[range.clone()])?,
+            z_pos: dev.try_alloc_from(&plan.z_pos[range.clone()])?,
+            z_val: dev.try_alloc_from(&plan.z_val[range.clone()])?,
+        }),
+        None => None,
+    };
+    let mut minv_buf = match patches {
+        Some(_) => {
+            let mut buf = dev.try_alloc::<f64>(nb)?;
+            try_fill(dev, &mut buf, f64::INFINITY)?;
+            Some(buf)
+        }
+        None => None,
+    };
     let mut v_buf = dev.try_alloc::<Complex>(nb * n)?;
-    try_fill(dev, &mut v_buf, v0)?;
+    match patches.and_then(|plan| plan.warm.as_ref()) {
+        Some(warm) => {
+            // Warm start: replicate the permuted base-case profile into
+            // every scenario stripe device-side (one `n`-word upload).
+            let warm_buf = dev.try_alloc_from(&a.levels.permute(warm))?;
+            let kernel = WarmInitKernel { warm: warm_buf.view(), v: v_buf.view_mut(), n };
+            dev.try_launch(LaunchConfig::grid2d(1, nb as u32, TENSOR_BLOCK), &kernel)?;
+        }
+        None => try_fill(dev, &mut v_buf, v0)?,
+    }
     let mut j_buf = dev.try_alloc::<Complex>(nb * n)?;
     let mut mask_buf = dev.try_alloc_from(&vec![1u32; nb])?;
     let mut res_buf = dev.try_alloc::<f64>(nb)?;
@@ -676,6 +997,8 @@ fn run_chunk(
                 child_hi: topo.child_hi.view(),
                 mask: mask_buf.view(),
                 residuals: res_buf.view_mut(),
+                patch: patch_ref(topo, &chunk_patch),
+                min_v: minv_buf.as_mut().map(|b| b.view_mut()),
                 level_offsets: &level_offsets,
                 n,
                 nb,
@@ -740,11 +1063,21 @@ fn run_chunk(
     if armed {
         let audit_t0 = phases.total_us();
         let mark = dev.timeline().mark();
-        let statics_ok = topo.verify(dev, a)?
+        let statics_ok = topo.verify(dev, a, patches)?
             && match (&s_slab, &scale_buf, loads) {
                 (Some(buf), _, _) => dev.try_dtoh(buf)? == s_host,
                 (_, Some(buf), Loads::Scaled(scales)) => {
                     dev.try_dtoh(buf)? == scales[range.clone()]
+                }
+                _ => true,
+            }
+            && match (&chunk_patch, patches) {
+                (Some(cp), Some(plan)) => {
+                    dev.try_dtoh(&cp.cut_pos)? == plan.cut_pos[range.clone()]
+                        && dev.try_dtoh(&cp.cut_lo)? == plan.cut_lo[range.clone()]
+                        && dev.try_dtoh(&cp.cut_hi)? == plan.cut_hi[range.clone()]
+                        && dev.try_dtoh(&cp.z_pos)? == plan.z_pos[range.clone()]
+                        && dev.try_dtoh(&cp.z_val)? == plan.z_val[range.clone()]
                 }
                 _ => true,
             };
@@ -766,6 +1099,7 @@ fn run_chunk(
                     parent_pos: topo.parent_pos.view(),
                     child_lo: topo.child_lo.view(),
                     child_hi: topo.child_hi.view(),
+                    patch: patch_ref(topo, &chunk_patch),
                     level_offsets: &level_offsets,
                     n,
                 };
@@ -800,18 +1134,44 @@ fn run_chunk(
         (Vec::new(), Vec::new())
     };
 
+    let minv_host = match &minv_buf {
+        Some(buf) => {
+            let mark = dev.timeline().mark();
+            let m = dev.try_dtoh(buf)?;
+            let b = dev.timeline().breakdown_since(mark);
+            phases.teardown_us += b.total_us();
+            *transfer_us += b.htod_us + b.dtoh_us;
+            m
+        }
+        None => Vec::new(),
+    };
+
     let serial = SerialSolver::new(HostProps::paper_rig());
     for ls in 0..nb {
         let s = range.start + ls;
         if armed && suspicious[ls] {
-            let res = serial.solve_arrays(&repair_arrays(a, loads, s), cfg);
-            out.absorb_serial(s, res, true);
+            let res = repair_solve(&serial, a, loads, patches, s, cfg);
+            out.absorb_serial(s, res, true, patches);
             continue;
         }
         out.per_scenario_iterations[s] = iters_done[ls];
         out.statuses[s] = frozen_status[ls].unwrap_or(SolveStatus::MaxIterations);
         out.residuals[s] = last_residual[ls];
-        if keep {
+        if let Some(plan) = patches {
+            out.min_v[s] = minv_host[ls];
+            if keep {
+                let mut v = unpermute(a, &v_host[ls * n..(ls + 1) * n]);
+                let mut j = unpermute(a, &j_host[ls * n..(ls + 1) * n]);
+                // De-energized buses report dead, not their stale
+                // initial values.
+                for &bus in &plan.isolated[s] {
+                    v[bus as usize] = Complex::ZERO;
+                    j[bus as usize] = Complex::ZERO;
+                }
+                out.v[s] = v;
+                out.j[s] = j;
+            }
+        } else if keep {
             out.v[s] = unpermute(a, &v_host[ls * n..(ls + 1) * n]);
             out.j[s] = unpermute(a, &j_host[ls * n..(ls + 1) * n]);
         }
@@ -830,6 +1190,78 @@ fn loads_ref<'a>(
         (Some(s), _) => LoadsRef::Explicit(s.view()),
         (_, Some(sc)) => LoadsRef::Scaled { base: topo.base_s.view(), scales: sc.view() },
         _ => unreachable!("one load source is always present"),
+    }
+}
+
+/// Per-chunk patch buffers (one word each per scenario, local index).
+struct ChunkPatch {
+    cut_pos: DeviceBuffer<u32>,
+    cut_lo: DeviceBuffer<u32>,
+    cut_hi: DeviceBuffer<u32>,
+    z_pos: DeviceBuffer<u32>,
+    z_val: DeviceBuffer<Complex>,
+}
+
+/// Device views of the patch state for the fused kernels.
+struct PatchRefs<'a> {
+    dfs_pos: GlobalRef<'a, u32>,
+    cut_pos: GlobalRef<'a, u32>,
+    cut_lo: GlobalRef<'a, u32>,
+    cut_hi: GlobalRef<'a, u32>,
+    z_pos: GlobalRef<'a, u32>,
+    z_val: GlobalRef<'a, Complex>,
+}
+
+fn patch_ref<'a>(topo: &'a Topology, chunk: &'a Option<ChunkPatch>) -> Option<PatchRefs<'a>> {
+    chunk.as_ref().map(|cp| PatchRefs {
+        dfs_pos: topo.dfs_pos.as_ref().expect("patched topology has dfs_pos").view(),
+        cut_pos: cp.cut_pos.view(),
+        cut_lo: cp.cut_lo.view(),
+        cut_hi: cp.cut_hi.view(),
+        z_pos: cp.z_pos.view(),
+        z_val: cp.z_val.view(),
+    })
+}
+
+/// One scenario resident in a sweep block: its chunk-local index, load
+/// scale, and patch words (`u32::MAX` sentinels when unpatched, which
+/// never match a real position or DFS range).
+#[derive(Clone, Copy)]
+struct Member {
+    s_idx: usize,
+    scale: f64,
+    cut_pos: u32,
+    cut_lo: u32,
+    cut_hi: u32,
+    z_pos: u32,
+    z_val: Complex,
+}
+
+/// Replicates the warm-start profile (position space, length `n`) into
+/// every scenario stripe: `v[s·n + p] = warm[p]`. One block per
+/// scenario, threads strided over positions.
+struct WarmInitKernel<'a> {
+    warm: GlobalRef<'a, Complex>,
+    v: GlobalMut<'a, Complex>,
+    n: usize,
+}
+
+impl Kernel for WarmInitKernel<'_> {
+    fn name(&self) -> &'static str {
+        "tensor_warm_init"
+    }
+
+    fn block(&self, blk: &mut BlockScope) {
+        let base = blk.block_idx_y() * self.n;
+        let bdim = blk.block_dim();
+        blk.threads(|t| {
+            let mut k = t.tid();
+            while k < self.n {
+                let w = t.ld(&self.warm, k);
+                t.st(&self.v, base + k, w);
+                k += bdim;
+            }
+        });
     }
 }
 
@@ -868,6 +1300,13 @@ struct SweepKernel<'a> {
     child_hi: GlobalRef<'a, u32>,
     mask: GlobalRef<'a, u32>,
     residuals: GlobalMut<'a, f64>,
+    /// Patched solves: per-scenario cut ranges and impedance overrides.
+    /// `None` keeps the unpatched path byte-identical (no extra reads,
+    /// no extra flops).
+    patch: Option<PatchRefs<'a>>,
+    /// Patched solves: per-scenario `min |V|` over updated nodes,
+    /// overwritten every iteration.
+    min_v: Option<GlobalMut<'a, f64>>,
     level_offsets: &'a [u32],
     n: usize,
     /// Scenarios in the chunk (the last block may hold fewer than
@@ -885,9 +1324,10 @@ impl Kernel for SweepKernel<'_> {
         let group_end = (group + SCENARIOS_PER_BLOCK).min(self.nb);
         let bdim = blk.block_dim();
 
-        // Active resident scenarios with their load scales; frozen
-        // scenarios cost one 4-byte mask read each and drop out.
-        let mut members: Vec<(usize, f64)> = Vec::new();
+        // Active resident scenarios with their load scales and patch
+        // words; frozen scenarios cost one 4-byte mask read each and
+        // drop out.
+        let mut members: Vec<Member> = Vec::new();
         blk.threads(|t| {
             if t.tid() == 0 {
                 for s_idx in group..group_end {
@@ -896,7 +1336,23 @@ impl Kernel for SweepKernel<'_> {
                             LoadsRef::Scaled { scales, .. } => t.ld(scales, s_idx),
                             LoadsRef::Explicit(_) => 0.0,
                         };
-                        members.push((s_idx, scale));
+                        let mut mb = Member {
+                            s_idx,
+                            scale,
+                            cut_pos: u32::MAX,
+                            cut_lo: u32::MAX,
+                            cut_hi: u32::MAX,
+                            z_pos: u32::MAX,
+                            z_val: Complex::ZERO,
+                        };
+                        if let Some(pr) = &self.patch {
+                            mb.cut_pos = t.ld(&pr.cut_pos, s_idx);
+                            mb.cut_lo = t.ld(&pr.cut_lo, s_idx);
+                            mb.cut_hi = t.ld(&pr.cut_hi, s_idx);
+                            mb.z_pos = t.ld(&pr.z_pos, s_idx);
+                            mb.z_val = t.ld(&pr.z_val, s_idx);
+                        }
+                        members.push(mb);
                     }
                 }
             }
@@ -940,14 +1396,24 @@ impl Kernel for SweepKernel<'_> {
                     };
                     let lo = t.ld(&self.child_lo, p) as usize;
                     let hi = t.ld(&self.child_hi, p) as usize;
+                    // Cut membership is two compares against the node's
+                    // DFS position (one extra topology read, patched
+                    // solves only).
+                    let dp = match &self.patch {
+                        Some(pr) => t.ld(&pr.dfs_pos, p),
+                        None => 0,
+                    };
                     let slot = (sb + m) * bdim + t.tid();
-                    for (qi, &(s_idx, scale)) in members.iter().enumerate() {
-                        let base = s_idx * self.n;
+                    for (qi, mb) in members.iter().enumerate() {
+                        if dp >= mb.cut_lo && dp < mb.cut_hi {
+                            continue; // de-energized in this scenario
+                        }
+                        let base = mb.s_idx * self.n;
                         let g = base + p;
                         let sv = match (&self.loads, base_sv) {
                             (_, Some(b)) => {
                                 t.flops(2);
-                                b * scale
+                                b * mb.scale
                             }
                             (LoadsRef::Explicit(s), _) => t.ld(s, g),
                             _ => unreachable!("scaled loads stage base_sv"),
@@ -960,6 +1426,9 @@ impl Kernel for SweepKernel<'_> {
                             (sv / vv).conj()
                         };
                         for c in lo..hi {
+                            if c as u32 == mb.cut_pos {
+                                continue; // the opened branch carries no current
+                            }
                             t.flops(Complex::ADD_FLOPS);
                             acc += t.ld_mut(&self.j, base + c);
                         }
@@ -979,6 +1448,7 @@ impl Kernel for SweepKernel<'_> {
         // member's residual partial accumulates per thread in the exact
         // per-node order of the unfused sweep.
         let mut partial = vec![0.0f64; nm * bdim];
+        let mut partial_min = vec![f64::INFINITY; if self.min_v.is_some() { nm * bdim } else { 0 }];
         for (l, &sb) in slot_base.iter().enumerate().take(nl).skip(1) {
             let off = self.level_offsets[l] as usize;
             let w = self.level_offsets[l + 1] as usize - off;
@@ -990,20 +1460,33 @@ impl Kernel for SweepKernel<'_> {
                     let p = off + k;
                     let parent = t.ld(&self.parent_pos, p) as usize;
                     let zv = t.ld(&self.z, p);
+                    let dp = match &self.patch {
+                        Some(pr) => t.ld(&pr.dfs_pos, p),
+                        None => 0,
+                    };
                     let slot = (sb + m) * bdim + tid;
-                    for (qi, &(s_idx, _)) in members.iter().enumerate() {
-                        let base = s_idx * self.n;
+                    for (qi, mb) in members.iter().enumerate() {
+                        if dp >= mb.cut_lo && dp < mb.cut_hi {
+                            continue; // de-energized: frozen, not folded
+                        }
+                        let base = mb.s_idx * self.n;
                         let g = base + p;
                         let vp = t.ld_mut(&self.v, base + parent);
                         let jv = local_j[qi * bank + slot];
                         let old = local_v[qi * bank + slot];
-                        let nv = vp - zv * jv;
+                        let zm = if p as u32 == mb.z_pos { mb.z_val } else { zv };
+                        let nv = vp - zm * jv;
                         t.flops(Complex::MUL_FLOPS + Complex::ADD_FLOPS + 4);
                         let d = (nv - old).abs();
                         t.st(&self.v, g, nv);
                         t.flops(MaxAbsF64::FLOPS);
                         partial[qi * bdim + tid] =
                             MaxAbsF64::combine(partial[qi * bdim + tid], d);
+                        if self.min_v.is_some() {
+                            t.flops(2);
+                            let slot_min = &mut partial_min[qi * bdim + tid];
+                            *slot_min = slot_min.min(nv.abs());
+                        }
                     }
                     k += bdim;
                     m += 1;
@@ -1011,9 +1494,10 @@ impl Kernel for SweepKernel<'_> {
             });
         }
 
-        // Tree-fold each member's partials and publish its residual.
+        // Tree-fold each member's partials and publish its residual
+        // (and, for patched solves, its minimum updated `|V|`).
         let sh = blk.shared::<f64>(bdim);
-        for (qi, &(s_idx, _)) in members.iter().enumerate() {
+        for (qi, mb) in members.iter().enumerate() {
             blk.threads(|t| {
                 t.sts(&sh, t.tid(), partial[qi * bdim + t.tid()]);
             });
@@ -1033,9 +1517,33 @@ impl Kernel for SweepKernel<'_> {
             blk.threads(|t| {
                 if t.tid() == 0 {
                     let r = t.lds(&sh, 0);
-                    t.st(&self.residuals, s_idx, r);
+                    t.st(&self.residuals, mb.s_idx, r);
                 }
             });
+            if let Some(min_buf) = &self.min_v {
+                blk.threads(|t| {
+                    t.sts(&sh, t.tid(), partial_min[qi * bdim + t.tid()]);
+                });
+                let mut stride = bdim / 2;
+                while stride > 0 {
+                    blk.threads(|t| {
+                        let tid = t.tid();
+                        if tid < stride {
+                            let a = t.lds(&sh, tid);
+                            let c = t.lds(&sh, tid + stride);
+                            t.flops(1);
+                            t.sts(&sh, tid, a.min(c));
+                        }
+                    });
+                    stride /= 2;
+                }
+                blk.threads(|t| {
+                    if t.tid() == 0 {
+                        let r = t.lds(&sh, 0);
+                        t.st(min_buf, mb.s_idx, r);
+                    }
+                });
+            }
         }
     }
 }
@@ -1057,6 +1565,9 @@ struct AuditKernel<'a> {
     parent_pos: GlobalRef<'a, u32>,
     child_lo: GlobalRef<'a, u32>,
     child_hi: GlobalRef<'a, u32>,
+    /// Patched solves: the audit recomputes under the *same* patched
+    /// topology, or every patched scenario would flag suspicious.
+    patch: Option<PatchRefs<'a>>,
     level_offsets: &'a [u32],
     n: usize,
 }
@@ -1072,10 +1583,20 @@ impl Kernel for AuditKernel<'_> {
         let bdim = blk.block_dim();
 
         let mut scale = 0.0f64;
+        let mut cut = (u32::MAX, u32::MAX, u32::MAX); // (pos, lo, hi)
+        let mut z_over = (u32::MAX, Complex::ZERO);
         blk.threads(|t| {
             if t.tid() == 0 {
                 if let LoadsRef::Scaled { scales, .. } = &self.loads {
                     scale = t.ld(scales, s_idx);
+                }
+                if let Some(pr) = &self.patch {
+                    cut = (
+                        t.ld(&pr.cut_pos, s_idx),
+                        t.ld(&pr.cut_lo, s_idx),
+                        t.ld(&pr.cut_hi, s_idx),
+                    );
+                    z_over = (t.ld(&pr.z_pos, s_idx), t.ld(&pr.z_val, s_idx));
                 }
             }
         });
@@ -1089,6 +1610,13 @@ impl Kernel for AuditKernel<'_> {
                 let mut k = t.tid();
                 while k < w {
                     let p = off + k;
+                    if let Some(pr) = &self.patch {
+                        let dp = t.ld(&pr.dfs_pos, p);
+                        if dp >= cut.1 && dp < cut.2 {
+                            k += bdim;
+                            continue; // de-energized: no recompute
+                        }
+                    }
                     let g = base + p;
                     let sv = match &self.loads {
                         LoadsRef::Explicit(s) => t.ld(s, g),
@@ -1108,6 +1636,9 @@ impl Kernel for AuditKernel<'_> {
                     let lo = t.ld(&self.child_lo, p) as usize;
                     let hi = t.ld(&self.child_hi, p) as usize;
                     for c in lo..hi {
+                        if c as u32 == cut.0 {
+                            continue; // the opened branch carries no current
+                        }
                         t.flops(Complex::ADD_FLOPS);
                         acc += t.ld_mut(&self.j_audit, base + c);
                     }
@@ -1131,6 +1662,17 @@ impl Kernel for AuditKernel<'_> {
                 while k < w {
                     let p = off + k;
                     let g = base + p;
+                    if let Some(pr) = &self.patch {
+                        let dp = t.ld(&pr.dfs_pos, p);
+                        if dp >= cut.1 && dp < cut.2 {
+                            // De-energized nodes audit clean by
+                            // definition; the slab is zero-initialised
+                            // but write explicitly for clarity.
+                            t.st(&self.delta, g, 0.0);
+                            k += bdim;
+                            continue;
+                        }
+                    }
                     let ja = t.ld_mut(&self.j_audit, g);
                     let jr = t.ld(&self.j, g);
                     let denom = ja.abs() + jr.abs();
@@ -1153,7 +1695,8 @@ impl Kernel for AuditKernel<'_> {
                     } else {
                         let parent = t.ld(&self.parent_pos, p) as usize;
                         let vp = t.ld_mut(&self.v_audit, base + parent);
-                        let zv = t.ld(&self.z, p);
+                        let zv0 = t.ld(&self.z, p);
+                        let zv = if p as u32 == z_over.0 { z_over.1 } else { zv0 };
                         let nv = vp - zv * ja;
                         t.flops(Complex::MUL_FLOPS + Complex::ADD_FLOPS + 4);
                         let old = t.ld(&self.v, g);
@@ -1376,6 +1919,167 @@ mod tests {
         assert!(res.converged());
         assert_eq!(res.v[0][0], c(240.0, 0.0));
         assert_eq!(res.per_scenario_iterations, vec![1]);
+    }
+
+    #[test]
+    fn outage_patch_matches_serial_with_subtree_masked() {
+        let net = ieee13();
+        let cfg = SolverConfig::default();
+        let a = SolverArrays::new(&net);
+        let dfs = DfsOrder::new(&net);
+        let patches =
+            [ScenarioPatch::outage(6), ScenarioPatch::base(), ScenarioPatch::outage(9)];
+        let res =
+            solver().try_solve_patched_arrays(&a, &dfs, &patches, &cfg, None).unwrap();
+        assert!(res.converged(), "{:?}", res.statuses);
+        assert_eq!(res.min_v.len(), 3, "patched solves report min |V|");
+
+        let serial = SerialSolver::new(HostProps::paper_rig());
+        let plan = PatchPlan::build(&a, &dfs, &patches, None);
+        for s in 0..patches.len() {
+            let arrays = repair_arrays(&a, &Loads::Scaled(&plan.scales), Some(&plan), s);
+            let sref = serial.solve_arrays(&arrays, &cfg);
+            assert_eq!(
+                res.per_scenario_iterations[s], sref.iterations,
+                "scenario {s} iteration parity with the masked serial solve"
+            );
+            let mut dead = vec![false; net.num_buses()];
+            for &b in &plan.isolated[s] {
+                dead[b as usize] = true;
+            }
+            for bus in 0..net.num_buses() {
+                if dead[bus] {
+                    assert_eq!(res.v[s][bus], Complex::ZERO, "scenario {s} bus {bus}");
+                    assert_eq!(res.j[s][bus], Complex::ZERO, "scenario {s} bus {bus}");
+                } else {
+                    let dv = (res.v[s][bus] - sref.v[bus]).abs();
+                    assert!(dv < 1e-9, "scenario {s} bus {bus} off by {dv}");
+                }
+            }
+            let want = host_min_v(&sref.v, plan.root, &plan.isolated[s]);
+            assert!(
+                (res.min_v[s] - want).abs() < 1e-9,
+                "scenario {s} min_v {} vs host fold {want}",
+                res.min_v[s]
+            );
+        }
+
+        // The base-case lane is bitwise the scaled-mode solve.
+        let scaled = solver().solve_scaled(&net, &[1.0], &cfg);
+        assert_eq!(res.v[1], scaled.v[0]);
+        assert_eq!(res.per_scenario_iterations[1], scaled.per_scenario_iterations[0]);
+    }
+
+    #[test]
+    fn impedance_override_patch_matches_a_rebuilt_network() {
+        let net = ieee37();
+        let cfg = SolverConfig::default();
+        let a = SolverArrays::new(&net);
+        let dfs = DfsOrder::new(&net);
+        let zb = c(1.9, 0.8);
+        let patch =
+            ScenarioPatch { z_override: Some((5, zb)), ..ScenarioPatch::default() };
+        let res = solver()
+            .try_solve_patched_arrays(&a, &dfs, &[patch], &cfg, None)
+            .unwrap();
+        assert!(res.converged());
+
+        // Reference: rebuild the network with that branch retuned.
+        let mut b = powergrid::NetworkBuilder::new(net.source_voltage());
+        for bus in net.buses() {
+            b.add_bus(bus.load);
+        }
+        for br in net.branches() {
+            b.connect(br.from, br.to, if br.to == 5 { zb } else { br.z });
+        }
+        let rebuilt = b.build().unwrap();
+        let sref = SerialSolver::new(HostProps::paper_rig()).solve(&rebuilt, &cfg);
+        for bus in 0..net.num_buses() {
+            let dv = (res.v[0][bus] - sref.v[bus]).abs();
+            assert!(dv < 1e-9, "bus {bus} off by {dv}");
+        }
+    }
+
+    #[test]
+    fn warm_start_seeds_every_lane_and_never_costs_iterations() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = random_tree(400, 6, &GenSpec::default(), &mut rng);
+        let cfg = SolverConfig::default();
+        let a = SolverArrays::new(&net);
+        let dfs = DfsOrder::new(&net);
+        let base = SerialSolver::new(HostProps::paper_rig()).solve_arrays(&a, &cfg);
+        assert_eq!(base.status, SolveStatus::Converged);
+
+        let patches = [
+            ScenarioPatch { scale: 1.02, ..ScenarioPatch::default() },
+            ScenarioPatch::outage(7),
+            ScenarioPatch::outage(200),
+        ];
+        let cold =
+            solver().try_solve_patched_arrays(&a, &dfs, &patches, &cfg, None).unwrap();
+        let warm = solver()
+            .try_solve_patched_arrays(&a, &dfs, &patches, &cfg, Some(&base.v))
+            .unwrap();
+        assert!(cold.converged() && warm.converged());
+        for s in 0..patches.len() {
+            assert!(
+                warm.per_scenario_iterations[s] <= cold.per_scenario_iterations[s],
+                "scenario {s}: warm {} > cold {}",
+                warm.per_scenario_iterations[s],
+                cold.per_scenario_iterations[s]
+            );
+            // Both iterates stop within `tol` of the same fixed point,
+            // along different paths — they agree to O(tol), not exactly.
+            let tol = cfg.tol_volts(a.source.abs());
+            for bus in 0..net.num_buses() {
+                let dv = (warm.v[s][bus] - cold.v[s][bus]).abs();
+                assert!(dv < 2.0 * tol, "scenario {s} bus {bus}: fixed points differ by {dv}");
+            }
+        }
+        // A near-base reload converges strictly faster from the profile.
+        assert!(
+            warm.per_scenario_iterations[0] < cold.per_scenario_iterations[0],
+            "warm start must beat the flat start near the base case"
+        );
+    }
+
+    #[test]
+    fn patched_chunking_and_stats_only_agree_with_the_whole_batch() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let net = random_tree(180, 5, &GenSpec::default(), &mut rng);
+        let cfg = SolverConfig::default();
+        let a = SolverArrays::new(&net);
+        let dfs = DfsOrder::new(&net);
+        let patches: Vec<ScenarioPatch> =
+            (1..20).map(ScenarioPatch::outage).collect();
+        let whole =
+            solver().try_solve_patched_arrays(&a, &dfs, &patches, &cfg, None).unwrap();
+        let chunked = TensorBatchSolver::new(device())
+            .with_chunk_scenarios(3)
+            .try_solve_patched_arrays(&a, &dfs, &patches, &cfg, None)
+            .unwrap();
+        assert_eq!(whole.statuses, chunked.statuses);
+        assert_eq!(whole.per_scenario_iterations, chunked.per_scenario_iterations);
+        assert_eq!(whole.min_v, chunked.min_v);
+        let stats = TensorBatchSolver::new(device())
+            .stats_only()
+            .try_solve_patched_arrays(&a, &dfs, &patches, &cfg, None)
+            .unwrap();
+        assert!(stats.v.is_empty());
+        assert_eq!(stats.min_v, whole.min_v);
+        assert_eq!(stats.per_scenario_iterations, whole.per_scenario_iterations);
+    }
+
+    #[test]
+    #[should_panic(expected = "root")]
+    fn outage_of_the_root_is_rejected() {
+        let net = ieee13();
+        solver().solve_patched(
+            &net,
+            &[ScenarioPatch::outage(0)],
+            &SolverConfig::default(),
+            None,
+        );
     }
 
     #[test]

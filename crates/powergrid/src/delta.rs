@@ -1,0 +1,442 @@
+//! Topology deltas: bounded edits applied to a [`RadialNetwork`] in
+//! place, with an exact undo.
+//!
+//! Contingency screening and switching studies solve thousands of
+//! variants of one base network, each differing by a single branch.
+//! Rebuilding (and re-validating) the whole network per variant is
+//! `O(n)` work and — worse — loses the identity between the base and
+//! the variant, which the warm-start and batched-screening paths rely
+//! on. A [`TopologyDelta`] instead captures one edit:
+//!
+//! * **Outage** — opening the branch that feeds a bus. The subtree
+//!   hanging off that bus is de-energized: its loads are zeroed in
+//!   place (so energized-side branch currents are exact) and the
+//!   isolated bus set is reported via [`TopologyDelta::isolated`] so
+//!   solvers can mask those buses out. The branch itself stays in the
+//!   model as an open switch, which keeps every radial invariant (and
+//!   the level/DFS layouts) intact.
+//! * **Impedance** — replacing the series impedance of the branch
+//!   feeding a bus (conductor upgrade, temperature derate, fault
+//!   impedance).
+//! * **Splice** — re-parenting a bus onto a different upstream bus
+//!   (tie-switch reconfiguration), with a cycle check that the new
+//!   parent lies outside the moved subtree.
+//!
+//! [`TopologyDelta::apply`] mutates the network; [`TopologyDelta::revert`]
+//! restores it *bitwise* — every load and impedance comes back from a
+//! saved copy, not from recomputation. Apply/revert pairs may be
+//! repeated.
+
+use numc::Complex;
+
+use crate::network::RadialNetwork;
+
+/// The edit a [`TopologyDelta`] performs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeltaOp {
+    /// Open the branch feeding `bus`, de-energizing its subtree.
+    Outage {
+        /// Downstream end of the opened branch.
+        bus: usize,
+    },
+    /// Replace the impedance of the branch feeding `bus` with `z`.
+    Impedance {
+        /// Downstream end of the retuned branch.
+        bus: usize,
+        /// New series impedance, ohms.
+        z: Complex,
+    },
+    /// Re-parent `bus` onto `new_parent` through impedance `z`.
+    Splice {
+        /// The bus being moved (with its whole subtree).
+        bus: usize,
+        /// Its new upstream bus.
+        new_parent: usize,
+        /// Impedance of the new section, ohms.
+        z: Complex,
+    },
+}
+
+/// Why a delta could not be constructed or applied.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeltaError {
+    /// A bus id lies outside the network.
+    BadBus {
+        /// The offending id.
+        id: usize,
+        /// Bus count.
+        n: usize,
+    },
+    /// The root has no feeding branch to outage, retune or splice.
+    RootDelta,
+    /// The splice target lies inside the moved subtree (would create a
+    /// cycle / detach the subtree from the source).
+    CycleSplice {
+        /// The bus being moved.
+        bus: usize,
+        /// The in-subtree parent that was requested.
+        new_parent: usize,
+    },
+    /// The replacement impedance is zero, negative-resistance or
+    /// non-finite.
+    BadImpedance,
+    /// `apply` called while the delta is already applied.
+    AlreadyApplied,
+    /// `revert` called while the delta is not applied.
+    NotApplied,
+    /// The network passed to `apply`/`revert` is not the one the delta
+    /// was built from (bus count mismatch is the detectable symptom).
+    WrongNetwork {
+        /// Bus count the delta was built against.
+        expect: usize,
+        /// Bus count of the network passed in.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::BadBus { id, n } => write!(f, "delta references bus {id} (only {n} buses)"),
+            DeltaError::RootDelta => write!(f, "the root bus has no feeding branch to edit"),
+            DeltaError::CycleSplice { bus, new_parent } => write!(
+                f,
+                "splicing bus {bus} under {new_parent} would create a cycle ({new_parent} is inside the moved subtree)"
+            ),
+            DeltaError::BadImpedance => write!(f, "replacement impedance is zero, negative-resistance or non-finite"),
+            DeltaError::AlreadyApplied => write!(f, "delta is already applied"),
+            DeltaError::NotApplied => write!(f, "delta is not applied"),
+            DeltaError::WrongNetwork { expect, got } => {
+                write!(f, "delta was built for a {expect}-bus network, got {got} buses")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Saved state for the exact undo.
+#[derive(Clone, Debug)]
+enum Undo {
+    /// Outage: the de-energized buses' original loads, in `isolated`
+    /// order.
+    Loads(Vec<Complex>),
+    /// Impedance: the original `z`.
+    Z(Complex),
+    /// Splice: the original `(from, z)` of the branch slot.
+    Parent(usize, Complex),
+}
+
+/// One revertible topology edit, bound to the network it was built
+/// from. See the [module docs](crate::delta) for the operation
+/// semantics.
+#[derive(Clone, Debug)]
+pub struct TopologyDelta {
+    op: DeltaOp,
+    /// Buses de-energized by an outage (the subtree of `bus`, in BFS
+    /// order, `bus` first). Empty for impedance/splice deltas.
+    isolated: Vec<usize>,
+    /// Bus count of the origin network (sanity-checks apply/revert).
+    n: usize,
+    undo: Option<Undo>,
+}
+
+impl TopologyDelta {
+    /// Builds an outage delta: opening the branch that feeds `bus`.
+    pub fn outage(net: &RadialNetwork, bus: usize) -> Result<Self, DeltaError> {
+        check_editable(net, bus)?;
+        Ok(TopologyDelta {
+            op: DeltaOp::Outage { bus },
+            isolated: subtree_of(net, bus),
+            n: net.num_buses(),
+            undo: None,
+        })
+    }
+
+    /// Builds an impedance-change delta on the branch feeding `bus`.
+    pub fn impedance(net: &RadialNetwork, bus: usize, z: Complex) -> Result<Self, DeltaError> {
+        check_editable(net, bus)?;
+        check_z(z)?;
+        Ok(TopologyDelta {
+            op: DeltaOp::Impedance { bus, z },
+            isolated: Vec::new(),
+            n: net.num_buses(),
+            undo: None,
+        })
+    }
+
+    /// Builds a splice delta: re-parenting `bus` under `new_parent`
+    /// through impedance `z`.
+    pub fn splice(
+        net: &RadialNetwork,
+        bus: usize,
+        new_parent: usize,
+        z: Complex,
+    ) -> Result<Self, DeltaError> {
+        check_editable(net, bus)?;
+        if new_parent >= net.num_buses() {
+            return Err(DeltaError::BadBus { id: new_parent, n: net.num_buses() });
+        }
+        check_z(z)?;
+        if subtree_of(net, bus).contains(&new_parent) {
+            return Err(DeltaError::CycleSplice { bus, new_parent });
+        }
+        Ok(TopologyDelta {
+            op: DeltaOp::Splice { bus, new_parent, z },
+            isolated: Vec::new(),
+            n: net.num_buses(),
+            undo: None,
+        })
+    }
+
+    /// The edit this delta performs.
+    pub fn op(&self) -> &DeltaOp {
+        &self.op
+    }
+
+    /// Buses de-energized by an outage delta (the subtree of the outaged
+    /// bus, BFS order, outaged bus first); empty for other ops.
+    pub fn isolated(&self) -> &[usize] {
+        &self.isolated
+    }
+
+    /// Whether the delta is currently applied.
+    pub fn is_applied(&self) -> bool {
+        self.undo.is_some()
+    }
+
+    /// Applies the edit to `net` in place, saving exact undo state.
+    pub fn apply(&mut self, net: &mut RadialNetwork) -> Result<(), DeltaError> {
+        if self.undo.is_some() {
+            return Err(DeltaError::AlreadyApplied);
+        }
+        if net.num_buses() != self.n {
+            return Err(DeltaError::WrongNetwork { expect: self.n, got: net.num_buses() });
+        }
+        self.undo = Some(match self.op {
+            DeltaOp::Outage { .. } => {
+                let mut saved = Vec::with_capacity(self.isolated.len());
+                for &b in &self.isolated {
+                    let bus = net.bus_mut(b);
+                    saved.push(bus.load);
+                    bus.load = Complex::ZERO;
+                }
+                Undo::Loads(saved)
+            }
+            DeltaOp::Impedance { bus, z } => {
+                let br = net.branch_mut(net.parent_branch_index(bus));
+                let old = br.z;
+                br.z = z;
+                Undo::Z(old)
+            }
+            DeltaOp::Splice { bus, new_parent, z } => {
+                let br = net.branch_mut(net.parent_branch_index(bus));
+                let old = (br.from, br.z);
+                br.from = new_parent;
+                br.z = z;
+                Undo::Parent(old.0, old.1)
+            }
+        });
+        Ok(())
+    }
+
+    /// Restores `net` to its pre-apply state, bitwise.
+    pub fn revert(&mut self, net: &mut RadialNetwork) -> Result<(), DeltaError> {
+        let undo = self.undo.take().ok_or(DeltaError::NotApplied)?;
+        if net.num_buses() != self.n {
+            self.undo = Some(undo); // leave the delta applied; nothing touched
+            return Err(DeltaError::WrongNetwork { expect: self.n, got: net.num_buses() });
+        }
+        match (&self.op, undo) {
+            (DeltaOp::Outage { .. }, Undo::Loads(saved)) => {
+                for (&b, load) in self.isolated.iter().zip(saved) {
+                    net.bus_mut(b).load = load;
+                }
+            }
+            (DeltaOp::Impedance { bus, .. }, Undo::Z(old)) => {
+                net.branch_mut(net.parent_branch_index(*bus)).z = old;
+            }
+            (DeltaOp::Splice { bus, .. }, Undo::Parent(from, z)) => {
+                let br = net.branch_mut(net.parent_branch_index(*bus));
+                br.from = from;
+                br.z = z;
+            }
+            _ => unreachable!("undo variant always matches op"),
+        }
+        Ok(())
+    }
+}
+
+/// Validates that `bus` exists and has a feeding branch to edit.
+fn check_editable(net: &RadialNetwork, bus: usize) -> Result<(), DeltaError> {
+    if bus >= net.num_buses() {
+        return Err(DeltaError::BadBus { id: bus, n: net.num_buses() });
+    }
+    if bus == net.root() {
+        return Err(DeltaError::RootDelta);
+    }
+    Ok(())
+}
+
+/// Same admissibility rule as the network builder's impedance check.
+fn check_z(z: Complex) -> Result<(), DeltaError> {
+    if !z.is_finite() || z.abs() == 0.0 || z.re < 0.0 {
+        return Err(DeltaError::BadImpedance);
+    }
+    Ok(())
+}
+
+/// The subtree rooted at `bus` (BFS order, `bus` first).
+fn subtree_of(net: &RadialNetwork, bus: usize) -> Vec<usize> {
+    let n = net.num_buses();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for br in net.branches() {
+        children[br.from].push(br.to);
+    }
+    let mut out = vec![bus];
+    let mut head = 0;
+    while head < out.len() {
+        let cur = out[head];
+        head += 1;
+        out.extend_from_slice(&children[cur]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ieee::ieee13;
+    use numc::c;
+
+    fn snapshot(net: &RadialNetwork) -> (Vec<u64>, Vec<u64>) {
+        let loads = net
+            .buses()
+            .iter()
+            .flat_map(|b| [b.load.re.to_bits(), b.load.im.to_bits()])
+            .collect();
+        let branches = net
+            .branches()
+            .iter()
+            .flat_map(|br| {
+                [br.from as u64, br.to as u64, br.z.re.to_bits(), br.z.im.to_bits()]
+            })
+            .collect();
+        (loads, branches)
+    }
+
+    #[test]
+    fn outage_zeroes_exactly_the_subtree_and_reverts_bitwise() {
+        let mut net = ieee13();
+        let before = snapshot(&net);
+        // Bus 6 (node 671) heads the lower half of the feeder.
+        let mut d = TopologyDelta::outage(&net, 6).unwrap();
+        let mut iso = d.isolated().to_vec();
+        assert_eq!(iso[0], 6, "outaged bus leads the isolated set");
+        iso.sort_unstable();
+        assert_eq!(iso, vec![6, 7, 8, 9, 10, 11, 12], "671's subtree");
+        d.apply(&mut net).unwrap();
+        assert!(d.is_applied());
+        for b in 0..net.num_buses() {
+            if d.isolated().contains(&b) {
+                assert_eq!(net.buses()[b].load, Complex::ZERO, "bus {b} de-energized");
+            } else {
+                assert_eq!(
+                    net.buses()[b].load, ieee13().buses()[b].load,
+                    "bus {b} untouched"
+                );
+            }
+        }
+        // Branches are untouched — the opened branch is an open switch.
+        assert_eq!(snapshot(&net).1, before.1);
+        d.revert(&mut net).unwrap();
+        assert_eq!(snapshot(&net), before, "revert restores the network bitwise");
+    }
+
+    #[test]
+    fn impedance_swaps_one_branch_and_reverts_bitwise() {
+        let mut net = ieee13();
+        let before = snapshot(&net);
+        let mut d = TopologyDelta::impedance(&net, 3, c(0.77, 0.33)).unwrap();
+        assert!(d.isolated().is_empty());
+        d.apply(&mut net).unwrap();
+        assert_eq!(net.parent_branch(3).unwrap().z, c(0.77, 0.33));
+        // Only that one slot changed.
+        let mid = snapshot(&net);
+        assert_eq!(mid.0, before.0);
+        let diffs = mid.1.iter().zip(&before.1).filter(|(a, b)| a != b).count();
+        assert_eq!(diffs, 2, "exactly re+im of one branch");
+        d.revert(&mut net).unwrap();
+        assert_eq!(snapshot(&net), before);
+    }
+
+    #[test]
+    fn splice_reparents_and_reverts_bitwise() {
+        let mut net = ieee13();
+        let before = snapshot(&net);
+        let old_parent = net.parent(9).unwrap();
+        let mut d = TopologyDelta::splice(&net, 9, 2, c(0.5, 0.2)).unwrap();
+        d.apply(&mut net).unwrap();
+        assert_eq!(net.parent(9), Some(2));
+        assert_ne!(net.parent(9), Some(old_parent));
+        // The spliced network is still a valid radial tree.
+        crate::LevelOrder::new(&net).check_invariants();
+        d.revert(&mut net).unwrap();
+        assert_eq!(net.parent(9), Some(old_parent));
+        assert_eq!(snapshot(&net), before);
+    }
+
+    #[test]
+    fn apply_revert_cycles_are_repeatable() {
+        let mut net = ieee13();
+        let before = snapshot(&net);
+        let mut d = TopologyDelta::outage(&net, 4).unwrap();
+        for _ in 0..3 {
+            d.apply(&mut net).unwrap();
+            d.revert(&mut net).unwrap();
+        }
+        assert_eq!(snapshot(&net), before);
+    }
+
+    #[test]
+    fn structured_errors_cover_the_misuse_space() {
+        let mut net = ieee13();
+        let n = net.num_buses();
+        assert_eq!(
+            TopologyDelta::outage(&net, n).unwrap_err(),
+            DeltaError::BadBus { id: n, n }
+        );
+        assert_eq!(TopologyDelta::outage(&net, 0).unwrap_err(), DeltaError::RootDelta);
+        assert_eq!(
+            TopologyDelta::impedance(&net, 3, Complex::ZERO).unwrap_err(),
+            DeltaError::BadImpedance
+        );
+        assert_eq!(
+            TopologyDelta::impedance(&net, 3, c(-1.0, 0.5)).unwrap_err(),
+            DeltaError::BadImpedance
+        );
+        // Splicing 6 under its own descendant 12 would orphan the subtree.
+        assert_eq!(
+            TopologyDelta::splice(&net, 6, 12, c(0.1, 0.1)).unwrap_err(),
+            DeltaError::CycleSplice { bus: 6, new_parent: 12 }
+        );
+        // Self-splice is the degenerate cycle.
+        assert_eq!(
+            TopologyDelta::splice(&net, 6, 6, c(0.1, 0.1)).unwrap_err(),
+            DeltaError::CycleSplice { bus: 6, new_parent: 6 }
+        );
+        let mut d = TopologyDelta::outage(&net, 4).unwrap();
+        assert_eq!(d.revert(&mut net).unwrap_err(), DeltaError::NotApplied);
+        d.apply(&mut net).unwrap();
+        assert_eq!(d.apply(&mut net).unwrap_err(), DeltaError::AlreadyApplied);
+        // Wrong network: different bus count is detected.
+        let (mut bigger, _) =
+            crate::edit::with_lateral(&net, 1, &[c(1e3, 0.0)], c(0.1, 0.05)).unwrap();
+        assert_eq!(
+            d.revert(&mut bigger).unwrap_err(),
+            DeltaError::WrongNetwork { expect: n, got: n + 1 }
+        );
+        assert!(d.is_applied(), "failed revert leaves the delta applied");
+        d.revert(&mut net).unwrap();
+    }
+}

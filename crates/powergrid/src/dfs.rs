@@ -7,6 +7,7 @@
 //! removes the per-level kernel launches the paper's topology discussion
 //! identifies as the deep-tree bottleneck.
 
+use crate::levels::LayoutError;
 use crate::network::RadialNetwork;
 
 /// Sentinel for "no parent" (the root's parent pointer).
@@ -40,9 +41,35 @@ impl DfsOrder {
     }
 
     /// Preorder layout of any validated radial edge list (shared by the
-    /// single- and three-phase network types).
+    /// single- and three-phase network types). Panics (with the orphan
+    /// set) on inputs [`DfsOrder::try_from_edges`] rejects — previously
+    /// an unreachable bus was only a `debug_assert`, and release builds
+    /// indexed out of bounds in the subtree-size pass.
     pub fn from_edges(n: usize, root: usize, edges: &[(u32, u32)]) -> Self {
         assert_eq!(edges.len(), n.saturating_sub(1), "radial edge count");
+        Self::try_from_edges(n, root, edges)
+            .unwrap_or_else(|e| panic!("from_edges on an invalid edge list: {e}"))
+    }
+
+    /// Fallible [`DfsOrder::from_edges`] for edge lists that may not span
+    /// every bus — the post-outage case. Accepts any forest-shaped list
+    /// (`edges.len() ≤ n − 1`); buses the DFS never reaches are reported
+    /// as an explicit orphan set.
+    pub fn try_from_edges(n: usize, root: usize, edges: &[(u32, u32)]) -> Result<Self, LayoutError> {
+        assert!(root < n, "root bus out of range");
+        let mut has_parent = vec![false; n];
+        for &(from, to) in edges {
+            if from as usize >= n || to as usize >= n {
+                return Err(LayoutError::BadEdge { from, to, n });
+            }
+            if to as usize == root {
+                return Err(LayoutError::RootHasParent);
+            }
+            if has_parent[to as usize] {
+                return Err(LayoutError::DuplicateParent(to));
+            }
+            has_parent[to as usize] = true;
+        }
 
         // Children adjacency in edge-insertion order.
         let mut child_count = vec![0u32; n];
@@ -53,7 +80,7 @@ impl DfsOrder {
         for i in 0..n {
             adj_off[i + 1] = adj_off[i] + child_count[i];
         }
-        let mut adj = vec![0u32; n.saturating_sub(1)];
+        let mut adj = vec![0u32; edges.len()];
         let mut cursor = adj_off.clone();
         for &(from, to) in edges {
             adj[cursor[from as usize] as usize] = to;
@@ -82,7 +109,11 @@ impl DfsOrder {
                 stack.push((adj[k as usize], pos, d + 1));
             }
         }
-        debug_assert_eq!(order.len(), n, "DFS must reach every bus");
+        if order.len() < n {
+            let orphans: Vec<u32> =
+                (0..n as u32).filter(|&b| pos_of[b as usize] == u32::MAX).collect();
+            return Err(LayoutError::Unreachable { orphans });
+        }
 
         // Subtree sizes: positions descend, a child always has a higher
         // position than its parent, so one reverse pass accumulates.
@@ -91,7 +122,7 @@ impl DfsOrder {
             subtree_size[par] += subtree_size[pos];
         }
 
-        DfsOrder { order, pos_of, parent_pos, subtree_size, depth, max_depth }
+        Ok(DfsOrder { order, pos_of, parent_pos, subtree_size, depth, max_depth })
     }
 
     /// Bus count.
@@ -225,5 +256,42 @@ mod tests {
         dfs.check_invariants();
         assert_eq!(dfs.subtree_size, vec![1]);
         assert_eq!(dfs.max_depth, 0);
+    }
+
+    // ---- try_from_edges regression tests (the post-outage case):
+    // before the fallible path existed, an unreachable bus was only a
+    // debug_assert and release builds indexed out of bounds below it.
+
+    #[test]
+    fn cut_branch_reports_its_stranded_subtree() {
+        use crate::levels::LayoutError;
+        // example() minus the (3, 6) branch: buses 6 and 7 are stranded.
+        let edges = [(0, 1), (0, 2), (0, 3), (1, 4), (1, 5), (6, 7)];
+        let err = DfsOrder::try_from_edges(8, 0, &edges).unwrap_err();
+        assert_eq!(err, LayoutError::Unreachable { orphans: vec![6, 7] });
+    }
+
+    #[test]
+    fn detached_cycle_is_a_structured_error_not_oob() {
+        use crate::levels::LayoutError;
+        let err = DfsOrder::try_from_edges(4, 0, &[(0, 1), (2, 3), (3, 2)]).unwrap_err();
+        assert_eq!(err, LayoutError::Unreachable { orphans: vec![2, 3] });
+    }
+
+    #[test]
+    fn full_span_try_matches_from_edges() {
+        let net = example();
+        let edges: Vec<(u32, u32)> =
+            net.branches().iter().map(|br| (br.from as u32, br.to as u32)).collect();
+        let dfs = DfsOrder::try_from_edges(8, 0, &edges).unwrap();
+        dfs.check_invariants();
+        assert_eq!(dfs.order, DfsOrder::new(&net).order);
+        assert_eq!(dfs.subtree_size, DfsOrder::new(&net).subtree_size);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable")]
+    fn from_edges_panics_loudly_on_orphans() {
+        let _ = DfsOrder::from_edges(4, 0, &[(0, 1), (2, 3), (3, 2)]);
     }
 }

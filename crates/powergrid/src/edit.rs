@@ -9,8 +9,11 @@ use numc::Complex;
 
 use crate::network::{NetworkBuilder, NetworkError, RadialNetwork};
 
-/// Returns a copy with bus `bus`'s load replaced by `load`.
+/// Returns a copy with bus `bus`'s load replaced by `load`. A bus id
+/// outside the network is a [`NetworkError::BadBusId`] — it used to be a
+/// silent no-op (the edit "succeeded" without changing anything).
 pub fn with_load(net: &RadialNetwork, bus: usize, load: Complex) -> Result<RadialNetwork, NetworkError> {
+    check_bus(net, bus)?;
     let mut b = builder_of(net);
     b = rebuild_buses(b, net, |i, old| if i == bus { load } else { old });
     rebuild_branches(&mut b, net);
@@ -18,12 +21,14 @@ pub fn with_load(net: &RadialNetwork, bus: usize, load: Complex) -> Result<Radia
 }
 
 /// Returns a copy with `delta` added to bus `bus`'s load (negative
-/// `delta.re` models generation).
+/// `delta.re` models generation). A bus id outside the network is a
+/// [`NetworkError::BadBusId`], not an index panic.
 pub fn with_added_load(
     net: &RadialNetwork,
     bus: usize,
     delta: Complex,
 ) -> Result<RadialNetwork, NetworkError> {
+    check_bus(net, bus)?;
     with_load(net, bus, net.buses()[bus].load + delta)
 }
 
@@ -38,6 +43,10 @@ pub fn with_lateral(
     z: Complex,
 ) -> Result<(RadialNetwork, usize), NetworkError> {
     assert!(!loads.is_empty(), "lateral needs at least one bus");
+    // An out-of-range attachment point used to collide with the freshly
+    // assigned lateral ids and surface as an unrelated error (self-loop,
+    // detached cycle, …) deep inside validation; reject it by name.
+    check_bus(net, at_bus)?;
     let mut b = builder_of(net);
     b = rebuild_buses(b, net, |_, old| old);
     rebuild_branches(&mut b, net);
@@ -61,7 +70,7 @@ pub fn extract_subtree(
     at_bus: usize,
 ) -> Result<(RadialNetwork, Vec<usize>), NetworkError> {
     let n = net.num_buses();
-    assert!(at_bus < n, "bus out of range");
+    check_bus(net, at_bus)?;
 
     // Membership: walk parents until root or at_bus.
     let mut member = vec![false; n];
@@ -102,6 +111,13 @@ pub fn extract_subtree(
         }
     }
     Ok((b.build()?, map))
+}
+
+fn check_bus(net: &RadialNetwork, bus: usize) -> Result<(), NetworkError> {
+    if bus >= net.num_buses() {
+        return Err(NetworkError::BadBusId { id: bus, n: net.num_buses() });
+    }
+    Ok(())
 }
 
 fn builder_of(net: &RadialNetwork) -> NetworkBuilder {
@@ -186,6 +202,55 @@ mod tests {
         let (sub, map) = extract_subtree(&net, 12).unwrap();
         assert_eq!(sub.num_buses(), 1);
         assert_eq!(map[12], 0);
+    }
+
+    #[test]
+    fn out_of_range_edits_are_bad_bus_id_not_silent() {
+        use crate::network::NetworkError;
+        let net = ieee13();
+        let n = net.num_buses();
+        // with_load used to return Ok with *nothing changed* for an
+        // out-of-range bus; with_added_load used to panic on the index.
+        assert_eq!(
+            with_load(&net, n, c(1.0, 0.0)).unwrap_err(),
+            NetworkError::BadBusId { id: n, n }
+        );
+        assert_eq!(
+            with_added_load(&net, n + 3, c(1.0, 0.0)).unwrap_err(),
+            NetworkError::BadBusId { id: n + 3, n }
+        );
+        // An out-of-range lateral attachment used to collide with the new
+        // lateral ids and surface as a self-loop or detached cycle.
+        for at in [n, n + 1, n + 5] {
+            assert_eq!(
+                with_lateral(&net, at, &[c(5e3, 1e3); 2], c(0.2, 0.1)).unwrap_err(),
+                NetworkError::BadBusId { id: at, n },
+                "attachment at {at}"
+            );
+        }
+        assert_eq!(
+            extract_subtree(&net, n).unwrap_err(),
+            NetworkError::BadBusId { id: n, n }
+        );
+    }
+
+    #[test]
+    fn subtree_load_accounting_is_exact() {
+        let net = ieee13();
+        let (sub, map) = extract_subtree(&net, 6).unwrap();
+        // Members' loads survive exactly, minus the new slack's own load.
+        let member_sum: numc::Complex = (0..net.num_buses())
+            .filter(|&b| map[b] != usize::MAX && b != 6)
+            .map(|b| net.buses()[b].load)
+            .sum();
+        assert!((sub.total_load() - member_sum).abs() < 1e-12);
+        // The id map is injective over the members (no duplicate ids).
+        let mut seen = vec![false; sub.num_buses()];
+        for &m in map.iter().filter(|&&m| m != usize::MAX) {
+            assert!(!seen[m], "duplicate new id {m}");
+            seen[m] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every new id is claimed");
     }
 
     #[test]

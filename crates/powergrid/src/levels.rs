@@ -20,6 +20,56 @@ use crate::network::RadialNetwork;
 /// Sentinel for "no parent" (the root position's parent).
 pub const NO_PARENT: u32 = u32::MAX;
 
+/// Why a topology layout could not be built from a raw edge list.
+///
+/// A *validated* [`RadialNetwork`] can never trip these, but the delta
+/// workflows (line outage, splice preview) hand the layout builders edge
+/// lists that are no longer guaranteed to span every bus — most
+/// importantly the post-outage case, where cutting one branch strands an
+/// entire subtree. Before this error existed, [`LevelOrder::from_edges`]
+/// silently produced garbage on such inputs (a short `order` with
+/// `u32::MAX` holes in `pos_of`) and [`DfsOrder::from_edges`] indexed out
+/// of bounds in release builds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LayoutError {
+    /// An edge endpoint names a bus outside `0..n`.
+    BadEdge {
+        /// Upstream bus id.
+        from: u32,
+        /// Downstream bus id.
+        to: u32,
+        /// Bus count.
+        n: usize,
+    },
+    /// An edge's downstream end is the root (the root has no parent).
+    RootHasParent,
+    /// Two edges feed the same downstream bus.
+    DuplicateParent(u32),
+    /// Traversal from the root did not reach these buses (sorted ids).
+    Unreachable {
+        /// Every bus the traversal never visited.
+        orphans: Vec<u32>,
+    },
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayoutError::BadEdge { from, to, n } => {
+                write!(f, "edge {from}→{to} references a bus outside 0..{n}")
+            }
+            LayoutError::RootHasParent => write!(f, "an edge feeds the root bus"),
+            LayoutError::DuplicateParent(b) => write!(f, "bus {b} has two upstream edges"),
+            LayoutError::Unreachable { orphans } => {
+                write!(f, "{} bus(es) unreachable from the root (first: {:?})",
+                    orphans.len(), orphans.first())
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
 /// The level-order permutation and per-position topology arrays.
 #[derive(Clone, Debug)]
 pub struct LevelOrder {
@@ -52,9 +102,34 @@ impl LevelOrder {
 
     /// Computes the level order of any validated radial edge list
     /// (`(from, to)` pairs, one per non-root bus) — shared by the
-    /// single- and three-phase network types.
+    /// single- and three-phase network types. Panics (with the orphan
+    /// set) on inputs [`LevelOrder::try_from_edges`] rejects.
     pub fn from_edges(n: usize, root: usize, edges: &[(u32, u32)]) -> Self {
         assert_eq!(edges.len(), n.saturating_sub(1), "radial edge count");
+        Self::try_from_edges(n, root, edges)
+            .unwrap_or_else(|e| panic!("from_edges on an invalid edge list: {e}"))
+    }
+
+    /// Fallible [`LevelOrder::from_edges`] for edge lists that may not
+    /// span every bus — the post-outage case. Accepts any forest-shaped
+    /// list (`edges.len() ≤ n − 1`); buses the BFS never reaches are
+    /// reported as an explicit orphan set instead of silently producing
+    /// a truncated layout.
+    pub fn try_from_edges(n: usize, root: usize, edges: &[(u32, u32)]) -> Result<Self, LayoutError> {
+        assert!(root < n, "root bus out of range");
+        let mut has_parent = vec![false; n];
+        for &(from, to) in edges {
+            if from as usize >= n || to as usize >= n {
+                return Err(LayoutError::BadEdge { from, to, n });
+            }
+            if to as usize == root {
+                return Err(LayoutError::RootHasParent);
+            }
+            if has_parent[to as usize] {
+                return Err(LayoutError::DuplicateParent(to));
+            }
+            has_parent[to as usize] = true;
+        }
 
         // Children adjacency in edge-insertion order (deterministic).
         let mut child_count = vec![0u32; n];
@@ -65,7 +140,7 @@ impl LevelOrder {
         for i in 0..n {
             adj_off[i + 1] = adj_off[i] + child_count[i];
         }
-        let mut adj = vec![0u32; n.saturating_sub(1)];
+        let mut adj = vec![0u32; edges.len()];
         let mut cursor = adj_off.clone();
         for &(from, to) in edges {
             adj[cursor[from as usize] as usize] = to;
@@ -103,6 +178,11 @@ impl LevelOrder {
             child_hi[head] = order.len() as u32;
             head += 1;
         }
+        if order.len() < n {
+            let orphans: Vec<u32> =
+                (0..n as u32).filter(|&b| pos_of[b as usize] == u32::MAX).collect();
+            return Err(LayoutError::Unreachable { orphans });
+        }
         level_offsets.push(n as u32);
 
         let mut head_flags = vec![0u32; n];
@@ -114,7 +194,7 @@ impl LevelOrder {
             }
         }
 
-        LevelOrder { order, pos_of, level_offsets, parent_pos, child_lo, child_hi, head_flags }
+        Ok(LevelOrder { order, pos_of, level_offsets, parent_pos, child_lo, child_hi, head_flags })
     }
 
     /// Number of buses.
@@ -200,6 +280,20 @@ impl LevelOrder {
                 assert_eq!(self.head_flags[p] != 0, first_of_parent, "head flag at {p}");
             }
         }
+        // Child ranges tile the non-root positions exactly once, and each
+        // child's parent pointer agrees with the range that claims it —
+        // together these reject duplicated or dropped buses that the
+        // per-position checks above cannot see.
+        let mut claimed = 0usize;
+        for p in 0..n {
+            let (lo, hi) = (self.child_lo[p] as usize, self.child_hi[p] as usize);
+            assert!(lo <= hi && hi <= n, "child range bounds at {p}");
+            for c in lo..hi {
+                assert_eq!(self.parent_pos[c] as usize, p, "child {c} claims another parent");
+            }
+            claimed += hi - lo;
+        }
+        assert_eq!(claimed, n - 1, "child ranges must tile the non-root positions");
     }
 }
 
@@ -326,5 +420,66 @@ mod tests {
         let by_bus: Vec<f64> = (0..8).map(|i| i as f64 * 10.0).collect();
         let by_pos = lo.permute(&by_bus);
         assert_eq!(lo.unpermute(&by_pos), by_bus);
+    }
+
+    // ---- try_from_edges regression tests: edge lists with buses
+    // unreachable from the root (the post-outage case) must surface a
+    // structured orphan set, never silent garbage.
+
+    #[test]
+    fn cut_branch_reports_its_stranded_subtree() {
+        // example() minus the (3, 6) branch: buses 6 and 7 are stranded.
+        let edges = [(0, 1), (0, 2), (0, 3), (1, 4), (1, 5), (6, 7)];
+        let err = LevelOrder::try_from_edges(8, 0, &edges).unwrap_err();
+        assert_eq!(err, LayoutError::Unreachable { orphans: vec![6, 7] });
+    }
+
+    #[test]
+    fn detached_cycle_is_unreachable_not_a_hang() {
+        let edges = [(0, 1), (2, 3), (3, 2)];
+        let err = LevelOrder::try_from_edges(4, 0, &edges).unwrap_err();
+        assert!(matches!(err, LayoutError::DuplicateParent(2) | LayoutError::Unreachable { .. }));
+    }
+
+    #[test]
+    fn full_span_try_matches_from_edges() {
+        let net = example();
+        let edges: Vec<(u32, u32)> =
+            net.branches().iter().map(|br| (br.from as u32, br.to as u32)).collect();
+        let lo = LevelOrder::try_from_edges(8, 0, &edges).unwrap();
+        lo.check_invariants();
+        assert_eq!(lo.order, LevelOrder::new(&net).order);
+    }
+
+    #[test]
+    fn bad_endpoint_and_root_edge_are_structured_errors() {
+        assert_eq!(
+            LevelOrder::try_from_edges(3, 0, &[(0, 1), (1, 9)]).unwrap_err(),
+            LayoutError::BadEdge { from: 1, to: 9, n: 3 }
+        );
+        assert_eq!(
+            LevelOrder::try_from_edges(3, 0, &[(1, 0), (1, 2)]).unwrap_err(),
+            LayoutError::RootHasParent
+        );
+        assert_eq!(
+            LevelOrder::try_from_edges(3, 0, &[(0, 2), (1, 2)]).unwrap_err(),
+            LayoutError::DuplicateParent(2)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable")]
+    fn from_edges_panics_loudly_on_orphans() {
+        // Right edge count (n−1 = 3) but buses 2 and 3 form a detached
+        // cycle — the panicking wrapper must name the problem instead of
+        // returning a truncated layout.
+        let _ = LevelOrder::from_edges(4, 0, &[(0, 1), (2, 3), (3, 2)]);
+    }
+
+    #[test]
+    fn error_display_names_the_orphans() {
+        let e = LayoutError::Unreachable { orphans: vec![4, 5] };
+        assert!(e.to_string().contains("2 bus(es)"));
+        assert!(LayoutError::RootHasParent.to_string().contains("root"));
     }
 }

@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod delta;
 mod dfs;
 pub mod edit;
 pub mod gen;
@@ -34,6 +35,7 @@ pub mod three_phase;
 mod levels;
 mod network;
 
+pub use delta::{DeltaError, DeltaOp, TopologyDelta};
 pub use dfs::{DfsOrder, DFS_NO_PARENT};
-pub use levels::{LevelOrder, NO_PARENT};
+pub use levels::{LayoutError, LevelOrder, NO_PARENT};
 pub use network::{Branch, Bus, NetworkBuilder, NetworkError, RadialNetwork};

@@ -169,6 +169,24 @@ impl RadialNetwork {
             self.branches[i].z = z;
         }
     }
+
+    /// Index into `branches` of the branch feeding bus `b`, or
+    /// `usize::MAX` for the root (delta operations).
+    pub(crate) fn parent_branch_index(&self, b: usize) -> usize {
+        self.parent_branch[b]
+    }
+
+    /// Mutable branch access for validated in-place delta operations —
+    /// callers ([`crate::delta`]) are responsible for keeping the tree
+    /// radial.
+    pub(crate) fn branch_mut(&mut self, idx: usize) -> &mut Branch {
+        &mut self.branches[idx]
+    }
+
+    /// Mutable bus access for validated in-place delta operations.
+    pub(crate) fn bus_mut(&mut self, b: usize) -> &mut Bus {
+        &mut self.buses[b]
+    }
 }
 
 /// Incremental construction of a [`RadialNetwork`].
