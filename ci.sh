@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Offline CI for the FBS power-flow repo. Nine legs:
+# Offline CI for the FBS power-flow repo. Ten legs:
 #
 #   1. Tier-1 verify: release build + the full default test suite.
 #   2. Divergence/NaN hardening: the convergence-status suites (monitor
@@ -27,9 +27,15 @@
 #      screener unit suite, the CLI `screen` subcommand test, and an
 #      `E14_SMOKE` run of the E14 bench — all under wall-clock
 #      ceilings.
-#   8. Racecheck: re-runs every simt and fbs device kernel under the
+#   8. Fleet: the multi-device resilience suites (fleet unit tests,
+#      the five-family property suite — parity under kills,
+#      conservation, ladder ordering, replay, scaling — and the CLI
+#      `fleet` subcommand test) under wall-clock ceilings, plus an
+#      `E15_SMOKE` run of the E15 bench and a seeded chaos replay
+#      through the CLI that must exit 0 with one device scripted dead.
+#   9. Racecheck: re-runs every simt and fbs device kernel under the
 #      per-cell data-race detector (simt's `racecheck` feature).
-#   9. Lint: clippy over every target with warnings promoted to errors.
+#  10. Lint: clippy over every target with warnings promoted to errors.
 #
 # Everything runs with --offline — the repo has zero external registry
 # dependencies (see DESIGN.md, "Dependency policy"), so a warm toolchain
@@ -77,6 +83,16 @@ timeout 300 cargo test -q --offline -p fbs --lib contingency::
 timeout 300 cargo test -q --offline --test prop_delta_topology
 timeout 300 cargo test -q --offline -p fbs-cli --test cli_commands screen_runs_every_n_minus_1_outage
 E14_SMOKE=1 timeout 300 cargo run -q --offline --release -p fbs-bench --bin exp_e14_contingency > /dev/null
+
+echo "== fleet: multi-device resilience suites + E15 smoke + chaos replay =="
+timeout 300 cargo test -q --offline -p fbs --lib fleet::
+timeout 600 cargo test -q --offline -p fbs --test prop_fleet
+timeout 300 cargo test -q --offline -p fbs-cli --test cli_commands fleet_replays_a_chaotic_stream
+E15_SMOKE=1 timeout 600 cargo run -q --offline --release -p fbs-bench --bin exp_e15_fleet > /dev/null
+cargo run -q --offline --release -p fbs-cli feeders --name ieee37 --out target/ci_fleet.grid 2> /dev/null
+timeout 300 cargo run -q --offline --release -p fbs-cli fleet target/ci_fleet.grid \
+  --devices 4 --requests 32 --gap 120 --kill-device 1 --batch-every 8 \
+  --scenarios 96 --shard-min 16 --seed 7 > /dev/null
 
 echo "== racecheck: device kernels under the simt race detector =="
 cargo test -q --offline --features racecheck -p simt -p fbs

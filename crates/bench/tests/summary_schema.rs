@@ -30,6 +30,7 @@ const EXPERIMENTS: &[&str] = &[
     "e12_faults",
     "e13_service",
     "e14_contingency",
+    "e15_fleet",
     "bench_generators",
 ];
 
@@ -95,5 +96,19 @@ fn summary_covers_every_experiment_bin() {
     assert!(
         warm <= cold,
         "warm median iterations ({warm}) must not exceed cold ({cold})"
+    );
+
+    // E15's headline metrics: fleet throughput and the scaling factor
+    // behind the near-linear-scaling claim.
+    let e15 = exps.get("e15_fleet").expect("checked above");
+    let rps = e15.get("fleet.requests_per_sec").and_then(Value::as_f64);
+    assert!(
+        rps.is_some_and(|v| v > 0.0),
+        "e15_fleet must record a positive fleet.requests_per_sec, got {rps:?}"
+    );
+    let scaling = e15.get("scaling_4v1").and_then(Value::as_f64);
+    assert!(
+        scaling.is_some_and(|v| v >= 3.0),
+        "e15_fleet: 4-device scaling must be ≥3x, got {scaling:?}"
     );
 }

@@ -2,11 +2,13 @@
 
 use std::fs;
 
+use fbs::fleet::poisson_arrivals;
 use fbs::obs::status_key;
 use fbs::{
     record_run, Backend, BackwardStrategy, BatchSolver, ContingencyScreener, FaultReport,
-    GpuSolver, JumpSolver, MulticoreSolver, Outcome, Request, Resilient3Solver, ResilientSolver,
-    SerialSolver, ServiceConfig, SolveResult, SolveService, SolveStatus, SolverConfig, Timing,
+    FleetConfig, FleetRequest, FleetService, GpuSolver, JumpSolver, MulticoreSolver, Outcome,
+    Priority, Request, Resilient3Solver, ResilientSolver, SerialSolver, ServiceConfig,
+    SolveResult, SolveService, SolveStatus, SolverConfig, Timing,
 };
 use powergrid::gen::{
     balanced_binary, balanced_kary, broom, caterpillar, chain, random_tree, star, GenSpec,
@@ -47,6 +49,11 @@ usage:
             [--deadline-ms MS] [--max-retries N] [--breaker-threshold K]
             [--fault-seed S] [--fault-rate R] [--fault-lost-at OP] [--degrade true|false]
             [--trace-out FILE] [--metrics-out FILE]
+  fbs fleet <FILE.grid> [--devices N] [--hetero true|false] [--requests N]
+            [--gap US] [--queue N] [--tenants N] [--quota N] [--priorities true|false]
+            [--hedge-quantile Q] [--shard-min N] [--batch-every K] [--scenarios N]
+            [--kill-device D] [--fault-seed S] [--fault-rate R] [--seed S]
+            [--tol T] [--max-iter N] [--trace-out FILE] [--metrics-out FILE]
 
 fault injection: --fault-seed arms a seeded, replayable fault plan
 (default rate 0.005/op; override with --fault-rate). --fault-lost-at
@@ -63,7 +70,15 @@ telemetry: --trace-out writes a Chrome trace-event JSON of the run on
 the modeled clock (open in Perfetto / chrome://tracing); byte-identical
 across runs for a fixed seed. --metrics-out writes Prometheus text
 exposition when FILE ends in .prom or .txt, and the machine-readable
-run-summary JSON otherwise.";
+run-summary JSON otherwise.
+
+fleet: replays a seeded arrival stream (--requests at mean --gap µs)
+across --devices simulated devices with per-device circuit breakers,
+failover, hedged stragglers, batch sharding and a brown-out ladder.
+--kill-device scripts sticky loss on one device (--fault-seed /
+--fault-rate arm a seeded plan instead); --batch-every K makes every
+K-th request a sharded --scenarios batch. Deterministic: the same
+seeds replay byte-identical routing, telemetry and exports.";
 
 /// Exit code for an unrecoverable fault-injected run: the device was
 /// lost (or the retry budget drained) and degradation was disabled.
@@ -88,6 +103,7 @@ pub fn run(argv: &[String]) -> Result<u8, String> {
         "screen" => cmd_screen(rest),
         "compare" => cmd_compare(rest).map(|()| 0),
         "profile" => cmd_profile(rest),
+        "fleet" => cmd_fleet(rest),
         "feeders3" => cmd_feeders3(rest).map(|()| 0),
         "gen3" => cmd_gen3(rest).map(|()| 0),
         "solve3" => cmd_solve3(rest),
@@ -664,6 +680,148 @@ fn cmd_screen(argv: &[String]) -> Result<u8, String> {
     tele.record(&report.timing, iters[nb - 1], worst_residual, &worst, None);
     tele.write()?;
     Ok(worst.exit_code())
+}
+
+/// `fbs fleet`: replays a seeded arrival stream across N simulated
+/// devices behind a [`FleetService`] — per-device breakers, failover,
+/// hedging, batch sharding, brown-out — and reports fleet-level
+/// throughput, latency quantiles and per-device health.
+fn cmd_fleet(argv: &[String]) -> Result<u8, String> {
+    let a = Args::parse(
+        argv,
+        &[
+            "devices", "hetero", "requests", "gap", "queue", "tenants", "quota",
+            "priorities", "hedge-quantile", "shard-min", "batch-every", "scenarios",
+            "kill-device", "fault-seed", "fault-rate", "seed", "tol", "max-iter",
+            "trace-out", "metrics-out",
+        ],
+    )?;
+    let net = load(a.one_positional("grid file")?)?;
+    let cfg = solver_config(&a)?;
+    let devices: usize = a.get_parse_or("devices", 4usize)?;
+    if devices == 0 {
+        return Err("--devices must be at least 1".into());
+    }
+    let hetero: bool = a.get_parse_or("hetero", true)?;
+    let requests: usize = a.get_parse_or("requests", 64usize)?;
+    let gap: f64 = a.get_parse_or("gap", 200.0)?;
+    let tenants: u32 = a.get_parse_or("tenants", 1u32)?;
+    let priorities: bool = a.get_parse_or("priorities", false)?;
+    let batch_every: usize = a.get_parse_or("batch-every", 0usize)?;
+    let scenarios: usize = a.get_parse_or("scenarios", 256usize)?;
+    let seed: u64 = a.get_parse_or("seed", 0xf1ee7u64)?;
+    let tele = Telemetry::from_args(&a);
+
+    let mut fcfg = if hetero {
+        FleetConfig::heterogeneous(devices)
+    } else {
+        FleetConfig::uniform(devices)
+    };
+    let queue_capacity: usize = a.get_parse_or("queue", 64usize)?;
+    fcfg.queue_capacity = queue_capacity;
+    fcfg.tenant_quota = a.get_parse::<usize>("quota")?;
+    fcfg.hedge_quantile = a.get_parse_or("hedge-quantile", fcfg.hedge_quantile)?;
+    fcfg.shard_min = a.get_parse_or("shard-min", fcfg.shard_min)?;
+    fcfg.seed = seed;
+    let mut fleet = FleetService::new(fcfg);
+
+    // Chaos: a scripted sticky loss, or a seeded per-op plan, armed on
+    // one device (the rest of the fleet absorbs the failovers).
+    let kill: Option<u32> = a.get_parse("kill-device")?;
+    if let Some(plan) = fault_plan(&a)? {
+        let target = kill.unwrap_or(0);
+        if target as usize >= devices {
+            return Err(format!("--kill-device {target} out of range (fleet has {devices})"));
+        }
+        fleet = fleet.with_fault_plan_on(target, plan);
+    } else if let Some(target) = kill {
+        if target as usize >= devices {
+            return Err(format!("--kill-device {target} out of range (fleet has {devices})"));
+        }
+        let plan = FaultPlan::scripted(
+            (0..1024).map(|k| (2 + 5 * k, FaultKind::DeviceLost { at_op: 0 })),
+        );
+        fleet = fleet.with_fault_plan_on(target, plan);
+    }
+    if let Some(rec) = tele.recorder() {
+        fleet = fleet.with_recorder(rec.clone());
+    }
+
+    let loads: Vec<_> = net.buses().iter().map(|b| b.load).collect();
+    let arrivals = poisson_arrivals(requests, gap, seed ^ 0xa11e, |i| {
+        let req = if batch_every > 0 && i % batch_every == batch_every - 1 {
+            let scen = (0..scenarios)
+                .map(|s| {
+                    let scale = 0.5 + 0.002 * (s % 500) as f64;
+                    loads.iter().map(|&l| l * scale).collect()
+                })
+                .collect();
+            Request::Batch { net: net.clone(), scenarios: scen, cfg }
+        } else {
+            Request::Solve { net: net.clone(), cfg }
+        };
+        let p = match (priorities, i % 3) {
+            (false, _) | (true, 1) => Priority::Normal,
+            (true, 0) => Priority::Bulk,
+            _ => Priority::Critical,
+        };
+        FleetRequest::new(req).with_priority(p).with_tenant(i as u32 % tenants.max(1))
+    });
+    let responses = fleet.run_stream(arrivals);
+
+    let s = fleet.stats().clone();
+    let answered: Vec<&fbs::FleetResponse> =
+        responses.iter().filter(|r| r.answered()).collect();
+    let makespan = responses.iter().map(|r| r.finish_us).fold(0.0f64, f64::max);
+    let rps = if makespan > 0.0 { answered.len() as f64 / (makespan / 1e6) } else { 0.0 };
+    if let Some(rec) = tele.recorder() {
+        rec.gauge_set("fleet.requests_per_sec", rps);
+        rec.gauge_set("fleet.makespan_us", makespan);
+    }
+    tele.write()?;
+
+    println!(
+        "fleet:       {devices} device(s) ({}) | queue {queue_capacity} | seed {seed:#x}",
+        if hetero { "heterogeneous" } else { "uniform" },
+    );
+    println!(
+        "stream:      {requests} requests, mean gap {gap:.1} µs ({} batch, {} solve answered)",
+        answered.iter().filter(|r| matches!(r.outcome, Outcome::Batch(_))).count(),
+        answered.iter().filter(|r| matches!(r.outcome, Outcome::Solved(_))).count(),
+    );
+    println!(
+        "served:      {}/{} ({} shed: quota {} | evicted {} | queue-full {})",
+        s.served, s.submitted, s.shed(), s.shed_quota, s.shed_evicted, s.shed_queue_full
+    );
+    println!(
+        "failover:    {} failovers, {} CPU-served, {} hedges ({} won)",
+        s.failovers, s.cpu_served, s.hedges, s.hedge_wins
+    );
+    if s.sharded_batches > 0 {
+        println!(
+            "batches:     {} sharded into {} shards ({} reclaimed)",
+            s.sharded_batches, s.shards_dispatched, s.reclaimed_shards
+        );
+    }
+    let mut lat: Vec<f64> = answered.iter().map(|r| r.latency_us()).collect();
+    lat.sort_by(|x, y| x.partial_cmp(y).expect("latencies are finite"));
+    if !lat.is_empty() {
+        let pick = |q: f64| lat[(((lat.len() - 1) as f64) * q).ceil() as usize];
+        println!(
+            "latency:     p50 {:.1} µs | p95 {:.1} µs | p99 {:.1} µs (modeled)",
+            pick(0.50),
+            pick(0.95),
+            pick(0.99)
+        );
+    }
+    println!("throughput:  {rps:.0} requests/s modeled (makespan {:.1} ms)", makespan / 1e3);
+    let health: Vec<String> = fleet
+        .health()
+        .iter()
+        .map(|h| format!("d{} {} {:.2}", h.ordinal, h.breaker.name(), h.score))
+        .collect();
+    println!("health:      {}", health.join(" | "));
+    Ok(0)
 }
 
 fn cmd_feeders3(argv: &[String]) -> Result<(), String> {

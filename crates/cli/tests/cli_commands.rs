@@ -76,6 +76,46 @@ fn screen_runs_every_n_minus_1_outage() {
 }
 
 #[test]
+fn fleet_replays_a_chaotic_stream_and_exports_fleet_metrics() {
+    let path = tmp("fleet.grid");
+    let path_s = path.to_str().unwrap();
+    run(&["feeders", "--name", "ieee13", "--out", path_s]).expect("feeders must succeed");
+
+    // A healthy run, then a chaos run with one device scripted dead,
+    // sharded batches and a tight queue; both must exit 0 (the fleet
+    // answers or sheds explicitly, it never errors out).
+    assert_eq!(run(&["fleet", path_s, "--devices", "2", "--requests", "12"]).unwrap(), 0);
+    let metrics = tmp("fleet-metrics.json");
+    let metrics_s = metrics.to_str().unwrap();
+    assert_eq!(
+        run(&[
+            "fleet", path_s, "--devices", "3", "--requests", "18", "--gap", "80",
+            "--kill-device", "1", "--batch-every", "6", "--scenarios", "96",
+            "--shard-min", "16", "--queue", "4", "--metrics-out", metrics_s,
+        ])
+        .expect("chaos fleet run"),
+        0
+    );
+    let text = fs::read_to_string(&metrics).unwrap();
+    for key in [
+        "fleet.stats.submitted",
+        "fleet.stats.failovers",
+        "fleet.requests_per_sec",
+        "fleet.d0.stats.served",
+        "fleet.d1.stats.breaker_opens",
+    ] {
+        assert!(text.contains(key), "run summary must carry {key}: {text}");
+    }
+
+    // Bad shapes are reported, not panicked.
+    assert!(run(&["fleet", path_s, "--devices", "0"]).is_err(), "zero devices");
+    assert!(run(&["fleet", path_s, "--kill-device", "7"]).is_err(), "kill out of range");
+    assert!(run(&["fleet"]).is_err(), "missing positional");
+    let _ = fs::remove_file(&path);
+    let _ = fs::remove_file(&metrics);
+}
+
+#[test]
 fn size_suffixes_accepted_in_gen() {
     let path = tmp("suffix.grid");
     let path_s = path.to_str().unwrap();

@@ -31,6 +31,7 @@ mod arrays;
 pub mod batch;
 mod config;
 pub mod contingency;
+pub mod fleet;
 mod gpu;
 pub mod jump;
 mod multicore;
@@ -48,6 +49,10 @@ pub use arrays::SolverArrays;
 pub use batch::{BatchResult, BatchSolver};
 pub use config::{ConfigError, SolverConfig};
 pub use contingency::{ContingencyOutcome, ContingencyScreener, ScreeningReport};
+pub use fleet::{
+    DeviceHealth, FleetConfig, FleetRequest, FleetResponse, FleetService, FleetStats,
+    Priority, ShedReason,
+};
 pub use gpu::{BackwardStrategy, GpuSolver};
 pub use jump::{JumpArrays, JumpSolver};
 pub use multicore::MulticoreSolver;

@@ -318,6 +318,18 @@ pub struct SolveService {
     /// time (or pinned to stream time in [`SolveService::run_stream`]).
     /// Stamps service-track telemetry events.
     clock_us: f64,
+    /// Set while draining: admitted work is owed an answer, so device
+    /// failures route to the CPU fallback even in strict device-only
+    /// mode (`fallback: false`).
+    draining: bool,
+    /// Telemetry track the service records on (default
+    /// [`Trace::TID_SERVICE`]; fleets give each worker its own track).
+    tid: u32,
+    /// Prefix for telemetry metric names (default `"service"`).
+    label: String,
+    /// Fleet ordinal of the device this service drives, stamped onto
+    /// the device timelines it creates (`None` for a lone service).
+    ordinal: Option<u32>,
 }
 
 impl SolveService {
@@ -339,24 +351,63 @@ impl SolveService {
             stats: ServiceStats::default(),
             recorder: None,
             clock_us: 0.0,
+            draining: false,
+            tid: Trace::TID_SERVICE,
+            label: "service".to_string(),
+            ordinal: None,
         }
+    }
+
+    /// Tags devices created by this service with a fleet ordinal so
+    /// exported timelines carry per-device labels.
+    pub fn set_device_ordinal(&mut self, ordinal: u32) {
+        self.ordinal = Some(ordinal);
+    }
+
+    /// Moves the service's telemetry onto its own track and metric
+    /// prefix — a fleet gives each device worker a distinct track
+    /// (e.g. `fleet.d0` on [`Trace::tid_for_device`]) so merged traces
+    /// keep per-device request lanes apart.
+    pub fn with_track(mut self, tid: u32, label: &str) -> Self {
+        self.tid = tid;
+        self.label = label.to_string();
+        if let Some(rec) = &self.recorder {
+            rec.name_thread(tid, &format!("{label} (modeled)"));
+        }
+        self
     }
 
     /// Arms a fault plan; every device the service creates gets a clone
     /// (clones share the op counter, so the fault stream continues
     /// across requests and retries instead of replaying).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
-        self.plan = Some(plan);
+        self.set_fault_plan(plan);
         self
+    }
+
+    /// [`Self::with_fault_plan`] for a service already in place (the
+    /// fleet arms plans per worker after construction).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.plan = Some(plan);
+    }
+
+    /// Clears the fault plan: subsequent attempts run on clean devices.
+    pub fn clear_fault_plan(&mut self) {
+        self.plan = None;
     }
 
     /// Attaches a telemetry recorder: per-request spans, queue-depth
     /// samples, shed/retry counters and breaker transitions are recorded
     /// on the service track, stamped with the modeled service clock.
     pub fn with_recorder(mut self, rec: Recorder) -> Self {
-        rec.name_thread(Trace::TID_SERVICE, "service (modeled)");
-        self.recorder = Some(rec);
+        self.set_recorder(rec);
         self
+    }
+
+    /// [`Self::with_recorder`] for a service already in place.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        rec.name_thread(self.tid, &format!("{} (modeled)", self.label));
+        self.recorder = Some(rec);
     }
 
     /// The service timeline: breaker transitions and shed requests as
@@ -407,12 +458,77 @@ impl SolveService {
     }
 
     /// Graceful shutdown: serves everything still queued, in order.
+    ///
+    /// Admitted work is owed an answer, so while draining an
+    /// unrecoverable device failure (e.g. a sticky device loss) routes
+    /// the request to the CPU fallback even in strict device-only mode
+    /// (`fallback: false`) instead of failing it with the device error.
     pub fn drain(&mut self) -> Vec<Response> {
+        self.draining = true;
         let mut out = Vec::with_capacity(self.queue.len());
         while let Some(resp) = self.process_one() {
             out.push(resp);
         }
+        self.draining = false;
+        self.publish_stats();
         out
+    }
+
+    /// Serves one request immediately at modeled time `start_us`,
+    /// bypassing the queue — the entry point for an external scheduler
+    /// (the fleet) that owns admission and timing itself.
+    pub fn serve_at(&mut self, start_us: f64, req: Request) -> Response {
+        self.stats.submitted += 1;
+        let id = self.take_id();
+        self.clock_us = start_us;
+        self.execute(id, req)
+    }
+
+    /// Serves `req` straight on the CPU fallback at modeled time
+    /// `start_us`, never touching the device — the fleet's last rung
+    /// when every device has refused a request.
+    pub fn serve_cpu_at(&mut self, start_us: f64, req: Request) -> Response {
+        self.stats.submitted += 1;
+        self.stats.served += 1;
+        let id = self.take_id();
+        self.clock_us = start_us;
+        let resp = self.serve_fallback(id, &req, 0, 0);
+        self.clock_us = start_us + resp.service_us();
+        resp
+    }
+
+    /// Publishes the cumulative [`ServiceStats`] as gauges
+    /// (`<label>.stats.*`) on the attached recorder, so run-summary
+    /// JSON carries breaker transition, shed and retry counts without
+    /// re-parsing traces. Gauges are idempotent — safe to call after
+    /// every stream, drain, or at any checkpoint.
+    pub fn publish_stats(&self) {
+        let Some(rec) = &self.recorder else { return };
+        let s = &self.stats;
+        let l = &self.label;
+        rec.gauge_set(&format!("{l}.stats.submitted"), s.submitted as f64);
+        rec.gauge_set(&format!("{l}.stats.served"), s.served as f64);
+        rec.gauge_set(&format!("{l}.stats.shed"), s.shed as f64);
+        rec.gauge_set(
+            &format!("{l}.stats.device_successes"),
+            s.device_successes as f64,
+        );
+        rec.gauge_set(
+            &format!("{l}.stats.device_failures"),
+            s.device_failures as f64,
+        );
+        rec.gauge_set(
+            &format!("{l}.stats.fallback_served"),
+            s.fallback_served as f64,
+        );
+        rec.gauge_set(&format!("{l}.stats.retries"), s.retries as f64);
+        rec.gauge_set(&format!("{l}.stats.breaker_opens"), s.breaker_opens as f64);
+        rec.gauge_set(&format!("{l}.stats.breaker_closes"), s.breaker_closes as f64);
+        rec.gauge_set(&format!("{l}.stats.probes"), s.probes as f64);
+        rec.gauge_set(
+            &format!("{l}.stats.peak_queue_depth"),
+            s.peak_queue_depth as f64,
+        );
     }
 
     /// Replays a timed arrival stream through a single-server queue and
@@ -462,13 +578,16 @@ impl SolveService {
             waiting.push_back((id, req, t));
         }
         // Graceful drain: the stream is over but admitted work is owed
-        // an answer.
+        // an answer (device failures fall back, as in [`Self::drain`]).
+        self.draining = true;
         while let Some((id, r, arrived)) = waiting.pop_front() {
             self.clock_us = server_free_at.max(arrived);
             let resp = self.execute(id, r);
             server_free_at = server_free_at.max(arrived) + resp.service_us();
             responses.push(resp);
         }
+        self.draining = false;
+        self.publish_stats();
         responses
     }
 
@@ -485,7 +604,7 @@ impl SolveService {
         if let Some(rec) = &self.recorder {
             rec.counter_add("service.shed", 1);
             rec.instant_with(
-                Trace::TID_SERVICE,
+                self.tid,
                 "service",
                 "shed",
                 self.clock_us,
@@ -512,7 +631,7 @@ impl SolveService {
         if let Some(rec) = &self.recorder {
             rec.counter_add(&format!("service.breaker.{}", to.name()), 1);
             rec.instant_with(
-                Trace::TID_SERVICE,
+                self.tid,
                 "service",
                 "breaker",
                 self.clock_us,
@@ -603,7 +722,7 @@ impl SolveService {
         self.clock_us = t0 + resp.service_us();
         if let Some(rec) = &self.recorder {
             rec.span_with(
-                Trace::TID_SERVICE,
+                self.tid,
                 "service",
                 "request",
                 t0,
@@ -652,7 +771,7 @@ impl SolveService {
                 }
                 Err(f) => {
                     self.on_device_failure();
-                    if self.cfg.fallback {
+                    if self.cfg.fallback || self.draining {
                         return self.serve_fallback(id, &req, retries, backoff_us);
                     }
                     return Response {
@@ -722,6 +841,9 @@ impl SolveService {
             Request::Batch { net, scenarios, cfg } => {
                 let cfg = self.effective_cfg(cfg);
                 let mut dev = Device::new(self.props.clone());
+                if let Some(d) = self.ordinal {
+                    dev = dev.with_ordinal(d);
+                }
                 if let Some(plan) = &self.plan {
                     dev.arm_faults(plan.clone());
                 }
@@ -736,7 +858,19 @@ impl SolveService {
                 }));
                 let lost = solver.device().is_lost();
                 match attempt {
-                    Ok(Ok(res)) => Ok(Outcome::Batch(res)),
+                    // The tensor engine degrades to its host path when
+                    // the device dies mid-batch and still returns a
+                    // result. In strict mode (`fallback: false`) the
+                    // point is to surface sickness to an external
+                    // supervisor (the fleet reclaims the work on a
+                    // peer), so a mid-batch loss is a failure there.
+                    Ok(Ok(res)) if self.cfg.fallback || !lost => Ok(Outcome::Batch(res)),
+                    Ok(Ok(_)) => Err(DeviceFailure {
+                        transient: false,
+                        err: ResilienceError::DeviceLost(DeviceError::DeviceLost {
+                            at_op: 0,
+                        }),
+                    }),
                     Ok(Err(e @ DeviceError::DeviceLost { .. })) => Err(DeviceFailure {
                         transient: false,
                         err: ResilienceError::DeviceLost(e),
@@ -1173,6 +1307,66 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn drain_reroutes_queued_work_to_fallback_after_sticky_loss() {
+        // Strict device-only service whose device dies on every attempt.
+        let kills: Vec<(u64, FaultKind)> =
+            (0..64).map(|k| (5 + 7 * k, FaultKind::DeviceLost { at_op: 0 })).collect();
+        let cfg = ServiceConfig {
+            fallback: false,
+            max_retries: 0,
+            breaker_threshold: 100,
+            ..ServiceConfig::default()
+        };
+        let mut svc = service(cfg).with_fault_plan(FaultPlan::scripted(kills.clone()));
+        // Outside a drain, strict mode surfaces the device error.
+        svc.submit(solve_req()).unwrap();
+        let direct = svc.process_one().unwrap();
+        assert!(matches!(direct.outcome, Outcome::Failed(_)), "strict mode fails");
+        // But admitted work at shutdown is owed an answer: drained
+        // requests re-route to the CPU fallback instead of failing.
+        for _ in 0..3 {
+            svc.submit(solve_req()).unwrap();
+        }
+        let drained = svc.drain();
+        assert_eq!(drained.len(), 3);
+        for resp in &drained {
+            assert_eq!(resp.backend, "multicore", "drain must fall back");
+            assert_eq!(resp.status(), Some(SolveStatus::Converged));
+        }
+    }
+
+    #[test]
+    fn publish_stats_exports_breaker_and_shed_counts_as_gauges() {
+        let kills: Vec<(u64, FaultKind)> =
+            (0..64).map(|k| (5 + 7 * k, FaultKind::DeviceLost { at_op: 0 })).collect();
+        let cfg = ServiceConfig {
+            breaker_threshold: 1,
+            queue_capacity: 1,
+            max_retries: 0,
+            ..ServiceConfig::default()
+        };
+        let rec = telemetry::Recorder::new();
+        let mut svc = service(cfg)
+            .with_fault_plan(FaultPlan::scripted(kills))
+            .with_recorder(rec.clone());
+        // Burst at t=0: one in service, one queued, the rest shed; the
+        // dying device opens the breaker along the way.
+        let arrivals: Vec<(f64, Request)> = (0..6).map(|_| (0.0, solve_req())).collect();
+        let responses = svc.run_stream(arrivals);
+        assert_eq!(responses.len(), 6);
+        let (_, metrics) = rec.snapshot();
+        let s = svc.stats();
+        assert_eq!(metrics.gauge("service.stats.shed"), Some(s.shed as f64));
+        assert!(s.breaker_opens >= 1);
+        assert_eq!(
+            metrics.gauge("service.stats.breaker_opens"),
+            Some(s.breaker_opens as f64)
+        );
+        assert_eq!(metrics.gauge("service.stats.retries"), Some(s.retries as f64));
+        assert_eq!(metrics.gauge("service.stats.served"), Some(s.served as f64));
     }
 
     #[test]

@@ -103,6 +103,38 @@ const SCENARIOS_PER_BLOCK: usize = 2;
 /// (a chunk of 4K-bus scenarios is ~1 GB of state at this cap).
 const MAX_CHUNK_SCENARIOS: usize = 8192;
 
+/// Splits `n_scenarios` into at most `n_shards` contiguous ranges for
+/// hand-off to several devices, each at least `min_shard` scenarios
+/// (the final shard absorbs the remainder). Shard boundaries are
+/// aligned down to the solver's chunk cap ([`MAX_CHUNK_SCENARIOS`])
+/// whenever every shard stays ≥ `min_shard`, so a shard never ends
+/// mid-chunk on the receiving device. Deterministic in its arguments.
+pub fn shard_ranges(
+    n_scenarios: usize,
+    n_shards: usize,
+    min_shard: usize,
+) -> Vec<std::ops::Range<usize>> {
+    assert!(n_shards > 0, "need at least one shard");
+    let min_shard = min_shard.max(1);
+    let shards = n_shards.min(n_scenarios / min_shard).max(1);
+    let per = n_scenarios / shards;
+    // Align interior boundaries to the chunk cap when the aligned size
+    // still clears the floor; tiny shards keep the plain split.
+    let step = if per >= MAX_CHUNK_SCENARIOS {
+        per - per % MAX_CHUNK_SCENARIOS
+    } else {
+        per
+    };
+    let mut out = Vec::with_capacity(shards);
+    let mut lo = 0usize;
+    for s in 0..shards {
+        let hi = if s + 1 == shards { n_scenarios } else { lo + step };
+        out.push(lo..hi);
+        lo = hi;
+    }
+    out
+}
+
 /// One scenario's topology delta for a patched solve
 /// ([`TensorBatchSolver::solve_patched`]): the shared tree is uploaded
 /// once and each scenario carries at most a few words describing how its
@@ -1736,6 +1768,33 @@ mod tests {
     fn scaled_scenarios(net: &RadialNetwork, scales: &[f64]) -> Vec<Vec<Complex>> {
         let base = base_loads(net);
         scales.iter().map(|&sc| base.iter().map(|&s| s * sc).collect()).collect()
+    }
+
+    #[test]
+    fn shard_ranges_cover_exactly_and_respect_the_floor() {
+        for (n, shards, min) in
+            [(96, 3, 16), (100, 3, 33), (5, 8, 2), (0, 4, 1), (20_000, 3, 64)]
+        {
+            let ranges = shard_ranges(n, shards, min);
+            assert!(!ranges.is_empty());
+            assert!(ranges.len() <= shards);
+            // Contiguous, ordered, exactly covering 0..n.
+            let mut expect = 0usize;
+            for r in &ranges {
+                assert_eq!(r.start, expect);
+                expect = r.end;
+            }
+            assert_eq!(expect, n, "n={n} shards={shards} min={min}");
+            if ranges.len() > 1 {
+                assert!(
+                    ranges.iter().all(|r| r.len() >= min),
+                    "n={n}: every shard clears the floor, got {ranges:?}"
+                );
+            }
+        }
+        // Big shards align interior boundaries to the chunk cap.
+        let ranges = shard_ranges(3 * MAX_CHUNK_SCENARIOS + 100, 2, 64);
+        assert_eq!(ranges[0].end % MAX_CHUNK_SCENARIOS, 0);
     }
 
     #[test]

@@ -1,0 +1,284 @@
+//! Property tests of the fleet layer over random networks, fleet
+//! shapes and fault scripts:
+//!
+//! * answered voltages match the serial reference to 1e-9 V no matter
+//!   which device dies mid-stream — failover moves *where* work runs,
+//!   never *what* it computes;
+//! * conservation: every arrival gets exactly one response, answered
+//!   plus shed equals submitted, nothing is silently lost under
+//!   overload, quotas and priorities combined;
+//! * the brown-out ladder sheds selectively — a uniform-priority
+//!   stream can never evict, only shed uniformly;
+//! * the same seeds and fault plans replay byte-identically;
+//! * modeled throughput scales with fleet size on a saturating stream.
+
+use check::gen::{tuple2, tuple3, u64_any, usize_in};
+use check::{checker, prop_assert, prop_assert_eq, CaseResult};
+use fbs::fleet::poisson_arrivals;
+use fbs::{
+    FleetConfig, FleetRequest, FleetService, Outcome, Priority, Request, SerialSolver,
+    ShedReason, SolverConfig,
+};
+use powergrid::gen::{random_tree, GenSpec};
+use rng::rngs::StdRng;
+use rng::SeedableRng;
+use simt::{FaultKind, FaultPlan, HostProps};
+
+fn net_for(n: usize, seed: u64) -> powergrid::RadialNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_tree(n, 8, &GenSpec::default(), &mut rng)
+}
+
+/// Sticky device loss scripted at the start of (nearly) every attempt.
+fn killer() -> FaultPlan {
+    FaultPlan::scripted((0..256).map(|k| (2 + 5 * k, FaultKind::DeviceLost { at_op: 0 })))
+}
+
+#[test]
+fn answered_solves_match_serial_to_1e9_despite_device_kills() {
+    checker("answered_solves_match_serial_to_1e9_despite_device_kills").cases(8).run(
+        tuple3(usize_in(16..160), u64_any(), usize_in(1..5)),
+        |&(n, seed, devs)| -> CaseResult {
+            let net = net_for(n, seed);
+            let cfg = SolverConfig::default();
+            let serial = SerialSolver::new(HostProps::paper_rig()).solve(&net, &cfg);
+
+            // Device 0 is scripted to die at the start of almost every
+            // attempt; peers (or the CPU rung when devs == 1) absorb
+            // the failovers.
+            let fcfg =
+                FleetConfig { queue_capacity: 64, ..FleetConfig::heterogeneous(devs) };
+            let mut fleet = FleetService::new(fcfg).with_fault_plan_on(0, killer());
+            let arrivals = poisson_arrivals(12, 400.0, seed ^ 0xfa11, |_| {
+                FleetRequest::new(Request::Solve { net: net.clone(), cfg })
+            });
+            let responses = fleet.run_stream(arrivals);
+
+            prop_assert_eq!(responses.len(), 12, "one response per arrival");
+            for r in &responses {
+                prop_assert!(r.shed.is_none(), "a deep queue sheds nothing");
+                let res = match &r.outcome {
+                    Outcome::Solved(res) => res,
+                    other => {
+                        return Err(check::CaseError::fail(format!(
+                            "request {} ended {other:?}",
+                            r.id
+                        )))
+                    }
+                };
+                prop_assert!(res.converged(), "request {} must converge", r.id);
+                for (bus, (a, b)) in res.v.iter().zip(&serial.v).enumerate() {
+                    prop_assert!(
+                        (a.abs() - b.abs()).abs() < 1e-9,
+                        "request {}, bus {}: |V| drifted {:e}",
+                        r.id,
+                        bus,
+                        (a.abs() - b.abs()).abs()
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn conservation_answered_plus_shed_equals_submitted() {
+    checker("conservation_answered_plus_shed_equals_submitted").cases(12).run(
+        tuple3(usize_in(8..40), usize_in(1..6), u64_any()),
+        |&(m, capacity, seed)| -> CaseResult {
+            let net = net_for(24, seed);
+            let cfg = SolverConfig::default();
+            let devs = 1 + (seed % 3) as usize;
+            let fcfg = FleetConfig {
+                queue_capacity: capacity,
+                tenant_quota: Some(2),
+                ..FleetConfig::uniform(devs)
+            };
+            let mut fleet = FleetService::new(fcfg).with_fault_plan_on(0, killer());
+
+            // A bursty mixed-class stream: three tenants, three
+            // priority classes, arrivals much faster than service.
+            let arrivals = poisson_arrivals(m, 5.0, seed ^ 0x0f1e_e7f1, |i| {
+                let p = match i % 3 {
+                    0 => Priority::Bulk,
+                    1 => Priority::Normal,
+                    _ => Priority::Critical,
+                };
+                FleetRequest::new(Request::Solve { net: net.clone(), cfg })
+                    .with_priority(p)
+                    .with_tenant((i % 3) as u32)
+            });
+            let responses = fleet.run_stream(arrivals);
+
+            prop_assert_eq!(responses.len(), m, "every arrival gets exactly one response");
+            let mut ids: Vec<u64> = responses.iter().map(|r| r.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), m, "response ids are unique");
+
+            let answered = responses.iter().filter(|r| r.answered()).count();
+            let shed = responses.iter().filter(|r| r.shed.is_some()).count();
+            prop_assert_eq!(answered + shed, m, "answered + shed covers everything");
+
+            let stats = fleet.stats();
+            prop_assert_eq!(stats.submitted as usize, m);
+            prop_assert_eq!(stats.served as usize, answered);
+            prop_assert_eq!(stats.shed() as usize, shed);
+            prop_assert!(stats.peak_queue_depth <= capacity);
+
+            for r in &responses {
+                if let Some(why) = r.shed {
+                    prop_assert!(
+                        matches!(r.outcome, Outcome::Rejected { .. }),
+                        "shed responses carry Rejected"
+                    );
+                    // Eviction requires a strictly higher-priority
+                    // arrival, so the top class can never be evicted.
+                    if why == ShedReason::Evicted {
+                        prop_assert!(
+                            r.priority < Priority::Critical,
+                            "a top-priority request was evicted"
+                        );
+                    }
+                } else {
+                    prop_assert!(
+                        matches!(r.outcome, Outcome::Solved(_)),
+                        "answered requests carry a result (CPU rung cannot fail)"
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn uniform_priority_streams_never_evict() {
+    checker("uniform_priority_streams_never_evict").cases(10).run(
+        tuple2(usize_in(6..30), u64_any()),
+        |&(m, seed)| -> CaseResult {
+            let net = net_for(16, seed);
+            let cfg = SolverConfig::default();
+            let fcfg = FleetConfig { queue_capacity: 2, ..FleetConfig::uniform(1) };
+            let mut fleet = FleetService::new(fcfg);
+            let arrivals = poisson_arrivals(m, 2.0, seed, |_| {
+                FleetRequest::new(Request::Solve { net: net.clone(), cfg })
+            });
+            let responses = fleet.run_stream(arrivals);
+            prop_assert_eq!(fleet.stats().shed_evicted, 0, "no class outranks another");
+            prop_assert_eq!(fleet.stats().shed_quota, 0, "no quota configured");
+            for r in &responses {
+                prop_assert!(
+                    r.shed.is_none() || r.shed == Some(ShedReason::QueueFull),
+                    "uniform streams only shed uniformly, got {:?}",
+                    r.shed
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn same_seed_and_fault_plan_replay_byte_identically() {
+    checker("same_seed_and_fault_plan_replay_byte_identically").cases(6).run(
+        tuple2(u64_any(), usize_in(1..5)),
+        |&(seed, devs)| -> CaseResult {
+            let net = net_for(40, seed);
+            let cfg = SolverConfig::default();
+            let loads: Vec<_> = net.buses().iter().map(|b| b.load).collect();
+            let run = || {
+                let fcfg = FleetConfig {
+                    queue_capacity: 64,
+                    shard_min: 16,
+                    seed,
+                    ..FleetConfig::heterogeneous(devs)
+                };
+                let mut fleet = FleetService::new(fcfg).with_fault_plan_on(0, killer());
+                let arrivals = poisson_arrivals(10, 200.0, seed ^ 0x5eed, |i| {
+                    // Every fourth request exercises the sharded path.
+                    let req = if i % 4 == 3 {
+                        let scenarios = (0..96)
+                            .map(|s| {
+                                let scale = 0.6 + 0.004 * s as f64;
+                                loads.iter().map(|&l| l * scale).collect()
+                            })
+                            .collect();
+                        Request::Batch { net: net.clone(), scenarios, cfg }
+                    } else {
+                        Request::Solve { net: net.clone(), cfg }
+                    };
+                    FleetRequest::new(req)
+                });
+                let responses = fleet.run_stream(arrivals);
+                // Canonical projection: everything the scheduler
+                // decided plus the numerical answer. Wall-clock
+                // (`Timing::wall_us`) is recorded for transparency and
+                // is the one legitimately nondeterministic field.
+                let decisions = responses
+                    .iter()
+                    .map(|r| {
+                        let v = match &r.outcome {
+                            Outcome::Solved(res) => format!("{:?}", res.v),
+                            Outcome::Batch(res) => format!("{:?}", res.v),
+                            other => format!("{other:?}"),
+                        };
+                        format!(
+                            "{} {:?} {} {} {} {} {} {} {} {:?} {v}",
+                            r.id,
+                            r.device,
+                            r.backend,
+                            r.start_us,
+                            r.finish_us,
+                            r.failovers,
+                            r.hedged,
+                            r.shards,
+                            r.reclaimed,
+                            r.shed,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                (decisions, format!("{:?}", fleet.stats()))
+            };
+            let (ra, sa) = run();
+            let (rb, sb) = run();
+            prop_assert!(ra == rb, "decisions and answers must replay byte-identically");
+            prop_assert_eq!(sa, sb, "stats must replay byte-identically");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn modeled_throughput_scales_with_fleet_size() {
+    checker("modeled_throughput_scales_with_fleet_size").cases(5).run(
+        tuple2(usize_in(32..96), u64_any()),
+        |&(n, seed)| -> CaseResult {
+            let net = net_for(n, seed);
+            let cfg = SolverConfig::default();
+            let makespan = |devs: usize| -> f64 {
+                let fcfg = FleetConfig { queue_capacity: 64, ..FleetConfig::uniform(devs) };
+                let mut fleet = FleetService::new(fcfg);
+                // A saturating burst: everything arrives at once.
+                let arrivals = (0..16)
+                    .map(|_| {
+                        (0.0, FleetRequest::new(Request::Solve { net: net.clone(), cfg }))
+                    })
+                    .collect();
+                let responses = fleet.run_stream(arrivals);
+                responses.iter().map(|r| r.finish_us).fold(0.0, f64::max)
+            };
+            let one = makespan(1);
+            let four = makespan(4);
+            prop_assert!(
+                one / four > 2.5,
+                "4 uniform devices must clear a saturating burst well over 2.5x \
+                 faster than 1 (got {:.2}x)",
+                one / four
+            );
+            Ok(())
+        },
+    );
+}

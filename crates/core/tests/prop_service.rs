@@ -9,11 +9,13 @@
 //! * a burst that overflows the admission queue sheds exactly the
 //!   overflow — every request is answered or rejected, never dropped.
 
+use std::time::Duration;
+
 use check::gen::{tuple2, tuple3, u64_any, usize_in};
 use check::{checker, prop_assert, prop_assert_eq, CaseResult};
 use fbs::{
-    Backend, GpuSolver, Outcome, Request, SerialSolver, ServiceConfig, SolveService, SolveStatus,
-    SolverConfig,
+    Backend, Deadline, GpuSolver, Outcome, Request, SerialSolver, ServiceConfig, SolveService,
+    SolveStatus, SolverConfig,
 };
 use powergrid::gen::{random_tree, GenSpec};
 use rng::rngs::StdRng;
@@ -118,6 +120,84 @@ fn breaker_open_service_matches_serial_to_1e9() {
             }
             prop_assert_eq!(svc.breaker().name(), "open");
             prop_assert!(svc.stats().fallback_served >= 3, "open breaker must route to fallback");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn wall_watchdog_is_invisible_unfired_and_cuts_cooperatively() {
+    checker("wall_watchdog_is_invisible_unfired_and_cuts_cooperatively").cases(10).run(
+        tuple2(usize_in(64..400), u64_any()),
+        |&(n, seed)| -> CaseResult {
+            let net = net_for(n, seed);
+            let cfg = SolverConfig::new(1e-12, 300);
+
+            // An armed-but-unfired watchdog must not perturb anything:
+            // all decisions are modeled-time, the wall thread only
+            // watches a cooperative flag the solve never sees set.
+            let guarded = ServiceConfig {
+                deadline: Deadline::none().with_wall(Duration::from_secs(30)),
+                ..ServiceConfig::default()
+            };
+            let mut a = SolveService::new(
+                ServiceConfig::default(),
+                DeviceProps::paper_rig(),
+                HostProps::paper_rig(),
+            );
+            let mut b =
+                SolveService::new(guarded, DeviceProps::paper_rig(), HostProps::paper_rig());
+            let ra = a.serve_at(0.0, Request::Solve { net: net.clone(), cfg });
+            let rb = b.serve_at(0.0, Request::Solve { net: net.clone(), cfg });
+            let (va, vb) = match (&ra.outcome, &rb.outcome) {
+                (Outcome::Solved(x), Outcome::Solved(y)) => (x, y),
+                other => {
+                    return Err(check::CaseError::fail(format!("unexpected pair {other:?}")))
+                }
+            };
+            prop_assert_eq!(va.iterations, vb.iterations);
+            prop_assert!(
+                va.v.iter().zip(&vb.v).all(|(x, y)| x == y),
+                "unfired watchdog must be bit-invisible"
+            );
+
+            // A zero-length wall fires as soon as the OS schedules the
+            // watchdog thread. The cut is *cooperative* — polled at
+            // convergence checks — so whichever side wins the race the
+            // response is a Solved outcome that either converged or
+            // stopped at a whole-iteration boundary with partial state.
+            let strangled = ServiceConfig {
+                deadline: Deadline::none().with_wall(Duration::ZERO),
+                ..ServiceConfig::default()
+            };
+            let mut c =
+                SolveService::new(strangled, DeviceProps::paper_rig(), HostProps::paper_rig());
+            let rc = c.serve_at(0.0, Request::Solve { net: net.clone(), cfg });
+            match rc.outcome {
+                Outcome::Solved(res) => match res.status {
+                    SolveStatus::Converged => {
+                        prop_assert_eq!(res.iterations, va.iterations);
+                    }
+                    SolveStatus::DeadlineExceeded { at_iteration, .. } => {
+                        prop_assert!(at_iteration >= 1, "cut lands after a full iteration");
+                        prop_assert_eq!(res.iterations, at_iteration);
+                        prop_assert!(
+                            res.iterations <= va.iterations,
+                            "partial count {} cannot exceed the full run's {}",
+                            res.iterations,
+                            va.iterations
+                        );
+                    }
+                    other => {
+                        return Err(check::CaseError::fail(format!(
+                            "watchdog cut ended {other:?}"
+                        )))
+                    }
+                },
+                other => {
+                    return Err(check::CaseError::fail(format!("watchdog run ended {other:?}")))
+                }
+            }
             Ok(())
         },
     );

@@ -47,6 +47,7 @@ pub struct Device {
     plan: Option<FaultPlan>,
     fault_log: Vec<FaultRecord>,
     lost_at: Option<u64>,
+    ordinal: u32,
 }
 
 impl Device {
@@ -69,7 +70,22 @@ impl Device {
             plan: None,
             fault_log: Vec::new(),
             lost_at: None,
+            ordinal: 0,
         }
+    }
+
+    /// Tags the device with a fleet ordinal. The ordinal rides on the
+    /// timeline (and from there on every exported telemetry event), so a
+    /// merged trace of several devices stays attributable per device.
+    pub fn with_ordinal(mut self, ordinal: u32) -> Self {
+        self.ordinal = ordinal;
+        self.timeline.set_device(ordinal);
+        self
+    }
+
+    /// The device's fleet ordinal (0 for single-device use).
+    pub fn ordinal(&self) -> u32 {
+        self.ordinal
     }
 
     /// The calibrated reproduction device ([`DeviceProps::paper_rig`]).

@@ -16,11 +16,36 @@ use crate::timeline::{EventKind, Timeline};
 /// Append the timeline's events to `trace` on [`Trace::TID_DEVICE`],
 /// starting the modeled clock at `base_us`. Returns the clock value after
 /// the last event (i.e. `base_us` + total modeled µs of the timeline).
+///
+/// A timeline tagged with a device ordinal ([`Timeline::set_device`])
+/// names the track after the device and stamps every exported event with
+/// a `device` argument — see [`export_timeline_spans_to`] for routing
+/// several devices onto distinct tracks.
 pub fn export_timeline_spans(tl: &Timeline, trace: &mut Trace, base_us: f64) -> f64 {
-    trace.name_thread(Trace::TID_DEVICE, "device (modeled)");
+    export_timeline_spans_to(tl, trace, base_us, Trace::TID_DEVICE)
+}
+
+/// [`export_timeline_spans`] onto an explicit track id, for merged
+/// multi-device traces where each device owns its own track.
+pub fn export_timeline_spans_to(
+    tl: &Timeline,
+    trace: &mut Trace,
+    base_us: f64,
+    tid: u32,
+) -> f64 {
+    let device = tl.device();
+    match device {
+        Some(d) => trace.name_thread(tid, &format!("device {d} (modeled)")),
+        None => trace.name_thread(tid, "device (modeled)"),
+    }
+    let tag = |mut args: Vec<(String, ArgValue)>| {
+        if let Some(d) = device {
+            args.push(("device".to_string(), ArgValue::U64(u64::from(d))));
+        }
+        args
+    };
     let mut clock = base_us;
     for ev in tl.events() {
-        let tid = Trace::TID_DEVICE;
         match &ev.kind {
             EventKind::Kernel { name, grid, block, stats, .. } => {
                 trace.push_span(Span {
@@ -29,12 +54,12 @@ pub fn export_timeline_spans(tl: &Timeline, trace: &mut Trace, base_us: f64) -> 
                     tid,
                     ts_us: clock,
                     dur_us: ev.modeled_us,
-                    args: vec![
+                    args: tag(vec![
                         ("grid".to_string(), ArgValue::U64(u64::from(*grid))),
                         ("block".to_string(), ArgValue::U64(u64::from(*block))),
                         ("threads".to_string(), ArgValue::U64(stats.threads)),
                         ("gmem_bytes".to_string(), ArgValue::U64(stats.gmem_bytes)),
-                    ],
+                    ]),
                 });
             }
             EventKind::Htod { bytes } => {
@@ -44,7 +69,7 @@ pub fn export_timeline_spans(tl: &Timeline, trace: &mut Trace, base_us: f64) -> 
                     tid,
                     ts_us: clock,
                     dur_us: ev.modeled_us,
-                    args: vec![("bytes".to_string(), ArgValue::U64(*bytes))],
+                    args: tag(vec![("bytes".to_string(), ArgValue::U64(*bytes))]),
                 });
             }
             EventKind::Dtoh { bytes } => {
@@ -54,7 +79,7 @@ pub fn export_timeline_spans(tl: &Timeline, trace: &mut Trace, base_us: f64) -> 
                     tid,
                     ts_us: clock,
                     dur_us: ev.modeled_us,
-                    args: vec![("bytes".to_string(), ArgValue::U64(*bytes))],
+                    args: tag(vec![("bytes".to_string(), ArgValue::U64(*bytes))]),
                 });
             }
             EventKind::Alloc { bytes } => {
@@ -63,7 +88,7 @@ pub fn export_timeline_spans(tl: &Timeline, trace: &mut Trace, base_us: f64) -> 
                     cat: "mem".to_string(),
                     tid,
                     ts_us: clock,
-                    args: vec![("bytes".to_string(), ArgValue::U64(*bytes))],
+                    args: tag(vec![("bytes".to_string(), ArgValue::U64(*bytes))]),
                 });
             }
             EventKind::Fault { desc, op } => {
@@ -72,10 +97,10 @@ pub fn export_timeline_spans(tl: &Timeline, trace: &mut Trace, base_us: f64) -> 
                     cat: "fault".to_string(),
                     tid,
                     ts_us: clock,
-                    args: vec![
+                    args: tag(vec![
                         ("desc".to_string(), ArgValue::Str(desc.clone())),
                         ("op".to_string(), ArgValue::U64(*op)),
-                    ],
+                    ]),
                 });
             }
             EventKind::Marker { desc } => {
@@ -84,7 +109,7 @@ pub fn export_timeline_spans(tl: &Timeline, trace: &mut Trace, base_us: f64) -> 
                     cat: "marker".to_string(),
                     tid,
                     ts_us: clock,
-                    args: vec![("desc".to_string(), ArgValue::Str(desc.clone()))],
+                    args: tag(vec![("desc".to_string(), ArgValue::Str(desc.clone()))]),
                 });
             }
         }
@@ -166,6 +191,25 @@ mod tests {
             .thread_names
             .iter()
             .any(|(t, n)| *t == Trace::TID_DEVICE && n == "device (modeled)"));
+    }
+
+    #[test]
+    fn device_tagged_timeline_labels_track_and_events() {
+        let mut tl = timeline_with_mixed_events();
+        tl.set_device(2);
+        let mut trace = Trace::new();
+        export_timeline_spans_to(&tl, &mut trace, 0.0, 7);
+        assert!(trace
+            .thread_names
+            .iter()
+            .any(|(t, n)| *t == 7 && n == "device 2 (modeled)"));
+        // Every exported span and instant carries the device ordinal.
+        let tagged = |args: &[(String, ArgValue)]| {
+            args.iter()
+                .any(|(k, v)| k == "device" && matches!(v, ArgValue::U64(2)))
+        };
+        assert!(trace.spans.iter().all(|s| s.tid == 7 && tagged(&s.args)));
+        assert!(trace.instants.iter().all(|i| i.tid == 7 && tagged(&i.args)));
     }
 
     #[test]

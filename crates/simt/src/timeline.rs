@@ -181,12 +181,26 @@ impl KernelReport {
 #[derive(Clone, Debug, Default)]
 pub struct Timeline {
     events: Vec<Event>,
+    device: Option<u32>,
 }
 
 impl Timeline {
     /// All recorded events, oldest first.
     pub fn events(&self) -> &[Event] {
         &self.events
+    }
+
+    /// Tags this timeline with the ordinal of the device that owns it.
+    /// Exports ([`crate::export_timeline_spans`]) and fleet telemetry
+    /// label every event with it, so merged multi-device traces stay
+    /// attributable.
+    pub fn set_device(&mut self, ordinal: u32) {
+        self.device = Some(ordinal);
+    }
+
+    /// The owning device's ordinal, when one was set.
+    pub fn device(&self) -> Option<u32> {
+        self.device
     }
 
     /// Number of recorded events.

@@ -107,6 +107,15 @@ impl Trace {
     pub const TID_PHASES: u32 = 2;
     /// Track for service-layer events (queue, breaker, shed).
     pub const TID_SERVICE: u32 = 3;
+    /// Track for fleet-level events (routing, failover, brown-out).
+    pub const TID_FLEET: u32 = 4;
+
+    /// Track id for device `ordinal` in a merged multi-device trace.
+    /// Device tracks start above the fixed tracks so any fleet size
+    /// coexists with the constants above.
+    pub fn tid_for_device(ordinal: u32) -> u32 {
+        16 + ordinal
+    }
 
     /// An empty trace.
     pub fn new() -> Self {
