@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Offline CI for the FBS power-flow repo. Ten legs:
+# Offline CI for the FBS power-flow repo. Eleven legs:
 #
 #   1. Tier-1 verify: release build + the full default test suite.
 #   2. Divergence/NaN hardening: the convergence-status suites (monitor
@@ -33,9 +33,15 @@
 #      `fleet` subcommand test) under wall-clock ceilings, plus an
 #      `E15_SMOKE` run of the E15 bench and a seeded chaos replay
 #      through the CLI that must exit 0 with one device scripted dead.
-#   9. Racecheck: re-runs every simt and fbs device kernel under the
+#   9. Integrity/soak: the data-integrity suites (CRC64 transfer
+#      checks, canary audits, shadow-verification sampler, the
+#      first-request corruption property tests) run by name, plus an
+#      `E16_SMOKE` run of the E16 chaos-soak bench and a seeded storm
+#      soak through the CLI that must exit 0 (exit 8 would mean an
+#      undetected corruption reached an answer).
+#  10. Racecheck: re-runs every simt and fbs device kernel under the
 #      per-cell data-race detector (simt's `racecheck` feature).
-#  10. Lint: clippy over every target with warnings promoted to errors.
+#  11. Lint: clippy over every target with warnings promoted to errors.
 #
 # Everything runs with --offline — the repo has zero external registry
 # dependencies (see DESIGN.md, "Dependency policy"), so a warm toolchain
@@ -93,6 +99,16 @@ cargo run -q --offline --release -p fbs-cli feeders --name ieee37 --out target/c
 timeout 300 cargo run -q --offline --release -p fbs-cli fleet target/ci_fleet.grid \
   --devices 4 --requests 32 --gap 120 --kill-device 1 --batch-every 8 \
   --scenarios 96 --shard-min 16 --seed 7 > /dev/null
+
+echo "== integrity/soak: CRC + canary + shadow-verification suites + E16 smoke =="
+timeout 300 cargo test -q --offline -p simt --lib crc::
+timeout 300 cargo test -q --offline -p fbs --lib integrity::
+timeout 600 cargo test -q --offline -p fbs --test prop_integrity
+timeout 300 cargo test -q --offline -p fbs-cli --test cli_commands soak_runs_a_storm
+E16_SMOKE=1 timeout 600 cargo run -q --offline --release -p fbs-bench --bin exp_e16_soak > /dev/null 2> /dev/null
+cargo run -q --offline --release -p fbs-cli feeders --name ieee37 --out target/ci_soak.grid 2> /dev/null
+timeout 300 cargo run -q --offline --release -p fbs-cli soak target/ci_soak.grid \
+  --requests 24 --tol 1e-12 --seed 7 > /dev/null 2> /dev/null
 
 echo "== racecheck: device kernels under the simt race detector =="
 cargo test -q --offline --features racecheck -p simt -p fbs

@@ -31,6 +31,7 @@ const EXPERIMENTS: &[&str] = &[
     "e13_service",
     "e14_contingency",
     "e15_fleet",
+    "e16_soak",
     "bench_generators",
 ];
 
@@ -110,5 +111,19 @@ fn summary_covers_every_experiment_bin() {
     assert!(
         scaling.is_some_and(|v| v >= 3.0),
         "e15_fleet: 4-device scaling must be ≥3x, got {scaling:?}"
+    );
+
+    // E16's headline metrics: storm-phase throughput and the CRC net's
+    // detection count (every one of which was caught, none silent).
+    let e16 = exps.get("e16_soak").expect("checked above");
+    let soak_rps = e16.get("soak.requests_per_sec").and_then(Value::as_f64);
+    assert!(
+        soak_rps.is_some_and(|v| v > 0.0),
+        "e16_soak must record a positive soak.requests_per_sec, got {soak_rps:?}"
+    );
+    let det = e16.get("soak.detected_corruptions").and_then(Value::as_f64);
+    assert!(
+        det.is_some_and(|v| v >= 0.0),
+        "e16_soak must record soak.detected_corruptions, got {det:?}"
     );
 }

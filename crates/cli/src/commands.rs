@@ -6,9 +6,9 @@ use fbs::fleet::poisson_arrivals;
 use fbs::obs::status_key;
 use fbs::{
     record_run, Backend, BackwardStrategy, BatchSolver, ContingencyScreener, FaultReport,
-    FleetConfig, FleetRequest, FleetService, GpuSolver, JumpSolver, MulticoreSolver, Outcome,
-    Priority, Request, Resilient3Solver, ResilientSolver, SerialSolver, ServiceConfig,
-    SolveResult, SolveService, SolveStatus, SolverConfig, Timing,
+    FleetConfig, FleetRequest, FleetService, GpuSolver, IntegrityConfig, IntegritySampler,
+    JumpSolver, MulticoreSolver, Outcome, Priority, Request, Resilient3Solver, ResilientSolver,
+    SerialSolver, ServiceConfig, SolveResult, SolveService, SolveStatus, SolverConfig, Timing,
 };
 use powergrid::gen::{
     balanced_binary, balanced_kary, broom, caterpillar, chain, random_tree, star, GenSpec,
@@ -17,7 +17,9 @@ use powergrid::gridfile::{parse_grid, write_grid};
 use powergrid::{ieee, LevelOrder, RadialNetwork};
 use rng::rngs::StdRng;
 use rng::SeedableRng;
-use simt::{export_timeline_spans, Device, DeviceProps, FaultKind, FaultPlan, HostProps};
+use simt::{
+    export_timeline_spans, Device, DeviceProps, FaultKind, FaultPlan, HostProps, StormSchedule,
+};
 use telemetry::Recorder;
 
 use crate::args::Args;
@@ -54,6 +56,9 @@ usage:
             [--hedge-quantile Q] [--shard-min N] [--batch-every K] [--scenarios N]
             [--kill-device D] [--fault-seed S] [--fault-rate R] [--seed S]
             [--tol T] [--max-iter N] [--trace-out FILE] [--metrics-out FILE]
+  fbs soak <FILE.grid> [--devices N] [--requests N] [--gap US] [--seed S]
+            [--burst-rate R] [--ramp-rate R] [--kill true|false] [--sample-every K]
+            [--tol T] [--max-iter N] [--trace-out FILE] [--metrics-out FILE]
 
 fault injection: --fault-seed arms a seeded, replayable fault plan
 (default rate 0.005/op; override with --fault-rate). --fault-lost-at
@@ -78,11 +83,25 @@ failover, hedged stragglers, batch sharding and a brown-out ladder.
 --kill-device scripts sticky loss on one device (--fault-seed /
 --fault-rate arm a seeded plan instead); --batch-every K makes every
 K-th request a sharded --scenarios batch. Deterministic: the same
-seeds replay byte-identical routing, telemetry and exports.";
+seeds replay byte-identical routing, telemetry and exports.
+
+soak: replays a seeded request stream through a uniform fleet under a
+compound fault storm — a corruption burst, a corruption-under-load
+ramp, and (with --kill) a correlated multi-device kill — with the
+integrity guards armed: CRC64-checked transfers plus a 1-in-K CPU
+shadow re-solve of answered requests. Detected corruptions are retried
+transparently; a shadow-verification mismatch (a corruption every net
+missed) exits with code 8.";
 
 /// Exit code for an unrecoverable fault-injected run: the device was
 /// lost (or the retry budget drained) and degradation was disabled.
 const EXIT_UNRECOVERABLE: u8 = 5;
+
+/// Exit code for an integrity failure in a soak run: the shadow
+/// verifier found an answered result that disagrees with the CPU
+/// oracle — a corruption escaped both the CRC net and the recovery
+/// layer's spike/certification checks.
+const EXIT_INTEGRITY: u8 = 8;
 
 /// Dispatches a full argv (without the program name).
 ///
@@ -90,8 +109,10 @@ const EXIT_UNRECOVERABLE: u8 = 5;
 /// family the [`fbs::SolveStatus::exit_code`] of the result (`2`
 /// max-iterations, `3` diverged, `4` numerical failure, `5`
 /// unrecoverable device loss under fault injection, `6` deadline
-/// exceeded, `7` invalid solver configuration). Usage and I/O errors
-/// come back as `Err` and map to exit code `1` in `main`.
+/// exceeded, `7` invalid solver configuration, `8` soak integrity
+/// failure — a shadow-verified answer disagreed with the CPU oracle).
+/// Usage and I/O errors come back as `Err` and map to exit code `1`
+/// in `main`.
 pub fn run(argv: &[String]) -> Result<u8, String> {
     let (cmd, rest) = argv.split_first().ok_or("missing subcommand")?;
     match cmd.as_str() {
@@ -104,6 +125,7 @@ pub fn run(argv: &[String]) -> Result<u8, String> {
         "compare" => cmd_compare(rest).map(|()| 0),
         "profile" => cmd_profile(rest),
         "fleet" => cmd_fleet(rest),
+        "soak" => cmd_soak(rest),
         "feeders3" => cmd_feeders3(rest).map(|()| 0),
         "gen3" => cmd_gen3(rest).map(|()| 0),
         "solve3" => cmd_solve3(rest),
@@ -821,6 +843,143 @@ fn cmd_fleet(argv: &[String]) -> Result<u8, String> {
         .map(|h| format!("d{} {} {:.2}", h.ordinal, h.breaker.name(), h.score))
         .collect();
     println!("health:      {}", health.join(" | "));
+    Ok(0)
+}
+
+fn cmd_soak(argv: &[String]) -> Result<u8, String> {
+    let a = Args::parse(
+        argv,
+        &[
+            "devices", "requests", "gap", "seed", "burst-rate", "ramp-rate", "kill",
+            "sample-every", "tol", "max-iter", "trace-out", "metrics-out",
+        ],
+    )?;
+    let net = load(a.one_positional("grid file")?)?;
+    let cfg = solver_config(&a)?;
+    let devices: usize = a.get_parse_or("devices", 4usize)?;
+    if devices == 0 {
+        return Err("--devices must be at least 1".into());
+    }
+    let requests: usize = a.get_parse_or("requests", 48usize)?;
+    let gap: f64 = a.get_parse_or("gap", 400.0)?;
+    let seed: u64 = a.get_parse_or("seed", 0x50a_cu64)?;
+    let burst_rate: f64 = a.get_parse_or("burst-rate", 0.04)?;
+    let ramp_rate: f64 = a.get_parse_or("ramp-rate", 0.06)?;
+    let kill: bool = a.get_parse_or("kill", true)?;
+    let sample_every: u64 = a.get_parse_or("sample-every", 2u64)?;
+    for (flag, rate) in [("--burst-rate", burst_rate), ("--ramp-rate", ramp_rate)] {
+        if !(0.0..=1.0).contains(&rate) || !rate.is_finite() {
+            return Err(format!("{flag} {rate} is not a probability"));
+        }
+    }
+    if sample_every == 0 {
+        return Err("--sample-every must be at least 1".into());
+    }
+    let tele = Telemetry::from_args(&a);
+
+    // The compound storm: an early corruption burst, a long
+    // corruption-under-load ramp, and (by default) a correlated kill of
+    // every non-zero ordinal up to two devices. The kill window is
+    // narrow in op-space: a dead device consumes one plan op per
+    // attempt, so the rejoin probes walk past it quickly.
+    let mut storm = StormSchedule::new(seed)
+        .with_burst(150, 2_500, burst_rate)
+        .with_corruption_ramp(4_000, 5_000, ramp_rate);
+    let killed: Vec<u32> = if kill && devices > 1 {
+        (1..devices.min(3) as u32).collect()
+    } else {
+        Vec::new()
+    };
+    if !killed.is_empty() {
+        storm = storm.with_correlated_kill(3_000, 3_012, killed.iter().copied());
+    }
+
+    // Aggressive rejoin pacing (probe after one open-served dispatch,
+    // rejoin attempt every other dispatch): the soak measures integrity
+    // under churn, not the default probe cadence.
+    let fcfg = FleetConfig {
+        service: ServiceConfig { breaker_probe_after: 1, ..ServiceConfig::default() },
+        queue_capacity: requests,
+        rejoin_every: 2,
+        seed,
+        ..FleetConfig::uniform(devices)
+    };
+    let mut sampler = IntegritySampler::new(
+        IntegrityConfig { sample_every, ..IntegrityConfig::default() },
+        HostProps::paper_rig(),
+    );
+    if let Some(rec) = tele.recorder() {
+        sampler = sampler.with_recorder(rec.clone());
+    }
+    let mut fleet = FleetService::new(fcfg).with_storm(storm).with_integrity(sampler);
+    if let Some(rec) = tele.recorder() {
+        fleet = fleet.with_recorder(rec.clone());
+    }
+
+    let arrivals = poisson_arrivals(requests, gap, seed ^ 0xa11e, |_| {
+        FleetRequest::new(Request::Solve { net: net.clone(), cfg })
+    });
+    let responses = fleet.run_stream(arrivals);
+
+    let s = fleet.stats().clone();
+    let istats = fleet.integrity_stats();
+    let detected: u64 = responses
+        .iter()
+        .map(|r| match &r.outcome {
+            Outcome::Solved(res) => {
+                res.fault_report.as_ref().map_or(0, |fr| u64::from(fr.corruptions_detected))
+            }
+            Outcome::Batch(res) => {
+                res.fault_report.as_ref().map_or(0, |fr| u64::from(fr.corruptions_detected))
+            }
+            _ => 0,
+        })
+        .sum();
+    let answered = responses.iter().filter(|r| r.answered()).count();
+    let makespan = responses.iter().map(|r| r.finish_us).fold(0.0f64, f64::max);
+    let rps = if makespan > 0.0 { answered as f64 / (makespan / 1e6) } else { 0.0 };
+    if let Some(rec) = tele.recorder() {
+        fleet.publish_stats();
+        rec.gauge_set("soak.requests_per_sec", rps);
+        rec.gauge_set("soak.detected_corruptions", detected as f64);
+        rec.gauge_set("soak.shadow_mismatches", istats.mismatches as f64);
+    }
+    tele.write()?;
+
+    println!(
+        "soak:        {devices} device(s) uniform | seed {seed:#x} | burst {burst_rate} \
+         ramp {ramp_rate}{}",
+        if killed.is_empty() {
+            String::new()
+        } else {
+            format!(" | correlated kill of {killed:?}")
+        }
+    );
+    println!(
+        "served:      {}/{} ({} shed), {} failovers, {rps:.0} requests/s modeled",
+        s.served,
+        s.submitted,
+        s.shed(),
+        s.failovers
+    );
+    println!(
+        "integrity:   {detected} corruption(s) detected and retried, \
+         {}/{} answers shadow-verified, {} mismatch(es)",
+        istats.verified, istats.sampled, istats.mismatches
+    );
+    if s.served + s.shed() != s.submitted {
+        println!("conservation: VIOLATED ({} + {} != {})", s.served, s.shed(), s.submitted);
+        return Ok(EXIT_INTEGRITY);
+    }
+    if istats.mismatches > 0 {
+        println!(
+            "verdict:     FAILED — a corruption escaped every net \
+             (worst err {:e} V)",
+            istats.worst_err_v
+        );
+        return Ok(EXIT_INTEGRITY);
+    }
+    println!("verdict:     clean — zero undetected corruptions");
     Ok(0)
 }
 

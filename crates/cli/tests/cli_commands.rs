@@ -116,6 +116,46 @@ fn fleet_replays_a_chaotic_stream_and_exports_fleet_metrics() {
 }
 
 #[test]
+fn soak_runs_a_storm_with_integrity_guards_and_exits_clean() {
+    let path = tmp("soak.grid");
+    let path_s = path.to_str().unwrap();
+    run(&["feeders", "--name", "ieee37", "--out", path_s]).expect("feeders must succeed");
+
+    // A storm soak with the correlated kill and shadow sampling on
+    // every answer: the integrity nets must catch everything, so the
+    // verdict is clean and the exit code 0 (code 8 would mean an
+    // undetected corruption reached an answer).
+    let metrics = tmp("soak-metrics.json");
+    let metrics_s = metrics.to_str().unwrap();
+    assert_eq!(
+        run(&[
+            "soak", path_s, "--requests", "16", "--tol", "1e-12", "--sample-every", "1",
+            "--metrics-out", metrics_s,
+        ])
+        .expect("storm soak run"),
+        0
+    );
+    let text = fs::read_to_string(&metrics).unwrap();
+    for key in [
+        "soak.requests_per_sec",
+        "soak.detected_corruptions",
+        "soak.shadow_mismatches",
+        "integrity.sampled",
+        "integrity.mismatches",
+    ] {
+        assert!(text.contains(key), "run summary must carry {key}: {text}");
+    }
+
+    // Bad shapes are reported, not panicked.
+    assert!(run(&["soak", path_s, "--devices", "0"]).is_err(), "zero devices");
+    assert!(run(&["soak", path_s, "--burst-rate", "1.5"]).is_err(), "rate not a probability");
+    assert!(run(&["soak", path_s, "--sample-every", "0"]).is_err(), "zero sampling cadence");
+    assert!(run(&["soak"]).is_err(), "missing positional");
+    let _ = fs::remove_file(&path);
+    let _ = fs::remove_file(&metrics);
+}
+
+#[test]
 fn size_suffixes_accepted_in_gen() {
     let path = tmp("suffix.grid");
     let path_s = path.to_str().unwrap();

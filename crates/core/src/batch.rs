@@ -58,6 +58,10 @@ pub struct BatchResult {
     pub residual: f64,
     /// Timing summary for the whole batch.
     pub timing: Timing,
+    /// Recovery/integrity bookkeeping — `Some` when faults were
+    /// observed or a fault plan was armed (see
+    /// [`crate::FaultReport::corruptions_detected`]).
+    pub fault_report: Option<crate::FaultReport>,
 }
 
 impl BatchResult {
@@ -81,6 +85,7 @@ impl From<TensorBatchResult> for BatchResult {
             statuses: r.statuses,
             residual: r.residual,
             timing: r.timing,
+            fault_report: r.fault_report,
         }
     }
 }

@@ -52,11 +52,12 @@ use std::collections::VecDeque;
 
 use rng::rngs::StdRng;
 use rng::{Rng, SeedableRng};
-use simt::{DeviceProps, FaultPlan, HostProps};
+use simt::{DeviceProps, FaultPlan, HostProps, StormSchedule};
 use telemetry::trace::ArgValue;
 use telemetry::{Recorder, Trace};
 
 use crate::batch::BatchResult;
+use crate::integrity::{IntegritySampler, IntegrityStats};
 use crate::service::{
     BreakerState, Outcome, Request, Response, ServiceConfig, ServiceStats, SolveService,
 };
@@ -354,6 +355,8 @@ pub struct FleetService {
     /// Service times of answered requests, sorted ascending — the
     /// hedge-quantile estimate.
     completed_us: Vec<f64>,
+    /// Shadow-verification sampler over answered responses, when armed.
+    integrity: Option<IntegritySampler>,
 }
 
 impl FleetService {
@@ -396,6 +399,7 @@ impl FleetService {
             stats: FleetStats::default(),
             recorder: None,
             completed_us: Vec::new(),
+            integrity: None,
         }
     }
 
@@ -405,6 +409,40 @@ impl FleetService {
     pub fn with_fault_plan_on(mut self, ordinal: u32, plan: FaultPlan) -> Self {
         self.workers[ordinal as usize].svc.set_fault_plan(plan);
         self
+    }
+
+    /// Arms one compound-fault storm across the whole fleet: every
+    /// worker gets its own seeded plan (decorrelated per ordinal)
+    /// carrying a clone of the schedule bound to that worker's ordinal,
+    /// so kill windows correlate exactly across the listed devices
+    /// while burst/ramp corruption decisions stay independent.
+    pub fn with_storm(mut self, storm: StormSchedule) -> Self {
+        for w in &mut self.workers {
+            let seed = storm
+                .seed()
+                .wrapping_add((u64::from(w.ordinal) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let plan = FaultPlan::seeded(seed, 0.0)
+                .with_storm(storm.clone())
+                .with_ordinal(w.ordinal);
+            w.svc.set_fault_plan(plan);
+        }
+        self
+    }
+
+    /// Arms a shadow-verification sampler: a seeded 1-in-K sample of
+    /// answered responses is re-solved on the CPU oracle after
+    /// dispatch and compared ([`crate::integrity`]). Verdict counters
+    /// land on the sampler's recorder; gauges are exported with
+    /// [`FleetService::publish_stats`].
+    pub fn with_integrity(mut self, sampler: IntegritySampler) -> Self {
+        self.integrity = Some(sampler);
+        self
+    }
+
+    /// Shadow-verification counters so far (zeros when no sampler is
+    /// armed).
+    pub fn integrity_stats(&self) -> IntegrityStats {
+        self.integrity.as_ref().map(|s| *s.stats()).unwrap_or_default()
     }
 
     /// Attaches a telemetry recorder: fleet decisions land on
@@ -474,6 +512,9 @@ impl FleetService {
         rec.gauge_set("fleet.stats.reclaimed_shards", s.reclaimed_shards as f64);
         rec.gauge_set("fleet.stats.peak_queue_depth", s.peak_queue_depth as f64);
         rec.gauge_set("fleet.stats.devices", self.workers.len() as f64);
+        if let Some(sampler) = &self.integrity {
+            sampler.publish();
+        }
     }
 
     /// Replays a timed arrival stream across the fleet and returns
@@ -661,6 +702,9 @@ impl FleetService {
                 .completed_us
                 .partition_point(|&x| x < service);
             self.completed_us.insert(at, service);
+            if let Some(sampler) = &mut self.integrity {
+                sampler.observe(&p.freq.req, &resp.outcome);
+            }
         }
         if let Some(rec) = &self.recorder {
             rec.counter_add("fleet.requests", 1);
@@ -1004,6 +1048,20 @@ fn merge_batches(parts: Vec<BatchResult>) -> BatchResult {
         out.timing.phases.convergence_us += part.timing.phases.convergence_us;
         out.timing.phases.teardown_us += part.timing.phases.teardown_us;
         out.timing.wall_us += part.timing.wall_us;
+        // Fault/integrity bookkeeping sums across shards; the backend
+        // list keeps the first shard's (shards run the same backend).
+        out.fault_report = match (out.fault_report.take(), part.fault_report) {
+            (Some(mut a), Some(b)) => {
+                a.faults_injected += b.faults_injected;
+                a.rollbacks += b.rollbacks;
+                a.retries += b.retries;
+                a.checkpoints += b.checkpoints;
+                a.checkpoint_us += b.checkpoint_us;
+                a.corruptions_detected += b.corruptions_detected;
+                Some(a)
+            }
+            (a, b) => a.or(b),
+        };
     }
     out
 }

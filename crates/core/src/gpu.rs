@@ -257,7 +257,7 @@ impl<'a> GpuSession<'a> {
             Some(init) => {
                 assert_eq!(init.len(), n, "warm start needs one voltage per bus");
                 let by_pos = a.levels.permute(init);
-                dev.try_htod(&mut v_buf, &by_pos)?;
+                dev.try_htod_checked(&mut v_buf, &by_pos)?;
             }
             None => try_fill(dev, &mut v_buf, v0)?,
         }
@@ -481,7 +481,9 @@ impl SweepSession for GpuSession<'_> {
 
     fn snapshot(&mut self) -> Result<Vec<Complex>, DeviceError> {
         let mark = self.dev.timeline().mark();
-        let v = self.dev.try_dtoh(&self.v_buf)?;
+        // A checkpoint read must be certified clean: a silently corrupted
+        // snapshot would poison every later rollback.
+        let v = self.dev.try_dtoh_checked(&self.v_buf)?;
         self.recovery_us += self.dev.timeline().breakdown_since(mark).total_us();
         Ok(v)
     }
@@ -493,14 +495,14 @@ impl SweepSession for GpuSession<'_> {
         // Statics are re-uploaded wholesale: a bit flip in a topology or
         // impedance buffer is permanent, so a voltage-only rollback would
         // replay the fault instead of erasing it.
-        dev.try_htod(&mut self.s_buf, &a.s)?;
-        dev.try_htod(&mut self.z_buf, &a.z)?;
-        dev.try_htod(&mut self.parent_buf, &a.parent_pos)?;
-        dev.try_htod(&mut self.child_lo_buf, &a.child_lo)?;
-        dev.try_htod(&mut self.child_hi_buf, &a.child_hi)?;
-        dev.try_htod(&mut self.flags_buf, &a.head_flags)?;
-        dev.try_htod(&mut self.seg_last_buf, &a.seg_last)?;
-        dev.try_htod(&mut self.v_buf, v_pos)?;
+        dev.try_htod_checked(&mut self.s_buf, &a.s)?;
+        dev.try_htod_checked(&mut self.z_buf, &a.z)?;
+        dev.try_htod_checked(&mut self.parent_buf, &a.parent_pos)?;
+        dev.try_htod_checked(&mut self.child_lo_buf, &a.child_lo)?;
+        dev.try_htod_checked(&mut self.child_hi_buf, &a.child_hi)?;
+        dev.try_htod_checked(&mut self.flags_buf, &a.head_flags)?;
+        dev.try_htod_checked(&mut self.seg_last_buf, &a.seg_last)?;
+        dev.try_htod_checked(&mut self.v_buf, v_pos)?;
         try_fill(dev, &mut self.delta_buf, 0.0)?;
         self.recovery_us += dev.timeline().breakdown_since(mark).total_us();
         Ok(())
@@ -524,8 +526,8 @@ impl SweepSession for GpuSession<'_> {
     fn download(&mut self) -> Result<(Vec<Complex>, Vec<Complex>), DeviceError> {
         let dev = &mut *self.dev;
         let mark = dev.timeline().mark();
-        let v_pos = dev.try_dtoh(&self.v_buf)?;
-        let j_pos = dev.try_dtoh(&self.j_buf)?;
+        let v_pos = dev.try_dtoh_checked(&self.v_buf)?;
+        let j_pos = dev.try_dtoh_checked(&self.j_buf)?;
         let b = dev.timeline().breakdown_since(mark);
         let t0 = self.phases.total_us() + self.recovery_us;
         self.phases.teardown_us += b.total_us();

@@ -33,6 +33,7 @@ mod config;
 pub mod contingency;
 pub mod fleet;
 mod gpu;
+pub mod integrity;
 pub mod jump;
 mod multicore;
 pub mod obs;
@@ -54,6 +55,7 @@ pub use fleet::{
     Priority, ShedReason,
 };
 pub use gpu::{BackwardStrategy, GpuSolver};
+pub use integrity::{IntegrityConfig, IntegritySampler, IntegrityStats, IntegrityVerdict};
 pub use jump::{JumpArrays, JumpSolver};
 pub use multicore::MulticoreSolver;
 pub use obs::{record_batch_run, record_run};

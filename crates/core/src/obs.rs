@@ -168,6 +168,10 @@ pub fn record_run(
         rec.counter_add("recovery.retries", u64::from(fr.retries));
         rec.counter_add("recovery.checkpoints", u64::from(fr.checkpoints));
         rec.gauge_set("recovery.checkpoint_us", fr.checkpoint_us);
+        rec.counter_add(
+            "integrity.corruptions_detected",
+            u64::from(fr.corruptions_detected),
+        );
         for backend in &fr.backends {
             rec.counter_add(&format!("recovery.backend.{backend}"), 1);
         }
@@ -249,6 +253,7 @@ mod tests {
             checkpoints: 5,
             checkpoint_us: 42.0,
             backends: vec!["gpu".to_string(), "cpu".to_string()],
+            corruptions_detected: 1,
         };
         record_run(
             &rec,
@@ -266,6 +271,7 @@ mod tests {
         assert_eq!(counters["solve.status.recovered"], 1);
         assert_eq!(counters["recovery.backend.gpu"], 1);
         assert_eq!(counters["recovery.backend.cpu"], 1);
+        assert_eq!(counters["integrity.corruptions_detected"], 1);
     }
 
     #[test]

@@ -175,7 +175,12 @@ fn rollback<S: SweepSession>(
         match sess.restore(&ckpt.v) {
             Ok(()) => return Ok(()),
             Err(e @ DeviceError::DeviceLost { .. }) => return Err(DriveAbort::Lost(e)),
-            Err(_) => continue,
+            Err(e) => {
+                if matches!(e, DeviceError::TransferCorrupted { .. }) {
+                    report.corruptions_detected += 1;
+                }
+                continue;
+            }
         }
     }
 }
@@ -224,7 +229,11 @@ pub(crate) fn drive<S: SweepSession>(
                     Err(e @ DeviceError::DeviceLost { .. }) => {
                         return Err(DriveAbort::Lost(e));
                     }
-                    Err(_) => {
+                    Err(e) => {
+                        if matches!(e, DeviceError::TransferCorrupted { .. }) {
+                            report.corruptions_detected += 1;
+                            obs.instant("corruption-detected", sess.elapsed_modeled_us());
+                        }
                         rollback(sess, &ckpt, report, budget, obs)?;
                         continue 'attempt;
                     }
@@ -696,6 +705,9 @@ fn setup_abort(
 ) -> DriveAbort {
     if matches!(e, DeviceError::DeviceLost { .. }) {
         return DriveAbort::Lost(e);
+    }
+    if matches!(e, DeviceError::TransferCorrupted { .. }) {
+        report.corruptions_detected += 1;
     }
     report.rollbacks += 1;
     if !budget.charge() {

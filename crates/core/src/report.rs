@@ -101,6 +101,10 @@ pub struct FaultReport {
     /// Backends tried, in order, ending with the one that produced the
     /// result (e.g. `["gpu", "multicore"]` after one degradation).
     pub backends: Vec<String>,
+    /// Checked-transfer CRC mismatches detected (and retried) across
+    /// every attempt. Every one of these was *caught* — an undetected
+    /// corruption by definition never lands here.
+    pub corruptions_detected: u32,
 }
 
 impl FaultReport {

@@ -1000,7 +1000,7 @@ fn batch_on_multicore(
         v.push(res.v);
         j.push(res.j);
     }
-    BatchResult { v, j, iterations, statuses, residual, timing }
+    BatchResult { v, j, iterations, statuses, residual, timing, fault_report: None }
 }
 
 #[cfg(test)]

@@ -464,6 +464,7 @@ impl TensorBatchSolver {
         let mut transfer_us = 0.0;
         let mut transfer_sweep_us = 0.0;
         let mut retries_total = 0u32;
+        let mut corruptions_total = 0u32;
         let mut degraded = false;
 
         // ---- Topology upload (once; re-done only on chunk retry).
@@ -527,6 +528,10 @@ impl TensorBatchSolver {
                         &mut out,
                     )
                 }));
+                if matches!(attempt, Ok(Err(DeviceError::TransferCorrupted { .. }))) {
+                    corruptions_total += 1;
+                    obs.instant("corruption-detected", phases.total_us());
+                }
                 match attempt {
                     Ok(Ok(())) => break,
                     Ok(Err(_)) | Err(_) if self.device.is_lost() => {
@@ -589,18 +594,20 @@ impl TensorBatchSolver {
         let scenarios_per_sec = if total_us > 0.0 { nb as f64 / (total_us * 1e-6) } else { 0.0 };
         obs.batch_summary(nb, scenarios_per_sec);
 
-        let fault_report = (armed || faults_seen > 0 || retries_total > 0).then(|| FaultReport {
-            faults_injected: faults_seen,
-            rollbacks: 0,
-            retries: retries_total,
-            checkpoints: 0,
-            checkpoint_us: 0.0,
-            backends: if degraded {
-                vec!["tensor-gpu".to_string(), "cpu-serial".to_string()]
-            } else {
-                vec!["tensor-gpu".to_string()]
-            },
-        });
+        let fault_report = (armed || faults_seen > 0 || retries_total > 0 || corruptions_total > 0)
+            .then(|| FaultReport {
+                faults_injected: faults_seen,
+                rollbacks: 0,
+                retries: retries_total,
+                checkpoints: 0,
+                checkpoint_us: 0.0,
+                backends: if degraded {
+                    vec!["tensor-gpu".to_string(), "cpu-serial".to_string()]
+                } else {
+                    vec!["tensor-gpu".to_string()]
+                },
+                corruptions_detected: corruptions_total,
+            });
 
         let residual =
             out.residuals.iter().fold(0.0f64, |acc, &r| MaxAbsF64::combine(acc, r));
@@ -1043,7 +1050,7 @@ fn run_chunk(
         // Per-scenario convergence triage on the host.
         let conv_t0 = phases.total_us();
         let mark = dev.timeline().mark();
-        let residuals = dev.try_dtoh(&res_buf)?;
+        let residuals = dev.try_dtoh_checked(&res_buf)?;
         let mut any_froze = false;
         let mut worst_active = 0.0f64;
         for ls in 0..nb {
@@ -1062,7 +1069,7 @@ fn run_chunk(
             }
         }
         if any_froze && active > 0 {
-            dev.try_htod(&mut mask_buf, &mask_host)?;
+            dev.try_htod_checked(&mut mask_buf, &mask_host)?;
         }
         let b = dev.timeline().breakdown_since(mark);
         phases.convergence_us += b.total_us();
@@ -1156,8 +1163,8 @@ fn run_chunk(
     let keep = out.keep_state;
     let (v_host, j_host) = if keep {
         let mark = dev.timeline().mark();
-        let v = dev.try_dtoh(&v_buf)?;
-        let j = dev.try_dtoh(&j_buf)?;
+        let v = dev.try_dtoh_checked(&v_buf)?;
+        let j = dev.try_dtoh_checked(&j_buf)?;
         let b = dev.timeline().breakdown_since(mark);
         phases.teardown_us += b.total_us();
         *transfer_us += b.htod_us + b.dtoh_us;
@@ -1169,7 +1176,7 @@ fn run_chunk(
     let minv_host = match &minv_buf {
         Some(buf) => {
             let mark = dev.timeline().mark();
-            let m = dev.try_dtoh(buf)?;
+            let m = dev.try_dtoh_checked(buf)?;
             let b = dev.timeline().breakdown_since(mark);
             phases.teardown_us += b.total_us();
             *transfer_us += b.htod_us + b.dtoh_us;

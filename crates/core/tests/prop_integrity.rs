@@ -1,0 +1,159 @@
+//! Integrity-layer property tests: checked transfers detect scripted
+//! corruption on the *very first* request, the recovery layer retries
+//! it, and the circuit breaker never burns fuel on a retryable
+//! corruption — at the service level and behind the fleet. The shadow
+//! sampler independently re-verifies answered voltages against the CPU
+//! oracle to 1e-9 V.
+
+use fbs::{
+    BreakerState, FleetConfig, FleetRequest, FleetService, IntegrityConfig,
+    IntegritySampler, Outcome, Request, SerialSolver, ServiceConfig, SolveService,
+    SolverConfig,
+};
+use powergrid::ieee::ieee13;
+use simt::{DeviceProps, FaultKind, FaultPlan, HostProps};
+
+fn cfg() -> SolverConfig {
+    SolverConfig::new(1e-12, 200)
+}
+
+fn service(plan: FaultPlan) -> SolveService {
+    SolveService::new(ServiceConfig::default(), DeviceProps::paper_rig(), HostProps::paper_rig())
+        .with_fault_plan(plan)
+}
+
+/// Probes scripted [`FaultKind::TransferCorruption`] across early op
+/// indices until at least `want` distinct first requests *detect* a
+/// corruption via the checked-transfer CRC, asserting the invariants on
+/// every detecting run. Returns how many detecting runs were seen.
+///
+/// Checkpoints every iteration so the op stream carries a checked
+/// snapshot read-back roughly once per sweep — otherwise nearly every
+/// early op is a kernel launch and a scripted transfer corruption has
+/// almost nothing to land on.
+fn probe_solve_corruptions(want: usize) -> usize {
+    let net = ieee13();
+    let reference = SerialSolver::new(HostProps::paper_rig()).solve(&net, &cfg());
+    let probe_cfg = cfg().with_recovery(1, SolverConfig::DEFAULT_MAX_RECOVERIES);
+    let mut detected_runs = 0;
+    for op in 0..200u64 {
+        let plan = FaultPlan::scripted([(op, FaultKind::TransferCorruption)]);
+        let mut svc = service(plan);
+        let resp = svc.serve_at(0.0, Request::Solve { net: net.clone(), cfg: probe_cfg });
+        let Outcome::Solved(res) = &resp.outcome else {
+            panic!("first request with corruption at op {op} ended {:?}", resp.outcome);
+        };
+        assert!(
+            res.status.is_converged(),
+            "corruption at op {op}: first request must still converge, got {:?}",
+            res.status
+        );
+        for (bus, (a, b)) in res.v.iter().zip(&reference.v).enumerate() {
+            assert!(
+                (a.abs() - b.abs()).abs() < 1e-9,
+                "corruption at op {op}, bus {bus}: |V| drifted {:e}",
+                (a.abs() - b.abs()).abs()
+            );
+        }
+        // A retryable corruption must never feed the breaker.
+        assert_eq!(svc.breaker(), BreakerState::Closed, "breaker tripped for op {op}");
+        assert_eq!(
+            svc.stats().device_failures,
+            0,
+            "corruption at op {op} was charged as an unrecoverable device failure"
+        );
+        let report = res.fault_report.as_ref().expect("armed plan attaches a report");
+        if report.corruptions_detected > 0 {
+            detected_runs += 1;
+            if detected_runs >= want {
+                break;
+            }
+        }
+    }
+    detected_runs
+}
+
+#[test]
+fn first_request_checked_transfer_corruption_is_detected_retried_and_breaker_stays_closed() {
+    let detected = probe_solve_corruptions(3);
+    assert!(
+        detected >= 3,
+        "expected at least 3 op indices whose corruption lands on a checked transfer, \
+         got {detected} — the CRC net has a hole"
+    );
+}
+
+#[test]
+fn first_batch_request_checked_corruption_is_detected_and_breaker_stays_closed() {
+    let net = ieee13();
+    let scenarios: Vec<Vec<_>> = (0..8)
+        .map(|k| net.buses().iter().map(|b| b.load * (0.7 + 0.05 * k as f64)).collect())
+        .collect();
+    let mut detected_runs = 0;
+    for op in 0..200u64 {
+        let plan = FaultPlan::scripted([(op, FaultKind::TransferCorruption)]);
+        let mut svc = service(plan);
+        let resp = svc.serve_at(
+            0.0,
+            Request::Batch { net: net.clone(), scenarios: scenarios.clone(), cfg: cfg() },
+        );
+        let Outcome::Batch(res) = &resp.outcome else {
+            panic!("batch with corruption at op {op} ended {:?}", resp.outcome);
+        };
+        assert!(
+            res.converged(),
+            "corruption at op {op}: every scenario must still converge"
+        );
+        assert_eq!(svc.breaker(), BreakerState::Closed, "breaker tripped for op {op}");
+        assert_eq!(svc.stats().device_failures, 0, "op {op} charged as unrecoverable");
+        if res.fault_report.as_ref().is_some_and(|r| r.corruptions_detected > 0) {
+            detected_runs += 1;
+            if detected_runs >= 2 {
+                break;
+            }
+        }
+    }
+    assert!(
+        detected_runs >= 2,
+        "no batch op index produced a detected corruption ({detected_runs} found)"
+    );
+}
+
+#[test]
+fn fleet_first_request_corruption_keeps_every_breaker_closed_and_answers_verify() {
+    let net = ieee13();
+    let mut checked = 0;
+    for op in 0..120u64 {
+        let plan = FaultPlan::scripted([(op, FaultKind::TransferCorruption)]);
+        let fcfg = FleetConfig::uniform(2);
+        let mut fleet = FleetService::new(fcfg)
+            .with_fault_plan_on(0, plan)
+            .with_integrity(IntegritySampler::new(
+                IntegrityConfig { sample_every: 1, ..IntegrityConfig::default() },
+                HostProps::paper_rig(),
+            ));
+        let responses = fleet.run_stream(vec![(
+            0.0,
+            FleetRequest::new(Request::Solve { net: net.clone(), cfg: cfg() }),
+        )]);
+        assert_eq!(responses.len(), 1);
+        assert!(responses[0].answered(), "first fleet request must be answered (op {op})");
+        for h in fleet.health() {
+            assert_eq!(
+                h.breaker,
+                BreakerState::Closed,
+                "device {} breaker tripped on a retryable corruption (op {op})",
+                h.ordinal
+            );
+        }
+        let istats = fleet.integrity_stats();
+        assert_eq!(istats.sampled, 1, "sample_every=1 shadow-verifies the answer");
+        assert_eq!(
+            istats.mismatches, 0,
+            "op {op}: an answered corruption escaped every net (err {:e} V)",
+            istats.worst_err_v
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 120);
+}

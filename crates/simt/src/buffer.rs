@@ -31,6 +31,18 @@ impl<T: Copy + Default + Send + Sync + 'static> DeviceCopy for T {}
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct BufId(pub u32);
 
+/// The guard word framing every allocation. Chosen so a single bit flip,
+/// a zero-fill or a poison-fill all fail the check.
+pub(crate) const CANARY: u64 = 0xC0FF_EE00_DEAD_BEA7;
+
+/// Guard words on each side of an allocation.
+pub(crate) const CANARY_WORDS: usize = 2;
+
+/// Byte written over a freed allocation so use-after-free reads are
+/// loudly wrong (0xA5A5… is a signalling-NaN-free but obviously-bogus
+/// pattern for every element type we store).
+pub(crate) const POISON_BYTE: u8 = 0xA5;
+
 static NEXT_BUF_ID: AtomicU64 = AtomicU64::new(1);
 
 fn fresh_buf_id() -> BufId {
@@ -47,12 +59,18 @@ fn fresh_buf_id() -> BufId {
 pub(crate) struct MemPool {
     in_use: AtomicU64,
     registry: Mutex<BTreeMap<u32, Region>>,
+    /// Canary violations caught at free time (the drop-side check).
+    freed_smashed: AtomicU64,
 }
 
 #[derive(Clone, Copy, Debug)]
 struct Region {
     addr: usize,
     bytes: u64,
+    /// Address of the allocation's leading guard words.
+    front: usize,
+    /// Address of the allocation's trailing guard words.
+    rear: usize,
 }
 
 impl MemPool {
@@ -61,15 +79,47 @@ impl MemPool {
         self.in_use.load(Ordering::Relaxed)
     }
 
-    fn register(&self, id: BufId, addr: usize, bytes: u64) {
+    fn register(&self, id: BufId, addr: usize, bytes: u64, front: usize, rear: usize) {
         self.in_use.fetch_add(bytes, Ordering::Relaxed);
-        self.registry.lock().unwrap().insert(id.0, Region { addr, bytes });
+        self.registry.lock().unwrap().insert(id.0, Region { addr, bytes, front, rear });
     }
 
     fn release(&self, id: BufId) {
         if let Some(r) = self.registry.lock().unwrap().remove(&id.0) {
             self.in_use.fetch_sub(r.bytes, Ordering::Relaxed);
         }
+    }
+
+    fn note_freed_smashed(&self) {
+        self.freed_smashed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Canary violations caught at free time so far.
+    pub(crate) fn freed_smashed(&self) -> u64 {
+        self.freed_smashed.load(Ordering::Relaxed)
+    }
+
+    /// On-demand canary audit over every live allocation: returns the
+    /// live count and the ids whose guard words no longer hold
+    /// [`CANARY`]. Safe to call between synchronous device ops — the
+    /// guard boxes are owned by live `DeviceBuffer`s and deregistered
+    /// before they drop.
+    pub(crate) fn audit(&self) -> (usize, Vec<u32>) {
+        let reg = self.registry.lock().unwrap();
+        let mut smashed = Vec::new();
+        for (&id, r) in reg.iter() {
+            let ok = [r.front, r.rear].iter().all(|&addr| {
+                (0..CANARY_WORDS).all(|w| {
+                    // SAFETY: the region is registered, so both guard
+                    // boxes are alive; reads are within their bounds.
+                    unsafe { *((addr + w * 8) as *const u64) == CANARY }
+                })
+            });
+            if !ok {
+                smashed.push(id);
+            }
+        }
+        (reg.len(), smashed)
     }
 
     /// Applies an injected [`crate::FaultKind::BufferBitFlip`]: picks the
@@ -97,18 +147,37 @@ impl MemPool {
     }
 }
 
-/// A device-resident typed allocation.
+/// A device-resident typed allocation, framed by guard (canary) words.
+///
+/// The guards are checked when the buffer is freed and on demand via
+/// [`crate::Device::audit_canaries`]; a wild write that lands on one is
+/// caught instead of silently corrupting a neighbour. Freeing also
+/// poisons the payload with [`POISON_BYTE`] so any raw-pointer
+/// use-after-free reads garbage rather than stale plausible data.
 #[derive(Debug)]
 pub struct DeviceBuffer<T> {
+    front: Box<[UnsafeCell<u64>]>,
     data: Box<[UnsafeCell<T>]>,
+    rear: Box<[UnsafeCell<u64>]>,
     id: BufId,
     pool: Option<Arc<MemPool>>,
 }
 
 impl<T> Drop for DeviceBuffer<T> {
     fn drop(&mut self) {
+        let intact = self.canaries_intact();
+        self.poison_payload();
         if let Some(pool) = &self.pool {
+            if !intact {
+                pool.note_freed_smashed();
+            }
             pool.release(self.id);
+        }
+        // The free-side check. Never double-panic: if the thread is
+        // already unwinding (e.g. a kernel fault), the violation is
+        // still counted on the pool above.
+        if !intact && !std::thread::panicking() {
+            panic!("canary smashed: buffer {} guard words overwritten", self.id.0);
         }
     }
 }
@@ -124,9 +193,12 @@ impl<T: DeviceCopy> DeviceBuffer<T> {
     /// [`crate::Device::alloc`] so the allocation is recorded on the
     /// timeline.
     pub(crate) fn zeroed(len: usize) -> Self {
+        let canaries = || -> Box<[UnsafeCell<u64>]> {
+            (0..CANARY_WORDS).map(|_| UnsafeCell::new(CANARY)).collect()
+        };
         let data: Box<[UnsafeCell<T>]> =
             (0..len).map(|_| UnsafeCell::new(T::default())).collect();
-        DeviceBuffer { data, id: fresh_buf_id(), pool: None }
+        DeviceBuffer { front: canaries(), data, rear: canaries(), id: fresh_buf_id(), pool: None }
     }
 
     /// Allocates like [`DeviceBuffer::zeroed`] but accounted against (and
@@ -136,7 +208,13 @@ impl<T: DeviceCopy> DeviceBuffer<T> {
     /// `DeviceBuffer` handle itself is moved.
     pub(crate) fn zeroed_in(len: usize, pool: &Arc<MemPool>) -> Self {
         let mut buf = Self::zeroed(len);
-        pool.register(buf.id, buf.data.as_ptr() as usize, buf.size_bytes());
+        pool.register(
+            buf.id,
+            buf.data.as_ptr() as usize,
+            buf.size_bytes(),
+            buf.front.as_ptr() as usize,
+            buf.rear.as_ptr() as usize,
+        );
         buf.pool = Some(Arc::clone(pool));
         buf
     }
@@ -216,6 +294,38 @@ impl<T: DeviceCopy> DeviceBuffer<T> {
             #[cfg(feature = "racecheck")]
             race: std::sync::Arc::new(crate::racecheck::RaceTable::new(self.data.len())),
         }
+    }
+}
+
+impl<T> DeviceBuffer<T> {
+    /// Overwrites the payload with [`POISON_BYTE`] — called on free so a
+    /// stale raw pointer into the allocation reads 0xA5 garbage, loudly,
+    /// instead of stale plausible data.
+    fn poison_payload(&mut self) {
+        for cell in self.data.iter_mut() {
+            // SAFETY: &mut self — no views or kernels alive.
+            unsafe {
+                std::ptr::write_bytes(cell.get() as *mut u8, POISON_BYTE, std::mem::size_of::<T>());
+            }
+        }
+    }
+
+    /// True while both guard frames still hold [`CANARY`].
+    pub(crate) fn canaries_intact(&self) -> bool {
+        self.front
+            .iter()
+            .chain(self.rear.iter())
+            // SAFETY: canary cells are never handed to kernels; between
+            // synchronous ops nothing else writes them.
+            .all(|c| unsafe { *c.get() } == CANARY)
+    }
+
+    /// Deliberately overwrites one trailing guard word — the test hook
+    /// for the canary detection net (there is no legitimate way to
+    /// reach the guards through the public API).
+    #[doc(hidden)]
+    pub fn smash_rear_canary_for_test(&mut self) {
+        *self.rear[0].get_mut() = 0;
     }
 }
 
@@ -363,6 +473,53 @@ mod tests {
         assert_eq!(pool.flip_bit(1, 2, 3), None);
         let _empty = DeviceBuffer::<u8>::zeroed_in(0, &pool);
         assert_eq!(pool.flip_bit(1, 2, 3), None, "zero-byte regions are skipped");
+    }
+
+    #[test]
+    fn canaries_start_intact_and_audit_sees_live_buffers() {
+        let pool = Arc::new(MemPool::default());
+        let a = DeviceBuffer::<f64>::zeroed_in(16, &pool);
+        let b = DeviceBuffer::<u32>::zeroed_in(4, &pool);
+        assert!(a.canaries_intact() && b.canaries_intact());
+        assert_eq!(pool.audit(), (2, vec![]));
+        drop(a);
+        drop(b);
+        assert_eq!(pool.audit(), (0, vec![]));
+        assert_eq!(pool.freed_smashed(), 0);
+    }
+
+    #[test]
+    fn audit_flags_a_smashed_canary_by_id() {
+        let pool = Arc::new(MemPool::default());
+        let _clean = DeviceBuffer::<f64>::zeroed_in(8, &pool);
+        let mut victim = DeviceBuffer::<f64>::zeroed_in(8, &pool);
+        victim.smash_rear_canary_for_test();
+        let (live, smashed) = pool.audit();
+        assert_eq!(live, 2);
+        assert_eq!(smashed, vec![victim.id().0]);
+        std::mem::forget(victim); // avoid the (intended) free-side panic
+    }
+
+    #[test]
+    #[should_panic(expected = "canary smashed")]
+    fn free_side_check_is_loud() {
+        let pool = Arc::new(MemPool::default());
+        let mut buf = DeviceBuffer::<u32>::zeroed_in(4, &pool);
+        buf.smash_rear_canary_for_test();
+        drop(buf);
+    }
+
+    #[test]
+    fn free_poisons_the_payload() {
+        let mut buf = DeviceBuffer::<u64>::zeroed(4);
+        buf.copy_from_host(&[7, 7, 7, 7]);
+        buf.poison_payload();
+        let poisoned = u64::from_le_bytes([POISON_BYTE; 8]);
+        assert_eq!(
+            buf.copy_to_host(),
+            vec![poisoned; 4],
+            "drop-path poisoning must overwrite every payload byte"
+        );
     }
 
     #[test]

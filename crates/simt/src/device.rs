@@ -116,8 +116,11 @@ impl Device {
 
     /// Arms a fault plan; subsequent operations draw fault decisions
     /// from it. Pass a clone of a shared plan to continue one op stream
-    /// across several devices (see [`FaultPlan`]).
-    pub fn arm_faults(&mut self, plan: FaultPlan) {
+    /// across several devices (see [`FaultPlan`]). The device's ordinal
+    /// is stamped onto the plan (unless one was bound explicitly) so
+    /// storm kill windows correlate on the fleet ordinal.
+    pub fn arm_faults(&mut self, mut plan: FaultPlan) {
+        plan.bind_ordinal(self.ordinal);
         self.plan = Some(plan);
     }
 
@@ -166,6 +169,7 @@ impl Device {
     /// Allocates `len` zero-initialised elements on the device, failing
     /// when the allocation would exceed
     /// [`DeviceProps::global_mem_bytes`] or an OOM fault is injected.
+    #[must_use = "device operations can fail; handle the Result"]
     pub fn try_alloc<T: DeviceCopy>(&mut self, len: usize) -> Result<DeviceBuffer<T>, DeviceError> {
         let bytes = (len * std::mem::size_of::<T>()) as u64;
         let injected = self.poll_fault(FaultSite::Alloc)?.is_some();
@@ -187,6 +191,7 @@ impl Device {
     }
 
     /// Allocates and uploads in one step (`cudaMalloc` + `cudaMemcpy`).
+    #[must_use = "device operations can fail; handle the Result"]
     pub fn try_alloc_from<T: DeviceCopy>(
         &mut self,
         src: &[T],
@@ -199,6 +204,7 @@ impl Device {
     /// Uploads a host slice into a device buffer (lengths must match).
     /// An injected [`FaultKind::TransferCorruption`] flips one
     /// exponent-range bit of the device copy — silently.
+    #[must_use = "device operations can fail; handle the Result"]
     pub fn try_htod<T: DeviceCopy>(
         &mut self,
         buf: &mut DeviceBuffer<T>,
@@ -230,6 +236,7 @@ impl Device {
     /// never corrupt this path (read-backs are CRC-protected on real
     /// parts); a *scripted* [`FaultKind::TransferCorruption`] flips one
     /// bit of the returned host copy.
+    #[must_use = "device operations can fail; handle the Result"]
     pub fn try_dtoh<T: DeviceCopy>(
         &mut self,
         buf: &DeviceBuffer<T>,
@@ -258,10 +265,82 @@ impl Device {
         Ok(out)
     }
 
+    /// [`Device::try_htod`] with end-to-end integrity: a CRC64 of the
+    /// host payload is compared against a CRC64 recomputed over the
+    /// device copy after the transfer (the link-CRC model, see
+    /// [`crate::crc`]). A mismatch — e.g. an injected
+    /// [`FaultKind::TransferCorruption`] — returns
+    /// [`DeviceError::TransferCorrupted`] instead of corrupting
+    /// silently; the device copy is left as transferred so the caller
+    /// can retry the upload. Consumes exactly one fault-plan op, like
+    /// the unchecked path.
+    #[must_use = "device operations can fail; handle the Result"]
+    pub fn try_htod_checked<T: DeviceCopy>(
+        &mut self,
+        buf: &mut DeviceBuffer<T>,
+        src: &[T],
+    ) -> Result<(), DeviceError> {
+        let expected = crate::crc::crc64_of(src);
+        self.try_htod(buf, src)?;
+        let actual = crate::crc::crc64_of(&buf.copy_to_host());
+        if actual != expected {
+            return Err(DeviceError::TransferCorrupted {
+                site: FaultSite::Htod,
+                expected,
+                actual,
+            });
+        }
+        Ok(())
+    }
+
+    /// [`Device::try_dtoh`] with end-to-end integrity: the device-side
+    /// CRC64 is computed before the read-back and compared with the
+    /// CRC64 of the host copy. A scripted dtoh
+    /// [`FaultKind::TransferCorruption`] surfaces as
+    /// [`DeviceError::TransferCorrupted`] instead of handing the caller
+    /// corrupted data. Consumes exactly one fault-plan op.
+    #[must_use = "device operations can fail; handle the Result"]
+    pub fn try_dtoh_checked<T: DeviceCopy>(
+        &mut self,
+        buf: &DeviceBuffer<T>,
+    ) -> Result<Vec<T>, DeviceError> {
+        let expected = crate::crc::crc64_of(&buf.copy_to_host());
+        let out = self.try_dtoh(buf)?;
+        let actual = crate::crc::crc64_of(&out);
+        if actual != expected {
+            return Err(DeviceError::TransferCorrupted {
+                site: FaultSite::Dtoh,
+                expected,
+                actual,
+            });
+        }
+        Ok(out)
+    }
+
+    /// On-demand canary audit over every live allocation (the free-side
+    /// check runs unconditionally when a buffer drops). Returns the
+    /// number of live guarded buffers when all frames are intact, or
+    /// [`DeviceError::CanarySmashed`] naming the first violated buffer.
+    #[must_use = "an audit result reporting corruption must not be dropped"]
+    pub fn audit_canaries(&self) -> Result<usize, DeviceError> {
+        let (live, smashed) = self.mem.audit();
+        match smashed.first() {
+            None => Ok(live),
+            Some(&buffer) => Err(DeviceError::CanarySmashed { buffer }),
+        }
+    }
+
+    /// Canary violations caught by the free-side check so far (counted
+    /// even when the free happened during a panic unwind).
+    pub fn canary_violations(&self) -> u64 {
+        self.mem.freed_smashed()
+    }
+
     /// Launches a kernel over the given grid. Injected
     /// [`FaultKind::LaunchFailure`]s fail the launch before it runs;
     /// injected [`FaultKind::BufferBitFlip`]s corrupt one bit of a
     /// resident allocation and then run the kernel normally — silently.
+    #[must_use = "device operations can fail; handle the Result"]
     pub fn try_launch<K: Kernel>(
         &mut self,
         cfg: LaunchConfig,
@@ -523,6 +602,74 @@ mod tests {
         let bad = back[diffs[0]];
         // Exponent-range flip: the corruption is catastrophic, not subtle.
         assert!(bad == 0.0 || !(0.5..=2.0).contains(&bad.abs()), "flip too subtle: {bad}");
+    }
+
+    #[test]
+    fn checked_htod_detects_injected_corruption_and_clean_retry_succeeds() {
+        let mut dev = Device::with_workers(DeviceProps::paper_rig(), 1);
+        dev.arm_faults(FaultPlan::scripted([(1, FaultKind::TransferCorruption)]));
+        let host = vec![1.0f64; 64];
+        let mut buf = dev.try_alloc::<f64>(64).unwrap(); // op 0
+        let err = dev.try_htod_checked(&mut buf, &host).unwrap_err(); // op 1 — corrupted
+        let DeviceError::TransferCorrupted { site, expected, actual } = err else {
+            panic!("expected TransferCorrupted, got {err}");
+        };
+        assert_eq!(site, FaultSite::Htod);
+        assert_ne!(expected, actual);
+        // The retry (op 2) is clean and round-trips exactly.
+        dev.try_htod_checked(&mut buf, &host).expect("clean retry");
+        assert_eq!(dev.try_dtoh_checked(&buf).unwrap(), host);
+    }
+
+    #[test]
+    fn checked_dtoh_detects_scripted_readback_corruption() {
+        let mut dev = Device::with_workers(DeviceProps::paper_rig(), 1);
+        dev.arm_faults(FaultPlan::scripted([(2, FaultKind::TransferCorruption)]));
+        let host = vec![2.0f64; 32];
+        let mut buf = dev.try_alloc::<f64>(32).unwrap(); // op 0
+        dev.try_htod_checked(&mut buf, &host).unwrap(); // op 1
+        let err = dev.try_dtoh_checked(&buf).unwrap_err(); // op 2 — corrupted
+        assert!(
+            matches!(
+                err,
+                DeviceError::TransferCorrupted { site: FaultSite::Dtoh, .. }
+            ),
+            "{err}"
+        );
+        // Device memory itself is untouched; the retry reads it back clean.
+        assert_eq!(dev.try_dtoh_checked(&buf).unwrap(), host);
+    }
+
+    #[test]
+    fn checked_transfers_consume_the_same_op_budget_as_unchecked() {
+        let run = |checked: bool| {
+            let mut dev = Device::with_workers(DeviceProps::paper_rig(), 1);
+            dev.arm_faults(FaultPlan::seeded(3, 0.0));
+            let host = vec![1.0f64; 8];
+            let mut buf = dev.try_alloc::<f64>(8).unwrap();
+            if checked {
+                dev.try_htod_checked(&mut buf, &host).unwrap();
+                dev.try_dtoh_checked(&buf).unwrap();
+            } else {
+                dev.try_htod(&mut buf, &host).unwrap();
+                dev.try_dtoh(&buf).unwrap();
+            }
+            dev.fault_plan().unwrap().ops_started()
+        };
+        assert_eq!(run(true), run(false), "checked paths must not skew op indices");
+    }
+
+    #[test]
+    fn audit_canaries_reports_live_buffers_and_violations() {
+        let mut dev = Device::with_workers(DeviceProps::paper_rig(), 1);
+        let _a = dev.try_alloc::<f64>(16).unwrap();
+        let mut b = dev.try_alloc::<u32>(4).unwrap();
+        assert_eq!(dev.audit_canaries(), Ok(2));
+        b.smash_rear_canary_for_test();
+        let err = dev.audit_canaries().unwrap_err();
+        assert_eq!(err, DeviceError::CanarySmashed { buffer: b.id().0 });
+        assert_eq!(dev.canary_violations(), 0, "free-side counter untouched by audits");
+        std::mem::forget(b); // skip the intended free-side panic
     }
 
     #[test]

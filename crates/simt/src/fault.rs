@@ -32,6 +32,18 @@
 //! writes can land corrupted in unprotected DRAM. Scripted plans may
 //! still place [`FaultKind::TransferCorruption`] on a dtoh op
 //! explicitly.
+//!
+//! ## Compound faults (storms)
+//!
+//! Single seeded pinpricks under-model production incidents. A
+//! [`StormSchedule`] layers *correlated* compound faults over a base
+//! plan: burst windows of elevated fault rate, corruption-under-load
+//! ramps, and cross-device kill windows keyed off
+//! [`crate::Device::ordinal`] — the same schedule cloned onto every
+//! fleet device loses the listed ordinals in the same op window, then
+//! lets them recover. Storm decisions stay pure functions of
+//! `(storm seed, ordinal, op, site)`, so storm runs replay
+//! byte-identically too.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -169,6 +181,24 @@ pub enum DeviceError {
         /// Op index at which the device was lost.
         at_op: u64,
     },
+    /// A checked transfer's CRC64s disagreed: the payload was corrupted
+    /// in flight ([`crate::Device::try_htod_checked`] /
+    /// [`crate::Device::try_dtoh_checked`]). Retryable — the recovery
+    /// layer re-issues the transfer before escalating.
+    TransferCorrupted {
+        /// Which transfer direction was corrupted.
+        site: FaultSite,
+        /// CRC64 of the payload on the sending side.
+        expected: u64,
+        /// CRC64 observed on the receiving side.
+        actual: u64,
+    },
+    /// A guarded allocation's canary words were overwritten
+    /// ([`crate::Device::audit_canaries`]).
+    CanarySmashed {
+        /// Id of the buffer whose guard frame was hit.
+        buffer: u32,
+    },
 }
 
 impl fmt::Display for DeviceError {
@@ -183,11 +213,170 @@ impl fmt::Display for DeviceError {
             }
             DeviceError::Launch { reason } => write!(f, "launch failure: {reason}"),
             DeviceError::DeviceLost { at_op } => write!(f, "device lost (op {at_op})"),
+            DeviceError::TransferCorrupted { site, expected, actual } => write!(
+                f,
+                "transfer corrupted ({}): crc {expected:#018x} != {actual:#018x}",
+                site.label()
+            ),
+            DeviceError::CanarySmashed { buffer } => {
+                write!(f, "canary smashed: buffer {buffer} guard words overwritten")
+            }
         }
     }
 }
 
 impl std::error::Error for DeviceError {}
+
+/// A deterministic compound-fault schedule layered on top of a
+/// [`FaultPlan`]'s base rate — the *storm* model.
+///
+/// Production failure modes are correlated, not single pinpricks: a rack
+/// power event kills several devices in the same instant, and corruption
+/// rates climb with link load. A `StormSchedule` expresses those as pure
+/// functions of `(storm seed, device ordinal, op index, site)`:
+///
+/// * **Burst windows** — a flat elevated fault rate over an op range.
+/// * **Corruption ramps** — the rate climbs linearly from zero to a peak
+///   across the window (corruption-under-load).
+/// * **Correlated kills** — every device whose
+///   [`crate::Device::ordinal`] is listed is lost for the op window,
+///   then recovers (a fresh device instance past the window serves
+///   again) — the rack-event analog the fleet's rejoin probes must
+///   survive.
+///
+/// One schedule is cloned onto every device's plan; kills correlate
+/// exactly (same windows), while burst/ramp decisions decorrelate per
+/// ordinal so devices don't corrupt in lockstep. Like the base plan,
+/// Dtoh read-backs are never corrupted by seeded storm decisions.
+#[derive(Clone, Debug, Default)]
+pub struct StormSchedule {
+    seed: u64,
+    bursts: Vec<Burst>,
+    ramps: Vec<Burst>,
+    kills: Vec<KillWindow>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Burst {
+    from_op: u64,
+    len_ops: u64,
+    rate: f64,
+}
+
+#[derive(Clone, Debug)]
+struct KillWindow {
+    from_op: u64,
+    until_op: u64,
+    ordinals: Vec<u32>,
+}
+
+impl StormSchedule {
+    /// An empty schedule drawing its burst/ramp decisions from `seed`.
+    pub fn new(seed: u64) -> Self {
+        StormSchedule { seed, ..StormSchedule::default() }
+    }
+
+    /// Adds a burst window: ops in `[from_op, from_op + len_ops)` fault
+    /// at `rate` (a probability) regardless of the base plan's rate.
+    pub fn with_burst(mut self, from_op: u64, len_ops: u64, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate) && rate.is_finite(), "burst rate {rate} not a probability");
+        self.bursts.push(Burst { from_op, len_ops, rate });
+        self
+    }
+
+    /// Adds a corruption-under-load ramp: across the window the fault
+    /// rate climbs linearly from 0 to `peak_rate`.
+    pub fn with_corruption_ramp(mut self, from_op: u64, len_ops: u64, peak_rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&peak_rate) && peak_rate.is_finite(),
+            "ramp peak {peak_rate} not a probability"
+        );
+        self.ramps.push(Burst { from_op, len_ops, rate: peak_rate });
+        self
+    }
+
+    /// Adds a correlated kill: every listed ordinal is device-lost for
+    /// ops in `[from_op, until_op)` and recovers after the window.
+    pub fn with_correlated_kill(
+        mut self,
+        from_op: u64,
+        until_op: u64,
+        ordinals: impl IntoIterator<Item = u32>,
+    ) -> Self {
+        assert!(from_op < until_op, "kill window must be non-empty");
+        self.kills.push(KillWindow { from_op, until_op, ordinals: ordinals.into_iter().collect() });
+        self
+    }
+
+    /// The seed of the storm's burst/ramp decision stream.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The storm's elevated fault rate at `op` (0 outside all windows).
+    pub fn rate_at(&self, op: u64) -> f64 {
+        let burst = self
+            .bursts
+            .iter()
+            .filter(|b| b.active(op))
+            .map(|b| b.rate)
+            .fold(0.0f64, f64::max);
+        let ramp = self
+            .ramps
+            .iter()
+            .filter(|r| r.active(op))
+            .map(|r| r.rate * ((op - r.from_op) + 1) as f64 / r.len_ops as f64)
+            .fold(0.0f64, f64::max);
+        burst.max(ramp)
+    }
+
+    /// True when `ordinal` is inside an active kill window at `op`.
+    pub fn kills_at(&self, ordinal: u32, op: u64) -> bool {
+        self.kills
+            .iter()
+            .any(|k| op >= k.from_op && op < k.until_op && k.ordinals.contains(&ordinal))
+    }
+
+    /// The storm's fault decision (pure in `(seed, ordinal, op, site)`).
+    /// Kills take precedence; burst/ramp decisions follow the base
+    /// plan's site model and never corrupt Dtoh.
+    pub fn decide(&self, ordinal: u32, op: u64, site: FaultSite) -> Option<FaultKind> {
+        if self.kills_at(ordinal, op) {
+            return Some(FaultKind::DeviceLost { at_op: op });
+        }
+        let rate = self.rate_at(op);
+        if rate <= 0.0 {
+            return None;
+        }
+        let mut g = FaultPlan::stream(
+            self.seed ^ (u64::from(ordinal) + 1).wrapping_mul(0xD6E8_FEB8_6659_FD93),
+            op,
+        );
+        if g.gen_f64() >= rate {
+            return None;
+        }
+        match site {
+            FaultSite::Alloc => Some(FaultKind::AllocOom),
+            FaultSite::Htod => Some(FaultKind::TransferCorruption),
+            FaultSite::Dtoh => None,
+            FaultSite::Launch => Some(if g.gen_bool(0.25) {
+                FaultKind::LaunchFailure
+            } else {
+                FaultKind::BufferBitFlip {
+                    buffer: g.next_u64(),
+                    word: g.next_u64(),
+                    bit: 52 + (g.next_u64() % 11) as u32,
+                }
+            }),
+        }
+    }
+}
+
+impl Burst {
+    fn active(&self, op: u64) -> bool {
+        op >= self.from_op && op - self.from_op < self.len_ops
+    }
+}
 
 /// A seeded, replayable schedule of injected faults.
 ///
@@ -200,6 +389,8 @@ pub struct FaultPlan {
     seed: u64,
     rate: f64,
     scripted: BTreeMap<u64, FaultKind>,
+    storm: Option<StormSchedule>,
+    ordinal: Option<u32>,
     ops: Arc<AtomicU64>,
 }
 
@@ -213,7 +404,14 @@ impl FaultPlan {
             (0.0..=1.0).contains(&rate) && rate.is_finite(),
             "fault rate must be a probability, got {rate}"
         );
-        FaultPlan { seed, rate, scripted: BTreeMap::new(), ops: Arc::new(AtomicU64::new(0)) }
+        FaultPlan {
+            seed,
+            rate,
+            scripted: BTreeMap::new(),
+            storm: None,
+            ordinal: None,
+            ops: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// A purely scripted plan: faults fire at exactly the given op
@@ -229,6 +427,36 @@ impl FaultPlan {
     pub fn with_fault_at(mut self, op: u64, kind: FaultKind) -> Self {
         self.scripted.insert(op, kind);
         self
+    }
+
+    /// Layers a [`StormSchedule`] over the base rate: inside a storm
+    /// window the storm's decision wins (after scripted faults).
+    pub fn with_storm(mut self, storm: StormSchedule) -> Self {
+        self.storm = Some(storm);
+        self
+    }
+
+    /// Binds the plan to a device ordinal explicitly — the key storm
+    /// kill windows correlate on. Without an explicit binding,
+    /// [`crate::Device::arm_faults`] stamps the device's own ordinal.
+    pub fn with_ordinal(mut self, ordinal: u32) -> Self {
+        self.ordinal = Some(ordinal);
+        self
+    }
+
+    /// Stamps the ordinal only if none was bound explicitly.
+    pub(crate) fn bind_ordinal(&mut self, ordinal: u32) {
+        self.ordinal.get_or_insert(ordinal);
+    }
+
+    /// The ordinal storm decisions key off (0 when unbound).
+    pub fn ordinal(&self) -> u32 {
+        self.ordinal.unwrap_or(0)
+    }
+
+    /// The layered storm schedule, if any.
+    pub fn storm(&self) -> Option<&StormSchedule> {
+        self.storm.as_ref()
     }
 
     /// The seed this plan was built from.
@@ -262,6 +490,9 @@ impl FaultPlan {
                     other => other.clone(),
                 });
             }
+        }
+        if let Some(kind) = self.storm.as_ref().and_then(|s| s.decide(self.ordinal(), op, site)) {
+            return Some(kind);
         }
         if self.rate <= 0.0 {
             return None;
@@ -405,6 +636,93 @@ mod tests {
     }
 
     #[test]
+    fn a_mid_stream_clone_continues_not_restarts_the_fault_stream() {
+        // Regression pin: a supervisor that hands plan.clone() to a
+        // fresh device mid-run must continue the op stream. If cloning
+        // re-anchored the op origin, the scripted fault at op 3 would
+        // fire at the clone's *first* op instead of its fourth.
+        let plan = FaultPlan::scripted([(3, FaultKind::AllocOom)]);
+        let mut first = crate::Device::with_workers(crate::DeviceProps::paper_rig(), 1);
+        first.arm_faults(plan.clone());
+        let _a = first.try_alloc::<u32>(1).expect("op 0 clean");
+        let _b = first.try_alloc::<u32>(1).expect("op 1 clean");
+        let _c = first.try_alloc::<u32>(1).expect("op 2 clean");
+
+        let mut second = crate::Device::with_workers(crate::DeviceProps::paper_rig(), 1);
+        second.arm_faults(plan.clone());
+        let err = second.try_alloc::<u32>(1).expect_err("op 3 must continue the stream");
+        assert!(matches!(err, DeviceError::OutOfMemory { .. }), "{err}");
+        second.try_alloc::<u32>(1).expect("op 4 clean");
+        assert_eq!(plan.ops_started(), 5, "both devices drew from one shared stream");
+    }
+
+    #[test]
+    fn storm_bursts_elevate_only_their_window() {
+        let storm = StormSchedule::new(5).with_burst(100, 50, 1.0);
+        let plan = FaultPlan::seeded(0, 0.0).with_storm(storm);
+        assert!((0..100u64).all(|op| plan.decide(op, FaultSite::Htod).is_none()));
+        assert!((150..300u64).all(|op| plan.decide(op, FaultSite::Htod).is_none()));
+        let hits =
+            (100..150u64).filter(|&op| plan.decide(op, FaultSite::Htod).is_some()).count();
+        assert_eq!(hits, 50, "rate-1.0 burst must corrupt every htod in its window");
+        // Read-backs stay protected even at rate 1.0.
+        assert!((100..150u64).all(|op| plan.decide(op, FaultSite::Dtoh).is_none()));
+    }
+
+    #[test]
+    fn corruption_ramps_climb_toward_the_peak() {
+        let storm = StormSchedule::new(9).with_corruption_ramp(0, 1000, 0.8);
+        let early: f64 = storm.rate_at(10);
+        let late: f64 = storm.rate_at(990);
+        assert!(early < 0.02, "early ramp rate should be near zero, got {early}");
+        assert!((0.75..=0.8).contains(&late), "late ramp rate should near the peak, got {late}");
+        assert_eq!(storm.rate_at(1000), 0.0, "ramp ends with its window");
+        let plan = FaultPlan::seeded(0, 0.0).with_storm(storm);
+        let first_half =
+            (0..500u64).filter(|&op| plan.decide(op, FaultSite::Htod).is_some()).count();
+        let second_half =
+            (500..1000u64).filter(|&op| plan.decide(op, FaultSite::Htod).is_some()).count();
+        assert!(
+            second_half > 2 * first_half,
+            "corruption under load must intensify: {first_half} then {second_half}"
+        );
+    }
+
+    #[test]
+    fn correlated_kills_hit_exactly_the_listed_ordinals_and_lift() {
+        let storm = StormSchedule::new(1).with_correlated_kill(10, 20, [1, 3]);
+        for ordinal in [1u32, 3] {
+            let plan =
+                FaultPlan::seeded(0, 0.0).with_storm(storm.clone()).with_ordinal(ordinal);
+            assert_eq!(plan.decide(9, FaultSite::Launch), None);
+            assert_eq!(
+                plan.decide(10, FaultSite::Launch),
+                Some(FaultKind::DeviceLost { at_op: 10 })
+            );
+            assert_eq!(
+                plan.decide(19, FaultSite::Alloc),
+                Some(FaultKind::DeviceLost { at_op: 19 }),
+                "kills apply at every site"
+            );
+            assert_eq!(plan.decide(20, FaultSite::Launch), None, "the window lifts");
+        }
+        let bystander = FaultPlan::seeded(0, 0.0).with_storm(storm).with_ordinal(2);
+        assert!((0..40u64).all(|op| bystander.decide(op, FaultSite::Launch).is_none()));
+    }
+
+    #[test]
+    fn storm_decisions_decorrelate_across_ordinals_but_replay_identically() {
+        let storm = StormSchedule::new(77).with_burst(0, 2000, 0.3);
+        let decisions = |ordinal: u32| -> Vec<bool> {
+            let plan =
+                FaultPlan::seeded(0, 0.0).with_storm(storm.clone()).with_ordinal(ordinal);
+            (0..2000u64).map(|op| plan.decide(op, FaultSite::Htod).is_some()).collect()
+        };
+        assert_eq!(decisions(0), decisions(0), "same ordinal replays identically");
+        assert_ne!(decisions(0), decisions(1), "distinct ordinals decorrelate");
+    }
+
+    #[test]
     fn flip_targets_are_in_bounds() {
         let plan = FaultPlan::seeded(11, 1.0);
         for op in 0..500u64 {
@@ -425,5 +743,12 @@ mod tests {
         assert_eq!(e.to_string(), "launch failure: empty grid");
         let e = DeviceError::DeviceLost { at_op: 17 };
         assert_eq!(e.to_string(), "device lost (op 17)");
+        let e = DeviceError::TransferCorrupted { site: FaultSite::Htod, expected: 1, actual: 2 };
+        assert_eq!(
+            e.to_string(),
+            "transfer corrupted (htod): crc 0x0000000000000001 != 0x0000000000000002"
+        );
+        let e = DeviceError::CanarySmashed { buffer: 12 };
+        assert_eq!(e.to_string(), "canary smashed: buffer 12 guard words overwritten");
     }
 }

@@ -67,6 +67,7 @@
 
 pub mod atomic;
 mod buffer;
+pub mod crc;
 mod device;
 mod engine;
 pub mod fault;
@@ -83,7 +84,7 @@ pub mod timing;
 pub use atomic::AtomicAdd;
 pub use buffer::{BufId, DeviceBuffer, DeviceCopy, GlobalMut, GlobalRef};
 pub use device::Device;
-pub use fault::{DeviceError, FaultKind, FaultPlan, FaultRecord, FaultSite};
+pub use fault::{DeviceError, FaultKind, FaultPlan, FaultRecord, FaultSite, StormSchedule};
 pub use kernel::{Kernel, LaunchConfig};
 pub use props::{DeviceProps, HostProps};
 pub use scope::{BlockScope, Shared, ThreadCtx};
