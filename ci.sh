@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Offline CI for the FBS power-flow repo. Eleven legs:
+# Offline CI for the FBS power-flow repo. Twelve legs:
 #
 #   1. Tier-1 verify: release build + the full default test suite.
 #   2. Divergence/NaN hardening: the convergence-status suites (monitor
@@ -39,9 +39,15 @@
 #      `E16_SMOKE` run of the E16 chaos-soak bench and a seeded storm
 #      soak through the CLI that must exit 0 (exit 8 would mean an
 #      undetected corruption reached an answer).
-#  10. Racecheck: re-runs every simt and fbs device kernel under the
+#  10. Mesh/DG: the weakly-meshed + distributed-generation suites (the
+#      mesh unit suite, the five-family property suite — radial
+#      pass-through, PV set-point hold, Q-limit clamp equivalence,
+#      hand-computed Thevenin parity, cross-backend agreement — and the
+#      CLI meshed/DG + exit-9 tests) under wall-clock ceilings, plus an
+#      `E17_SMOKE` run of the E17 bench.
+#  11. Racecheck: re-runs every simt and fbs device kernel under the
 #      per-cell data-race detector (simt's `racecheck` feature).
-#  11. Lint: clippy over every target with warnings promoted to errors.
+#  12. Lint: clippy over every target with warnings promoted to errors.
 #
 # Everything runs with --offline — the repo has zero external registry
 # dependencies (see DESIGN.md, "Dependency policy"), so a warm toolchain
@@ -109,6 +115,12 @@ E16_SMOKE=1 timeout 600 cargo run -q --offline --release -p fbs-bench --bin exp_
 cargo run -q --offline --release -p fbs-cli feeders --name ieee37 --out target/ci_soak.grid 2> /dev/null
 timeout 300 cargo run -q --offline --release -p fbs-cli soak target/ci_soak.grid \
   --requests 24 --tol 1e-12 --seed 7 > /dev/null 2> /dev/null
+
+echo "== mesh/DG: weakly-meshed + distributed-generation suites + E17 smoke =="
+timeout 300 cargo test -q --offline -p fbs --lib mesh::
+timeout 600 cargo test -q --offline -p fbs --test prop_mesh
+timeout 300 cargo test -q --offline -p fbs-cli --test cli_commands -- meshed_dg_feeder outer_divergence solve3_accepts_dg
+E17_SMOKE=1 timeout 300 cargo run -q --offline --release -p fbs-bench --bin exp_e17_mesh > /dev/null
 
 echo "== racecheck: device kernels under the simt race detector =="
 cargo test -q --offline --features racecheck -p simt -p fbs

@@ -32,6 +32,7 @@ const EXPERIMENTS: &[&str] = &[
     "e14_contingency",
     "e15_fleet",
     "e16_soak",
+    "e17_mesh",
     "bench_generators",
 ];
 
@@ -125,5 +126,25 @@ fn summary_covers_every_experiment_bin() {
     assert!(
         det.is_some_and(|v| v >= 0.0),
         "e16_soak must record soak.detected_corruptions, got {det:?}"
+    );
+
+    // E17's headline metrics: the batched-DG-sweep acceptance factor
+    // (≥10× serial outer-loop re-solves), its throughput, and the flat
+    // outer-iteration count behind the meshed/DG cost claim.
+    let e17 = exps.get("e17_mesh").expect("checked above");
+    let dg_speedup = e17.get("dg_batch_speedup").and_then(Value::as_f64);
+    assert!(
+        dg_speedup.is_some_and(|v| v >= 10.0),
+        "e17_mesh: batched DG sweep must record ≥10x over serial, got {dg_speedup:?}"
+    );
+    let dg_sps = e17.get("dg_scenarios_per_sec").and_then(Value::as_f64);
+    assert!(
+        dg_sps.is_some_and(|v| v > 0.0),
+        "e17_mesh must record a positive dg_scenarios_per_sec, got {dg_sps:?}"
+    );
+    let outer = e17.get("outer_iters_headline").and_then(Value::as_f64);
+    assert!(
+        outer.is_some_and(|v| v >= 1.0 && v <= 40.0),
+        "e17_mesh: outer_iters_headline must be a sane outer count, got {outer:?}"
     );
 }

@@ -5,16 +5,18 @@ use std::fs;
 use fbs::fleet::poisson_arrivals;
 use fbs::obs::status_key;
 use fbs::{
-    record_run, Backend, BackwardStrategy, BatchSolver, ContingencyScreener, FaultReport,
-    FleetConfig, FleetRequest, FleetService, GpuSolver, IntegrityConfig, IntegritySampler,
-    JumpSolver, MulticoreSolver, Outcome, Priority, Request, Resilient3Solver, ResilientSolver,
-    SerialSolver, ServiceConfig, SolveResult, SolveService, SolveStatus, SolverConfig, Timing,
+    record_mesh3_run, record_mesh_run, record_run, solve3_dg, solve3_dg_resilient,
+    solve_meshed_resilient, Backend, BackwardStrategy, BatchSolver, ContingencyScreener,
+    FaultReport, FleetConfig, FleetRequest, FleetService, GpuSolver, IntegrityConfig,
+    IntegritySampler, JumpSolver, Mesh3Result, MeshResult, MeshSolver, MulticoreSolver, Outcome,
+    OuterConfig, Priority, Request, Resilient3Solver, ResilientSolver, SerialSolver,
+    ServiceConfig, SolveResult, SolveService, SolveStatus, SolverConfig, Timing,
 };
 use powergrid::gen::{
     balanced_binary, balanced_kary, broom, caterpillar, chain, random_tree, star, GenSpec,
 };
-use powergrid::gridfile::{parse_grid, write_grid};
-use powergrid::{ieee, LevelOrder, RadialNetwork};
+use powergrid::gridfile::{parse_grid, parse_grid_meshed, write_grid};
+use powergrid::{ieee, LevelOrder, MeshedNetwork, RadialNetwork};
 use rng::rngs::StdRng;
 use rng::SeedableRng;
 use simt::{
@@ -29,10 +31,11 @@ pub const USAGE: &str = "\
 usage:
   fbs gen --topology <binary|kary|chain|star|caterpillar|broom|random> \\
           [--buses N] [--k K] [--seed S] [--total-kw KW] [--drop FRAC] [--out FILE]
-  fbs feeders --name <ieee13|ieee37|ieee123> [--out FILE]
+  fbs feeders --name <ieee13|ieee37|ieee123|ieee123-dg> [--out FILE]
   fbs info <FILE.grid>
   fbs solve <FILE.grid> [--solver serial|gpu|gpu-direct|multicore] [--tol T]
-            [--max-iter N] [--show-voltages N] [--timings true|false]
+            [--max-iter N] [--outer-max-iter N] [--outer-tol T]
+            [--show-voltages N] [--timings true|false]
             [--deadline-ms MS] [--max-retries N] [--breaker-threshold K]
             [--fault-seed S] [--fault-rate R] [--fault-lost-at OP] [--degrade true|false]
             [--trace-out FILE] [--metrics-out FILE]
@@ -48,6 +51,7 @@ usage:
   fbs feeders3 [--name ieee13] [--out FILE.grid3]
   fbs gen3 <FILE.grid> [--unbalance U] [--mutual M] [--seed S] [--out FILE.grid3]
   fbs solve3 <FILE.grid3> [--solver serial|gpu] [--tol T] [--max-iter N]
+            [--outer-max-iter N] [--outer-tol T]
             [--deadline-ms MS] [--max-retries N] [--breaker-threshold K]
             [--fault-seed S] [--fault-rate R] [--fault-lost-at OP] [--degrade true|false]
             [--trace-out FILE] [--metrics-out FILE]
@@ -59,6 +63,13 @@ usage:
   fbs soak <FILE.grid> [--devices N] [--requests N] [--gap US] [--seed S]
             [--burst-rate R] [--ramp-rate R] [--kill true|false] [--sample-every K]
             [--tol T] [--max-iter N] [--trace-out FILE] [--metrics-out FILE]
+
+meshed & DG: `solve` accepts .grid files with `tie` / `gen` records and
+`solve3` accepts .grid3 files with `gen` records transparently — closed
+ties and voltage-set-point generators engage the break-point
+compensation / PV outer loop (--outer-max-iter, --outer-tol) around the
+chosen radial sweep. Outer divergence or a PV↔PQ limit cycle exits with
+code 9; plain radial files keep the exact former behavior.
 
 fault injection: --fault-seed arms a seeded, replayable fault plan
 (default rate 0.005/op; override with --fault-rate). --fault-lost-at
@@ -110,7 +121,8 @@ const EXIT_INTEGRITY: u8 = 8;
 /// max-iterations, `3` diverged, `4` numerical failure, `5`
 /// unrecoverable device loss under fault injection, `6` deadline
 /// exceeded, `7` invalid solver configuration, `8` soak integrity
-/// failure — a shadow-verified answer disagreed with the CPU oracle).
+/// failure — a shadow-verified answer disagreed with the CPU oracle,
+/// `9` mesh/DG outer-loop divergence or limit cycle).
 /// Usage and I/O errors come back as `Err` and map to exit code `1`
 /// in `main`.
 pub fn run(argv: &[String]) -> Result<u8, String> {
@@ -167,6 +179,11 @@ fn cmd_feeders(argv: &[String]) -> Result<(), String> {
         "ieee13" => ieee::ieee13(),
         "ieee37" => ieee::ieee37(),
         "ieee123" => ieee::ieee123_style(),
+        "ieee123-dg" => {
+            let dg = ieee::ieee123_dg();
+            let text = powergrid::gridfile::write_grid_meshed(&dg);
+            return emit_text(&text, a.get("out"), dg.tree().num_buses());
+        }
         other => return Err(format!("unknown feeder `{other}`")),
     };
     emit_grid(&net, a.get("out"))
@@ -219,6 +236,17 @@ fn solver_config(a: &Args) -> Result<SolverConfig, String> {
         cfg.deadline_us = Some(ms * 1000.0);
     }
     Ok(cfg)
+}
+
+/// Builds the mesh/DG outer-loop config from `--outer-max-iter` and
+/// `--outer-tol`. As with [`solver_config`], out-of-range values are
+/// passed through so the solver reports `SolveStatus::InvalidConfig`
+/// (exit 7) instead of the CLI second-guessing the validation.
+fn outer_config(a: &Args) -> Result<OuterConfig, String> {
+    let mut outer = OuterConfig::default();
+    outer.max_outer = a.get_parse_or("outer-max-iter", outer.max_outer)?;
+    outer.tol_rel = a.get_parse_or("outer-tol", outer.tol_rel)?;
+    Ok(outer)
 }
 
 /// Builds the fault plan requested by `--fault-seed` / `--fault-rate` /
@@ -397,9 +425,17 @@ fn serve_one(
 fn cmd_solve(argv: &[String]) -> Result<u8, String> {
     let a = Args::parse(
         argv,
-        &["solver", "tol", "max-iter", "show-voltages", "timings", "deadline-ms", "max-retries", "breaker-threshold", "fault-seed", "fault-rate", "fault-lost-at", "degrade", "trace-out", "metrics-out"],
+        &["solver", "tol", "max-iter", "outer-max-iter", "outer-tol", "show-voltages", "timings", "deadline-ms", "max-retries", "breaker-threshold", "fault-seed", "fault-rate", "fault-lost-at", "degrade", "trace-out", "metrics-out"],
     )?;
-    let net = load(a.one_positional("grid file")?)?;
+    let path = a.one_positional("grid file")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mnet = parse_grid_meshed(&text).map_err(|e| format!("{path}: {e}"))?;
+    if !mnet.is_plain_radial() {
+        // Closed ties or generators: route through the compensation /
+        // PV outer loop; radial files keep the exact former path.
+        return solve_meshed(&a, &mnet);
+    }
+    let net = mnet.tree().clone();
     let cfg = solver_config(&a)?;
     let which = a.get_or("solver", "serial");
     let plan = fault_plan(&a)?;
@@ -534,6 +570,151 @@ fn run_solver(
         }
         other => return Err(format!("unknown solver `{other}`")),
     })
+}
+
+/// The meshed/DG arm of `fbs solve`: the same solver/fault/telemetry
+/// flags, but the solve runs through the compensation + PV outer loop
+/// and the report carries the outer status, loop currents and generator
+/// dispatch. Outer divergence or limit-cycling exits with code 9.
+fn solve_meshed(a: &Args, net: &MeshedNetwork) -> Result<u8, String> {
+    let cfg = solver_config(a)?;
+    let outer = outer_config(a)?;
+    let which = a.get_or("solver", "serial");
+    let plan = fault_plan(a)?;
+    let tele = Telemetry::from_args(a);
+    if wants_service(a) {
+        return Err(
+            "meshed/DG grids do not route through the robustness service; \
+             drop --max-retries/--breaker-threshold (fault flags still work)"
+                .into(),
+        );
+    }
+    let res = match &plan {
+        Some(plan) => {
+            let backend =
+                Backend::from_name(which).ok_or_else(|| format!("unknown solver `{which}`"))?;
+            let mut solver =
+                ResilientSolver::new(backend, DeviceProps::paper_rig(), HostProps::paper_rig())
+                    .with_fault_plan(plan.clone())
+                    .with_degradation(a.get_parse_or("degrade", true)?);
+            if let Some(rec) = tele.recorder() {
+                solver = solver.with_recorder(rec.clone());
+            }
+            let solved = solve_meshed_resilient(&mut solver, net, &cfg, &outer);
+            if let Some(dev) = solver.last_device() {
+                tele.bridge_device(dev);
+            }
+            match solved {
+                Ok(r) => r,
+                Err(e) => {
+                    println!("solver:      {which} (meshed)");
+                    println!("status:      {e}");
+                    tele.write()?;
+                    return Ok(EXIT_UNRECOVERABLE);
+                }
+            }
+        }
+        None => match which {
+            "serial" => {
+                let mut s = MeshSolver::new(SerialSolver::new(HostProps::paper_rig()))
+                    .with_outer(outer);
+                if let Some(rec) = tele.recorder() {
+                    s = s.with_recorder(rec.clone());
+                }
+                s.solve(net, &cfg)
+            }
+            "multicore" => {
+                let mut s = MeshSolver::new(MulticoreSolver::default()).with_outer(outer);
+                if let Some(rec) = tele.recorder() {
+                    s = s.with_recorder(rec.clone());
+                }
+                s.solve(net, &cfg)
+            }
+            "gpu" | "gpu-direct" | "gpu-atomic" => {
+                let strategy = match which {
+                    "gpu-direct" => BackwardStrategy::Direct,
+                    "gpu-atomic" => BackwardStrategy::AtomicScatter,
+                    _ => BackwardStrategy::SegScan,
+                };
+                let gpu =
+                    GpuSolver::with_strategy(Device::new(DeviceProps::paper_rig()), strategy);
+                let mut s = MeshSolver::new(gpu).with_outer(outer);
+                if let Some(rec) = tele.recorder() {
+                    s = s.with_recorder(rec.clone());
+                }
+                let r = s.solve(net, &cfg);
+                tele.bridge_device(s.backend().device());
+                r
+            }
+            other => {
+                return Err(format!(
+                    "solver `{other}` cannot run meshed/DG grids (use serial, multicore or a gpu sweep variant)"
+                ))
+            }
+        },
+    };
+    if let Some(rec) = tele.recorder() {
+        record_mesh_run(rec, &res);
+    }
+    tele.write()?;
+    print_mesh_report(net, which, &res);
+    if let Some(plan) = &plan {
+        print_fault_report(&res.inner, plan);
+    }
+    if a.get_parse_or("timings", true)? {
+        let t = &res.inner.timing;
+        println!("modeled:     total {:.1} µs (transfers {:.1} µs)", t.total_us(), t.transfer_us);
+    }
+    let show: usize = a.get_parse_or("show-voltages", 0usize)?;
+    for bus in 0..show.min(net.tree().num_buses()) {
+        println!(
+            "  V[{bus}] = {:.3} V  ∠{:.3}°",
+            res.inner.v[bus].abs(),
+            res.inner.v[bus].arg().to_degrees()
+        );
+    }
+    Ok(res.status.exit_code())
+}
+
+/// The `solve` report block for a meshed/DG run.
+fn print_mesh_report(net: &MeshedNetwork, which: &str, res: &MeshResult) {
+    println!(
+        "solver:      {which} (meshed/DG: {} loops, {} generators)",
+        net.num_loops(),
+        net.generators().len()
+    );
+    println!(
+        "status:      {} | outer {} | {} inner iterations (residual {:.3e} V)",
+        res.status, res.outer_status, res.inner.iterations, res.inner.residual
+    );
+    println!(
+        "outer:       breakpoint residual {:.3e} V | pv error {:.3e} V | {} mode flips",
+        res.breakpoint_residual, res.pv_error, res.mode_flips
+    );
+    if res.converged() {
+        let (vmin, bus) = res.inner.min_voltage();
+        let pu = vmin / net.tree().source_voltage().abs();
+        println!("min voltage: {vmin:.1} V ({pu:.4} pu) at bus {bus}");
+        for (bp, j) in net.break_points().iter().zip(&res.loop_currents) {
+            println!(
+                "loop:        tie {}→{} carries {:.2} A ∠{:.1}°",
+                bp.a,
+                bp.b,
+                j.abs(),
+                j.arg().to_degrees()
+            );
+        }
+        for (g, (q, mode)) in
+            net.generators().iter().zip(res.q_gen.iter().zip(&res.gen_modes))
+        {
+            println!(
+                "gen:         bus {} | {:.1} kW + j{:.2} kvar | {mode}",
+                g.bus,
+                g.p_gen / 1e3,
+                q / 1e3
+            );
+        }
+    }
 }
 
 /// `fbs batch`: a time-series-style batched solve — one topology, N
@@ -1006,7 +1187,7 @@ fn cmd_gen3(argv: &[String]) -> Result<(), String> {
 fn cmd_solve3(argv: &[String]) -> Result<u8, String> {
     let a = Args::parse(
         argv,
-        &["solver", "tol", "max-iter", "deadline-ms", "max-retries", "breaker-threshold", "fault-seed", "fault-rate", "fault-lost-at", "degrade", "trace-out", "metrics-out"],
+        &["solver", "tol", "max-iter", "outer-max-iter", "outer-tol", "deadline-ms", "max-retries", "breaker-threshold", "fault-seed", "fault-rate", "fault-lost-at", "degrade", "trace-out", "metrics-out"],
     )?;
     let path = a.one_positional("grid3 file")?;
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -1015,6 +1196,60 @@ fn cmd_solve3(argv: &[String]) -> Result<u8, String> {
     let which = a.get_or("solver", "serial");
     let plan = fault_plan(&a)?;
     let tele = Telemetry::from_args(&a);
+    if !net.generators().is_empty() {
+        // Distributed generators: route through the three-phase PV
+        // outer loop; generator-free files keep the exact former path.
+        if wants_service(&a) {
+            return Err(
+                "DG .grid3 files do not route through the robustness service; \
+                 drop --max-retries/--breaker-threshold (fault flags still work)"
+                    .into(),
+            );
+        }
+        let outer = outer_config(&a)?;
+        let res = match (which, plan) {
+            ("serial", _) => {
+                let mut s = fbs::Serial3Solver::new(HostProps::paper_rig());
+                if let Some(rec) = tele.recorder() {
+                    s = s.with_recorder(rec.clone());
+                }
+                solve3_dg(&mut s, &net, &cfg, &outer, tele.recorder())
+            }
+            ("gpu", None) => {
+                let mut s = fbs::Gpu3Solver::new(Device::new(DeviceProps::paper_rig()));
+                if let Some(rec) = tele.recorder() {
+                    s = s.with_recorder(rec.clone());
+                }
+                let r = solve3_dg(&mut s, &net, &cfg, &outer, tele.recorder());
+                tele.bridge_device(s.device());
+                r
+            }
+            ("gpu", Some(plan)) => {
+                let mut solver =
+                    Resilient3Solver::new(DeviceProps::paper_rig(), HostProps::paper_rig())
+                        .with_fault_plan(plan)
+                        .with_degradation(a.get_parse_or("degrade", true)?);
+                if let Some(rec) = tele.recorder() {
+                    solver = solver.with_recorder(rec.clone());
+                }
+                match solve3_dg_resilient(&mut solver, &net, &cfg, &outer) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        println!("solver:      {which} (three-phase DG)");
+                        println!("status:      {e}");
+                        tele.write()?;
+                        return Ok(EXIT_UNRECOVERABLE);
+                    }
+                }
+            }
+            (other, _) => return Err(format!("unknown three-phase solver `{other}`")),
+        };
+        if let Some(rec) = tele.recorder() {
+            record_mesh3_run(rec, &res);
+        }
+        tele.write()?;
+        return report_solve3_dg(&net, which, &res);
+    }
     if wants_service(&a) {
         // Three-phase service requests always run device-first (the
         // service's fallback covers the serial path).
@@ -1089,22 +1324,70 @@ fn report_solve3(
         "status:      {} in {} iterations (residual {:.3e} V)",
         res.status, res.iterations, res.residual
     );
-    if res.converged() {
-        let v0 = net.source_voltage().abs_max();
-        let (vmin, sag_bus) = res.min_phase_voltage();
-        let (unb, unb_bus) = res.max_unbalance();
-        println!("worst phase: {:.1} V ({:.4} pu) at bus {sag_bus}", vmin, vmin / v0);
-        println!("unbalance:   {:.2}% max at bus {unb_bus}", 100.0 * unb);
-        let t = net.total_load();
-        println!(
-            "load/phase:  a {:.1} kW | b {:.1} kW | c {:.1} kW",
-            t.a.re / 1e3,
-            t.b.re / 1e3,
-            t.c.re / 1e3
-        );
-    }
+    report_solve3_body(net, res, res.converged());
     println!("modeled:     total {:.1} µs", res.timing.total_us());
     Ok(res.status.exit_code())
+}
+
+/// Prints the `solve3` result block for a DG run (the PV outer loop's
+/// status and generator dispatch on top of the usual three-phase
+/// summary) and returns the overall exit code — 9 on outer divergence.
+fn report_solve3_dg(
+    net: &powergrid::three_phase::ThreePhaseNetwork,
+    which: &str,
+    res: &Mesh3Result,
+) -> Result<u8, String> {
+    println!(
+        "solver:      {which} (three-phase DG: {} generators)",
+        net.generators().len()
+    );
+    println!(
+        "status:      {} | outer {} | {} inner iterations (residual {:.3e} V)",
+        res.status, res.outer_status, res.inner.iterations, res.inner.residual
+    );
+    println!(
+        "outer:       pv error {:.3e} V | {} mode flips",
+        res.pv_error, res.mode_flips
+    );
+    if res.converged() {
+        for (g, (q, mode)) in
+            net.generators().iter().zip(res.q_gen.iter().zip(&res.gen_modes))
+        {
+            println!(
+                "gen:         bus {} | {:.1} kW + j{:.2} kvar | {mode}",
+                g.bus,
+                g.p_gen / 1e3,
+                q / 1e3
+            );
+        }
+    }
+    report_solve3_body(net, &res.inner, res.converged());
+    println!("modeled:     total {:.1} µs", res.inner.timing.total_us());
+    Ok(res.status.exit_code())
+}
+
+/// The converged-run detail lines shared by the plain and DG `solve3`
+/// reports.
+fn report_solve3_body(
+    net: &powergrid::three_phase::ThreePhaseNetwork,
+    res: &fbs::Solve3Result,
+    converged: bool,
+) {
+    if !converged {
+        return;
+    }
+    let v0 = net.source_voltage().abs_max();
+    let (vmin, sag_bus) = res.min_phase_voltage();
+    let (unb, unb_bus) = res.max_unbalance();
+    println!("worst phase: {:.1} V ({:.4} pu) at bus {sag_bus}", vmin, vmin / v0);
+    println!("unbalance:   {:.2}% max at bus {unb_bus}", 100.0 * unb);
+    let t = net.total_load();
+    println!(
+        "load/phase:  a {:.1} kW | b {:.1} kW | c {:.1} kW",
+        t.a.re / 1e3,
+        t.b.re / 1e3,
+        t.c.re / 1e3
+    );
 }
 
 fn emit_text(text: &str, out: Option<&str>, buses: usize) -> Result<(), String> {

@@ -406,3 +406,115 @@ fn seeded_fault_runs_are_byte_identical() {
 
     let _ = fs::remove_file(&path);
 }
+
+#[test]
+fn meshed_dg_feeder_solves_on_every_backend() {
+    let path = tmp("ieee123-dg.grid");
+    let path_s = path.to_str().unwrap();
+    run(&["feeders", "--name", "ieee123-dg", "--out", path_s]).expect("feeders must succeed");
+    let text = fs::read_to_string(&path).unwrap();
+    assert!(text.contains("\ntie "), "meshed export must carry tie records:\n{text}");
+    assert!(text.contains("\ngen "), "meshed export must carry gen records:\n{text}");
+
+    for solver in ["serial", "multicore", "gpu", "gpu-direct", "gpu-atomic"] {
+        let code = run(&["solve", path_s, "--solver", solver, "--timings", "false"])
+            .unwrap_or_else(|e| panic!("meshed solve with {solver} failed: {e}"));
+        assert_eq!(code, 0, "meshed solve with {solver} must exit 0");
+    }
+    // The jump solver has no mesh outer loop: a clear usage error, not
+    // a panic or a silently-radial answer.
+    assert!(run(&["solve", path_s, "--solver", "gpu-jump"]).is_err());
+    // Service flags don't compose with the outer loop.
+    assert!(run(&["solve", path_s, "--max-retries", "2"]).is_err());
+
+    // The resilient path recovers injected faults and still exits 0.
+    let code = run(&[
+        "solve", path_s, "--solver", "gpu", "--fault-seed", "11", "--fault-rate", "0.005",
+        "--timings", "false",
+    ])
+    .expect("resilient meshed solve");
+    assert_eq!(code, 0, "recovered meshed solve must exit 0");
+
+    // Radial commands reject meshed files with a line-numbered error
+    // instead of quietly dropping the ties.
+    let err = run(&["batch", path_s]).unwrap_err();
+    assert!(err.contains("tie"), "{err}");
+
+    let _ = fs::remove_file(&path);
+}
+
+/// Three generators behind one high-reactance trunk over-correct
+/// collectively (each applies the full shared-trunk correction), so the
+/// PV mismatch grows until the outer loop declares divergence: the
+/// deterministic exit-9 case.
+const PV_FIGHT_GRID: &str = "\
+grid 1
+source 2400 0
+bus 0 0 0
+bus 1 10000 3000
+bus 2 5000 1000
+bus 3 5000 1000
+bus 4 5000 1000
+branch 0 1 0.1 5.0
+branch 1 2 0.01 0.01
+branch 1 3 0.01 0.01
+branch 1 4 0.01 0.01
+gen 2 5000 2395 -1000000000 1000000000
+gen 3 5000 2395 -1000000000 1000000000
+gen 4 5000 2395 -1000000000 1000000000
+";
+
+#[test]
+fn outer_divergence_exits_with_code_9() {
+    let path = tmp("pv-fight.grid");
+    let path_s = path.to_str().unwrap();
+    fs::write(&path, PV_FIGHT_GRID).unwrap();
+
+    let code = run(&["solve", path_s, "--timings", "false"]).expect("solve must not error");
+    assert_eq!(code, 9, "outer divergence must exit 9");
+
+    // Capping the outer loop before the divergence is detected reports
+    // outer-cap exhaustion (exit 2), not divergence.
+    let code = run(&["solve", path_s, "--outer-max-iter", "2", "--timings", "false"]).unwrap();
+    assert_eq!(code, 2, "outer cap exhaustion must exit 2");
+
+    // Invalid outer knobs surface as InvalidConfig (exit 7), same as
+    // the inner solver's config validation.
+    let code = run(&["solve", path_s, "--outer-tol", "-1", "--timings", "false"]).unwrap();
+    assert_eq!(code, 7, "negative outer tolerance must exit 7");
+    let code = run(&["solve", path_s, "--outer-max-iter", "0", "--timings", "false"]).unwrap();
+    assert_eq!(code, 7, "zero outer iterations must exit 7");
+
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn solve3_accepts_dg_grid3_transparently() {
+    let path = tmp("dg.grid3");
+    let path_s = path.to_str().unwrap();
+    run(&["feeders3", "--name", "ieee13", "--out", path_s]).expect("feeders3 must succeed");
+    let mut text = fs::read_to_string(&path).unwrap();
+    text.push_str("gen 6 20000 2350 -30000 30000\n");
+    fs::write(&path, &text).unwrap();
+
+    for solver in ["serial", "gpu"] {
+        let code = run(&["solve3", path_s, "--solver", solver])
+            .unwrap_or_else(|e| panic!("solve3 DG with {solver} failed: {e}"));
+        assert_eq!(code, 0, "DG solve3 with {solver} must exit 0");
+    }
+    // Fault injection composes with the three-phase PV loop.
+    let code = run(&["solve3", path_s, "--solver", "gpu", "--fault-seed", "7", "--fault-rate", "0.005"])
+        .expect("resilient DG solve3");
+    assert_eq!(code, 0);
+    // Service flags don't compose with the PV loop.
+    assert!(run(&["solve3", path_s, "--solver", "gpu", "--max-retries", "2"]).is_err());
+
+    // Hostile gen records come back as line-numbered parse errors.
+    let mut bad = fs::read_to_string(&path).unwrap();
+    bad.push_str("gen 6 1 2350 -1 1\n");
+    fs::write(&path, &bad).unwrap();
+    let err = run(&["solve3", path_s]).unwrap_err();
+    assert!(err.contains("already has a generator") && err.contains("line 30"), "{err}");
+
+    let _ = fs::remove_file(&path);
+}

@@ -35,6 +35,7 @@ pub mod fleet;
 mod gpu;
 pub mod integrity;
 pub mod jump;
+pub mod mesh;
 mod multicore;
 pub mod obs;
 mod recovery;
@@ -57,8 +58,13 @@ pub use fleet::{
 pub use gpu::{BackwardStrategy, GpuSolver};
 pub use integrity::{IntegrityConfig, IntegritySampler, IntegrityStats, IntegrityVerdict};
 pub use jump::{JumpArrays, JumpSolver};
+pub use mesh::{
+    solve3_dg, solve3_dg_resilient, solve_dg_batch, solve_meshed_resilient, DgBatchResult,
+    GenMode, Mesh3Result, MeshProblem, MeshResult, MeshSolver, MeshState, OuterConfig,
+    OuterStatus, Sweep3Backend, SweepBackend,
+};
 pub use multicore::MulticoreSolver;
-pub use obs::{record_batch_run, record_run};
+pub use obs::{record_batch_run, record_mesh3_run, record_mesh_run, record_run};
 pub use recovery::{Backend, Resilient3Solver, ResilienceError, ResilientSolver};
 pub use report::{FaultReport, PhaseTimes, SolveResult, Timing};
 pub use serial::SerialSolver;

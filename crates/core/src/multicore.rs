@@ -77,6 +77,19 @@ impl MulticoreSolver {
 
     /// Solves with pre-built arrays.
     pub fn solve_arrays(&self, a: &SolverArrays, cfg: &SolverConfig) -> SolveResult {
+        self.solve_warm(a, cfg, None)
+    }
+
+    /// Solves starting from a previous solution instead of the flat
+    /// start (`v_init` is indexed by *bus id*), mirroring
+    /// [`crate::SerialSolver::solve_warm`] — the mesh outer loop re-solves
+    /// the same topology with updated loads every outer iteration.
+    pub fn solve_warm(
+        &self,
+        a: &SolverArrays,
+        cfg: &SolverConfig,
+        v_init: Option<&[Complex]>,
+    ) -> SolveResult {
         let wall0 = Instant::now();
         let n = a.len();
         let v0 = a.source;
@@ -85,7 +98,13 @@ impl MulticoreSolver {
         }
         let mut monitor = ConvergenceMonitor::new(cfg, v0.abs());
 
-        let mut v = vec![v0; n];
+        let mut v = match v_init {
+            Some(init) => {
+                assert_eq!(init.len(), n, "warm start needs one voltage per bus");
+                a.levels.permute(init)
+            }
+            None => vec![v0; n],
+        };
         let mut i_inj = vec![Complex::ZERO; n];
         let mut j = vec![Complex::ZERO; n];
         let mut delta = vec![0.0f64; n];

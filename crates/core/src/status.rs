@@ -57,6 +57,17 @@ pub enum SolveStatus {
         /// Iteration (1-based) at which the residual went non-finite.
         at_iteration: u32,
     },
+    /// The weakly-meshed/DG *outer* loop (break-point compensation +
+    /// PV-bus Q adjustment, [`crate::mesh`]) diverged or limit-cycled
+    /// while the inner sweeps themselves were healthy. Distinct from
+    /// [`SolveStatus::Diverged`] so operators can tell "the feeder
+    /// physics blew up" from "the loop/DG coupling cannot settle";
+    /// outer-loop *slowness* (cap reached with a shrinking mismatch) is
+    /// reported as [`SolveStatus::MaxIterations`] instead.
+    OuterDiverged {
+        /// Outer iteration (1-based) at which the failure was declared.
+        at_outer: u32,
+    },
 }
 
 impl SolveStatus {
@@ -74,6 +85,7 @@ impl SolveStatus {
         matches!(
             self,
             SolveStatus::Diverged { .. }
+                | SolveStatus::OuterDiverged { .. }
                 | SolveStatus::NumericalFailure { .. }
                 | SolveStatus::InvalidConfig
         )
@@ -87,8 +99,9 @@ impl SolveStatus {
             SolveStatus::MaxIterations => 2,
             SolveStatus::DeadlineExceeded { .. } => 3,
             SolveStatus::Diverged { .. } => 4,
-            SolveStatus::NumericalFailure { .. } => 5,
-            SolveStatus::InvalidConfig => 6,
+            SolveStatus::OuterDiverged { .. } => 5,
+            SolveStatus::NumericalFailure { .. } => 6,
+            SolveStatus::InvalidConfig => 7,
         }
     }
 
@@ -104,8 +117,8 @@ impl SolveStatus {
 
     /// Process exit code for CLI front-ends: 0 converged, 2 iteration cap,
     /// 3 diverged, 4 numerical failure, 6 deadline exceeded, 7 invalid
-    /// config (1 is reserved for usage/IO errors, 5 for unrecoverable
-    /// device loss).
+    /// config, 8 data-integrity failure, 9 outer-loop divergence (1 is
+    /// reserved for usage/IO errors, 5 for unrecoverable device loss).
     pub fn exit_code(self) -> u8 {
         match self {
             SolveStatus::Converged | SolveStatus::Recovered { .. } => 0,
@@ -114,6 +127,7 @@ impl SolveStatus {
             SolveStatus::NumericalFailure { .. } => 4,
             SolveStatus::DeadlineExceeded { .. } => 6,
             SolveStatus::InvalidConfig => 7,
+            SolveStatus::OuterDiverged { .. } => 9,
         }
     }
 }
@@ -135,6 +149,9 @@ impl fmt::Display for SolveStatus {
             }
             SolveStatus::NumericalFailure { at_iteration } => {
                 write!(f, "numerical-failure (iteration {at_iteration})")
+            }
+            SolveStatus::OuterDiverged { at_outer } => {
+                write!(f, "outer-diverged (outer iteration {at_outer})")
             }
         }
     }
@@ -319,6 +336,7 @@ mod tests {
             SolveStatus::NumericalFailure { at_iteration: 1 }.exit_code(),
             SolveStatus::DeadlineExceeded { at_iteration: 1, elapsed_us: 1 }.exit_code(),
             SolveStatus::InvalidConfig.exit_code(),
+            SolveStatus::OuterDiverged { at_outer: 1 }.exit_code(),
         ];
         assert_eq!(codes[0], 0);
         for (i, &a) in codes.iter().enumerate() {
@@ -337,6 +355,19 @@ mod tests {
         assert!(!dl.is_failure(), "a deadline miss is a scheduling event, not corruption");
         assert_eq!(dl.exit_code(), 6);
         assert_eq!(dl.to_string(), "deadline-exceeded (iteration 4, 1234 µs)");
+    }
+
+    #[test]
+    fn outer_divergence_is_a_failure_ranked_between_diverged_and_numerical() {
+        let od = SolveStatus::OuterDiverged { at_outer: 3 };
+        let d = SolveStatus::Diverged { at_iteration: 2 };
+        let n = SolveStatus::NumericalFailure { at_iteration: 5 };
+        assert!(od.is_failure());
+        assert!(!od.is_converged());
+        assert_eq!(od.exit_code(), 9);
+        assert_eq!(d.worse(od), od);
+        assert_eq!(od.worse(n), n);
+        assert_eq!(od.to_string(), "outer-diverged (outer iteration 3)");
     }
 
     #[test]

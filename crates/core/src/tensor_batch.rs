@@ -362,7 +362,37 @@ impl TensorBatchSolver {
         for (s, sc) in scenarios.iter().enumerate() {
             assert_eq!(sc.len(), n, "scenario {s} has {} loads for {n} buses", sc.len());
         }
-        self.solve_impl(a, Loads::Explicit(scenarios), cfg, None)
+        self.solve_impl(a, Loads::Explicit(scenarios), cfg, None, None)
+    }
+
+    /// [`TensorBatchSolver::try_solve_arrays`] with a *per-scenario*
+    /// warm start: scenario `s` begins its iteration from `warm[s]`
+    /// (voltages by bus id) instead of the flat source profile. The
+    /// natural feed is each scenario's own previous solution — an outer
+    /// loop (compensation/PV updates, quasi-static time series) perturbs
+    /// the loads a little each round, so the fixed point moves a little
+    /// and the re-solve converges in a handful of iterations instead of
+    /// paying the cold count every round.
+    pub fn try_solve_arrays_warm(
+        &mut self,
+        a: &SolverArrays,
+        scenarios: &[Vec<Complex>],
+        cfg: &SolverConfig,
+        warm: &[Vec<Complex>],
+    ) -> Result<TensorBatchResult, DeviceError> {
+        let n = a.len();
+        assert_eq!(
+            warm.len(),
+            scenarios.len(),
+            "warm profiles ({}) must match scenarios ({})",
+            warm.len(),
+            scenarios.len()
+        );
+        for (s, sc) in scenarios.iter().enumerate() {
+            assert_eq!(sc.len(), n, "scenario {s} has {} loads for {n} buses", sc.len());
+            assert_eq!(warm[s].len(), n, "scenario {s} warm profile needs one voltage per bus");
+        }
+        self.solve_impl(a, Loads::Explicit(scenarios), cfg, None, Some(warm))
     }
 
     /// Fallible [`TensorBatchSolver::solve_scaled_arrays`].
@@ -372,7 +402,7 @@ impl TensorBatchSolver {
         scales: &[f64],
         cfg: &SolverConfig,
     ) -> Result<TensorBatchResult, DeviceError> {
-        self.solve_impl(a, Loads::Scaled(scales), cfg, None)
+        self.solve_impl(a, Loads::Scaled(scales), cfg, None, None)
     }
 
     /// Solves one topology *variant* per scenario over the shared base
@@ -422,7 +452,7 @@ impl TensorBatchSolver {
         warm: Option<&[Complex]>,
     ) -> Result<TensorBatchResult, DeviceError> {
         let plan = PatchPlan::build(a, dfs, patches, warm);
-        self.solve_impl(a, Loads::Scaled(&plan.scales), cfg, Some(&plan))
+        self.solve_impl(a, Loads::Scaled(&plan.scales), cfg, Some(&plan), None)
     }
 
     fn solve_impl(
@@ -431,6 +461,7 @@ impl TensorBatchSolver {
         loads: Loads<'_>,
         cfg: &SolverConfig,
         patches: Option<&PatchPlan>,
+        warm: Option<&[Vec<Complex>]>,
     ) -> Result<TensorBatchResult, DeviceError> {
         let wall0 = Instant::now();
         let nb = loads.len();
@@ -518,6 +549,7 @@ impl TensorBatchSolver {
                         topo.as_ref().expect("topology resident"),
                         &loads,
                         patches,
+                        warm,
                         range.clone(),
                         cfg,
                         armed,
@@ -571,7 +603,7 @@ impl TensorBatchSolver {
                 let t0 = phases.total_us();
                 let serial = SerialSolver::new(HostProps::paper_rig());
                 for s in range.clone() {
-                    let res = repair_solve(&serial, a, &loads, patches, s, cfg);
+                    let res = repair_solve(&serial, a, &loads, patches, warm, s, cfg);
                     out.absorb_serial(s, res, true, patches);
                 }
                 phases.teardown_us += out.repair_us;
@@ -624,6 +656,75 @@ impl TensorBatchSolver {
             scenarios_per_sec,
             fault_report,
         })
+    }
+
+    /// Largest scenario batch one resident session can hold; callers
+    /// running bigger families chunk on this.
+    pub fn chunk_capacity(&self) -> usize {
+        self.chunk_cap
+    }
+
+    /// Opens a resident-state outer-loop session over one scenario
+    /// batch: topology, loads and the voltage iterate stay on the
+    /// device across rounds. Each [`TensorOuterSession::solve_round`]
+    /// re-iterates every live scenario from its previous fixed point;
+    /// between rounds the driver adjusts a handful of bus loads
+    /// ([`TensorOuterSession::update_loads`]) and reads back only the
+    /// `probes` buses' voltages — so a compensation/PV outer loop pays
+    /// sparse traffic per round instead of re-shipping `B·n` slabs.
+    ///
+    /// Device weather degrades the session to per-scenario serial
+    /// solves (the voltage iterate is rebuilt cold after a fault — the
+    /// fixed point does not depend on the starting profile, so only
+    /// modeled time is lost, never correctness).
+    ///
+    /// `warm` optionally seeds every scenario's first round from one
+    /// shared profile (by bus id) — typically the base-case fixed point
+    /// — replicated device-side from a single `n`-word upload.
+    pub fn outer_session<'s>(
+        &'s mut self,
+        a: &'s SolverArrays,
+        loads: &[Vec<Complex>],
+        probes: &[usize],
+        warm: Option<&[Complex]>,
+        cfg: &SolverConfig,
+    ) -> TensorOuterSession<'s> {
+        let n = a.len();
+        let nb = loads.len();
+        assert!(nb >= 1, "session needs at least one scenario");
+        assert!(
+            nb <= self.chunk_cap,
+            "session of {nb} scenarios exceeds the chunk capacity {}",
+            self.chunk_cap
+        );
+        for (s, sc) in loads.iter().enumerate() {
+            assert_eq!(sc.len(), n, "scenario {s} has {} loads for {n} buses", sc.len());
+        }
+        for &b in probes {
+            assert!(b < n, "probe bus {b} of {n}");
+        }
+        if let Some(w) = warm {
+            assert_eq!(w.len(), n, "warm profile has {} entries for {n} buses", w.len());
+        }
+        let mut session = TensorOuterSession {
+            solver: self,
+            a,
+            n,
+            nb,
+            probe_pos: probes.iter().map(|&b| a.levels.pos_of[b]).collect(),
+            loads: loads.to_vec(),
+            warm: warm.map(<[Complex]>::to_vec),
+            retired: vec![false; nb],
+            statuses: vec![SolveStatus::MaxIterations; nb],
+            host_v: vec![None; nb],
+            dev_state: None,
+            degraded: false,
+            max_recoveries: cfg.max_recoveries,
+            retries: 0,
+            total_us: 0.0,
+        };
+        session.try_build();
+        session
     }
 }
 
@@ -903,11 +1004,13 @@ fn repair_solve(
     a: &SolverArrays,
     loads: &Loads<'_>,
     patches: Option<&PatchPlan>,
+    warm: Option<&[Vec<Complex>]>,
     s: usize,
     cfg: &SolverConfig,
 ) -> crate::report::SolveResult {
     let arrays = repair_arrays(a, loads, patches, s);
-    let warm = patches.and_then(|plan| plan.warm.as_deref());
+    let shared = patches.and_then(|plan| plan.warm.as_deref());
+    let warm = warm.map(|w| w[s].as_slice()).or(shared);
     serial.solve_warm(&arrays, cfg, warm)
 }
 
@@ -926,6 +1029,7 @@ fn run_chunk(
     topo: &Topology,
     loads: &Loads<'_>,
     patches: Option<&PatchPlan>,
+    warm: Option<&[Vec<Complex>]>,
     range: std::ops::Range<usize>,
     cfg: &SolverConfig,
     armed: bool,
@@ -980,17 +1084,34 @@ fn run_chunk(
         }
         None => None,
     };
-    let mut v_buf = dev.try_alloc::<Complex>(nb * n)?;
-    match patches.and_then(|plan| plan.warm.as_ref()) {
-        Some(warm) => {
-            // Warm start: replicate the permuted base-case profile into
-            // every scenario stripe device-side (one `n`-word upload).
-            let warm_buf = dev.try_alloc_from(&a.levels.permute(warm))?;
-            let kernel = WarmInitKernel { warm: warm_buf.view(), v: v_buf.view_mut(), n };
-            dev.try_launch(LaunchConfig::grid2d(1, nb as u32, TENSOR_BLOCK), &kernel)?;
+    let mut v_buf = match warm {
+        Some(profiles) => {
+            // Per-scenario warm start: the chunk's profiles are already
+            // the exact initial state, so upload them straight into the
+            // striped iterate — no replication kernel needed.
+            let mut flat = Vec::with_capacity(nb * n);
+            for s in range.clone() {
+                flat.extend_from_slice(&a.levels.permute(&profiles[s]));
+            }
+            dev.try_alloc_from(&flat)?
         }
-        None => try_fill(dev, &mut v_buf, v0)?,
-    }
+        None => {
+            let mut v_buf = dev.try_alloc::<Complex>(nb * n)?;
+            match patches.and_then(|plan| plan.warm.as_ref()) {
+                Some(shared) => {
+                    // Shared warm start: replicate the permuted base-case
+                    // profile into every scenario stripe device-side (one
+                    // `n`-word upload).
+                    let warm_buf = dev.try_alloc_from(&a.levels.permute(shared))?;
+                    let kernel =
+                        WarmInitKernel { warm: warm_buf.view(), v: v_buf.view_mut(), n };
+                    dev.try_launch(LaunchConfig::grid2d(1, nb as u32, TENSOR_BLOCK), &kernel)?;
+                }
+                None => try_fill(dev, &mut v_buf, v0)?,
+            }
+            v_buf
+        }
+    };
     let mut j_buf = dev.try_alloc::<Complex>(nb * n)?;
     let mut mask_buf = dev.try_alloc_from(&vec![1u32; nb])?;
     let mut res_buf = dev.try_alloc::<f64>(nb)?;
@@ -1189,7 +1310,7 @@ fn run_chunk(
     for ls in 0..nb {
         let s = range.start + ls;
         if armed && suspicious[ls] {
-            let res = repair_solve(&serial, a, loads, patches, s, cfg);
+            let res = repair_solve(&serial, a, loads, patches, warm, s, cfg);
             out.absorb_serial(s, res, true, patches);
             continue;
         }
@@ -1260,6 +1381,488 @@ fn patch_ref<'a>(topo: &'a Topology, chunk: &'a Option<ChunkPatch>) -> Option<Pa
         z_pos: cp.z_pos.view(),
         z_val: cp.z_val.view(),
     })
+}
+
+/// Per-scenario outcome of one [`TensorOuterSession::solve_round`].
+pub struct OuterRound {
+    /// Inner solve status per scenario (retired scenarios keep the
+    /// status of their last live round).
+    pub statuses: Vec<SolveStatus>,
+    /// Inner iterations this round (0 for retired scenarios).
+    pub iterations: Vec<u32>,
+    /// Probe-bus voltages per scenario, in the order the probes were
+    /// registered. Retired scenarios report their final state.
+    pub probe_v: Vec<Vec<Complex>>,
+}
+
+/// Final report of a [`TensorOuterSession`].
+pub struct SessionReport {
+    /// Final voltages by bus id, per scenario.
+    pub v: Vec<Vec<Complex>>,
+    /// Total modeled time across every round, µs.
+    pub total_us: f64,
+    /// Transient-fault retries absorbed.
+    pub retries: u32,
+    /// Whether the session finished on the serial fallback.
+    pub degraded: bool,
+}
+
+/// Device half of a resident outer-loop session (see
+/// [`TensorBatchSolver::outer_session`]).
+struct SessionBuffers {
+    topo: Topology,
+    /// Per-scenario loads, position space, `nb·n`.
+    s_slab: DeviceBuffer<Complex>,
+    /// Voltage iterate, kept across rounds (`nb·n`).
+    v: DeviceBuffer<Complex>,
+    j: DeviceBuffer<Complex>,
+    res: DeviceBuffer<f64>,
+    mask: DeviceBuffer<u32>,
+    /// Probe positions (level space) and the gathered output slab.
+    probe_pos: DeviceBuffer<u32>,
+    probe_out: DeviceBuffer<Complex>,
+}
+
+/// Resident-state outer-loop session: one scenario batch held on the
+/// device across outer rounds, with sparse load updates and probe-bus
+/// readback between rounds.
+pub struct TensorOuterSession<'s> {
+    solver: &'s mut TensorBatchSolver,
+    a: &'s SolverArrays,
+    n: usize,
+    nb: usize,
+    /// Probe level positions (host copy; re-uploaded on rebuild).
+    probe_pos: Vec<u32>,
+    /// Host mirror of every scenario's loads, by bus id — the rebuild
+    /// and fallback source of truth.
+    loads: Vec<Vec<Complex>>,
+    /// Optional shared warm-start profile, by bus id. Seeds the first
+    /// round (and every post-fault rebuild) in place of a flat start.
+    warm: Option<Vec<Complex>>,
+    /// Scenarios excluded from further rounds (outer loop settled).
+    retired: Vec<bool>,
+    /// Last inner status per scenario.
+    statuses: Vec<SolveStatus>,
+    /// Host-resident voltages, populated on the fallback path.
+    host_v: Vec<Option<Vec<Complex>>>,
+    dev_state: Option<SessionBuffers>,
+    degraded: bool,
+    max_recoveries: u32,
+    retries: u32,
+    total_us: f64,
+}
+
+impl TensorOuterSession<'_> {
+    /// (Re)builds the device state from the host mirrors. The voltage
+    /// iterate restarts cold — the next round pays extra iterations,
+    /// nothing else. Leaves `dev_state` as `None` on failure.
+    fn try_build(&mut self) {
+        self.dev_state = None;
+        if self.degraded || self.solver.device.is_lost() {
+            return;
+        }
+        // The scenario loads are usually a sparse perturbation of the
+        // base case (DG corrections at a handful of buses), so the slab
+        // ships as one `n`-word base vector replicated device-side plus
+        // a scatter of the per-scenario deviations — not `B·n` words.
+        let base_by_bus = unpermute(self.a, &self.a.s);
+        let mut dev_s = Vec::new();
+        let mut dev_pos = Vec::new();
+        let mut dev_vals = Vec::new();
+        for (s, sc) in self.loads.iter().enumerate() {
+            for (bus, (&have, &want)) in base_by_bus.iter().zip(sc).enumerate() {
+                if have != want {
+                    dev_s.push(s as u32);
+                    dev_pos.push(self.a.levels.pos_of[bus]);
+                    dev_vals.push(want);
+                }
+            }
+        }
+        let dev = &mut self.solver.device;
+        let mark = dev.timeline().mark();
+        let built = catch_unwind(AssertUnwindSafe(|| -> Result<SessionBuffers, DeviceError> {
+            let topo = Topology::upload(dev, self.a, None)?;
+            let base_buf = dev.try_alloc_from(&self.a.s)?;
+            let mut s_slab = dev.try_alloc::<Complex>(self.nb * self.n)?;
+            {
+                let kernel = WarmInitKernel {
+                    warm: base_buf.view(),
+                    v: s_slab.view_mut(),
+                    n: self.n,
+                };
+                dev.try_launch(LaunchConfig::grid2d(1, self.nb as u32, TENSOR_BLOCK), &kernel)?;
+            }
+            if !dev_s.is_empty() {
+                let s_buf = dev.try_alloc_from(&dev_s)?;
+                let p_buf = dev.try_alloc_from(&dev_pos)?;
+                let v_buf = dev.try_alloc_from(&dev_vals)?;
+                let kernel = ScatterKernel {
+                    s_idx: s_buf.view(),
+                    pos: p_buf.view(),
+                    vals: v_buf.view(),
+                    dst: s_slab.view_mut(),
+                    k: dev_s.len(),
+                    n: self.n,
+                };
+                dev.try_launch(LaunchConfig::grid2d(1, 1, TENSOR_BLOCK), &kernel)?;
+            }
+            let mut v = dev.try_alloc::<Complex>(self.nb * self.n)?;
+            match &self.warm {
+                Some(profile) => {
+                    // One `n`-word upload, replicated device-side into
+                    // every scenario stripe.
+                    let warm_buf = dev.try_alloc_from(&self.a.levels.permute(profile))?;
+                    let kernel = WarmInitKernel {
+                        warm: warm_buf.view(),
+                        v: v.view_mut(),
+                        n: self.n,
+                    };
+                    dev.try_launch(
+                        LaunchConfig::grid2d(1, self.nb as u32, TENSOR_BLOCK),
+                        &kernel,
+                    )?;
+                }
+                None => try_fill(dev, &mut v, self.a.source)?,
+            }
+            let j = dev.try_alloc::<Complex>(self.nb * self.n)?;
+            let mut res = dev.try_alloc::<f64>(self.nb)?;
+            try_fill(dev, &mut res, 0.0)?;
+            let mask = dev.try_alloc_from(&vec![1u32; self.nb])?;
+            let probe_pos = dev.try_alloc_from(&self.probe_pos)?;
+            let probe_out =
+                dev.try_alloc::<Complex>(self.nb * self.probe_pos.len().max(1))?;
+            Ok(SessionBuffers { topo, s_slab, v, j, res, mask, probe_pos, probe_out })
+        }));
+        self.total_us += dev.timeline().breakdown_since(mark).total_us();
+        if let Ok(Ok(bufs)) = built {
+            self.dev_state = Some(bufs);
+        }
+    }
+
+    /// Applies sparse load updates `(scenario, bus, new load)`. The
+    /// host mirror is always updated; the resident slab gets a scatter
+    /// of just these entries.
+    pub fn update_loads(&mut self, updates: &[(usize, usize, Complex)]) {
+        for &(s, bus, val) in updates {
+            assert!(s < self.nb, "scenario {s} of {}", self.nb);
+            assert!(bus < self.n, "bus {bus} of {}", self.n);
+            self.loads[s][bus] = val;
+        }
+        if updates.is_empty() || self.dev_state.is_none() {
+            return;
+        }
+        let s_idx: Vec<u32> = updates.iter().map(|&(s, _, _)| s as u32).collect();
+        let pos: Vec<u32> =
+            updates.iter().map(|&(_, b, _)| self.a.levels.pos_of[b]).collect();
+        let vals: Vec<Complex> = updates.iter().map(|&(_, _, v)| v).collect();
+        let bufs = self.dev_state.as_mut().expect("checked above");
+        let dev = &mut self.solver.device;
+        let mark = dev.timeline().mark();
+        let applied = catch_unwind(AssertUnwindSafe(|| -> Result<(), DeviceError> {
+            let s_buf = dev.try_alloc_from(&s_idx)?;
+            let p_buf = dev.try_alloc_from(&pos)?;
+            let v_buf = dev.try_alloc_from(&vals)?;
+            let kernel = ScatterKernel {
+                s_idx: s_buf.view(),
+                pos: p_buf.view(),
+                vals: v_buf.view(),
+                dst: bufs.s_slab.view_mut(),
+                k: updates.len(),
+                n: self.n,
+            };
+            dev.try_launch(LaunchConfig::grid2d(1, 1, TENSOR_BLOCK), &kernel)
+        }));
+        self.total_us += dev.timeline().breakdown_since(mark).total_us();
+        if !matches!(applied, Ok(Ok(()))) {
+            // The mirror is authoritative; a rebuild re-ships it whole.
+            self.absorb_fault();
+        }
+    }
+
+    /// Counts a device fault against the retry budget: rebuild while
+    /// budget remains, degrade to the serial fallback after.
+    fn absorb_fault(&mut self) {
+        if self.retries < self.max_recoveries && !self.solver.device.is_lost() {
+            self.retries += 1;
+            self.try_build();
+            if self.dev_state.is_some() {
+                return;
+            }
+        }
+        self.degraded = true;
+        self.dev_state = None;
+    }
+
+    /// Excludes a scenario from further rounds; its resident state (and
+    /// final voltages) stay exactly as its last live round left them.
+    pub fn retire(&mut self, s: usize) {
+        assert!(s < self.nb, "scenario {s} of {}", self.nb);
+        self.retired[s] = true;
+    }
+
+    /// One batched inner solve over every live scenario, re-iterating
+    /// from the resident voltages. Falls back to per-scenario serial
+    /// solves (warm off the host mirror) when the device is out.
+    pub fn solve_round(&mut self, cfg: &SolverConfig) -> OuterRound {
+        loop {
+            if self.degraded || self.dev_state.is_none() {
+                return self.host_round(cfg);
+            }
+            let round = catch_unwind(AssertUnwindSafe(|| self.device_round_raw(cfg)));
+            match round {
+                Ok(Ok(r)) => return r,
+                _ => self.absorb_fault(),
+            }
+        }
+    }
+
+    /// Device path of one round. Any `Err` or panic is a device fault
+    /// handled by the caller.
+    fn device_round_raw(&mut self, cfg: &SolverConfig) -> Result<OuterRound, DeviceError> {
+        let (n, nb) = (self.n, self.nb);
+        let np = self.probe_pos.len();
+        let bufs = self.dev_state.as_mut().expect("device path has state");
+        let dev = &mut self.solver.device;
+        let mark = dev.timeline().mark();
+
+        let mut mask_host: Vec<u32> =
+            self.retired.iter().map(|&r| if r { 0 } else { 1 }).collect();
+        let mut active = mask_host.iter().filter(|&&m| m == 1).count();
+        dev.try_htod_checked(&mut bufs.mask, &mask_host)?;
+
+        let mut monitors: Vec<ConvergenceMonitor> =
+            (0..nb).map(|_| ConvergenceMonitor::new(cfg, self.a.source.abs())).collect();
+        let mut iters_done = vec![0u32; nb];
+        let mut frozen: Vec<Option<SolveStatus>> = vec![None; nb];
+        let grid_sweep =
+            LaunchConfig::grid2d(1, nb.div_ceil(SCENARIOS_PER_BLOCK) as u32, TENSOR_BLOCK);
+        let level_offsets: Vec<u32> = self.a.levels.level_offsets.clone();
+
+        let mut iteration = 0u32;
+        while active > 0 && iteration < cfg.max_iter {
+            iteration += 1;
+            {
+                let kernel = SweepKernel {
+                    loads: LoadsRef::Explicit(bufs.s_slab.view()),
+                    v: bufs.v.view_mut(),
+                    j: bufs.j.view_mut(),
+                    z: bufs.topo.z.view(),
+                    parent_pos: bufs.topo.parent_pos.view(),
+                    child_lo: bufs.topo.child_lo.view(),
+                    child_hi: bufs.topo.child_hi.view(),
+                    mask: bufs.mask.view(),
+                    residuals: bufs.res.view_mut(),
+                    patch: None,
+                    min_v: None,
+                    level_offsets: &level_offsets,
+                    n,
+                    nb,
+                };
+                dev.try_launch(grid_sweep, &kernel)?;
+            }
+            let residuals = dev.try_dtoh_checked(&bufs.res)?;
+            let mut any_froze = false;
+            for ls in 0..nb {
+                if mask_host[ls] == 0 {
+                    continue;
+                }
+                iters_done[ls] = iteration;
+                if let Some(status) = monitors[ls].observe(iteration, residuals[ls]) {
+                    frozen[ls] = Some(status);
+                    mask_host[ls] = 0;
+                    active -= 1;
+                    any_froze = true;
+                }
+            }
+            if any_froze && active > 0 {
+                dev.try_htod_checked(&mut bufs.mask, &mask_host)?;
+            }
+        }
+
+        // Probe readback: `nb·np` words instead of the full slabs.
+        let mut probe_v = vec![Vec::new(); nb];
+        if np > 0 {
+            {
+                let kernel = GatherKernel {
+                    src: bufs.v.view(),
+                    slots: bufs.probe_pos.view(),
+                    out: bufs.probe_out.view_mut(),
+                    np,
+                    n,
+                };
+                dev.try_launch(LaunchConfig::grid2d(1, nb as u32, TENSOR_BLOCK), &kernel)?;
+            }
+            let gathered = dev.try_dtoh_checked(&bufs.probe_out)?;
+            for (s, slot) in probe_v.iter_mut().enumerate() {
+                *slot = gathered[s * np..s * np + np].to_vec();
+            }
+        }
+
+        self.total_us += dev.timeline().breakdown_since(mark).total_us();
+        let mut iterations = vec![0u32; nb];
+        for s in 0..nb {
+            if self.retired[s] {
+                continue;
+            }
+            self.statuses[s] = frozen[s].unwrap_or(SolveStatus::MaxIterations);
+            iterations[s] = iters_done[s];
+        }
+        Ok(OuterRound { statuses: self.statuses.clone(), iterations, probe_v })
+    }
+
+    /// Serial fallback round: each live scenario re-solves on the host,
+    /// warm off its previous fallback profile when one exists.
+    fn host_round(&mut self, cfg: &SolverConfig) -> OuterRound {
+        let serial = SerialSolver::new(HostProps::paper_rig());
+        let np = self.probe_pos.len();
+        let mut iterations = vec![0u32; self.nb];
+        let mut probe_v = vec![Vec::new(); self.nb];
+        for s in 0..self.nb {
+            if self.retired[s] {
+                if let Some(v) = &self.host_v[s] {
+                    probe_v[s] = self.probes_of(v, np);
+                }
+                continue;
+            }
+            let res = self.host_solve(&serial, s, cfg);
+            iterations[s] = res.iterations;
+            self.statuses[s] = res.status;
+            probe_v[s] = self.probes_of(&res.v, np);
+            self.total_us += res.timing.total_us();
+            self.host_v[s] = Some(res.v);
+        }
+        OuterRound { statuses: self.statuses.clone(), iterations, probe_v }
+    }
+
+    /// One host solve of scenario `s` from the load mirror.
+    fn host_solve(
+        &self,
+        serial: &SerialSolver,
+        s: usize,
+        cfg: &SolverConfig,
+    ) -> crate::report::SolveResult {
+        let mut a2 = self.a.clone();
+        for (p, slot) in a2.s.iter_mut().enumerate() {
+            *slot = self.loads[s][self.a.levels.order[p] as usize];
+        }
+        serial.solve_warm(&a2, cfg, self.host_v[s].as_deref().or(self.warm.as_deref()))
+    }
+
+    fn probes_of(&self, v: &[Complex], np: usize) -> Vec<Complex> {
+        (0..np)
+            .map(|k| v[self.a.levels.order[self.probe_pos[k] as usize] as usize])
+            .collect()
+    }
+
+    /// Downloads every scenario's final voltages and closes the
+    /// session.
+    pub fn finish(mut self, cfg: &SolverConfig) -> SessionReport {
+        let v = loop {
+            if self.degraded || self.dev_state.is_none() {
+                // Fallback: scenarios the serial path never touched
+                // re-solve cold off the load mirror — same fixed point.
+                let serial = SerialSolver::new(HostProps::paper_rig());
+                let mut all = Vec::with_capacity(self.nb);
+                for s in 0..self.nb {
+                    match self.host_v[s].take() {
+                        Some(v) => all.push(v),
+                        None => {
+                            let res = self.host_solve(&serial, s, cfg);
+                            self.total_us += res.timing.total_us();
+                            all.push(res.v);
+                        }
+                    }
+                }
+                break all;
+            }
+            let bufs = self.dev_state.as_ref().expect("device path has state");
+            let dev = &mut self.solver.device;
+            let mark = dev.timeline().mark();
+            let slab = catch_unwind(AssertUnwindSafe(|| dev.try_dtoh_checked(&bufs.v)));
+            self.total_us += dev.timeline().breakdown_since(mark).total_us();
+            match slab {
+                Ok(Ok(flat)) => {
+                    break (0..self.nb)
+                        .map(|s| unpermute(self.a, &flat[s * self.n..(s + 1) * self.n]))
+                        .collect();
+                }
+                // A rebuild restarts the iterate cold, so the resident
+                // voltages are gone: re-deriving them means re-solving,
+                // which is exactly the fallback path.
+                _ => {
+                    self.degraded = true;
+                    self.dev_state = None;
+                }
+            }
+        };
+        SessionReport {
+            v,
+            total_us: self.total_us,
+            retries: self.retries,
+            degraded: self.degraded,
+        }
+    }
+}
+
+/// Scatters sparse load updates into the resident slab:
+/// `dst[s_idx[k]·n + pos[k]] = vals[k]`.
+struct ScatterKernel<'a> {
+    s_idx: GlobalRef<'a, u32>,
+    pos: GlobalRef<'a, u32>,
+    vals: GlobalRef<'a, Complex>,
+    dst: GlobalMut<'a, Complex>,
+    k: usize,
+    n: usize,
+}
+
+impl Kernel for ScatterKernel<'_> {
+    fn name(&self) -> &'static str {
+        "tensor_scatter_loads"
+    }
+
+    fn block(&self, blk: &mut BlockScope) {
+        let bdim = blk.block_dim();
+        blk.threads(|t| {
+            let mut i = t.tid();
+            while i < self.k {
+                let s = t.ld(&self.s_idx, i) as usize;
+                let p = t.ld(&self.pos, i) as usize;
+                let v = t.ld(&self.vals, i);
+                t.st(&self.dst, s * self.n + p, v);
+                i += bdim;
+            }
+        });
+    }
+}
+
+/// Gathers probe positions out of a striped slab:
+/// `out[s·np + k] = src[s·n + slots[k]]`. One block per scenario.
+struct GatherKernel<'a> {
+    src: GlobalRef<'a, Complex>,
+    slots: GlobalRef<'a, u32>,
+    out: GlobalMut<'a, Complex>,
+    np: usize,
+    n: usize,
+}
+
+impl Kernel for GatherKernel<'_> {
+    fn name(&self) -> &'static str {
+        "tensor_gather_probes"
+    }
+
+    fn block(&self, blk: &mut BlockScope) {
+        let s = blk.block_idx_y();
+        let bdim = blk.block_dim();
+        blk.threads(|t| {
+            let mut k = t.tid();
+            while k < self.np {
+                let p = t.ld(&self.slots, k) as usize;
+                let v = t.ld(&self.src, s * self.n + p);
+                t.st(&self.out, s * self.np + k, v);
+                k += bdim;
+            }
+        });
+    }
 }
 
 /// One scenario resident in a sweep block: its chunk-local index, load
@@ -2155,5 +2758,164 @@ mod tests {
         assert!(res.scenarios_per_sec.is_finite() && res.scenarios_per_sec > 0.0);
         let expect = 2.0 / (res.timing.total_us() * 1e-6);
         assert!((res.scenarios_per_sec - expect).abs() < 1e-6 * expect);
+    }
+
+    #[test]
+    fn per_scenario_warm_start_matches_cold_and_cuts_iterations() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = balanced_binary(511, &GenSpec::default(), &mut rng);
+        let arrays = SolverArrays::new(&net);
+        let cfg = SolverConfig::default();
+        let scenarios = scaled_scenarios(&net, &[0.8, 1.0, 1.2]);
+
+        let cold = solver().try_solve_arrays(&arrays, &scenarios, &cfg).unwrap();
+        assert!(cold.converged());
+
+        // Warm-starting each scenario from its own converged profile
+        // must reconverge almost immediately, to the same fixed point
+        // (modulo the tolerance band both iterations stop inside).
+        let warm = solver()
+            .try_solve_arrays_warm(&arrays, &scenarios, &cfg, &cold.v)
+            .unwrap();
+        assert!(warm.converged());
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm {} vs cold {} iterations",
+            warm.iterations,
+            cold.iterations
+        );
+        let tol = 1e-7 * net.source_voltage().abs();
+        for s in 0..scenarios.len() {
+            for (a, b) in warm.v[s].iter().zip(&cold.v[s]) {
+                assert!((*a - *b).abs() <= tol, "{a:?} vs {b:?}");
+            }
+        }
+
+        // Mismatched shapes are a caller bug, not device weather.
+        let short: Vec<Vec<Complex>> = cold.v[..2].to_vec();
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            solver().try_solve_arrays_warm(&arrays, &scenarios, &cfg, &short)
+        }));
+        assert!(r.is_err(), "short warm slate must panic");
+    }
+
+    #[test]
+    fn outer_session_matches_the_one_shot_batch_and_reads_back_probes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let net = balanced_binary(255, &GenSpec::default(), &mut rng);
+        let arrays = SolverArrays::new(&net);
+        let cfg = SolverConfig::default();
+        let scenarios = scaled_scenarios(&net, &[0.7, 1.0, 1.3]);
+        let probes = vec![1usize, 57, 200, 254];
+
+        let oneshot = solver().try_solve_arrays(&arrays, &scenarios, &cfg).unwrap();
+        assert!(oneshot.converged());
+
+        let mut tbs = solver();
+        let mut session = tbs.outer_session(&arrays, &scenarios, &probes, None, &cfg);
+        let round = session.solve_round(&cfg);
+        assert!(round.statuses.iter().all(|s| s.is_converged()), "{:?}", round.statuses);
+        let report = session.finish(&cfg);
+        assert!(!report.degraded);
+        assert_eq!(report.retries, 0);
+        assert!(report.total_us > 0.0);
+
+        let tol = 1e-9 * net.source_voltage().abs();
+        for s in 0..scenarios.len() {
+            for (bus, (a, b)) in report.v[s].iter().zip(&oneshot.v[s]).enumerate() {
+                assert!((*a - *b).abs() <= tol, "scenario {s} bus {bus}: {a:?} vs {b:?}");
+            }
+            // The probe readback is the final state at those buses.
+            for (k, &bus) in probes.iter().enumerate() {
+                assert_eq!(round.probe_v[s][k], report.v[s][bus], "scenario {s} probe {bus}");
+            }
+        }
+    }
+
+    #[test]
+    fn outer_session_sparse_updates_and_retirement_track_serial_resolves() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let net = balanced_binary(127, &GenSpec::default(), &mut rng);
+        let arrays = SolverArrays::new(&net);
+        let cfg = SolverConfig::default();
+        let mut scenarios = scaled_scenarios(&net, &[0.9, 1.1]);
+        let v0 = net.source_voltage().abs();
+
+        let mut tbs = solver();
+        let mut session = tbs.outer_session(&arrays, &scenarios, &[64], None, &cfg);
+        let first = session.solve_round(&cfg);
+        assert!(first.statuses.iter().all(|s| s.is_converged()));
+
+        // Scenario 0 retires at its round-1 state; scenario 1 takes a
+        // sparse load bump and re-solves warm.
+        session.retire(0);
+        let bump = scenarios[1][30] * 1.5 + c(2_000.0, 500.0);
+        scenarios[1][30] = bump;
+        session.update_loads(&[(1, 30, bump)]);
+        let second = session.solve_round(&cfg);
+        assert_eq!(second.iterations[0], 0, "retired scenario must not iterate");
+        assert!(second.statuses[1].is_converged());
+        let report = session.finish(&cfg);
+
+        // Both scenarios land on the serial fixed points of their own
+        // final loads (within the band both solvers stop inside).
+        let serial = SerialSolver::new(HostProps::paper_rig());
+        for (s, loads) in scenarios.iter().enumerate() {
+            let mut a2 = arrays.clone();
+            for (p, slot) in a2.s.iter_mut().enumerate() {
+                *slot = loads[arrays.levels.order[p] as usize];
+            }
+            let want = serial.solve_arrays(&a2, &cfg);
+            assert!(want.converged());
+            for (bus, (a, w)) in report.v[s].iter().zip(&want.v).enumerate() {
+                assert!(
+                    (*a - *w).abs() <= 1e-5 * v0,
+                    "scenario {s} bus {bus}: {a:?} vs serial {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn outer_session_absorbs_faults_and_still_lands_on_the_fixed_point() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let net = balanced_binary(127, &GenSpec::default(), &mut rng);
+        let arrays = SolverArrays::new(&net);
+        let cfg = SolverConfig::default();
+        let scenarios = scaled_scenarios(&net, &[0.8, 1.0, 1.2]);
+        let v0 = net.source_voltage().abs();
+
+        let serial = SerialSolver::new(HostProps::paper_rig());
+        for seed in 0..6u64 {
+            let mut dev = device();
+            dev.arm_faults(simt::FaultPlan::seeded(0x5E55 + seed, 0.05));
+            let mut tbs = TensorBatchSolver::new(dev);
+            let mut session = tbs.outer_session(&arrays, &scenarios, &[1], None, &cfg);
+            let round = session.solve_round(&cfg);
+            assert!(
+                round.statuses.iter().all(|s| s.is_converged()),
+                "seed {seed}: {:?}",
+                round.statuses
+            );
+            let report = session.finish(&cfg);
+            // Whether the round survived on-device, rebuilt, or fell
+            // back to the host, the answer is the same fixed point.
+            for (s, loads) in scenarios.iter().enumerate() {
+                let mut a2 = arrays.clone();
+                for (p, slot) in a2.s.iter_mut().enumerate() {
+                    *slot = loads[arrays.levels.order[p] as usize];
+                }
+                let want = serial.solve_arrays(&a2, &cfg);
+                for (bus, (a, w)) in report.v[s].iter().zip(&want.v).enumerate() {
+                    assert!(
+                        (*a - *w).abs() <= 1e-5 * v0,
+                        "seed {seed} scenario {s} bus {bus}: {a:?} vs {w:?} \
+                         (degraded {}, retries {})",
+                        report.degraded,
+                        report.retries
+                    );
+                }
+            }
+        }
     }
 }

@@ -12,10 +12,12 @@
 
 mod approx;
 mod complex;
+mod linsolve;
 mod vec3;
 
 pub use approx::{approx_eq, approx_eq_eps, max_abs_diff, RelAbs};
 pub use complex::Complex;
+pub use linsolve::{solve_dense, LinSolveError};
 pub use vec3::{CMat3, CVec3};
 
 /// Convenience constructor: `c(re, im)` is `Complex::new(re, im)`.

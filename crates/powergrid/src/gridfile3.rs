@@ -17,6 +17,10 @@
 //!   [`CMat3::coupled`](numc::CMat3::coupled). (Full 3×3 matrices are a
 //!   documented format-v2 extension; everything this workspace generates
 //!   is self/mutual symmetric.)
+//! * `gen <bus> <p_watts> <v_set_volts> <q_min> <q_max>` — a balanced
+//!   distributed generator, same record shape as the single-phase
+//!   format: `p_gen` and the dispatched Q split equally across phases,
+//!   the set-point regulates the mean phase magnitude.
 //!
 //! Blank lines and `#` comments are ignored; validation goes through
 //! [`ThreePhaseBuilder::build`].
@@ -26,6 +30,7 @@ use std::fmt::Write as _;
 use numc::{c, CMat3, CVec3};
 
 use crate::gridfile::ParseError;
+use crate::mesh::PvBus;
 use crate::three_phase::{ThreePhaseBuilder, ThreePhaseNetwork};
 
 /// Serialises a three-phase network to `.grid3` text.
@@ -61,6 +66,9 @@ pub fn write_grid3(net: &ThreePhaseNetwork) -> String {
             br.from, br.to, z_self.re, z_self.im, z_mut.re, z_mut.im
         );
     }
+    for g in net.generators() {
+        let _ = writeln!(out, "gen {} {} {} {} {}", g.bus, g.p_gen, g.v_set, g.q_min, g.q_max);
+    }
     out
 }
 
@@ -70,6 +78,8 @@ pub fn parse_grid3(text: &str) -> Result<ThreePhaseNetwork, ParseError> {
     let mut buses: Vec<(usize, CVec3)> = Vec::new();
     let mut branches: Vec<(usize, usize, CMat3)> = Vec::new();
     let mut edges: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    let mut gens: Vec<PvBus> = Vec::new();
+    let mut gen_buses: std::collections::HashSet<usize> = std::collections::HashSet::new();
     let mut saw_header = false;
 
     for (ln, raw) in text.lines().enumerate() {
@@ -132,6 +142,25 @@ pub fn parse_grid3(text: &str) -> Result<ThreePhaseNetwork, ParseError> {
                 }
                 branches.push((from, to, CMat3::coupled(c(v[0], v[1]), c(v[2], v[3]))));
             }
+            // Same record shape and hardening as the single-phase reader:
+            // `gen <bus> <p_watts> <v_set_volts> <q_min> <q_max>`.
+            "gen" => {
+                let bus = tok
+                    .next()
+                    .ok_or_else(|| bad("missing bus"))?
+                    .parse::<usize>()
+                    .map_err(|_| bad("bad bus id"))?;
+                let vals: Result<Vec<f64>, _> = (0..4).map(|_| num(&mut tok)).collect();
+                let v = vals?;
+                crate::gridfile::finite(&v, ln)?;
+                if v[2] > v[3] {
+                    return Err(ParseError::BadQLimits(ln + 1));
+                }
+                if !gen_buses.insert(bus) {
+                    return Err(ParseError::DuplicateGenerator(ln + 1));
+                }
+                gens.push(PvBus { bus, p_gen: v[0], v_set: v[1], q_min: v[2], q_max: v[3] });
+            }
             other => return Err(bad(&format!("unknown directive `{other}`"))),
         }
         if tok.next().is_some() {
@@ -159,6 +188,9 @@ pub fn parse_grid3(text: &str) -> Result<ThreePhaseNetwork, ParseError> {
     for (from, to, z) in branches {
         b.connect(from, to, z);
     }
+    for g in gens {
+        b.generator(g);
+    }
     b.build().map_err(ParseError::Invalid)
 }
 
@@ -166,6 +198,46 @@ pub fn parse_grid3(text: &str) -> Result<ThreePhaseNetwork, ParseError> {
 mod tests {
     use super::*;
     use crate::three_phase::ieee13_unbalanced;
+
+    #[test]
+    fn roundtrip_gen_records() {
+        let net = ieee13_unbalanced();
+        let mut text = write_grid3(&net);
+        text.push_str("gen 5 20000 2350 -9000 9000\n");
+        let back = parse_grid3(&text).unwrap();
+        assert_eq!(back.generators().len(), 1);
+        let g = back.generators()[0];
+        assert_eq!(g.bus, 5);
+        assert_eq!((g.p_gen, g.v_set, g.q_min, g.q_max), (20000.0, 2350.0, -9000.0, 9000.0));
+        // And it survives a second roundtrip via the writer.
+        let again = parse_grid3(&write_grid3(&back)).unwrap();
+        assert_eq!(again.generators(), back.generators());
+    }
+
+    #[test]
+    fn hostile_gen_records_are_rejected_with_line_numbers() {
+        let base = write_grid3(&ieee13_unbalanced());
+        let lines = base.lines().count();
+        for (extra, want) in [
+            ("gen 5 1 2350 9000 -9000", "BadQLimits"),
+            ("gen 5 1 NaN -9000 9000", "NonFinite"),
+            ("gen 99 1 2350 -9000 9000", "Invalid"),
+            ("gen 0 1 2350 -9000 9000", "Invalid"), // root bus
+            ("gen 5 1 2350 -1 1\ngen 5 2 2350 -1 1", "DuplicateGenerator"),
+        ] {
+            let err = parse_grid3(&format!("{base}{extra}\n")).unwrap_err();
+            let dbg = format!("{err:?}");
+            assert!(dbg.starts_with(want), "{extra}: got {dbg}");
+            match err {
+                ParseError::BadQLimits(ln)
+                | ParseError::NonFinite(ln)
+                | ParseError::DuplicateGenerator(ln) => {
+                    assert!(ln > lines, "line {ln} must point at the appended record");
+                }
+                _ => {}
+            }
+        }
+    }
 
     #[test]
     fn roundtrip_ieee13_unbalanced() {

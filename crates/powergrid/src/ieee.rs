@@ -13,6 +13,7 @@
 
 use numc::{c, Complex};
 
+use crate::mesh::{MeshedNetwork, MeshedNetworkBuilder, PvBus};
 use crate::network::{NetworkBuilder, RadialNetwork};
 
 /// Positive-sequence impedance per 1000 ft used for overhead sections,
@@ -248,6 +249,50 @@ pub fn ieee123_style() -> RadialNetwork {
     b.build().expect("ieee123-style data is a valid radial network")
 }
 
+/// The 123-bus-style feeder with distributed generation and tie
+/// switches: the weakly-meshed/DG reference case for the `fbs::mesh`
+/// subsystem and experiment E17.
+///
+/// Topology is [`ieee123_style`] plus:
+///
+/// * three PV-bus generators on lateral buses (55, 83, 110) — per-phase
+///   injections of 12–20 kW with voltage set-points just under the
+///   local no-DG profile and symmetric Q limits wide enough to hold the
+///   set-point at nominal loading;
+/// * two **closed** tie switches bridging distant laterals, (45, 122)
+///   and (70, 101), each opened at a break point by the spanning-tree
+///   extraction; and
+/// * one **open** (inert) tie (60, 90), carried for switching studies.
+pub fn ieee123_dg() -> MeshedNetwork {
+    let radial = ieee123_style();
+    let mut b = MeshedNetworkBuilder::new(radial.source_voltage());
+    for bus in radial.buses() {
+        b.add_bus(bus.load);
+    }
+    for br in radial.branches() {
+        b.connect(br.from, br.to, br.z);
+    }
+    b.tie(45, 122, line(500.0), true);
+    b.tie(70, 101, line(450.0), true);
+    b.tie(60, 90, line(400.0), false);
+    // Per-phase quantities, like the loads. Set-points sit at ~0.988 pu
+    // of the 2401.8 V source — below the lightly-loaded feeder's natural
+    // profile near the trunk, above the deep-lateral sag — so the Q
+    // loops do real work without pinning at a limit at nominal loading.
+    for (bus, p_kw, v_set, q_kvar) in
+        [(55, 20.0, 2374.0, 18.0), (83, 12.0, 2372.0, 12.0), (110, 16.0, 2373.0, 15.0)]
+    {
+        b.generator(PvBus {
+            bus,
+            p_gen: p_kw * 1e3,
+            v_set,
+            q_min: -q_kvar * 1e3,
+            q_max: q_kvar * 1e3,
+        });
+    }
+    b.build().expect("ieee123-dg data is a valid meshed network")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +332,22 @@ mod tests {
         assert!(lo.num_levels() >= 30, "deep trunk: {}", lo.num_levels());
         let total = net.total_load() * 3.0;
         assert!(total.re > 0.6e6 && total.re < 1.5e6, "P = {} MW", total.re / 1e6);
+    }
+
+    #[test]
+    fn ieee123_dg_shape() {
+        let net = ieee123_dg();
+        assert_eq!(net.tree().num_buses(), 123);
+        assert_eq!(net.num_loops(), 2, "two closed ties open into break points");
+        assert_eq!(net.ties().iter().filter(|t| !t.closed).count(), 1);
+        assert_eq!(net.generators().len(), 3);
+        // The spanning tree keeps the radial feeder's branch list intact
+        // (ties never displace plain edges), so the no-DG baseline is
+        // exactly ieee123_style().
+        let radial = ieee123_style();
+        assert_eq!(net.tree().branches(), radial.branches());
+        let lo = LevelOrder::new(net.tree());
+        lo.check_invariants();
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod gen;
 pub mod gridfile;
 pub mod gridfile3;
 pub mod ieee;
+pub mod mesh;
 pub mod pu;
 pub mod three_phase;
 mod levels;
@@ -38,4 +39,5 @@ mod network;
 pub use delta::{DeltaError, DeltaOp, TopologyDelta};
 pub use dfs::{DfsOrder, DFS_NO_PARENT};
 pub use levels::{LayoutError, LevelOrder, NO_PARENT};
+pub use mesh::{BreakPoint, MeshError, MeshedNetwork, MeshedNetworkBuilder, PvBus, TieSwitch};
 pub use network::{Branch, Bus, NetworkBuilder, NetworkError, RadialNetwork};

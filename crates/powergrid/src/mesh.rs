@@ -1,0 +1,498 @@
+//! Weakly-meshed network model: tie switches and distributed generation.
+//!
+//! Real feeders are *operated* radially but *built* with loops: normally
+//! open tie switches between laterals, and the odd normally closed loop.
+//! They also host distributed generation — PV buses holding a voltage
+//! set-point within reactive-power limits. Forward-backward sweep is only
+//! defined on trees, so a [`MeshedNetwork`] keeps the radial invariant by
+//! construction: a spanning tree is extracted over every closed edge,
+//! each loop is opened at a *break point*, and the break-point pair list
+//! plus the generator records ride alongside the tree for the solver's
+//! compensation machinery (`fbs::mesh`).
+//!
+//! Open tie switches are carried through for provenance (and so a
+//! scenario engine can close them later) but are structurally inert: a
+//! meshed network whose ties are all open solves exactly — bitwise — like
+//! its spanning tree.
+
+use numc::Complex;
+
+use crate::network::{NetworkBuilder, NetworkError, RadialNetwork};
+
+/// A distributed generator holding a voltage set-point (PV bus).
+///
+/// Modeled as a negative constant-power load whose reactive part is
+/// adjusted by the solver's outer loop: `P = p_gen` fixed, `Q` moved
+/// toward holding `|V| = v_set` and clamped to `[q_min, q_max]` (at a
+/// limit the bus degrades to PQ).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PvBus {
+    /// Bus the generator is connected to.
+    pub bus: usize,
+    /// Active-power generation, watts (≥ 0).
+    pub p_gen: f64,
+    /// Voltage-magnitude set-point, volts.
+    pub v_set: f64,
+    /// Minimum reactive injection, vars (absorption is negative).
+    pub q_min: f64,
+    /// Maximum reactive injection, vars.
+    pub q_max: f64,
+}
+
+/// A tie switch: an edge that would close a loop.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TieSwitch {
+    /// One endpoint bus.
+    pub from: usize,
+    /// Other endpoint bus.
+    pub to: usize,
+    /// Series impedance of the tie when closed, ohms.
+    pub z: Complex,
+    /// Whether the switch is closed (carries a loop) or open (inert).
+    pub closed: bool,
+}
+
+/// One opened loop: the pair of buses the loop was cut between, and the
+/// impedance of the removed (tie) edge. The compensation solver drives
+/// the voltage mismatch across each pair to the tie's own drop.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BreakPoint {
+    /// Tree-side bus of the open pair.
+    pub a: usize,
+    /// Far-side bus of the open pair.
+    pub b: usize,
+    /// Impedance of the edge the loop was opened at, ohms.
+    pub z: Complex,
+}
+
+/// Why a meshed network failed validation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MeshError {
+    /// The underlying spanning tree failed radial validation.
+    Network(NetworkError),
+    /// Two generator records name the same bus.
+    DuplicateGenerator(usize),
+    /// A generator's numeric fields are non-finite, `v_set ≤ 0`, or
+    /// `p_gen < 0`.
+    BadGenerator(usize),
+    /// A generator's reactive limits are inverted (`q_min > q_max`).
+    BadQLimits(usize),
+    /// A generator names a bus outside `0..n`.
+    GeneratorBusOutOfRange(usize),
+    /// A tie endpoint names a bus outside `0..n`, or the tie is a
+    /// self-loop or has an invalid impedance.
+    BadTie(usize, usize),
+    /// A tie switch duplicates an existing edge (tree or tie), in either
+    /// orientation.
+    DuplicateTie(usize, usize),
+}
+
+impl std::fmt::Display for MeshError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeshError::Network(e) => write!(f, "{e}"),
+            MeshError::DuplicateGenerator(b) => write!(f, "bus {b} has two generators"),
+            MeshError::BadGenerator(b) => {
+                write!(f, "generator at bus {b} has invalid p_gen/v_set")
+            }
+            MeshError::BadQLimits(b) => {
+                write!(f, "generator at bus {b} has q_min > q_max")
+            }
+            MeshError::GeneratorBusOutOfRange(b) => {
+                write!(f, "generator references nonexistent bus {b}")
+            }
+            MeshError::BadTie(a, b) => write!(f, "tie {a}–{b} is invalid"),
+            MeshError::DuplicateTie(a, b) => {
+                write!(f, "tie {a}–{b} duplicates an existing edge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MeshError {}
+
+impl From<NetworkError> for MeshError {
+    fn from(e: NetworkError) -> Self {
+        MeshError::Network(e)
+    }
+}
+
+/// A weakly-meshed network with distributed generation, reduced to a
+/// spanning tree plus break points and generator records.
+#[derive(Clone, Debug)]
+pub struct MeshedNetwork {
+    tree: RadialNetwork,
+    break_points: Vec<BreakPoint>,
+    ties: Vec<TieSwitch>,
+    generators: Vec<PvBus>,
+}
+
+impl MeshedNetwork {
+    /// Wraps an already-radial network (no loops, no generators).
+    pub fn from_radial(tree: RadialNetwork) -> Self {
+        MeshedNetwork { tree, break_points: Vec::new(), ties: Vec::new(), generators: Vec::new() }
+    }
+
+    /// The spanning tree the sweeps run on.
+    pub fn tree(&self) -> &RadialNetwork {
+        &self.tree
+    }
+
+    /// The break-point pair list — one entry per opened loop.
+    pub fn break_points(&self) -> &[BreakPoint] {
+        &self.break_points
+    }
+
+    /// Every tie-switch record, open ones included.
+    pub fn ties(&self) -> &[TieSwitch] {
+        &self.ties
+    }
+
+    /// Generator (PV bus) records.
+    pub fn generators(&self) -> &[PvBus] {
+        &self.generators
+    }
+
+    /// Number of loops the compensation solver must close.
+    pub fn num_loops(&self) -> usize {
+        self.break_points.len()
+    }
+
+    /// `true` when the network is plain radial with no DG — solvers can
+    /// skip the outer loop entirely and the answer is bitwise identical
+    /// to a radial solve of [`MeshedNetwork::tree`].
+    pub fn is_plain_radial(&self) -> bool {
+        self.break_points.is_empty() && self.generators.is_empty()
+    }
+}
+
+/// Incremental construction of a [`MeshedNetwork`].
+///
+/// Buses and edges go in like [`NetworkBuilder`], except `connect` may
+/// form loops: `build` runs a BFS from the root over all closed edges,
+/// keeps the first-discovery edge into each bus as the spanning tree
+/// (preserving the given orientation when the input is already a tree),
+/// and opens every remaining closed edge at a break point. Explicit tie
+/// switches ([`MeshedNetworkBuilder::tie`]) are kept as records; the
+/// closed ones contribute loops exactly like surplus `connect` edges.
+#[derive(Clone, Debug)]
+pub struct MeshedNetworkBuilder {
+    source_voltage: Complex,
+    loads: Vec<Complex>,
+    edges: Vec<(usize, usize, Complex)>,
+    ties: Vec<TieSwitch>,
+    generators: Vec<PvBus>,
+}
+
+impl MeshedNetworkBuilder {
+    /// Starts a network with the given slack voltage; bus 0 is the root.
+    pub fn new(source_voltage: Complex) -> Self {
+        MeshedNetworkBuilder {
+            source_voltage,
+            loads: Vec::new(),
+            edges: Vec::new(),
+            ties: Vec::new(),
+            generators: Vec::new(),
+        }
+    }
+
+    /// Adds a bus with the given constant-power load; returns its id.
+    pub fn add_bus(&mut self, load: Complex) -> usize {
+        self.loads.push(load);
+        self.loads.len() - 1
+    }
+
+    /// Adds an edge with series impedance `z`; loops are allowed.
+    pub fn connect(&mut self, from: usize, to: usize, z: Complex) {
+        self.edges.push((from, to, z));
+    }
+
+    /// Adds a tie switch between `from` and `to`.
+    pub fn tie(&mut self, from: usize, to: usize, z: Complex, closed: bool) {
+        self.ties.push(TieSwitch { from, to, z, closed });
+    }
+
+    /// Adds a generator (PV bus) record.
+    pub fn generator(&mut self, gen: PvBus) {
+        self.generators.push(gen);
+    }
+
+    /// Current bus count.
+    pub fn num_buses(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Validates, extracts the spanning tree, and freezes the network.
+    pub fn build(self) -> Result<MeshedNetwork, MeshError> {
+        let n = self.loads.len();
+        if n == 0 {
+            return Err(NetworkError::Empty.into());
+        }
+
+        // Edge sanity + duplicate detection across edges *and* ties, in
+        // either orientation. Edge endpoint/impedance details beyond
+        // range checks are re-validated by `NetworkBuilder`.
+        let mut seen = std::collections::HashSet::new();
+        for &(from, to, _) in &self.edges {
+            for id in [from, to] {
+                if id >= n {
+                    return Err(NetworkError::BadBusId { id, n }.into());
+                }
+            }
+            if from == to {
+                return Err(NetworkError::SelfLoop(from).into());
+            }
+            seen.insert((from.min(to), from.max(to)));
+        }
+        for t in &self.ties {
+            if t.from >= n || t.to >= n || t.from == t.to {
+                return Err(MeshError::BadTie(t.from, t.to));
+            }
+            if !t.z.is_finite() || t.z == Complex::ZERO || t.z.re < 0.0 {
+                return Err(MeshError::BadTie(t.from, t.to));
+            }
+            if !seen.insert((t.from.min(t.to), t.from.max(t.to))) {
+                return Err(MeshError::DuplicateTie(t.from, t.to));
+            }
+        }
+
+        // Generators: one per bus, sane fields.
+        let mut gen_seen = std::collections::HashSet::new();
+        for g in &self.generators {
+            if g.bus >= n {
+                return Err(MeshError::GeneratorBusOutOfRange(g.bus));
+            }
+            if !gen_seen.insert(g.bus) {
+                return Err(MeshError::DuplicateGenerator(g.bus));
+            }
+            let finite =
+                [g.p_gen, g.v_set, g.q_min, g.q_max].iter().all(|v| v.is_finite());
+            if !finite || g.v_set <= 0.0 || g.p_gen < 0.0 {
+                return Err(MeshError::BadGenerator(g.bus));
+            }
+            if g.q_min > g.q_max {
+                return Err(MeshError::BadQLimits(g.bus));
+            }
+        }
+
+        // Spanning tree over all closed edges from the root, extracted
+        // by a stratified BFS: plain edges are preferred (so an input
+        // that is already a tree keeps its exact orientation and
+        // impedances), and explicit tie switches enter the tree only
+        // when a region is reachable through no plain edge — a tie
+        // switch is the *designated* place to open its loop.
+        let n_plain = self.edges.len();
+        let mut closed: Vec<(usize, usize, Complex)> = self.edges.clone();
+        for t in self.ties.iter().filter(|t| t.closed) {
+            closed.push((t.from, t.to, t.z));
+        }
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (ei, &(from, to, _)) in closed.iter().enumerate() {
+            adj[from].push(ei);
+            adj[to].push(ei);
+        }
+
+        let root = 0usize;
+        let mut visited = vec![false; n];
+        // `tree_slot[ei]` = the BFS-oriented tree edge built from closed
+        // edge `ei`, if the tree uses it. Keeping edges slotted by input
+        // index lets the final branch list preserve the caller's edge
+        // order — an input that is already a tree round-trips exactly.
+        let mut tree_slot: Vec<Option<(usize, usize, Complex)>> = vec![None; closed.len()];
+        visited[root] = true;
+        let mut frontier = std::collections::VecDeque::from([root]);
+        loop {
+            // Exhaust everything reachable through plain edges.
+            while let Some(u) = frontier.pop_front() {
+                for &ei in &adj[u] {
+                    if ei >= n_plain {
+                        continue;
+                    }
+                    let (from, to, z) = closed[ei];
+                    let other = if from == u { to } else { from };
+                    if visited[other] || tree_slot[ei].is_some() {
+                        continue;
+                    }
+                    visited[other] = true;
+                    tree_slot[ei] = Some((u, other, z));
+                    frontier.push_back(other);
+                }
+            }
+            // Bridge into any still-unreached region through one closed
+            // tie, then go back to plain-edge BFS from there.
+            let bridge = (n_plain..closed.len()).find(|&ei| {
+                let (from, to, _) = closed[ei];
+                tree_slot[ei].is_none() && (visited[from] != visited[to])
+            });
+            match bridge {
+                Some(ei) => {
+                    let (from, to, z) = closed[ei];
+                    let (u, other) = if visited[from] { (from, to) } else { (to, from) };
+                    visited[other] = true;
+                    tree_slot[ei] = Some((u, other, z));
+                    frontier.push_back(other);
+                }
+                None => break,
+            }
+        }
+        if let Some(example) = visited.iter().position(|&r| !r) {
+            return Err(NetworkError::Disconnected { example }.into());
+        }
+        let tree_edges: Vec<(usize, usize, Complex)> =
+            tree_slot.iter().filter_map(|s| *s).collect();
+
+        // Every closed edge the tree skipped is a loop — open it there.
+        let break_points: Vec<BreakPoint> = closed
+            .iter()
+            .zip(&tree_slot)
+            .filter(|&(_, slot)| slot.is_none())
+            .map(|(&(a, b, z), _)| BreakPoint { a, b, z })
+            .collect();
+
+        let mut nb = NetworkBuilder::with_capacity(self.source_voltage, n);
+        for load in &self.loads {
+            nb.add_bus(*load);
+        }
+        for (from, to, z) in tree_edges {
+            nb.connect(from, to, z);
+        }
+        let tree = nb.build()?;
+
+        Ok(MeshedNetwork {
+            tree,
+            break_points,
+            ties: self.ties,
+            generators: self.generators,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numc::c;
+
+    fn v0() -> Complex {
+        c(7200.0, 0.0)
+    }
+
+    /// 0—1—2—3 chain plus a 0—3 loop-closing edge.
+    fn looped() -> MeshedNetworkBuilder {
+        let mut b = MeshedNetworkBuilder::new(v0());
+        for _ in 0..4 {
+            b.add_bus(c(1000.0, 300.0));
+        }
+        b.connect(0, 1, c(0.1, 0.05));
+        b.connect(1, 2, c(0.2, 0.10));
+        b.connect(2, 3, c(0.3, 0.15));
+        b
+    }
+
+    #[test]
+    fn tree_input_is_preserved_exactly() {
+        let net = looped().build().unwrap();
+        assert!(net.is_plain_radial());
+        assert_eq!(net.num_loops(), 0);
+        let t = net.tree();
+        assert_eq!(t.num_buses(), 4);
+        assert_eq!(t.parent(3), Some(2));
+        assert_eq!(t.parent_branch(2).unwrap().z, c(0.2, 0.10));
+    }
+
+    #[test]
+    fn surplus_edge_becomes_a_break_point() {
+        let mut b = looped();
+        b.connect(0, 3, c(0.4, 0.2));
+        let net = b.build().unwrap();
+        assert_eq!(net.num_loops(), 1);
+        assert!(!net.is_plain_radial());
+        let bp = net.break_points()[0];
+        // BFS discovers 3 through 0 before the chain gets there, so
+        // which edge lands in the tree depends on discovery order — the
+        // break point is the *other* one. Either way one loop opens.
+        assert!(bp.a == 0 || bp.a == 2, "{bp:?}");
+        assert_eq!(net.tree().num_branches(), 3);
+    }
+
+    #[test]
+    fn closed_tie_opens_a_loop_open_tie_is_inert() {
+        let mut b = looped();
+        b.tie(1, 3, c(0.5, 0.25), true);
+        let net = b.build().unwrap();
+        assert_eq!(net.num_loops(), 1);
+        assert_eq!(net.break_points()[0], BreakPoint { a: 1, b: 3, z: c(0.5, 0.25) });
+
+        let mut b = looped();
+        b.tie(1, 3, c(0.5, 0.25), false);
+        let net = b.build().unwrap();
+        assert_eq!(net.num_loops(), 0);
+        assert!(net.is_plain_radial());
+        assert_eq!(net.ties().len(), 1, "open tie is still recorded");
+    }
+
+    #[test]
+    fn generator_records_validate() {
+        let ok = PvBus { bus: 2, p_gen: 50e3, v_set: 4100.0, q_min: -30e3, q_max: 30e3 };
+        let mut b = looped();
+        b.generator(ok);
+        let net = b.build().unwrap();
+        assert_eq!(net.generators(), &[ok]);
+        assert!(!net.is_plain_radial());
+
+        let mut b = looped();
+        b.generator(ok);
+        b.generator(PvBus { bus: 2, ..ok });
+        assert_eq!(b.build().unwrap_err(), MeshError::DuplicateGenerator(2));
+
+        let mut b = looped();
+        b.generator(PvBus { q_min: 5.0, q_max: -5.0, ..ok });
+        assert_eq!(b.build().unwrap_err(), MeshError::BadQLimits(2));
+
+        let mut b = looped();
+        b.generator(PvBus { v_set: f64::NAN, ..ok });
+        assert_eq!(b.build().unwrap_err(), MeshError::BadGenerator(2));
+
+        let mut b = looped();
+        b.generator(PvBus { bus: 9, ..ok });
+        assert_eq!(b.build().unwrap_err(), MeshError::GeneratorBusOutOfRange(9));
+    }
+
+    #[test]
+    fn tie_duplicating_a_tree_edge_rejected() {
+        let mut b = looped();
+        b.tie(2, 1, c(0.5, 0.25), true); // 1—2 exists as a branch
+        assert_eq!(b.build().unwrap_err(), MeshError::DuplicateTie(2, 1));
+    }
+
+    #[test]
+    fn bad_ties_rejected() {
+        for (from, to, z) in
+            [(1usize, 1usize, c(0.1, 0.0)), (0, 9, c(0.1, 0.0)), (0, 3, Complex::ZERO)]
+        {
+            let mut b = looped();
+            b.tie(from, to, z, true);
+            assert_eq!(b.build().unwrap_err(), MeshError::BadTie(from, to), "{from}-{to}");
+        }
+    }
+
+    #[test]
+    fn disconnected_meshed_graph_rejected() {
+        let mut b = MeshedNetworkBuilder::new(v0());
+        for _ in 0..3 {
+            b.add_bus(Complex::ZERO);
+        }
+        b.connect(0, 1, c(0.1, 0.05));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            MeshError::Network(NetworkError::Disconnected { example: 2 })
+        ));
+    }
+
+    #[test]
+    fn from_radial_is_plain() {
+        let tree = looped().build().unwrap().tree().clone();
+        let net = MeshedNetwork::from_radial(tree);
+        assert!(net.is_plain_radial());
+        assert_eq!(net.num_loops(), 0);
+    }
+}

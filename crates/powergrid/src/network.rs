@@ -65,6 +65,9 @@ pub enum NetworkError {
     BadSource,
     /// The network has no buses.
     Empty,
+    /// A generator record is invalid (duplicate bus, generator on the
+    /// root, inverted or non-finite Q limits, non-finite set-point).
+    BadGenerator(usize),
 }
 
 impl std::fmt::Display for NetworkError {
@@ -84,6 +87,9 @@ impl std::fmt::Display for NetworkError {
             NetworkError::BadLoad(b) => write!(f, "bus {b} has a non-finite load"),
             NetworkError::BadSource => write!(f, "source voltage must be finite and nonzero"),
             NetworkError::Empty => write!(f, "network has no buses"),
+            NetworkError::BadGenerator(b) => {
+                write!(f, "generator at bus {b} has an invalid record")
+            }
         }
     }
 }

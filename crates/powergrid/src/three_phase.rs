@@ -17,6 +17,7 @@
 use numc::{CMat3, CVec3};
 
 use crate::levels::LevelOrder;
+use crate::mesh::PvBus;
 use crate::network::NetworkError;
 
 /// A three-phase bus.
@@ -45,6 +46,7 @@ pub struct ThreePhaseNetwork {
     branches: Vec<Branch3>,
     parent_branch: Vec<usize>,
     root: usize,
+    gens: Vec<PvBus>,
 }
 
 impl ThreePhaseNetwork {
@@ -110,6 +112,14 @@ impl ThreePhaseNetwork {
     pub fn level_order(&self) -> LevelOrder {
         LevelOrder::from_edges(self.num_buses(), self.root, &self.edges())
     }
+
+    /// Distributed generators holding voltage set-points. The record is
+    /// the single-phase [`PvBus`]; a three-phase generator is balanced —
+    /// `p_gen` and the dispatched Q split equally across the phases, and
+    /// the set-point regulates the mean phase magnitude.
+    pub fn generators(&self) -> &[PvBus] {
+        &self.gens
+    }
 }
 
 /// Incremental construction of a [`ThreePhaseNetwork`].
@@ -119,13 +129,20 @@ pub struct ThreePhaseBuilder {
     buses: Vec<Bus3>,
     branches: Vec<Branch3>,
     root: usize,
+    gens: Vec<PvBus>,
 }
 
 impl ThreePhaseBuilder {
     /// Starts a network with the given slack voltage set; the first bus
     /// added is the root.
     pub fn new(source_voltage: CVec3) -> Self {
-        ThreePhaseBuilder { source_voltage, buses: Vec::new(), branches: Vec::new(), root: 0 }
+        ThreePhaseBuilder {
+            source_voltage,
+            buses: Vec::new(),
+            branches: Vec::new(),
+            root: 0,
+            gens: Vec::new(),
+        }
     }
 
     /// Adds a bus with the given per-phase load; returns its id.
@@ -137,6 +154,12 @@ impl ThreePhaseBuilder {
     /// Adds a branch with a full phase impedance matrix.
     pub fn connect(&mut self, from: usize, to: usize, z: CMat3) {
         self.branches.push(Branch3 { from, to, z });
+    }
+
+    /// Registers a balanced distributed generator (validated at
+    /// [`ThreePhaseBuilder::build`]).
+    pub fn generator(&mut self, gen: PvBus) {
+        self.gens.push(gen);
     }
 
     /// Validates and freezes the network (same radiality rules as the
@@ -209,12 +232,28 @@ impl ThreePhaseBuilder {
                 reached[b] = true;
             }
         }
+        let mut gen_seen = vec![false; n];
+        for g in &self.gens {
+            let sane = g.bus < n
+                && g.bus != self.root
+                && g.p_gen.is_finite()
+                && g.v_set.is_finite()
+                && g.v_set > 0.0
+                && g.q_min.is_finite()
+                && g.q_max.is_finite()
+                && g.q_min <= g.q_max;
+            if !sane || gen_seen[g.bus.min(n - 1)] {
+                return Err(NetworkError::BadGenerator(g.bus));
+            }
+            gen_seen[g.bus] = true;
+        }
         Ok(ThreePhaseNetwork {
             source_voltage: self.source_voltage,
             buses: self.buses,
             branches: self.branches,
             parent_branch,
             root: self.root,
+            gens: self.gens,
         })
     }
 }

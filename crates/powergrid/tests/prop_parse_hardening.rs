@@ -12,17 +12,19 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use check::gen::{tuple3, u64_any, usize_in};
 use check::{checker, CaseResult};
 use powergrid::gen::{random_tree, GenSpec};
-use powergrid::gridfile::{parse_grid, write_grid};
+use powergrid::gridfile::{parse_grid, parse_grid_meshed, write_grid, write_grid_meshed};
 use powergrid::gridfile3::{parse_grid3, write_grid3};
+use powergrid::ieee::ieee123_dg;
 use powergrid::three_phase::ieee13_unbalanced;
 use powergrid::LevelOrder;
 use rng::rngs::StdRng;
 use rng::{Rng, SeedableRng};
 
 /// Tokens that stress the numeric and structural paths.
-const EVIL_TOKENS: [&str; 12] = [
+const EVIL_TOKENS: [&str; 16] = [
     "NaN", "inf", "-inf", "1e999", "-1e999", "0", "-0.0", "18446744073709551616",
     "branch 3 3 1 0", "bus 0 0 0", "grid 2", "\u{fffd}",
+    "tie 1 2 0.1 0.1 ajar", "tie 2 2 NaN 0", "gen 1 -5 NaN 3 -3", "gen 0 1 1 5 -5",
 ];
 
 /// Applies `count` seeded mutations to `text`, staying valid UTF-8.
@@ -103,6 +105,100 @@ fn mutated_grid_files_never_panic_the_parser() {
                     LevelOrder::new(&net).check_invariants();
                     Ok(())
                 }
+            }
+        },
+    );
+}
+
+#[test]
+fn mutated_meshed_grid_files_never_panic_either_parser() {
+    let golden = write_grid_meshed(&ieee123_dg());
+    checker("mutated_meshed_grid_files_never_panic_either_parser").cases(300).run(
+        tuple3(u64_any(), usize_in(1..10), usize_in(0..1)),
+        |&(seed, muts, _)| -> CaseResult {
+            let mangled = mutate(&golden, seed ^ 0xfeed, muts);
+            // The meshed reader is the permissive one; the radial reader
+            // must structurally reject (never panic on) tie/gen records.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                (parse_grid_meshed(&mangled), parse_grid(&mangled))
+            }));
+            match outcome {
+                Err(_) => Err(check::CaseError::fail(format!(
+                    "a grid parser panicked on:\n{mangled}"
+                ))),
+                Ok((meshed, _radial)) => {
+                    if let Ok(net) = meshed {
+                        // Anything accepted must carry a solvable
+                        // spanning tree and consistent loop bookkeeping.
+                        LevelOrder::new(net.tree()).check_invariants();
+                        if net.num_loops() != net.break_points().len() {
+                            return Err(check::CaseError::fail(
+                                "loop count disagrees with break-point list",
+                            ));
+                        }
+                        for g in net.generators() {
+                            if g.bus >= net.tree().num_buses() || g.q_min > g.q_max {
+                                return Err(check::CaseError::fail(
+                                    "accepted an invalid generator record",
+                                ));
+                            }
+                        }
+                    }
+                    Ok(())
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn shuffled_valid_mesh_records_parse_or_reject_with_line_numbers() {
+    use powergrid::gridfile::ParseError;
+    // Assemble syntactically valid tie/gen records in random order and
+    // random multiplicity onto a valid radial core; the parser must
+    // accept (validated) or reject with a *located* structured error —
+    // the hostile-but-well-formed half of the hardening story.
+    checker("shuffled_valid_mesh_records_parse_or_reject_with_line_numbers").cases(200).run(
+        tuple3(u64_any(), usize_in(1..6), usize_in(8..40)),
+        |&(seed, extras, n)| -> CaseResult {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let core = write_grid(&random_tree(n, 4, &GenSpec::default(), &mut rng));
+            let mut text = core;
+            for _ in 0..extras {
+                let a = rng.gen_below(n as u64) as usize;
+                let b = rng.gen_below(n as u64) as usize;
+                if rng.gen_below(2) == 0 {
+                    let state = if rng.gen_below(2) == 0 { "open" } else { "closed" };
+                    text.push_str(&format!("tie {a} {b} 0.2 0.1 {state}\n"));
+                } else {
+                    let q = 1000.0 + rng.gen_below(9000) as f64;
+                    text.push_str(&format!("gen {a} 5000 2380 {} {q}\n", -q));
+                }
+            }
+            match parse_grid_meshed(&text) {
+                Ok(net) => {
+                    LevelOrder::new(net.tree()).check_invariants();
+                    Ok(())
+                }
+                Err(
+                    ParseError::SelfLoop(ln)
+                    | ParseError::TieDuplicatesEdge(ln)
+                    | ParseError::DuplicateGenerator(ln)
+                    | ParseError::BadQLimits(ln)
+                    | ParseError::NonFinite(ln)
+                    | ParseError::BadLine(ln, _),
+                ) => {
+                    if ln == 0 || ln > text.lines().count() {
+                        return Err(check::CaseError::fail(format!(
+                            "error cites line {ln} outside the input"
+                        )));
+                    }
+                    Ok(())
+                }
+                Err(ParseError::InvalidMesh(_) | ParseError::Invalid(_)) => Ok(()),
+                Err(other) => Err(check::CaseError::fail(format!(
+                    "unexpected error class: {other:?}"
+                ))),
             }
         },
     );
